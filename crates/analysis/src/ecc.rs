@@ -1,0 +1,78 @@
+//! ECC protection configurations (paper Fig. 12).
+
+use serde::{Deserialize, Serialize};
+use softerr_sim::Structure;
+use std::fmt;
+
+/// Which caches carry single-error-correcting ECC.
+///
+/// A protected structure's single-bit upsets are corrected in place, so its
+/// FIT contribution is zero (the paper's modeling assumption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EccScheme {
+    /// Fully unprotected design (e.g. Samsung Exynos 5250's A15).
+    None,
+    /// ECC on the L1 data cache and the L2 (typical A72 configuration).
+    L1dAndL2,
+    /// ECC on the L2 only.
+    L2Only,
+}
+
+impl EccScheme {
+    /// The three configurations of Fig. 12.
+    pub const ALL: [EccScheme; 3] = [EccScheme::None, EccScheme::L1dAndL2, EccScheme::L2Only];
+
+    /// Whether `structure` is ECC-protected under this scheme.
+    pub fn protects(self, structure: Structure) -> bool {
+        match self {
+            EccScheme::None => false,
+            EccScheme::L1dAndL2 => matches!(
+                structure,
+                Structure::L1DData | Structure::L1DTag | Structure::L2Data | Structure::L2Tag
+            ),
+            EccScheme::L2Only => {
+                matches!(structure, Structure::L2Data | Structure::L2Tag)
+            }
+        }
+    }
+}
+
+impl fmt::Display for EccScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EccScheme::None => write!(f, "no ECC"),
+            EccScheme::L1dAndL2 => write!(f, "ECC on L1D+L2"),
+            EccScheme::L2Only => write!(f, "ECC on L2 only"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_sets() {
+        assert!(!EccScheme::None.protects(Structure::L2Data));
+        assert!(EccScheme::L1dAndL2.protects(Structure::L1DData));
+        assert!(EccScheme::L1dAndL2.protects(Structure::L2Tag));
+        assert!(!EccScheme::L1dAndL2.protects(Structure::L1IData));
+        assert!(!EccScheme::L1dAndL2.protects(Structure::RegFile));
+        assert!(EccScheme::L2Only.protects(Structure::L2Data));
+        assert!(!EccScheme::L2Only.protects(Structure::L1DData));
+    }
+
+    #[test]
+    fn pipeline_structures_never_protected() {
+        for scheme in EccScheme::ALL {
+            for s in [
+                Structure::RegFile,
+                Structure::IqSrc,
+                Structure::RobPc,
+                Structure::LoadQueue,
+            ] {
+                assert!(!scheme.protects(s));
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # softerr-analysis
+//!
+//! The study's vulnerability mathematics, mapping measured injection
+//! campaigns to the paper's reported quantities:
+//!
+//! * **weighted AVF** (eq. 1) — per-structure AVF aggregated over
+//!   benchmarks, weighted by execution time,
+//! * **FIT** (eq. 2) — `FIT = FIT_bit × bits × AVF` per structure, summed
+//!   into a CPU failure rate, optionally split by fault class (Fig. 10),
+//! * **ECC configurations** (Fig. 12) — unprotected, L1D+L2 protected, and
+//!   L2-only protected designs,
+//! * **FPE** (eq. 3) — the performance-aware Failures-Per-Execution metric.
+#![warn(missing_docs)]
+
+mod ecc;
+mod metrics;
+
+pub use ecc::EccScheme;
+pub use metrics::{
+    cpu_fit, cpu_fit_by_class, fit_of_structure, fpe, weighted_avf, StructureMeasurement,
+};

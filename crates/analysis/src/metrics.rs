@@ -1,0 +1,186 @@
+//! Weighted AVF (eq. 1), FIT (eq. 2), and FPE (eq. 3).
+
+use crate::ecc::EccScheme;
+use serde::{Deserialize, Serialize};
+use softerr_inject::{ClassCounts, FaultClass};
+use softerr_sim::Structure;
+
+/// Measured vulnerability of one structure for one workload/level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StructureMeasurement {
+    /// The structure field.
+    pub structure: Structure,
+    /// Its injectable bit count on the measured machine.
+    pub bits: u64,
+    /// Injection tallies.
+    pub counts: ClassCounts,
+}
+
+impl StructureMeasurement {
+    /// AVF: non-masked fraction.
+    pub fn avf(&self) -> f64 {
+        let n = self.counts.total();
+        if n == 0 {
+            return 0.0;
+        }
+        1.0 - self.counts.masked as f64 / n as f64
+    }
+
+    /// Fraction of injections in `class`.
+    pub fn fraction(&self, class: FaultClass) -> f64 {
+        let n = self.counts.total();
+        if n == 0 {
+            return 0.0;
+        }
+        self.counts.get(class) as f64 / n as f64
+    }
+}
+
+/// Execution-time-weighted AVF over benchmarks (paper eq. 1):
+/// `wAVF = Σ AVF_k·t_k / Σ t_k`.
+///
+/// ```
+/// use softerr_analysis::weighted_avf;
+/// // A long benchmark at AVF 0.1 dominates a short one at AVF 0.9.
+/// let w = weighted_avf(&[(0.1, 900), (0.9, 100)]);
+/// assert!((w - 0.18).abs() < 1e-12);
+/// ```
+pub fn weighted_avf(avf_and_time: &[(f64, u64)]) -> f64 {
+    let total_time: u64 = avf_and_time.iter().map(|(_, t)| *t).sum();
+    if total_time == 0 {
+        return 0.0;
+    }
+    avf_and_time
+        .iter()
+        .map(|(avf, t)| avf * *t as f64)
+        .sum::<f64>()
+        / total_time as f64
+}
+
+/// FIT of one structure (paper eq. 2): `FIT = FIT_bit × bits × AVF`.
+pub fn fit_of_structure(raw_fit_per_bit: f64, bits: u64, avf: f64) -> f64 {
+    raw_fit_per_bit * bits as f64 * avf
+}
+
+/// CPU FIT: sum of per-structure FITs, with ECC-protected structures
+/// contributing zero.
+pub fn cpu_fit(
+    measurements: &[StructureMeasurement],
+    raw_fit_per_bit: f64,
+    ecc: EccScheme,
+) -> f64 {
+    measurements
+        .iter()
+        .filter(|m| !ecc.protects(m.structure))
+        .map(|m| fit_of_structure(raw_fit_per_bit, m.bits, m.avf()))
+        .sum()
+}
+
+/// CPU FIT split by failure class (paper Fig. 10): each structure's FIT is
+/// apportioned to SDC / Crash / Timeout / Assert by its class fractions.
+pub fn cpu_fit_by_class(
+    measurements: &[StructureMeasurement],
+    raw_fit_per_bit: f64,
+    ecc: EccScheme,
+) -> Vec<(FaultClass, f64)> {
+    let classes = [
+        FaultClass::Sdc,
+        FaultClass::Crash,
+        FaultClass::Timeout,
+        FaultClass::Assert,
+    ];
+    classes
+        .iter()
+        .map(|&class| {
+            let fit: f64 = measurements
+                .iter()
+                .filter(|m| !ecc.protects(m.structure))
+                .map(|m| raw_fit_per_bit * m.bits as f64 * m.fraction(class))
+                .sum();
+            (class, fit)
+        })
+        .collect()
+}
+
+/// Failures per execution (paper eq. 3): `FPE = FIT × t_exec / 10⁹ h`.
+///
+/// `exec_seconds` is the single-execution wall time (cycles / frequency).
+pub fn fpe(fit: f64, exec_seconds: f64) -> f64 {
+    fit * (exec_seconds / 3600.0) / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(structure: Structure, bits: u64, masked: u64, sdc: u64, crash: u64) -> StructureMeasurement {
+        StructureMeasurement {
+            structure,
+            bits,
+            counts: ClassCounts { masked, sdc, crash, timeout: 0, assert_: 0 },
+        }
+    }
+
+    #[test]
+    fn avf_is_nonmasked_fraction() {
+        let meas = m(Structure::RegFile, 4096, 80, 15, 5);
+        assert!((meas.avf() - 0.20).abs() < 1e-12);
+        assert!((meas.fraction(FaultClass::Sdc) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_avf_matches_equation_1() {
+        // Equal times → arithmetic mean.
+        assert!((weighted_avf(&[(0.2, 100), (0.4, 100)]) - 0.3).abs() < 1e-12);
+        // Zero-time corner.
+        assert_eq!(weighted_avf(&[]), 0.0);
+        // Single benchmark.
+        assert_eq!(weighted_avf(&[(0.42, 1234)]), 0.42);
+    }
+
+    #[test]
+    fn fit_matches_equation_2() {
+        // Paper example scale: A15 raw FIT 2.59e-5, a 32 KB data array.
+        let fit = fit_of_structure(2.59e-5, 32 * 1024 * 8, 0.1);
+        assert!((fit - 2.59e-5 * 262_144.0 * 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_fit_sums_and_ecc_zeroes() {
+        let ms = vec![
+            m(Structure::L1DData, 1000, 50, 50, 0),
+            m(Structure::RegFile, 1000, 50, 50, 0),
+        ];
+        let all = cpu_fit(&ms, 1e-5, EccScheme::None);
+        let ecc = cpu_fit(&ms, 1e-5, EccScheme::L1dAndL2);
+        assert!((all - 2.0 * 1e-5 * 1000.0 * 0.5).abs() < 1e-12);
+        assert!((ecc - 1e-5 * 1000.0 * 0.5).abs() < 1e-12, "L1D removed");
+    }
+
+    #[test]
+    fn class_split_sums_to_total_fit() {
+        let ms = vec![
+            m(Structure::L1IData, 5000, 70, 10, 20),
+            m(Structure::RegFile, 3000, 40, 40, 20),
+        ];
+        let total = cpu_fit(&ms, 2e-5, EccScheme::None);
+        let split: f64 = cpu_fit_by_class(&ms, 2e-5, EccScheme::None)
+            .iter()
+            .map(|(_, f)| f)
+            .sum();
+        assert!((total - split).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fpe_matches_equation_3() {
+        // 1000 FIT over a 3.6-second execution = 1000 × 0.001 h / 1e9.
+        let v = fpe(1000.0, 3.6);
+        assert!((v - 1e-9 * 1000.0 * 0.001).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fpe_rewards_faster_executions() {
+        // Same FIT, 10× faster execution → 10× fewer failures per run.
+        assert!(fpe(500.0, 1.0) < fpe(500.0, 10.0));
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion benchmark: end-to-end fault injections per second (golden
+//! positioning + flip + run-to-outcome), the unit cost of every campaign.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softerr::{
+    Compiler, FaultSpec, Injector, MachineConfig, OptLevel, Scale, Structure, Workload,
+};
+
+fn bench_injection(c: &mut Criterion) {
+    let machine = MachineConfig::cortex_a15();
+    let compiled = Compiler::new(machine.profile, OptLevel::O1)
+        .compile(&Workload::Qsort.source(Scale::Tiny))
+        .expect("compile");
+    let injector = Injector::new(&machine, &compiled.program).expect("golden");
+    let mid = injector.golden().cycles / 2;
+
+    let mut group = c.benchmark_group("injection_throughput");
+    for structure in [Structure::RegFile, Structure::L1DData, Structure::RobPc] {
+        group.bench_with_input(
+            BenchmarkId::new("qsort_o1", structure.name()),
+            &structure,
+            |b, &s| {
+                let mut bit = 0u64;
+                let bits = injector.bit_count(s);
+                b.iter(|| {
+                    bit = (bit + 127) % bits;
+                    injector.inject(FaultSpec { structure: s, bit, cycle: mid })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1)); targets = bench_injection}
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! `campaign` — run a single fault-injection campaign with explicit
+//! parameters (the command-line face of `softerr_inject::Injector`).
+//!
+//! ```text
+//! cargo run --release -p softerr-bench --bin campaign -- \
+//!     --machine a72 --workload sha --level O2 --structure rf -n 500
+//! ```
+
+use softerr::{
+    CampaignConfig, Compiler, Injector, MachineConfig, OptLevel, Scale, Structure, Table,
+    Workload,
+};
+
+struct Args {
+    machine: MachineConfig,
+    workload: Workload,
+    level: OptLevel,
+    structures: Vec<Structure>,
+    scale: Scale,
+    injections: u64,
+    seed: u64,
+    threads: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        machine: MachineConfig::cortex_a72(),
+        workload: Workload::Qsort,
+        level: OptLevel::O2,
+        structures: Structure::ALL.to_vec(),
+        scale: Scale::Tiny,
+        injections: 200,
+        seed: 1,
+        threads: 1,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        i += 1;
+        let value = argv
+            .get(i)
+            .ok_or_else(|| format!("missing value for {flag}"))?
+            .clone();
+        i += 1;
+        match flag.as_str() {
+            "--machine" => {
+                args.machine = match value.as_str() {
+                    "a15" => MachineConfig::cortex_a15(),
+                    "a72" => MachineConfig::cortex_a72(),
+                    other => return Err(format!("unknown machine `{other}` (a15|a72)")),
+                }
+            }
+            "--workload" => {
+                args.workload = Workload::from_name(&value)
+                    .ok_or_else(|| format!("unknown workload `{value}`"))?
+            }
+            "--level" => args.level = value.parse()?,
+            "--structure" => {
+                args.structures = vec![Structure::from_name(&value)
+                    .ok_or_else(|| format!("unknown structure `{value}`"))?]
+            }
+            "--scale" => {
+                args.scale = match value.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale `{other}`")),
+                }
+            }
+            "-n" | "--injections" => {
+                args.injections = value.parse().map_err(|_| "bad injection count")?
+            }
+            "--seed" => args.seed = value.parse().map_err(|_| "bad seed")?,
+            "--threads" => args.threads = value.parse().map_err(|_| "bad thread count")?,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: campaign [--machine a15|a72] [--workload NAME] [--level O0..O3]\n\
+                 \x20              [--structure NAME] [--scale tiny|small|full]\n\
+                 \x20              [-n COUNT] [--seed N] [--threads N]"
+            );
+            std::process::exit(1);
+        }
+    };
+
+    let compiled = Compiler::new(args.machine.profile, args.level)
+        .compile(&args.workload.source(args.scale))
+        .expect("workload must compile");
+    let injector = Injector::new(&args.machine, &compiled.program).expect("golden run");
+    let golden = injector.golden();
+    println!(
+        "{} / {} / {} ({} scale): {} cycles, {} instructions fault-free\n",
+        args.machine.name, args.workload, args.level, args.scale, golden.cycles, golden.retired
+    );
+
+    let mut table = Table::new(vec![
+        "structure".into(),
+        "bits".into(),
+        "AVF".into(),
+        "±99%".into(),
+        "SDC".into(),
+        "Crash".into(),
+        "Timeout".into(),
+        "Assert".into(),
+    ]);
+    for &s in &args.structures {
+        let result = injector.campaign(
+            s,
+            &CampaignConfig {
+                injections: args.injections,
+                seed: args.seed,
+                threads: args.threads,
+            },
+        );
+        table.row(vec![
+            s.name().into(),
+            result.bit_population.to_string(),
+            format!("{:.4}", result.avf()),
+            format!("{:.4}", result.margin_99()),
+            result.counts.sdc.to_string(),
+            result.counts.crash.to_string(),
+            result.counts.timeout.to_string(),
+            result.counts.assert_.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "({} injections per structure; uniform bit x cycle sampling; margin at 99% via Leveugle)",
+        args.injections
+    );
+}

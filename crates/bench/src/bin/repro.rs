@@ -1,0 +1,608 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p softerr-bench --bin repro -- all --scale quick
+//! cargo run --release -p softerr-bench --bin repro -- fig5 --injections 200
+//! ```
+//!
+//! Campaign results are cached as JSON (keyed by scale/seed/injections) so
+//! individual figures re-render instantly after the first run.
+
+use softerr::{
+    EccScheme, FaultClass, MachineConfig, OptLevel, PassConfig, Scale, Structure, Study,
+    StudyConfig, StudyResults, Table, Workload,
+};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return;
+    }
+    let command = args[0].clone();
+    let opts = Options::parse(&args[1..]);
+    match command.as_str() {
+        "table1" => table1(),
+        "fig1" => fig1(&opts),
+        "fig2" => avf_figure(&opts, "Fig 2: L1 Instruction Cache AVF",
+            &[Structure::L1IData, Structure::L1ITag]),
+        "fig3" => avf_figure(&opts, "Fig 3: L1 Data Cache AVF",
+            &[Structure::L1DData, Structure::L1DTag]),
+        "fig4" => avf_figure(&opts, "Fig 4: L2 Cache AVF",
+            &[Structure::L2Data, Structure::L2Tag]),
+        "fig5" => avf_figure(&opts, "Fig 5: Physical Register File AVF", &[Structure::RegFile]),
+        "fig6" => avf_figure(&opts, "Fig 6: Load Queue and Store Queue AVF",
+            &[Structure::LoadQueue, Structure::StoreQueue]),
+        "fig7" => avf_figure(&opts, "Fig 7: Issue Queue AVF (source field)",
+            &[Structure::IqSrc, Structure::IqDest]),
+        "fig8" => avf_figure(&opts, "Fig 8: Reorder Buffer AVF (PC field)",
+            &[Structure::RobPc, Structure::RobDest, Structure::RobSeq, Structure::RobFlags]),
+        "fig9" => fig9(&opts),
+        "fig10" => fig10(&opts),
+        "fig11" => fig11(&opts),
+        "fig12" => fig12(&opts),
+        "ablation-opt" => ablation_opt(&opts),
+        "ablation-size" => ablation_size(&opts),
+        "mbu" => mbu(&opts),
+        "all" => {
+            table1();
+            fig1(&opts);
+            avf_figure(&opts, "Fig 2: L1 Instruction Cache AVF",
+                &[Structure::L1IData, Structure::L1ITag]);
+            avf_figure(&opts, "Fig 3: L1 Data Cache AVF",
+                &[Structure::L1DData, Structure::L1DTag]);
+            avf_figure(&opts, "Fig 4: L2 Cache AVF", &[Structure::L2Data, Structure::L2Tag]);
+            avf_figure(&opts, "Fig 5: Physical Register File AVF", &[Structure::RegFile]);
+            avf_figure(&opts, "Fig 6: Load Queue and Store Queue AVF",
+                &[Structure::LoadQueue, Structure::StoreQueue]);
+            avf_figure(&opts, "Fig 7: Issue Queue AVF (source field)",
+                &[Structure::IqSrc, Structure::IqDest]);
+            avf_figure(&opts, "Fig 8: Reorder Buffer AVF (PC field)",
+                &[Structure::RobPc, Structure::RobDest, Structure::RobSeq, Structure::RobFlags]);
+            fig9(&opts);
+            fig10(&opts);
+            fig11(&opts);
+            fig12(&opts);
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            usage();
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("repro — regenerate the paper's tables and figures\n");
+    eprintln!("commands:");
+    eprintln!("  table1           machine configurations (paper Table I)");
+    eprintln!("  fig1             relative performance of O0-O3");
+    eprintln!("  fig2..fig8       per-structure AVF (L1I, L1D, L2, RF, LQ/SQ, IQ, ROB)");
+    eprintln!("  fig9             weighted-AVF delta of O1/O2/O3 vs O0 per structure");
+    eprintln!("  fig10            per-benchmark CPU FIT split by fault class");
+    eprintln!("  fig11            failures-per-execution normalized to O0");
+    eprintln!("  fig12            CPU FIT under ECC configurations");
+    eprintln!("  ablation-opt     single-pass ablations of O2 (perf + RF AVF)");
+    eprintln!("  ablation-size    ROB/IQ size sweep (perf + ROB AVF)");
+    eprintln!("  mbu              multi-bit-upset extension (1/2/4-bit bursts)");
+    eprintln!("  all              everything above\n");
+    eprintln!("options:");
+    eprintln!("  --scale quick|default|paper   campaign size (default: quick)");
+    eprintln!("  --injections N                override injections per cell");
+    eprintln!("  --seed N                      campaign seed (default 20240704)");
+    eprintln!("  --threads N                   worker threads (default 1)");
+    eprintln!("  --results DIR                 cache directory (default target/)");
+    eprintln!("  --fresh                       ignore any cached results");
+}
+
+#[derive(Debug, Clone)]
+struct Options {
+    scale: Scale,
+    injections: u64,
+    seed: u64,
+    threads: usize,
+    results_dir: PathBuf,
+    fresh: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Options {
+        let mut opts = Options {
+            scale: Scale::Tiny,
+            injections: 16,
+            seed: 20_240_704,
+            threads: 1,
+            results_dir: PathBuf::from("target"),
+            fresh: false,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].clone();
+            let mut next = |what: &str| -> String {
+                i += 1;
+                args.get(i)
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for {what}");
+                        std::process::exit(1);
+                    })
+                    .clone()
+            };
+            match flag.as_str() {
+                "--scale" => match next("--scale").as_str() {
+                    "quick" => {
+                        opts.scale = Scale::Tiny;
+                        opts.injections = 16;
+                    }
+                    "default" => {
+                        opts.scale = Scale::Tiny;
+                        opts.injections = 100;
+                    }
+                    "paper" => {
+                        opts.scale = Scale::Full;
+                        opts.injections = 2000;
+                    }
+                    other => {
+                        eprintln!("unknown scale `{other}`");
+                        std::process::exit(1);
+                    }
+                },
+                "--injections" => opts.injections = next("--injections").parse().expect("number"),
+                "--seed" => opts.seed = next("--seed").parse().expect("number"),
+                "--threads" => opts.threads = next("--threads").parse().expect("number"),
+                "--results" => opts.results_dir = PathBuf::from(next("--results")),
+                "--fresh" => opts.fresh = true,
+                other => {
+                    eprintln!("unknown option `{other}`");
+                    std::process::exit(1);
+                }
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    fn cache_path(&self) -> PathBuf {
+        self.results_dir.join(format!(
+            "softerr-study-{}-n{}-s{}.json",
+            self.scale, self.injections, self.seed
+        ))
+    }
+}
+
+/// Loads the cached study or runs it.
+fn study(opts: &Options) -> StudyResults {
+    let path = opts.cache_path();
+    if !opts.fresh {
+        if let Ok(results) = StudyResults::load(&path) {
+            eprintln!("(using cached results from {})", path.display());
+            return results;
+        }
+    }
+    let config = StudyConfig {
+        scale: opts.scale,
+        injections: opts.injections,
+        seed: opts.seed,
+        threads: opts.threads,
+        ..StudyConfig::default()
+    };
+    eprintln!(
+        "running study: {} injections total (cache: {})",
+        config.total_injections(),
+        path.display()
+    );
+    let t0 = std::time::Instant::now();
+    let results = Study::new(config)
+        .run_with_progress(|msg| eprintln!("  {msg}"))
+        .expect("study failed");
+    eprintln!("study completed in {:.1}s", t0.elapsed().as_secs_f64());
+    std::fs::create_dir_all(&opts.results_dir).ok();
+    results.save(&path).expect("failed to cache results");
+    results
+}
+
+const MACHINE_SHORT: [(&str, &str); 2] =
+    [("Cortex-A15-like", "A15"), ("Cortex-A72-like", "A72")];
+
+fn short_name(machine: &str) -> &str {
+    MACHINE_SHORT
+        .iter()
+        .find(|(long, _)| *long == machine)
+        .map(|(_, s)| *s)
+        .unwrap_or(machine)
+}
+
+// ------------------------------------------------------------- Table I --
+
+fn table1() {
+    println!("== Table I: microprocessor configurations ==\n");
+    let mut t = Table::new(vec![
+        "parameter".into(),
+        "Cortex-A15-like".into(),
+        "Cortex-A72-like".into(),
+    ]);
+    let (a, b) = (MachineConfig::cortex_a15(), MachineConfig::cortex_a72());
+    let kb = |bytes: u64| format!("{} KB", bytes / 1024);
+    t.row(vec!["ISA profile".into(), a.profile.to_string(), b.profile.to_string()]);
+    t.row(vec![
+        "L1 D-cache".into(),
+        format!("{} ({}-way)", kb(a.l1d.size_bytes), a.l1d.ways),
+        format!("{} ({}-way)", kb(b.l1d.size_bytes), b.l1d.ways),
+    ]);
+    t.row(vec![
+        "L1 I-cache".into(),
+        format!("{} ({}-way)", kb(a.l1i.size_bytes), a.l1i.ways),
+        format!("{} ({}-way)", kb(b.l1i.size_bytes), b.l1i.ways),
+    ]);
+    t.row(vec![
+        "L2 cache".into(),
+        format!("{} ({}-way)", kb(a.l2.size_bytes), a.l2.ways),
+        format!("{} ({}-way)", kb(b.l2.size_bytes), b.l2.ways),
+    ]);
+    t.row(vec![
+        "physical registers".into(),
+        format!("{} x {}-bit", a.phys_regs, a.profile.xlen()),
+        format!("{} x {}-bit", b.phys_regs, b.profile.xlen()),
+    ]);
+    t.row(vec![
+        "issue queue".into(),
+        format!("{} entries", a.iq_entries),
+        format!("{} entries", b.iq_entries),
+    ]);
+    t.row(vec![
+        "LQ / SQ".into(),
+        format!("{} / {}", a.lq_entries, a.sq_entries),
+        format!("{} / {}", b.lq_entries, b.sq_entries),
+    ]);
+    t.row(vec![
+        "reorder buffer".into(),
+        format!("{} entries", a.rob_entries),
+        format!("{} entries", b.rob_entries),
+    ]);
+    t.row(vec![
+        "fetch/exec/writeback".into(),
+        format!("{}/{}/{}", a.fetch_width, a.issue_width, a.writeback_width),
+        format!("{}/{}/{}", b.fetch_width, b.issue_width, b.writeback_width),
+    ]);
+    t.row(vec![
+        "raw FIT/bit".into(),
+        format!("{:.2e}", a.raw_fit_per_bit),
+        format!("{:.2e}", b.raw_fit_per_bit),
+    ]);
+    println!("{t}");
+}
+
+// --------------------------------------------------------------- Fig 1 --
+
+fn fig1(opts: &Options) {
+    let results = study(opts);
+    println!("== Fig 1: relative performance among optimization levels ==");
+    println!("(speedup over O0, from fault-free cycle counts)\n");
+    for machine in results.machine_names() {
+        println!("-- {machine}");
+        let mut t = Table::new(vec![
+            "benchmark".into(),
+            "O0".into(),
+            "O1".into(),
+            "O2".into(),
+            "O3".into(),
+        ]);
+        for w in Workload::ALL {
+            let mut row = vec![w.name().to_string()];
+            for level in OptLevel::ALL {
+                row.push(format!("{:.2}", results.speedup_vs_o0(&machine, w, level)));
+            }
+            t.row(row);
+        }
+        println!("{t}");
+    }
+}
+
+// ---------------------------------------------------------- Figs 2 – 8 --
+
+fn avf_figure(opts: &Options, title: &str, structures: &[Structure]) {
+    let results = study(opts);
+    println!("== {title} ==");
+    println!("(per-benchmark AVF with the wAVF aggregate; fault-class split of wAVF below)\n");
+    for structure in structures {
+        for machine in results.machine_names() {
+            println!("-- {} — {} ({})", short_name(&machine), structure, structure.component());
+            let mut t = Table::new(vec![
+                "benchmark".into(),
+                "O0".into(),
+                "O1".into(),
+                "O2".into(),
+                "O3".into(),
+            ]);
+            for w in Workload::ALL {
+                let mut row = vec![w.name().to_string()];
+                for level in OptLevel::ALL {
+                    row.push(format!("{:.3}", results.avf(&machine, w, level, *structure)));
+                }
+                t.row(row);
+            }
+            let mut wavf_row = vec!["wAVF".to_string()];
+            for level in OptLevel::ALL {
+                wavf_row.push(format!(
+                    "{:.3}",
+                    results.weighted_avf(&machine, level, *structure)
+                ));
+            }
+            t.row(wavf_row);
+            println!("{t}");
+            // Fault-class split of the weighted AVF.
+            let mut ct = Table::new(vec![
+                "class".into(),
+                "O0".into(),
+                "O1".into(),
+                "O2".into(),
+                "O3".into(),
+            ]);
+            for class in [FaultClass::Sdc, FaultClass::Crash, FaultClass::Timeout, FaultClass::Assert] {
+                let mut row = vec![class.name().to_string()];
+                for level in OptLevel::ALL {
+                    row.push(format!(
+                        "{:.3}",
+                        results.weighted_fraction(&machine, level, *structure, class)
+                    ));
+                }
+                ct.row(row);
+            }
+            println!("{ct}");
+        }
+    }
+}
+
+// --------------------------------------------------------------- Fig 9 --
+
+fn fig9(opts: &Options) {
+    let results = study(opts);
+    println!("== Fig 9: weighted-AVF difference of O1/O2/O3 relative to O0 ==");
+    println!("(positive = optimized code is MORE vulnerable in that structure)\n");
+    for machine in results.machine_names() {
+        println!("-- {machine}");
+        let mut t = Table::new(vec![
+            "structure".into(),
+            "O1-O0".into(),
+            "O2-O0".into(),
+            "O3-O0".into(),
+        ]);
+        for structure in Structure::ALL {
+            let base = results.weighted_avf(&machine, OptLevel::O0, structure);
+            let mut row = vec![structure.name().to_string()];
+            for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+                let delta = results.weighted_avf(&machine, level, structure) - base;
+                row.push(format!("{delta:+.3}"));
+            }
+            t.row(row);
+        }
+        println!("{t}");
+    }
+}
+
+// -------------------------------------------------------------- Fig 10 --
+
+fn fig10(opts: &Options) {
+    let results = study(opts);
+    println!("== Fig 10: CPU FIT rates per benchmark, split by fault class ==");
+    println!("(failures per 10^9 device-hours, unprotected design)\n");
+    for machine in results.machine_names() {
+        println!("-- {machine}");
+        let mut t = Table::new(vec![
+            "benchmark/level".into(),
+            "SDC".into(),
+            "Crash".into(),
+            "Timeout".into(),
+            "Assert".into(),
+            "total".into(),
+        ]);
+        for w in Workload::ALL {
+            for level in OptLevel::ALL {
+                let split = results.cpu_fit_by_class(&machine, w, level, EccScheme::None);
+                let total: f64 = split.iter().map(|(_, f)| f).sum();
+                t.row(vec![
+                    format!("{}/{}", w.name(), level),
+                    format!("{:.2}", split[0].1),
+                    format!("{:.2}", split[1].1),
+                    format!("{:.2}", split[2].1),
+                    format!("{:.2}", split[3].1),
+                    format!("{total:.2}"),
+                ]);
+            }
+        }
+        println!("{t}");
+    }
+}
+
+// -------------------------------------------------------------- Fig 11 --
+
+fn fig11(opts: &Options) {
+    let results = study(opts);
+    println!("== Fig 11: failures per execution (FPE), normalized to O0 ==");
+    println!("(< 1 means the speedup pays back the added vulnerability)\n");
+    for machine in results.machine_names() {
+        println!("-- {machine}");
+        let mut t = Table::new(vec![
+            "benchmark".into(),
+            "O1/O0".into(),
+            "O2/O0".into(),
+            "O3/O0".into(),
+        ]);
+        for w in Workload::ALL {
+            let base = results.fpe(&machine, w, OptLevel::O0, EccScheme::None);
+            let mut row = vec![w.name().to_string()];
+            for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+                let v = results.fpe(&machine, w, level, EccScheme::None);
+                row.push(if base > 0.0 {
+                    format!("{:.2}", v / base)
+                } else {
+                    "n/a".to_string()
+                });
+            }
+            t.row(row);
+        }
+        println!("{t}");
+    }
+}
+
+// -------------------------------------------------------------- Fig 12 --
+
+fn fig12(opts: &Options) {
+    let results = study(opts);
+    println!("== Fig 12: CPU FIT per optimization level under ECC schemes ==");
+    println!("(weighted over all benchmarks; failures per 10^9 device-hours)\n");
+    for machine in results.machine_names() {
+        println!("-- {machine}");
+        let mut t = Table::new(vec![
+            "ECC scheme".into(),
+            "O0".into(),
+            "O1".into(),
+            "O2".into(),
+            "O3".into(),
+            "best level".into(),
+        ]);
+        for ecc in EccScheme::ALL {
+            let fits: Vec<f64> = OptLevel::ALL
+                .iter()
+                .map(|&l| results.aggregate_cpu_fit(&machine, l, ecc))
+                .collect();
+            let best = OptLevel::ALL
+                .iter()
+                .zip(&fits)
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(l, _)| l.to_string())
+                .unwrap_or_default();
+            t.row(vec![
+                ecc.to_string(),
+                format!("{:.3}", fits[0]),
+                format!("{:.3}", fits[1]),
+                format!("{:.3}", fits[2]),
+                format!("{:.3}", fits[3]),
+                best,
+            ]);
+        }
+        println!("{t}");
+    }
+}
+
+// ----------------------------------------------------------- ablations --
+
+fn ablation_opt(opts: &Options) {
+    use softerr::{CampaignConfig, Compiler, Injector};
+    println!("== Ablation: single-pass removals from O2 (the paper's future work) ==\n");
+    let machine = MachineConfig::cortex_a72();
+    let w = Workload::Gsm;
+    let source = w.source(opts.scale);
+    let passes = ["(full O2)", "cse", "licm", "schedule", "strength-reduce", "mem2reg"];
+    let mut t = Table::new(vec![
+        "O2 without".into(),
+        "cycles".into(),
+        "code words".into(),
+        "RF AVF".into(),
+    ]);
+    for pass in passes {
+        let cfg = if pass == "(full O2)" {
+            PassConfig::for_level(OptLevel::O2)
+        } else {
+            PassConfig::for_level(OptLevel::O2).without(pass)
+        };
+        let compiled = Compiler::with_passes(machine.profile, cfg)
+            .compile(&source)
+            .expect("compile");
+        let injector = Injector::new(&machine, &compiled.program).expect("golden");
+        let campaign = injector.campaign(
+            Structure::RegFile,
+            &CampaignConfig {
+                injections: opts.injections.max(50),
+                seed: opts.seed,
+                threads: opts.threads,
+            },
+        );
+        t.row(vec![
+            pass.to_string(),
+            injector.golden().cycles.to_string(),
+            compiled.stats.code_words.to_string(),
+            format!("{:.3}", campaign.avf()),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn mbu(opts: &Options) {
+    use softerr::{CampaignConfig, Compiler, Injector};
+    println!("== Extension: multi-bit upsets (adjacent-bit bursts, cf. IISWC'19 MBU study) ==\n");
+    let machine = MachineConfig::cortex_a72();
+    let w = Workload::Sha;
+    let compiled = Compiler::new(machine.profile, OptLevel::O2)
+        .compile(&w.source(opts.scale))
+        .expect("compile");
+    let injector = Injector::new(&machine, &compiled.program).expect("golden");
+    let mut t = Table::new(vec![
+        "structure".into(),
+        "1-bit AVF".into(),
+        "2-bit AVF".into(),
+        "4-bit AVF".into(),
+    ]);
+    for s in [
+        Structure::L1IData,
+        Structure::L1DData,
+        Structure::RegFile,
+        Structure::IqSrc,
+    ] {
+        let mut row = vec![s.name().to_string()];
+        for width in [1u8, 2, 4] {
+            let c = injector.campaign_burst(
+                s,
+                &CampaignConfig {
+                    injections: opts.injections.max(60),
+                    seed: opts.seed,
+                    threads: opts.threads,
+                },
+                width,
+            );
+            row.push(format!("{:.3}", c.avf()));
+        }
+        t.row(row);
+    }
+    println!("{t}");
+    println!("Wider bursts strictly contain the single-bit flip at the same");
+    println!("site, so AVF grows monotonically with burst width.");
+}
+
+fn ablation_size(opts: &Options) {
+    use softerr::{CampaignConfig, Compiler, Injector};
+    println!("== Ablation: ROB size sweep (A72-like, gsm at O2) ==\n");
+    let w = Workload::Gsm;
+    let mut t = Table::new(vec![
+        "ROB entries".into(),
+        "cycles".into(),
+        "ROB-PC AVF".into(),
+    ]);
+    for rob in [32usize, 64, 128, 192] {
+        let mut machine = MachineConfig::cortex_a72();
+        machine.rob_entries = rob;
+        machine.name = format!("A72-rob{rob}");
+        let compiled = Compiler::new(machine.profile, OptLevel::O2)
+            .compile(&w.source(opts.scale))
+            .expect("compile");
+        let injector = Injector::new(&machine, &compiled.program).expect("golden");
+        let campaign = injector.campaign(
+            Structure::RobPc,
+            &CampaignConfig {
+                injections: opts.injections.max(50),
+                seed: opts.seed,
+                threads: opts.threads,
+            },
+        );
+        t.row(vec![
+            rob.to_string(),
+            injector.golden().cycles.to_string(),
+            format!("{:.3}", campaign.avf()),
+        ]);
+    }
+    println!("{t}");
+    println!("A smaller ROB runs fuller, so a larger fraction of its bits is");
+    println!("architecturally live at any instant — per-bit AVF falls as the");
+    println!("structure grows, one of the capacity effects behind the paper's");
+    println!("A15-vs-A72 contrasts.");
+}

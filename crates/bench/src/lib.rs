@@ -1,0 +1,14 @@
+//! # softerr-bench
+//!
+//! Benchmark and reproduction harness for the softerr study. This crate
+//! ships no library API — its value is in its binaries and benches:
+//!
+//! * **`repro`** — regenerates every table and figure of the paper
+//!   (`repro all --scale quick|default|paper`), plus the ablation and
+//!   multi-bit-upset extensions. Results are cached as JSON.
+//! * **`campaign`** — runs a single fault-injection campaign with explicit
+//!   parameters (machine, workload, level, structure, sample size).
+//! * **Criterion benches** — `sim_throughput` (simulated cycles/s),
+//!   `compile_speed` (pass-pipeline cost per level), and
+//!   `injection_throughput` (end-to-end injections/s).
+#![warn(missing_docs)]

@@ -1,0 +1,270 @@
+//! Abstract syntax tree for MiniC.
+//!
+//! MiniC is the C subset the study's workloads are written in:
+//!
+//! * scalar types `int` (word-sized signed, wrapping) and `u32`
+//!   (32-bit unsigned with truncating semantics on 64-bit targets),
+//! * pointers and one-dimensional arrays of scalars (global or local),
+//! * functions, `if`/`else`, `while`, `for`, `break`, `continue`, `return`,
+//! * the `out(expr);` builtin that appends a value to the program output.
+
+use crate::error::Loc;
+
+/// Scalar element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scalar {
+    /// Word-sized signed integer (32-bit on A32, 64-bit on A64), wrapping.
+    Int,
+    /// Unsigned 32-bit integer; arithmetic truncates to 32 bits.
+    U32,
+}
+
+/// Value type of an expression or variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// A scalar value.
+    Scalar(Scalar),
+    /// A pointer to a scalar.
+    Ptr(Scalar),
+}
+
+impl Type {
+    /// The `int` type.
+    pub const INT: Type = Type::Scalar(Scalar::Int);
+    /// The `u32` type.
+    pub const U32: Type = Type::Scalar(Scalar::U32);
+}
+
+/// Unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical not `!e` (yields 0 or 1).
+    Not,
+    /// Bitwise not `~e`.
+    BitNot,
+    /// Pointer dereference `*e`.
+    Deref,
+    /// Address-of `&lvalue`.
+    AddrOf,
+}
+
+/// Binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic on `int`, logical on `u32`)
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+impl BinOp {
+    /// Whether the operator is a comparison producing 0/1.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64, Loc),
+    /// Variable reference.
+    Var(String, Loc),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Location.
+        loc: Loc,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Location.
+        loc: Loc,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Location.
+        loc: Loc,
+    },
+    /// Array or pointer indexing `base[index]`.
+    Index {
+        /// Indexed expression (array variable or pointer).
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Location.
+        loc: Loc,
+    },
+}
+
+impl Expr {
+    /// The source location of the expression.
+    pub fn loc(&self) -> Loc {
+        match self {
+            Expr::Num(_, loc) | Expr::Var(_, loc) => *loc,
+            Expr::Unary { loc, .. }
+            | Expr::Binary { loc, .. }
+            | Expr::Call { loc, .. }
+            | Expr::Index { loc, .. } => *loc,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local variable or array declaration.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Element type (for arrays, the element scalar as a `Scalar` type).
+        ty: Type,
+        /// Array length if this is an array declaration.
+        len: Option<usize>,
+        /// Optional scalar initializer.
+        init: Option<Expr>,
+        /// Location.
+        loc: Loc,
+    },
+    /// Assignment to an lvalue.
+    Assign {
+        /// Target lvalue (variable, deref, or index expression).
+        target: Expr,
+        /// Value.
+        value: Expr,
+        /// Location.
+        loc: Loc,
+    },
+    /// Conditional.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Vec<Stmt>,
+        /// Else branch.
+        else_blk: Vec<Stmt>,
+    },
+    /// While loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// For loop (desugared at lowering).
+    For {
+        /// Init statement.
+        init: Option<Box<Stmt>>,
+        /// Condition (empty means `true`).
+        cond: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Return.
+    Return {
+        /// Returned value for non-void functions.
+        value: Option<Expr>,
+        /// Location.
+        loc: Loc,
+    },
+    /// Break out of the innermost loop.
+    Break(Loc),
+    /// Continue the innermost loop.
+    Continue(Loc),
+    /// Expression evaluated for side effects (function call).
+    ExprStmt(Expr),
+    /// `out(expr);` builtin.
+    Out(Expr, Loc),
+}
+
+/// A global variable or array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// Element scalar type.
+    pub scalar: Scalar,
+    /// Array length; `None` for scalars.
+    pub len: Option<usize>,
+    /// Initializer values (empty means zero-initialized).
+    pub init: Vec<i64>,
+    /// Location.
+    pub loc: Loc,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Name.
+    pub name: String,
+    /// Return type; `None` for `void`.
+    pub ret: Option<Type>,
+    /// Parameters.
+    pub params: Vec<(String, Type)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Location.
+    pub loc: Loc,
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Global variables in declaration order.
+    pub globals: Vec<Global>,
+    /// Function definitions.
+    pub funcs: Vec<Func>,
+}

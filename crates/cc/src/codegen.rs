@@ -1,0 +1,876 @@
+//! IR → machine-code generation.
+//!
+//! One pass per function: linear-scan allocation ([`crate::regalloc`]),
+//! frame layout, then instruction selection with label fixups for branches
+//! and calls. `main` is placed first and its returns become `halt`.
+
+use crate::error::{CompileError, Loc};
+use crate::ir::*;
+use crate::regalloc::{allocate, scratch0, scratch1, Allocation, Loc as RLoc};
+use softerr_isa::{
+    AluOp, BranchCond, Instr, MemWidth, Profile, Program, Reg, CODE_BASE, DATA_BASE,
+    DEFAULT_MEM_SIZE,
+};
+use std::collections::HashMap;
+
+/// Per-function code-generation statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncStats {
+    /// Function name.
+    pub name: String,
+    /// Emitted machine instructions.
+    pub code_words: usize,
+    /// Spill slots allocated.
+    pub spills: usize,
+    /// Frame size in bytes.
+    pub frame_bytes: u64,
+}
+
+/// Generates a loadable [`Program`] from lowered (and optionally optimized)
+/// IR.
+///
+/// # Errors
+///
+/// Returns an error if a function exceeds structural limits (branch ranges,
+/// code segment size); realistic workloads never hit these.
+pub fn generate(ir: &IrModule, profile: Profile) -> Result<(Program, Vec<FuncStats>), CompileError> {
+    let mut order: Vec<usize> = (0..ir.funcs.len()).collect();
+    // main first: it is the entry point.
+    order.sort_by_key(|&i| (ir.funcs[i].name != "main", i));
+
+    let mut code: Vec<Instr> = Vec::new();
+    let mut func_addr: HashMap<String, usize> = HashMap::new();
+    let mut call_fixups: Vec<(usize, String)> = Vec::new();
+    let mut stats = Vec::new();
+
+    for &fi in &order {
+        let f = &ir.funcs[fi];
+        let start = code.len();
+        func_addr.insert(f.name.clone(), start);
+        let mut gen = FuncGen::new(f, ir, profile);
+        gen.run()?;
+        for (at, callee) in gen.call_fixups {
+            call_fixups.push((start + at, callee));
+        }
+        stats.push(FuncStats {
+            name: f.name.clone(),
+            code_words: gen.code.len(),
+            spills: gen.alloc.spill_slots,
+            frame_bytes: gen.frame_size,
+        });
+        code.extend(gen.code);
+    }
+
+    for (at, callee) in call_fixups {
+        let target = *func_addr
+            .get(&callee)
+            .unwrap_or_else(|| panic!("call to unknown function `{callee}`"));
+        let offset = target as i64 - at as i64;
+        if !(-262144..262144).contains(&offset) {
+            return Err(CompileError::new(
+                Loc::default(),
+                format!("call to `{callee}` out of jump range"),
+            ));
+        }
+        let Instr::Jal { rd, .. } = code[at] else {
+            panic!("call fixup does not point at a jal");
+        };
+        code[at] = Instr::Jal {
+            rd,
+            offset: offset as i32,
+        };
+    }
+
+    if (code.len() * 4) as u64 > DATA_BASE - CODE_BASE {
+        return Err(CompileError::new(
+            Loc::default(),
+            format!("code segment too large: {} instructions", code.len()),
+        ));
+    }
+
+    // Build the data segment.
+    let mut data = vec![0u8; ir.data_size as usize];
+    for g in &ir.globals {
+        for (i, &v) in g.init.iter().enumerate() {
+            let off = (g.offset + i as u64 * g.elem_bytes) as usize;
+            let bytes = v.to_le_bytes();
+            data[off..off + g.elem_bytes as usize]
+                .copy_from_slice(&bytes[..g.elem_bytes as usize]);
+        }
+    }
+
+    let program = Program {
+        profile,
+        code: code.into_iter().map(softerr_isa::encode).collect(),
+        data,
+        entry: CODE_BASE,
+        mem_size: DEFAULT_MEM_SIZE,
+    };
+    Ok((program, stats))
+}
+
+/// Pending branch/jump fixup kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Fixup {
+    /// Branch to an IR block.
+    Block(BlockId),
+    /// Jump to the function epilogue.
+    Epilogue,
+}
+
+struct FuncGen<'a> {
+    f: &'a IrFunc,
+    ir: &'a IrModule,
+    profile: Profile,
+    alloc: Allocation,
+    code: Vec<Instr>,
+    fixups: Vec<(usize, Fixup)>,
+    call_fixups: Vec<(usize, String)>,
+    block_addr: Vec<Option<usize>>,
+    slot_off: Vec<u64>,
+    spill_base: u64,
+    save_base: u64,
+    ra_off: u64,
+    frame_size: u64,
+    is_main: bool,
+    makes_calls: bool,
+}
+
+impl<'a> FuncGen<'a> {
+    fn new(f: &'a IrFunc, ir: &'a IrModule, profile: Profile) -> FuncGen<'a> {
+        let alloc = allocate(f, profile);
+        let word = profile.word_bytes();
+
+        // Frame layout: [slots][spills][saved callee regs][ra], 16-aligned.
+        let mut off = 0u64;
+        let mut slot_off = Vec::with_capacity(f.slots.len());
+        for s in &f.slots {
+            off = off.next_multiple_of(8);
+            slot_off.push(off);
+            off += s.size.max(word);
+        }
+        off = off.next_multiple_of(8);
+        let spill_base = off;
+        off += alloc.spill_slots as u64 * 8;
+        let save_base = off;
+        off += alloc.used_callee.len() as u64 * word;
+        let ra_off = off;
+        off += word;
+        let frame_size = off.next_multiple_of(16);
+
+        let makes_calls = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Call { .. }));
+
+        FuncGen {
+            is_main: f.name == "main",
+            block_addr: vec![None; f.blocks.len()],
+            f,
+            ir,
+            profile,
+            alloc,
+            code: Vec::new(),
+            fixups: Vec::new(),
+            call_fixups: Vec::new(),
+            slot_off,
+            spill_base,
+            save_base,
+            ra_off,
+            frame_size,
+            makes_calls,
+        }
+    }
+
+    fn word_width(&self) -> MemWidth {
+        match self.profile {
+            Profile::A32 => MemWidth::W,
+            Profile::A64 => MemWidth::D,
+        }
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.code.push(i);
+    }
+
+    /// Emits an arbitrary constant into `rd` using 13-bit chunk
+    /// materialization (1 instruction for small values, up to 9 for a full
+    /// 64-bit constant).
+    fn emit_const(&mut self, rd: Reg, v: i64) {
+        if (-8192..8192).contains(&v) {
+            self.emit(Instr::AluImm {
+                op: AluOp::Add,
+                rd,
+                rs1: Reg::ZERO,
+                imm: v as i32,
+            });
+            return;
+        }
+        let mut n = 1;
+        while !(-8192..8192).contains(&(v >> (13 * (n - 1)))) {
+            n += 1;
+        }
+        self.emit(Instr::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1: Reg::ZERO,
+            imm: (v >> (13 * (n - 1))) as i32,
+        });
+        for k in (0..n - 1).rev() {
+            self.emit(Instr::AluImm {
+                op: AluOp::Sll,
+                rd,
+                rs1: rd,
+                imm: 13,
+            });
+            let chunk = ((v >> (13 * k)) & 0x1FFF) as i32;
+            if chunk != 0 {
+                self.emit(Instr::AluImm {
+                    op: AluOp::Or,
+                    rd,
+                    rs1: rd,
+                    imm: chunk,
+                });
+            }
+        }
+    }
+
+    fn move_reg(&mut self, rd: Reg, rs: Reg) {
+        if rd != rs {
+            self.emit(Instr::AluImm {
+                op: AluOp::Add,
+                rd,
+                rs1: rs,
+                imm: 0,
+            });
+        }
+    }
+
+    /// Emits a load/store with an offset that may exceed the immediate range.
+    fn mem_op(&mut self, load: Option<(Reg, bool)>, store: Option<Reg>, width: MemWidth, base: Reg, off: i64) {
+        let (base, off) = if (-8192..8192).contains(&off) {
+            (base, off as i32)
+        } else {
+            // Pick a scratch register that clobbers neither the base nor a
+            // stored value. A stored value only ever sits in scratch1 while
+            // the base is SP (slot accesses), so one of the two scratches is
+            // always free.
+            let tmp = if store == Some(scratch1()) || base == scratch1() {
+                scratch0()
+            } else {
+                scratch1()
+            };
+            assert!(base != tmp && store != Some(tmp), "scratch conflict in mem_op");
+            self.emit_const(tmp, off);
+            self.emit(Instr::Alu {
+                op: AluOp::Add,
+                rd: tmp,
+                rs1: base,
+                rs2: tmp,
+            });
+            (tmp, 0)
+        };
+        if let Some((rd, signed)) = load {
+            self.emit(Instr::Load {
+                width,
+                signed,
+                rd,
+                base,
+                offset: off,
+            });
+        }
+        if let Some(src) = store {
+            self.emit(Instr::Store {
+                width,
+                src,
+                base,
+                offset: off,
+            });
+        }
+    }
+
+    fn spill_addr(&self, idx: usize) -> i64 {
+        (self.spill_base + idx as u64 * 8) as i64
+    }
+
+    /// Materializes the value of a vreg into a register (its home register,
+    /// or `scratch` after a reload when spilled).
+    fn read_vreg(&mut self, v: VReg, scratch: Reg) -> Reg {
+        match self.alloc.locs.get(&v) {
+            Some(RLoc::R(r)) => *r,
+            Some(RLoc::Spill(idx)) => {
+                let off = self.spill_addr(*idx);
+                let w = self.word_width();
+                self.mem_op(Some((scratch, true)), None, w, Reg::SP, off);
+                scratch
+            }
+            // A vreg with no location is never used; reading it is a dead
+            // path kept only for IR regularity.
+            None => Reg::ZERO,
+        }
+    }
+
+    /// Materializes an operand into a register.
+    fn read_operand(&mut self, op: Operand, scratch: Reg) -> Reg {
+        match op {
+            Operand::V(v) => self.read_vreg(v, scratch),
+            Operand::C(0) => Reg::ZERO,
+            Operand::C(c) => {
+                self.emit_const(scratch, c);
+                scratch
+            }
+        }
+    }
+
+    /// Register to compute a def into (home register or scratch).
+    fn def_reg(&mut self, v: VReg) -> Reg {
+        match self.alloc.locs.get(&v) {
+            Some(RLoc::R(r)) => *r,
+            _ => scratch0(),
+        }
+    }
+
+    /// Completes a def: stores scratch back to the spill slot if needed.
+    fn finish_def(&mut self, v: VReg, computed_in: Reg) {
+        if let Some(RLoc::Spill(idx)) = self.alloc.locs.get(&v).copied() {
+            let off = self.spill_addr(idx);
+            let w = self.word_width();
+            self.mem_op(None, Some(computed_in), w, Reg::SP, off);
+        }
+    }
+
+    fn run(&mut self) -> Result<(), CompileError> {
+        self.prologue();
+        for id in 0..self.f.blocks.len() {
+            self.block_addr[id] = Some(self.code.len());
+            let block = &self.f.blocks[id];
+            for ii in 0..block.insts.len() {
+                let inst = self.f.blocks[id].insts[ii].clone();
+                self.gen_inst(&inst);
+            }
+            let term = self.f.blocks[id].term.clone();
+            self.gen_term(&term, id);
+        }
+        self.epilogue();
+        self.patch_fixups()?;
+        Ok(())
+    }
+
+    fn prologue(&mut self) {
+        let frame = self.frame_size as i64;
+        if frame > 0 {
+            if (-8192..8192).contains(&(-frame)) {
+                self.emit(Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg::SP,
+                    rs1: Reg::SP,
+                    imm: -frame as i32,
+                });
+            } else {
+                self.emit_const(scratch0(), frame);
+                self.emit(Instr::Alu {
+                    op: AluOp::Sub,
+                    rd: Reg::SP,
+                    rs1: Reg::SP,
+                    rs2: scratch0(),
+                });
+            }
+        }
+        let w = self.word_width();
+        if self.makes_calls {
+            self.mem_op(None, Some(Reg::RA), w, Reg::SP, self.ra_off as i64);
+        }
+        let word = self.profile.word_bytes();
+        for (k, r) in self.alloc.used_callee.clone().into_iter().enumerate() {
+            let off = (self.save_base + k as u64 * word) as i64;
+            self.mem_op(None, Some(r), w, Reg::SP, off);
+        }
+        // Move incoming arguments to their allocated homes.
+        let args = self.profile.arg_regs();
+        for (i, (v, _)) in self.f.params.clone().into_iter().enumerate() {
+            let src = args[i];
+            match self.alloc.locs.get(&v).copied() {
+                Some(RLoc::R(r)) => self.move_reg(r, src),
+                Some(RLoc::Spill(idx)) => {
+                    let off = self.spill_addr(idx);
+                    self.mem_op(None, Some(src), w, Reg::SP, off);
+                }
+                None => {}
+            }
+        }
+    }
+
+    fn epilogue(&mut self) {
+        let at = self.code.len();
+        // Resolve epilogue fixups to here.
+        for (idx, fix) in std::mem::take(&mut self.fixups) {
+            if fix == Fixup::Epilogue {
+                self.patch_jump(idx, at);
+            } else {
+                self.fixups.push((idx, fix));
+            }
+        }
+        if self.is_main {
+            self.emit(Instr::Halt);
+            return;
+        }
+        let w = self.word_width();
+        let word = self.profile.word_bytes();
+        for (k, r) in self.alloc.used_callee.clone().into_iter().enumerate() {
+            let off = (self.save_base + k as u64 * word) as i64;
+            self.mem_op(Some((r, true)), None, w, Reg::SP, off);
+        }
+        if self.makes_calls {
+            self.mem_op(Some((Reg::RA, true)), None, w, Reg::SP, self.ra_off as i64);
+        }
+        let frame = self.frame_size as i64;
+        if frame > 0 {
+            if (-8192..8192).contains(&frame) {
+                self.emit(Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg::SP,
+                    rs1: Reg::SP,
+                    imm: frame as i32,
+                });
+            } else {
+                self.emit_const(scratch0(), frame);
+                self.emit(Instr::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::SP,
+                    rs1: Reg::SP,
+                    rs2: scratch0(),
+                });
+            }
+        }
+        self.emit(Instr::Jalr {
+            rd: Reg::ZERO,
+            base: Reg::RA,
+            offset: 0,
+        });
+    }
+
+    fn patch_jump(&mut self, at: usize, target: usize) {
+        let offset = target as i64 - at as i64;
+        match self.code[at] {
+            Instr::Jal { rd, .. } => {
+                assert!(
+                    (-262144..262144).contains(&offset),
+                    "jump offset out of range"
+                );
+                self.code[at] = Instr::Jal {
+                    rd,
+                    offset: offset as i32,
+                };
+            }
+            Instr::Branch { cond, rs1, rs2, .. } => {
+                assert!(
+                    (-8192..8192).contains(&offset),
+                    "branch offset out of range; function too large"
+                );
+                self.code[at] = Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    offset: offset as i32,
+                };
+            }
+            other => panic!("fixup points at non-jump {other:?}"),
+        }
+    }
+
+    fn patch_fixups(&mut self) -> Result<(), CompileError> {
+        for (at, fix) in std::mem::take(&mut self.fixups) {
+            match fix {
+                Fixup::Block(b) => {
+                    let target = self.block_addr[b].expect("block not emitted");
+                    self.patch_jump(at, target);
+                }
+                Fixup::Epilogue => unreachable!("resolved in epilogue()"),
+            }
+        }
+        Ok(())
+    }
+
+    fn jump_to_block(&mut self, b: BlockId) {
+        self.fixups.push((self.code.len(), Fixup::Block(b)));
+        self.emit(Instr::Jal {
+            rd: Reg::ZERO,
+            offset: 0,
+        });
+    }
+
+    /// Truncates a register to 32 bits (A64 only; no-op width on A32).
+    fn mask_u32(&mut self, r: Reg) {
+        if self.profile == Profile::A64 {
+            self.emit(Instr::AluImm {
+                op: AluOp::Sll,
+                rd: r,
+                rs1: r,
+                imm: 32,
+            });
+            self.emit(Instr::AluImm {
+                op: AluOp::Srl,
+                rd: r,
+                rs1: r,
+                imm: 32,
+            });
+        }
+    }
+
+    fn gen_inst(&mut self, inst: &Inst) {
+        match inst {
+            Inst::Bin { op, w, dst, a, b } => self.gen_bin(*op, *w, *dst, *a, *b),
+            Inst::Cmp { cond, dst, a, b } => self.gen_cmp(*cond, *dst, *a, *b),
+            Inst::Copy { dst, src } => {
+                let rd = self.def_reg(*dst);
+                match src {
+                    Operand::C(c) => self.emit_const(rd, *c),
+                    Operand::V(v) => {
+                        let rs = self.read_vreg(*v, rd);
+                        self.move_reg(rd, rs);
+                    }
+                }
+                self.finish_def(*dst, rd);
+            }
+            Inst::Load { w, dst, addr, off } => {
+                let base = self.read_operand(*addr, scratch0());
+                let rd = self.def_reg(*dst);
+                let (width, signed) = self.load_kind(*w);
+                self.mem_op(Some((rd, signed)), None, width, base, *off);
+                self.finish_def(*dst, rd);
+            }
+            Inst::Store { w, src, addr, off } => {
+                let base = self.read_operand(*addr, scratch0());
+                let val = self.read_operand(*src, scratch1());
+                let (width, _) = self.load_kind(*w);
+                self.mem_op(None, Some(val), width, base, *off);
+            }
+            Inst::SlotAddr { dst, slot } => {
+                let rd = self.def_reg(*dst);
+                let off = self.slot_off[*slot] as i64;
+                if (-8192..8192).contains(&off) {
+                    self.emit(Instr::AluImm {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: Reg::SP,
+                        imm: off as i32,
+                    });
+                } else {
+                    self.emit_const(rd, off);
+                    self.emit(Instr::Alu {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: Reg::SP,
+                        rs2: rd,
+                    });
+                }
+                self.finish_def(*dst, rd);
+            }
+            Inst::GlobalAddr { dst, name } => {
+                let g = self
+                    .ir
+                    .globals
+                    .iter()
+                    .find(|g| &g.name == name)
+                    .unwrap_or_else(|| panic!("unknown global `{name}`"));
+                let rd = self.def_reg(*dst);
+                self.emit_const(rd, (DATA_BASE + g.offset) as i64);
+                self.finish_def(*dst, rd);
+            }
+            Inst::LoadSlot { w, dst, slot } => {
+                let rd = self.def_reg(*dst);
+                let (width, signed) = self.load_kind(*w);
+                let off = self.slot_off[*slot] as i64;
+                self.mem_op(Some((rd, signed)), None, width, Reg::SP, off);
+                self.finish_def(*dst, rd);
+            }
+            Inst::StoreSlot { w, slot, src } => {
+                let val = self.read_operand(*src, scratch1());
+                let (width, _) = self.load_kind(*w);
+                let off = self.slot_off[*slot] as i64;
+                self.mem_op(None, Some(val), width, Reg::SP, off);
+            }
+            Inst::Call { dst, callee, args } => {
+                let arg_regs = self.profile.arg_regs();
+                for (i, a) in args.iter().enumerate() {
+                    let target = arg_regs[i];
+                    match a {
+                        Operand::C(c) => self.emit_const(target, *c),
+                        Operand::V(v) => {
+                            let rs = self.read_vreg(*v, target);
+                            self.move_reg(target, rs);
+                        }
+                    }
+                }
+                self.call_fixups.push((self.code.len(), callee.clone()));
+                self.emit(Instr::Jal {
+                    rd: Reg::RA,
+                    offset: 0,
+                });
+                if let Some(d) = dst {
+                    let rd = self.def_reg(*d);
+                    self.move_reg(rd, Reg::A0);
+                    self.finish_def(*d, rd);
+                }
+            }
+            Inst::Out { src } => {
+                let rs = self.read_operand(*src, scratch0());
+                self.emit(Instr::Out { rs1: rs });
+            }
+        }
+    }
+
+    fn load_kind(&self, w: Width) -> (MemWidth, bool) {
+        match w {
+            Width::U32 => (MemWidth::W, false),
+            Width::Word => (self.word_width(), true),
+        }
+    }
+
+    fn gen_bin(&mut self, op: BinOp, w: Width, dst: VReg, a: Operand, b: Operand) {
+        // int → u32 masks lowered as `x & 0xFFFF_FFFF` compile to the 2-shift
+        // idiom instead of a 5-instruction constant.
+        if op == BinOp::And && b == Operand::C(0xFFFF_FFFF) {
+            let ra = self.read_operand(a, scratch0());
+            let rd = self.def_reg(dst);
+            self.move_reg(rd, ra);
+            self.mask_u32(rd);
+            self.finish_def(dst, rd);
+            return;
+        }
+        // Truncate constants in u32 operations so the zero-extension
+        // invariant holds.
+        let trunc = |o: Operand| match (w, o) {
+            (Width::U32, Operand::C(c)) => Operand::C(c as u32 as i64),
+            _ => o,
+        };
+        let a = trunc(a);
+        let b = trunc(b);
+
+        let (alu, commutes, imm_ok) = match op {
+            BinOp::Add => (AluOp::Add, true, true),
+            BinOp::Sub => (AluOp::Sub, false, false),
+            BinOp::Mul => (AluOp::Mul, true, false),
+            BinOp::Div { signed } => (if signed { AluOp::Div } else { AluOp::Divu }, false, false),
+            BinOp::Rem { signed } => (if signed { AluOp::Rem } else { AluOp::Remu }, false, false),
+            BinOp::And => (AluOp::And, true, true),
+            BinOp::Or => (AluOp::Or, true, true),
+            BinOp::Xor => (AluOp::Xor, true, true),
+            BinOp::Shl => (AluOp::Sll, false, true),
+            BinOp::Shr { arith } => (if arith { AluOp::Sra } else { AluOp::Srl }, false, true),
+        };
+
+        let rd = self.def_reg(dst);
+        // a - const → addi with negated immediate.
+        if op == BinOp::Sub {
+            if let Operand::C(c) = b {
+                if (-8191..=8192).contains(&c) {
+                    let ra = self.read_operand(a, scratch0());
+                    self.emit(Instr::AluImm {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: ra,
+                        imm: -c as i32,
+                    });
+                    self.maybe_mask(w, op, rd);
+                    self.finish_def(dst, rd);
+                    return;
+                }
+            }
+        }
+        let (a, b) = if commutes && a.as_const().is_some() && b.as_const().is_none() {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        match b {
+            Operand::C(c) if imm_ok && (-8192..8192).contains(&c) => {
+                let ra = self.read_operand(a, scratch0());
+                self.emit(Instr::AluImm {
+                    op: alu,
+                    rd,
+                    rs1: ra,
+                    imm: c as i32,
+                });
+            }
+            _ => {
+                let ra = self.read_operand(a, scratch0());
+                let rb = self.read_operand(b, scratch1());
+                self.emit(Instr::Alu {
+                    op: alu,
+                    rd,
+                    rs1: ra,
+                    rs2: rb,
+                });
+            }
+        }
+        self.maybe_mask(w, op, rd);
+        self.finish_def(dst, rd);
+    }
+
+    /// Re-establishes the u32 zero-extension invariant after operations that
+    /// can carry into bit 32 (A64 only).
+    fn maybe_mask(&mut self, w: Width, op: BinOp, rd: Reg) {
+        if w == Width::U32
+            && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Shl)
+        {
+            self.mask_u32(rd);
+        }
+    }
+
+    fn gen_cmp(&mut self, cond: Cond, dst: VReg, a: Operand, b: Operand) {
+        let rd = self.def_reg(dst);
+        // Normalize Gt/Le (and unsigned forms) to Lt by swapping operands.
+        let (cond, a, b) = match cond {
+            Cond::Gt => (Cond::Lt, b, a),
+            Cond::Le => (Cond::Ge, b, a),
+            Cond::Gtu => (Cond::Ltu, b, a),
+            Cond::Leu => (Cond::Geu, b, a),
+            c => (c, a, b),
+        };
+        match cond {
+            Cond::Lt | Cond::Ltu => {
+                let slt = if cond == Cond::Lt { AluOp::Slt } else { AluOp::Sltu };
+                match b {
+                    Operand::C(c) if (-8192..8192).contains(&c) => {
+                        let ra = self.read_operand(a, scratch0());
+                        self.emit(Instr::AluImm {
+                            op: slt,
+                            rd,
+                            rs1: ra,
+                            imm: c as i32,
+                        });
+                    }
+                    _ => {
+                        let ra = self.read_operand(a, scratch0());
+                        let rb = self.read_operand(b, scratch1());
+                        self.emit(Instr::Alu {
+                            op: slt,
+                            rd,
+                            rs1: ra,
+                            rs2: rb,
+                        });
+                    }
+                }
+            }
+            Cond::Ge | Cond::Geu => {
+                // a >= b  ⇔  !(a < b)
+                self.gen_cmp(
+                    if cond == Cond::Ge { Cond::Lt } else { Cond::Ltu },
+                    dst,
+                    a,
+                    b,
+                );
+                let rd2 = self.def_reg(dst);
+                let rs = self.read_vreg(dst, rd2);
+                self.emit(Instr::AluImm {
+                    op: AluOp::Xor,
+                    rd: rd2,
+                    rs1: rs,
+                    imm: 1,
+                });
+            }
+            Cond::Eq | Cond::Ne => {
+                let ra = self.read_operand(a, scratch0());
+                let diff = match b {
+                    Operand::C(0) => ra,
+                    Operand::C(c) if (-8191..=8192).contains(&c) => {
+                        self.emit(Instr::AluImm {
+                            op: AluOp::Add,
+                            rd,
+                            rs1: ra,
+                            imm: -(c as i32),
+                        });
+                        rd
+                    }
+                    _ => {
+                        let rb = self.read_operand(b, scratch1());
+                        self.emit(Instr::Alu {
+                            op: AluOp::Xor,
+                            rd,
+                            rs1: ra,
+                            rs2: rb,
+                        });
+                        rd
+                    }
+                };
+                if cond == Cond::Eq {
+                    // diff == 0  ⇔  diff <u 1
+                    self.emit(Instr::AluImm {
+                        op: AluOp::Sltu,
+                        rd,
+                        rs1: diff,
+                        imm: 1,
+                    });
+                } else {
+                    // diff != 0  ⇔  0 <u diff
+                    self.emit(Instr::Alu {
+                        op: AluOp::Sltu,
+                        rd,
+                        rs1: Reg::ZERO,
+                        rs2: diff,
+                    });
+                }
+            }
+            Cond::Gt | Cond::Le | Cond::Gtu | Cond::Leu => unreachable!("normalized above"),
+        }
+        self.finish_def(dst, rd);
+    }
+
+    fn gen_term(&mut self, term: &Term, cur_block: BlockId) {
+        match term {
+            Term::Ret(op) => {
+                if let Some(op) = op {
+                    match op {
+                        Operand::C(c) => self.emit_const(Reg::A0, *c),
+                        Operand::V(v) => {
+                            let rs = self.read_vreg(*v, Reg::A0);
+                            self.move_reg(Reg::A0, rs);
+                        }
+                    }
+                }
+                self.fixups.push((self.code.len(), Fixup::Epilogue));
+                self.emit(Instr::Jal {
+                    rd: Reg::ZERO,
+                    offset: 0,
+                });
+            }
+            Term::Jmp(b) => {
+                // Blocks are emitted in index order, so a jump to the next
+                // block is a fallthrough.
+                if *b != cur_block + 1 {
+                    self.jump_to_block(*b);
+                }
+            }
+            Term::CondBr { cond, a, b, t, f } => {
+                // Map to a native branch condition, swapping operands for
+                // Gt/Le forms.
+                let (bc, a, b) = match cond {
+                    Cond::Eq => (BranchCond::Eq, *a, *b),
+                    Cond::Ne => (BranchCond::Ne, *a, *b),
+                    Cond::Lt => (BranchCond::Lt, *a, *b),
+                    Cond::Ge => (BranchCond::Ge, *a, *b),
+                    Cond::Ltu => (BranchCond::Ltu, *a, *b),
+                    Cond::Geu => (BranchCond::Geu, *a, *b),
+                    Cond::Gt => (BranchCond::Lt, *b, *a),
+                    Cond::Le => (BranchCond::Ge, *b, *a),
+                    Cond::Gtu => (BranchCond::Ltu, *b, *a),
+                    Cond::Leu => (BranchCond::Geu, *b, *a),
+                };
+                let ra = self.read_operand(a, scratch0());
+                let rb = self.read_operand(b, scratch1());
+                self.fixups.push((self.code.len(), Fixup::Block(*t)));
+                self.emit(Instr::Branch {
+                    cond: bc,
+                    rs1: ra,
+                    rs2: rb,
+                    offset: 0,
+                });
+                if *f != cur_block + 1 {
+                    self.jump_to_block(*f);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Compiler diagnostics.
+
+use std::fmt;
+
+/// Source location (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Loc {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A compilation error with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Location the error was detected at.
+    pub loc: Loc,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl CompileError {
+    /// Creates an error at `loc`.
+    pub fn new(loc: Loc, msg: impl Into<String>) -> CompileError {
+        CompileError {
+            loc,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.loc, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}

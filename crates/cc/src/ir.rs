@@ -1,0 +1,628 @@
+//! Three-address intermediate representation.
+//!
+//! The IR is a conventional CFG of basic blocks over *virtual registers*
+//! (non-SSA: a vreg may be assigned multiple times). Scalar locals start out
+//! as *stack slots* accessed through [`Inst::LoadSlot`]/[`Inst::StoreSlot`];
+//! the `mem2reg` pass (enabled at `-O1` and above) promotes
+//! non-address-taken slots to vregs, which is the single largest difference
+//! between `-O0` and optimized code — exactly as in GCC.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A virtual register index.
+pub type VReg = u32;
+
+/// A basic-block index within a function.
+pub type BlockId = usize;
+
+/// A stack-slot index within a function.
+pub type SlotId = usize;
+
+/// Operation width semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// Full machine word (32-bit on A32, 64-bit on A64).
+    Word,
+    /// Unsigned 32-bit: results are truncated to 32 bits and values maintain
+    /// a zero-extended-in-register invariant.
+    U32,
+}
+
+impl Width {
+    /// In-memory size of a value of this width for the given word size.
+    pub fn bytes(self, word_bytes: u64) -> u64 {
+        match self {
+            Width::Word => word_bytes,
+            Width::U32 => 4,
+        }
+    }
+}
+
+/// An instruction operand: virtual register or constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Virtual register.
+    V(VReg),
+    /// Immediate constant.
+    C(i64),
+}
+
+impl Operand {
+    /// The vreg if this operand is a register.
+    pub fn as_vreg(self) -> Option<VReg> {
+        match self {
+            Operand::V(v) => Some(v),
+            Operand::C(_) => None,
+        }
+    }
+
+    /// The constant if this operand is an immediate.
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            Operand::V(_) => None,
+            Operand::C(c) => Some(c),
+        }
+    }
+}
+
+/// Binary ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division (`signed` selects the signed form; by-zero yields 0).
+    Div {
+        /// Signed division.
+        signed: bool,
+    },
+    /// Remainder (`signed` selects the signed form; by-zero yields lhs).
+    Rem {
+        /// Signed remainder.
+        signed: bool,
+    },
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Shift right (`arith` selects sign-propagating form).
+    Shr {
+        /// Arithmetic shift.
+        arith: bool,
+    },
+}
+
+/// Comparison condition (signed and unsigned forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Ltu,
+    Leu,
+    Gtu,
+    Geu,
+}
+
+impl Cond {
+    /// The condition testing the same operands with the opposite result.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ltu => Cond::Geu,
+            Cond::Geu => Cond::Ltu,
+            Cond::Leu => Cond::Gtu,
+            Cond::Gtu => Cond::Leu,
+        }
+    }
+
+    /// The condition equivalent to this one with the operands swapped.
+    pub fn swap(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Eq,
+            Cond::Ne => Cond::Ne,
+            Cond::Lt => Cond::Gt,
+            Cond::Gt => Cond::Lt,
+            Cond::Le => Cond::Ge,
+            Cond::Ge => Cond::Le,
+            Cond::Ltu => Cond::Gtu,
+            Cond::Gtu => Cond::Ltu,
+            Cond::Leu => Cond::Geu,
+            Cond::Geu => Cond::Leu,
+        }
+    }
+}
+
+/// An IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `dst = a op b`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Width semantics.
+        w: Width,
+        /// Destination vreg.
+        dst: VReg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = (a cond b) ? 1 : 0`.
+    Cmp {
+        /// Condition.
+        cond: Cond,
+        /// Destination vreg.
+        dst: VReg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = src`.
+    Copy {
+        /// Destination vreg.
+        dst: VReg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = mem[addr + off]` with width `w`.
+    Load {
+        /// Value width (selects access size and extension).
+        w: Width,
+        /// Destination vreg.
+        dst: VReg,
+        /// Address operand.
+        addr: Operand,
+        /// Constant byte offset.
+        off: i64,
+    },
+    /// `mem[addr + off] = src` with width `w`.
+    Store {
+        /// Value width.
+        w: Width,
+        /// Stored operand.
+        src: Operand,
+        /// Address operand.
+        addr: Operand,
+        /// Constant byte offset.
+        off: i64,
+    },
+    /// `dst = &slot` (address of a stack slot).
+    SlotAddr {
+        /// Destination vreg.
+        dst: VReg,
+        /// Slot.
+        slot: SlotId,
+    },
+    /// `dst = &global`.
+    GlobalAddr {
+        /// Destination vreg.
+        dst: VReg,
+        /// Global name.
+        name: String,
+    },
+    /// `dst = slot` (scalar slot read; promotable by mem2reg).
+    LoadSlot {
+        /// Value width.
+        w: Width,
+        /// Destination vreg.
+        dst: VReg,
+        /// Slot.
+        slot: SlotId,
+    },
+    /// `slot = src` (scalar slot write; promotable by mem2reg).
+    StoreSlot {
+        /// Value width.
+        w: Width,
+        /// Slot.
+        slot: SlotId,
+        /// Stored operand.
+        src: Operand,
+    },
+    /// Function call.
+    Call {
+        /// Destination vreg for the return value (`None` for void calls).
+        dst: Option<VReg>,
+        /// Callee name.
+        callee: String,
+        /// Argument operands.
+        args: Vec<Operand>,
+    },
+    /// Emit a value to the program output stream.
+    Out {
+        /// Emitted operand.
+        src: Operand,
+    },
+}
+
+impl Inst {
+    /// The vreg defined by this instruction, if any.
+    pub fn def(&self) -> Option<VReg> {
+        match self {
+            Inst::Bin { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Copy { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::SlotAddr { dst, .. }
+            | Inst::GlobalAddr { dst, .. }
+            | Inst::LoadSlot { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            Inst::Store { .. } | Inst::StoreSlot { .. } | Inst::Out { .. } => None,
+        }
+    }
+
+    /// Appends the vregs read by this instruction to `uses`.
+    pub fn uses_into(&self, uses: &mut Vec<VReg>) {
+        let mut push = |op: &Operand| {
+            if let Operand::V(v) = op {
+                uses.push(*v);
+            }
+        };
+        match self {
+            Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                push(a);
+                push(b);
+            }
+            Inst::Copy { src, .. } => push(src),
+            Inst::LoadSlot { .. } => {}
+            Inst::Load { addr, .. } => push(addr),
+            Inst::Store { src, addr, .. } => {
+                push(src);
+                push(addr);
+            }
+            Inst::StoreSlot { src, .. } => push(src),
+            Inst::Call { args, .. } => {
+                for a in args {
+                    push(a);
+                }
+            }
+            Inst::Out { src } => push(src),
+            Inst::SlotAddr { .. } | Inst::GlobalAddr { .. } => {}
+        }
+    }
+
+    /// The vregs read by this instruction.
+    pub fn uses(&self) -> Vec<VReg> {
+        let mut v = Vec::new();
+        self.uses_into(&mut v);
+        v
+    }
+
+    /// Whether this instruction has effects beyond writing its destination
+    /// vreg (memory, I/O, or a call).
+    pub fn has_side_effects(&self) -> bool {
+        matches!(
+            self,
+            Inst::Store { .. } | Inst::StoreSlot { .. } | Inst::Call { .. } | Inst::Out { .. }
+        )
+    }
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// Return from the function.
+    Ret(Option<Operand>),
+    /// Unconditional jump.
+    Jmp(BlockId),
+    /// Conditional branch: `if a cond b goto t else goto f`.
+    CondBr {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+        /// Taken target.
+        t: BlockId,
+        /// Fall-through target.
+        f: BlockId,
+    },
+}
+
+impl Term {
+    /// Successor block ids.
+    pub fn succs(&self) -> Vec<BlockId> {
+        match self {
+            Term::Ret(_) => vec![],
+            Term::Jmp(b) => vec![*b],
+            Term::CondBr { t, f, .. } => vec![*t, *f],
+        }
+    }
+
+    /// The vregs read by the terminator.
+    pub fn uses(&self) -> Vec<VReg> {
+        let mut v = Vec::new();
+        let mut push = |op: &Operand| {
+            if let Operand::V(r) = op {
+                v.push(*r);
+            }
+        };
+        match self {
+            Term::Ret(Some(op)) => push(op),
+            Term::Ret(None) | Term::Jmp(_) => {}
+            Term::CondBr { a, b, .. } => {
+                push(a);
+                push(b);
+            }
+        }
+        v
+    }
+}
+
+/// A basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// Terminator.
+    pub term: Term,
+}
+
+/// A stack slot (scalar local, local array, or spilled value home).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotInfo {
+    /// Total size in bytes.
+    pub size: u64,
+    /// Element width for scalar access.
+    pub elem: Width,
+    /// Whether the slot's address escapes (`&x`, arrays); address-taken
+    /// slots cannot be promoted to registers.
+    pub addr_taken: bool,
+    /// Debug name.
+    pub name: String,
+}
+
+/// An IR function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrFunc {
+    /// Function name.
+    pub name: String,
+    /// Parameter vregs and widths, in ABI order.
+    pub params: Vec<(VReg, Width)>,
+    /// Return width (`None` for void).
+    pub ret: Option<Width>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Stack slots.
+    pub slots: Vec<SlotInfo>,
+    /// Next unused vreg number.
+    pub next_vreg: VReg,
+}
+
+impl IrFunc {
+    /// Allocates a fresh vreg.
+    pub fn fresh_vreg(&mut self) -> VReg {
+        let v = self.next_vreg;
+        self.next_vreg += 1;
+        v
+    }
+
+    /// Total instruction count (a code-size proxy used by the inliner).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len() + 1).sum()
+    }
+
+    /// Predecessor lists for every block.
+    pub fn preds(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (id, b) in self.blocks.iter().enumerate() {
+            for s in b.term.succs() {
+                preds[s].push(id);
+            }
+        }
+        preds
+    }
+}
+
+/// Computes per-block liveness (`live_in`, `live_out`) by iterative
+/// backward dataflow. Shared by the register allocator and the loop
+/// unroller.
+pub fn liveness(
+    func: &IrFunc,
+) -> (
+    Vec<std::collections::HashSet<VReg>>,
+    Vec<std::collections::HashSet<VReg>>,
+) {
+    use std::collections::HashSet;
+    let nblocks = func.blocks.len();
+    let mut gen_set: Vec<HashSet<VReg>> = vec![HashSet::new(); nblocks];
+    let mut kill: Vec<HashSet<VReg>> = vec![HashSet::new(); nblocks];
+    for (id, b) in func.blocks.iter().enumerate() {
+        for inst in &b.insts {
+            for u in inst.uses() {
+                if !kill[id].contains(&u) {
+                    gen_set[id].insert(u);
+                }
+            }
+            if let Some(d) = inst.def() {
+                kill[id].insert(d);
+            }
+        }
+        for u in b.term.uses() {
+            if !kill[id].contains(&u) {
+                gen_set[id].insert(u);
+            }
+        }
+    }
+    let mut live_in: Vec<HashSet<VReg>> = vec![HashSet::new(); nblocks];
+    let mut live_out: Vec<HashSet<VReg>> = vec![HashSet::new(); nblocks];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in (0..nblocks).rev() {
+            let mut out = HashSet::new();
+            for s in func.blocks[id].term.succs() {
+                out.extend(live_in[s].iter().copied());
+            }
+            let mut inn: HashSet<VReg> = gen_set[id].clone();
+            for v in &out {
+                if !kill[id].contains(v) {
+                    inn.insert(*v);
+                }
+            }
+            if out != live_out[id] || inn != live_in[id] {
+                changed = true;
+                live_out[id] = out;
+                live_in[id] = inn;
+            }
+        }
+    }
+    (live_in, live_out)
+}
+
+/// Layout information for one global.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalLayout {
+    /// Name.
+    pub name: String,
+    /// Element width.
+    pub elem: Width,
+    /// Element size in bytes (profile-dependent for `Word`).
+    pub elem_bytes: u64,
+    /// Element count (1 for scalars).
+    pub len: usize,
+    /// Initializer values (shorter than `len` means zero-fill).
+    pub init: Vec<i64>,
+    /// Byte offset from the data base address.
+    pub offset: u64,
+}
+
+/// A lowered translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrModule {
+    /// Functions; `main` is guaranteed to exist.
+    pub funcs: Vec<IrFunc>,
+    /// Global layout, offsets pre-assigned.
+    pub globals: Vec<GlobalLayout>,
+    /// Total data segment size in bytes.
+    pub data_size: u64,
+}
+
+impl IrModule {
+    /// Finds a function by name.
+    pub fn func(&self, name: &str) -> Option<&IrFunc> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Map from function name to index.
+    pub fn func_index(&self) -> HashMap<&str, usize> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.as_str(), i))
+            .collect()
+    }
+}
+
+impl fmt::Display for IrFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name)?;
+        for (i, (v, w)) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "v{v}:{w:?}")?;
+        }
+        writeln!(f, ")")?;
+        for (id, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "bb{id}:")?;
+            for inst in &b.insts {
+                writeln!(f, "  {inst:?}")?;
+            }
+            writeln!(f, "  {:?}", b.term)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_negate_is_involution() {
+        for c in [
+            Cond::Eq,
+            Cond::Ne,
+            Cond::Lt,
+            Cond::Le,
+            Cond::Gt,
+            Cond::Ge,
+            Cond::Ltu,
+            Cond::Leu,
+            Cond::Gtu,
+            Cond::Geu,
+        ] {
+            assert_eq!(c.negate().negate(), c);
+            assert_eq!(c.swap().swap(), c);
+        }
+    }
+
+    #[test]
+    fn inst_def_use_classification() {
+        let i = Inst::Bin {
+            op: BinOp::Add,
+            w: Width::Word,
+            dst: 5,
+            a: Operand::V(1),
+            b: Operand::C(3),
+        };
+        assert_eq!(i.def(), Some(5));
+        assert_eq!(i.uses(), vec![1]);
+        assert!(!i.has_side_effects());
+
+        let s = Inst::Store {
+            w: Width::U32,
+            src: Operand::V(2),
+            addr: Operand::V(3),
+            off: 8,
+        };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![2, 3]);
+        assert!(s.has_side_effects());
+    }
+
+    #[test]
+    fn term_succs() {
+        assert!(Term::Ret(None).succs().is_empty());
+        assert_eq!(Term::Jmp(3).succs(), vec![3]);
+        assert_eq!(
+            Term::CondBr {
+                cond: Cond::Eq,
+                a: Operand::C(0),
+                b: Operand::C(0),
+                t: 1,
+                f: 2
+            }
+            .succs(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::Word.bytes(4), 4);
+        assert_eq!(Width::Word.bytes(8), 8);
+        assert_eq!(Width::U32.bytes(8), 4);
+    }
+}

@@ -1,0 +1,364 @@
+//! Hand-written lexer for MiniC.
+
+use crate::error::{CompileError, Loc};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal (value fits i64).
+    Int(i64),
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// `int` keyword.
+    KwInt,
+    /// `u32` keyword.
+    KwU32,
+    /// `void` keyword.
+    KwVoid,
+    /// `if` keyword.
+    KwIf,
+    /// `else` keyword.
+    KwElse,
+    /// `while` keyword.
+    KwWhile,
+    /// `for` keyword.
+    KwFor,
+    /// `return` keyword.
+    KwReturn,
+    /// `break` keyword.
+    KwBreak,
+    /// `continue` keyword.
+    KwContinue,
+    /// `const` keyword (accepted and ignored).
+    KwConst,
+    /// `out` builtin keyword.
+    KwOut,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Assign,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `&`.
+    Amp,
+    /// `|`.
+    Pipe,
+    /// `^`.
+    Caret,
+    /// `~`.
+    Tilde,
+    /// `!`.
+    Bang,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    Ne,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// End of input.
+    Eof,
+}
+
+/// A token paired with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub loc: Loc,
+}
+
+/// Tokenizes MiniC source.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unknown characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        let loc = Loc { line, col };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                bump!();
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(loc, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            b'0'..=b'9' => {
+                let hex = c == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X'));
+                let mut text = String::new();
+                if hex {
+                    bump!();
+                    bump!();
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        text.push(bytes[i] as char);
+                        bump!();
+                    }
+                    if text.is_empty() {
+                        return Err(CompileError::new(loc, "empty hex literal"));
+                    }
+                    let v = u64::from_str_radix(&text, 16)
+                        .map_err(|_| CompileError::new(loc, "hex literal too large"))?;
+                    toks.push(Token {
+                        tok: Tok::Int(v as i64),
+                        loc,
+                    });
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        text.push(bytes[i] as char);
+                        bump!();
+                    }
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| CompileError::new(loc, "decimal literal too large"))?;
+                    toks.push(Token {
+                        tok: Tok::Int(v),
+                        loc,
+                    });
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let mut text = String::new();
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    text.push(bytes[i] as char);
+                    bump!();
+                }
+                let tok = match text.as_str() {
+                    "int" => Tok::KwInt,
+                    "u32" => Tok::KwU32,
+                    "void" => Tok::KwVoid,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "return" => Tok::KwReturn,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    "const" => Tok::KwConst,
+                    "out" => Tok::KwOut,
+                    _ => Tok::Ident(text),
+                };
+                toks.push(Token { tok, loc });
+            }
+            _ => {
+                let two = |a: u8, b: u8| -> bool {
+                    c == a && bytes.get(i + 1) == Some(&b)
+                };
+                let (tok, len) = if two(b'<', b'<') {
+                    (Tok::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Tok::Shr, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::Ne, 2)
+                } else if two(b'&', b'&') {
+                    (Tok::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (Tok::OrOr, 2)
+                } else {
+                    let t = match c {
+                        b'(' => Tok::LParen,
+                        b')' => Tok::RParen,
+                        b'{' => Tok::LBrace,
+                        b'}' => Tok::RBrace,
+                        b'[' => Tok::LBracket,
+                        b']' => Tok::RBracket,
+                        b';' => Tok::Semi,
+                        b',' => Tok::Comma,
+                        b'=' => Tok::Assign,
+                        b'+' => Tok::Plus,
+                        b'-' => Tok::Minus,
+                        b'*' => Tok::Star,
+                        b'/' => Tok::Slash,
+                        b'%' => Tok::Percent,
+                        b'&' => Tok::Amp,
+                        b'|' => Tok::Pipe,
+                        b'^' => Tok::Caret,
+                        b'~' => Tok::Tilde,
+                        b'!' => Tok::Bang,
+                        b'<' => Tok::Lt,
+                        b'>' => Tok::Gt,
+                        other => {
+                            return Err(CompileError::new(
+                                loc,
+                                format!("unexpected character {:?}", other as char),
+                            ))
+                        }
+                    };
+                    (t, 1)
+                };
+                for _ in 0..len {
+                    bump!();
+                }
+                toks.push(Token { tok, loc });
+            }
+        }
+    }
+    toks.push(Token {
+        tok: Tok::Eof,
+        loc: Loc { line, col },
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("int foo u32 bar"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("foo".into()),
+                Tok::KwU32,
+                Tok::Ident("bar".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("0 42 0xFF 0xdeadBEEF"),
+            vec![
+                Tok::Int(0),
+                Tok::Int(42),
+                Tok::Int(255),
+                Tok::Int(0xDEAD_BEEF),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_maximal_munch() {
+        assert_eq!(
+            toks("<<=>>= <= >= == != && || < >"),
+            vec![
+                Tok::Shl,
+                Tok::Assign,
+                Tok::Shr,
+                Tok::Assign,
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // line\nb /* block\nstill */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn locations_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].loc, Loc { line: 1, col: 1 });
+        assert_eq!(ts[1].loc, Loc { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("int @").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("0x").is_err());
+    }
+}

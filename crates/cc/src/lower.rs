@@ -1,0 +1,1270 @@
+//! AST → IR lowering with type checking.
+//!
+//! Lowering is deliberately naive — every scalar local lives in a stack slot
+//! and every use goes through a slot load — so that the unoptimized IR has
+//! the memory-traffic profile of `gcc -O0`. All cleverness lives in the
+//! optimization passes.
+
+use crate::ast::{BinOp as AstBin, Expr, Func, Module, Scalar, Stmt, Type, UnOp};
+use crate::error::{CompileError, Loc};
+use crate::ir::*;
+use softerr_isa::Profile;
+use std::collections::HashMap;
+
+/// Value type of a lowered expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VTy {
+    Int,
+    U32,
+    Ptr(Scalar),
+}
+
+impl VTy {
+    fn width(self) -> Width {
+        match self {
+            VTy::Int | VTy::Ptr(_) => Width::Word,
+            VTy::U32 => Width::U32,
+        }
+    }
+
+    fn of(ty: Type) -> VTy {
+        match ty {
+            Type::Scalar(Scalar::Int) => VTy::Int,
+            Type::Scalar(Scalar::U32) => VTy::U32,
+            Type::Ptr(s) => VTy::Ptr(s),
+        }
+    }
+
+    fn scalar_width(s: Scalar) -> Width {
+        match s {
+            Scalar::Int => Width::Word,
+            Scalar::U32 => Width::U32,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LocalVar {
+    slot: SlotId,
+    vty: VTy,
+    is_array: bool,
+}
+
+#[derive(Debug, Clone)]
+struct GlobalVar {
+    vty: VTy,
+    is_array: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Signature {
+    params: Vec<VTy>,
+    ret: Option<VTy>,
+}
+
+/// Lowers a parsed module to IR for the given target profile.
+///
+/// Performs full semantic checking: name resolution, type checking with the
+/// implicit `int`/`u32` conversions, lvalue validation, and ABI limits
+/// (parameter counts must fit the profile's argument registers).
+///
+/// # Errors
+///
+/// Returns the first semantic error found.
+pub fn lower(module: &Module, profile: Profile) -> Result<IrModule, CompileError> {
+    // Layout globals.
+    let word = profile.word_bytes();
+    let mut globals = Vec::new();
+    let mut global_env: HashMap<String, GlobalVar> = HashMap::new();
+    let mut offset = 0u64;
+    for g in &module.globals {
+        if global_env.contains_key(&g.name) {
+            return Err(CompileError::new(
+                g.loc,
+                format!("duplicate global `{}`", g.name),
+            ));
+        }
+        let elem = VTy::scalar_width(g.scalar);
+        let elem_bytes = elem.bytes(word);
+        offset = offset.next_multiple_of(8);
+        let len = g.len.unwrap_or(1);
+        if len == 0 {
+            return Err(CompileError::new(g.loc, "zero-length array"));
+        }
+        globals.push(GlobalLayout {
+            name: g.name.clone(),
+            elem,
+            elem_bytes,
+            len,
+            init: g.init.clone(),
+            offset,
+        });
+        global_env.insert(
+            g.name.clone(),
+            GlobalVar {
+                vty: match (g.scalar, g.len) {
+                    (s, Some(_)) => VTy::Ptr(s),
+                    (Scalar::Int, None) => VTy::Int,
+                    (Scalar::U32, None) => VTy::U32,
+                },
+                is_array: g.len.is_some(),
+            },
+        );
+        offset += elem_bytes * len as u64;
+    }
+    let data_size = offset;
+
+    // Collect signatures.
+    let mut sigs: HashMap<String, Signature> = HashMap::new();
+    let max_params = profile.arg_regs().len();
+    for f in &module.funcs {
+        if sigs.contains_key(&f.name) {
+            return Err(CompileError::new(
+                f.loc,
+                format!("duplicate function `{}`", f.name),
+            ));
+        }
+        if global_env.contains_key(&f.name) {
+            return Err(CompileError::new(
+                f.loc,
+                format!("`{}` is both a global and a function", f.name),
+            ));
+        }
+        if f.params.len() > max_params {
+            return Err(CompileError::new(
+                f.loc,
+                format!(
+                    "function `{}` has {} parameters; the {profile} ABI allows at most {max_params}",
+                    f.name,
+                    f.params.len()
+                ),
+            ));
+        }
+        sigs.insert(
+            f.name.clone(),
+            Signature {
+                params: f.params.iter().map(|(_, t)| VTy::of(*t)).collect(),
+                ret: f.ret.map(VTy::of),
+            },
+        );
+    }
+    match sigs.get("main") {
+        None => {
+            return Err(CompileError::new(
+                Loc::default(),
+                "no `main` function defined",
+            ))
+        }
+        Some(sig) => {
+            if !sig.params.is_empty() || sig.ret.is_some() {
+                return Err(CompileError::new(
+                    Loc::default(),
+                    "`main` must be `void main()` with no parameters",
+                ));
+            }
+        }
+    }
+
+    let mut funcs = Vec::new();
+    for f in &module.funcs {
+        let ctx = FuncLower {
+            profile,
+            globals: &global_env,
+            sigs: &sigs,
+            func: IrFunc {
+                name: f.name.clone(),
+                params: Vec::new(),
+                ret: sigs[&f.name].ret.map(VTy::width),
+                blocks: vec![Block {
+                    insts: Vec::new(),
+                    term: Term::Ret(None),
+                }],
+                slots: Vec::new(),
+                next_vreg: 0,
+            },
+            cur: 0,
+            scopes: Vec::new(),
+            loops: Vec::new(),
+            ret_ty: sigs[&f.name].ret,
+            terminated: false,
+        };
+        funcs.push(ctx.lower_func(f)?);
+    }
+
+    Ok(IrModule {
+        funcs,
+        globals,
+        data_size,
+    })
+}
+
+struct FuncLower<'a> {
+    profile: Profile,
+    globals: &'a HashMap<String, GlobalVar>,
+    sigs: &'a HashMap<String, Signature>,
+    func: IrFunc,
+    cur: BlockId,
+    scopes: Vec<HashMap<String, LocalVar>>,
+    /// Stack of (continue target, break target).
+    loops: Vec<(BlockId, BlockId)>,
+    ret_ty: Option<VTy>,
+    terminated: bool,
+}
+
+impl<'a> FuncLower<'a> {
+    fn word(&self) -> u64 {
+        self.profile.word_bytes()
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        if !self.terminated {
+            self.func.blocks[self.cur].insts.push(inst);
+        }
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.func.blocks.push(Block {
+            insts: Vec::new(),
+            term: Term::Ret(None),
+        });
+        self.func.blocks.len() - 1
+    }
+
+    fn terminate(&mut self, term: Term) {
+        if !self.terminated {
+            self.func.blocks[self.cur].term = term;
+            self.terminated = true;
+        }
+    }
+
+    /// Switches emission to `block` (used after terminating the current one).
+    fn start_block(&mut self, block: BlockId) {
+        self.cur = block;
+        self.terminated = false;
+    }
+
+    fn fresh(&mut self) -> VReg {
+        self.func.fresh_vreg()
+    }
+
+    fn new_slot(&mut self, name: &str, size: u64, elem: Width, addr_taken: bool) -> SlotId {
+        self.func.slots.push(SlotInfo {
+            size,
+            elem,
+            addr_taken,
+            name: name.to_string(),
+        });
+        self.func.slots.len() - 1
+    }
+
+    fn lookup(&self, name: &str) -> Option<&LocalVar> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn declare(
+        &mut self,
+        loc: Loc,
+        name: &str,
+        vty: VTy,
+        is_array: bool,
+        array_len: Option<usize>,
+    ) -> Result<SlotId, CompileError> {
+        let scope = self.scopes.last_mut().expect("scope stack empty");
+        if scope.contains_key(name) {
+            return Err(CompileError::new(
+                loc,
+                format!("duplicate variable `{name}` in scope"),
+            ));
+        }
+        let word = self.profile.word_bytes();
+        let (size, elem, addr_taken) = if let Some(n) = array_len {
+            let elem = match vty {
+                VTy::Ptr(s) => VTy::scalar_width(s),
+                other => other.width(),
+            };
+            (elem.bytes(word) * n as u64, elem, true)
+        } else {
+            (word, vty.width(), false)
+        };
+        let slot = self.new_slot(name, size, elem, addr_taken);
+        self.scopes.last_mut().unwrap().insert(
+            name.to_string(),
+            LocalVar {
+                slot,
+                vty,
+                is_array,
+            },
+        );
+        Ok(slot)
+    }
+
+    fn lower_func(mut self, f: &Func) -> Result<IrFunc, CompileError> {
+        self.scopes.push(HashMap::new());
+        // Parameters: a vreg each (ABI order), stored into a dedicated slot so
+        // that unoptimized code spills them exactly like gcc -O0 does.
+        for (name, ty) in &f.params {
+            let vty = VTy::of(*ty);
+            let v = self.fresh();
+            self.func.params.push((v, vty.width()));
+            let slot = self.declare(f.loc, name, vty, false, None)?;
+            self.emit(Inst::StoreSlot {
+                w: vty.width(),
+                slot,
+                src: Operand::V(v),
+            });
+        }
+        self.lower_block(&f.body)?;
+        // Implicit return at the end of the body.
+        if !self.terminated {
+            let term = match self.ret_ty {
+                None => Term::Ret(None),
+                Some(_) => Term::Ret(Some(Operand::C(0))),
+            };
+            self.terminate(term);
+        }
+        self.scopes.pop();
+        Ok(self.func)
+    }
+
+    fn lower_block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            self.lower_stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Decl {
+                name,
+                ty,
+                len,
+                init,
+                loc,
+            } => {
+                let vty = match (ty, len) {
+                    (Type::Scalar(s), Some(_)) => VTy::Ptr(*s),
+                    (t, _) => VTy::of(*t),
+                };
+                let init_val = init
+                    .as_ref()
+                    .map(|e| self.lower_expr(e))
+                    .transpose()?;
+                let slot = self.declare(*loc, name, vty, len.is_some(), *len)?;
+                if let Some((op, from)) = init_val {
+                    let op = self.convert(op, from, vty, *loc)?;
+                    self.emit(Inst::StoreSlot {
+                        w: vty.width(),
+                        slot,
+                        src: op,
+                    });
+                }
+                Ok(())
+            }
+            Stmt::Assign { target, value, loc } => {
+                let (op, from) = self.lower_expr(value)?;
+                let lv = self.lower_lvalue(target)?;
+                let op = self.convert(op, from, lv.vty, *loc)?;
+                match lv.place {
+                    Place::Slot(slot) => self.emit(Inst::StoreSlot {
+                        w: lv.vty.width(),
+                        slot,
+                        src: op,
+                    }),
+                    Place::Mem { addr, off } => self.emit(Inst::Store {
+                        w: lv.vty.width(),
+                        src: op,
+                        addr,
+                        off,
+                    }),
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let tb = self.new_block();
+                let fb = self.new_block();
+                let join = self.new_block();
+                self.lower_cond(cond, tb, fb)?;
+                self.start_block(tb);
+                self.lower_block(then_blk)?;
+                self.terminate(Term::Jmp(join));
+                self.start_block(fb);
+                self.lower_block(else_blk)?;
+                self.terminate(Term::Jmp(join));
+                self.start_block(join);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let header = self.new_block();
+                let body_bb = self.new_block();
+                let exit = self.new_block();
+                self.terminate(Term::Jmp(header));
+                self.start_block(header);
+                self.lower_cond(cond, body_bb, exit)?;
+                self.start_block(body_bb);
+                self.loops.push((header, exit));
+                self.lower_block(body)?;
+                self.loops.pop();
+                self.terminate(Term::Jmp(header));
+                self.start_block(exit);
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(s) = init {
+                    self.lower_stmt(s)?;
+                }
+                let header = self.new_block();
+                let body_bb = self.new_block();
+                let step_bb = self.new_block();
+                let exit = self.new_block();
+                self.terminate(Term::Jmp(header));
+                self.start_block(header);
+                match cond {
+                    Some(c) => self.lower_cond(c, body_bb, exit)?,
+                    None => self.terminate(Term::Jmp(body_bb)),
+                }
+                self.start_block(body_bb);
+                self.loops.push((step_bb, exit));
+                self.lower_block(body)?;
+                self.loops.pop();
+                self.terminate(Term::Jmp(step_bb));
+                self.start_block(step_bb);
+                if let Some(s) = step {
+                    self.lower_stmt(s)?;
+                }
+                self.terminate(Term::Jmp(header));
+                self.start_block(exit);
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return { value, loc } => {
+                match (&self.ret_ty, value) {
+                    (None, None) => self.terminate(Term::Ret(None)),
+                    (None, Some(_)) => {
+                        return Err(CompileError::new(*loc, "void function returns a value"))
+                    }
+                    (Some(_), None) => {
+                        return Err(CompileError::new(*loc, "missing return value"))
+                    }
+                    (Some(rt), Some(e)) => {
+                        let rt = *rt;
+                        let (op, from) = self.lower_expr(e)?;
+                        let op = self.convert(op, from, rt, *loc)?;
+                        self.terminate(Term::Ret(Some(op)));
+                    }
+                }
+                // Statements after a return are unreachable; give them a
+                // fresh block so lowering can continue.
+                let dead = self.new_block();
+                self.start_block(dead);
+                Ok(())
+            }
+            Stmt::Break(loc) => {
+                let Some(&(_, brk)) = self.loops.last() else {
+                    return Err(CompileError::new(*loc, "`break` outside a loop"));
+                };
+                self.terminate(Term::Jmp(brk));
+                let dead = self.new_block();
+                self.start_block(dead);
+                Ok(())
+            }
+            Stmt::Continue(loc) => {
+                let Some(&(cont, _)) = self.loops.last() else {
+                    return Err(CompileError::new(*loc, "`continue` outside a loop"));
+                };
+                self.terminate(Term::Jmp(cont));
+                let dead = self.new_block();
+                self.start_block(dead);
+                Ok(())
+            }
+            Stmt::ExprStmt(e) => {
+                match e {
+                    Expr::Call { .. } => {
+                        self.lower_call(e, true)?;
+                    }
+                    other => {
+                        // Evaluate for effect (there are none beyond calls,
+                        // but this keeps the language regular).
+                        self.lower_expr(other)?;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Out(e, _loc) => {
+                let (op, _) = self.lower_expr(e)?;
+                self.emit(Inst::Out { src: op });
+                Ok(())
+            }
+        }
+    }
+
+    /// Unifies two scalar operand types for a binary operation.
+    fn unify(
+        &mut self,
+        a: (Operand, VTy),
+        b: (Operand, VTy),
+        loc: Loc,
+    ) -> Result<(Operand, Operand, VTy), CompileError> {
+        match (a.1, b.1) {
+            (VTy::Int, VTy::Int) => Ok((a.0, b.0, VTy::Int)),
+            (VTy::U32, VTy::U32) => Ok((a.0, b.0, VTy::U32)),
+            (VTy::Int, VTy::U32) => {
+                let ca = self.convert(a.0, VTy::Int, VTy::U32, loc)?;
+                Ok((ca, b.0, VTy::U32))
+            }
+            (VTy::U32, VTy::Int) => {
+                let cb = self.convert(b.0, VTy::Int, VTy::U32, loc)?;
+                Ok((a.0, cb, VTy::U32))
+            }
+            (VTy::Ptr(s), VTy::Ptr(t)) if s == t => Ok((a.0, b.0, VTy::Ptr(s))),
+            (x, y) => Err(CompileError::new(
+                loc,
+                format!("type mismatch: {x:?} vs {y:?}"),
+            )),
+        }
+    }
+
+    /// Converts an operand between scalar types.
+    fn convert(
+        &mut self,
+        op: Operand,
+        from: VTy,
+        to: VTy,
+        loc: Loc,
+    ) -> Result<Operand, CompileError> {
+        if from == to {
+            return Ok(op);
+        }
+        match (from, to) {
+            (VTy::Int, VTy::U32) => {
+                if let Operand::C(c) = op {
+                    return Ok(Operand::C(c as u32 as i64));
+                }
+                if self.profile == Profile::A32 {
+                    // Registers are 32 bits wide; the mask is a no-op.
+                    return Ok(op);
+                }
+                let dst = self.fresh();
+                self.emit(Inst::Bin {
+                    op: BinOp::And,
+                    w: Width::Word,
+                    dst,
+                    a: op,
+                    b: Operand::C(0xFFFF_FFFF),
+                });
+                Ok(Operand::V(dst))
+            }
+            // A zero-extended u32 reinterpreted as a (non-negative) int.
+            (VTy::U32, VTy::Int) => Ok(op),
+            (x, y) => Err(CompileError::new(
+                loc,
+                format!("cannot convert {x:?} to {y:?}"),
+            )),
+        }
+    }
+
+    fn lower_expr(&mut self, e: &Expr) -> Result<(Operand, VTy), CompileError> {
+        match e {
+            Expr::Num(v, _) => Ok((Operand::C(*v), VTy::Int)),
+            Expr::Var(name, loc) => {
+                if let Some(var) = self.lookup(name).cloned() {
+                    if var.is_array {
+                        let elem = match var.vty {
+                            VTy::Ptr(s) => s,
+                            _ => unreachable!("arrays are typed as pointers"),
+                        };
+                        let dst = self.fresh();
+                        self.emit(Inst::SlotAddr {
+                            dst,
+                            slot: var.slot,
+                        });
+                        return Ok((Operand::V(dst), VTy::Ptr(elem)));
+                    }
+                    let dst = self.fresh();
+                    self.emit(Inst::LoadSlot {
+                        w: var.vty.width(),
+                        dst,
+                        slot: var.slot,
+                    });
+                    return Ok((Operand::V(dst), var.vty));
+                }
+                if let Some(g) = self.globals.get(name).cloned() {
+                    let addr = self.fresh();
+                    self.emit(Inst::GlobalAddr {
+                        dst: addr,
+                        name: name.clone(),
+                    });
+                    if g.is_array {
+                        return Ok((Operand::V(addr), g.vty));
+                    }
+                    let dst = self.fresh();
+                    self.emit(Inst::Load {
+                        w: g.vty.width(),
+                        dst,
+                        addr: Operand::V(addr),
+                        off: 0,
+                    });
+                    return Ok((Operand::V(dst), g.vty));
+                }
+                Err(CompileError::new(*loc, format!("unknown variable `{name}`")))
+            }
+            Expr::Unary { op, expr, loc } => match op {
+                UnOp::Neg => {
+                    let (v, t) = self.lower_expr(expr)?;
+                    if matches!(t, VTy::Ptr(_)) {
+                        return Err(CompileError::new(*loc, "cannot negate a pointer"));
+                    }
+                    if let Operand::C(c) = v {
+                        return Ok((Operand::C(c.wrapping_neg()), t));
+                    }
+                    let dst = self.fresh();
+                    self.emit(Inst::Bin {
+                        op: BinOp::Sub,
+                        w: t.width(),
+                        dst,
+                        a: Operand::C(0),
+                        b: v,
+                    });
+                    Ok((Operand::V(dst), t))
+                }
+                UnOp::Not => {
+                    let (v, _) = self.lower_expr(expr)?;
+                    let dst = self.fresh();
+                    self.emit(Inst::Cmp {
+                        cond: Cond::Eq,
+                        dst,
+                        a: v,
+                        b: Operand::C(0),
+                    });
+                    Ok((Operand::V(dst), VTy::Int))
+                }
+                UnOp::BitNot => {
+                    let (v, t) = self.lower_expr(expr)?;
+                    if matches!(t, VTy::Ptr(_)) {
+                        return Err(CompileError::new(*loc, "cannot complement a pointer"));
+                    }
+                    let dst = self.fresh();
+                    self.emit(Inst::Bin {
+                        op: BinOp::Xor,
+                        w: t.width(),
+                        dst,
+                        a: v,
+                        b: Operand::C(-1),
+                    });
+                    Ok((Operand::V(dst), t))
+                }
+                UnOp::Deref => {
+                    let (v, t) = self.lower_expr(expr)?;
+                    let VTy::Ptr(s) = t else {
+                        return Err(CompileError::new(*loc, "dereference of a non-pointer"));
+                    };
+                    let w = VTy::scalar_width(s);
+                    let dst = self.fresh();
+                    self.emit(Inst::Load {
+                        w,
+                        dst,
+                        addr: v,
+                        off: 0,
+                    });
+                    Ok((Operand::V(dst), VTy::of(Type::Scalar(s))))
+                }
+                UnOp::AddrOf => {
+                    let lv = self.lower_lvalue(expr)?;
+                    let s = match lv.vty {
+                        VTy::Int => Scalar::Int,
+                        VTy::U32 => Scalar::U32,
+                        VTy::Ptr(_) => {
+                            return Err(CompileError::new(
+                                *loc,
+                                "address of a pointer variable is not supported",
+                            ))
+                        }
+                    };
+                    let addr = match lv.place {
+                        Place::Slot(slot) => {
+                            self.func.slots[slot].addr_taken = true;
+                            let dst = self.fresh();
+                            self.emit(Inst::SlotAddr { dst, slot });
+                            Operand::V(dst)
+                        }
+                        Place::Mem { addr, off } => {
+                            if off == 0 {
+                                addr
+                            } else {
+                                let dst = self.fresh();
+                                self.emit(Inst::Bin {
+                                    op: BinOp::Add,
+                                    w: Width::Word,
+                                    dst,
+                                    a: addr,
+                                    b: Operand::C(off),
+                                });
+                                Operand::V(dst)
+                            }
+                        }
+                    };
+                    Ok((addr, VTy::Ptr(s)))
+                }
+            },
+            Expr::Binary { op, lhs, rhs, loc } => self.lower_binary(*op, lhs, rhs, *loc),
+            Expr::Call { .. } => {
+                let (op, ty) = self.lower_call(e, false)?;
+                Ok((op.expect("non-void call"), ty.expect("non-void call type")))
+            }
+            Expr::Index { base, index, loc } => {
+                let (addr, s) = self.lower_index_addr(base, index, *loc)?;
+                let w = VTy::scalar_width(s);
+                let dst = self.fresh();
+                self.emit(Inst::Load {
+                    w,
+                    dst,
+                    addr,
+                    off: 0,
+                });
+                Ok((Operand::V(dst), VTy::of(Type::Scalar(s))))
+            }
+        }
+    }
+
+    /// Computes the address of `base[index]`, returning it with the element
+    /// scalar type.
+    fn lower_index_addr(
+        &mut self,
+        base: &Expr,
+        index: &Expr,
+        loc: Loc,
+    ) -> Result<(Operand, Scalar), CompileError> {
+        let (b, bt) = self.lower_expr(base)?;
+        let VTy::Ptr(s) = bt else {
+            return Err(CompileError::new(loc, "indexing a non-array, non-pointer"));
+        };
+        let (i, it) = self.lower_expr(index)?;
+        let i = self.convert(i, it, VTy::Int, loc)?;
+        let size = VTy::scalar_width(s).bytes(self.word()) as i64;
+        let scaled = match i {
+            Operand::C(c) => Operand::C(c.wrapping_mul(size)),
+            Operand::V(_) => {
+                let dst = self.fresh();
+                self.emit(Inst::Bin {
+                    op: BinOp::Mul,
+                    w: Width::Word,
+                    dst,
+                    a: i,
+                    b: Operand::C(size),
+                });
+                Operand::V(dst)
+            }
+        };
+        let addr = self.fresh();
+        self.emit(Inst::Bin {
+            op: BinOp::Add,
+            w: Width::Word,
+            dst: addr,
+            a: b,
+            b: scaled,
+        });
+        Ok((Operand::V(addr), s))
+    }
+
+    fn lower_binary(
+        &mut self,
+        op: AstBin,
+        lhs: &Expr,
+        rhs: &Expr,
+        loc: Loc,
+    ) -> Result<(Operand, VTy), CompileError> {
+        // Short-circuit operators materialize a 0/1 via control flow.
+        if matches!(op, AstBin::LogAnd | AstBin::LogOr) {
+            let tb = self.new_block();
+            let fb = self.new_block();
+            let join = self.new_block();
+            let dst = self.fresh();
+            let e = Expr::Binary {
+                op,
+                lhs: Box::new(lhs.clone()),
+                rhs: Box::new(rhs.clone()),
+                loc,
+            };
+            self.lower_cond(&e, tb, fb)?;
+            self.start_block(tb);
+            self.emit(Inst::Copy {
+                dst,
+                src: Operand::C(1),
+            });
+            self.terminate(Term::Jmp(join));
+            self.start_block(fb);
+            self.emit(Inst::Copy {
+                dst,
+                src: Operand::C(0),
+            });
+            self.terminate(Term::Jmp(join));
+            self.start_block(join);
+            return Ok((Operand::V(dst), VTy::Int));
+        }
+
+        let a = self.lower_expr(lhs)?;
+        let b = self.lower_expr(rhs)?;
+
+        // Pointer arithmetic: ptr ± int (scaled by element size).
+        if let (VTy::Ptr(s), other) = (a.1, b.1) {
+            if matches!(op, AstBin::Add | AstBin::Sub) && !matches!(other, VTy::Ptr(_)) {
+                let i = self.convert(b.0, b.1, VTy::Int, loc)?;
+                return self.ptr_offset(op, a.0, i, s);
+            }
+        }
+        if let (other, VTy::Ptr(s)) = (a.1, b.1) {
+            if op == AstBin::Add && !matches!(other, VTy::Ptr(_)) {
+                let i = self.convert(a.0, a.1, VTy::Int, loc)?;
+                return self.ptr_offset(op, b.0, i, s);
+            }
+        }
+
+        let (a_op, b_op, ty) = self.unify(a, b, loc)?;
+
+        if let Some(cond) = comparison_cond(op, ty) {
+            if matches!(ty, VTy::Ptr(_)) && !matches!(op, AstBin::Eq | AstBin::Ne) {
+                // Pointer ordering uses unsigned comparison (already selected).
+            }
+            let dst = self.fresh();
+            self.emit(Inst::Cmp {
+                cond,
+                dst,
+                a: a_op,
+                b: b_op,
+            });
+            return Ok((Operand::V(dst), VTy::Int));
+        }
+
+        if matches!(ty, VTy::Ptr(_)) {
+            return Err(CompileError::new(
+                loc,
+                "arithmetic between two pointers is not supported",
+            ));
+        }
+
+        let bin = match op {
+            AstBin::Add => BinOp::Add,
+            AstBin::Sub => BinOp::Sub,
+            AstBin::Mul => BinOp::Mul,
+            AstBin::Div => BinOp::Div {
+                signed: ty == VTy::Int,
+            },
+            AstBin::Rem => BinOp::Rem {
+                signed: ty == VTy::Int,
+            },
+            AstBin::And => BinOp::And,
+            AstBin::Or => BinOp::Or,
+            AstBin::Xor => BinOp::Xor,
+            AstBin::Shl => BinOp::Shl,
+            AstBin::Shr => BinOp::Shr {
+                arith: ty == VTy::Int,
+            },
+            _ => unreachable!("comparisons handled above"),
+        };
+        let dst = self.fresh();
+        self.emit(Inst::Bin {
+            op: bin,
+            w: ty.width(),
+            dst,
+            a: a_op,
+            b: b_op,
+        });
+        Ok((Operand::V(dst), ty))
+    }
+
+    fn ptr_offset(
+        &mut self,
+        op: AstBin,
+        ptr: Operand,
+        idx: Operand,
+        s: Scalar,
+    ) -> Result<(Operand, VTy), CompileError> {
+        let size = VTy::scalar_width(s).bytes(self.word()) as i64;
+        let scaled = match idx {
+            Operand::C(c) => Operand::C(c.wrapping_mul(size)),
+            Operand::V(_) => {
+                let dst = self.fresh();
+                self.emit(Inst::Bin {
+                    op: BinOp::Mul,
+                    w: Width::Word,
+                    dst,
+                    a: idx,
+                    b: Operand::C(size),
+                });
+                Operand::V(dst)
+            }
+        };
+        let dst = self.fresh();
+        self.emit(Inst::Bin {
+            op: if op == AstBin::Add {
+                BinOp::Add
+            } else {
+                BinOp::Sub
+            },
+            w: Width::Word,
+            dst,
+            a: ptr,
+            b: scaled,
+        });
+        Ok((Operand::V(dst), VTy::Ptr(s)))
+    }
+
+    fn lower_call(
+        &mut self,
+        e: &Expr,
+        stmt_ctx: bool,
+    ) -> Result<(Option<Operand>, Option<VTy>), CompileError> {
+        let Expr::Call { name, args, loc } = e else {
+            unreachable!("lower_call on non-call");
+        };
+        let Some(sig) = self.sigs.get(name).cloned() else {
+            return Err(CompileError::new(*loc, format!("unknown function `{name}`")));
+        };
+        if sig.params.len() != args.len() {
+            return Err(CompileError::new(
+                *loc,
+                format!(
+                    "`{name}` expects {} arguments, got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        let mut ops = Vec::with_capacity(args.len());
+        for (arg, pty) in args.iter().zip(&sig.params) {
+            let (op, aty) = self.lower_expr(arg)?;
+            ops.push(self.convert(op, aty, *pty, *loc)?);
+        }
+        match sig.ret {
+            None => {
+                if !stmt_ctx {
+                    return Err(CompileError::new(
+                        *loc,
+                        format!("void function `{name}` used as a value"),
+                    ));
+                }
+                self.emit(Inst::Call {
+                    dst: None,
+                    callee: name.clone(),
+                    args: ops,
+                });
+                Ok((None, None))
+            }
+            Some(rt) => {
+                let dst = self.fresh();
+                self.emit(Inst::Call {
+                    dst: Some(dst),
+                    callee: name.clone(),
+                    args: ops,
+                });
+                Ok((Some(Operand::V(dst)), Some(rt)))
+            }
+        }
+    }
+
+    /// Lowers `e` as a condition, branching to `tb` when true and `fb`
+    /// otherwise. Emits fused compare-and-branch for comparisons and
+    /// short-circuit control flow for `&&`/`||`/`!`.
+    fn lower_cond(&mut self, e: &Expr, tb: BlockId, fb: BlockId) -> Result<(), CompileError> {
+        match e {
+            Expr::Binary {
+                op: AstBin::LogAnd,
+                lhs,
+                rhs,
+                ..
+            } => {
+                let mid = self.new_block();
+                self.lower_cond(lhs, mid, fb)?;
+                self.start_block(mid);
+                self.lower_cond(rhs, tb, fb)
+            }
+            Expr::Binary {
+                op: AstBin::LogOr,
+                lhs,
+                rhs,
+                ..
+            } => {
+                let mid = self.new_block();
+                self.lower_cond(lhs, tb, mid)?;
+                self.start_block(mid);
+                self.lower_cond(rhs, tb, fb)
+            }
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+                ..
+            } => self.lower_cond(expr, fb, tb),
+            Expr::Binary { op, lhs, rhs, loc } if is_comparison(*op) => {
+                let a = self.lower_expr(lhs)?;
+                let b = self.lower_expr(rhs)?;
+                let (a_op, b_op, ty) = self.unify(a, b, *loc)?;
+                let cond = comparison_cond(*op, ty).expect("comparison op");
+                self.terminate(Term::CondBr {
+                    cond,
+                    a: a_op,
+                    b: b_op,
+                    t: tb,
+                    f: fb,
+                });
+                Ok(())
+            }
+            other => {
+                let (v, _) = self.lower_expr(other)?;
+                self.terminate(Term::CondBr {
+                    cond: Cond::Ne,
+                    a: v,
+                    b: Operand::C(0),
+                    t: tb,
+                    f: fb,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_lvalue(&mut self, e: &Expr) -> Result<LValue, CompileError> {
+        match e {
+            Expr::Var(name, loc) => {
+                if let Some(var) = self.lookup(name).cloned() {
+                    if var.is_array {
+                        return Err(CompileError::new(
+                            *loc,
+                            format!("cannot assign to array `{name}`"),
+                        ));
+                    }
+                    return Ok(LValue {
+                        place: Place::Slot(var.slot),
+                        vty: var.vty,
+                    });
+                }
+                if let Some(g) = self.globals.get(name).cloned() {
+                    if g.is_array {
+                        return Err(CompileError::new(
+                            *loc,
+                            format!("cannot assign to array `{name}`"),
+                        ));
+                    }
+                    let addr = self.fresh();
+                    self.emit(Inst::GlobalAddr {
+                        dst: addr,
+                        name: name.clone(),
+                    });
+                    return Ok(LValue {
+                        place: Place::Mem {
+                            addr: Operand::V(addr),
+                            off: 0,
+                        },
+                        vty: g.vty,
+                    });
+                }
+                Err(CompileError::new(*loc, format!("unknown variable `{name}`")))
+            }
+            Expr::Unary {
+                op: UnOp::Deref,
+                expr,
+                loc,
+            } => {
+                let (v, t) = self.lower_expr(expr)?;
+                let VTy::Ptr(s) = t else {
+                    return Err(CompileError::new(*loc, "dereference of a non-pointer"));
+                };
+                Ok(LValue {
+                    place: Place::Mem { addr: v, off: 0 },
+                    vty: VTy::of(Type::Scalar(s)),
+                })
+            }
+            Expr::Index { base, index, loc } => {
+                let (addr, s) = self.lower_index_addr(base, index, *loc)?;
+                Ok(LValue {
+                    place: Place::Mem { addr, off: 0 },
+                    vty: VTy::of(Type::Scalar(s)),
+                })
+            }
+            other => Err(CompileError::new(
+                other.loc(),
+                "expression is not assignable",
+            )),
+        }
+    }
+}
+
+fn is_comparison(op: AstBin) -> bool {
+    matches!(
+        op,
+        AstBin::Eq | AstBin::Ne | AstBin::Lt | AstBin::Le | AstBin::Gt | AstBin::Ge
+    )
+}
+
+/// Maps an AST comparison to an IR condition, choosing signedness from the
+/// unified operand type (`u32` and pointers compare unsigned).
+fn comparison_cond(op: AstBin, ty: VTy) -> Option<Cond> {
+    let unsigned = !matches!(ty, VTy::Int);
+    Some(match (op, unsigned) {
+        (AstBin::Eq, _) => Cond::Eq,
+        (AstBin::Ne, _) => Cond::Ne,
+        (AstBin::Lt, false) => Cond::Lt,
+        (AstBin::Le, false) => Cond::Le,
+        (AstBin::Gt, false) => Cond::Gt,
+        (AstBin::Ge, false) => Cond::Ge,
+        (AstBin::Lt, true) => Cond::Ltu,
+        (AstBin::Le, true) => Cond::Leu,
+        (AstBin::Gt, true) => Cond::Gtu,
+        (AstBin::Ge, true) => Cond::Geu,
+        _ => return None,
+    })
+}
+
+struct LValue {
+    place: Place,
+    vty: VTy,
+}
+
+enum Place {
+    Slot(SlotId),
+    Mem { addr: Operand, off: i64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lower_src(src: &str) -> Result<IrModule, CompileError> {
+        lower(&parse(src).unwrap(), Profile::A64)
+    }
+
+    #[test]
+    fn minimal_main() {
+        let m = lower_src("void main() { out(42); }").unwrap();
+        assert_eq!(m.funcs.len(), 1);
+        let f = &m.funcs[0];
+        assert!(f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Out { .. })));
+    }
+
+    #[test]
+    fn requires_main() {
+        assert!(lower_src("void f() { }").is_err());
+        assert!(lower_src("int main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn locals_use_slots_before_optimization() {
+        let m = lower_src("void main() { int x = 1; int y = x + 2; out(y); }").unwrap();
+        let f = &m.funcs[0];
+        assert_eq!(f.slots.len(), 2);
+        let loads = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::LoadSlot { .. }))
+            .count();
+        assert!(loads >= 2, "expected slot loads in unoptimized IR");
+    }
+
+    #[test]
+    fn global_layout_offsets() {
+        let m = lower_src("int a; u32 t[3]; int b; void main() { out(a + b + t[0]); }").unwrap();
+        assert_eq!(m.globals[0].offset, 0);
+        assert_eq!(m.globals[1].offset, 8);
+        // 3 u32 elements = 12 bytes, next global aligns to 8 → 24.
+        assert_eq!(m.globals[2].offset, 24);
+        assert_eq!(m.data_size, 32);
+    }
+
+    #[test]
+    fn word_size_changes_global_layout() {
+        let src = "int a[4]; void main() { out(a[0]); }";
+        let m32 = lower(&parse(src).unwrap(), Profile::A32).unwrap();
+        let m64 = lower(&parse(src).unwrap(), Profile::A64).unwrap();
+        assert_eq!(m32.globals[0].elem_bytes, 4);
+        assert_eq!(m64.globals[0].elem_bytes, 8);
+    }
+
+    #[test]
+    fn rejects_too_many_params_for_a32() {
+        let src = "int f(int a, int b, int c, int d, int e) { return a; } void main() { out(f(1,2,3,4,5)); }";
+        assert!(lower(&parse(src).unwrap(), Profile::A32).is_err());
+        assert!(lower(&parse(src).unwrap(), Profile::A64).is_ok());
+    }
+
+    #[test]
+    fn rejects_type_errors() {
+        assert!(lower_src("void main() { int x; x = main; }").is_err());
+        assert!(lower_src("void main() { int a[3]; a = 1; }").is_err());
+        assert!(lower_src("void main() { int x; out(*x); }").is_err());
+        assert!(lower_src("void main() { out(nosuch); }").is_err());
+        assert!(lower_src("void main() { nosuch(1); }").is_err());
+        assert!(lower_src("void main() { break; }").is_err());
+        assert!(lower_src("int f() { return 1; } void main() { f(2); }").is_err());
+    }
+
+    #[test]
+    fn address_taken_slots_are_marked() {
+        let m = lower_src("void main() { int x = 1; int *p = &x; *p = 2; out(x); }").unwrap();
+        let f = &m.funcs[0];
+        let x = f.slots.iter().find(|s| s.name == "x").unwrap();
+        assert!(x.addr_taken);
+        let p = f.slots.iter().find(|s| s.name == "p").unwrap();
+        assert!(!p.addr_taken);
+    }
+
+    #[test]
+    fn comparisons_pick_signedness_from_type() {
+        let m = lower_src(
+            "void main() { int a = 1; u32 b = 2; if (a < -1) out(1); if (b < 3) out(2); }",
+        )
+        .unwrap();
+        let conds: Vec<Cond> = m.funcs[0]
+            .blocks
+            .iter()
+            .filter_map(|b| match b.term {
+                Term::CondBr { cond, .. } => Some(cond),
+                _ => None,
+            })
+            .collect();
+        assert!(conds.contains(&Cond::Lt));
+        assert!(conds.contains(&Cond::Ltu));
+    }
+
+    #[test]
+    fn short_circuit_creates_control_flow() {
+        let m = lower_src("void main() { int a = 1; int b = 2; if (a < 1 && b > 0) out(1); }")
+            .unwrap();
+        assert!(m.funcs[0].blocks.len() >= 4);
+    }
+
+    #[test]
+    fn nested_loops_with_break_continue() {
+        let src = "
+            void main() {
+                int s = 0;
+                for (int i = 0; i < 10; i = i + 1) {
+                    int j = 0;
+                    while (1) {
+                        j = j + 1;
+                        if (j > i) break;
+                        if (j % 2 == 0) continue;
+                        s = s + j;
+                    }
+                }
+                out(s);
+            }";
+        assert!(lower_src(src).is_ok());
+    }
+}

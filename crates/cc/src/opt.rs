@@ -1,0 +1,250 @@
+//! Optimization levels and the pass pipelines they enable.
+//!
+//! The level → pass mapping mirrors the families GCC's documentation (and
+//! the paper's §II.A) attributes to each `-O` level:
+//!
+//! | Level | Passes |
+//! |-------|--------|
+//! | O0 | none — naive stack code straight from lowering |
+//! | O1 | mem2reg, constant folding, copy propagation, dead-code elimination, CFG simplification |
+//! | O2 | O1 + common-subexpression elimination, loop-invariant code motion, strength reduction, cross-jumping, instruction scheduling |
+//! | O3 | O2 + function inlining and loop unrolling (larger code, same semantics) |
+
+use crate::ir::IrModule;
+use crate::passes;
+use serde::{Deserialize, Serialize};
+use softerr_isa::Profile;
+use std::fmt;
+use std::str::FromStr;
+
+/// A GCC-style optimization level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// No optimization: every local lives on the stack.
+    O0,
+    /// Basic scalar optimizations and register promotion.
+    O1,
+    /// O1 plus CSE, LICM, strength reduction, scheduling, cross-jumping.
+    O2,
+    /// O2 plus inlining and loop unrolling.
+    O3,
+}
+
+impl OptLevel {
+    /// All levels, lowest first.
+    pub const ALL: [OptLevel; 4] = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptLevel::O0 => write!(f, "O0"),
+            OptLevel::O1 => write!(f, "O1"),
+            OptLevel::O2 => write!(f, "O2"),
+            OptLevel::O3 => write!(f, "O3"),
+        }
+    }
+}
+
+impl FromStr for OptLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<OptLevel, String> {
+        match s.trim_start_matches('-') {
+            "O0" | "o0" | "0" => Ok(OptLevel::O0),
+            "O1" | "o1" | "1" => Ok(OptLevel::O1),
+            "O2" | "o2" | "2" => Ok(OptLevel::O2),
+            "O3" | "o3" | "3" => Ok(OptLevel::O3),
+            other => Err(format!("unknown optimization level `{other}`")),
+        }
+    }
+}
+
+/// Fine-grained pass toggles, used both to build the standard levels and for
+/// the per-optimization ablation experiments (the paper's stated future
+/// work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassConfig {
+    /// Promote non-address-taken stack slots to registers.
+    pub mem2reg: bool,
+    /// Constant folding and propagation.
+    pub const_fold: bool,
+    /// Copy propagation.
+    pub copy_prop: bool,
+    /// Dead-code elimination.
+    pub dce: bool,
+    /// Branch folding, jump threading, block merging, unreachable-block removal.
+    pub simplify_cfg: bool,
+    /// Local + extended common-subexpression elimination.
+    pub cse: bool,
+    /// Loop-invariant code motion.
+    pub licm: bool,
+    /// Strength reduction (multiplications by constants → shifts/adds).
+    pub strength_reduce: bool,
+    /// Cross-jumping (tail merging of identical blocks).
+    pub cross_jump: bool,
+    /// List scheduling within basic blocks.
+    pub schedule: bool,
+    /// Function inlining.
+    pub inline: bool,
+    /// Loop unrolling (body replication).
+    pub unroll: bool,
+}
+
+impl PassConfig {
+    /// The pass set enabled by a standard level.
+    pub fn for_level(level: OptLevel) -> PassConfig {
+        let o1 = level >= OptLevel::O1;
+        let o2 = level >= OptLevel::O2;
+        let o3 = level >= OptLevel::O3;
+        PassConfig {
+            mem2reg: o1,
+            const_fold: o1,
+            copy_prop: o1,
+            dce: o1,
+            simplify_cfg: o1,
+            cse: o2,
+            licm: o2,
+            strength_reduce: o2,
+            cross_jump: o2,
+            schedule: o2,
+            inline: o3,
+            unroll: o3,
+        }
+    }
+
+    /// Disables one named pass (for ablation studies).
+    ///
+    /// Recognized names: `mem2reg`, `const-fold`, `copy-prop`, `dce`,
+    /// `simplify-cfg`, `cse`, `licm`, `strength-reduce`, `cross-jump`,
+    /// `schedule`, `inline`, `unroll`.
+    pub fn without(mut self, pass: &str) -> PassConfig {
+        match pass {
+            "mem2reg" => self.mem2reg = false,
+            "const-fold" => self.const_fold = false,
+            "copy-prop" => self.copy_prop = false,
+            "dce" => self.dce = false,
+            "simplify-cfg" => self.simplify_cfg = false,
+            "cse" => self.cse = false,
+            "licm" => self.licm = false,
+            "strength-reduce" => self.strength_reduce = false,
+            "cross-jump" => self.cross_jump = false,
+            "schedule" => self.schedule = false,
+            "inline" => self.inline = false,
+            "unroll" => self.unroll = false,
+            other => panic!("unknown pass name `{other}`"),
+        }
+        self
+    }
+}
+
+/// Runs the configured pass pipeline over a module in place.
+///
+/// Pass order follows GCC's broad staging: inlining first (so every later
+/// pass sees merged bodies), the scalar/loop pipeline next, and loop
+/// unrolling *late* (unrolling duplicates definitions, which would defeat
+/// the single-definition reasoning in LICM if run earlier), with scheduling
+/// last over the final block shapes.
+pub fn run_pipeline(ir: &mut IrModule, cfg: PassConfig, profile: Profile) {
+    fn scalar_fixpoint(f: &mut crate::ir::IrFunc, cfg: PassConfig, profile: Profile) {
+        for _ in 0..4 {
+            let mut changed = false;
+            if cfg.const_fold {
+                changed |= passes::const_fold::run(f, profile);
+            }
+            if cfg.copy_prop {
+                changed |= passes::copy_prop::run(f);
+            }
+            if cfg.cse {
+                changed |= passes::cse::run(f);
+            }
+            if cfg.dce {
+                changed |= passes::dce::run(f);
+            }
+            if cfg.simplify_cfg {
+                changed |= passes::simplify_cfg::run(f);
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    if cfg.inline {
+        passes::inline::run(ir);
+    }
+    for f in &mut ir.funcs {
+        if cfg.mem2reg {
+            passes::mem2reg::run(f);
+        }
+        scalar_fixpoint(f, cfg, profile);
+        if cfg.licm {
+            passes::licm::run(f);
+        }
+        if cfg.strength_reduce {
+            passes::strength_reduce::run(f);
+            if cfg.dce {
+                passes::dce::run(f);
+            }
+        }
+        if cfg.cross_jump {
+            passes::cross_jump::run(f);
+        }
+    }
+    // Unrolling runs late (it duplicates definitions, which would defeat
+    // LICM's single-definition reasoning if run earlier), followed by a
+    // second scalar round that merges the duplicated exit tests.
+    if cfg.unroll {
+        passes::unroll::run(ir);
+        for f in &mut ir.funcs {
+            scalar_fixpoint(f, cfg, profile);
+        }
+    }
+    for f in &mut ir.funcs {
+        if cfg.schedule {
+            passes::schedule::run(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(OptLevel::O0 < OptLevel::O1);
+        assert!(OptLevel::O2 < OptLevel::O3);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for l in OptLevel::ALL {
+            assert_eq!(l.to_string().parse::<OptLevel>().unwrap(), l);
+        }
+        assert_eq!("-O2".parse::<OptLevel>().unwrap(), OptLevel::O2);
+        assert!("O9".parse::<OptLevel>().is_err());
+    }
+
+    #[test]
+    fn o0_enables_nothing() {
+        let c = PassConfig::for_level(OptLevel::O0);
+        assert!(!c.mem2reg && !c.cse && !c.inline);
+    }
+
+    #[test]
+    fn levels_are_cumulative() {
+        let o1 = PassConfig::for_level(OptLevel::O1);
+        let o2 = PassConfig::for_level(OptLevel::O2);
+        let o3 = PassConfig::for_level(OptLevel::O3);
+        assert!(o1.mem2reg && !o1.cse);
+        assert!(o2.mem2reg && o2.cse && !o2.inline);
+        assert!(o3.cse && o3.inline && o3.unroll);
+    }
+
+    #[test]
+    fn without_disables_single_pass() {
+        let c = PassConfig::for_level(OptLevel::O2).without("cse");
+        assert!(!c.cse && c.licm);
+    }
+}

@@ -1,0 +1,633 @@
+//! Recursive-descent parser for MiniC.
+
+use crate::ast::*;
+use crate::error::{CompileError, Loc};
+use crate::lexer::{lex, Tok, Token};
+
+/// Parses a MiniC translation unit.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(src: &str) -> Result<Module, CompileError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.module()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn loc(&self) -> Loc {
+        self.toks[self.pos].loc
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), CompileError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(CompileError::new(
+                self.loc(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(CompileError::new(
+                self.loc(),
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    fn scalar_type(&mut self) -> Result<Option<Scalar>, CompileError> {
+        if self.eat(&Tok::KwInt) {
+            Ok(Some(Scalar::Int))
+        } else if self.eat(&Tok::KwU32) {
+            Ok(Some(Scalar::U32))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, CompileError> {
+        let mut module = Module::default();
+        while *self.peek() != Tok::Eof {
+            self.eat(&Tok::KwConst);
+            let loc = self.loc();
+            if self.eat(&Tok::KwVoid) {
+                let name = self.ident("function name")?;
+                module.funcs.push(self.func(name, None, loc)?);
+                continue;
+            }
+            let Some(scalar) = self.scalar_type()? else {
+                return Err(CompileError::new(
+                    loc,
+                    format!("expected declaration, found {:?}", self.peek()),
+                ));
+            };
+            let mut ty = Type::Scalar(scalar);
+            if self.eat(&Tok::Star) {
+                ty = Type::Ptr(scalar);
+            }
+            let name = self.ident("name")?;
+            if *self.peek() == Tok::LParen {
+                module.funcs.push(self.func(name, Some(ty), loc)?);
+            } else {
+                if matches!(ty, Type::Ptr(_)) {
+                    return Err(CompileError::new(loc, "global pointers are not supported"));
+                }
+                module.globals.push(self.global(name, scalar, loc)?);
+            }
+        }
+        Ok(module)
+    }
+
+    fn global(&mut self, name: String, scalar: Scalar, loc: Loc) -> Result<Global, CompileError> {
+        let mut len = None;
+        if self.eat(&Tok::LBracket) {
+            len = Some(self.const_int()? as usize);
+            self.expect(&Tok::RBracket, "`]`")?;
+        }
+        let mut init = Vec::new();
+        if self.eat(&Tok::Assign) {
+            if self.eat(&Tok::LBrace) {
+                if len.is_none() {
+                    return Err(CompileError::new(loc, "brace initializer on scalar global"));
+                }
+                loop {
+                    init.push(self.const_int()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                    // Allow trailing comma.
+                    if *self.peek() == Tok::RBrace {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RBrace, "`}`")?;
+            } else {
+                init.push(self.const_int()?);
+            }
+        }
+        if let Some(n) = len {
+            if init.len() > n {
+                return Err(CompileError::new(
+                    loc,
+                    format!("{} initializers for array of {}", init.len(), n),
+                ));
+            }
+        }
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(Global {
+            name,
+            scalar,
+            len,
+            init,
+            loc,
+        })
+    }
+
+    fn const_int(&mut self) -> Result<i64, CompileError> {
+        let neg = self.eat(&Tok::Minus);
+        match self.bump() {
+            Tok::Int(v) => Ok(if neg { v.wrapping_neg() } else { v }),
+            other => Err(CompileError::new(
+                self.loc(),
+                format!("expected integer constant, found {other:?}"),
+            )),
+        }
+    }
+
+    fn func(&mut self, name: String, ret: Option<Type>, loc: Loc) -> Result<Func, CompileError> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                self.eat(&Tok::KwConst);
+                let ploc = self.loc();
+                let Some(scalar) = self.scalar_type()? else {
+                    return Err(CompileError::new(ploc, "expected parameter type"));
+                };
+                let ty = if self.eat(&Tok::Star) {
+                    Type::Ptr(scalar)
+                } else {
+                    Type::Scalar(scalar)
+                };
+                let pname = self.ident("parameter name")?;
+                params.push((pname, ty));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen, "`)`")?;
+        }
+        let body = self.block()?;
+        Ok(Func {
+            name,
+            ret,
+            params,
+            body,
+            loc,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn block_or_stmt(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if *self.peek() == Tok::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let loc = self.loc();
+        match self.peek().clone() {
+            Tok::KwConst | Tok::KwInt | Tok::KwU32 => self.decl(),
+            Tok::KwIf => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                let then_blk = self.block_or_stmt()?;
+                let else_blk = if self.eat(&Tok::KwElse) {
+                    if *self.peek() == Tok::KwIf {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block_or_stmt()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let init = if self.eat(&Tok::Semi) {
+                    None
+                } else {
+                    let s = self.simple_stmt_no_semi()?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    Some(Box::new(s))
+                };
+                let cond = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::Semi, "`;`")?;
+                let step = if *self.peek() == Tok::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt_no_semi()?))
+                };
+                self.expect(&Tok::RParen, "`)`")?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let value = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Return { value, loc })
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Break(loc))
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Continue(loc))
+            }
+            Tok::KwOut => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Out(e, loc))
+            }
+            _ => {
+                let s = self.simple_stmt_no_semi()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn decl(&mut self) -> Result<Stmt, CompileError> {
+        let loc = self.loc();
+        self.eat(&Tok::KwConst);
+        let Some(scalar) = self.scalar_type()? else {
+            return Err(CompileError::new(loc, "expected type"));
+        };
+        let ty = if self.eat(&Tok::Star) {
+            Type::Ptr(scalar)
+        } else {
+            Type::Scalar(scalar)
+        };
+        let name = self.ident("variable name")?;
+        let mut len = None;
+        if self.eat(&Tok::LBracket) {
+            if matches!(ty, Type::Ptr(_)) {
+                return Err(CompileError::new(loc, "array of pointers not supported"));
+            }
+            len = Some(self.const_int()? as usize);
+            self.expect(&Tok::RBracket, "`]`")?;
+        }
+        let init = if self.eat(&Tok::Assign) {
+            if len.is_some() {
+                return Err(CompileError::new(loc, "local arrays cannot be initialized"));
+            }
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(Stmt::Decl {
+            name,
+            ty,
+            len,
+            init,
+            loc,
+        })
+    }
+
+    /// Assignment or expression statement, without the trailing semicolon
+    /// (shared between plain statements and `for` init/step clauses).
+    fn simple_stmt_no_semi(&mut self) -> Result<Stmt, CompileError> {
+        // A `for` init clause may also be a declaration.
+        if matches!(self.peek(), Tok::KwInt | Tok::KwU32)
+            || (*self.peek() == Tok::KwConst && matches!(self.peek2(), Tok::KwInt | Tok::KwU32))
+        {
+            // Declarations consume their own semicolon; rewind trick: parse
+            // decl but it expects `;`. For simplicity, for-init declarations
+            // are parsed here without `;` by inlining the logic.
+            let loc = self.loc();
+            self.eat(&Tok::KwConst);
+            let Some(scalar) = self.scalar_type()? else {
+                return Err(CompileError::new(loc, "expected type"));
+            };
+            let ty = if self.eat(&Tok::Star) {
+                Type::Ptr(scalar)
+            } else {
+                Type::Scalar(scalar)
+            };
+            let name = self.ident("variable name")?;
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Decl {
+                name,
+                ty,
+                len: None,
+                init,
+                loc,
+            });
+        }
+        let loc = self.loc();
+        let e = self.expr()?;
+        if self.eat(&Tok::Assign) {
+            let value = self.expr()?;
+            Ok(Stmt::Assign {
+                target: e,
+                value,
+                loc,
+            })
+        } else {
+            Ok(Stmt::ExprStmt(e))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.bin_expr(0)
+    }
+
+    fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::OrOr => (BinOp::LogOr, 1),
+                Tok::AndAnd => (BinOp::LogAnd, 2),
+                Tok::Pipe => (BinOp::Or, 3),
+                Tok::Caret => (BinOp::Xor, 4),
+                Tok::Amp => (BinOp::And, 5),
+                Tok::EqEq => (BinOp::Eq, 6),
+                Tok::Ne => (BinOp::Ne, 6),
+                Tok::Lt => (BinOp::Lt, 7),
+                Tok::Le => (BinOp::Le, 7),
+                Tok::Gt => (BinOp::Gt, 7),
+                Tok::Ge => (BinOp::Ge, 7),
+                Tok::Shl => (BinOp::Shl, 8),
+                Tok::Shr => (BinOp::Shr, 8),
+                Tok::Plus => (BinOp::Add, 9),
+                Tok::Minus => (BinOp::Sub, 9),
+                Tok::Star => (BinOp::Mul, 10),
+                Tok::Slash => (BinOp::Div, 10),
+                Tok::Percent => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let loc = self.loc();
+            self.bump();
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                loc,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let loc = self.loc();
+        let op = match self.peek() {
+            Tok::Minus => Some(UnOp::Neg),
+            Tok::Bang => Some(UnOp::Not),
+            Tok::Tilde => Some(UnOp::BitNot),
+            Tok::Star => Some(UnOp::Deref),
+            Tok::Amp => Some(UnOp::AddrOf),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let expr = self.unary()?;
+            return Ok(Expr::Unary {
+                op,
+                expr: Box::new(expr),
+                loc,
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            let loc = self.loc();
+            if self.eat(&Tok::LBracket) {
+                let index = self.expr()?;
+                self.expect(&Tok::RBracket, "`]`")?;
+                e = Expr::Index {
+                    base: Box::new(e),
+                    index: Box::new(index),
+                    loc,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let loc = self.loc();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Num(v, loc))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen, "`)`")?;
+                    }
+                    Ok(Expr::Call { name, args, loc })
+                } else {
+                    Ok(Expr::Var(name, loc))
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            other => Err(CompileError::new(
+                loc,
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let m = parse("void main() { out(1); }").unwrap();
+        assert_eq!(m.funcs.len(), 1);
+        assert_eq!(m.funcs[0].name, "main");
+        assert!(m.funcs[0].ret.is_none());
+    }
+
+    #[test]
+    fn parses_globals() {
+        let m = parse("int n = 5; u32 tab[4] = {1, 2, 3, 4}; int zeroed[8];").unwrap();
+        assert_eq!(m.globals.len(), 3);
+        assert_eq!(m.globals[0].init, vec![5]);
+        assert_eq!(m.globals[1].len, Some(4));
+        assert_eq!(m.globals[1].scalar, Scalar::U32);
+        assert!(m.globals[2].init.is_empty());
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let m = parse("int f() { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &m.funcs[0].body[0] else {
+            panic!("expected return");
+        };
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = e else {
+            panic!("expected add at top: {e:?}");
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = "
+            int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    if (i % 2 == 0) { s = s + i; } else s = s - 1;
+                    while (s > 100) { s = s / 2; break; }
+                }
+                return s;
+            }";
+        let m = parse(src).unwrap();
+        assert_eq!(m.funcs[0].params.len(), 1);
+    }
+
+    #[test]
+    fn parses_pointers_and_arrays() {
+        let src = "
+            void f(int *p, u32 *q) {
+                int a[10];
+                *p = a[3];
+                p[1] = 4;
+                q[0] = 7;
+                int *r = &a[2];
+                *r = 9;
+            }";
+        let m = parse(src).unwrap();
+        assert_eq!(m.funcs[0].params[0].1, Type::Ptr(Scalar::Int));
+    }
+
+    #[test]
+    fn negative_constants_in_globals() {
+        let m = parse("int k = -7; int a[2] = {-1, -2};").unwrap();
+        assert_eq!(m.globals[0].init, vec![-7]);
+        assert_eq!(m.globals[1].init, vec![-1, -2]);
+    }
+
+    #[test]
+    fn rejects_syntax_errors() {
+        assert!(parse("void main() { out(1) }").is_err());
+        assert!(parse("int f( { }").is_err());
+        assert!(parse("int x = ;").is_err());
+        assert!(parse("void main() { 1 + ; }").is_err());
+    }
+
+    #[test]
+    fn rejects_too_many_initializers() {
+        assert!(parse("int a[2] = {1,2,3};").is_err());
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = "int sign(int x) { if (x > 0) return 1; else if (x < 0) return -1; else return 0; }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn logical_operators_lowest_precedence() {
+        let m = parse("int f(int a, int b) { return a < 1 && b > 2 || a == b; }").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &m.funcs[0].body[0] else {
+            panic!();
+        };
+        assert!(matches!(e, Expr::Binary { op: BinOp::LogOr, .. }));
+    }
+}

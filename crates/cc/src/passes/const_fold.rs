@@ -1,0 +1,330 @@
+//! Constant folding and local constant propagation.
+//!
+//! Folding uses the *exact* target semantics — [`softerr_isa::eval_alu`] with
+//! the function's profile — so a folded result can never differ from what
+//! the emitted instruction would have computed.
+
+use crate::ir::*;
+use softerr_isa::{eval_alu, eval_branch, AluOp, BranchCond, Profile};
+use std::collections::HashMap;
+
+/// Evaluates an IR binary op on constants with target semantics.
+pub fn eval_bin(profile: Profile, op: BinOp, w: Width, a: i64, b: i64) -> i64 {
+    let (a, b) = match w {
+        Width::U32 => (a as u32 as i64, b as u32 as i64),
+        Width::Word => (a, b),
+    };
+    let alu = match op {
+        BinOp::Add => AluOp::Add,
+        BinOp::Sub => AluOp::Sub,
+        BinOp::Mul => AluOp::Mul,
+        BinOp::Div { signed: true } => AluOp::Div,
+        BinOp::Div { signed: false } => AluOp::Divu,
+        BinOp::Rem { signed: true } => AluOp::Rem,
+        BinOp::Rem { signed: false } => AluOp::Remu,
+        BinOp::And => AluOp::And,
+        BinOp::Or => AluOp::Or,
+        BinOp::Xor => AluOp::Xor,
+        BinOp::Shl => AluOp::Sll,
+        BinOp::Shr { arith: true } => AluOp::Sra,
+        BinOp::Shr { arith: false } => AluOp::Srl,
+    };
+    let raw = eval_alu(profile, alu, a as u64, b as u64);
+    let masked = match w {
+        Width::U32 => raw & 0xFFFF_FFFF,
+        Width::Word => raw,
+    };
+    // Results are stored sign-agnostically; A32 values stay in the low 32
+    // bits exactly as in a register.
+    masked as i64
+}
+
+/// Evaluates an IR comparison on constants with target semantics.
+pub fn eval_cmp(profile: Profile, cond: Cond, a: i64, b: i64) -> bool {
+    let (bc, a, b) = match cond {
+        Cond::Eq => (BranchCond::Eq, a, b),
+        Cond::Ne => (BranchCond::Ne, a, b),
+        Cond::Lt => (BranchCond::Lt, a, b),
+        Cond::Ge => (BranchCond::Ge, a, b),
+        Cond::Ltu => (BranchCond::Ltu, a, b),
+        Cond::Geu => (BranchCond::Geu, a, b),
+        Cond::Gt => (BranchCond::Lt, b, a),
+        Cond::Le => (BranchCond::Ge, b, a),
+        Cond::Gtu => (BranchCond::Ltu, b, a),
+        Cond::Leu => (BranchCond::Geu, b, a),
+    };
+    eval_branch(profile, bc, a as u64, b as u64)
+}
+
+/// Runs folding + local propagation. Returns `true` if anything changed.
+pub fn run(func: &mut IrFunc, profile: Profile) -> bool {
+    let mut changed = false;
+    for b in &mut func.blocks {
+        // vreg → known constant, valid within this block.
+        let mut known: HashMap<VReg, i64> = HashMap::new();
+        let subst = |known: &HashMap<VReg, i64>, op: &mut Operand, changed: &mut bool| {
+            if let Operand::V(v) = op {
+                if let Some(&c) = known.get(v) {
+                    *op = Operand::C(c);
+                    *changed = true;
+                }
+            }
+        };
+        for inst in &mut b.insts {
+            match inst {
+                Inst::Bin { op, w, dst, a, b } => {
+                    subst(&known, a, &mut changed);
+                    subst(&known, b, &mut changed);
+                    let folded = match (a.as_const(), b.as_const()) {
+                        (Some(x), Some(y)) => {
+                            Some(FoldResult::Const(eval_bin(profile, *op, *w, x, y)))
+                        }
+                        _ => algebraic_identity(*op, *a, *b),
+                    };
+                    let dst = *dst;
+                    match folded {
+                        Some(FoldResult::Const(c)) => {
+                            *inst = Inst::Copy {
+                                dst,
+                                src: Operand::C(c),
+                            };
+                            known.insert(dst, c);
+                            changed = true;
+                        }
+                        Some(FoldResult::Operand(o)) => {
+                            *inst = Inst::Copy { dst, src: o };
+                            known.remove(&dst);
+                            if let Operand::C(c) = o {
+                                known.insert(dst, c);
+                            }
+                            changed = true;
+                        }
+                        None => {
+                            known.remove(&dst);
+                        }
+                    }
+                }
+                Inst::Cmp { cond, dst, a, b } => {
+                    subst(&known, a, &mut changed);
+                    subst(&known, b, &mut changed);
+                    if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+                        let c = i64::from(eval_cmp(profile, *cond, x, y));
+                        let dst = *dst;
+                        *inst = Inst::Copy {
+                            dst,
+                            src: Operand::C(c),
+                        };
+                        known.insert(dst, c);
+                        changed = true;
+                    } else {
+                        known.remove(dst);
+                    }
+                }
+                Inst::Copy { dst, src } => {
+                    subst(&known, src, &mut changed);
+                    match src.as_const() {
+                        Some(c) => {
+                            known.insert(*dst, c);
+                        }
+                        None => {
+                            known.remove(dst);
+                        }
+                    }
+                }
+                Inst::Load { dst, addr, .. } => {
+                    subst(&known, addr, &mut changed);
+                    known.remove(dst);
+                }
+                Inst::Store { src, addr, .. } => {
+                    subst(&known, src, &mut changed);
+                    subst(&known, addr, &mut changed);
+                }
+                Inst::StoreSlot { src, .. } => {
+                    subst(&known, src, &mut changed);
+                }
+                Inst::Out { src } => {
+                    subst(&known, src, &mut changed);
+                }
+                Inst::Call { dst, args, .. } => {
+                    for a in args {
+                        subst(&known, a, &mut changed);
+                    }
+                    if let Some(d) = dst {
+                        known.remove(d);
+                    }
+                }
+                Inst::SlotAddr { dst, .. }
+                | Inst::GlobalAddr { dst, .. }
+                | Inst::LoadSlot { dst, .. } => {
+                    known.remove(dst);
+                }
+            }
+        }
+        // Fold the terminator.
+        match &mut b.term {
+            Term::CondBr { cond, a, b: rhs, t, f } => {
+                subst(&known, a, &mut changed);
+                subst(&known, rhs, &mut changed);
+                if let (Some(x), Some(y)) = (a.as_const(), rhs.as_const()) {
+                    let target = if eval_cmp(profile, *cond, x, y) { *t } else { *f };
+                    b.term = Term::Jmp(target);
+                    changed = true;
+                }
+            }
+            Term::Ret(Some(op)) => {
+                subst(&known, op, &mut changed);
+            }
+            _ => {}
+        }
+    }
+    changed
+}
+
+enum FoldResult {
+    Const(i64),
+    Operand(Operand),
+}
+
+/// `x+0`, `x*1`, `x*0`, `x&0`, `x|0`, `x^0`, `x<<0`, `x-0`, `x/1`.
+fn algebraic_identity(op: BinOp, a: Operand, b: Operand) -> Option<FoldResult> {
+    match (op, a, b) {
+        (BinOp::Add, x, Operand::C(0)) | (BinOp::Add, Operand::C(0), x) => {
+            Some(FoldResult::Operand(x))
+        }
+        (BinOp::Sub, x, Operand::C(0)) => Some(FoldResult::Operand(x)),
+        (BinOp::Mul, _, Operand::C(0)) | (BinOp::Mul, Operand::C(0), _) => {
+            Some(FoldResult::Const(0))
+        }
+        (BinOp::Mul, x, Operand::C(1)) | (BinOp::Mul, Operand::C(1), x) => {
+            Some(FoldResult::Operand(x))
+        }
+        (BinOp::Div { .. }, x, Operand::C(1)) => Some(FoldResult::Operand(x)),
+        (BinOp::And, _, Operand::C(0)) | (BinOp::And, Operand::C(0), _) => {
+            Some(FoldResult::Const(0))
+        }
+        (BinOp::Or, x, Operand::C(0)) | (BinOp::Or, Operand::C(0), x) => {
+            Some(FoldResult::Operand(x))
+        }
+        (BinOp::Xor, x, Operand::C(0)) | (BinOp::Xor, Operand::C(0), x) => {
+            Some(FoldResult::Operand(x))
+        }
+        (BinOp::Shl | BinOp::Shr { .. }, x, Operand::C(0)) => Some(FoldResult::Operand(x)),
+        // x - x, x ^ x → 0 (register self-operands).
+        (BinOp::Sub | BinOp::Xor, Operand::V(x), Operand::V(y)) if x == y => {
+            Some(FoldResult::Const(0))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::{ir_of, run_ir};
+    use crate::passes::{dce, mem2reg};
+
+    fn count_bins(f: &IrFunc) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Bin { .. } | Inst::Cmp { .. }))
+            .count()
+    }
+
+    #[test]
+    fn folds_constant_expressions() {
+        let mut ir = ir_of("void main() { int x = 2 + 3 * 4; out(x); }");
+        mem2reg::run(&mut ir.funcs[0]);
+        run(&mut ir.funcs[0], Profile::A64);
+        dce::run(&mut ir.funcs[0]);
+        assert_eq!(count_bins(&ir.funcs[0]), 0, "everything should fold");
+        assert_eq!(run_ir(&ir, Profile::A64), vec![14]);
+    }
+
+    #[test]
+    fn u32_folding_wraps_at_32_bits() {
+        assert_eq!(
+            eval_bin(Profile::A64, BinOp::Add, Width::U32, 0xFFFF_FFFF, 1),
+            0
+        );
+        assert_eq!(
+            eval_bin(Profile::A64, BinOp::Mul, Width::U32, 0x10000, 0x10000),
+            0
+        );
+        // Word width on A64 does not wrap at 32.
+        assert_eq!(
+            eval_bin(Profile::A64, BinOp::Add, Width::Word, 0xFFFF_FFFF, 1),
+            0x1_0000_0000
+        );
+        // ... but does on A32.
+        assert_eq!(
+            eval_bin(Profile::A32, BinOp::Add, Width::Word, 0xFFFF_FFFF, 1),
+            0
+        );
+    }
+
+    #[test]
+    fn division_by_zero_folds_to_target_semantics() {
+        assert_eq!(
+            eval_bin(Profile::A64, BinOp::Div { signed: true }, Width::Word, 7, 0),
+            0
+        );
+        assert_eq!(
+            eval_bin(Profile::A64, BinOp::Rem { signed: false }, Width::Word, 7, 0),
+            7
+        );
+    }
+
+    #[test]
+    fn folds_branches_on_constants() {
+        let mut ir = ir_of("void main() { if (1 < 2) out(1); else out(2); }");
+        mem2reg::run(&mut ir.funcs[0]);
+        let changed = run(&mut ir.funcs[0], Profile::A64);
+        assert!(changed);
+        let cond_brs = ir.funcs[0]
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Term::CondBr { .. }))
+            .count();
+        assert_eq!(cond_brs, 0);
+        assert_eq!(run_ir(&ir, Profile::A64), vec![1]);
+    }
+
+    #[test]
+    fn propagation_is_local_but_effective() {
+        let mut ir = ir_of("void main() { int a = 10; int b = a * a; int c = b - 50; out(c); }");
+        mem2reg::run(&mut ir.funcs[0]);
+        for _ in 0..3 {
+            run(&mut ir.funcs[0], Profile::A64);
+            crate::passes::copy_prop::run(&mut ir.funcs[0]);
+            dce::run(&mut ir.funcs[0]);
+        }
+        assert_eq!(count_bins(&ir.funcs[0]), 0);
+        assert_eq!(run_ir(&ir, Profile::A64), vec![50]);
+    }
+
+    #[test]
+    fn identities_simplify_without_constants() {
+        let mut ir = ir_of(
+            "void main() { int x = 7; int y = x + 0; int z = y * 1; int w = z ^ z; out(z + w); }",
+        );
+        mem2reg::run(&mut ir.funcs[0]);
+        for _ in 0..3 {
+            run(&mut ir.funcs[0], Profile::A64);
+            crate::passes::copy_prop::run(&mut ir.funcs[0]);
+            dce::run(&mut ir.funcs[0]);
+        }
+        assert_eq!(run_ir(&ir, Profile::A64), vec![7]);
+        assert_eq!(count_bins(&ir.funcs[0]), 0);
+    }
+
+    #[test]
+    fn fold_matches_execution_for_shifts() {
+        // Shift amounts ≥ width behave per target (mod xlen).
+        for profile in [Profile::A32, Profile::A64] {
+            let folded = eval_bin(profile, BinOp::Shl, Width::Word, 1, 40);
+            let expected = softerr_isa::eval_alu(profile, AluOp::Sll, 1, 40) as i64;
+            assert_eq!(folded, expected);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Local copy propagation.
+//!
+//! Within each block, uses of a vreg that was last assigned by `Copy` are
+//! replaced by the copy's source, as long as neither side has been
+//! redefined in between. DCE then removes the dead copies.
+
+use crate::ir::*;
+use std::collections::HashMap;
+
+/// Runs copy propagation. Returns `true` if anything changed.
+pub fn run(func: &mut IrFunc) -> bool {
+    let mut changed = false;
+    for b in &mut func.blocks {
+        // dst → current source operand.
+        let mut copies: HashMap<VReg, Operand> = HashMap::new();
+        let resolve = |copies: &HashMap<VReg, Operand>, op: &mut Operand, changed: &mut bool| {
+            if let Operand::V(v) = op {
+                if let Some(&src) = copies.get(v) {
+                    *op = src;
+                    *changed = true;
+                }
+            }
+        };
+        let invalidate = |copies: &mut HashMap<VReg, Operand>, def: VReg| {
+            copies.remove(&def);
+            copies.retain(|_, src| *src != Operand::V(def));
+        };
+        for inst in &mut b.insts {
+            // First rewrite the uses...
+            match inst {
+                Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                    resolve(&copies, a, &mut changed);
+                    resolve(&copies, b, &mut changed);
+                }
+                Inst::Copy { src, .. } => resolve(&copies, src, &mut changed),
+                Inst::Load { addr, .. } => resolve(&copies, addr, &mut changed),
+                Inst::Store { src, addr, .. } => {
+                    resolve(&copies, src, &mut changed);
+                    resolve(&copies, addr, &mut changed);
+                }
+                Inst::StoreSlot { src, .. } => resolve(&copies, src, &mut changed),
+                Inst::Out { src } => resolve(&copies, src, &mut changed),
+                Inst::Call { args, .. } => {
+                    for a in args {
+                        resolve(&copies, a, &mut changed);
+                    }
+                }
+                Inst::SlotAddr { .. } | Inst::GlobalAddr { .. } | Inst::LoadSlot { .. } => {}
+            }
+            // ... then update the copy environment with the def.
+            if let Some(def) = inst.def() {
+                invalidate(&mut copies, def);
+                if let Inst::Copy { dst, src } = inst {
+                    if *src != Operand::V(*dst) {
+                        copies.insert(*dst, *src);
+                    }
+                }
+            }
+        }
+        match &mut b.term {
+            Term::Ret(Some(op)) => resolve(&copies, op, &mut changed),
+            Term::CondBr { a, b, .. } => {
+                resolve(&copies, a, &mut changed);
+                resolve(&copies, b, &mut changed);
+            }
+            _ => {}
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::{ir_of, run_ir};
+    use crate::passes::{dce, mem2reg};
+    use softerr_isa::Profile;
+
+    #[test]
+    fn propagates_through_chains() {
+        let mut f = IrFunc {
+            name: "f".into(),
+            params: vec![],
+            ret: None,
+            blocks: vec![Block {
+                insts: vec![
+                    Inst::Copy { dst: 0, src: Operand::C(7) },
+                    Inst::Copy { dst: 1, src: Operand::V(0) },
+                    Inst::Copy { dst: 2, src: Operand::V(1) },
+                    Inst::Out { src: Operand::V(2) },
+                ],
+                term: Term::Ret(None),
+            }],
+            slots: vec![],
+            next_vreg: 3,
+        };
+        assert!(run(&mut f));
+        assert_eq!(
+            f.blocks[0].insts[3],
+            Inst::Out { src: Operand::C(7) },
+            "chain should collapse to the constant"
+        );
+    }
+
+    #[test]
+    fn redefinition_kills_copy() {
+        let mut f = IrFunc {
+            name: "f".into(),
+            params: vec![],
+            ret: None,
+            blocks: vec![Block {
+                insts: vec![
+                    Inst::Copy { dst: 0, src: Operand::C(1) },
+                    Inst::Copy { dst: 1, src: Operand::V(0) },
+                    // v0 redefined: v1 may no longer forward to v0.
+                    Inst::Copy { dst: 0, src: Operand::C(2) },
+                    Inst::Out { src: Operand::V(1) },
+                ],
+                term: Term::Ret(None),
+            }],
+            slots: vec![],
+            next_vreg: 2,
+        };
+        run(&mut f);
+        // v1 itself still holds constant 1 via its own copy.
+        assert_eq!(f.blocks[0].insts[3], Inst::Out { src: Operand::C(1) });
+    }
+
+    #[test]
+    fn semantics_preserved_on_real_program() {
+        let src = "
+            int g(int n) { int a = n; int b = a; int c = b; return c + a; }
+            void main() { out(g(21)); }";
+        let base = ir_of(src);
+        let mut opt = base.clone();
+        for f in &mut opt.funcs {
+            mem2reg::run(f);
+            run(f);
+            dce::run(f);
+        }
+        assert_eq!(run_ir(&base, Profile::A64), run_ir(&opt, Profile::A64));
+        assert_eq!(run_ir(&opt, Profile::A64), vec![42]);
+    }
+}

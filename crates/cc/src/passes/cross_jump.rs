@@ -1,0 +1,118 @@
+//! Cross-jumping: merge blocks with identical bodies and terminators.
+//!
+//! The classic `-O2` tail-merging transformation: when two blocks compute
+//! the same instructions and transfer control identically, all edges are
+//! redirected to one of them and the duplicate becomes unreachable.
+
+use crate::ir::*;
+use std::collections::HashMap;
+
+/// Runs cross-jumping. Returns `true` if any blocks were merged.
+pub fn run(func: &mut IrFunc) -> bool {
+    let mut changed = false;
+    loop {
+        // Group identical blocks (skip the entry: it must remain block 0).
+        let mut canon: HashMap<String, BlockId> = HashMap::new();
+        let mut redirect: HashMap<BlockId, BlockId> = HashMap::new();
+        for (id, b) in func.blocks.iter().enumerate() {
+            let fingerprint = format!("{:?}|{:?}", b.insts, b.term);
+            if id == 0 {
+                continue;
+            }
+            match canon.get(&fingerprint) {
+                Some(&first) => {
+                    redirect.insert(id, first);
+                }
+                None => {
+                    canon.insert(fingerprint, id);
+                }
+            }
+        }
+        if redirect.is_empty() {
+            break;
+        }
+        for b in &mut func.blocks {
+            match &mut b.term {
+                Term::Jmp(t) => {
+                    if let Some(&r) = redirect.get(t) {
+                        *t = r;
+                    }
+                }
+                Term::CondBr { t, f, .. } => {
+                    if let Some(&r) = redirect.get(t) {
+                        *t = r;
+                    }
+                    if let Some(&r) = redirect.get(f) {
+                        *f = r;
+                    }
+                }
+                Term::Ret(_) => {}
+            }
+        }
+        changed = true;
+        // Duplicates are now unreachable; drop them.
+        crate::passes::simplify_cfg::run(func);
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::{ir_of, run_ir};
+    use crate::passes::{copy_prop, dce, mem2reg, simplify_cfg};
+    use softerr_isa::Profile;
+
+    #[test]
+    fn merges_identical_tails() {
+        // Both branches do out(5); return — classic cross-jump shape.
+        let src = "
+            void main() {
+                int x = 3;
+                if (x > 1) { out(5); } else { out(5); }
+            }";
+        let mut ir = ir_of(src);
+        let f = &mut ir.funcs[0];
+        mem2reg::run(f);
+        copy_prop::run(f);
+        dce::run(f);
+        simplify_cfg::run(f);
+        let before = f.blocks.len();
+        run(f);
+        assert!(ir.funcs[0].blocks.len() <= before);
+        assert_eq!(run_ir(&ir, Profile::A64), vec![5]);
+    }
+
+    #[test]
+    fn distinct_blocks_untouched() {
+        let src = "
+            void main() {
+                int x = 3;
+                if (x > 1) { out(5); } else { out(6); }
+            }";
+        let mut ir = ir_of(src);
+        let golden = run_ir(&ir, Profile::A64);
+        let f = &mut ir.funcs[0];
+        mem2reg::run(f);
+        run(f);
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+    }
+
+    #[test]
+    fn terminates_on_self_similar_loops() {
+        let src = "
+            void main() {
+                int i = 0;
+                while (i < 3) { i = i + 1; out(i); }
+                while (i < 6) { i = i + 1; out(i); }
+            }";
+        let mut ir = ir_of(src);
+        let golden = run_ir(&ir, Profile::A64);
+        let f = &mut ir.funcs[0];
+        mem2reg::run(f);
+        copy_prop::run(f);
+        dce::run(f);
+        run(f);
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+    }
+}

@@ -1,0 +1,212 @@
+//! Local common-subexpression elimination (value numbering per block).
+//!
+//! Pure expressions (`Bin`, `Cmp`, `SlotAddr`, `GlobalAddr`) and memory
+//! loads are cached; a repeated computation becomes a `Copy` from the first
+//! result. Loads are invalidated by stores and calls (no alias analysis);
+//! any cached expression is invalidated when one of its input vregs is
+//! redefined.
+
+use crate::ir::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Bin(BinOp, Width, Operand, Operand),
+    Cmp(Cond, Operand, Operand),
+    SlotAddr(SlotId),
+    GlobalAddr(String),
+    /// Load key includes a memory epoch bumped by stores/calls.
+    Load(Width, Operand, i64, u64),
+}
+
+fn commutes(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+    )
+}
+
+fn canonical_operands(op: BinOp, a: Operand, b: Operand) -> (Operand, Operand) {
+    if !commutes(op) {
+        return (a, b);
+    }
+    // Deterministic order: constants last, lower vreg first.
+    match (a, b) {
+        (Operand::C(_), Operand::V(_)) => (b, a),
+        (Operand::V(x), Operand::V(y)) if y < x => (b, a),
+        (Operand::C(x), Operand::C(y)) if y < x => (b, a),
+        _ => (a, b),
+    }
+}
+
+/// Runs local CSE. Returns `true` if anything changed.
+pub fn run(func: &mut IrFunc) -> bool {
+    let mut changed = false;
+    for b in &mut func.blocks {
+        let mut table: HashMap<Key, VReg> = HashMap::new();
+        // Which cached keys depend on each vreg, for invalidation.
+        let mut deps: HashMap<VReg, Vec<Key>> = HashMap::new();
+        let mut epoch = 0u64;
+        for inst in &mut b.insts {
+            let key = match inst {
+                Inst::Bin { op, w, a, b, .. } => {
+                    let (ca, cb) = canonical_operands(*op, *a, *b);
+                    Some(Key::Bin(*op, *w, ca, cb))
+                }
+                Inst::Cmp { cond, a, b, .. } => Some(Key::Cmp(*cond, *a, *b)),
+                Inst::SlotAddr { slot, .. } => Some(Key::SlotAddr(*slot)),
+                Inst::GlobalAddr { name, .. } => Some(Key::GlobalAddr(name.clone())),
+                Inst::Load { w, addr, off, .. } => Some(Key::Load(*w, *addr, *off, epoch)),
+                _ => None,
+            };
+            // Replace with a copy if the value is already available.
+            if let (Some(key), Some(dst)) = (&key, inst.def()) {
+                if let Some(&prev) = table.get(key) {
+                    if prev != dst {
+                        *inst = Inst::Copy {
+                            dst,
+                            src: Operand::V(prev),
+                        };
+                        changed = true;
+                    }
+                }
+            }
+            // Stores and calls invalidate all cached loads.
+            if matches!(inst, Inst::Store { .. } | Inst::StoreSlot { .. } | Inst::Call { .. }) {
+                epoch += 1;
+            }
+            // A def invalidates every expression that reads the def'd vreg,
+            // and any table entry producing it.
+            if let Some(def) = inst.def() {
+                if let Some(keys) = deps.remove(&def) {
+                    for k in keys {
+                        table.remove(&k);
+                    }
+                }
+                table.retain(|_, v| *v != def);
+                // Record the (possibly rewritten) instruction's value.
+                let new_key = match inst {
+                    Inst::Bin { op, w, a, b, .. } => {
+                        let (ca, cb) = canonical_operands(*op, *a, *b);
+                        Some(Key::Bin(*op, *w, ca, cb))
+                    }
+                    Inst::Cmp { cond, a, b, .. } => Some(Key::Cmp(*cond, *a, *b)),
+                    Inst::SlotAddr { slot, .. } => Some(Key::SlotAddr(*slot)),
+                    Inst::GlobalAddr { name, .. } => Some(Key::GlobalAddr(name.clone())),
+                    Inst::Load { w, addr, off, .. } => {
+                        Some(Key::Load(*w, *addr, *off, epoch))
+                    }
+                    _ => None,
+                };
+                // Do not record expressions that read their own destination
+                // (`v = v + x`): after the def, the cached operands would
+                // refer to the new value and the entry would be wrong.
+                if let Some(k) = new_key {
+                    if !inst.uses().contains(&def) {
+                        for u in inst.uses() {
+                            deps.entry(u).or_default().push(k.clone());
+                        }
+                        table.insert(k, def);
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::{ir_of, run_ir};
+    use crate::passes::{copy_prop, dce, mem2reg};
+    use softerr_isa::Profile;
+
+    fn optimize(ir: &mut IrModule) {
+        for f in &mut ir.funcs {
+            mem2reg::run(f);
+            for _ in 0..4 {
+                let mut c = run(f);
+                c |= copy_prop::run(f);
+                c |= dce::run(f);
+                if !c {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn bin_count(f: &IrFunc) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Bin { .. }))
+            .count()
+    }
+
+    #[test]
+    fn eliminates_repeated_expressions() {
+        let src = "void main() { int a = 6; int b = 7; out(a * b + a * b); }";
+        let mut ir = ir_of(src);
+        let golden = run_ir(&ir, Profile::A64);
+        optimize(&mut ir);
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+        // a*b computed once, plus one add.
+        assert_eq!(bin_count(&ir.funcs[0]), 2);
+    }
+
+    #[test]
+    fn commutative_expressions_match_either_order() {
+        let src = "void main() { int a = 3; int b = 4; out(a + b); out(b + a); }";
+        let mut ir = ir_of(src);
+        optimize(&mut ir);
+        assert_eq!(bin_count(&ir.funcs[0]), 1);
+        assert_eq!(run_ir(&ir, Profile::A64), vec![7, 7]);
+    }
+
+    #[test]
+    fn loads_invalidated_by_stores() {
+        let src = "
+            int g;
+            void main() { g = 1; int a = g; g = 2; int b = g; out(a + b); }";
+        let mut ir = ir_of(src);
+        optimize(&mut ir);
+        assert_eq!(run_ir(&ir, Profile::A64), vec![3]);
+    }
+
+    #[test]
+    fn repeated_loads_without_stores_merge() {
+        let src = "
+            int g = 5;
+            void main() { out(g + g); }";
+        let mut ir = ir_of(src);
+        optimize(&mut ir);
+        let loads = ir.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .count();
+        assert_eq!(loads, 1, "second load of g should be CSE'd");
+        assert_eq!(run_ir(&ir, Profile::A64), vec![10]);
+    }
+
+    #[test]
+    fn redefined_operand_invalidates_expression() {
+        let src = "void main() { int a = 1; int x = a + 2; a = 10; int y = a + 2; out(x); out(y); }";
+        let mut ir = ir_of(src);
+        optimize(&mut ir);
+        assert_eq!(run_ir(&ir, Profile::A64), vec![3, 12]);
+    }
+
+    #[test]
+    fn nonsense_sharing_never_occurs_across_calls_for_loads() {
+        let src = "
+            int g = 1;
+            void bump() { g = g + 1; }
+            void main() { int a = g; bump(); int b = g; out(a); out(b); }";
+        let mut ir = ir_of(src);
+        optimize(&mut ir);
+        assert_eq!(run_ir(&ir, Profile::A64), vec![1, 2]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Dead-code elimination.
+//!
+//! Removes side-effect-free instructions whose results are never read,
+//! iterating to a fixed point so that whole dead expression trees disappear.
+
+use crate::ir::*;
+use std::collections::HashSet;
+
+/// Runs DCE. Returns `true` if anything was removed.
+pub fn run(func: &mut IrFunc) -> bool {
+    let mut changed = false;
+    loop {
+        let mut used: HashSet<VReg> = HashSet::new();
+        for b in &func.blocks {
+            for inst in &b.insts {
+                for u in inst.uses() {
+                    used.insert(u);
+                }
+            }
+            for u in b.term.uses() {
+                used.insert(u);
+            }
+        }
+        let mut removed = false;
+        for b in &mut func.blocks {
+            let before = b.insts.len();
+            b.insts.retain(|inst| {
+                if inst.has_side_effects() {
+                    return true;
+                }
+                match inst.def() {
+                    Some(d) => {
+                        // Self-copies are always dead.
+                        if let Inst::Copy { dst, src } = inst {
+                            if *src == Operand::V(*dst) {
+                                return false;
+                            }
+                        }
+                        used.contains(&d)
+                    }
+                    None => true,
+                }
+            });
+            removed |= b.insts.len() != before;
+        }
+        changed |= removed;
+        if !removed {
+            return changed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::mem2reg;
+    use crate::passes::testutil::{ir_of, run_ir};
+    use softerr_isa::Profile;
+
+    fn inst_count(f: &IrFunc) -> usize {
+        f.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    #[test]
+    fn removes_dead_expression_trees() {
+        let mut f = IrFunc {
+            name: "f".into(),
+            params: vec![],
+            ret: None,
+            blocks: vec![Block {
+                insts: vec![
+                    Inst::Copy { dst: 0, src: Operand::C(1) },
+                    Inst::Bin {
+                        op: BinOp::Add,
+                        w: Width::Word,
+                        dst: 1,
+                        a: Operand::V(0),
+                        b: Operand::C(2),
+                    },
+                    Inst::Bin {
+                        op: BinOp::Mul,
+                        w: Width::Word,
+                        dst: 2,
+                        a: Operand::V(1),
+                        b: Operand::V(1),
+                    },
+                    Inst::Out { src: Operand::C(9) },
+                ],
+                term: Term::Ret(None),
+            }],
+            slots: vec![],
+            next_vreg: 3,
+        };
+        assert!(run(&mut f));
+        assert_eq!(inst_count(&f), 1, "only the out should survive");
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut ir = ir_of("int g(int x) { return x; } void main() { g(1); out(2); }");
+        for f in &mut ir.funcs {
+            mem2reg::run(f);
+            run(f);
+        }
+        let main = ir.func("main").unwrap();
+        assert!(
+            main.blocks
+                .iter()
+                .flat_map(|b| &b.insts)
+                .any(|i| matches!(i, Inst::Call { .. })),
+            "call must be preserved even though its result is unused"
+        );
+        assert_eq!(run_ir(&ir, Profile::A64), vec![2]);
+    }
+
+    #[test]
+    fn dead_stores_to_memory_are_kept() {
+        // DCE must not remove stores (no alias analysis).
+        let mut ir = ir_of("int g; void main() { g = 5; out(g); }");
+        for f in &mut ir.funcs {
+            mem2reg::run(f);
+            run(f);
+        }
+        assert_eq!(run_ir(&ir, Profile::A64), vec![5]);
+    }
+
+    #[test]
+    fn unoptimized_code_shrinks_substantially() {
+        let mut ir = ir_of(
+            "void main() { int a = 1; int b = a + 2; int unused = b * b; out(a); }",
+        );
+        let before = inst_count(&ir.funcs[0]);
+        mem2reg::run(&mut ir.funcs[0]);
+        crate::passes::copy_prop::run(&mut ir.funcs[0]);
+        run(&mut ir.funcs[0]);
+        assert!(inst_count(&ir.funcs[0]) < before);
+        assert_eq!(run_ir(&ir, Profile::A64), vec![1]);
+    }
+}

@@ -1,0 +1,365 @@
+//! Function inlining (`-O3`).
+//!
+//! Small non-recursive callees are spliced into their callers: vregs,
+//! slots, and blocks are renumbered, parameters become copies of the
+//! argument operands, and every `Ret` becomes a copy into the call's
+//! destination followed by a jump to the continuation block. Functions that
+//! end up with no callers (other than `main` itself) are removed, like
+//! GCC's unit-local function elimination.
+
+use crate::ir::*;
+use std::collections::{HashMap, HashSet};
+
+/// Callee size limit, in IR instructions.
+const MAX_CALLEE_SIZE: usize = 60;
+
+/// Caller growth limit: stop inlining into a function past this size.
+const MAX_CALLER_SIZE: usize = 3000;
+
+/// Rounds of inlining (covers call chains).
+const ROUNDS: usize = 3;
+
+/// Runs the inliner over the module. Returns `true` if anything changed.
+pub fn run(ir: &mut IrModule) -> bool {
+    let mut changed = false;
+    for _ in 0..ROUNDS {
+        let mut round_changed = false;
+        // Which functions may be inlined this round.
+        let inlinable: HashMap<String, IrFunc> = ir
+            .funcs
+            .iter()
+            .filter(|f| {
+                f.name != "main"
+                    && f.inst_count() <= MAX_CALLEE_SIZE
+                    && !calls_itself(ir, f)
+            })
+            .map(|f| (f.name.clone(), f.clone()))
+            .collect();
+        for f in &mut ir.funcs {
+            let name = f.name.clone();
+            round_changed |= inline_into(f, &name, &inlinable);
+        }
+        changed |= round_changed;
+        if !round_changed {
+            break;
+        }
+    }
+    if changed {
+        remove_dead_functions(ir);
+    }
+    changed
+}
+
+/// Whether `f` can reach itself through calls (direct or mutual recursion).
+fn calls_itself(ir: &IrModule, f: &IrFunc) -> bool {
+    let mut visited: HashSet<&str> = HashSet::new();
+    let mut stack: Vec<&str> = callees(f).into_iter().collect();
+    while let Some(name) = stack.pop() {
+        if name == f.name {
+            return true;
+        }
+        if !visited.insert(name) {
+            continue;
+        }
+        if let Some(g) = ir.func(name) {
+            stack.extend(callees(g));
+        }
+    }
+    false
+}
+
+fn callees(f: &IrFunc) -> HashSet<&str> {
+    f.blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .filter_map(|i| match i {
+            Inst::Call { callee, .. } => Some(callee.as_str()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn inline_into(
+    caller: &mut IrFunc,
+    caller_name: &str,
+    inlinable: &HashMap<String, IrFunc>,
+) -> bool {
+    let mut changed = false;
+    let mut bi = 0;
+    while bi < caller.blocks.len() {
+        if caller.inst_count() > MAX_CALLER_SIZE {
+            break;
+        }
+        let call_at = caller.blocks[bi].insts.iter().position(|i| {
+            matches!(i, Inst::Call { callee, .. }
+                if callee != caller_name && inlinable.contains_key(callee))
+        });
+        let Some(pos) = call_at else {
+            bi += 1;
+            continue;
+        };
+        let Inst::Call { dst, callee, args } = caller.blocks[bi].insts[pos].clone() else {
+            unreachable!();
+        };
+        let callee_ir = &inlinable[&callee];
+        splice(caller, bi, pos, dst, &args, callee_ir);
+        changed = true;
+        // Stay on the same block index: the head half keeps earlier calls.
+    }
+    changed
+}
+
+/// Splices `callee` in place of the call at `blocks[bi].insts[pos]`.
+fn splice(
+    caller: &mut IrFunc,
+    bi: BlockId,
+    pos: usize,
+    dst: Option<VReg>,
+    args: &[Operand],
+    callee: &IrFunc,
+) {
+    let vreg_base = caller.next_vreg;
+    caller.next_vreg += callee.next_vreg;
+    let slot_base = caller.slots.len();
+    caller.slots.extend(callee.slots.iter().cloned());
+    let block_base = caller.blocks.len();
+    let cont_block = block_base + callee.blocks.len();
+
+    let map_v = |v: VReg| v + vreg_base;
+    let map_op = |op: Operand| match op {
+        Operand::V(v) => Operand::V(map_v(v)),
+        c => c,
+    };
+
+    // Split the calling block.
+    let mut head_insts = std::mem::take(&mut caller.blocks[bi].insts);
+    let tail_insts: Vec<Inst> = head_insts.split_off(pos + 1);
+    head_insts.pop(); // remove the call itself
+    // Parameter setup: copy arguments into the callee's parameter vregs.
+    for ((pv, _), arg) in callee.params.iter().zip(args) {
+        head_insts.push(Inst::Copy {
+            dst: map_v(*pv),
+            src: *arg,
+        });
+    }
+    let old_term = std::mem::replace(&mut caller.blocks[bi].term, Term::Jmp(block_base));
+    caller.blocks[bi].insts = head_insts;
+
+    // Clone callee blocks with remapping.
+    for cb in &callee.blocks {
+        let mut insts: Vec<Inst> = Vec::with_capacity(cb.insts.len());
+        for inst in &cb.insts {
+            insts.push(remap_inst(inst, &map_op, map_v, slot_base));
+        }
+        let term = match &cb.term {
+            Term::Ret(val) => {
+                // Return value lands in the call's destination.
+                if let (Some(d), Some(v)) = (dst, val) {
+                    insts.push(Inst::Copy {
+                        dst: d,
+                        src: map_op(*v),
+                    });
+                }
+                Term::Jmp(cont_block)
+            }
+            Term::Jmp(t) => Term::Jmp(t + block_base),
+            Term::CondBr { cond, a, b, t, f } => Term::CondBr {
+                cond: *cond,
+                a: map_op(*a),
+                b: map_op(*b),
+                t: t + block_base,
+                f: f + block_base,
+            },
+        };
+        caller.blocks.push(Block { insts, term });
+    }
+
+    // Continuation block with the rest of the original block.
+    caller.blocks.push(Block {
+        insts: tail_insts,
+        term: old_term,
+    });
+}
+
+fn remap_inst(
+    inst: &Inst,
+    map_op: &impl Fn(Operand) -> Operand,
+    map_v: impl Fn(VReg) -> VReg,
+    slot_base: usize,
+) -> Inst {
+    match inst {
+        Inst::Bin { op, w, dst, a, b } => Inst::Bin {
+            op: *op,
+            w: *w,
+            dst: map_v(*dst),
+            a: map_op(*a),
+            b: map_op(*b),
+        },
+        Inst::Cmp { cond, dst, a, b } => Inst::Cmp {
+            cond: *cond,
+            dst: map_v(*dst),
+            a: map_op(*a),
+            b: map_op(*b),
+        },
+        Inst::Copy { dst, src } => Inst::Copy {
+            dst: map_v(*dst),
+            src: map_op(*src),
+        },
+        Inst::Load { w, dst, addr, off } => Inst::Load {
+            w: *w,
+            dst: map_v(*dst),
+            addr: map_op(*addr),
+            off: *off,
+        },
+        Inst::Store { w, src, addr, off } => Inst::Store {
+            w: *w,
+            src: map_op(*src),
+            addr: map_op(*addr),
+            off: *off,
+        },
+        Inst::SlotAddr { dst, slot } => Inst::SlotAddr {
+            dst: map_v(*dst),
+            slot: slot + slot_base,
+        },
+        Inst::GlobalAddr { dst, name } => Inst::GlobalAddr {
+            dst: map_v(*dst),
+            name: name.clone(),
+        },
+        Inst::LoadSlot { w, dst, slot } => Inst::LoadSlot {
+            w: *w,
+            dst: map_v(*dst),
+            slot: slot + slot_base,
+        },
+        Inst::StoreSlot { w, slot, src } => Inst::StoreSlot {
+            w: *w,
+            slot: slot + slot_base,
+            src: map_op(*src),
+        },
+        Inst::Call { dst, callee, args } => Inst::Call {
+            dst: dst.map(&map_v),
+            callee: callee.clone(),
+            args: args.iter().map(|a| map_op(*a)).collect(),
+        },
+        Inst::Out { src } => Inst::Out { src: map_op(*src) },
+    }
+}
+
+/// Drops functions unreachable from `main` through remaining calls.
+fn remove_dead_functions(ir: &mut IrModule) {
+    let mut live: HashSet<String> = HashSet::new();
+    let mut stack = vec!["main".to_string()];
+    while let Some(name) = stack.pop() {
+        if !live.insert(name.clone()) {
+            continue;
+        }
+        if let Some(f) = ir.func(&name) {
+            for c in callees(f) {
+                stack.push(c.to_string());
+            }
+        }
+    }
+    ir.funcs.retain(|f| live.contains(&f.name));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::{ir_of, run_ir};
+    use softerr_isa::Profile;
+
+    #[test]
+    fn inlines_small_leaf_functions() {
+        let src = "
+            int sq(int x) { return x * x; }
+            void main() { out(sq(6) + sq(7)); }";
+        let mut ir = ir_of(src);
+        let golden = run_ir(&ir, Profile::A64);
+        assert!(run(&mut ir));
+        assert_eq!(ir.funcs.len(), 1, "sq should be inlined and removed");
+        let calls = ir.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Call { .. }))
+            .count();
+        assert_eq!(calls, 0);
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+        assert_eq!(golden, vec![85]);
+    }
+
+    #[test]
+    fn recursion_is_never_inlined() {
+        let src = "
+            int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }
+            void main() { out(fact(5)); }";
+        let mut ir = ir_of(src);
+        run(&mut ir);
+        assert_eq!(ir.funcs.len(), 2, "fact must survive");
+        assert_eq!(run_ir(&ir, Profile::A64), vec![120]);
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let src = "
+            int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+            int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+            void main() { out(is_odd(7)); out(is_even(7)); }";
+        let mut ir = ir_of(src);
+        run(&mut ir);
+        assert_eq!(run_ir(&ir, Profile::A64), vec![1, 0]);
+    }
+
+    #[test]
+    fn call_chains_inline_through() {
+        let src = "
+            int one() { return 1; }
+            int two() { return one() + one(); }
+            void main() { out(two()); }";
+        let mut ir = ir_of(src);
+        run(&mut ir);
+        assert_eq!(ir.funcs.len(), 1);
+        assert_eq!(run_ir(&ir, Profile::A64), vec![2]);
+    }
+
+    #[test]
+    fn void_calls_inline() {
+        let src = "
+            int g;
+            void bump(int k) { g = g + k; }
+            void main() { bump(3); bump(4); out(g); }";
+        let mut ir = ir_of(src);
+        run(&mut ir);
+        assert_eq!(run_ir(&ir, Profile::A64), vec![7]);
+    }
+
+    #[test]
+    fn inlined_locals_keep_separate_storage() {
+        // Two inlined copies must not share their local array.
+        let src = "
+            int probe(int k) { int a[2]; a[0] = k; a[1] = k * 2; return a[0] + a[1]; }
+            void main() { out(probe(1) + probe(10)); }";
+        let mut ir = ir_of(src);
+        let golden = run_ir(&ir, Profile::A64);
+        run(&mut ir);
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+        assert_eq!(golden, vec![33]);
+    }
+
+    #[test]
+    fn all_call_sites_replaced() {
+        let src = "
+            int f(int x) { return x * x + x; }
+            void main() { out(f(1) + f(2) + f(3) + f(4)); }";
+        let mut ir = ir_of(src);
+        run(&mut ir);
+        let calls = ir
+            .funcs
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Call { .. }))
+            .count();
+        assert_eq!(calls, 0, "every call site should be inlined");
+        assert_eq!(run_ir(&ir, Profile::A64), vec![2 + 6 + 12 + 20]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Loop-invariant code motion.
+//!
+//! Natural loops are found via dominators and back edges; pure instructions
+//! (`Bin`, `Cmp`, `SlotAddr`, `GlobalAddr`) whose operands are not defined
+//! inside the loop are hoisted to a freshly created preheader. To stay
+//! correct without SSA, only instructions whose destination has exactly one
+//! definition in the whole function are hoisted. Loads are never hoisted
+//! (hoisting one past the loop guard could introduce a fault that the
+//! original program would not have taken).
+
+use crate::ir::*;
+use std::collections::{HashMap, HashSet};
+
+/// Computes immediate dominator sets (bitset per block, iterative).
+fn dominators(func: &IrFunc) -> Vec<HashSet<BlockId>> {
+    let n = func.blocks.len();
+    let preds = func.preds();
+    let all: HashSet<BlockId> = (0..n).collect();
+    let mut dom: Vec<HashSet<BlockId>> = vec![all; n];
+    dom[0] = HashSet::from([0]);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 1..n {
+            let mut new: Option<HashSet<BlockId>> = None;
+            for &p in &preds[b] {
+                new = Some(match new {
+                    None => dom[p].clone(),
+                    Some(acc) => acc.intersection(&dom[p]).copied().collect(),
+                });
+            }
+            let mut new = new.unwrap_or_default();
+            new.insert(b);
+            if new != dom[b] {
+                dom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+/// Finds the body of the natural loop for back edge `tail → head`.
+fn loop_body(func: &IrFunc, head: BlockId, tail: BlockId) -> HashSet<BlockId> {
+    let preds = func.preds();
+    let mut body = HashSet::from([head, tail]);
+    let mut stack = vec![tail];
+    while let Some(b) = stack.pop() {
+        if b == head {
+            continue;
+        }
+        for &p in &preds[b] {
+            if body.insert(p) {
+                stack.push(p);
+            }
+        }
+    }
+    body
+}
+
+/// Runs LICM. Returns `true` if anything was hoisted.
+pub fn run(func: &mut IrFunc) -> bool {
+    let dom = dominators(func);
+    // Back edges: tail → head where head dominates tail.
+    let mut back_edges: Vec<(BlockId, BlockId)> = Vec::new();
+    for (tail, b) in func.blocks.iter().enumerate() {
+        for head in b.term.succs() {
+            if dom[tail].contains(&head) {
+                back_edges.push((tail, head));
+            }
+        }
+    }
+    if back_edges.is_empty() {
+        return false;
+    }
+
+    // Def counts across the whole function (single-def vregs are safe to
+    // treat as SSA values).
+    let mut def_count: HashMap<VReg, usize> = HashMap::new();
+    for b in &func.blocks {
+        for inst in &b.insts {
+            if let Some(d) = inst.def() {
+                *def_count.entry(d).or_default() += 1;
+            }
+        }
+    }
+    for (v, _) in &func.params {
+        *def_count.entry(*v).or_default() += 1;
+    }
+
+    let mut changed = false;
+    for (tail, head) in back_edges {
+        if head == 0 {
+            continue; // entry block cannot get a preheader before it simply
+        }
+        let body = loop_body(func, head, tail);
+        // Defs inside the loop.
+        let mut loop_defs: HashSet<VReg> = HashSet::new();
+        for &b in &body {
+            for inst in &func.blocks[b].insts {
+                if let Some(d) = inst.def() {
+                    loop_defs.insert(d);
+                }
+            }
+        }
+        // Collect hoistable instructions (in deterministic block order).
+        let mut hoisted: Vec<Inst> = Vec::new();
+        let mut hoisted_defs: HashSet<VReg> = HashSet::new();
+        let mut body_sorted: Vec<BlockId> = body.iter().copied().collect();
+        body_sorted.sort_unstable();
+        for &bid in &body_sorted {
+            let block = &mut func.blocks[bid];
+            let mut kept = Vec::with_capacity(block.insts.len());
+            for inst in std::mem::take(&mut block.insts) {
+                let pure = matches!(
+                    inst,
+                    Inst::Bin { .. }
+                        | Inst::Cmp { .. }
+                        | Inst::SlotAddr { .. }
+                        | Inst::GlobalAddr { .. }
+                );
+                let hoistable = pure
+                    && inst.def().is_some_and(|d| def_count.get(&d) == Some(&1))
+                    && inst.uses().iter().all(|u| {
+                        !loop_defs.contains(u) || hoisted_defs.contains(u)
+                    });
+                if hoistable {
+                    if let Some(d) = inst.def() {
+                        hoisted_defs.insert(d);
+                    }
+                    hoisted.push(inst);
+                    changed = true;
+                } else {
+                    kept.push(inst);
+                }
+            }
+            block.insts = kept;
+        }
+        if hoisted.is_empty() {
+            continue;
+        }
+        // Create the preheader and retarget all non-back-edge predecessors.
+        let pre = func.blocks.len();
+        func.blocks.push(Block {
+            insts: hoisted,
+            term: Term::Jmp(head),
+        });
+        // Predecessors outside the loop now enter through the preheader;
+        // back edges (from inside the body) keep pointing at the head.
+        for (id, b) in func.blocks.iter_mut().enumerate() {
+            if id == pre || body.contains(&id) {
+                continue;
+            }
+            match &mut b.term {
+                Term::Jmp(t) => {
+                    if *t == head {
+                        *t = pre;
+                    }
+                }
+                Term::CondBr { t, f, .. } => {
+                    if *t == head {
+                        *t = pre;
+                    }
+                    if *f == head {
+                        *f = pre;
+                    }
+                }
+                Term::Ret(_) => {}
+            }
+        }
+        // Only hoist one loop per invocation round to keep dominator info
+        // valid; the pipeline calls passes repeatedly.
+        break;
+    }
+    // If more loops remain, handle them recursively (dominators recomputed).
+    if changed {
+        run(func);
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::{ir_of, run_ir};
+    use crate::passes::{copy_prop, dce, mem2reg, simplify_cfg};
+    use softerr_isa::Profile;
+
+    fn optimize(ir: &mut IrModule) -> Vec<u64> {
+        let golden = run_ir(ir, Profile::A64);
+        for f in &mut ir.funcs {
+            mem2reg::run(f);
+            for _ in 0..4 {
+                let mut c = crate::passes::const_fold::run(f, Profile::A64);
+                c |= copy_prop::run(f);
+                c |= dce::run(f);
+                c |= simplify_cfg::run(f);
+                if !c {
+                    break;
+                }
+            }
+            run(f);
+        }
+        golden
+    }
+
+    #[test]
+    fn hoists_invariant_address_computation() {
+        let src = "
+            int tab[8];
+            void main() {
+                for (int i = 0; i < 8; i = i + 1) { tab[i] = i * i; }
+                out(tab[5]);
+            }";
+        let mut ir = ir_of(src);
+        let golden = optimize(&mut ir);
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+        assert_eq!(golden, vec![25]);
+        // The GlobalAddr of tab should now be outside the loop: the loop
+        // body blocks should contain no GlobalAddr.
+        let f = ir.func("main").unwrap();
+        let dom = dominators(f);
+        let mut in_loop_globaladdrs = 0;
+        for (tail, b) in f.blocks.iter().enumerate() {
+            for head in b.term.succs() {
+                if dom[tail].contains(&head) {
+                    for &bid in &loop_body(f, head, tail) {
+                        in_loop_globaladdrs += f.blocks[bid]
+                            .insts
+                            .iter()
+                            .filter(|i| matches!(i, Inst::GlobalAddr { .. }))
+                            .count();
+                    }
+                }
+            }
+        }
+        assert_eq!(in_loop_globaladdrs, 0, "GlobalAddr should be hoisted");
+    }
+
+    #[test]
+    fn loop_carried_values_not_hoisted() {
+        let src = "
+            void main() {
+                int s = 0;
+                for (int i = 0; i < 5; i = i + 1) { s = s + i; }
+                out(s);
+            }";
+        let mut ir = ir_of(src);
+        let golden = optimize(&mut ir);
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+        assert_eq!(golden, vec![10]);
+    }
+
+    #[test]
+    fn zero_trip_loops_stay_correct() {
+        // The hoisted computation must be harmless when the loop never runs.
+        let src = "
+            int tab[4];
+            void main() {
+                int n = 0;
+                for (int i = 0; i < n; i = i + 1) { tab[i] = 1; }
+                out(tab[0]);
+            }";
+        let mut ir = ir_of(src);
+        let golden = optimize(&mut ir);
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+        assert_eq!(golden, vec![0]);
+    }
+
+    #[test]
+    fn nested_loops_preserved() {
+        let src = "
+            void main() {
+                int s = 0;
+                for (int i = 0; i < 4; i = i + 1)
+                    for (int j = 0; j < 4; j = j + 1)
+                        s = s + i * j;
+                out(s);
+            }";
+        let mut ir = ir_of(src);
+        let golden = optimize(&mut ir);
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+        assert_eq!(golden, vec![36]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Optimization passes.
+//!
+//! Each pass is a standalone module with a `run` entry point; pipelines are
+//! assembled per optimization level in [`crate::opt`]. All passes are
+//! semantics-preserving — the differential test suite compiles every
+//! workload at every level and requires identical program output.
+
+pub mod const_fold;
+pub mod copy_prop;
+pub mod cross_jump;
+pub mod cse;
+pub mod dce;
+pub mod inline;
+pub mod licm;
+pub mod mem2reg;
+pub mod schedule;
+pub mod simplify_cfg;
+pub mod strength_reduce;
+pub mod unroll;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::ir::IrModule;
+    use crate::{lower, parser};
+    use softerr_isa::Profile;
+
+    /// Lowers source for pass unit tests (A64 profile).
+    pub fn ir_of(src: &str) -> IrModule {
+        lower::lower(&parser::parse(src).unwrap(), Profile::A64).unwrap()
+    }
+
+    /// Runs a compiled module in the reference emulator and returns output.
+    pub fn run_ir(ir: &IrModule, profile: Profile) -> Vec<u64> {
+        let (program, _) = crate::codegen::generate(ir, profile).unwrap();
+        let mut emu = softerr_isa::Emulator::new(&program);
+        let out = emu.run(50_000_000).expect("program trapped");
+        assert!(out.completed, "program did not halt");
+        out.output
+    }
+}

@@ -1,0 +1,230 @@
+//! Within-block list scheduling.
+//!
+//! Models GCC's `-O2` instruction scheduling: independent instructions are
+//! reordered to separate long-latency producers (loads, multiplies,
+//! divides) from their consumers. All dependences are respected —
+//! register def/use (including anti- and output-dependences, since the IR
+//! is not SSA), memory ordering (stores and calls are barriers, loads may
+//! reorder among themselves), and program-output ordering.
+
+use crate::ir::*;
+
+fn latency(inst: &Inst) -> u32 {
+    match inst {
+        Inst::Load { .. } | Inst::LoadSlot { .. } => 3,
+        Inst::Bin { op: BinOp::Mul, .. } => 4,
+        Inst::Bin { op: BinOp::Div { .. } | BinOp::Rem { .. }, .. } => 12,
+        Inst::Call { .. } => 8,
+        _ => 1,
+    }
+}
+
+fn is_mem_write(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Store { .. } | Inst::StoreSlot { .. } | Inst::Call { .. }
+    )
+}
+
+fn is_mem_read(inst: &Inst) -> bool {
+    matches!(inst, Inst::Load { .. } | Inst::LoadSlot { .. })
+}
+
+fn is_output(inst: &Inst) -> bool {
+    matches!(inst, Inst::Out { .. } | Inst::Call { .. })
+}
+
+/// Blocks larger than this are left alone (the O(n²) dependence build is
+/// only worthwhile on ordinary block sizes).
+const MAX_BLOCK: usize = 400;
+
+/// Runs list scheduling over every block. Returns `true` on any reorder.
+pub fn run(func: &mut IrFunc) -> bool {
+    let mut changed = false;
+    for b in &mut func.blocks {
+        let n = b.insts.len();
+        if n < 3 || n > MAX_BLOCK {
+            continue;
+        }
+        // Build the dependence DAG.
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut npreds: Vec<usize> = vec![0; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if depends(&b.insts[i], &b.insts[j]) {
+                    succs[i].push(j);
+                    npreds[j] += 1;
+                }
+            }
+        }
+        // Critical-path priority.
+        let mut height: Vec<u32> = vec![0; n];
+        for i in (0..n).rev() {
+            let h = succs[i]
+                .iter()
+                .map(|&j| height[j])
+                .max()
+                .unwrap_or(0);
+            height[i] = h + latency(&b.insts[i]);
+        }
+        // Greedy list schedule: highest critical path first, original order
+        // as the tie-break (keeps the result deterministic).
+        let mut ready: Vec<usize> = (0..n).filter(|&i| npreds[i] == 0).collect();
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        while let Some(pos) = ready
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| (height[i], std::cmp::Reverse(i)))
+            .map(|(p, _)| p)
+        {
+            let i = ready.swap_remove(pos);
+            order.push(i);
+            for &j in &succs[i] {
+                npreds[j] -= 1;
+                if npreds[j] == 0 {
+                    ready.push(j);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "scheduling dropped instructions");
+        if order.iter().enumerate().any(|(k, &i)| k != i) {
+            let old = std::mem::take(&mut b.insts);
+            let mut moved: Vec<Option<Inst>> = old.into_iter().map(Some).collect();
+            b.insts = order
+                .into_iter()
+                .map(|i| moved[i].take().expect("instruction scheduled twice"))
+                .collect();
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Must `j` stay after `i`?
+fn depends(i: &Inst, j: &Inst) -> bool {
+    // Register dependences: any shared vreg between a def and a def/use.
+    if let Some(d) = i.def() {
+        if j.uses().contains(&d) || j.def() == Some(d) {
+            return true;
+        }
+    }
+    if let Some(d) = j.def() {
+        if i.uses().contains(&d) {
+            return true;
+        }
+    }
+    // Memory ordering: writes are barriers against reads and writes.
+    if is_mem_write(i) && (is_mem_read(j) || is_mem_write(j)) {
+        return true;
+    }
+    if is_mem_read(i) && is_mem_write(j) {
+        return true;
+    }
+    // Program output order is architectural state.
+    if is_output(i) && is_output(j) {
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::{ir_of, run_ir};
+    use crate::passes::mem2reg;
+    use softerr_isa::Profile;
+
+    #[test]
+    fn independent_loads_hoisted_above_dependent_alu() {
+        // load a; use a; load b; use b → both loads should cluster up front.
+        let mut f = IrFunc {
+            name: "f".into(),
+            params: vec![],
+            ret: None,
+            blocks: vec![Block {
+                insts: vec![
+                    Inst::Load { w: Width::Word, dst: 0, addr: Operand::C(0x2000), off: 0 },
+                    Inst::Bin {
+                        op: BinOp::Add,
+                        w: Width::Word,
+                        dst: 1,
+                        a: Operand::V(0),
+                        b: Operand::C(1),
+                    },
+                    Inst::Load { w: Width::Word, dst: 2, addr: Operand::C(0x2008), off: 0 },
+                    Inst::Bin {
+                        op: BinOp::Add,
+                        w: Width::Word,
+                        dst: 3,
+                        a: Operand::V(2),
+                        b: Operand::C(1),
+                    },
+                    Inst::Out { src: Operand::V(1) },
+                    Inst::Out { src: Operand::V(3) },
+                ],
+                term: Term::Ret(None),
+            }],
+            slots: vec![],
+            next_vreg: 4,
+        };
+        assert!(run(&mut f));
+        let first_two: Vec<bool> = f.blocks[0].insts[..2]
+            .iter()
+            .map(|i| matches!(i, Inst::Load { .. }))
+            .collect();
+        assert_eq!(first_two, vec![true, true], "loads should lead the block");
+    }
+
+    #[test]
+    fn output_order_is_preserved() {
+        let src = "void main() { int a = 1; int b = 2; out(a); out(b); out(a + b); }";
+        let mut ir = ir_of(src);
+        mem2reg::run(&mut ir.funcs[0]);
+        run(&mut ir.funcs[0]);
+        assert_eq!(run_ir(&ir, Profile::A64), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn store_load_order_is_preserved() {
+        let src = "
+            int g;
+            void main() { g = 1; int a = g; g = 2; int b = g; out(a * 10 + b); }";
+        let mut ir = ir_of(src);
+        mem2reg::run(&mut ir.funcs[0]);
+        let golden = run_ir(&ir, Profile::A64);
+        run(&mut ir.funcs[0]);
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+        assert_eq!(golden, vec![12]);
+    }
+
+    #[test]
+    fn anti_dependences_respected() {
+        // v0 = 1; out(v0); v0 = 2; out(v0) — the redefinition cannot move up.
+        let mut f = IrFunc {
+            name: "f".into(),
+            params: vec![],
+            ret: None,
+            blocks: vec![Block {
+                insts: vec![
+                    Inst::Copy { dst: 0, src: Operand::C(1) },
+                    Inst::Out { src: Operand::V(0) },
+                    Inst::Copy { dst: 0, src: Operand::C(2) },
+                    Inst::Out { src: Operand::V(0) },
+                ],
+                term: Term::Ret(None),
+            }],
+            slots: vec![],
+            next_vreg: 1,
+        };
+        run(&mut f);
+        assert_eq!(
+            f.blocks[0].insts,
+            vec![
+                Inst::Copy { dst: 0, src: Operand::C(1) },
+                Inst::Out { src: Operand::V(0) },
+                Inst::Copy { dst: 0, src: Operand::C(2) },
+                Inst::Out { src: Operand::V(0) },
+            ]
+        );
+    }
+}

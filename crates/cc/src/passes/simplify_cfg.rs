@@ -1,0 +1,239 @@
+//! CFG simplification: jump threading through empty blocks, straight-line
+//! block merging, trivial branch folding, and unreachable-block removal.
+
+use crate::ir::*;
+use std::collections::HashMap;
+
+/// Runs one round of CFG simplification. Returns `true` on any change.
+pub fn run(func: &mut IrFunc) -> bool {
+    let mut changed = false;
+    changed |= fold_trivial_branches(func);
+    changed |= thread_jumps(func);
+    changed |= merge_linear_chains(func);
+    changed |= remove_unreachable(func);
+    changed
+}
+
+/// `CondBr` with identical targets becomes `Jmp`.
+fn fold_trivial_branches(func: &mut IrFunc) -> bool {
+    let mut changed = false;
+    for b in &mut func.blocks {
+        if let Term::CondBr { t, f, .. } = b.term {
+            if t == f {
+                b.term = Term::Jmp(t);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Redirects edges that point at an empty block ending in `Jmp` straight to
+/// its target.
+fn thread_jumps(func: &mut IrFunc) -> bool {
+    // forward[b] = ultimate target of the empty-jump chain starting at b.
+    let mut forward: Vec<BlockId> = (0..func.blocks.len()).collect();
+    for id in 0..func.blocks.len() {
+        let mut target = id;
+        let mut hops = 0;
+        while func.blocks[target].insts.is_empty() && hops <= func.blocks.len() {
+            match func.blocks[target].term {
+                Term::Jmp(next) if next != target => {
+                    target = next;
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        forward[id] = target;
+    }
+    let mut changed = false;
+    for b in &mut func.blocks {
+        match &mut b.term {
+            Term::Jmp(t) => {
+                if forward[*t] != *t {
+                    *t = forward[*t];
+                    changed = true;
+                }
+            }
+            Term::CondBr { t, f, .. } => {
+                if forward[*t] != *t {
+                    *t = forward[*t];
+                    changed = true;
+                }
+                if forward[*f] != *f {
+                    *f = forward[*f];
+                    changed = true;
+                }
+            }
+            Term::Ret(_) => {}
+        }
+    }
+    changed
+}
+
+/// Merges `b → c` when `b` ends in `Jmp(c)` and `c` has exactly one
+/// predecessor.
+fn merge_linear_chains(func: &mut IrFunc) -> bool {
+    let mut changed = false;
+    loop {
+        let preds = func.preds();
+        let mut merged = false;
+        for b in 0..func.blocks.len() {
+            let Term::Jmp(c) = func.blocks[b].term else {
+                continue;
+            };
+            if c == b || c == 0 || preds[c].len() != 1 {
+                continue;
+            }
+            // Entry block (0) must stay first; never merge it away.
+            let tail = func.blocks[c].clone();
+            func.blocks[b].insts.extend(tail.insts);
+            func.blocks[b].term = tail.term;
+            // c becomes unreachable; clear it so remove_unreachable drops it.
+            func.blocks[c].insts.clear();
+            func.blocks[c].term = Term::Ret(None);
+            merged = true;
+            changed = true;
+            break;
+        }
+        if !merged {
+            return changed;
+        }
+    }
+}
+
+/// Removes blocks unreachable from the entry, compacting ids.
+fn remove_unreachable(func: &mut IrFunc) -> bool {
+    let n = func.blocks.len();
+    let mut reachable = vec![false; n];
+    let mut stack = vec![0usize];
+    while let Some(b) = stack.pop() {
+        if reachable[b] {
+            continue;
+        }
+        reachable[b] = true;
+        stack.extend(func.blocks[b].term.succs());
+    }
+    if reachable.iter().all(|r| *r) {
+        return false;
+    }
+    let mut remap: HashMap<BlockId, BlockId> = HashMap::new();
+    let mut new_blocks = Vec::new();
+    for (id, b) in func.blocks.iter().enumerate() {
+        if reachable[id] {
+            remap.insert(id, new_blocks.len());
+            new_blocks.push(b.clone());
+        }
+    }
+    for b in &mut new_blocks {
+        match &mut b.term {
+            Term::Jmp(t) => *t = remap[t],
+            Term::CondBr { t, f, .. } => {
+                *t = remap[t];
+                *f = remap[f];
+            }
+            Term::Ret(_) => {}
+        }
+    }
+    func.blocks = new_blocks;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::{ir_of, run_ir};
+    use crate::passes::{const_fold, copy_prop, dce, mem2reg};
+    use softerr_isa::Profile;
+
+    #[test]
+    fn removes_unreachable_blocks_after_folding() {
+        let mut ir = ir_of("void main() { if (0) out(1); else out(2); while (0) out(3); }");
+        let f = &mut ir.funcs[0];
+        mem2reg::run(f);
+        const_fold::run(f, Profile::A64);
+        run(f);
+        assert_eq!(run_ir(&ir, Profile::A64), vec![2]);
+    }
+
+    #[test]
+    fn merges_straightline_blocks() {
+        let mut ir = ir_of("void main() { int x = 1; if (x) { out(1); } out(2); }");
+        let f = &mut ir.funcs[0];
+        mem2reg::run(f);
+        for _ in 0..4 {
+            let mut c = const_fold::run(f, Profile::A64);
+            c |= copy_prop::run(f);
+            c |= dce::run(f);
+            c |= run(f);
+            if !c {
+                break;
+            }
+        }
+        assert_eq!(ir.funcs[0].blocks.len(), 1, "should collapse to one block");
+        assert_eq!(run_ir(&ir, Profile::A64), vec![1, 2]);
+    }
+
+    #[test]
+    fn loops_survive_simplification() {
+        let src = "
+            void main() {
+                int s = 0;
+                for (int i = 0; i < 5; i = i + 1) s = s + i;
+                out(s);
+            }";
+        let mut ir = ir_of(src);
+        let golden = run_ir(&ir, Profile::A64);
+        let f = &mut ir.funcs[0];
+        mem2reg::run(f);
+        for _ in 0..4 {
+            let mut c = const_fold::run(f, Profile::A64);
+            c |= copy_prop::run(f);
+            c |= dce::run(f);
+            c |= run(f);
+            if !c {
+                break;
+            }
+        }
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+        assert_eq!(golden, vec![10]);
+    }
+
+    #[test]
+    fn thread_jumps_through_empty_chains() {
+        let mut f = IrFunc {
+            name: "f".into(),
+            params: vec![],
+            ret: None,
+            blocks: vec![
+                Block { insts: vec![], term: Term::Jmp(1) },
+                Block { insts: vec![], term: Term::Jmp(2) },
+                Block {
+                    insts: vec![Inst::Out { src: Operand::C(1) }],
+                    term: Term::Ret(None),
+                },
+            ],
+            slots: vec![],
+            next_vreg: 0,
+        };
+        assert!(run(&mut f));
+        assert_eq!(f.blocks.len(), 2, "empty hop should be gone");
+    }
+
+    #[test]
+    fn self_loop_does_not_hang() {
+        let mut f = IrFunc {
+            name: "f".into(),
+            params: vec![],
+            ret: None,
+            blocks: vec![
+                Block { insts: vec![], term: Term::Jmp(1) },
+                Block { insts: vec![], term: Term::Jmp(1) },
+            ],
+            slots: vec![],
+            next_vreg: 0,
+        };
+        run(&mut f); // must terminate
+    }
+}

@@ -1,0 +1,199 @@
+//! Strength reduction: multiplications, divisions and remainders by
+//! constants become cheaper shift/add/mask sequences.
+//!
+//! * `x * 2^k` → `x << k`
+//! * `x * (2^k + 1)` (3, 5, 9, 17…) → `(x << k) + x`
+//! * unsigned `x / 2^k` → `x >> k` (logical)
+//! * unsigned `x % 2^k` → `x & (2^k − 1)`
+//!
+//! Signed division is left alone (a shift mis-rounds negative operands).
+
+use crate::ir::*;
+
+fn pow2(c: i64) -> Option<u32> {
+    (c > 0 && (c & (c - 1)) == 0).then(|| c.trailing_zeros())
+}
+
+/// Runs strength reduction. Returns `true` if anything changed.
+pub fn run(func: &mut IrFunc) -> bool {
+    let mut changed = false;
+    for bi in 0..func.blocks.len() {
+        let mut new_insts: Vec<Inst> = Vec::with_capacity(func.blocks[bi].insts.len());
+        for inst in std::mem::take(&mut func.blocks[bi].insts) {
+            match inst {
+                Inst::Bin {
+                    op: BinOp::Mul,
+                    w,
+                    dst,
+                    a,
+                    b,
+                } => {
+                    // Normalize the constant to the right.
+                    let (x, c) = match (a, b) {
+                        (x, Operand::C(c)) => (x, Some(c)),
+                        (Operand::C(c), x) => (x, Some(c)),
+                        _ => (a, None),
+                    };
+                    match c {
+                        Some(c) if pow2(c).is_some() => {
+                            let k = pow2(c).unwrap();
+                            new_insts.push(Inst::Bin {
+                                op: BinOp::Shl,
+                                w,
+                                dst,
+                                a: x,
+                                b: Operand::C(k as i64),
+                            });
+                            changed = true;
+                        }
+                        Some(c) if c > 2 && pow2(c - 1).is_some() => {
+                            // (x << k) + x
+                            let k = pow2(c - 1).unwrap();
+                            let t = func.next_vreg;
+                            func.next_vreg += 1;
+                            new_insts.push(Inst::Bin {
+                                op: BinOp::Shl,
+                                w,
+                                dst: t,
+                                a: x,
+                                b: Operand::C(k as i64),
+                            });
+                            new_insts.push(Inst::Bin {
+                                op: BinOp::Add,
+                                w,
+                                dst,
+                                a: Operand::V(t),
+                                b: x,
+                            });
+                            changed = true;
+                        }
+                        _ => new_insts.push(inst),
+                    }
+                }
+                Inst::Bin {
+                    op: BinOp::Div { signed: false },
+                    w,
+                    dst,
+                    a,
+                    b: Operand::C(c),
+                } if pow2(c).is_some() => {
+                    new_insts.push(Inst::Bin {
+                        op: BinOp::Shr { arith: false },
+                        w,
+                        dst,
+                        a,
+                        b: Operand::C(pow2(c).unwrap() as i64),
+                    });
+                    changed = true;
+                }
+                Inst::Bin {
+                    op: BinOp::Rem { signed: false },
+                    w,
+                    dst,
+                    a,
+                    b: Operand::C(c),
+                } if pow2(c).is_some() => {
+                    new_insts.push(Inst::Bin {
+                        op: BinOp::And,
+                        w,
+                        dst,
+                        a,
+                        b: Operand::C(c - 1),
+                    });
+                    changed = true;
+                }
+                other => new_insts.push(other),
+            }
+        }
+        func.blocks[bi].insts = new_insts;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::{ir_of, run_ir};
+    use crate::passes::mem2reg;
+    use softerr_isa::Profile;
+
+    fn muls(f: &IrFunc) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Bin { op: BinOp::Mul, .. }))
+            .count()
+    }
+
+    #[test]
+    fn pow2_mul_becomes_shift() {
+        let mut ir = ir_of("void main() { int x = 13; out(x * 8); }");
+        mem2reg::run(&mut ir.funcs[0]);
+        let golden = run_ir(&ir, Profile::A64);
+        assert!(run(&mut ir.funcs[0]));
+        assert_eq!(muls(&ir.funcs[0]), 0);
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+    }
+
+    #[test]
+    fn shift_add_form_for_2k_plus_1() {
+        for (mult, expect) in [(3i64, 39i64), (5, 65), (9, 117), (17, 221)] {
+            let src = format!("void main() {{ int x = 13; out(x * {mult}); }}");
+            let mut ir = ir_of(&src);
+            mem2reg::run(&mut ir.funcs[0]);
+            assert!(run(&mut ir.funcs[0]));
+            assert_eq!(muls(&ir.funcs[0]), 0);
+            assert_eq!(run_ir(&ir, Profile::A64), vec![expect as u64]);
+        }
+    }
+
+    #[test]
+    fn unsigned_div_rem_reduce() {
+        let src = "void main() { u32 x = 1000; out(x / 8); out(x % 8); }";
+        let mut ir = ir_of(src);
+        mem2reg::run(&mut ir.funcs[0]);
+        let golden = run_ir(&ir, Profile::A64);
+        assert!(run(&mut ir.funcs[0]));
+        let divs = ir.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Bin { op: BinOp::Div { .. } | BinOp::Rem { .. }, .. }))
+            .count();
+        assert_eq!(divs, 0);
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+        assert_eq!(golden, vec![125, 0]);
+    }
+
+    #[test]
+    fn signed_div_untouched() {
+        let mut ir = ir_of("void main() { int x = -7; out(x / 2); }");
+        mem2reg::run(&mut ir.funcs[0]);
+        let golden = run_ir(&ir, Profile::A64);
+        run(&mut ir.funcs[0]);
+        // -7/2 must stay -3 (round toward zero), not -4 as a shift would give.
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+        assert_eq!(golden, vec![(-3i64) as u64]);
+    }
+
+    #[test]
+    fn negative_and_non_pow2_untouched() {
+        let mut ir = ir_of("void main() { int x = 10; out(x * -4); out(x * 7); }");
+        mem2reg::run(&mut ir.funcs[0]);
+        let golden = run_ir(&ir, Profile::A64);
+        run(&mut ir.funcs[0]);
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+    }
+
+    #[test]
+    fn u32_wrap_preserved() {
+        // 0x80000001 * 2 wraps in u32; shift must reproduce that.
+        let src = "void main() { u32 x = 0x80000001; out(x * 2); }";
+        let mut ir = ir_of(src);
+        mem2reg::run(&mut ir.funcs[0]);
+        let golden = run_ir(&ir, Profile::A64);
+        assert!(run(&mut ir.funcs[0]));
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+        assert_eq!(golden, vec![2]);
+    }
+}

@@ -1,0 +1,355 @@
+//! Loop unrolling by body replication (`-O3`).
+//!
+//! Innermost natural loops get their body (header included) duplicated once
+//! and the back edge threaded through the copy, halving the number of
+//! taken back-edge branches while keeping every exit test — a conservative
+//! unrolling that is correct for any trip count. The dominant architectural
+//! effect is the one the paper attributes to `-O3`: larger code (bigger L1I
+//! footprint) for roughly equal performance.
+
+use crate::ir::*;
+use std::collections::{HashMap, HashSet};
+
+/// Loop body size limit (IR instructions) for unrolling.
+const MAX_BODY: usize = 50;
+
+/// Replication factor (bodies are duplicated `FACTOR - 1` times).
+const FACTOR: usize = 2;
+
+fn dominators(func: &IrFunc) -> Vec<HashSet<BlockId>> {
+    let n = func.blocks.len();
+    let preds = func.preds();
+    let all: HashSet<BlockId> = (0..n).collect();
+    let mut dom: Vec<HashSet<BlockId>> = vec![all; n];
+    dom[0] = HashSet::from([0]);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 1..n {
+            let mut new: Option<HashSet<BlockId>> = None;
+            for &p in &preds[b] {
+                new = Some(match new {
+                    None => dom[p].clone(),
+                    Some(acc) => acc.intersection(&dom[p]).copied().collect(),
+                });
+            }
+            let mut new = new.unwrap_or_default();
+            new.insert(b);
+            if new != dom[b] {
+                dom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+fn loop_body(func: &IrFunc, head: BlockId, tail: BlockId) -> HashSet<BlockId> {
+    let preds = func.preds();
+    let mut body = HashSet::from([head, tail]);
+    let mut stack = vec![tail];
+    while let Some(b) = stack.pop() {
+        if b == head {
+            continue;
+        }
+        for &p in &preds[b] {
+            if body.insert(p) {
+                stack.push(p);
+            }
+        }
+    }
+    body
+}
+
+/// Runs unrolling over every function. Returns `true` if any loop grew.
+pub fn run(ir: &mut IrModule) -> bool {
+    let mut changed = false;
+    for f in &mut ir.funcs {
+        changed |= run_func(f);
+    }
+    changed
+}
+
+fn run_func(func: &mut IrFunc) -> bool {
+    let dom = dominators(func);
+    let mut back_edges: Vec<(BlockId, BlockId)> = Vec::new();
+    for (tail, b) in func.blocks.iter().enumerate() {
+        for head in b.term.succs() {
+            if dom[tail].contains(&head) {
+                back_edges.push((tail, head));
+            }
+        }
+    }
+    // Collect disjoint innermost loops up front (unrolling invalidates ids
+    // for overlapping loops, so loops touching an already-chosen body are
+    // skipped this round).
+    let mut chosen: Vec<(BlockId, BlockId, Vec<BlockId>)> = Vec::new();
+    let mut claimed: HashSet<BlockId> = HashSet::new();
+    for (tail, head) in back_edges.iter().copied() {
+        let body = loop_body(func, head, tail);
+        let size: usize = body.iter().map(|&b| func.blocks[b].insts.len() + 1).sum();
+        if size > MAX_BODY {
+            continue;
+        }
+        // Innermost: the body contains no other back edge than tail→head.
+        let inner = back_edges
+            .iter()
+            .all(|&(t2, h2)| (t2, h2) == (tail, head) || !(body.contains(&t2) && body.contains(&h2)));
+        if !inner {
+            continue;
+        }
+        if body.iter().any(|b| claimed.contains(b)) {
+            continue;
+        }
+        claimed.extend(body.iter().copied());
+        let mut sorted: Vec<BlockId> = body.into_iter().collect();
+        sorted.sort_unstable();
+        chosen.push((tail, head, sorted));
+    }
+    if chosen.is_empty() {
+        return false;
+    }
+
+    for (tail, head, body) in chosen {
+        // Vregs that carry values across iterations (live-in at the header)
+        // or out of the loop (live-in at an exit target) must keep their
+        // names; everything else is renamed per copy so the copies do not
+        // artificially stretch live ranges (which would flood the register
+        // allocator with spills).
+        let (live_in, _) = crate::ir::liveness(func);
+        let body_set: HashSet<BlockId> = body.iter().copied().collect();
+        let mut protected: HashSet<VReg> = live_in[head].clone();
+        for &b in &body {
+            for s in func.blocks[b].term.succs() {
+                if !body_set.contains(&s) {
+                    protected.extend(live_in[s].iter().copied());
+                }
+            }
+        }
+        for _ in 0..FACTOR - 1 {
+            // Fresh names for the copy's private vregs.
+            let mut vreg_map: HashMap<VReg, VReg> = HashMap::new();
+            for &b in &body {
+                for inst in &func.blocks[b].insts {
+                    if let Some(d) = inst.def() {
+                        if !protected.contains(&d) && !vreg_map.contains_key(&d) {
+                            vreg_map.insert(d, func.next_vreg);
+                            func.next_vreg += 1;
+                        }
+                    }
+                }
+            }
+            // Clone the body; in-body targets remap to the copies, exits stay.
+            let base = func.blocks.len();
+            let remap: HashMap<BlockId, BlockId> = body
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b, base + i))
+                .collect();
+            for &b in &body {
+                let mut clone = func.blocks[b].clone();
+                for inst in &mut clone.insts {
+                    rename_inst(inst, &vreg_map);
+                }
+                rename_term(&mut clone.term, &vreg_map);
+                let retarget = |t: &mut BlockId| {
+                    if let Some(&n) = remap.get(t) {
+                        *t = n;
+                    }
+                };
+                match &mut clone.term {
+                    Term::Jmp(t) => retarget(t),
+                    Term::CondBr { t, f, .. } => {
+                        retarget(t);
+                        retarget(f);
+                    }
+                    Term::Ret(_) => {}
+                }
+                func.blocks.push(clone);
+            }
+            // The copy's back edge returns to the original head.
+            let tail_copy = remap[&tail];
+            let fix_back = |t: &mut BlockId| {
+                if *t == remap[&head] {
+                    *t = head;
+                }
+            };
+            match &mut func.blocks[tail_copy].term {
+                Term::Jmp(t) => fix_back(t),
+                Term::CondBr { t, f, .. } => {
+                    fix_back(t);
+                    fix_back(f);
+                }
+                Term::Ret(_) => {}
+            }
+            // The original back edge now enters the copy's head.
+            let enter_copy = |t: &mut BlockId| {
+                if *t == head {
+                    *t = remap[&head];
+                }
+            };
+            match &mut func.blocks[tail].term {
+                Term::Jmp(t) => enter_copy(t),
+                Term::CondBr { t, f, .. } => {
+                    enter_copy(t);
+                    enter_copy(f);
+                }
+                Term::Ret(_) => {}
+            }
+        }
+    }
+    true
+}
+
+fn rename_op(op: &mut Operand, map: &HashMap<VReg, VReg>) {
+    if let Operand::V(v) = op {
+        if let Some(&n) = map.get(v) {
+            *op = Operand::V(n);
+        }
+    }
+}
+
+fn rename_vreg(v: &mut VReg, map: &HashMap<VReg, VReg>) {
+    if let Some(&n) = map.get(v) {
+        *v = n;
+    }
+}
+
+fn rename_inst(inst: &mut Inst, map: &HashMap<VReg, VReg>) {
+    match inst {
+        Inst::Bin { dst, a, b, .. } | Inst::Cmp { dst, a, b, .. } => {
+            rename_op(a, map);
+            rename_op(b, map);
+            rename_vreg(dst, map);
+        }
+        Inst::Copy { dst, src } => {
+            rename_op(src, map);
+            rename_vreg(dst, map);
+        }
+        Inst::Load { dst, addr, .. } => {
+            rename_op(addr, map);
+            rename_vreg(dst, map);
+        }
+        Inst::Store { src, addr, .. } => {
+            rename_op(src, map);
+            rename_op(addr, map);
+        }
+        Inst::SlotAddr { dst, .. } | Inst::GlobalAddr { dst, .. } | Inst::LoadSlot { dst, .. } => {
+            rename_vreg(dst, map);
+        }
+        Inst::StoreSlot { src, .. } => rename_op(src, map),
+        Inst::Call { dst, args, .. } => {
+            for a in args {
+                rename_op(a, map);
+            }
+            if let Some(d) = dst {
+                rename_vreg(d, map);
+            }
+        }
+        Inst::Out { src } => rename_op(src, map),
+    }
+}
+
+fn rename_term(term: &mut Term, map: &HashMap<VReg, VReg>) {
+    match term {
+        Term::Ret(Some(op)) => rename_op(op, map),
+        Term::Ret(None) | Term::Jmp(_) => {}
+        Term::CondBr { a, b, .. } => {
+            rename_op(a, map);
+            rename_op(b, map);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::{ir_of, run_ir};
+    use softerr_isa::Profile;
+
+    fn block_count(ir: &IrModule) -> usize {
+        ir.funcs.iter().map(|f| f.blocks.len()).sum()
+    }
+
+    #[test]
+    fn unrolls_simple_counted_loop() {
+        let src = "
+            void main() {
+                int s = 0;
+                for (int i = 0; i < 10; i = i + 1) s = s + i;
+                out(s);
+            }";
+        let mut ir = ir_of(src);
+        let golden = run_ir(&ir, Profile::A64);
+        let before = block_count(&ir);
+        assert!(run(&mut ir));
+        assert!(block_count(&ir) > before, "code should grow");
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+        assert_eq!(golden, vec![45]);
+    }
+
+    #[test]
+    fn odd_and_zero_trip_counts_stay_correct() {
+        for n in [0, 1, 2, 3, 7] {
+            let src = format!(
+                "void main() {{ int s = 0; int i = 0; while (i < {n}) {{ s = s + i; i = i + 1; }} out(s); }}"
+            );
+            let mut ir = ir_of(&src);
+            let golden = run_ir(&ir, Profile::A64);
+            run(&mut ir);
+            assert_eq!(run_ir(&ir, Profile::A64), golden, "trip count {n}");
+        }
+    }
+
+    #[test]
+    fn early_exit_loops_stay_correct() {
+        let src = "
+            void main() {
+                int i = 0;
+                while (i < 100) {
+                    i = i + 1;
+                    if (i == 5) break;
+                    out(i);
+                }
+                out(i);
+            }";
+        let mut ir = ir_of(src);
+        let golden = run_ir(&ir, Profile::A64);
+        run(&mut ir);
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+        assert_eq!(golden, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn nested_loops_unroll_only_inner() {
+        let src = "
+            void main() {
+                int s = 0;
+                for (int i = 0; i < 3; i = i + 1)
+                    for (int j = 0; j < 4; j = j + 1)
+                        s = s + i * 10 + j;
+                out(s);
+            }";
+        let mut ir = ir_of(src);
+        let golden = run_ir(&ir, Profile::A64);
+        run(&mut ir);
+        assert_eq!(run_ir(&ir, Profile::A64), golden);
+        assert_eq!(golden, vec![138]);
+    }
+
+    #[test]
+    fn large_bodies_are_skipped() {
+        // A loop body of > MAX_BODY instructions stays untouched.
+        let mut stmts = String::new();
+        for k in 0..60 {
+            stmts.push_str(&format!("s = s + {k}; "));
+        }
+        let src = format!(
+            "void main() {{ int s = 0; for (int i = 0; i < 3; i = i + 1) {{ {stmts} }} out(s); }}"
+        );
+        let mut ir = ir_of(&src);
+        let before = block_count(&ir);
+        let changed = run(&mut ir);
+        assert!(!changed || block_count(&ir) == before);
+    }
+}

@@ -1,0 +1,357 @@
+//! Linear-scan register allocation.
+//!
+//! A classic Poletto/Sarkar linear scan over conservative live intervals:
+//!
+//! * liveness is computed by iterative backward dataflow over the CFG,
+//! * each vreg gets one interval `[start, end]` covering every point where
+//!   it may be live,
+//! * intervals that cross a call site may only take callee-saved registers
+//!   (or spill), so nothing caller-saved is ever live across a call,
+//! * two registers per class are reserved as scratch for spill reloads and
+//!   constant materialization and are never allocated.
+//!
+//! The allocatable pools come from the target [`Profile`]'s ABI, so the A32
+//! target allocates far fewer registers than A64 — reproducing the
+//! register-pressure gap between the paper's Armv7 and Armv8 binaries.
+
+use crate::ir::{IrFunc, VReg};
+use softerr_isa::{Profile, Reg};
+use std::collections::{HashMap, HashSet};
+
+/// Where a vreg lives at execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// A machine register.
+    R(Reg),
+    /// A spill slot index (frame-relative; the codegen assigns offsets).
+    Spill(usize),
+}
+
+/// The result of register allocation for one function.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Location of each vreg that appears in the function.
+    pub locs: HashMap<VReg, Loc>,
+    /// Callee-saved registers used (must be preserved in the prologue).
+    pub used_callee: Vec<Reg>,
+    /// Number of spill slots needed.
+    pub spill_slots: usize,
+}
+
+/// First scratch register (reserved, never allocated).
+pub fn scratch0() -> Reg {
+    Reg::new(3)
+}
+
+/// Second scratch register (reserved, never allocated).
+pub fn scratch1() -> Reg {
+    Reg::new(4)
+}
+
+#[derive(Debug, Clone)]
+struct Interval {
+    vreg: VReg,
+    start: u32,
+    end: u32,
+    crosses_call: bool,
+}
+
+/// Runs liveness analysis and linear-scan allocation for `func`.
+pub fn allocate(func: &IrFunc, profile: Profile) -> Allocation {
+    let (live_in, live_out) = crate::ir::liveness(func);
+
+    // Number program points linearly and build intervals.
+    let mut intervals: HashMap<VReg, Interval> = HashMap::new();
+    let mut call_points: Vec<u32> = Vec::new();
+    let mut point = 0u32;
+    let touch = |map: &mut HashMap<VReg, Interval>, v: VReg, p: u32| {
+        let e = map.entry(v).or_insert(Interval {
+            vreg: v,
+            start: p,
+            end: p,
+            crosses_call: false,
+        });
+        e.start = e.start.min(p);
+        e.end = e.end.max(p);
+    };
+    // Parameters are live from point 0.
+    for (v, _) in &func.params {
+        touch(&mut intervals, *v, 0);
+    }
+    for (id, b) in func.blocks.iter().enumerate() {
+        let block_start = point;
+        for v in &live_in[id] {
+            touch(&mut intervals, *v, block_start);
+        }
+        for inst in &b.insts {
+            point += 1;
+            for u in inst.uses() {
+                touch(&mut intervals, u, point);
+            }
+            if let Some(d) = inst.def() {
+                touch(&mut intervals, d, point);
+            }
+            if matches!(inst, crate::ir::Inst::Call { .. }) {
+                call_points.push(point);
+            }
+        }
+        point += 1; // terminator point
+        for u in b.term.uses() {
+            touch(&mut intervals, u, point);
+        }
+        for v in &live_out[id] {
+            touch(&mut intervals, *v, point);
+        }
+        point += 1; // block end boundary
+    }
+
+    for itv in intervals.values_mut() {
+        itv.crosses_call = call_points
+            .iter()
+            .any(|&c| itv.start < c && c < itv.end);
+    }
+
+    // Allocatable pools. Two temporaries are reserved as scratch.
+    let caller_pool: Vec<Reg> = profile
+        .temp_regs()
+        .into_iter()
+        .filter(|r| *r != scratch0() && *r != scratch1())
+        .collect();
+    let callee_pool: Vec<Reg> = profile.saved_regs();
+
+    let mut sorted: Vec<Interval> = intervals.into_values().collect();
+    sorted.sort_by_key(|i| (i.start, i.vreg));
+
+    let mut free_caller: Vec<Reg> = caller_pool.clone();
+    let mut free_callee: Vec<Reg> = callee_pool.clone();
+    // Active intervals: (end, vreg, reg, is_callee).
+    let mut active: Vec<(u32, VReg, Reg, bool)> = Vec::new();
+    let mut locs: HashMap<VReg, Loc> = HashMap::new();
+    let mut used_callee: HashSet<Reg> = HashSet::new();
+    let mut spill_slots = 0usize;
+
+    for itv in sorted {
+        // Expire finished intervals.
+        active.retain(|&(end, _, reg, is_callee)| {
+            if end < itv.start {
+                if is_callee {
+                    free_callee.push(reg);
+                } else {
+                    free_caller.push(reg);
+                }
+                false
+            } else {
+                true
+            }
+        });
+
+        let choice = if itv.crosses_call {
+            free_callee.pop().map(|r| (r, true))
+        } else {
+            free_caller
+                .pop()
+                .map(|r| (r, false))
+                .or_else(|| free_callee.pop().map(|r| (r, true)))
+        };
+
+        match choice {
+            Some((reg, is_callee)) => {
+                if is_callee {
+                    used_callee.insert(reg);
+                }
+                locs.insert(itv.vreg, Loc::R(reg));
+                active.push((itv.end, itv.vreg, reg, is_callee));
+            }
+            None => {
+                // Spill the interval that ends furthest (current or an
+                // active one this interval could replace).
+                let candidate = active
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(_, _, _, is_callee))| is_callee || !itv.crosses_call)
+                    .max_by_key(|(_, &(end, _, _, _))| end)
+                    .map(|(i, &(end, v, reg, is_callee))| (i, end, v, reg, is_callee));
+                match candidate {
+                    Some((idx, end, victim, reg, is_callee)) if end > itv.end => {
+                        locs.insert(victim, Loc::Spill(spill_slots));
+                        spill_slots += 1;
+                        locs.insert(itv.vreg, Loc::R(reg));
+                        active.remove(idx);
+                        active.push((itv.end, itv.vreg, reg, is_callee));
+                    }
+                    _ => {
+                        locs.insert(itv.vreg, Loc::Spill(spill_slots));
+                        spill_slots += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut used_callee: Vec<Reg> = used_callee.into_iter().collect();
+    used_callee.sort_by_key(|r| r.index());
+    Allocation {
+        locs,
+        used_callee,
+        spill_slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::*;
+
+    fn simple_func(nvregs: u32, insts: Vec<Inst>, term: Term) -> IrFunc {
+        IrFunc {
+            name: "f".into(),
+            params: vec![],
+            ret: None,
+            blocks: vec![Block { insts, term }],
+            slots: vec![],
+            next_vreg: nvregs,
+        }
+    }
+
+    #[test]
+    fn disjoint_intervals_share_registers() {
+        // v0 used then dead; v1 used after — can share.
+        let f = simple_func(
+            2,
+            vec![
+                Inst::Copy { dst: 0, src: Operand::C(1) },
+                Inst::Out { src: Operand::V(0) },
+                Inst::Copy { dst: 1, src: Operand::C(2) },
+                Inst::Out { src: Operand::V(1) },
+            ],
+            Term::Ret(None),
+        );
+        let a = allocate(&f, Profile::A64);
+        let Loc::R(r0) = a.locs[&0] else { panic!("spilled") };
+        let Loc::R(r1) = a.locs[&1] else { panic!("spilled") };
+        assert_eq!(r0, r1, "disjoint intervals should reuse the register");
+    }
+
+    #[test]
+    fn overlapping_intervals_get_distinct_registers() {
+        let f = simple_func(
+            2,
+            vec![
+                Inst::Copy { dst: 0, src: Operand::C(1) },
+                Inst::Copy { dst: 1, src: Operand::C(2) },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    w: Width::Word,
+                    dst: 0,
+                    a: Operand::V(0),
+                    b: Operand::V(1),
+                },
+                Inst::Out { src: Operand::V(0) },
+            ],
+            Term::Ret(None),
+        );
+        let a = allocate(&f, Profile::A64);
+        let Loc::R(r0) = a.locs[&0] else { panic!() };
+        let Loc::R(r1) = a.locs[&1] else { panic!() };
+        assert_ne!(r0, r1);
+    }
+
+    #[test]
+    fn call_crossing_interval_gets_callee_saved() {
+        let f = simple_func(
+            1,
+            vec![
+                Inst::Copy { dst: 0, src: Operand::C(1) },
+                Inst::Call { dst: None, callee: "g".into(), args: vec![] },
+                Inst::Out { src: Operand::V(0) },
+            ],
+            Term::Ret(None),
+        );
+        let a = allocate(&f, Profile::A64);
+        let Loc::R(r) = a.locs[&0] else { panic!("spilled") };
+        assert!(
+            Profile::A64.saved_regs().contains(&r),
+            "{r} is not callee-saved"
+        );
+        assert_eq!(a.used_callee, vec![r]);
+    }
+
+    #[test]
+    fn scratch_registers_never_allocated() {
+        // More live vregs than available registers on A32 → spills, but never
+        // the scratch registers.
+        let n = 24u32;
+        let mut insts: Vec<Inst> = (0..n)
+            .map(|v| Inst::Copy { dst: v, src: Operand::C(v as i64) })
+            .collect();
+        for v in 0..n {
+            insts.push(Inst::Out { src: Operand::V(v) });
+        }
+        let f = simple_func(n, insts, Term::Ret(None));
+        let a = allocate(&f, Profile::A32);
+        for loc in a.locs.values() {
+            if let Loc::R(r) = loc {
+                assert_ne!(*r, scratch0());
+                assert_ne!(*r, scratch1());
+            }
+        }
+        assert!(a.spill_slots > 0, "A32 should spill under this pressure");
+    }
+
+    #[test]
+    fn a64_spills_less_than_a32() {
+        let n = 16u32;
+        let mut insts: Vec<Inst> = (0..n)
+            .map(|v| Inst::Copy { dst: v, src: Operand::C(v as i64) })
+            .collect();
+        for v in 0..n {
+            insts.push(Inst::Out { src: Operand::V(v) });
+        }
+        let f = simple_func(n, insts, Term::Ret(None));
+        let a32 = allocate(&f, Profile::A32);
+        let a64 = allocate(&f, Profile::A64);
+        assert!(a64.spill_slots < a32.spill_slots);
+    }
+
+    #[test]
+    fn loop_variable_live_across_backedge() {
+        // bb0: v0 = 0; jmp bb1
+        // bb1: v0 = v0 + 1; if v0 < 10 goto bb1 else bb2
+        // bb2: out v0; ret
+        let f = IrFunc {
+            name: "f".into(),
+            params: vec![],
+            ret: None,
+            blocks: vec![
+                Block {
+                    insts: vec![Inst::Copy { dst: 0, src: Operand::C(0) }],
+                    term: Term::Jmp(1),
+                },
+                Block {
+                    insts: vec![Inst::Bin {
+                        op: BinOp::Add,
+                        w: Width::Word,
+                        dst: 0,
+                        a: Operand::V(0),
+                        b: Operand::C(1),
+                    }],
+                    term: Term::CondBr {
+                        cond: Cond::Lt,
+                        a: Operand::V(0),
+                        b: Operand::C(10),
+                        t: 1,
+                        f: 2,
+                    },
+                },
+                Block {
+                    insts: vec![Inst::Out { src: Operand::V(0) }],
+                    term: Term::Ret(None),
+                },
+            ],
+            slots: vec![],
+            next_vreg: 1,
+        };
+        let a = allocate(&f, Profile::A64);
+        assert!(a.locs.contains_key(&0));
+    }
+}

@@ -1,0 +1,52 @@
+//! # softerr
+//!
+//! A full reproduction of *"Characterizing Soft Error Vulnerability of CPUs
+//! Across Compiler Optimizations and Microarchitectures"* (IISWC 2021) as a
+//! Rust library. This facade crate orchestrates the entire stack:
+//!
+//! 1. compile the eight MiBench-equivalent workloads ([`Workload`]) at each
+//!    GCC-style optimization level ([`OptLevel`]) with the `softerr-cc`
+//!    compiler,
+//! 2. run them on the cycle-level out-of-order simulator (`softerr-sim`)
+//!    configured as a Cortex-A15-like or Cortex-A72-like machine,
+//! 3. inject statistically sampled single-bit transient faults into the
+//!    fifteen structure fields of the paper ([`Structure`]) with
+//!    `softerr-inject`,
+//! 4. aggregate AVF / weighted-AVF / FIT / FPE with `softerr-analysis`.
+//!
+//! ```no_run
+//! use softerr::{Study, StudyConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = StudyConfig::quick(42);
+//! let results = Study::new(config).run()?;
+//! for machine in results.machine_names() {
+//!     for structure in softerr::Structure::ALL {
+//!         let wavf = results.weighted_avf(&machine, softerr::OptLevel::O2, structure);
+//!         println!("{machine} {structure}: wAVF = {wavf:.3}");
+//!     }
+//! }
+//! # Ok(())
+//! # }
+//! ```
+#![warn(missing_docs)]
+
+mod report;
+mod study;
+
+pub use report::Table;
+pub use study::{CellKey, CellResult, Study, StudyConfig, StudyError, StudyResults};
+
+// Re-export the full vocabulary so downstream users need only this crate.
+pub use softerr_analysis::{
+    cpu_fit, cpu_fit_by_class, fit_of_structure, fpe, weighted_avf, EccScheme,
+    StructureMeasurement,
+};
+pub use softerr_cc::{CompileError, Compiled, Compiler, OptLevel, PassConfig};
+pub use softerr_inject::{
+    error_margin, CampaignConfig, CampaignResult, ClassCounts, FaultClass, FaultSpec, Golden,
+    Injector, Z_90, Z_95, Z_99,
+};
+pub use softerr_isa::{disassemble, Emulator, Profile, Program};
+pub use softerr_sim::{MachineConfig, Sim, SimOutcome, SimStats, Structure};
+pub use softerr_workloads::{Scale, Workload};

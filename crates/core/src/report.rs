@@ -1,0 +1,150 @@
+//! Plain-text table rendering for the figure-regeneration harness.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// ```
+/// use softerr::Table;
+/// let mut t = Table::new(vec!["bench".into(), "O0".into(), "O2".into()]);
+/// t.row(vec!["qsort".into(), "1.00".into(), "1.31".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("qsort"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Table {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row (padded or truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as CSV (for external plotting tools).
+    ///
+    /// ```
+    /// use softerr::Table;
+    /// let mut t = Table::new(vec!["a".into(), "b".into()]);
+    /// t.row(vec!["x,y".into(), "1".into()]);
+    /// assert_eq!(t.to_csv(), "a,b\n\"x,y\",1\n");
+    /// ```
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let render_row = |row: &[String], out: &mut String| {
+            let cells: Vec<String> = row.iter().map(|c| escape(c)).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        if ncols == 0 {
+            return Ok(());
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                // Right-align numeric-looking cells, left-align labels.
+                let numeric = cell
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || ".-+%ex".contains(c))
+                    && !cell.is_empty();
+                if numeric && i > 0 {
+                    write!(f, "{cell:>width$}", width = widths[i])?;
+                } else {
+                    write!(f, "{cell:<width$}", width = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["a".into(), "1.5".into()]);
+        t.row(vec!["long-name".into(), "100.25".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert!(s.contains("long-name"));
+    }
+
+    #[test]
+    fn csv_escapes_quotes() {
+        let mut t = Table::new(vec!["h".into()]);
+        t.row(vec!["say \"hi\"".into()]);
+        assert_eq!(t.to_csv(), "h\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn empty_table_renders_nothing() {
+        let t = Table::new(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_string(), "");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+        let _ = t.to_string(); // must not panic
+    }
+}

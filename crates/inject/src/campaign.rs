@@ -1,0 +1,522 @@
+//! Fault specification, single-run execution, and campaign orchestration.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use softerr_isa::Program;
+use softerr_sim::{MachineConfig, Sim, SimOutcome, Structure};
+use std::fmt;
+
+/// One single-bit transient fault: flip `bit` of `structure` at `cycle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Target structure field.
+    pub structure: Structure,
+    /// Bit index within the structure (`0..bit_count`).
+    pub bit: u64,
+    /// Injection cycle (`0..golden_cycles`).
+    pub cycle: u64,
+}
+
+/// Outcome class of one injection (the paper's classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// No architecturally visible deviation.
+    Masked,
+    /// Silent data corruption: wrong output, no other indication.
+    Sdc,
+    /// Process/kernel crash (architectural fault at commit).
+    Crash,
+    /// Exceeded 2× the fault-free execution time.
+    Timeout,
+    /// Simulator assertion (unhandled microarchitectural state).
+    Assert,
+}
+
+impl FaultClass {
+    /// All classes, masked first.
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::Masked,
+        FaultClass::Sdc,
+        FaultClass::Crash,
+        FaultClass::Timeout,
+        FaultClass::Assert,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Masked => "Masked",
+            FaultClass::Sdc => "SDC",
+            FaultClass::Crash => "Crash",
+            FaultClass::Timeout => "Timeout",
+            FaultClass::Assert => "Assert",
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-class injection counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounts {
+    /// Masked runs.
+    pub masked: u64,
+    /// Silent data corruptions.
+    pub sdc: u64,
+    /// Crashes.
+    pub crash: u64,
+    /// Timeouts.
+    pub timeout: u64,
+    /// Asserts.
+    pub assert_: u64,
+}
+
+impl ClassCounts {
+    /// Adds one outcome.
+    pub fn record(&mut self, class: FaultClass) {
+        match class {
+            FaultClass::Masked => self.masked += 1,
+            FaultClass::Sdc => self.sdc += 1,
+            FaultClass::Crash => self.crash += 1,
+            FaultClass::Timeout => self.timeout += 1,
+            FaultClass::Assert => self.assert_ += 1,
+        }
+    }
+
+    /// Count of one class.
+    pub fn get(&self, class: FaultClass) -> u64 {
+        match class {
+            FaultClass::Masked => self.masked,
+            FaultClass::Sdc => self.sdc,
+            FaultClass::Crash => self.crash,
+            FaultClass::Timeout => self.timeout,
+            FaultClass::Assert => self.assert_,
+        }
+    }
+
+    /// Total injections.
+    pub fn total(&self) -> u64 {
+        self.masked + self.sdc + self.crash + self.timeout + self.assert_
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &ClassCounts) {
+        self.masked += other.masked;
+        self.sdc += other.sdc;
+        self.crash += other.crash;
+        self.timeout += other.timeout;
+        self.assert_ += other.assert_;
+    }
+}
+
+/// Fault-free reference execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Golden {
+    /// Execution time in cycles.
+    pub cycles: u64,
+    /// Retired instruction count.
+    pub retired: u64,
+    /// Program output.
+    pub output: Vec<u64>,
+}
+
+/// The golden run failed (the program itself is broken).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenError(pub String);
+
+impl fmt::Display for GoldenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "golden run failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for GoldenError {}
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Injections per structure (the paper uses 2,000).
+    pub injections: u64,
+    /// RNG seed (campaigns are fully reproducible).
+    pub seed: u64,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig { injections: 100, seed: 0xB17F11B5, threads: 1 }
+    }
+}
+
+/// Aggregated result of a campaign on one structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Target structure.
+    pub structure: Structure,
+    /// Injectable bit population of the structure.
+    pub bit_population: u64,
+    /// Golden execution time (cycles) the faults were sampled over.
+    pub golden_cycles: u64,
+    /// Per-class tallies.
+    pub counts: ClassCounts,
+}
+
+impl CampaignResult {
+    /// Total injections.
+    pub fn total(&self) -> u64 {
+        self.counts.total()
+    }
+
+    /// Architectural vulnerability factor: the non-masked fraction.
+    pub fn avf(&self) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            return 0.0;
+        }
+        1.0 - self.counts.masked as f64 / n as f64
+    }
+
+    /// Fraction of injections in a class.
+    pub fn fraction(&self, class: FaultClass) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            return 0.0;
+        }
+        self.counts.get(class) as f64 / n as f64
+    }
+
+    /// Error margin of the AVF estimate at 99% confidence (Leveugle).
+    pub fn margin_99(&self) -> f64 {
+        crate::stats::error_margin(
+            self.total(),
+            self.bit_population.saturating_mul(self.golden_cycles.max(1)),
+            crate::stats::Z_99,
+        )
+    }
+}
+
+/// Fault injector bound to one (machine, program) pair.
+///
+/// Holds the golden reference; every injection constructs a fresh simulator
+/// so faults cannot leak between runs.
+#[derive(Debug)]
+pub struct Injector<'a> {
+    cfg: &'a MachineConfig,
+    program: &'a Program,
+    golden: Golden,
+}
+
+impl<'a> Injector<'a> {
+    /// Runs the golden execution and prepares the injector.
+    ///
+    /// # Errors
+    ///
+    /// [`GoldenError`] if the fault-free program does not halt cleanly.
+    pub fn new(cfg: &'a MachineConfig, program: &'a Program) -> Result<Injector<'a>, GoldenError> {
+        let mut sim = Sim::new(cfg, program);
+        match sim.run(4_000_000_000) {
+            SimOutcome::Halted { cycles, retired, output } => Ok(Injector {
+                cfg,
+                program,
+                golden: Golden { cycles, retired, output },
+            }),
+            other => Err(GoldenError(format!("{other:?}"))),
+        }
+    }
+
+    /// The golden reference run.
+    pub fn golden(&self) -> &Golden {
+        &self.golden
+    }
+
+    /// Number of injectable bits of `structure` on this machine.
+    pub fn bit_count(&self, structure: Structure) -> u64 {
+        Sim::new(self.cfg, self.program).bit_count(structure)
+    }
+
+    /// Executes one single-bit injection and classifies the outcome.
+    pub fn inject(&self, fault: FaultSpec) -> FaultClass {
+        self.inject_burst(fault, 1)
+    }
+
+    /// Executes a multi-bit-upset injection: `width` *adjacent* bits are
+    /// flipped at the fault cycle (width 1 is the paper's single-event
+    /// upset; larger widths model the MBU bursts of the authors' companion
+    /// IISWC'19 study). Bits past the end of the structure wrap around.
+    pub fn inject_burst(&self, fault: FaultSpec, width: u8) -> FaultClass {
+        let mut sim = Sim::new(self.cfg, self.program);
+        if let Some(early) = sim.run_to_cycle(fault.cycle) {
+            // The golden run ended before the injection cycle (can only
+            // happen with out-of-range cycles): the fault lands after the
+            // program finished and is architecturally masked.
+            return match early {
+                SimOutcome::Halted { .. } => FaultClass::Masked,
+                other => unreachable!("golden-equivalent prefix diverged: {other:?}"),
+            };
+        }
+        let bits = sim.bit_count(fault.structure);
+        for k in 0..width.max(1) as u64 {
+            sim.flip_bit(fault.structure, (fault.bit + k) % bits);
+        }
+        match sim.run(2 * self.golden.cycles) {
+            SimOutcome::Halted { output, .. } => {
+                if output == self.golden.output {
+                    FaultClass::Masked
+                } else {
+                    FaultClass::Sdc
+                }
+            }
+            SimOutcome::Crash { .. } => FaultClass::Crash,
+            SimOutcome::Assert { .. } => FaultClass::Assert,
+            SimOutcome::CycleLimit { .. } => FaultClass::Timeout,
+        }
+    }
+
+    /// Runs a campaign of `width`-bit burst upsets on one structure.
+    pub fn campaign_burst(
+        &self,
+        structure: Structure,
+        cfg: &CampaignConfig,
+        width: u8,
+    ) -> CampaignResult {
+        let faults = self.sample_faults(structure, cfg.injections, cfg.seed);
+        let mut counts = ClassCounts::default();
+        for f in &faults {
+            counts.record(self.inject_burst(*f, width));
+        }
+        CampaignResult {
+            structure,
+            bit_population: self.bit_count(structure),
+            golden_cycles: self.golden.cycles,
+            counts,
+        }
+    }
+
+    /// Samples `n` faults for a structure uniformly over (bit × cycle),
+    /// reproducibly from `seed`.
+    pub fn sample_faults(&self, structure: Structure, n: u64, seed: u64) -> Vec<FaultSpec> {
+        let bits = self.bit_count(structure);
+        let cycles = self.golden.cycles.max(1);
+        // Mix the structure into the seed so different structures draw
+        // independent samples from the same campaign seed.
+        let mut rng = SmallRng::seed_from_u64(
+            seed ^ (structure as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        (0..n)
+            .map(|_| FaultSpec {
+                structure,
+                bit: rng.gen_range(0..bits),
+                cycle: rng.gen_range(0..cycles),
+            })
+            .collect()
+    }
+
+    /// Runs a full campaign on one structure.
+    pub fn campaign(&self, structure: Structure, cfg: &CampaignConfig) -> CampaignResult {
+        let faults = self.sample_faults(structure, cfg.injections, cfg.seed);
+        let counts = if cfg.threads <= 1 {
+            let mut counts = ClassCounts::default();
+            for f in &faults {
+                counts.record(self.inject(*f));
+            }
+            counts
+        } else {
+            self.parallel_counts(&faults, cfg.threads)
+        };
+        CampaignResult {
+            structure,
+            bit_population: self.bit_count(structure),
+            golden_cycles: self.golden.cycles,
+            counts,
+        }
+    }
+
+    fn parallel_counts(&self, faults: &[FaultSpec], threads: usize) -> ClassCounts {
+        let chunk = faults.len().div_ceil(threads).max(1);
+        let partials: Vec<ClassCounts> = std::thread::scope(|scope| {
+            let handles: Vec<_> = faults
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move || {
+                        let mut counts = ClassCounts::default();
+                        for f in slice {
+                            counts.record(self.inject(*f));
+                        }
+                        counts
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("injection worker panicked"))
+                .collect()
+        });
+        let mut total = ClassCounts::default();
+        for p in &partials {
+            total.merge(p);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softerr_cc::{Compiler, OptLevel};
+
+    fn setup() -> (MachineConfig, Program) {
+        let cfg = MachineConfig::cortex_a15();
+        let program = Compiler::new(cfg.profile, OptLevel::O1)
+            .compile(
+                "int tab[16];
+                 void main() {
+                     for (int i = 0; i < 16; i = i + 1) tab[i] = i * 3;
+                     int s = 0;
+                     for (int i = 0; i < 16; i = i + 1) s = s + tab[i];
+                     out(s);
+                 }",
+            )
+            .unwrap()
+            .program;
+        (cfg, program)
+    }
+
+    #[test]
+    fn golden_run_is_recorded() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        assert_eq!(inj.golden().output, vec![360]);
+        assert!(inj.golden().cycles > 0);
+    }
+
+    #[test]
+    fn fault_sampling_is_reproducible_and_in_range() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let a = inj.sample_faults(Structure::RegFile, 50, 42);
+        let b = inj.sample_faults(Structure::RegFile, 50, 42);
+        assert_eq!(a, b);
+        let bits = inj.bit_count(Structure::RegFile);
+        for f in &a {
+            assert!(f.bit < bits);
+            assert!(f.cycle < inj.golden().cycles);
+        }
+        let c = inj.sample_faults(Structure::RegFile, 50, 43);
+        assert_ne!(a, c, "different seeds draw different faults");
+        let d = inj.sample_faults(Structure::IqSrc, 50, 42);
+        assert!(
+            a.iter().zip(&d).any(|(x, y)| x.cycle != y.cycle),
+            "different structures draw independent samples"
+        );
+    }
+
+    #[test]
+    fn campaign_counts_sum_and_avf_bounds() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let r = inj.campaign(
+            Structure::RegFile,
+            &CampaignConfig { injections: 40, seed: 1, threads: 1 },
+        );
+        assert_eq!(r.total(), 40);
+        assert!((0.0..=1.0).contains(&r.avf()));
+        let frac_sum: f64 = FaultClass::ALL.iter().map(|c| r.fraction(*c)).sum();
+        assert!((frac_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let cc = CampaignConfig { injections: 30, seed: 99, threads: 1 };
+        let a = inj.campaign(Structure::IqSrc, &cc);
+        let b = inj.campaign(Structure::IqSrc, &cc);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_sequential() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let seq = inj.campaign(
+            Structure::L1DData,
+            &CampaignConfig { injections: 24, seed: 5, threads: 1 },
+        );
+        let par = inj.campaign(
+            Structure::L1DData,
+            &CampaignConfig { injections: 24, seed: 5, threads: 3 },
+        );
+        assert_eq!(seq.counts, par.counts);
+    }
+
+    #[test]
+    fn lsq_campaign_outcomes_are_assert_or_masked() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        for s in [Structure::LoadQueue, Structure::StoreQueue] {
+            let r = inj.campaign(s, &CampaignConfig { injections: 50, seed: 3, threads: 1 });
+            assert_eq!(r.counts.sdc, 0, "{s}: paper reports no SDCs");
+            assert_eq!(r.counts.crash, 0, "{s}: paper reports no crashes");
+        }
+    }
+
+    #[test]
+    fn injection_after_program_end_is_masked() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let class = inj.inject(FaultSpec {
+            structure: Structure::RegFile,
+            bit: 5,
+            cycle: inj.golden().cycles * 10,
+        });
+        assert_eq!(class, FaultClass::Masked);
+    }
+
+    #[test]
+    fn burst_width_one_equals_single_bit() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let f = FaultSpec { structure: Structure::RegFile, bit: 100, cycle: 20 };
+        assert_eq!(inj.inject(f), inj.inject_burst(f, 1));
+    }
+
+    #[test]
+    fn wider_bursts_are_at_least_as_vulnerable_on_average() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let cc = CampaignConfig { injections: 60, seed: 77, threads: 1 };
+        let single = inj.campaign_burst(Structure::L1IData, &cc, 1);
+        let quad = inj.campaign_burst(Structure::L1IData, &cc, 4);
+        // Same fault sites: a 4-bit burst strictly contains the 1-bit flip,
+        // so it can only add ways to fail.
+        assert!(quad.avf() >= single.avf(), "{} < {}", quad.avf(), single.avf());
+    }
+
+    #[test]
+    fn burst_wraps_at_structure_end_without_panicking() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let bits = inj.bit_count(Structure::LoadQueue);
+        let f = FaultSpec { structure: Structure::LoadQueue, bit: bits - 1, cycle: 10 };
+        let _ = inj.inject_burst(f, 4);
+    }
+
+    #[test]
+    fn class_counts_merge() {
+        let mut a = ClassCounts::default();
+        a.record(FaultClass::Masked);
+        a.record(FaultClass::Sdc);
+        let mut b = ClassCounts::default();
+        b.record(FaultClass::Assert);
+        b.record(FaultClass::Assert);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.get(FaultClass::Assert), 2);
+    }
+}

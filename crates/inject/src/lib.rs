@@ -1,0 +1,45 @@
+//! # softerr-inject
+//!
+//! The study's statistical fault-injection framework (the GeFIN
+//! equivalent). A campaign samples single-bit transient faults uniformly
+//! over (bit × cycle) — the statistical model of Leveugle et al. (DATE'09)
+//! the paper follows — runs each fault to completion on the cycle-level
+//! simulator, and classifies the outcome into the paper's five classes:
+//!
+//! * **Masked** — the run finished with output identical to the golden run,
+//! * **SDC** — finished, but the output differs (silent data corruption),
+//! * **Crash** — an architectural fault reached commit,
+//! * **Timeout** — the run exceeded 2× the fault-free execution time,
+//! * **Assert** — the simulator hit a state it cannot meaningfully
+//!   continue from (corrupted linkage, out-of-map cache operation, …).
+//!
+//! The AVF of a structure is the non-masked fraction of its injections.
+//!
+//! ```
+//! use softerr_cc::{Compiler, OptLevel};
+//! use softerr_inject::{CampaignConfig, Injector};
+//! use softerr_isa::Profile;
+//! use softerr_sim::{MachineConfig, Structure};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = MachineConfig::cortex_a72();
+//! let program = Compiler::new(Profile::A64, OptLevel::O1)
+//!     .compile("void main() { int s = 0; for (int i = 0; i < 30; i = i + 1) s = s + i; out(s); }")?
+//!     .program;
+//! let injector = Injector::new(&cfg, &program)?;
+//! let result = injector.campaign(Structure::RegFile, &CampaignConfig { injections: 25, seed: 7, threads: 1 });
+//! assert_eq!(result.total(), 25);
+//! assert!(result.avf() >= 0.0 && result.avf() <= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+#![warn(missing_docs)]
+
+mod campaign;
+mod stats;
+
+pub use campaign::{
+    CampaignConfig, CampaignResult, ClassCounts, FaultClass, FaultSpec, Golden, GoldenError,
+    Injector,
+};
+pub use stats::{error_margin, required_sample, Z_90, Z_95, Z_99};

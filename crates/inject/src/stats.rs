@@ -1,0 +1,77 @@
+//! Statistical-fault-sampling mathematics (Leveugle et al., DATE 2009).
+//!
+//! The paper samples 2,000 faults per structure and reports a 2.88% error
+//! margin at 99% confidence; [`error_margin`] reproduces that figure.
+
+/// z-score for 90% confidence.
+pub const Z_90: f64 = 1.6449;
+/// z-score for 95% confidence.
+pub const Z_95: f64 = 1.9600;
+/// z-score for 99% confidence.
+pub const Z_99: f64 = 2.5758;
+
+/// Error margin of an estimated proportion from `n` samples drawn from a
+/// population of `population` faults, at confidence `z`, assuming the
+/// worst-case proportion p = 0.5 (finite-population corrected).
+///
+/// ```
+/// use softerr_inject::{error_margin, Z_99};
+/// let e = error_margin(2000, 1e12 as u64, Z_99);
+/// assert!((e - 0.0288).abs() < 0.0002, "paper's 2.88% figure");
+/// ```
+pub fn error_margin(n: u64, population: u64, z: f64) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let n_f = n as f64;
+    let pop = population.max(n) as f64;
+    let fpc = if pop > 1.0 { (pop - n_f) / (pop - 1.0) } else { 0.0 };
+    z * (0.25 / n_f * fpc.max(0.0)).sqrt()
+}
+
+/// Sample size needed for a target error margin `e` at confidence `z`
+/// (worst-case p = 0.5, finite population).
+pub fn required_sample(e: f64, population: u64, z: f64) -> u64 {
+    let pop = population as f64;
+    let n0 = z * z * 0.25 / (e * e);
+    let n = (pop * n0) / (n0 + pop - 1.0);
+    n.ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figures_reproduce() {
+        // 2,000 injections → 2.88% at 99% confidence (paper §III.A).
+        let e = error_margin(2000, u64::MAX / 2, Z_99);
+        assert!((e - 0.0288).abs() < 2e-4, "got {e}");
+    }
+
+    #[test]
+    fn margin_shrinks_with_samples() {
+        let pop = 1_000_000_000;
+        assert!(error_margin(100, pop, Z_95) > error_margin(1000, pop, Z_95));
+        assert!(error_margin(1000, pop, Z_95) > error_margin(10000, pop, Z_95));
+    }
+
+    #[test]
+    fn full_census_has_zero_margin() {
+        assert_eq!(error_margin(1000, 1000, Z_99), 0.0);
+    }
+
+    #[test]
+    fn required_sample_inverts_margin() {
+        let pop = u64::MAX / 2;
+        let n = required_sample(0.0288, pop, Z_99);
+        assert!((1990..=2010).contains(&n), "got {n}");
+        let e = error_margin(n, pop, Z_99);
+        assert!(e <= 0.0288 + 1e-6);
+    }
+
+    #[test]
+    fn zero_samples_is_total_uncertainty() {
+        assert_eq!(error_margin(0, 100, Z_99), 1.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Program disassembly, for debugging compiled workloads and inspecting
+//! what injected instruction-bit flips turned an encoding into.
+
+use crate::{decode, Program, CODE_BASE};
+use std::fmt::Write;
+
+/// Disassembles a whole program, one instruction per line with addresses.
+/// Words that do not decode are shown as `.word`.
+///
+/// ```
+/// use softerr_isa::{disassemble, Instr, Profile, Program, Reg};
+/// let p = Program::from_instrs(Profile::A64, vec![
+///     Instr::Out { rs1: Reg::A0 },
+///     Instr::Halt,
+/// ]);
+/// let text = disassemble(&p);
+/// assert!(text.contains("out"));
+/// assert!(text.contains("halt"));
+/// ```
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, &word) in program.code.iter().enumerate() {
+        let addr = CODE_BASE + 4 * i as u64;
+        match decode(word) {
+            Ok(instr) => {
+                let _ = writeln!(out, "{addr:#8x}:  {word:08x}  {instr}");
+            }
+            Err(_) => {
+                let _ = writeln!(out, "{addr:#8x}:  {word:08x}  .word {word:#010x}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Instr, Profile, Reg};
+
+    #[test]
+    fn disassembles_each_line_with_address() {
+        let p = Program::from_instrs(
+            Profile::A32,
+            vec![
+                Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 7 },
+                Instr::Halt,
+            ],
+        );
+        let text = disassemble(&p);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("  0x1000:"));
+        assert!(lines[1].starts_with("  0x1004:"));
+        assert!(lines[1].contains("halt"));
+    }
+
+    #[test]
+    fn invalid_words_render_as_raw() {
+        let mut p = Program::from_instrs(Profile::A32, vec![Instr::Halt]);
+        p.code.push(0xFFFF_FFFF);
+        let text = disassemble(&p);
+        assert!(text.contains(".word 0xffffffff"));
+    }
+}

@@ -1,0 +1,409 @@
+//! Architectural (functional) reference emulator.
+//!
+//! Executes one instruction per step with no timing model. The cycle-level
+//! simulator in `softerr-sim` must produce byte-identical program output and
+//! architectural state for fault-free runs; the differential tests in the
+//! workspace enforce this.
+
+use crate::{
+    decode, eval_alu, eval_branch, Instr, Memory, Profile, Program, Reg, Trap,
+};
+
+/// Result of running a program to completion (or to the instruction limit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Values emitted by `out` instructions, in order.
+    pub output: Vec<u64>,
+    /// Number of retired instructions.
+    pub retired: u64,
+    /// `true` if the program executed `halt`; `false` if the instruction
+    /// limit was reached first.
+    pub completed: bool,
+}
+
+/// The architectural reference emulator.
+#[derive(Debug, Clone)]
+pub struct Emulator {
+    profile: Profile,
+    pc: u64,
+    regs: [u64; 32],
+    mem: Memory,
+    output: Vec<u64>,
+    retired: u64,
+    halted: bool,
+}
+
+impl Emulator {
+    /// Creates an emulator with the program loaded and the ABI entry state
+    /// established (SP at the stack top, all other registers zero).
+    pub fn new(program: &Program) -> Emulator {
+        let mem = program.build_memory();
+        let mut regs = [0u64; 32];
+        regs[Reg::SP.index()] = program.stack_top();
+        Emulator {
+            profile: program.profile,
+            pc: program.entry,
+            regs,
+            mem,
+            output: Vec::new(),
+            retired: 0,
+            halted: false,
+        }
+    }
+
+    /// The active ISA profile.
+    pub fn profile(&self) -> Profile {
+        self.profile
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Reads an architectural register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes an architectural register (writes to `zero` are ignored and
+    /// values are masked to the profile width).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        if r != Reg::ZERO {
+            self.regs[r.index()] = self.profile.mask(value);
+        }
+    }
+
+    /// Immutable view of guest memory.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Program output emitted so far.
+    pub fn output(&self) -> &[u64] {
+        &self.output
+    }
+
+    /// Number of instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Whether the program has executed `halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn check_regs(&self, instr: Instr) -> bool {
+        let n = self.profile.nregs();
+        let (s1, s2) = instr.sources();
+        let dest_ok = instr.dest().is_none_or(|d| d.valid_for(n));
+        let src_ok =
+            s1.is_none_or(|r| r.valid_for(n)) && s2.is_none_or(|r| r.valid_for(n));
+        dest_ok && src_ok
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns `Ok(true)` if the program halted on this step.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] raised by the instruction, leaving the emulator
+    /// state at the fault point.
+    pub fn step(&mut self) -> Result<bool, Trap> {
+        if self.halted {
+            return Ok(true);
+        }
+        let pc = self.pc;
+        let word = self.mem.fetch(pc)?;
+        let instr = decode(word).map_err(|e| Trap::from_decode(pc, word, e))?;
+        if !self.check_regs(instr)
+            || (matches!(
+                instr,
+                Instr::Load { width: crate::MemWidth::D, .. }
+                    | Instr::Store { width: crate::MemWidth::D, .. }
+            ) && self.profile == Profile::A32)
+        {
+            return Err(Trap::InvalidInstr { pc, word });
+        }
+        let mut next_pc = pc.wrapping_add(4);
+        match instr {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let v = eval_alu(self.profile, op, self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let v = eval_alu(self.profile, op, self.reg(rs1), imm as i64 as u64);
+                self.set_reg(rd, v);
+            }
+            Instr::Load {
+                width,
+                signed,
+                rd,
+                base,
+                offset,
+            } => {
+                let addr = self
+                    .profile
+                    .mask(self.reg(base).wrapping_add(offset as i64 as u64));
+                let raw = self.mem.read(addr, width.bytes())?;
+                let v = if signed {
+                    match width {
+                        crate::MemWidth::B => raw as u8 as i8 as i64 as u64,
+                        crate::MemWidth::W => raw as u32 as i32 as i64 as u64,
+                        crate::MemWidth::D => raw,
+                    }
+                } else {
+                    raw
+                };
+                self.set_reg(rd, v);
+            }
+            Instr::Store {
+                width,
+                src,
+                base,
+                offset,
+            } => {
+                let addr = self
+                    .profile
+                    .mask(self.reg(base).wrapping_add(offset as i64 as u64));
+                self.mem.write(addr, width.bytes(), self.reg(src))?;
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                if eval_branch(self.profile, cond, self.reg(rs1), self.reg(rs2)) {
+                    next_pc = pc.wrapping_add((offset as i64 as u64).wrapping_mul(4));
+                }
+            }
+            Instr::Lui { rd, imm } => {
+                self.set_reg(rd, ((imm as i64) << 13) as u64);
+            }
+            Instr::Jal { rd, offset } => {
+                self.set_reg(rd, pc.wrapping_add(4));
+                next_pc = pc.wrapping_add((offset as i64 as u64).wrapping_mul(4));
+            }
+            Instr::Jalr { rd, base, offset } => {
+                let target = self
+                    .profile
+                    .mask(self.reg(base).wrapping_add(offset as i64 as u64));
+                self.set_reg(rd, pc.wrapping_add(4));
+                next_pc = target;
+            }
+            Instr::Out { rs1 } => {
+                self.output.push(self.profile.mask(self.reg(rs1)));
+            }
+            Instr::Halt => {
+                self.halted = true;
+            }
+        }
+        self.pc = self.profile.mask(next_pc);
+        self.retired += 1;
+        Ok(self.halted)
+    }
+
+    /// Runs until `halt` or until `max_instrs` instructions have retired.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Trap`] raised.
+    pub fn run(&mut self, max_instrs: u64) -> Result<RunOutcome, Trap> {
+        while !self.halted && self.retired < max_instrs {
+            self.step()?;
+        }
+        Ok(RunOutcome {
+            output: self.output.clone(),
+            retired: self.retired,
+            completed: self.halted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, BranchCond, MemWidth, CODE_BASE, DATA_BASE};
+
+    fn run_ok(profile: Profile, instrs: Vec<Instr>) -> RunOutcome {
+        let p = Program::from_instrs(profile, instrs);
+        let mut emu = Emulator::new(&p);
+        let out = emu.run(1_000_000).expect("program trapped");
+        assert!(out.completed, "program did not halt");
+        out
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        let a0 = Reg::A0;
+        let out = run_ok(
+            Profile::A64,
+            vec![
+                Instr::AluImm { op: AluOp::Add, rd: a0, rs1: Reg::ZERO, imm: 6 },
+                Instr::AluImm { op: AluOp::Add, rd: Reg::new(9), rs1: Reg::ZERO, imm: 7 },
+                Instr::Alu { op: AluOp::Mul, rd: a0, rs1: a0, rs2: Reg::new(9) },
+                Instr::Out { rs1: a0 },
+                Instr::Halt,
+            ],
+        );
+        assert_eq!(out.output, vec![42]);
+        assert_eq!(out.retired, 5);
+    }
+
+    #[test]
+    fn loop_with_branch() {
+        // Sum 1..=10 into a0 using x3 as the counter.
+        let a0 = Reg::A0;
+        let x3 = Reg::new(3);
+        let x4 = Reg::new(4);
+        let out = run_ok(
+            Profile::A32,
+            vec![
+                Instr::AluImm { op: AluOp::Add, rd: x3, rs1: Reg::ZERO, imm: 1 },
+                Instr::AluImm { op: AluOp::Add, rd: x4, rs1: Reg::ZERO, imm: 10 },
+                // loop:
+                Instr::Alu { op: AluOp::Add, rd: a0, rs1: a0, rs2: x3 },
+                Instr::AluImm { op: AluOp::Add, rd: x3, rs1: x3, imm: 1 },
+                Instr::Branch { cond: BranchCond::Ge, rs1: x4, rs2: x3, offset: -2 },
+                Instr::Out { rs1: a0 },
+                Instr::Halt,
+            ],
+        );
+        assert_eq!(out.output, vec![55]);
+    }
+
+    #[test]
+    fn memory_store_load_roundtrip() {
+        let a0 = Reg::A0;
+        let x3 = Reg::new(3);
+        // Address DATA_BASE = 0x10_0000 = 128 << 13.
+        let out = run_ok(
+            Profile::A64,
+            vec![
+                Instr::Lui { rd: x3, imm: (DATA_BASE >> 13) as i32 },
+                Instr::AluImm { op: AluOp::Add, rd: a0, rs1: Reg::ZERO, imm: -1 },
+                Instr::Store { width: MemWidth::D, src: a0, base: x3, offset: 16 },
+                Instr::Load { width: MemWidth::W, signed: false, rd: a0, base: x3, offset: 16 },
+                Instr::Out { rs1: a0 },
+                Instr::Load { width: MemWidth::W, signed: true, rd: a0, base: x3, offset: 16 },
+                Instr::Out { rs1: a0 },
+                Instr::Halt,
+            ],
+        );
+        assert_eq!(out.output, vec![0xFFFF_FFFF, u64::MAX]);
+    }
+
+    #[test]
+    fn call_and_return() {
+        // jal to a function that doubles a0, then returns.
+        let a0 = Reg::A0;
+        let out = run_ok(
+            Profile::A64,
+            vec![
+                Instr::AluImm { op: AluOp::Add, rd: a0, rs1: Reg::ZERO, imm: 21 },
+                Instr::Jal { rd: Reg::RA, offset: 3 }, // -> instr 4
+                Instr::Out { rs1: a0 },
+                Instr::Halt,
+                Instr::Alu { op: AluOp::Add, rd: a0, rs1: a0, rs2: a0 },
+                Instr::Jalr { rd: Reg::ZERO, base: Reg::RA, offset: 0 },
+            ],
+        );
+        assert_eq!(out.output, vec![42]);
+    }
+
+    #[test]
+    fn null_pointer_dereference_traps() {
+        let p = Program::from_instrs(
+            Profile::A64,
+            vec![Instr::Load {
+                width: MemWidth::W,
+                signed: true,
+                rd: Reg::A0,
+                base: Reg::ZERO,
+                offset: 0,
+            }],
+        );
+        let mut emu = Emulator::new(&p);
+        assert!(matches!(emu.run(10), Err(Trap::Mem(_))));
+    }
+
+    #[test]
+    fn a32_rejects_dword_access() {
+        let p = Program::from_instrs(
+            Profile::A32,
+            vec![Instr::Store {
+                width: MemWidth::D,
+                src: Reg::A0,
+                base: Reg::SP,
+                offset: 0,
+            }],
+        );
+        let mut emu = Emulator::new(&p);
+        assert!(matches!(emu.run(10), Err(Trap::InvalidInstr { .. })));
+    }
+
+    #[test]
+    fn a32_rejects_high_registers() {
+        let p = Program::from_instrs(
+            Profile::A32,
+            vec![Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::new(20),
+                rs1: Reg::ZERO,
+                imm: 1,
+            }],
+        );
+        let mut emu = Emulator::new(&p);
+        assert!(matches!(emu.run(10), Err(Trap::InvalidInstr { .. })));
+    }
+
+    #[test]
+    fn zero_register_stays_zero() {
+        let out = run_ok(
+            Profile::A64,
+            vec![
+                Instr::AluImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 99 },
+                Instr::Out { rs1: Reg::ZERO },
+                Instr::Halt,
+            ],
+        );
+        assert_eq!(out.output, vec![0]);
+    }
+
+    #[test]
+    fn instruction_limit_reports_incomplete() {
+        let p = Program::from_instrs(
+            Profile::A64,
+            vec![Instr::Jal { rd: Reg::ZERO, offset: 0 }], // infinite loop
+        );
+        let mut emu = Emulator::new(&p);
+        let out = emu.run(100).unwrap();
+        assert!(!out.completed);
+        assert_eq!(out.retired, 100);
+    }
+
+    #[test]
+    fn falling_off_code_traps_as_invalid_instruction() {
+        // No halt: execution runs into zeroed memory, which is an unknown
+        // opcode (0x00).
+        let p = Program::from_instrs(
+            Profile::A64,
+            vec![Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 1 }],
+        );
+        let mut emu = Emulator::new(&p);
+        let err = emu.run(10).unwrap_err();
+        assert_eq!(err, Trap::InvalidInstr { pc: CODE_BASE + 4, word: 0 });
+    }
+
+    #[test]
+    fn entry_state_follows_abi() {
+        let p = Program::from_instrs(Profile::A32, vec![Instr::Halt]);
+        let emu = Emulator::new(&p);
+        assert_eq!(emu.reg(Reg::SP), p.stack_top());
+        assert_eq!(emu.reg(Reg::A0), 0);
+        assert_eq!(emu.pc(), p.entry);
+    }
+}

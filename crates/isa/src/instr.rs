@@ -1,0 +1,974 @@
+//! Instruction definitions, the fixed 32-bit encoding, and shared ALU/branch
+//! semantics used by both the reference emulator and the cycle-level
+//! simulator.
+//!
+//! ## Encoding
+//!
+//! Every instruction is one little-endian 32-bit word. Bits `[7:0]` hold the
+//! major opcode; only 43 of the 256 opcode values are defined, and unused
+//! operand bits must be zero, so the overwhelming majority of random words
+//! (and of single-bit corruptions of valid words) fail to decode. Formats:
+//!
+//! | Format | `[7:0]` | `[12:8]` | `[17:13]` | `[22:18]` | `[31:23]` |
+//! |--------|---------|----------|-----------|-----------|-----------|
+//! | R      | opcode  | rd       | rs1       | rs2       | must be 0 |
+//! | I      | opcode  | rd       | rs1       | imm14 `[31:18]` (signed) | |
+//! | S/B    | opcode  | imm[4:0] | rs1       | rs2       | imm[13:5] |
+//! | U/J    | opcode  | rd       | imm19 `[31:13]` (signed) | | |
+
+use crate::{Profile, Reg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Integer ALU operation, shared by register-register and immediate forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low half).
+    Mul,
+    /// Signed division; division by zero yields 0 (Arm semantics).
+    Div,
+    /// Unsigned division; division by zero yields 0.
+    Divu,
+    /// Signed remainder; remainder by zero yields the dividend.
+    Rem,
+    /// Unsigned remainder; remainder by zero yields the dividend.
+    Remu,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount taken modulo the datapath width).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Signed set-less-than (1 or 0).
+    Slt,
+    /// Unsigned set-less-than (1 or 0).
+    Sltu,
+}
+
+impl AluOp {
+    /// Whether the operation has an immediate (I-type) form.
+    pub fn has_imm_form(self) -> bool {
+        !matches!(
+            self,
+            AluOp::Sub | AluOp::Mul | AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu
+        )
+    }
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemWidth {
+    /// One byte.
+    B,
+    /// Four bytes (a 32-bit word).
+    W,
+    /// Eight bytes; only valid on the [`Profile::A64`] profile.
+    D,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::W => 4,
+            MemWidth::D => 8,
+        }
+    }
+}
+
+/// Branch condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// A decoded instruction.
+///
+/// Offsets in [`Instr::Branch`] and [`Instr::Jal`] are in *instruction words*
+/// relative to the instruction's own PC; [`Instr::Jalr`] and memory offsets
+/// are in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr {
+    /// Register-register ALU operation: `rd = rs1 op rs2`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// Register-immediate ALU operation: `rd = rs1 op imm`.
+    AluImm {
+        /// Operation; must satisfy [`AluOp::has_imm_form`].
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Signed 14-bit immediate.
+        imm: i32,
+    },
+    /// Memory load: `rd = mem[rs1 + offset]`.
+    Load {
+        /// Access width.
+        width: MemWidth,
+        /// Sign-extend the loaded value (ignored for [`MemWidth::D`]).
+        signed: bool,
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset (14-bit).
+        offset: i32,
+    },
+    /// Memory store: `mem[base + offset] = src`.
+    Store {
+        /// Access width.
+        width: MemWidth,
+        /// Register holding the value to store.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset (14-bit).
+        offset: i32,
+    },
+    /// Conditional branch to `pc + offset*4`.
+    Branch {
+        /// Condition comparing `rs1` and `rs2`.
+        cond: BranchCond,
+        /// First comparison source.
+        rs1: Reg,
+        /// Second comparison source.
+        rs2: Reg,
+        /// Signed offset in instruction words (14-bit).
+        offset: i32,
+    },
+    /// Load upper immediate: `rd = imm << 13` (sign-extended).
+    Lui {
+        /// Destination register.
+        rd: Reg,
+        /// Signed 19-bit immediate.
+        imm: i32,
+    },
+    /// Jump and link: `rd = pc + 4; pc += offset*4`.
+    Jal {
+        /// Link register (use [`Reg::ZERO`] for a plain jump).
+        rd: Reg,
+        /// Signed offset in instruction words (19-bit).
+        offset: i32,
+    },
+    /// Indirect jump: `rd = pc + 4; pc = base + offset`.
+    Jalr {
+        /// Link register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset (14-bit).
+        offset: i32,
+    },
+    /// Emit the value of `rs1` to the program output stream.
+    Out {
+        /// Register whose value is emitted.
+        rs1: Reg,
+    },
+    /// Stop the program successfully.
+    Halt,
+}
+
+/// The major opcode byte of each instruction form.
+///
+/// Values are scattered over the 8-bit space so that bit flips rarely map one
+/// valid opcode onto another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Opcode {
+    Add = 0x33,
+    Sub = 0xB3,
+    Mul = 0x47,
+    Div = 0x8E,
+    Divu = 0xD1,
+    Rem = 0x5C,
+    Remu = 0xE9,
+    And = 0x77,
+    Or = 0x1D,
+    Xor = 0xC5,
+    Sll = 0x3A,
+    Srl = 0x96,
+    Sra = 0x62,
+    Slt = 0x29,
+    Sltu = 0xF4,
+    Addi = 0x13,
+    Andi = 0x7C,
+    Ori = 0xA1,
+    Xori = 0x58,
+    Slli = 0x2F,
+    Srli = 0x9B,
+    Srai = 0x66,
+    Slti = 0xD8,
+    Sltiu = 0x41,
+    Lb = 0x03,
+    Lbu = 0x83,
+    Lw = 0x23,
+    Lwu = 0xA7,
+    Ld = 0x63,
+    Sb = 0x0B,
+    Sw = 0x2B,
+    Sd = 0x6B,
+    Beq = 0x17,
+    Bne = 0x97,
+    Blt = 0x37,
+    Bge = 0xB7,
+    Bltu = 0x57,
+    Bgeu = 0xD7,
+    Lui = 0x0F,
+    Jal = 0x6F,
+    Jalr = 0xE7,
+    Out = 0x4D,
+    Halt = 0x73,
+}
+
+/// All defined opcodes, used by tests and the decoder.
+pub(crate) const ALL_OPCODES: [Opcode; 43] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::Div,
+    Opcode::Divu,
+    Opcode::Rem,
+    Opcode::Remu,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Sll,
+    Opcode::Srl,
+    Opcode::Sra,
+    Opcode::Slt,
+    Opcode::Sltu,
+    Opcode::Addi,
+    Opcode::Andi,
+    Opcode::Ori,
+    Opcode::Xori,
+    Opcode::Slli,
+    Opcode::Srli,
+    Opcode::Srai,
+    Opcode::Slti,
+    Opcode::Sltiu,
+    Opcode::Lb,
+    Opcode::Lbu,
+    Opcode::Lw,
+    Opcode::Lwu,
+    Opcode::Ld,
+    Opcode::Sb,
+    Opcode::Sw,
+    Opcode::Sd,
+    Opcode::Beq,
+    Opcode::Bne,
+    Opcode::Blt,
+    Opcode::Bge,
+    Opcode::Bltu,
+    Opcode::Bgeu,
+    Opcode::Lui,
+    Opcode::Jal,
+    Opcode::Jalr,
+    Opcode::Out,
+    Opcode::Halt,
+];
+
+impl Opcode {
+    fn from_byte(b: u8) -> Option<Opcode> {
+        ALL_OPCODES.iter().copied().find(|op| *op as u8 == b)
+    }
+}
+
+/// Error produced when a 32-bit word does not decode to a valid instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecodeError {
+    /// The opcode byte is not a defined opcode.
+    UnknownOpcode(u8),
+    /// Operand bits that the format requires to be zero are set.
+    NonZeroPadding(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(b) => write!(f, "unknown opcode byte {b:#04x}"),
+            DecodeError::NonZeroPadding(w) => {
+                write!(f, "non-zero padding bits in word {w:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const IMM14_MIN: i32 = -(1 << 13);
+const IMM14_MAX: i32 = (1 << 13) - 1;
+const IMM19_MIN: i32 = -(1 << 18);
+const IMM19_MAX: i32 = (1 << 18) - 1;
+
+fn rd_bits(r: Reg) -> u32 {
+    (r.index() as u32) << 8
+}
+fn rs1_bits(r: Reg) -> u32 {
+    (r.index() as u32) << 13
+}
+fn rs2_bits(r: Reg) -> u32 {
+    (r.index() as u32) << 18
+}
+
+fn check_imm14(imm: i32) -> u32 {
+    assert!(
+        (IMM14_MIN..=IMM14_MAX).contains(&imm),
+        "immediate {imm} out of 14-bit range"
+    );
+    (imm as u32) & 0x3FFF
+}
+
+fn check_imm19(imm: i32) -> u32 {
+    assert!(
+        (IMM19_MIN..=IMM19_MAX).contains(&imm),
+        "immediate {imm} out of 19-bit range"
+    );
+    (imm as u32) & 0x7_FFFF
+}
+
+fn enc_r(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    op as u32 | rd_bits(rd) | rs1_bits(rs1) | rs2_bits(rs2)
+}
+
+fn enc_i(op: Opcode, rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    op as u32 | rd_bits(rd) | rs1_bits(rs1) | (check_imm14(imm) << 18)
+}
+
+fn enc_sb(op: Opcode, rs1: Reg, rs2: Reg, imm: i32) -> u32 {
+    let imm = check_imm14(imm);
+    op as u32 | ((imm & 0x1F) << 8) | rs1_bits(rs1) | rs2_bits(rs2) | ((imm >> 5) << 23)
+}
+
+fn enc_uj(op: Opcode, rd: Reg, imm: i32) -> u32 {
+    op as u32 | rd_bits(rd) | (check_imm19(imm) << 13)
+}
+
+/// Encodes an instruction to its 32-bit machine word.
+///
+/// # Panics
+///
+/// Panics if an immediate is out of range for its field, or if
+/// [`Instr::AluImm`] is used with an operation that has no immediate form
+/// (see [`AluOp::has_imm_form`]). Both indicate a code-generation bug, not a
+/// runtime condition.
+pub fn encode(instr: Instr) -> u32 {
+    match instr {
+        Instr::Alu { op, rd, rs1, rs2 } => {
+            let opc = match op {
+                AluOp::Add => Opcode::Add,
+                AluOp::Sub => Opcode::Sub,
+                AluOp::Mul => Opcode::Mul,
+                AluOp::Div => Opcode::Div,
+                AluOp::Divu => Opcode::Divu,
+                AluOp::Rem => Opcode::Rem,
+                AluOp::Remu => Opcode::Remu,
+                AluOp::And => Opcode::And,
+                AluOp::Or => Opcode::Or,
+                AluOp::Xor => Opcode::Xor,
+                AluOp::Sll => Opcode::Sll,
+                AluOp::Srl => Opcode::Srl,
+                AluOp::Sra => Opcode::Sra,
+                AluOp::Slt => Opcode::Slt,
+                AluOp::Sltu => Opcode::Sltu,
+            };
+            enc_r(opc, rd, rs1, rs2)
+        }
+        Instr::AluImm { op, rd, rs1, imm } => {
+            let opc = match op {
+                AluOp::Add => Opcode::Addi,
+                AluOp::And => Opcode::Andi,
+                AluOp::Or => Opcode::Ori,
+                AluOp::Xor => Opcode::Xori,
+                AluOp::Sll => Opcode::Slli,
+                AluOp::Srl => Opcode::Srli,
+                AluOp::Sra => Opcode::Srai,
+                AluOp::Slt => Opcode::Slti,
+                AluOp::Sltu => Opcode::Sltiu,
+                other => panic!("ALU op {other:?} has no immediate form"),
+            };
+            enc_i(opc, rd, rs1, imm)
+        }
+        Instr::Load {
+            width,
+            signed,
+            rd,
+            base,
+            offset,
+        } => {
+            let opc = match (width, signed) {
+                (MemWidth::B, true) => Opcode::Lb,
+                (MemWidth::B, false) => Opcode::Lbu,
+                (MemWidth::W, true) => Opcode::Lw,
+                (MemWidth::W, false) => Opcode::Lwu,
+                (MemWidth::D, _) => Opcode::Ld,
+            };
+            enc_i(opc, rd, base, offset)
+        }
+        Instr::Store {
+            width,
+            src,
+            base,
+            offset,
+        } => {
+            let opc = match width {
+                MemWidth::B => Opcode::Sb,
+                MemWidth::W => Opcode::Sw,
+                MemWidth::D => Opcode::Sd,
+            };
+            enc_sb(opc, base, src, offset)
+        }
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let opc = match cond {
+                BranchCond::Eq => Opcode::Beq,
+                BranchCond::Ne => Opcode::Bne,
+                BranchCond::Lt => Opcode::Blt,
+                BranchCond::Ge => Opcode::Bge,
+                BranchCond::Ltu => Opcode::Bltu,
+                BranchCond::Geu => Opcode::Bgeu,
+            };
+            enc_sb(opc, rs1, rs2, offset)
+        }
+        Instr::Lui { rd, imm } => enc_uj(Opcode::Lui, rd, imm),
+        Instr::Jal { rd, offset } => enc_uj(Opcode::Jal, rd, offset),
+        Instr::Jalr { rd, base, offset } => enc_i(Opcode::Jalr, rd, base, offset),
+        Instr::Out { rs1 } => enc_r(Opcode::Out, Reg::ZERO, rs1, Reg::ZERO),
+        Instr::Halt => Opcode::Halt as u32,
+    }
+}
+
+fn dec_rd(word: u32) -> Reg {
+    Reg::new(((word >> 8) & 0x1F) as u8)
+}
+fn dec_rs1(word: u32) -> Reg {
+    Reg::new(((word >> 13) & 0x1F) as u8)
+}
+fn dec_rs2(word: u32) -> Reg {
+    Reg::new(((word >> 18) & 0x1F) as u8)
+}
+fn dec_imm14_i(word: u32) -> i32 {
+    // Arithmetic shift sign-extends the top 14 bits.
+    (word as i32) >> 18
+}
+fn dec_imm14_sb(word: u32) -> i32 {
+    let lo = (word >> 8) & 0x1F;
+    let hi = (word >> 23) & 0x1FF;
+    let raw = (hi << 5) | lo;
+    ((raw << 18) as i32) >> 18
+}
+fn dec_imm19(word: u32) -> i32 {
+    (word as i32) >> 13
+}
+
+/// Decodes a 32-bit machine word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnknownOpcode`] if the opcode byte is undefined and
+/// [`DecodeError::NonZeroPadding`] if format-reserved bits are set. Random or
+/// corrupted words usually fail one of these checks, which the simulator
+/// surfaces as an undefined-instruction fault.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let opc = Opcode::from_byte((word & 0xFF) as u8)
+        .ok_or(DecodeError::UnknownOpcode((word & 0xFF) as u8))?;
+    let require_zero = |mask: u32| -> Result<(), DecodeError> {
+        if word & mask != 0 {
+            Err(DecodeError::NonZeroPadding(word))
+        } else {
+            Ok(())
+        }
+    };
+    let r_type = |op: AluOp| -> Result<Instr, DecodeError> {
+        require_zero(0xFF80_0000)?;
+        Ok(Instr::Alu {
+            op,
+            rd: dec_rd(word),
+            rs1: dec_rs1(word),
+            rs2: dec_rs2(word),
+        })
+    };
+    let i_alu = |op: AluOp| -> Result<Instr, DecodeError> {
+        Ok(Instr::AluImm {
+            op,
+            rd: dec_rd(word),
+            rs1: dec_rs1(word),
+            imm: dec_imm14_i(word),
+        })
+    };
+    let load = |width: MemWidth, signed: bool| -> Result<Instr, DecodeError> {
+        Ok(Instr::Load {
+            width,
+            signed,
+            rd: dec_rd(word),
+            base: dec_rs1(word),
+            offset: dec_imm14_i(word),
+        })
+    };
+    let store = |width: MemWidth| -> Result<Instr, DecodeError> {
+        Ok(Instr::Store {
+            width,
+            src: dec_rs2(word),
+            base: dec_rs1(word),
+            offset: dec_imm14_sb(word),
+        })
+    };
+    let branch = |cond: BranchCond| -> Result<Instr, DecodeError> {
+        Ok(Instr::Branch {
+            cond,
+            rs1: dec_rs1(word),
+            rs2: dec_rs2(word),
+            offset: dec_imm14_sb(word),
+        })
+    };
+    match opc {
+        Opcode::Add => r_type(AluOp::Add),
+        Opcode::Sub => r_type(AluOp::Sub),
+        Opcode::Mul => r_type(AluOp::Mul),
+        Opcode::Div => r_type(AluOp::Div),
+        Opcode::Divu => r_type(AluOp::Divu),
+        Opcode::Rem => r_type(AluOp::Rem),
+        Opcode::Remu => r_type(AluOp::Remu),
+        Opcode::And => r_type(AluOp::And),
+        Opcode::Or => r_type(AluOp::Or),
+        Opcode::Xor => r_type(AluOp::Xor),
+        Opcode::Sll => r_type(AluOp::Sll),
+        Opcode::Srl => r_type(AluOp::Srl),
+        Opcode::Sra => r_type(AluOp::Sra),
+        Opcode::Slt => r_type(AluOp::Slt),
+        Opcode::Sltu => r_type(AluOp::Sltu),
+        Opcode::Addi => i_alu(AluOp::Add),
+        Opcode::Andi => i_alu(AluOp::And),
+        Opcode::Ori => i_alu(AluOp::Or),
+        Opcode::Xori => i_alu(AluOp::Xor),
+        Opcode::Slli => i_alu(AluOp::Sll),
+        Opcode::Srli => i_alu(AluOp::Srl),
+        Opcode::Srai => i_alu(AluOp::Sra),
+        Opcode::Slti => i_alu(AluOp::Slt),
+        Opcode::Sltiu => i_alu(AluOp::Sltu),
+        Opcode::Lb => load(MemWidth::B, true),
+        Opcode::Lbu => load(MemWidth::B, false),
+        Opcode::Lw => load(MemWidth::W, true),
+        Opcode::Lwu => load(MemWidth::W, false),
+        Opcode::Ld => load(MemWidth::D, false),
+        Opcode::Sb => store(MemWidth::B),
+        Opcode::Sw => store(MemWidth::W),
+        Opcode::Sd => store(MemWidth::D),
+        Opcode::Beq => branch(BranchCond::Eq),
+        Opcode::Bne => branch(BranchCond::Ne),
+        Opcode::Blt => branch(BranchCond::Lt),
+        Opcode::Bge => branch(BranchCond::Ge),
+        Opcode::Bltu => branch(BranchCond::Ltu),
+        Opcode::Bgeu => branch(BranchCond::Geu),
+        Opcode::Lui => Ok(Instr::Lui {
+            rd: dec_rd(word),
+            imm: dec_imm19(word),
+        }),
+        Opcode::Jal => Ok(Instr::Jal {
+            rd: dec_rd(word),
+            offset: dec_imm19(word),
+        }),
+        Opcode::Jalr => Ok(Instr::Jalr {
+            rd: dec_rd(word),
+            base: dec_rs1(word),
+            offset: dec_imm14_i(word),
+        }),
+        Opcode::Out => {
+            require_zero(0xFFFC_1F00)?;
+            Ok(Instr::Out { rs1: dec_rs1(word) })
+        }
+        Opcode::Halt => {
+            require_zero(0xFFFF_FF00)?;
+            Ok(Instr::Halt)
+        }
+    }
+}
+
+/// Evaluates an ALU operation with the profile's width semantics.
+///
+/// This single definition is shared by the reference emulator and the
+/// simulator's execution units so that architectural and microarchitectural
+/// results can never diverge.
+pub fn eval_alu(profile: Profile, op: AluOp, a: u64, b: u64) -> u64 {
+    let sa = profile.as_signed(a);
+    let sb = profile.as_signed(b);
+    let ua = profile.mask(a);
+    let ub = profile.mask(b);
+    let shift_mask = (profile.xlen() - 1) as u64;
+    let raw = match op {
+        AluOp::Add => ua.wrapping_add(ub),
+        AluOp::Sub => ua.wrapping_sub(ub),
+        AluOp::Mul => ua.wrapping_mul(ub),
+        AluOp::Div => {
+            if sb == 0 {
+                0 // Arm SDIV semantics: division by zero yields zero
+            } else if sa == i64::MIN && sb == -1 {
+                sa as u64
+            } else {
+                (sa / sb) as u64
+            }
+        }
+        AluOp::Divu => {
+            if ub == 0 {
+                0
+            } else {
+                ua / ub
+            }
+        }
+        AluOp::Rem => {
+            if sb == 0 {
+                sa as u64
+            } else if sa == i64::MIN && sb == -1 {
+                0
+            } else {
+                (sa % sb) as u64
+            }
+        }
+        AluOp::Remu => {
+            if ub == 0 {
+                ua
+            } else {
+                ua % ub
+            }
+        }
+        AluOp::And => ua & ub,
+        AluOp::Or => ua | ub,
+        AluOp::Xor => ua ^ ub,
+        AluOp::Sll => ua.wrapping_shl((ub & shift_mask) as u32),
+        AluOp::Srl => ua.wrapping_shr((ub & shift_mask) as u32),
+        AluOp::Sra => (sa >> (ub & shift_mask)) as u64,
+        AluOp::Slt => u64::from(sa < sb),
+        AluOp::Sltu => u64::from(ua < ub),
+    };
+    profile.mask(raw)
+}
+
+/// Evaluates a branch condition with the profile's width semantics.
+pub fn eval_branch(profile: Profile, cond: BranchCond, a: u64, b: u64) -> bool {
+    let sa = profile.as_signed(a);
+    let sb = profile.as_signed(b);
+    let ua = profile.mask(a);
+    let ub = profile.mask(b);
+    match cond {
+        BranchCond::Eq => ua == ub,
+        BranchCond::Ne => ua != ub,
+        BranchCond::Lt => sa < sb,
+        BranchCond::Ge => sa >= sb,
+        BranchCond::Ltu => ua < ub,
+        BranchCond::Geu => ua >= ub,
+    }
+}
+
+impl Instr {
+    /// Whether this instruction can redirect control flow.
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. } | Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Halt
+        )
+    }
+
+    /// Destination register, if the instruction writes one.
+    ///
+    /// Writes to [`Reg::ZERO`] are reported as `None` (they are
+    /// architectural no-ops).
+    pub fn dest(self) -> Option<Reg> {
+        let rd = match self {
+            Instr::Alu { rd, .. }
+            | Instr::AluImm { rd, .. }
+            | Instr::Load { rd, .. }
+            | Instr::Lui { rd, .. }
+            | Instr::Jal { rd, .. }
+            | Instr::Jalr { rd, .. } => rd,
+            Instr::Store { .. } | Instr::Branch { .. } | Instr::Out { .. } | Instr::Halt => {
+                return None
+            }
+        };
+        (rd != Reg::ZERO).then_some(rd)
+    }
+
+    /// Source registers read by the instruction (zero register included).
+    pub fn sources(self) -> (Option<Reg>, Option<Reg>) {
+        match self {
+            Instr::Alu { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
+            Instr::AluImm { rs1, .. } => (Some(rs1), None),
+            Instr::Load { base, .. } => (Some(base), None),
+            Instr::Store { src, base, .. } => (Some(base), Some(src)),
+            Instr::Branch { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
+            Instr::Lui { .. } | Instr::Jal { .. } | Instr::Halt => (None, None),
+            Instr::Jalr { base, .. } => (Some(base), None),
+            Instr::Out { rs1 } => (Some(rs1), None),
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lower = |s: String| s.to_ascii_lowercase();
+        match *self {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", lower(format!("{op:?}")))
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                write!(f, "{}i {rd}, {rs1}, {imm}", lower(format!("{op:?}")))
+            }
+            Instr::Load {
+                width,
+                signed,
+                rd,
+                base,
+                offset,
+            } => write!(
+                f,
+                "l{}{} {rd}, {offset}({base})",
+                lower(format!("{width:?}")),
+                if signed { "" } else { "u" }
+            ),
+            Instr::Store {
+                width,
+                src,
+                base,
+                offset,
+            } => write!(f, "s{} {src}, {offset}({base})", lower(format!("{width:?}"))),
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => write!(f, "b{} {rs1}, {rs2}, {offset}", lower(format!("{cond:?}"))),
+            Instr::Lui { rd, imm } => write!(f, "lui {rd}, {imm}"),
+            Instr::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Instr::Jalr { rd, base, offset } => write!(f, "jalr {rd}, {offset}({base})"),
+            Instr::Out { rs1 } => write!(f, "out {rs1}"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcodes_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for op in ALL_OPCODES {
+            assert!(seen.insert(op as u8), "duplicate opcode byte {:#04x}", op as u8);
+        }
+        assert_eq!(seen.len(), 43);
+    }
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        let r = |n| Reg::new(n);
+        let cases = [
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: r(3),
+                rs1: r(4),
+                rs2: r(5),
+            },
+            Instr::Alu {
+                op: AluOp::Sltu,
+                rd: r(31),
+                rs1: r(0),
+                rs2: r(30),
+            },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: r(8),
+                rs1: r(8),
+                imm: -8192,
+            },
+            Instr::AluImm {
+                op: AluOp::Sra,
+                rd: r(9),
+                rs1: r(10),
+                imm: 63,
+            },
+            Instr::Load {
+                width: MemWidth::W,
+                signed: true,
+                rd: r(6),
+                base: r(2),
+                offset: 8191,
+            },
+            Instr::Load {
+                width: MemWidth::D,
+                signed: false,
+                rd: r(6),
+                base: r(2),
+                offset: -4,
+            },
+            Instr::Store {
+                width: MemWidth::B,
+                src: r(7),
+                base: r(2),
+                offset: -8192,
+            },
+            Instr::Branch {
+                cond: BranchCond::Geu,
+                rs1: r(1),
+                rs2: r(2),
+                offset: -1,
+            },
+            Instr::Lui { rd: r(5), imm: -262144 },
+            Instr::Jal { rd: Reg::RA, offset: 262143 },
+            Instr::Jalr {
+                rd: Reg::ZERO,
+                base: Reg::RA,
+                offset: 0,
+            },
+            Instr::Out { rs1: r(8) },
+            Instr::Halt,
+        ];
+        for instr in cases {
+            let word = encode(instr);
+            assert_eq!(decode(word), Ok(instr), "roundtrip failed for {instr}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcode() {
+        assert_eq!(decode(0x0000_0000), Err(DecodeError::UnknownOpcode(0)));
+        assert_eq!(decode(0xFFFF_FFFE), Err(DecodeError::UnknownOpcode(0xFE)));
+    }
+
+    #[test]
+    fn decode_rejects_padded_r_type() {
+        let word = encode(Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::new(1),
+            rs1: Reg::new(2),
+            rs2: Reg::new(3),
+        });
+        assert!(decode(word | (1 << 31)).is_err());
+        assert!(decode(word | (1 << 23)).is_err());
+    }
+
+    #[test]
+    fn halt_requires_zero_operands() {
+        assert_eq!(decode(Opcode::Halt as u32), Ok(Instr::Halt));
+        assert!(decode(Opcode::Halt as u32 | (1 << 8)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "no immediate form")]
+    fn encode_rejects_imm_mul() {
+        encode(Instr::AluImm {
+            op: AluOp::Mul,
+            rd: Reg::new(1),
+            rs1: Reg::new(1),
+            imm: 3,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 14-bit range")]
+    fn encode_rejects_oversized_imm() {
+        encode(Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg::new(1),
+            rs1: Reg::new(1),
+            imm: 8192,
+        });
+    }
+
+    #[test]
+    fn alu_division_by_zero_is_zero() {
+        for p in [Profile::A32, Profile::A64] {
+            assert_eq!(eval_alu(p, AluOp::Div, 42, 0), 0);
+            assert_eq!(eval_alu(p, AluOp::Divu, 42, 0), 0);
+            assert_eq!(eval_alu(p, AluOp::Rem, 42, 0), 42);
+            assert_eq!(eval_alu(p, AluOp::Remu, 42, 0), 42);
+        }
+    }
+
+    #[test]
+    fn alu_width_semantics_differ_between_profiles() {
+        // 0xFFFF_FFFF + 1 wraps to 0 on A32 but not on A64.
+        assert_eq!(eval_alu(Profile::A32, AluOp::Add, 0xFFFF_FFFF, 1), 0);
+        assert_eq!(eval_alu(Profile::A64, AluOp::Add, 0xFFFF_FFFF, 1), 0x1_0000_0000);
+        // Arithmetic shift right sees the A32 sign bit.
+        assert_eq!(
+            eval_alu(Profile::A32, AluOp::Sra, 0x8000_0000, 31),
+            0xFFFF_FFFF
+        );
+        assert_eq!(eval_alu(Profile::A64, AluOp::Sra, 0x8000_0000, 31), 1);
+    }
+
+    #[test]
+    fn signed_overflow_division_edge() {
+        assert_eq!(
+            eval_alu(Profile::A64, AluOp::Div, i64::MIN as u64, u64::MAX),
+            i64::MIN as u64
+        );
+        assert_eq!(eval_alu(Profile::A64, AluOp::Rem, i64::MIN as u64, u64::MAX), 0);
+        assert_eq!(
+            eval_alu(Profile::A32, AluOp::Div, 0x8000_0000, 0xFFFF_FFFF),
+            0x8000_0000
+        );
+    }
+
+    #[test]
+    fn branch_signedness() {
+        assert!(eval_branch(Profile::A32, BranchCond::Lt, 0xFFFF_FFFF, 0)); // -1 < 0
+        assert!(!eval_branch(Profile::A32, BranchCond::Ltu, 0xFFFF_FFFF, 0));
+        assert!(eval_branch(Profile::A64, BranchCond::Ge, 5, 5));
+        assert!(eval_branch(Profile::A64, BranchCond::Ne, 1, 2));
+    }
+
+    #[test]
+    fn dest_and_sources_classification() {
+        let i = Instr::Store {
+            width: MemWidth::W,
+            src: Reg::new(5),
+            base: Reg::SP,
+            offset: 0,
+        };
+        assert_eq!(i.dest(), None);
+        assert_eq!(i.sources(), (Some(Reg::SP), Some(Reg::new(5))));
+        let j = Instr::Jal {
+            rd: Reg::ZERO,
+            offset: 4,
+        };
+        assert_eq!(j.dest(), None, "writes to zero register are no-ops");
+        assert!(j.is_control());
+    }
+}

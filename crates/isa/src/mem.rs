@@ -1,0 +1,233 @@
+//! Flat guest memory with a protected null page and natural-alignment rules.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Kind of guest memory fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemFaultKind {
+    /// Access beyond the end of guest memory.
+    OutOfRange,
+    /// Access inside the unmapped null page (`0..0x1000`).
+    NullPage,
+    /// Address not naturally aligned for the access width.
+    Misaligned,
+}
+
+/// A guest memory access fault.
+///
+/// In the study these faults model what an MMU/bus would raise on real
+/// hardware; the fault-injection framework classifies a committed fault as a
+/// **Crash** outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemFault {
+    /// Faulting guest address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u64,
+    /// Fault kind.
+    pub kind: MemFaultKind,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory fault at {:#x} (size {}): {:?}",
+            self.addr, self.size, self.kind
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Size of the unmapped guard page at address zero.
+pub const NULL_PAGE: u64 = 0x1000;
+
+/// Flat little-endian guest memory.
+///
+/// The first 4 KiB are unmapped so that null-pointer dereferences fault, as
+/// they would under an OS; everything else is readable and writable.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocates `size` bytes of zeroed guest memory.
+    pub fn new(size: u64) -> Memory {
+        Memory {
+            bytes: vec![0; size as usize],
+        }
+    }
+
+    /// Total guest memory size in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    fn check(&self, addr: u64, size: u64) -> Result<usize, MemFault> {
+        if addr < NULL_PAGE {
+            return Err(MemFault {
+                addr,
+                size,
+                kind: MemFaultKind::NullPage,
+            });
+        }
+        if addr % size != 0 {
+            return Err(MemFault {
+                addr,
+                size,
+                kind: MemFaultKind::Misaligned,
+            });
+        }
+        if addr.checked_add(size).is_none_or(|end| end > self.size()) {
+            return Err(MemFault {
+                addr,
+                size,
+                kind: MemFaultKind::OutOfRange,
+            });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Reads a naturally-aligned little-endian value of `size` bytes (1, 2, 4
+    /// or 8), zero-extended to 64 bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] on misalignment, null-page access, or
+    /// out-of-range access.
+    pub fn read(&self, addr: u64, size: u64) -> Result<u64, MemFault> {
+        let base = self.check(addr, size)?;
+        let mut value = 0u64;
+        for i in (0..size as usize).rev() {
+            value = (value << 8) | u64::from(self.bytes[base + i]);
+        }
+        Ok(value)
+    }
+
+    /// Writes the low `size` bytes of `value` little-endian at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] on misalignment, null-page access, or
+    /// out-of-range access.
+    pub fn write(&mut self, addr: u64, size: u64, value: u64) -> Result<(), MemFault> {
+        let base = self.check(addr, size)?;
+        for i in 0..size as usize {
+            self.bytes[base + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Fetches a 32-bit instruction word (4-byte aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] exactly as [`Memory::read`] would.
+    pub fn fetch(&self, addr: u64) -> Result<u32, MemFault> {
+        self.read(addr, 4).map(|v| v as u32)
+    }
+
+    /// Copies raw bytes into memory without alignment checks (used by the
+    /// program loader and cache line fills, whose addresses are aligned by
+    /// construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside guest memory — loader addresses are
+    /// trusted.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        let base = addr as usize;
+        self.bytes[base..base + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads raw bytes without alignment checks (cache line fills).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside guest memory.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> &[u8] {
+        let base = addr as usize;
+        &self.bytes[base..base + len]
+    }
+
+    /// Whether `addr..addr+len` lies entirely in mapped guest memory (above
+    /// the null page and below the end).
+    pub fn contains_range(&self, addr: u64, len: u64) -> bool {
+        addr >= NULL_PAGE && addr.checked_add(len).is_some_and(|end| end <= self.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut m = Memory::new(0x3000);
+        for (size, val) in [(1, 0xAB), (2, 0xBEEF), (4, 0xDEAD_BEEF), (8, 0x0123_4567_89AB_CDEF)]
+        {
+            m.write(0x2000, size, val).unwrap();
+            assert_eq!(m.read(0x2000, size).unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new(0x3000);
+        m.write(0x2000, 4, 0x0403_0201).unwrap();
+        assert_eq!(m.read(0x2000, 1).unwrap(), 0x01);
+        assert_eq!(m.read(0x2003, 1).unwrap(), 0x04);
+    }
+
+    #[test]
+    fn null_page_faults() {
+        let mut m = Memory::new(0x3000);
+        assert_eq!(m.read(0, 4).unwrap_err().kind, MemFaultKind::NullPage);
+        assert_eq!(m.read(0xFFC, 4).unwrap_err().kind, MemFaultKind::NullPage);
+        assert_eq!(m.write(8, 8, 1).unwrap_err().kind, MemFaultKind::NullPage);
+        assert!(m.read(0x1000, 4).is_ok());
+    }
+
+    #[test]
+    fn misaligned_faults() {
+        let m = Memory::new(0x3000);
+        assert_eq!(m.read(0x2001, 4).unwrap_err().kind, MemFaultKind::Misaligned);
+        assert_eq!(m.read(0x2004, 8).unwrap_err().kind, MemFaultKind::Misaligned);
+        assert!(m.read(0x2001, 1).is_ok(), "bytes have no alignment");
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let m = Memory::new(0x3000);
+        assert_eq!(m.read(0x3000, 4).unwrap_err().kind, MemFaultKind::OutOfRange);
+        assert_eq!(m.read(0x2FFC, 8).unwrap_err().kind, MemFaultKind::Misaligned);
+        assert!(m.read(0x2FF8, 8).is_ok(), "last aligned dword is in range");
+        // u64::MAX - 7 is 8-aligned; its end overflows u64 → out of range.
+        assert_eq!(
+            m.read(u64::MAX - 7, 8).unwrap_err().kind,
+            MemFaultKind::OutOfRange
+        );
+    }
+
+    #[test]
+    fn overflowing_address_faults_not_panics() {
+        let m = Memory::new(0x3000);
+        // Aligned address whose end overflows u64.
+        assert_eq!(
+            m.read(u64::MAX & !7, 8).unwrap_err().kind,
+            MemFaultKind::OutOfRange
+        );
+    }
+
+    #[test]
+    fn contains_range_matches_fault_rules() {
+        let m = Memory::new(0x3000);
+        assert!(m.contains_range(0x1000, 0x2000));
+        assert!(!m.contains_range(0x800, 8));
+        assert!(!m.contains_range(0x2FFF, 8));
+        assert!(!m.contains_range(u64::MAX, 8));
+    }
+}

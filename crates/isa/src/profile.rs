@@ -1,0 +1,169 @@
+//! ISA profiles: the Armv7-like `A32` and Armv8-like `A64` targets.
+
+use crate::Reg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ISA profile, fixing the datapath width and the visible register count.
+///
+/// The two profiles stand in for the two architectures of the paper:
+///
+/// * [`Profile::A32`] — 32-bit datapath, 16 architectural registers
+///   (Armv7 / Cortex-A15 stand-in),
+/// * [`Profile::A64`] — 64-bit datapath, 32 architectural registers
+///   (Armv8 / Cortex-A72 stand-in).
+///
+/// The profile determines how many registers the compiler may allocate and
+/// how wide every register value (and therefore every injectable register
+/// bit field) is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Profile {
+    /// 32-bit profile with 16 architectural registers (Armv7-like).
+    A32,
+    /// 64-bit profile with 32 architectural registers (Armv8-like).
+    A64,
+}
+
+impl Profile {
+    /// Datapath width in bits (32 or 64).
+    pub fn xlen(self) -> u32 {
+        match self {
+            Profile::A32 => 32,
+            Profile::A64 => 64,
+        }
+    }
+
+    /// Number of architectural registers visible to software.
+    pub fn nregs(self) -> usize {
+        match self {
+            Profile::A32 => 16,
+            Profile::A64 => 32,
+        }
+    }
+
+    /// Size of a machine word (pointer) in bytes.
+    pub fn word_bytes(self) -> u64 {
+        (self.xlen() / 8) as u64
+    }
+
+    /// Truncates an arithmetic result to the profile's datapath width.
+    ///
+    /// On `A32` the upper 32 bits are cleared (registers architecturally hold
+    /// 32 bits); on `A64` the value is returned unchanged.
+    pub fn mask(self, value: u64) -> u64 {
+        match self {
+            Profile::A32 => value & 0xFFFF_FFFF,
+            Profile::A64 => value,
+        }
+    }
+
+    /// Interprets a register value as a signed number of the profile width.
+    pub fn as_signed(self, value: u64) -> i64 {
+        match self {
+            Profile::A32 => value as u32 as i32 as i64,
+            Profile::A64 => value as i64,
+        }
+    }
+
+    /// Caller-saved temporary registers available to compiled code.
+    pub fn temp_regs(self) -> Vec<Reg> {
+        match self {
+            // x3..x7
+            Profile::A32 => (3..8).map(Reg::new).collect(),
+            // x3..x7 plus the upper argument range not used for args
+            Profile::A64 => (3..8).map(Reg::new).collect(),
+        }
+    }
+
+    /// Argument / return-value registers (`a0` first).
+    pub fn arg_regs(self) -> Vec<Reg> {
+        match self {
+            Profile::A32 => (8..12).map(Reg::new).collect(),
+            Profile::A64 => (8..14).map(Reg::new).collect(),
+        }
+    }
+
+    /// Callee-saved registers available to the register allocator.
+    pub fn saved_regs(self) -> Vec<Reg> {
+        match self {
+            Profile::A32 => (12..16).map(Reg::new).collect(),
+            Profile::A64 => (14..32).map(Reg::new).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Profile::A32 => write!(f, "A32"),
+            Profile::A64 => write!(f, "A64"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_reg_counts() {
+        assert_eq!(Profile::A32.xlen(), 32);
+        assert_eq!(Profile::A64.xlen(), 64);
+        assert_eq!(Profile::A32.nregs(), 16);
+        assert_eq!(Profile::A64.nregs(), 32);
+        assert_eq!(Profile::A32.word_bytes(), 4);
+        assert_eq!(Profile::A64.word_bytes(), 8);
+    }
+
+    #[test]
+    fn mask_truncates_only_on_a32() {
+        assert_eq!(Profile::A32.mask(0x1_0000_0001), 1);
+        assert_eq!(Profile::A64.mask(0x1_0000_0001), 0x1_0000_0001);
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(Profile::A32.as_signed(0xFFFF_FFFF), -1);
+        assert_eq!(Profile::A64.as_signed(0xFFFF_FFFF), 0xFFFF_FFFF);
+        assert_eq!(Profile::A64.as_signed(u64::MAX), -1);
+    }
+
+    #[test]
+    fn abi_registers_fit_profile() {
+        for p in [Profile::A32, Profile::A64] {
+            for r in p
+                .temp_regs()
+                .into_iter()
+                .chain(p.arg_regs())
+                .chain(p.saved_regs())
+            {
+                assert!(r.valid_for(p.nregs()), "{r} invalid for {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn abi_registers_are_disjoint() {
+        for p in [Profile::A32, Profile::A64] {
+            let mut all: Vec<usize> = p
+                .temp_regs()
+                .into_iter()
+                .chain(p.arg_regs())
+                .chain(p.saved_regs())
+                .map(Reg::index)
+                .collect();
+            all.sort_unstable();
+            let before = all.len();
+            all.dedup();
+            assert_eq!(before, all.len(), "overlapping ABI classes for {p}");
+            // None of the ABI classes may hand out zero/ra/sp.
+            assert!(!all.contains(&0) && !all.contains(&1) && !all.contains(&2));
+        }
+    }
+
+    #[test]
+    fn a64_has_more_allocatable_registers() {
+        let count = |p: Profile| p.temp_regs().len() + p.arg_regs().len() + p.saved_regs().len();
+        assert!(count(Profile::A64) > count(Profile::A32));
+    }
+}

@@ -1,0 +1,108 @@
+//! Architectural register names and the software ABI used by the compiler.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An architectural register index.
+///
+/// The ISA defines up to 32 registers; the [`Profile::A32`] profile exposes
+/// only the first 16 (mirroring Armv7's smaller architectural file), while
+/// [`Profile::A64`] exposes all 32. Register 0 is hardwired to zero.
+///
+/// [`Profile::A32`]: crate::Profile::A32
+/// [`Profile::A64`]: crate::Profile::A64
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Link register (return address), written by `jal`/`jalr`.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// First integer argument / return value register.
+    pub const A0: Reg = Reg(8);
+
+    /// Creates a register from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`. Use [`Reg::try_new`] for fallible decoding of
+    /// untrusted bits.
+    pub fn new(index: u8) -> Reg {
+        Reg::try_new(index).expect("register index out of range")
+    }
+
+    /// Creates a register from a raw index, returning `None` if out of range.
+    pub fn try_new(index: u8) -> Option<Reg> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// The raw index of this register (0..32).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this register is valid under `nregs`-register profile.
+    pub fn valid_for(self, nregs: usize) -> bool {
+        self.index() < nregs
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::ZERO => write!(f, "zero"),
+            Reg::RA => write!(f, "ra"),
+            Reg::SP => write!(f, "sp"),
+            Reg(n) => write!(f, "x{n}"),
+        }
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_registers_have_expected_indices() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::RA.index(), 1);
+        assert_eq!(Reg::SP.index(), 2);
+        assert_eq!(Reg::A0.index(), 8);
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range() {
+        assert!(Reg::try_new(31).is_some());
+        assert!(Reg::try_new(32).is_none());
+        assert!(Reg::try_new(255).is_none());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::new(5).to_string(), "x5");
+        assert_eq!(Reg::SP.to_string(), "sp");
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn valid_for_profile_sizes() {
+        assert!(Reg::new(15).valid_for(16));
+        assert!(!Reg::new(16).valid_for(16));
+        assert!(Reg::new(31).valid_for(32));
+    }
+}

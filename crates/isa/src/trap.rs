@@ -1,0 +1,71 @@
+//! Architectural traps raised by guest execution.
+
+use crate::{DecodeError, MemFault};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An architectural trap: the guest program performed an operation that real
+/// hardware would fault on.
+///
+/// Traps terminate execution. In the fault-injection study a trap reached by
+/// a *committed* instruction is classified as a **Crash** outcome (process or
+/// kernel crash in the paper's terminology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Trap {
+    /// The fetched word did not decode to a valid instruction, or the decoded
+    /// instruction is not executable under the active profile (e.g. a 64-bit
+    /// load on the A32 profile, or an operand register above the profile's
+    /// architectural register count).
+    InvalidInstr {
+        /// PC of the faulting instruction.
+        pc: u64,
+        /// The raw machine word.
+        word: u32,
+    },
+    /// A data access or instruction fetch faulted.
+    Mem(MemFault),
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::InvalidInstr { pc, word } => {
+                write!(f, "invalid instruction {word:#010x} at pc {pc:#x}")
+            }
+            Trap::Mem(fault) => write!(f, "{fault}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+impl From<MemFault> for Trap {
+    fn from(fault: MemFault) -> Trap {
+        Trap::Mem(fault)
+    }
+}
+
+impl Trap {
+    /// Builds an invalid-instruction trap from a decode failure.
+    pub fn from_decode(pc: u64, word: u32, _err: DecodeError) -> Trap {
+        Trap::InvalidInstr { pc, word }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemFaultKind;
+
+    #[test]
+    fn display_is_informative() {
+        let t = Trap::InvalidInstr { pc: 0x1000, word: 0xDEAD_BEEF };
+        assert!(t.to_string().contains("0xdeadbeef"));
+        let m = Trap::from(MemFault {
+            addr: 4,
+            size: 8,
+            kind: MemFaultKind::NullPage,
+        });
+        assert!(m.to_string().contains("0x4"));
+    }
+}

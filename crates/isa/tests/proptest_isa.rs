@@ -1,0 +1,149 @@
+//! Property-based tests for the ISA: encode/decode roundtrips, decoder
+//! totality (no panics on arbitrary words), and emulator robustness on
+//! random-but-valid straight-line programs.
+
+use proptest::prelude::*;
+use softerr_isa::{
+    decode, encode, eval_alu, AluOp, BranchCond, Emulator, Instr, MemWidth, Profile, Program,
+    Reg,
+};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+    ]
+}
+
+fn arb_imm_op() -> impl Strategy<Value = AluOp> {
+    arb_alu_op().prop_filter("imm form", |op| op.has_imm_form())
+}
+
+fn arb_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![Just(MemWidth::B), Just(MemWidth::W), Just(MemWidth::D)]
+}
+
+fn arb_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu),
+    ]
+}
+
+prop_compose! {
+    fn arb_instr()(
+        kind in 0u8..10,
+        op in arb_alu_op(),
+        imm_op in arb_imm_op(),
+        rd in arb_reg(),
+        rs1 in arb_reg(),
+        rs2 in arb_reg(),
+        width in arb_width(),
+        signed in any::<bool>(),
+        imm14 in -8192i32..8192,
+        imm19 in -262144i32..262144,
+    ) -> Instr {
+        match kind {
+            0 => Instr::Alu { op, rd, rs1, rs2 },
+            1 => Instr::AluImm { op: imm_op, rd, rs1, imm: imm14 },
+            2 => Instr::Load { width, signed: signed && width != MemWidth::D, rd, base: rs1, offset: imm14 },
+            3 => Instr::Store { width, src: rs2, base: rs1, offset: imm14 },
+            4 => Instr::Branch { cond: BranchCond::Eq, rs1, rs2, offset: imm14 },
+            5 => Instr::Lui { rd, imm: imm19 },
+            6 => Instr::Jal { rd, offset: imm19 },
+            7 => Instr::Jalr { rd, base: rs1, offset: imm14 },
+            8 => Instr::Out { rs1 },
+            _ => Instr::Halt,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(instr in arb_instr()) {
+        let word = encode(instr);
+        // Loads of width D are decoded with signed == false.
+        let expect = match instr {
+            Instr::Load { width: MemWidth::D, rd, base, offset, .. } =>
+                Instr::Load { width: MemWidth::D, signed: false, rd, base, offset },
+            other => other,
+        };
+        prop_assert_eq!(decode(word), Ok(expect));
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decode_of_valid_with_one_bit_flip_never_panics(instr in arb_instr(), bit in 0u32..32) {
+        let _ = decode(encode(instr) ^ (1 << bit));
+    }
+
+    #[test]
+    fn branch_cond_roundtrip(cond in arb_cond(), rs1 in arb_reg(), rs2 in arb_reg(), off in -8192i32..8192) {
+        let i = Instr::Branch { cond, rs1, rs2, offset: off };
+        prop_assert_eq!(decode(encode(i)), Ok(i));
+    }
+
+    #[test]
+    fn alu_matches_native_semantics_on_a64(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(eval_alu(Profile::A64, AluOp::Add, a, b), a.wrapping_add(b));
+        prop_assert_eq!(eval_alu(Profile::A64, AluOp::Xor, a, b), a ^ b);
+        prop_assert_eq!(eval_alu(Profile::A64, AluOp::Sltu, a, b), u64::from(a < b));
+    }
+
+    #[test]
+    fn a32_results_always_fit_32_bits(op in arb_alu_op(), a in any::<u64>(), b in any::<u64>()) {
+        let v = eval_alu(Profile::A32, op, a, b);
+        prop_assert_eq!(v >> 32, 0, "A32 result {:#x} exceeds 32 bits", v);
+    }
+
+    /// Straight-line ALU programs over in-profile registers never trap and
+    /// always match between a fresh emulator and a re-run.
+    #[test]
+    fn emulator_is_deterministic(
+        ops in prop::collection::vec((arb_imm_op(), 3u8..8, 3u8..8, -100i32..100), 1..40)
+    ) {
+        let mut instrs: Vec<Instr> = ops
+            .into_iter()
+            .map(|(op, rd, rs1, imm)| Instr::AluImm {
+                op,
+                rd: Reg::new(rd),
+                rs1: Reg::new(rs1),
+                imm,
+            })
+            .collect();
+        for r in 3u8..8 {
+            instrs.push(Instr::Out { rs1: Reg::new(r) });
+        }
+        instrs.push(Instr::Halt);
+        let program = Program::from_instrs(Profile::A32, instrs);
+        let out1 = Emulator::new(&program).run(10_000).unwrap();
+        let out2 = Emulator::new(&program).run(10_000).unwrap();
+        prop_assert!(out1.completed);
+        prop_assert_eq!(out1, out2);
+    }
+}

@@ -1,0 +1,34 @@
+//! Reports simulated cycles per wall-clock second (campaign sizing aid).
+use softerr_cc::{Compiler, OptLevel};
+use softerr_sim::{MachineConfig, Sim, SimOutcome};
+use softerr_workloads::{Scale, Workload};
+use std::time::Instant;
+
+fn main() {
+    for cfg in MachineConfig::paper_machines() {
+        let compiled = Compiler::new(cfg.profile, OptLevel::O1)
+            .compile(&Workload::Gsm.source(Scale::Small))
+            .unwrap();
+        // Setup cost (allocation + zeroing) matters for campaigns too.
+        let t0 = Instant::now();
+        let mut sims: Vec<Sim> = (0..20).map(|_| Sim::new(&cfg, &compiled.program)).collect();
+        let setup = t0.elapsed();
+        let t1 = Instant::now();
+        let mut total_cycles = 0u64;
+        let out = sims.pop().unwrap().run(1_000_000_000);
+        if let SimOutcome::Halted { cycles, retired, .. } = out {
+            total_cycles += cycles;
+            println!(
+                "{}: {} cycles, {} instrs, IPC {:.2}",
+                cfg.name, cycles, retired,
+                retired as f64 / cycles as f64
+            );
+        }
+        let run = t1.elapsed();
+        println!(
+            "  setup {:.2} ms/sim, run {:.1} Mcycles/s",
+            setup.as_secs_f64() * 1000.0 / 20.0,
+            total_cycles as f64 / run.as_secs_f64() / 1e6
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Branch prediction: a bimodal 2-bit predictor, a small BTB for indirect
+//! targets, and a return-address stack.
+//!
+//! The predictor is *not* a fault-injection target (a corrupted prediction
+//! only costs cycles, never correctness), matching the paper's choice of
+//! injected structures.
+
+/// Branch predictor state.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    counters: Vec<u8>,
+    btb_tags: Vec<u64>,
+    btb_targets: Vec<u64>,
+    ras: Vec<u64>,
+    ras_top: usize,
+}
+
+const BIMODAL_ENTRIES: usize = 1024;
+const BTB_ENTRIES: usize = 256;
+const RAS_DEPTH: usize = 16;
+
+impl BranchPredictor {
+    /// Creates a predictor with weakly-taken counters and an empty BTB/RAS.
+    pub fn new() -> BranchPredictor {
+        BranchPredictor {
+            counters: vec![2; BIMODAL_ENTRIES],
+            btb_tags: vec![u64::MAX; BTB_ENTRIES],
+            btb_targets: vec![0; BTB_ENTRIES],
+            ras: vec![0; RAS_DEPTH],
+            ras_top: 0,
+        }
+    }
+
+    fn bimodal_index(pc: u64) -> usize {
+        ((pc >> 2) as usize) & (BIMODAL_ENTRIES - 1)
+    }
+
+    fn btb_index(pc: u64) -> usize {
+        ((pc >> 2) as usize) & (BTB_ENTRIES - 1)
+    }
+
+    /// Predicts a conditional branch at `pc` as taken or not.
+    pub fn predict_taken(&self, pc: u64) -> bool {
+        self.counters[Self::bimodal_index(pc)] >= 2
+    }
+
+    /// Updates the bimodal counter after resolution.
+    pub fn update_taken(&mut self, pc: u64, taken: bool) {
+        let c = &mut self.counters[Self::bimodal_index(pc)];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Predicts an indirect target via the BTB (`None` on a BTB miss).
+    pub fn predict_indirect(&self, pc: u64) -> Option<u64> {
+        let i = Self::btb_index(pc);
+        (self.btb_tags[i] == pc).then_some(self.btb_targets[i])
+    }
+
+    /// Records an indirect target.
+    pub fn update_indirect(&mut self, pc: u64, target: u64) {
+        let i = Self::btb_index(pc);
+        self.btb_tags[i] = pc;
+        self.btb_targets[i] = target;
+    }
+
+    /// Pushes a return address (on calls).
+    pub fn push_return(&mut self, addr: u64) {
+        self.ras[self.ras_top] = addr;
+        self.ras_top = (self.ras_top + 1) % RAS_DEPTH;
+    }
+
+    /// Pops a predicted return address (on returns).
+    pub fn pop_return(&mut self) -> u64 {
+        self.ras_top = (self.ras_top + RAS_DEPTH - 1) % RAS_DEPTH;
+        self.ras[self.ras_top]
+    }
+}
+
+impl Default for BranchPredictor {
+    fn default() -> BranchPredictor {
+        BranchPredictor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_saturate() {
+        let mut p = BranchPredictor::new();
+        for _ in 0..10 {
+            p.update_taken(0x1000, true);
+        }
+        assert!(p.predict_taken(0x1000));
+        for _ in 0..10 {
+            p.update_taken(0x1000, false);
+        }
+        assert!(!p.predict_taken(0x1000));
+    }
+
+    #[test]
+    fn btb_roundtrip() {
+        let mut p = BranchPredictor::new();
+        assert_eq!(p.predict_indirect(0x1000), None);
+        p.update_indirect(0x1000, 0x2000);
+        assert_eq!(p.predict_indirect(0x1000), Some(0x2000));
+        // Aliasing entry replaces.
+        p.update_indirect(0x1000 + 256 * 4, 0x3000);
+        assert_eq!(p.predict_indirect(0x1000), None);
+    }
+
+    #[test]
+    fn ras_is_lifo() {
+        let mut p = BranchPredictor::new();
+        p.push_return(0x10);
+        p.push_return(0x20);
+        assert_eq!(p.pop_return(), 0x20);
+        assert_eq!(p.pop_return(), 0x10);
+    }
+}

@@ -1,0 +1,293 @@
+//! Set-associative write-back cache with bit-accurate, fault-injectable tag
+//! and data arrays.
+//!
+//! Unlike a purely statistical cache model, lines hold **real data**: every
+//! value that reaches the pipeline flows through these arrays, so a flipped
+//! bit propagates (or dies on a clean eviction) exactly as it would in
+//! hardware. Tags are stored at a fixed 32-bit physical-address width, so
+//! flips in high tag bits turn a line into one that aliases an unmapped
+//! address — a dirty writeback of such a line raises the same
+//! out-of-system-map condition the paper's simulator reports as an Assert.
+
+use crate::config::CacheGeometry;
+
+/// Modeled physical address width (bits) used for tag sizing.
+pub const PHYS_ADDR_BITS: u32 = 32;
+
+/// One set-associative cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geom: CacheGeometry,
+    tag_width: u32,
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    lru: Vec<u64>,
+    data: Vec<u8>,
+    use_counter: u64,
+    /// Statistics: demand hits / misses.
+    pub hits: u64,
+    /// Statistics: demand misses.
+    pub misses: u64,
+}
+
+impl Cache {
+    /// Builds an empty (all-invalid) cache.
+    pub fn new(geom: CacheGeometry) -> Cache {
+        let lines = geom.lines();
+        let tag_width = PHYS_ADDR_BITS - geom.set_bits() - geom.offset_bits();
+        Cache {
+            geom,
+            tag_width,
+            tags: vec![0; lines],
+            valid: vec![false; lines],
+            dirty: vec![false; lines],
+            lru: vec![0; lines],
+            data: vec![0; lines * geom.line_bytes as usize],
+            use_counter: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Geometry of this cache.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// Width of a stored tag in bits.
+    pub fn tag_width(&self) -> u32 {
+        self.tag_width
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr >> self.geom.offset_bits()) & ((self.geom.sets() as u64) - 1)) as usize
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        (addr >> (self.geom.offset_bits() + self.geom.set_bits()))
+            & ((1u64 << self.tag_width) - 1)
+    }
+
+    /// Looks up `addr`; on a hit returns the line index and refreshes LRU.
+    pub fn lookup(&mut self, addr: u64) -> Option<usize> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for way in 0..self.geom.ways {
+            let line = set * self.geom.ways + way;
+            if self.valid[line] && self.tags[line] == tag {
+                self.use_counter += 1;
+                self.lru[line] = self.use_counter;
+                self.hits += 1;
+                return Some(line);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Chooses a victim line in `addr`'s set (an invalid way if any,
+    /// otherwise least-recently used).
+    pub fn victim(&self, addr: u64) -> usize {
+        let set = self.set_of(addr);
+        let base = set * self.geom.ways;
+        for way in 0..self.geom.ways {
+            if !self.valid[base + way] {
+                return base + way;
+            }
+        }
+        (0..self.geom.ways)
+            .map(|w| base + w)
+            .min_by_key(|&l| self.lru[l])
+            .expect("cache has at least one way")
+    }
+
+    /// Whether the line is valid.
+    pub fn is_valid(&self, line: usize) -> bool {
+        self.valid[line]
+    }
+
+    /// Whether the line is dirty.
+    pub fn is_dirty(&self, line: usize) -> bool {
+        self.dirty[line]
+    }
+
+    /// Marks a line dirty (after a write hit).
+    pub fn set_dirty(&mut self, line: usize, dirty: bool) {
+        self.dirty[line] = dirty;
+    }
+
+    /// The data bytes of a line.
+    pub fn line_data(&self, line: usize) -> &[u8] {
+        let lb = self.geom.line_bytes as usize;
+        &self.data[line * lb..(line + 1) * lb]
+    }
+
+    /// Mutable data bytes of a line.
+    pub fn line_data_mut(&mut self, line: usize) -> &mut [u8] {
+        let lb = self.geom.line_bytes as usize;
+        &mut self.data[line * lb..(line + 1) * lb]
+    }
+
+    /// Installs a line for `addr` at `line` with the given contents.
+    pub fn fill(&mut self, line: usize, addr: u64, contents: &[u8]) {
+        self.tags[line] = self.tag_of(addr);
+        self.valid[line] = true;
+        self.dirty[line] = false;
+        self.use_counter += 1;
+        self.lru[line] = self.use_counter;
+        self.line_data_mut(line).copy_from_slice(contents);
+    }
+
+    /// Invalidates a line.
+    pub fn invalidate(&mut self, line: usize) {
+        self.valid[line] = false;
+        self.dirty[line] = false;
+    }
+
+    /// Reconstructs the base address a line maps to from its (possibly
+    /// corrupted) stored tag. The result may lie outside guest memory.
+    pub fn reconstruct_addr(&self, line: usize) -> u64 {
+        let set = (line / self.geom.ways) as u64;
+        (self.tags[line] << (self.geom.offset_bits() + self.geom.set_bits()))
+            | (set << self.geom.offset_bits())
+    }
+
+    /// Total injectable bits in the data array.
+    pub fn data_bits(&self) -> u64 {
+        self.data.len() as u64 * 8
+    }
+
+    /// Total injectable bits in the tag array (tag + valid + dirty per line).
+    pub fn tag_bits(&self) -> u64 {
+        self.tags.len() as u64 * (self.tag_width as u64 + 2)
+    }
+
+    /// Flips one bit of the data array.
+    pub fn flip_data_bit(&mut self, bit: u64) {
+        assert!(bit < self.data_bits(), "data bit index out of range");
+        self.data[(bit / 8) as usize] ^= 1 << (bit % 8);
+    }
+
+    /// Flips one bit of the tag array (tag value, valid, or dirty bit).
+    pub fn flip_tag_bit(&mut self, bit: u64) {
+        assert!(bit < self.tag_bits(), "tag bit index out of range");
+        let per_line = self.tag_width as u64 + 2;
+        let line = (bit / per_line) as usize;
+        let field = bit % per_line;
+        if field < self.tag_width as u64 {
+            self.tags[line] ^= 1 << field;
+        } else if field == self.tag_width as u64 {
+            self.valid[line] = !self.valid[line];
+        } else {
+            self.dirty[line] = !self.dirty[line];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets × 2 ways × 64B = 512 B.
+        Cache::new(CacheGeometry { size_bytes: 512, ways: 2, line_bytes: 64 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert!(c.lookup(0x1000).is_none());
+        let v = c.victim(0x1000);
+        c.fill(v, 0x1000, &[7u8; 64]);
+        let line = c.lookup(0x1000).expect("hit after fill");
+        assert_eq!(line, v);
+        assert_eq!(c.line_data(line)[0], 7);
+        assert_eq!((c.hits, c.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_victim_selection() {
+        let mut c = small();
+        // Two lines mapping to the same set (set bits = bits 6..8).
+        let a = 0x1000u64;
+        let b = 0x2000u64; // same set 0, different tag
+        let d = 0x3000u64;
+        let va = c.victim(a);
+        c.fill(va, a, &[1; 64]);
+        let vb = c.victim(b);
+        assert_ne!(va, vb, "invalid way preferred");
+        c.fill(vb, b, &[2; 64]);
+        // Touch a so b becomes LRU.
+        c.lookup(a);
+        let vd = c.victim(d);
+        assert_eq!(vd, vb, "least-recently-used way evicted");
+    }
+
+    #[test]
+    fn reconstruct_addr_roundtrip() {
+        let mut c = small();
+        for addr in [0x1000u64, 0x2f40, 0x10_0080] {
+            let v = c.victim(addr);
+            c.fill(v, addr, &[0; 64]);
+            assert_eq!(c.reconstruct_addr(v), addr & !63);
+        }
+    }
+
+    #[test]
+    fn data_bit_flip_changes_exactly_one_bit() {
+        let mut c = small();
+        let v = c.victim(0x1000);
+        c.fill(v, 0x1000, &[0; 64]);
+        let bit = (v * 64 * 8) as u64 + 13;
+        c.flip_data_bit(bit);
+        assert_eq!(c.line_data(v)[1], 1 << 5);
+        c.flip_data_bit(bit);
+        assert_eq!(c.line_data(v)[1], 0);
+    }
+
+    #[test]
+    fn tag_bit_flip_breaks_and_restores_hit() {
+        let mut c = small();
+        let v = c.victim(0x1000);
+        c.fill(v, 0x1000, &[0; 64]);
+        let per_line = c.tag_width() as u64 + 2;
+        c.flip_tag_bit(v as u64 * per_line); // lowest tag bit
+        assert!(c.lookup(0x1000).is_none(), "corrupted tag must miss");
+        c.flip_tag_bit(v as u64 * per_line);
+        assert!(c.lookup(0x1000).is_some());
+    }
+
+    #[test]
+    fn valid_bit_flip_drops_line() {
+        let mut c = small();
+        let v = c.victim(0x1000);
+        c.fill(v, 0x1000, &[0; 64]);
+        let per_line = c.tag_width() as u64 + 2;
+        c.flip_tag_bit(v as u64 * per_line + c.tag_width() as u64);
+        assert!(!c.is_valid(v));
+        assert!(c.lookup(0x1000).is_none());
+    }
+
+    #[test]
+    fn tag_flip_can_alias_another_address() {
+        let mut c = small();
+        let v = c.victim(0x1000);
+        c.fill(v, 0x1000, &[9; 64]);
+        // Tag = addr >> 8 here (4 sets × 64 B lines); flipping stored-tag
+        // bit 0 turns tag 0x10 into 0x11, i.e. the line aliases 0x1100.
+        let per_line = c.tag_width() as u64 + 2;
+        c.flip_tag_bit(v as u64 * per_line);
+        assert_eq!(c.lookup(0x1100), Some(v), "aliased hit with stale data");
+        assert_eq!(c.line_data(v)[0], 9);
+    }
+
+    #[test]
+    fn bit_counts_match_table_1_formulas() {
+        let c = Cache::new(CacheGeometry { size_bytes: 32 * 1024, ways: 2, line_bytes: 64 });
+        assert_eq!(c.data_bits(), 32 * 1024 * 8);
+        // 512 lines × (18-bit tag + valid + dirty).
+        assert_eq!(c.tag_width(), 32 - 8 - 6);
+        assert_eq!(c.tag_bits(), 512 * 20);
+    }
+}

@@ -1,0 +1,328 @@
+//! Issue queue with injectable **source** and **destination** fields (the
+//! paper's two IQ injection targets).
+//!
+//! The source field of each entry holds the two source physical-register
+//! tags plus their ready bits: a flipped tag stops the entry from matching
+//! its producer's wakeup broadcast (deadlock → Timeout), and an entry that
+//! does issue has its tags cross-checked against the rename payload
+//! (mismatch → Assert) — reproducing the balanced Timeout/Assert behaviour
+//! the paper reports for the IQ.
+
+use crate::regs::PhysReg;
+
+/// Injectable per-entry source field: `[src1:8][rdy1:1][src2:8][rdy2:1]`.
+pub const SRC_BITS_PER_ENTRY: u64 = 18;
+
+/// Injectable per-entry destination field: `[dest:8][valid:1]`.
+pub const DEST_BITS_PER_ENTRY: u64 = 9;
+
+/// Non-injectable payload of an IQ entry.
+#[derive(Debug, Clone, Copy)]
+pub struct IqPayload {
+    /// ROB slot of the instruction.
+    pub rob_idx: usize,
+    /// Sequence number (issue priority: oldest first).
+    pub seq: u64,
+    /// Whether the instruction reads a first source.
+    pub has_src1: bool,
+    /// Whether it reads a second source.
+    pub has_src2: bool,
+    /// Golden copies for cross-checking the injectable fields.
+    pub golden_src1: PhysReg,
+    /// Golden second source tag.
+    pub golden_src2: PhysReg,
+    /// Golden destination tag (0 when the uop writes no register).
+    pub golden_dest: PhysReg,
+}
+
+/// The issue queue.
+#[derive(Debug, Clone)]
+pub struct IssueQueue {
+    n: usize,
+    // Injectable source field.
+    src1_tag: Vec<PhysReg>,
+    src1_ready: Vec<bool>,
+    src2_tag: Vec<PhysReg>,
+    src2_ready: Vec<bool>,
+    // Injectable destination field.
+    dest_tag: Vec<PhysReg>,
+    valid: Vec<bool>,
+    payload: Vec<Option<IqPayload>>,
+    count: usize,
+}
+
+impl IssueQueue {
+    /// Creates an empty issue queue of `n` entries.
+    pub fn new(n: usize) -> IssueQueue {
+        IssueQueue {
+            n,
+            src1_tag: vec![0; n],
+            src1_ready: vec![false; n],
+            src2_tag: vec![0; n],
+            src2_ready: vec![false; n],
+            dest_tag: vec![0; n],
+            valid: vec![false; n],
+            payload: vec![None; n],
+            count: 0,
+        }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.n
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether the queue is full.
+    pub fn is_full(&self) -> bool {
+        self.count >= self.n
+    }
+
+    /// Whether a physically insertable slot exists. This can differ from
+    /// `!is_full()` when an injected valid-bit flip creates a zombie entry
+    /// (payload present but valid cleared): such slots are unusable until
+    /// the program times out, and dispatch must stall rather than panic.
+    pub fn has_free_slot(&self) -> bool {
+        (0..self.n).any(|s| !self.valid[s] && self.payload[s].is_none())
+    }
+
+    /// Inserts an entry; returns its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if full — dispatch must check first.
+    pub fn insert(
+        &mut self,
+        payload: IqPayload,
+        src1_ready: bool,
+        src2_ready: bool,
+    ) -> usize {
+        let slot = (0..self.n)
+            .find(|&s| !self.valid[s] && self.payload[s].is_none())
+            .expect("IQ overflow");
+        self.src1_tag[slot] = payload.golden_src1;
+        self.src2_tag[slot] = payload.golden_src2;
+        self.src1_ready[slot] = src1_ready || !payload.has_src1;
+        self.src2_ready[slot] = src2_ready || !payload.has_src2;
+        self.dest_tag[slot] = payload.golden_dest;
+        self.valid[slot] = true;
+        self.payload[slot] = Some(payload);
+        self.count += 1;
+        slot
+    }
+
+    /// Removes an entry (after issue or squash).
+    pub fn remove(&mut self, slot: usize) {
+        if self.valid[slot] || self.payload[slot].is_some() {
+            self.valid[slot] = false;
+            self.payload[slot] = None;
+            self.count = self.count.saturating_sub(1);
+        }
+    }
+
+    /// Wakeup broadcast: marks matching source tags ready.
+    pub fn broadcast(&mut self, tag: PhysReg) {
+        for slot in 0..self.n {
+            if self.valid[slot] {
+                if self.src1_tag[slot] == tag {
+                    self.src1_ready[slot] = true;
+                }
+                if self.src2_tag[slot] == tag {
+                    self.src2_ready[slot] = true;
+                }
+            }
+        }
+    }
+
+    /// Entries that are valid and fully ready, oldest (smallest seq) first.
+    ///
+    /// An entry whose injectable valid bit is set but whose payload is gone
+    /// is reported so the pipeline can raise an Assert.
+    pub fn ready_entries(&self) -> Result<Vec<usize>, &'static str> {
+        let mut ready: Vec<(u64, usize)> = Vec::new();
+        for slot in 0..self.n {
+            if !self.valid[slot] {
+                continue;
+            }
+            let Some(p) = &self.payload[slot] else {
+                return Err("IQ entry valid without a dispatched instruction");
+            };
+            if self.src1_ready[slot] && self.src2_ready[slot] {
+                ready.push((p.seq, slot));
+            }
+        }
+        ready.sort_unstable();
+        Ok(ready.into_iter().map(|(_, s)| s).collect())
+    }
+
+    /// Reads the injectable fields of an entry:
+    /// `(src1, src2, dest)` tags as currently stored.
+    pub fn stored_tags(&self, slot: usize) -> (PhysReg, PhysReg, PhysReg) {
+        (self.src1_tag[slot], self.src2_tag[slot], self.dest_tag[slot])
+    }
+
+    /// Payload of an entry.
+    pub fn payload(&self, slot: usize) -> Option<&IqPayload> {
+        self.payload[slot].as_ref()
+    }
+
+    /// Removes all entries with `seq > boundary` (mispredict squash).
+    pub fn squash_younger(&mut self, boundary: u64) {
+        for slot in 0..self.n {
+            if let Some(p) = &self.payload[slot] {
+                if p.seq > boundary {
+                    self.valid[slot] = false;
+                    self.payload[slot] = None;
+                    self.count = self.count.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// Injectable bits of the source field.
+    pub fn src_bits(&self) -> u64 {
+        self.n as u64 * SRC_BITS_PER_ENTRY
+    }
+
+    /// Injectable bits of the destination field.
+    pub fn dest_bits(&self) -> u64 {
+        self.n as u64 * DEST_BITS_PER_ENTRY
+    }
+
+    /// Flips a bit of the source field.
+    pub fn flip_src_bit(&mut self, bit: u64) {
+        assert!(bit < self.src_bits(), "IQ src bit out of range");
+        let slot = (bit / SRC_BITS_PER_ENTRY) as usize;
+        let off = bit % SRC_BITS_PER_ENTRY;
+        match off {
+            0..=7 => self.src1_tag[slot] ^= 1 << off,
+            8 => self.src1_ready[slot] = !self.src1_ready[slot],
+            9..=16 => self.src2_tag[slot] ^= 1 << (off - 9),
+            _ => self.src2_ready[slot] = !self.src2_ready[slot],
+        }
+    }
+
+    /// Flips a bit of the destination field.
+    pub fn flip_dest_bit(&mut self, bit: u64) {
+        assert!(bit < self.dest_bits(), "IQ dest bit out of range");
+        let slot = (bit / DEST_BITS_PER_ENTRY) as usize;
+        let off = bit % DEST_BITS_PER_ENTRY;
+        if off < 8 {
+            self.dest_tag[slot] ^= 1 << off;
+        } else {
+            let was_valid = self.valid[slot];
+            self.valid[slot] = !was_valid;
+            // `count` tracks *unusable* slots (valid bit set or payload
+            // still present). A zombie (payload kept, valid cleared) stays
+            // unusable; a ghost (valid set on an empty slot) becomes so.
+            if self.payload[slot].is_none() {
+                if was_valid {
+                    self.count = self.count.saturating_sub(1);
+                } else {
+                    self.count += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(seq: u64, s1: PhysReg, s2: PhysReg, d: PhysReg) -> IqPayload {
+        IqPayload {
+            rob_idx: seq as usize,
+            seq,
+            has_src1: true,
+            has_src2: true,
+            golden_src1: s1,
+            golden_src2: s2,
+            golden_dest: d,
+        }
+    }
+
+    #[test]
+    fn wakeup_then_ready_oldest_first() {
+        let mut iq = IssueQueue::new(4);
+        iq.insert(payload(2, 10, 11, 20), false, false);
+        iq.insert(payload(1, 10, 0, 21), false, true);
+        assert!(iq.ready_entries().unwrap().is_empty());
+        iq.broadcast(10);
+        let ready = iq.ready_entries().unwrap();
+        assert_eq!(ready.len(), 1, "entry 2 still waits on tag 11");
+        assert_eq!(iq.payload(ready[0]).unwrap().seq, 1);
+        iq.broadcast(11);
+        let ready = iq.ready_entries().unwrap();
+        assert_eq!(
+            (iq.payload(ready[0]).unwrap().seq, iq.payload(ready[1]).unwrap().seq),
+            (1, 2),
+            "oldest first"
+        );
+    }
+
+    #[test]
+    fn flipped_src_tag_misses_broadcast() {
+        let mut iq = IssueQueue::new(2);
+        let slot = iq.insert(payload(1, 10, 0, 20), false, true);
+        iq.flip_src_bit(slot as u64 * SRC_BITS_PER_ENTRY); // tag 10 → 11
+        iq.broadcast(10);
+        assert!(iq.ready_entries().unwrap().is_empty(), "wakeup missed");
+        iq.broadcast(11);
+        assert_eq!(iq.ready_entries().unwrap().len(), 1, "wrong producer wakes it");
+        let (s1, _, _) = iq.stored_tags(slot);
+        assert_eq!(s1, 11, "cross-check against payload 10 must fail");
+    }
+
+    #[test]
+    fn ready_bit_flip_makes_entry_issueable() {
+        let mut iq = IssueQueue::new(2);
+        let slot = iq.insert(payload(1, 10, 0, 20), false, true);
+        iq.flip_src_bit(slot as u64 * SRC_BITS_PER_ENTRY + 8);
+        assert_eq!(iq.ready_entries().unwrap(), vec![slot]);
+    }
+
+    #[test]
+    fn ghost_valid_bit_detected() {
+        let mut iq = IssueQueue::new(2);
+        iq.flip_dest_bit(DEST_BITS_PER_ENTRY - 1); // valid bit of slot 0
+        assert!(iq.ready_entries().is_err());
+    }
+
+    #[test]
+    fn squash_removes_younger_only() {
+        let mut iq = IssueQueue::new(4);
+        iq.insert(payload(1, 0, 0, 1), true, true);
+        iq.insert(payload(5, 0, 0, 2), true, true);
+        iq.insert(payload(9, 0, 0, 3), true, true);
+        iq.squash_younger(5);
+        assert_eq!(iq.len(), 2);
+        let seqs: Vec<u64> = iq
+            .ready_entries()
+            .unwrap()
+            .into_iter()
+            .map(|s| iq.payload(s).unwrap().seq)
+            .collect();
+        assert_eq!(seqs, vec![1, 5]);
+    }
+
+    #[test]
+    fn capacity_tracking() {
+        let mut iq = IssueQueue::new(2);
+        let a = iq.insert(payload(1, 0, 0, 1), true, true);
+        iq.insert(payload(2, 0, 0, 2), true, true);
+        assert!(iq.is_full());
+        iq.remove(a);
+        assert!(!iq.is_full());
+        assert_eq!(iq.len(), 1);
+    }
+}

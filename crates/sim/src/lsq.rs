@@ -1,0 +1,358 @@
+//! Load queue and store queue.
+//!
+//! Each entry's injectable word packs the fields the paper describes for
+//! these structures — register operand tag, ROB linkage, sequence bits, and
+//! status flags (32 bits per entry on the A15-like machine, 64 on the
+//! A72-like one). Every use of an entry cross-checks the injectable word
+//! against the pipeline payload, so a corrupted live entry manifests as an
+//! **Assert** — the only fault class the paper observes for the LQ/SQ.
+
+use crate::regs::PhysReg;
+use softerr_isa::Profile;
+
+/// Field layout of one injectable LSQ entry word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsqLayout {
+    /// Register-operand tag bits.
+    pub tag_bits: u32,
+    /// ROB index bits.
+    pub rob_bits: u32,
+    /// Sequence-number bits.
+    pub seq_bits: u32,
+    /// Status flag bits.
+    pub flag_bits: u32,
+}
+
+impl LsqLayout {
+    /// The layout for a profile (32-bit entries on A32, 64-bit on A64,
+    /// following the paper's Table I).
+    pub fn for_profile(profile: Profile) -> LsqLayout {
+        match profile {
+            Profile::A32 => LsqLayout { tag_bits: 8, rob_bits: 8, seq_bits: 12, flag_bits: 4 },
+            Profile::A64 => LsqLayout { tag_bits: 12, rob_bits: 12, seq_bits: 32, flag_bits: 8 },
+        }
+    }
+
+    /// Total bits per entry.
+    pub fn entry_bits(&self) -> u32 {
+        self.tag_bits + self.rob_bits + self.seq_bits + self.flag_bits
+    }
+
+    /// Packs payload fields into the injectable word. Flag bit 0 is the
+    /// valid bit; the remaining flag bits are architecturally zero.
+    pub fn pack(&self, tag: PhysReg, rob_idx: usize, seq: u64, valid: bool) -> u64 {
+        let mask = |v: u64, bits: u32| v & ((1u64 << bits) - 1);
+        let mut w = mask(tag as u64, self.tag_bits);
+        w |= mask(rob_idx as u64, self.rob_bits) << self.tag_bits;
+        w |= mask(seq, self.seq_bits) << (self.tag_bits + self.rob_bits);
+        w |= (valid as u64) << (self.tag_bits + self.rob_bits + self.seq_bits);
+        w
+    }
+}
+
+/// Non-injectable payload of an LSQ entry.
+#[derive(Debug, Clone, Copy)]
+pub struct LsqPayload {
+    /// Sequence number.
+    pub seq: u64,
+    /// ROB slot.
+    pub rob_idx: usize,
+    /// Destination tag (loads) or data-source tag (stores).
+    pub tag: PhysReg,
+    /// Effective address (valid once `addr_known`).
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u64,
+    /// Store data (stores only).
+    pub data: u64,
+    /// Whether the AGU has produced the address.
+    pub addr_known: bool,
+}
+
+/// Result of checking a load against older stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreCheck {
+    /// No conflicting older store: the load may access memory.
+    Clear,
+    /// An exactly-matching older store provides the data.
+    Forward(u64),
+    /// An older store blocks the load (unknown address or partial overlap).
+    Blocked,
+}
+
+/// A load or store queue (circular, allocated in program order).
+#[derive(Debug, Clone)]
+pub struct LsQueue {
+    layout: LsqLayout,
+    n: usize,
+    head: usize,
+    tail: usize,
+    count: usize,
+    /// Injectable entry words.
+    words: Vec<u64>,
+    payload: Vec<Option<LsqPayload>>,
+}
+
+impl LsQueue {
+    /// Creates an empty queue of `n` entries.
+    pub fn new(n: usize, layout: LsqLayout) -> LsQueue {
+        LsQueue {
+            layout,
+            n,
+            head: 0,
+            tail: 0,
+            count: 0,
+            words: vec![0; n],
+            payload: vec![None; n],
+        }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.n
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether the queue is full.
+    pub fn is_full(&self) -> bool {
+        self.count == self.n
+    }
+
+    /// Head slot (oldest entry).
+    pub fn head(&self) -> usize {
+        self.head
+    }
+
+    /// Allocates the tail slot for a new entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if full — dispatch must check first.
+    pub fn push(&mut self, payload: LsqPayload) -> usize {
+        assert!(!self.is_full(), "LSQ overflow");
+        let idx = self.tail;
+        self.words[idx] = self
+            .layout
+            .pack(payload.tag, payload.rob_idx, payload.seq, true);
+        self.payload[idx] = Some(payload);
+        self.tail = (self.tail + 1) % self.n;
+        self.count += 1;
+        idx
+    }
+
+    /// Releases the head entry.
+    pub fn pop_head(&mut self) {
+        assert!(!self.is_empty(), "LSQ underflow");
+        self.words[self.head] = 0;
+        self.payload[self.head] = None;
+        self.head = (self.head + 1) % self.n;
+        self.count -= 1;
+    }
+
+    /// Squashes entries younger than `boundary` (tail rollback).
+    pub fn squash_younger(&mut self, boundary: u64) {
+        while self.count > 0 {
+            let last = (self.tail + self.n - 1) % self.n;
+            let Some(p) = &self.payload[last] else { break };
+            if p.seq <= boundary {
+                break;
+            }
+            self.words[last] = 0;
+            self.payload[last] = None;
+            self.tail = last;
+            self.count -= 1;
+        }
+    }
+
+    /// Payload access.
+    pub fn payload(&self, idx: usize) -> Option<&LsqPayload> {
+        self.payload[idx].as_ref()
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self, idx: usize) -> Option<&mut LsqPayload> {
+        self.payload[idx].as_mut()
+    }
+
+    /// Cross-checks the injectable word of `idx` against its payload.
+    ///
+    /// # Errors
+    ///
+    /// An error message (turned into an Assert outcome) when the stored
+    /// word does not match — i.e. an injected fault corrupted a live entry.
+    pub fn check(&self, idx: usize, what: &'static str) -> Result<(), &'static str> {
+        let Some(p) = &self.payload[idx] else {
+            return Err("LSQ entry has no payload");
+        };
+        let expected = self.layout.pack(p.tag, p.rob_idx, p.seq, true);
+        if self.words[idx] != expected {
+            return Err(what);
+        }
+        Ok(())
+    }
+
+    /// Iterates occupied slots oldest-first.
+    pub fn occupied(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.count).map(move |k| (self.head + k) % self.n)
+    }
+
+    /// Checks a load at `seq`/`addr`/`size` against older stores in this
+    /// (store) queue.
+    pub fn check_older_stores(&self, seq: u64, addr: u64, size: u64) -> StoreCheck {
+        let mut result = StoreCheck::Clear;
+        for idx in self.occupied() {
+            let p = self.payload[idx].expect("occupied slot has payload");
+            if p.seq >= seq {
+                continue;
+            }
+            if !p.addr_known {
+                return StoreCheck::Blocked;
+            }
+            let overlap = p.addr < addr + size && addr < p.addr + p.size;
+            if !overlap {
+                continue;
+            }
+            if p.addr == addr && p.size == size {
+                result = StoreCheck::Forward(p.data); // youngest matching wins
+            } else {
+                return StoreCheck::Blocked;
+            }
+        }
+        result
+    }
+
+    /// Total injectable bits.
+    pub fn bit_count(&self) -> u64 {
+        self.n as u64 * self.layout.entry_bits() as u64
+    }
+
+    /// Flips one injectable bit.
+    pub fn flip_bit(&mut self, bit: u64) {
+        assert!(bit < self.bit_count(), "LSQ bit out of range");
+        let per = self.layout.entry_bits() as u64;
+        self.words[(bit / per) as usize] ^= 1 << (bit % per);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64, addr: u64, size: u64, data: u64, known: bool) -> LsqPayload {
+        LsqPayload {
+            seq,
+            rob_idx: seq as usize % 8,
+            tag: (seq % 64) as PhysReg,
+            addr,
+            size,
+            data,
+            addr_known: known,
+        }
+    }
+
+    fn queue() -> LsQueue {
+        LsQueue::new(4, LsqLayout::for_profile(Profile::A32))
+    }
+
+    #[test]
+    fn layouts_match_table_1_widths() {
+        assert_eq!(LsqLayout::for_profile(Profile::A32).entry_bits(), 32);
+        assert_eq!(LsqLayout::for_profile(Profile::A64).entry_bits(), 64);
+    }
+
+    #[test]
+    fn push_check_pop() {
+        let mut q = queue();
+        let i = q.push(entry(5, 0x2000, 4, 7, true));
+        assert!(q.check(i, "sq").is_ok());
+        q.pop_head();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn any_flip_on_live_entry_fails_check() {
+        for bit in 0..32u64 {
+            let mut q = queue();
+            let i = q.push(entry(5, 0x2000, 4, 7, true));
+            q.flip_bit(i as u64 * 32 + bit);
+            assert!(q.check(i, "flip").is_err(), "bit {bit} undetected");
+        }
+    }
+
+    #[test]
+    fn flips_on_free_entries_are_masked() {
+        let mut q = queue();
+        q.push(entry(1, 0x2000, 4, 0, true));
+        // Flip in slot 3 (never allocated).
+        q.flip_bit(3 * 32 + 5);
+        assert!(q.check(0, "live").is_ok());
+    }
+
+    #[test]
+    fn store_forwarding_cases() {
+        let mut q = queue();
+        q.push(entry(1, 0x2000, 4, 0xAA, true));
+        q.push(entry(3, 0x3000, 4, 0xBB, true));
+        // Exact match forwards from the matching store.
+        assert_eq!(q.check_older_stores(5, 0x2000, 4), StoreCheck::Forward(0xAA));
+        // Disjoint addresses are clear.
+        assert_eq!(q.check_older_stores(5, 0x4000, 4), StoreCheck::Clear);
+        // Partial overlap blocks.
+        assert_eq!(q.check_older_stores(5, 0x2002, 4), StoreCheck::Blocked);
+        // Younger stores are ignored.
+        assert_eq!(q.check_older_stores(2, 0x3000, 4), StoreCheck::Clear);
+    }
+
+    #[test]
+    fn unknown_address_blocks() {
+        let mut q = queue();
+        q.push(entry(1, 0, 0, 0, false));
+        assert_eq!(q.check_older_stores(5, 0x2000, 4), StoreCheck::Blocked);
+    }
+
+    #[test]
+    fn youngest_matching_store_forwards() {
+        let mut q = queue();
+        q.push(entry(1, 0x2000, 4, 0xAA, true));
+        q.push(entry(2, 0x2000, 4, 0xBB, true));
+        assert_eq!(q.check_older_stores(5, 0x2000, 4), StoreCheck::Forward(0xBB));
+    }
+
+    #[test]
+    fn squash_rolls_back_tail() {
+        let mut q = queue();
+        q.push(entry(1, 0x2000, 4, 0, true));
+        q.push(entry(5, 0x2004, 4, 0, true));
+        q.push(entry(9, 0x2008, 4, 0, true));
+        q.squash_younger(5);
+        assert_eq!(q.len(), 2);
+        let seqs: Vec<u64> = q.occupied().map(|i| q.payload(i).unwrap().seq).collect();
+        assert_eq!(seqs, vec![1, 5]);
+        // The freed slot is reusable.
+        q.push(entry(6, 0x2010, 4, 0, true));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn wraparound_allocation() {
+        let mut q = queue();
+        for k in 0..4 {
+            q.push(entry(k, 0x2000 + k * 8, 4, 0, true));
+        }
+        assert!(q.is_full());
+        q.pop_head();
+        q.pop_head();
+        q.push(entry(10, 0x3000, 4, 0, true));
+        let seqs: Vec<u64> = q.occupied().map(|i| q.payload(i).unwrap().seq).collect();
+        assert_eq!(seqs, vec![2, 3, 10]);
+    }
+}

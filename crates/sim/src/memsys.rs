@@ -1,0 +1,338 @@
+//! The memory hierarchy: L1I + L1D over a unified write-back L2 over flat
+//! guest memory. All data motion goes through the real cache arrays so
+//! injected faults propagate (or get masked) with hardware semantics.
+
+use crate::cache::Cache;
+use crate::config::MachineConfig;
+use softerr_isa::{MemFault, MemFaultKind, Memory, NULL_PAGE};
+
+/// Which L1 a request goes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Instruction side.
+    Instr,
+    /// Data side.
+    Data,
+}
+
+/// Failure of a memory-system operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemErr {
+    /// Architectural fault (misalignment, null page, out of range): real
+    /// hardware would deliver this to the faulting instruction, so it turns
+    /// into a **Crash** when the instruction commits.
+    Arch(MemFault),
+    /// A cache operation touched an address outside the system map (e.g. a
+    /// dirty writeback through a corrupted tag): the simulator cannot tell
+    /// how real hardware would behave — an **Assert**, per the paper.
+    Assert(&'static str),
+}
+
+impl From<MemFault> for MemErr {
+    fn from(f: MemFault) -> MemErr {
+        MemErr::Arch(f)
+    }
+}
+
+/// The full memory system.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    /// L1 instruction cache.
+    pub l1i: Cache,
+    /// L1 data cache.
+    pub l1d: Cache,
+    /// Unified L2.
+    pub l2: Cache,
+    /// Backing guest memory.
+    pub mem: Memory,
+    l1_lat: u64,
+    l2_lat: u64,
+    mem_lat: u64,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy for a machine configuration over loaded memory.
+    pub fn new(cfg: &MachineConfig, mem: Memory) -> MemorySystem {
+        MemorySystem {
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            mem,
+            l1_lat: cfg.l1_latency,
+            l2_lat: cfg.l2_latency,
+            mem_lat: cfg.mem_latency,
+        }
+    }
+
+    /// Architectural validity check for a demand access (the same rules the
+    /// reference [`softerr_isa::Memory`] enforces). Used by the pipeline's
+    /// AGU so that faulting addresses are flagged *before* touching caches.
+    pub fn arch_check(&self, addr: u64, size: u64) -> Result<(), MemFault> {
+        self.check(addr, size)
+    }
+
+    fn check(&self, addr: u64, size: u64) -> Result<(), MemFault> {
+        if addr < NULL_PAGE {
+            return Err(MemFault { addr, size, kind: MemFaultKind::NullPage });
+        }
+        if addr % size != 0 {
+            return Err(MemFault { addr, size, kind: MemFaultKind::Misaligned });
+        }
+        if addr
+            .checked_add(size)
+            .is_none_or(|end| end > self.mem.size())
+        {
+            return Err(MemFault { addr, size, kind: MemFaultKind::OutOfRange });
+        }
+        Ok(())
+    }
+
+    /// Evicts `line` from L2 (writing back to memory when dirty).
+    fn evict_l2(&mut self, line: usize) -> Result<(), MemErr> {
+        if self.l2.is_valid(line) && self.l2.is_dirty(line) {
+            let addr = self.l2.reconstruct_addr(line);
+            let lb = self.l2.geometry().line_bytes;
+            if !self.mem.contains_range(addr, lb) {
+                return Err(MemErr::Assert("L2 writeback outside system map"));
+            }
+            let data = self.l2.line_data(line).to_vec();
+            self.mem.write_bytes(addr, &data);
+        }
+        self.l2.invalidate(line);
+        Ok(())
+    }
+
+    /// Ensures `addr`'s line is present in L2; returns (line, extra latency).
+    fn l2_line(&mut self, addr: u64) -> Result<(usize, u64), MemErr> {
+        if let Some(line) = self.l2.lookup(addr) {
+            return Ok((line, self.l2_lat));
+        }
+        let lb = self.l2.geometry().line_bytes;
+        let base = addr & !(lb - 1);
+        if !self.mem.contains_range(base, lb) {
+            return Err(MemErr::Assert("L2 fill outside system map"));
+        }
+        let victim = self.l2.victim(addr);
+        self.evict_l2(victim)?;
+        let contents = self.mem.read_bytes(base, lb as usize).to_vec();
+        self.l2.fill(victim, base, &contents);
+        Ok((victim, self.l2_lat + self.mem_lat))
+    }
+
+    /// Evicts an L1 line: dirty data goes to L2 if present there, else
+    /// straight to memory.
+    fn evict_l1(&mut self, side: Side, line: usize) -> Result<(), MemErr> {
+        let l1 = match side {
+            Side::Instr => &mut self.l1i,
+            Side::Data => &mut self.l1d,
+        };
+        if l1.is_valid(line) && l1.is_dirty(line) {
+            let addr = l1.reconstruct_addr(line);
+            let data = l1.line_data(line).to_vec();
+            let lb = l1.geometry().line_bytes;
+            if let Some(l2_line) = self.l2.lookup(addr) {
+                self.l2.line_data_mut(l2_line).copy_from_slice(&data);
+                self.l2.set_dirty(l2_line, true);
+            } else {
+                if !self.mem.contains_range(addr, lb) {
+                    return Err(MemErr::Assert("L1 writeback outside system map"));
+                }
+                self.mem.write_bytes(addr, &data);
+            }
+        }
+        match side {
+            Side::Instr => self.l1i.invalidate(line),
+            Side::Data => self.l1d.invalidate(line),
+        }
+        Ok(())
+    }
+
+    /// Brings `addr`'s line into the chosen L1, returning (line, latency).
+    fn access_line(&mut self, side: Side, addr: u64) -> Result<(usize, u64), MemErr> {
+        let l1 = match side {
+            Side::Instr => &mut self.l1i,
+            Side::Data => &mut self.l1d,
+        };
+        if let Some(line) = l1.lookup(addr) {
+            return Ok((line, self.l1_lat));
+        }
+        let (l2_line, fill_lat) = self.l2_line(addr)?;
+        let contents = self.l2.line_data(l2_line).to_vec();
+        let l1 = match side {
+            Side::Instr => &self.l1i,
+            Side::Data => &self.l1d,
+        };
+        let victim = l1.victim(addr);
+        let lb = l1.geometry().line_bytes;
+        self.evict_l1(side, victim)?;
+        let base = addr & !(lb - 1);
+        match side {
+            Side::Instr => self.l1i.fill(victim, base, &contents),
+            Side::Data => self.l1d.fill(victim, base, &contents),
+        }
+        Ok((victim, self.l1_lat + fill_lat))
+    }
+
+    /// Reads `size` bytes through the data side. Returns (value, latency).
+    ///
+    /// # Errors
+    ///
+    /// [`MemErr::Arch`] for architectural faults on the demand address,
+    /// [`MemErr::Assert`] when a corrupted line forces an out-of-map cache
+    /// operation.
+    pub fn read(&mut self, addr: u64, size: u64) -> Result<(u64, u64), MemErr> {
+        self.check(addr, size)?;
+        let (line, lat) = self.access_line(Side::Data, addr)?;
+        let lb = self.l1d.geometry().line_bytes;
+        let off = (addr & (lb - 1)) as usize;
+        let bytes = self.l1d.line_data(line);
+        let mut value = 0u64;
+        for i in (0..size as usize).rev() {
+            value = (value << 8) | u64::from(bytes[off + i]);
+        }
+        Ok((value, lat))
+    }
+
+    /// Writes `size` bytes through the data side (write-back,
+    /// write-allocate). Returns the latency.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MemorySystem::read`].
+    pub fn write(&mut self, addr: u64, size: u64, value: u64) -> Result<u64, MemErr> {
+        self.check(addr, size)?;
+        let (line, lat) = self.access_line(Side::Data, addr)?;
+        let lb = self.l1d.geometry().line_bytes;
+        let off = (addr & (lb - 1)) as usize;
+        let bytes = self.l1d.line_data_mut(line);
+        for i in 0..size as usize {
+            bytes[off + i] = (value >> (8 * i)) as u8;
+        }
+        self.l1d.set_dirty(line, true);
+        Ok(lat)
+    }
+
+    /// Fetches an instruction word through the instruction side.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MemorySystem::read`].
+    pub fn fetch(&mut self, addr: u64) -> Result<(u32, u64), MemErr> {
+        self.check(addr, 4)?;
+        let (line, lat) = self.access_line(Side::Instr, addr)?;
+        let lb = self.l1i.geometry().line_bytes;
+        let off = (addr & (lb - 1)) as usize;
+        let bytes = self.l1i.line_data(line);
+        let word = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4-byte slice"));
+        Ok((word, lat))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softerr_isa::DEFAULT_MEM_SIZE;
+
+    fn sys() -> MemorySystem {
+        let cfg = MachineConfig::cortex_a15();
+        let mut mem = Memory::new(DEFAULT_MEM_SIZE);
+        mem.write(0x2000, 8, 0x1122_3344_5566_7788).unwrap();
+        MemorySystem::new(&cfg, mem)
+    }
+
+    #[test]
+    fn read_miss_then_hit_latencies() {
+        let mut s = sys();
+        let (v1, lat1) = s.read(0x2000, 4).unwrap();
+        assert_eq!(v1, 0x5566_7788);
+        assert_eq!(lat1, 2 + 12 + 80, "cold miss goes to memory");
+        let (v2, lat2) = s.read(0x2004, 4).unwrap();
+        assert_eq!(v2, 0x1122_3344);
+        assert_eq!(lat2, 2, "same line hits in L1");
+    }
+
+    #[test]
+    fn write_read_roundtrip_through_caches() {
+        let mut s = sys();
+        s.write(0x3000, 4, 0xDEAD_BEEF).unwrap();
+        let (v, _) = s.read(0x3000, 4).unwrap();
+        assert_eq!(v, 0xDEAD_BEEF);
+        // Memory behind the cache is still stale (write-back).
+        assert_eq!(s.mem.read(0x3000, 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn dirty_eviction_reaches_memory() {
+        let mut s = sys();
+        s.write(0x2000, 4, 77).unwrap();
+        // Evict by filling the set: L1D has 256 sets × 2 ways; addresses
+        // 0x2000 + k*0x4000 share set 128... set bits are addr[13:6].
+        // 0x2000>>6 = 0x80 (set 128). Conflicting addrs: 0x2000 + n*0x4000.
+        s.read(0x6000, 4).unwrap();
+        s.read(0xA000, 4).unwrap(); // evicts 0x2000's line into L2
+        // L2 still holds it (fill-on-miss put it there); force L2 eviction
+        // is unnecessary — read back through the hierarchy instead.
+        let (v, _) = s.read(0x2000, 4).unwrap();
+        assert_eq!(v, 77, "dirty data must survive eviction");
+    }
+
+    #[test]
+    fn corrupted_data_bit_is_read_back() {
+        let mut s = sys();
+        let (v, _) = s.read(0x2000, 4).unwrap();
+        assert_eq!(v, 0x5566_7788);
+        let line = s.l1d.lookup(0x2000).unwrap();
+        s.l1d.flip_data_bit((line as u64 * 64) * 8); // bit 0 of the line
+        let (v2, _) = s.read(0x2000, 4).unwrap();
+        assert_eq!(v2, 0x5566_7789);
+    }
+
+    #[test]
+    fn corrupted_tag_writeback_out_of_map_asserts() {
+        let mut s = sys();
+        s.write(0x2000, 4, 1).unwrap();
+        let line = s.l1d.lookup(0x2000).unwrap();
+        // Flip a high tag bit → reconstructed address far outside the 4 MiB map.
+        let per_line = s.l1d.tag_width() as u64 + 2;
+        s.l1d.flip_tag_bit(line as u64 * per_line + (s.l1d.tag_width() as u64 - 1));
+        // Force eviction of that (dirty) line.
+        s.read(0x6000, 4).unwrap();
+        let err = s.read(0xA000, 4).unwrap_err();
+        assert_eq!(err, MemErr::Assert("L1 writeback outside system map"));
+    }
+
+    #[test]
+    fn clean_line_corruption_dies_on_eviction() {
+        let mut s = sys();
+        s.read(0x2000, 4).unwrap();
+        let line = s.l1d.lookup(0x2000).unwrap();
+        s.l1d.flip_data_bit(line as u64 * 64 * 8);
+        // Evict (clean) then re-read: correct data comes back from L2.
+        s.read(0x6000, 4).unwrap();
+        s.read(0xA000, 4).unwrap();
+        let (v, _) = s.read(0x2000, 4).unwrap();
+        assert_eq!(v, 0x5566_7788, "clean eviction masks the fault");
+    }
+
+    #[test]
+    fn architectural_faults_reported() {
+        let mut s = sys();
+        assert!(matches!(s.read(0x2001, 4), Err(MemErr::Arch(f)) if f.kind == MemFaultKind::Misaligned));
+        assert!(matches!(s.read(0x10, 8), Err(MemErr::Arch(f)) if f.kind == MemFaultKind::NullPage));
+        assert!(matches!(
+            s.write(DEFAULT_MEM_SIZE, 4, 0),
+            Err(MemErr::Arch(f)) if f.kind == MemFaultKind::OutOfRange
+        ));
+        assert!(matches!(s.fetch(0x2002), Err(MemErr::Arch(_))));
+    }
+
+    #[test]
+    fn instruction_and_data_sides_are_separate() {
+        let mut s = sys();
+        let (_, lat1) = s.fetch(0x2000).unwrap();
+        assert!(lat1 > 2);
+        // D-side access to the same line still misses L1D (hits L2).
+        let (_, lat2) = s.read(0x2000, 4).unwrap();
+        assert_eq!(lat2, 2 + 12);
+    }
+}

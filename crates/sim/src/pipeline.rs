@@ -1,0 +1,993 @@
+//! The out-of-order pipeline: fetch → rename/dispatch → issue → execute →
+//! writeback → commit, with checkpointed branch-mispredict recovery.
+//!
+//! Architectural semantics are shared with the reference emulator through
+//! [`softerr_isa::eval_alu`]/[`eval_branch`], and the differential test
+//! suite requires fault-free runs to produce byte-identical output.
+//!
+//! [`eval_branch`]: softerr_isa::eval_branch
+
+use crate::bpred::BranchPredictor;
+use crate::config::MachineConfig;
+use crate::iq::{IqPayload, IssueQueue};
+use crate::lsq::{LsQueue, LsqLayout, LsqPayload, StoreCheck};
+use crate::memsys::{MemErr, MemorySystem};
+use crate::regs::{PhysReg, RegisterFile};
+use crate::rob::{flag, Rob};
+use crate::uop::{DestInfo, Uop, UopKind, UopState};
+use softerr_isa::{
+    decode, eval_alu, eval_branch, AluOp, Instr, MemWidth, Profile, Program, Reg, Trap,
+};
+use std::collections::VecDeque;
+
+/// Terminal state of a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimOutcome {
+    /// The program executed `halt`.
+    Halted {
+        /// Total cycles.
+        cycles: u64,
+        /// Retired instructions.
+        retired: u64,
+        /// Program output stream.
+        output: Vec<u64>,
+    },
+    /// A committed instruction raised an architectural fault (process/kernel
+    /// crash in the paper's classification).
+    Crash {
+        /// Total cycles.
+        cycles: u64,
+        /// The fault.
+        trap: Trap,
+    },
+    /// The simulator hit a state it cannot meaningfully continue from
+    /// (corrupted linkage, out-of-map cache operation, …) — the paper's
+    /// Assert class.
+    Assert {
+        /// Total cycles.
+        cycles: u64,
+        /// What was violated.
+        reason: &'static str,
+    },
+    /// The cycle limit expired (the injector classifies this as Timeout).
+    CycleLimit {
+        /// Total cycles.
+        cycles: u64,
+    },
+}
+
+/// Aggregate execution statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub retired: u64,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// L1I (hits, misses).
+    pub l1i: (u64, u64),
+    /// L1D (hits, misses).
+    pub l1d: (u64, u64),
+    /// L2 (hits, misses).
+    pub l2: (u64, u64),
+    /// Sum over cycles of allocated physical registers (utilization).
+    pub rf_occupancy_sum: u64,
+    /// Register-file read-port operations (source reads at issue).
+    pub rf_reads: u64,
+    /// Register-file write-port operations (results at writeback).
+    pub rf_writes: u64,
+    /// Sum over cycles of occupied ROB entries.
+    pub rob_occupancy_sum: u64,
+    /// Sum over cycles of occupied IQ entries.
+    pub iq_occupancy_sum: u64,
+    /// Sum over cycles of occupied LQ entries.
+    pub lq_occupancy_sum: u64,
+    /// Sum over cycles of occupied SQ entries.
+    pub sq_occupancy_sum: u64,
+}
+
+/// The cycle-level out-of-order simulator.
+#[derive(Debug, Clone)]
+pub struct Sim {
+    cfg: MachineConfig,
+    profile: Profile,
+    /// Memory hierarchy (public for injection and inspection).
+    pub mem: MemorySystem,
+    /// Physical register file and rename state.
+    pub rf: RegisterFile,
+    /// Reorder buffer.
+    pub rob: Rob,
+    /// Issue queue.
+    pub iq: IssueQueue,
+    /// Load queue.
+    pub lq: LsQueue,
+    /// Store queue.
+    pub sq: LsQueue,
+    bp: BranchPredictor,
+    uops: Vec<Option<Uop>>,
+    // Front end.
+    fetch_pc: u64,
+    fetch_stall: u64,
+    fetch_wait: bool,
+    decode_q: VecDeque<Uop>,
+    next_seq: u64,
+    // Back end.
+    in_flight: Vec<usize>,
+    wb_ready: VecDeque<usize>,
+    divider_busy: u64,
+    // Architectural results.
+    output: Vec<u64>,
+    cycle: u64,
+    retired: u64,
+    mispredicts: u64,
+    rf_reads: u64,
+    rf_writes: u64,
+    stats_occupancy: [u64; 5],
+}
+
+impl Sim {
+    /// Creates a simulator with `program` loaded and the entry state
+    /// established (SP at the stack top, PC at the entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's profile does not match the machine's.
+    pub fn new(cfg: &MachineConfig, program: &Program) -> Sim {
+        assert_eq!(
+            cfg.profile, program.profile,
+            "program compiled for a different profile than the machine"
+        );
+        let mem = MemorySystem::new(cfg, program.build_memory());
+        let mut rf = RegisterFile::new(cfg.profile, cfg.phys_regs);
+        let sp_phys = rf.spec_map[Reg::SP.index()];
+        rf.write(sp_phys, program.stack_top());
+        let layout = LsqLayout::for_profile(cfg.profile);
+        Sim {
+            profile: cfg.profile,
+            mem,
+            rf,
+            rob: Rob::new(cfg.rob_entries, cfg.profile.xlen()),
+            iq: IssueQueue::new(cfg.iq_entries),
+            lq: LsQueue::new(cfg.lq_entries, layout),
+            sq: LsQueue::new(cfg.sq_entries, layout),
+            bp: BranchPredictor::new(),
+            uops: vec![None; cfg.rob_entries],
+            fetch_pc: program.entry,
+            fetch_stall: 0,
+            fetch_wait: false,
+            decode_q: VecDeque::with_capacity(2 * cfg.fetch_width),
+            next_seq: 1,
+            in_flight: Vec::new(),
+            wb_ready: VecDeque::new(),
+            divider_busy: 0,
+            output: Vec::new(),
+            cycle: 0,
+            retired: 0,
+            mispredicts: 0,
+            rf_reads: 0,
+            rf_writes: 0,
+            stats_occupancy: [0; 5],
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Elapsed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Committed instruction count.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Program output so far.
+    pub fn output(&self) -> &[u64] {
+        &self.output
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            cycles: self.cycle,
+            retired: self.retired,
+            mispredicts: self.mispredicts,
+            l1i: (self.mem.l1i.hits, self.mem.l1i.misses),
+            l1d: (self.mem.l1d.hits, self.mem.l1d.misses),
+            l2: (self.mem.l2.hits, self.mem.l2.misses),
+            rf_occupancy_sum: self.stats_occupancy[0],
+            rf_reads: self.rf_reads,
+            rf_writes: self.rf_writes,
+            rob_occupancy_sum: self.stats_occupancy[1],
+            iq_occupancy_sum: self.stats_occupancy[2],
+            lq_occupancy_sum: self.stats_occupancy[3],
+            sq_occupancy_sum: self.stats_occupancy[4],
+        }
+    }
+
+    /// Runs until the program ends or `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: u64) -> SimOutcome {
+        while self.cycle < max_cycles {
+            if let Err(end) = self.step_cycle() {
+                return end;
+            }
+        }
+        SimOutcome::CycleLimit { cycles: self.cycle }
+    }
+
+    /// Runs until the cycle counter reaches `target` (for positioning an
+    /// injection); returns early with the outcome if the program ends first.
+    pub fn run_to_cycle(&mut self, target: u64) -> Option<SimOutcome> {
+        while self.cycle < target {
+            if let Err(end) = self.step_cycle() {
+                return Some(end);
+            }
+        }
+        None
+    }
+
+    /// Advances one cycle.
+    ///
+    /// # Errors
+    ///
+    /// The terminal [`SimOutcome`] when the program ends this cycle.
+    pub fn step_cycle(&mut self) -> Result<(), SimOutcome> {
+        self.commit()?;
+        self.execute()?;
+        self.writeback()?;
+        self.issue()?;
+        self.rename()?;
+        self.fetch()?;
+        self.cycle += 1;
+        self.stats_occupancy[0] += self.rf.allocated_count() as u64;
+        self.stats_occupancy[1] += self.rob.len() as u64;
+        self.stats_occupancy[2] += self.iq.len() as u64;
+        self.stats_occupancy[3] += self.lq.len() as u64;
+        self.stats_occupancy[4] += self.sq.len() as u64;
+        Ok(())
+    }
+
+    fn assert_stop(&self, reason: &'static str) -> SimOutcome {
+        SimOutcome::Assert { cycles: self.cycle, reason }
+    }
+
+    // ----------------------------------------------------------- commit --
+
+    fn commit(&mut self) -> Result<(), SimOutcome> {
+        for _ in 0..self.cfg.commit_width {
+            if self.rob.is_empty() {
+                return Ok(());
+            }
+            let idx = self.rob.head();
+            let flags = self.rob.flags_of(idx);
+            if flags & flag::VALID == 0 {
+                return Err(self.assert_stop("invalid ROB entry at commit head"));
+            }
+            if flags & flag::DONE == 0 {
+                return Ok(()); // head not finished yet (or DONE flag lost → timeout)
+            }
+            let Some(uop) = self.uops[idx].as_ref() else {
+                return Err(self.assert_stop("ROB entry without a dispatched instruction"));
+            };
+            if uop.state != UopState::Done {
+                return Err(self.assert_stop("DONE flag set on an incomplete instruction"));
+            }
+            // Cross-check every injectable field against the payload.
+            if self.rob.seq_of(idx) != uop.seq as u16 {
+                return Err(self.assert_stop("ROB sequence field corrupted"));
+            }
+            if self.rob.pc_of(idx) != self.rob.mask_pc(uop.pc) {
+                return Err(self.assert_stop("ROB PC field corrupted"));
+            }
+            let mut expected = flag::VALID | flag::DONE;
+            match uop.kind {
+                UopKind::Branch => expected |= flag::BRANCH,
+                UopKind::Store => expected |= flag::STORE,
+                UopKind::Out => expected |= flag::OUT,
+                UopKind::Halt => expected |= flag::HALT,
+                UopKind::Alu | UopKind::Load | UopKind::Poisoned => {}
+            }
+            if uop.exception.is_some() {
+                expected |= flag::EXCEPTION;
+            }
+            if uop.dest.is_some() {
+                expected |= flag::HAS_DEST;
+            }
+            if flags != expected {
+                return Err(self.assert_stop("ROB flags field corrupted"));
+            }
+            if let Some(d) = uop.dest {
+                if self.rob.dest_of(idx) != (d.arch, d.phys, d.old) {
+                    return Err(self.assert_stop("ROB destination field corrupted"));
+                }
+            }
+
+            // Architectural effects (payload verified equal to fields).
+            let uop = self.uops[idx].take().expect("checked above");
+            if let Some(trap) = uop.exception {
+                return Err(SimOutcome::Crash { cycles: self.cycle, trap });
+            }
+            match uop.kind {
+                UopKind::Store => {
+                    let h = self.sq.head();
+                    if self.sq.is_empty() {
+                        return Err(self.assert_stop("store commit with empty store queue"));
+                    }
+                    if let Err(m) = self.sq.check(h, "SQ entry corrupted at commit") {
+                        return Err(self.assert_stop(m));
+                    }
+                    let p = *self.sq.payload(h).expect("checked");
+                    if p.seq != uop.seq || !p.addr_known {
+                        return Err(self.assert_stop("store queue commit order broken"));
+                    }
+                    match self.mem.write(p.addr, p.size, p.data) {
+                        Ok(_) => {}
+                        Err(MemErr::Arch(f)) => {
+                            return Err(SimOutcome::Crash {
+                                cycles: self.cycle,
+                                trap: Trap::Mem(f),
+                            })
+                        }
+                        Err(MemErr::Assert(m)) => return Err(self.assert_stop(m)),
+                    }
+                    self.sq.pop_head();
+                }
+                UopKind::Load => {
+                    let h = self.lq.head();
+                    if self.lq.is_empty() {
+                        return Err(self.assert_stop("load commit with empty load queue"));
+                    }
+                    if let Err(m) = self.lq.check(h, "LQ entry corrupted at commit") {
+                        return Err(self.assert_stop(m));
+                    }
+                    let p = *self.lq.payload(h).expect("checked");
+                    if p.seq != uop.seq {
+                        return Err(self.assert_stop("load queue commit order broken"));
+                    }
+                    self.lq.pop_head();
+                }
+                UopKind::Out => self.output.push(self.profile.mask(uop.result)),
+                UopKind::Halt => {
+                    return Err(SimOutcome::Halted {
+                        cycles: self.cycle,
+                        retired: self.retired + 1,
+                        output: self.output.clone(),
+                    });
+                }
+                UopKind::Alu | UopKind::Branch | UopKind::Poisoned => {}
+            }
+            if let Some(d) = uop.dest {
+                if self.rf.arch_map[d.arch as usize] != d.old {
+                    return Err(self.assert_stop("retirement rename linkage broken"));
+                }
+                self.rf.arch_map[d.arch as usize] = d.phys;
+                if let Err(m) = self.rf.free(d.old) {
+                    return Err(self.assert_stop(m));
+                }
+            }
+            self.rob.pop_head();
+            self.retired += 1;
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------------------- writeback --
+
+    fn writeback(&mut self) -> Result<(), SimOutcome> {
+        for _ in 0..self.cfg.writeback_width {
+            let Some(idx) = self.wb_ready.pop_front() else {
+                return Ok(());
+            };
+            let Some(uop) = self.uops[idx].as_mut() else {
+                continue; // squashed while waiting
+            };
+            if uop.dest.is_some() && uop.exception.is_none() {
+                let tag = uop.issued_dest_tag;
+                if !self.rf.tag_valid(tag) {
+                    return Err(self.assert_stop("writeback to out-of-range register"));
+                }
+                let value = uop.result;
+                self.rf.write(tag, value);
+                self.rf.set_ready(tag, true);
+                self.rf_writes += 1;
+                self.iq.broadcast(tag);
+            }
+            uop.state = UopState::Done;
+            self.rob.set_done(idx);
+            if self.uops[idx].as_ref().is_some_and(|u| u.exception.is_some()) {
+                self.rob.set_exception(idx);
+            }
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------- execute --
+
+    fn execute(&mut self) -> Result<(), SimOutcome> {
+        if self.divider_busy > 0 {
+            self.divider_busy -= 1;
+        }
+        let mut mispredict: Option<(u64, usize, u64)> = None; // (seq, rob, target)
+        let in_flight = std::mem::take(&mut self.in_flight);
+        let mut still = Vec::with_capacity(in_flight.len());
+        for idx in in_flight {
+            let Some(state) = self.uops[idx].as_ref().map(|u| u.state) else {
+                continue; // squashed
+            };
+            match state {
+                UopState::Executing { left } | UopState::MemAccess { left } if left > 1 => {
+                    let uop = self.uops[idx].as_mut().expect("alive");
+                    uop.state = match state {
+                        UopState::Executing { .. } => UopState::Executing { left: left - 1 },
+                        _ => UopState::MemAccess { left: left - 1 },
+                    };
+                    still.push(idx);
+                }
+                UopState::MemAccess { .. } => {
+                    // Cache access finished; result is already captured.
+                    self.wb_ready.push_back(idx);
+                }
+                UopState::Executing { .. } => {
+                    // Functional completion this cycle.
+                    match self.finish_execute(idx)? {
+                        FinishAction::Complete => self.wb_ready.push_back(idx),
+                        FinishAction::WaitMem => still.push(idx),
+                        FinishAction::Mispredict(target) => {
+                            let seq = self.uops[idx].as_ref().expect("alive").seq;
+                            self.wb_ready.push_back(idx);
+                            if mispredict.is_none_or(|(s, _, _)| seq < s) {
+                                mispredict = Some((seq, idx, target));
+                            }
+                        }
+                    }
+                }
+                UopState::WaitMemOrder => {
+                    if self.try_load_access(idx)? {
+                        still.push(idx); // accessing or still blocked
+                    } else {
+                        self.wb_ready.push_back(idx);
+                    }
+                }
+                other => unreachable!("in-flight uop in state {other:?}"),
+            }
+        }
+        self.in_flight = still;
+        if let Some((seq, rob_idx, target)) = mispredict {
+            self.squash(seq, rob_idx, target)?;
+        }
+        Ok(())
+    }
+
+    /// Completes execution of `idx`. Returns what to do next.
+    fn finish_execute(&mut self, idx: usize) -> Result<FinishAction, SimOutcome> {
+        let profile = self.profile;
+        let uop = self.uops[idx].as_mut().expect("alive");
+        let pc = uop.pc;
+        let instr = uop.instr.expect("non-poisoned");
+        match instr {
+            Instr::Alu { op, .. } => {
+                uop.result = eval_alu(profile, op, uop.val1, uop.val2);
+                Ok(FinishAction::Complete)
+            }
+            Instr::AluImm { op, imm, .. } => {
+                uop.result = eval_alu(profile, op, uop.val1, imm as i64 as u64);
+                Ok(FinishAction::Complete)
+            }
+            Instr::Lui { imm, .. } => {
+                uop.result = profile.mask(((imm as i64) << 13) as u64);
+                Ok(FinishAction::Complete)
+            }
+            Instr::Load { width, signed, offset, .. } => {
+                let addr = profile.mask(uop.val1.wrapping_add(offset as i64 as u64));
+                uop.mem_addr = addr;
+                uop.mem_size = width.bytes();
+                uop.mem_signed = signed;
+                uop.addr_known = true;
+                if let Err(f) = self.mem.arch_check(addr, width.bytes()) {
+                    uop.exception = Some(Trap::Mem(f));
+                    return Ok(FinishAction::Complete);
+                }
+                let lsq_idx = uop.lsq_idx.expect("load has an LQ slot");
+                if let Err(m) = self.lq.check(lsq_idx, "LQ entry corrupted at address generation") {
+                    return Err(self.assert_stop(m));
+                }
+                let p = self.lq.payload_mut(lsq_idx).expect("checked");
+                p.addr = addr;
+                p.size = width.bytes();
+                p.addr_known = true;
+                let uop = self.uops[idx].as_mut().expect("alive");
+                uop.state = UopState::WaitMemOrder;
+                // Try to access immediately (may already be orderable).
+                if self.try_load_access(idx)? {
+                    Ok(FinishAction::WaitMem)
+                } else {
+                    Ok(FinishAction::Complete)
+                }
+            }
+            Instr::Store { width, offset, .. } => {
+                let addr = profile.mask(uop.val1.wrapping_add(offset as i64 as u64));
+                let data = uop.val2;
+                uop.mem_addr = addr;
+                uop.mem_size = width.bytes();
+                uop.addr_known = true;
+                if let Err(f) = self.mem.arch_check(addr, width.bytes()) {
+                    uop.exception = Some(Trap::Mem(f));
+                    return Ok(FinishAction::Complete);
+                }
+                let lsq_idx = uop.lsq_idx.expect("store has an SQ slot");
+                if let Err(m) = self.sq.check(lsq_idx, "SQ entry corrupted at address generation") {
+                    return Err(self.assert_stop(m));
+                }
+                let p = self.sq.payload_mut(lsq_idx).expect("checked");
+                p.addr = addr;
+                p.size = width.bytes();
+                p.data = data;
+                p.addr_known = true;
+                Ok(FinishAction::Complete)
+            }
+            Instr::Branch { cond, offset, .. } => {
+                let taken = eval_branch(profile, cond, uop.val1, uop.val2);
+                let target = if taken {
+                    pc.wrapping_add((offset as i64 as u64).wrapping_mul(4))
+                } else {
+                    pc.wrapping_add(4)
+                };
+                let target = profile.mask(target);
+                uop.actual_next = target;
+                let pred = uop.pred_next;
+                self.bp.update_taken(pc, taken);
+                if pred != target {
+                    Ok(FinishAction::Mispredict(target))
+                } else {
+                    Ok(FinishAction::Complete)
+                }
+            }
+            Instr::Jal { offset, .. } => {
+                let target = profile.mask(pc.wrapping_add((offset as i64 as u64).wrapping_mul(4)));
+                uop.result = profile.mask(pc.wrapping_add(4));
+                uop.actual_next = target;
+                if uop.pred_next != target {
+                    Ok(FinishAction::Mispredict(target))
+                } else {
+                    Ok(FinishAction::Complete)
+                }
+            }
+            Instr::Jalr { offset, .. } => {
+                let target = profile.mask(uop.val1.wrapping_add(offset as i64 as u64));
+                uop.result = profile.mask(pc.wrapping_add(4));
+                uop.actual_next = target;
+                let pred = uop.pred_next;
+                self.bp.update_indirect(pc, target);
+                if pred != target {
+                    Ok(FinishAction::Mispredict(target))
+                } else {
+                    Ok(FinishAction::Complete)
+                }
+            }
+            Instr::Out { .. } => {
+                uop.result = uop.val1;
+                Ok(FinishAction::Complete)
+            }
+            Instr::Halt => Ok(FinishAction::Complete),
+        }
+    }
+
+    /// Progress a load waiting on memory ordering. Returns `true` if it is
+    /// still in flight, `false` if it completed (ready for writeback).
+    fn try_load_access(&mut self, idx: usize) -> Result<bool, SimOutcome> {
+        let uop = self.uops[idx].as_ref().expect("alive");
+        let (seq, addr, size, signed) = (uop.seq, uop.mem_addr, uop.mem_size, uop.mem_signed);
+        match self.sq.check_older_stores(seq, addr, size) {
+            StoreCheck::Blocked => Ok(true),
+            StoreCheck::Forward(data) => {
+                let uop = self.uops[idx].as_mut().expect("alive");
+                uop.result = extend_load(self.profile, data, size, signed);
+                uop.state = UopState::WaitWriteback;
+                Ok(false)
+            }
+            StoreCheck::Clear => {
+                match self.mem.read(addr, size) {
+                    Ok((raw, lat)) => {
+                        let uop = self.uops[idx].as_mut().expect("alive");
+                        uop.result = extend_load(self.profile, raw, size, signed);
+                        if lat <= 1 {
+                            uop.state = UopState::WaitWriteback;
+                            Ok(false)
+                        } else {
+                            uop.state = UopState::MemAccess { left: lat - 1 };
+                            Ok(true)
+                        }
+                    }
+                    Err(MemErr::Arch(f)) => {
+                        let uop = self.uops[idx].as_mut().expect("alive");
+                        uop.exception = Some(Trap::Mem(f));
+                        uop.state = UopState::WaitWriteback;
+                        Ok(false)
+                    }
+                    Err(MemErr::Assert(m)) => Err(self.assert_stop(m)),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ issue --
+
+    fn issue(&mut self) -> Result<(), SimOutcome> {
+        let ready = match self.iq.ready_entries() {
+            Ok(r) => r,
+            Err(m) => return Err(self.assert_stop(m)),
+        };
+        let mut issued = 0;
+        let mut mem_issued = 0;
+        for slot in ready {
+            if issued == self.cfg.issue_width {
+                break;
+            }
+            let p = *self.iq.payload(slot).expect("ready entries have payloads");
+            let Some(uop) = self.uops[p.rob_idx].as_ref() else {
+                return Err(self.assert_stop("IQ entry linked to an empty ROB slot"));
+            };
+            if uop.seq != p.seq {
+                return Err(self.assert_stop("IQ linkage broken"));
+            }
+            // Structural hazards.
+            let is_mem = matches!(uop.kind, UopKind::Load | UopKind::Store);
+            if is_mem && mem_issued == 2 {
+                continue;
+            }
+            let is_div = matches!(
+                uop.instr,
+                Some(Instr::Alu { op: AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu, .. })
+            );
+            if is_div && self.divider_busy > 0 {
+                continue;
+            }
+            // Cross-check the injectable fields against the rename payload.
+            let (s1, s2, d) = self.iq.stored_tags(slot);
+            if (p.has_src1 && s1 != p.golden_src1)
+                || (p.has_src2 && s2 != p.golden_src2)
+            {
+                return Err(self.assert_stop("IQ source field corrupted"));
+            }
+            if d != p.golden_dest {
+                return Err(self.assert_stop("IQ destination field corrupted"));
+            }
+            let v1 = if p.has_src1 { self.rf_reads += 1; self.rf.read(s1) } else { 0 };
+            let v2 = if p.has_src2 { self.rf_reads += 1; self.rf.read(s2) } else { 0 };
+            let latency = self.latency_of(p.rob_idx);
+            if is_div {
+                self.divider_busy = latency;
+            }
+            let uop = self.uops[p.rob_idx].as_mut().expect("alive");
+            uop.val1 = v1;
+            uop.val2 = v2;
+            uop.issued_dest_tag = d;
+            uop.state = UopState::Executing { left: latency };
+            self.in_flight.push(p.rob_idx);
+            self.iq.remove(slot);
+            issued += 1;
+            if is_mem {
+                mem_issued += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn latency_of(&self, rob_idx: usize) -> u64 {
+        let uop = self.uops[rob_idx].as_ref().expect("alive");
+        match uop.instr {
+            Some(Instr::Alu { op: AluOp::Mul, .. }) => 4,
+            Some(Instr::Alu {
+                op: AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu,
+                ..
+            }) => 12,
+            // Loads and stores take one AGU cycle before the cache access.
+            _ => 1,
+        }
+    }
+
+    // ------------------------------------------------- rename / dispatch --
+
+    fn rename(&mut self) -> Result<(), SimOutcome> {
+        for _ in 0..self.cfg.fetch_width {
+            let Some(front) = self.decode_q.front() else {
+                return Ok(());
+            };
+            if self.rob.is_full() {
+                return Ok(());
+            }
+            let kind = front.kind;
+            if kind != UopKind::Poisoned && !self.iq.has_free_slot() {
+                return Ok(());
+            }
+            if kind == UopKind::Load && self.lq.is_full() {
+                return Ok(());
+            }
+            if kind == UopKind::Store && self.sq.is_full() {
+                return Ok(());
+            }
+            let needs_dest = front
+                .instr
+                .and_then(|i| i.dest())
+                .is_some();
+            if needs_dest && self.rf.free_count() == 0 {
+                return Ok(());
+            }
+
+            let mut uop = self.decode_q.pop_front().expect("peeked");
+            uop.seq = self.next_seq;
+            self.next_seq += 1;
+
+            // Rename sources.
+            let (mut has1, mut has2) = (false, false);
+            let (mut g1, mut g2) = (0 as PhysReg, 0 as PhysReg);
+            if let Some(instr) = uop.instr {
+                let (s1, s2) = instr.sources();
+                if let Some(r) = s1 {
+                    has1 = true;
+                    g1 = self.rf.spec_map[r.index()];
+                    uop.src1 = Some(g1);
+                }
+                if let Some(r) = s2 {
+                    has2 = true;
+                    g2 = self.rf.spec_map[r.index()];
+                    uop.src2 = Some(g2);
+                }
+                if let Some(rd) = instr.dest() {
+                    let phys = self.rf.alloc().expect("free count checked");
+                    let old = self.rf.spec_map[rd.index()];
+                    self.rf.spec_map[rd.index()] = phys;
+                    uop.dest = Some(DestInfo { arch: rd.index() as u8, phys, old });
+                }
+            }
+            if kind == UopKind::Branch {
+                uop.checkpoint = Some(self.rf.checkpoint());
+            }
+
+            // ROB entry.
+            let mut flag_bits = 0u8;
+            match kind {
+                UopKind::Branch => flag_bits |= flag::BRANCH,
+                UopKind::Store => flag_bits |= flag::STORE,
+                UopKind::Out => flag_bits |= flag::OUT,
+                UopKind::Halt => flag_bits |= flag::HALT,
+                _ => {}
+            }
+            if uop.exception.is_some() {
+                flag_bits |= flag::EXCEPTION;
+            }
+            let dest_triple = uop.dest.map(|d| (d.arch, d.phys, d.old));
+            let rob_idx = self.rob.push(uop.pc, uop.seq, dest_triple, flag_bits);
+            uop.rob_idx = rob_idx;
+
+            if kind == UopKind::Poisoned {
+                uop.state = UopState::Done;
+                self.rob.set_done(rob_idx);
+                self.uops[rob_idx] = Some(uop);
+                continue;
+            }
+
+            // LSQ entries.
+            if kind == UopKind::Load {
+                let tag = uop.dest.map_or(0, |d| d.phys);
+                uop.lsq_idx = Some(self.lq.push(LsqPayload {
+                    seq: uop.seq,
+                    rob_idx,
+                    tag,
+                    addr: 0,
+                    size: 0,
+                    data: 0,
+                    addr_known: false,
+                }));
+            }
+            if kind == UopKind::Store {
+                uop.lsq_idx = Some(self.sq.push(LsqPayload {
+                    seq: uop.seq,
+                    rob_idx,
+                    tag: g2,
+                    addr: 0,
+                    size: 0,
+                    data: 0,
+                    addr_known: false,
+                }));
+            }
+
+            // IQ entry.
+            let payload = IqPayload {
+                rob_idx,
+                seq: uop.seq,
+                has_src1: has1,
+                has_src2: has2,
+                golden_src1: g1,
+                golden_src2: g2,
+                golden_dest: uop.dest.map_or(0, |d| d.phys),
+            };
+            let r1 = !has1 || self.rf.is_ready(g1);
+            let r2 = !has2 || self.rf.is_ready(g2);
+            self.iq.insert(payload, r1, r2);
+            self.uops[rob_idx] = Some(uop);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ fetch --
+
+    fn fetch(&mut self) -> Result<(), SimOutcome> {
+        if self.fetch_wait {
+            return Ok(());
+        }
+        if self.fetch_stall > 0 {
+            self.fetch_stall -= 1;
+            return Ok(());
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.decode_q.len() >= 2 * self.cfg.fetch_width {
+                return Ok(());
+            }
+            let pc = self.fetch_pc;
+            let (word, lat) = match self.mem.fetch(pc) {
+                Ok(w) => w,
+                Err(MemErr::Arch(f)) => {
+                    self.decode_q
+                        .push_back(Uop::new(0, pc, None, Some(Trap::Mem(f))));
+                    self.fetch_wait = true;
+                    return Ok(());
+                }
+                Err(MemErr::Assert(m)) => return Err(self.assert_stop(m)),
+            };
+            if lat > self.cfg.l1_latency {
+                // Miss: charge the fill delay before this word is consumed.
+                self.fetch_stall = lat - 1;
+            }
+            let instr = match decode(word) {
+                Ok(i) if self.instr_valid_for_profile(i) => i,
+                _ => {
+                    self.decode_q.push_back(Uop::new(
+                        0,
+                        pc,
+                        None,
+                        Some(Trap::InvalidInstr { pc, word }),
+                    ));
+                    self.fetch_wait = true;
+                    return Ok(());
+                }
+            };
+            let mut uop = Uop::new(0, pc, Some(instr), None);
+            let next = self.predict_next(pc, instr);
+            uop.pred_next = next;
+            self.decode_q.push_back(uop);
+            if instr == Instr::Halt {
+                self.fetch_wait = true;
+                return Ok(());
+            }
+            self.fetch_pc = next;
+            if self.fetch_stall > 0 {
+                return Ok(()); // I-cache miss consumed the rest of the cycle
+            }
+            if next != pc.wrapping_add(4) {
+                return Ok(()); // predicted-taken control flow ends the fetch group
+            }
+        }
+        Ok(())
+    }
+
+    fn instr_valid_for_profile(&self, instr: Instr) -> bool {
+        let n = self.profile.nregs();
+        let (s1, s2) = instr.sources();
+        let regs_ok = instr.dest().is_none_or(|d| d.valid_for(n))
+            && s1.is_none_or(|r| r.valid_for(n))
+            && s2.is_none_or(|r| r.valid_for(n));
+        let width_ok = !(self.profile == Profile::A32
+            && matches!(
+                instr,
+                Instr::Load { width: MemWidth::D, .. } | Instr::Store { width: MemWidth::D, .. }
+            ));
+        regs_ok && width_ok
+    }
+
+    fn predict_next(&mut self, pc: u64, instr: Instr) -> u64 {
+        let next = match instr {
+            Instr::Branch { offset, .. } => {
+                if self.bp.predict_taken(pc) {
+                    pc.wrapping_add((offset as i64 as u64).wrapping_mul(4))
+                } else {
+                    pc.wrapping_add(4)
+                }
+            }
+            Instr::Jal { rd, offset } => {
+                if rd == Reg::RA {
+                    self.bp.push_return(pc.wrapping_add(4));
+                }
+                pc.wrapping_add((offset as i64 as u64).wrapping_mul(4))
+            }
+            Instr::Jalr { rd, base, .. } => {
+                if rd == Reg::ZERO && base == Reg::RA {
+                    self.bp.pop_return()
+                } else {
+                    if rd == Reg::RA {
+                        self.bp.push_return(pc.wrapping_add(4));
+                    }
+                    self.bp.predict_indirect(pc).unwrap_or(pc.wrapping_add(4))
+                }
+            }
+            Instr::Halt => pc,
+            _ => pc.wrapping_add(4),
+        };
+        self.profile.mask(next)
+    }
+
+    // ----------------------------------------------------------- squash --
+
+    fn squash(
+        &mut self,
+        boundary_seq: u64,
+        branch_rob_idx: usize,
+        redirect: u64,
+    ) -> Result<(), SimOutcome> {
+        // Roll the ROB tail back over every younger instruction.
+        while !self.rob.is_empty() {
+            let tail_idx = {
+                // Peek the youngest entry via its payload.
+                let last = self.rob.occupied().last().expect("non-empty");
+                last
+            };
+            let Some(u) = self.uops[tail_idx].as_ref() else {
+                return Err(self.assert_stop("ROB tail entry without payload during squash"));
+            };
+            if u.seq <= boundary_seq {
+                break;
+            }
+            self.uops[tail_idx] = None;
+            self.rob.pop_tail();
+        }
+        self.iq.squash_younger(boundary_seq);
+        self.lq.squash_younger(boundary_seq);
+        self.sq.squash_younger(boundary_seq);
+        let alive = |uops: &Vec<Option<Uop>>, idx: &usize| -> bool {
+            uops[*idx].as_ref().is_some_and(|u| u.seq <= boundary_seq)
+        };
+        self.in_flight.retain(|idx| alive(&self.uops, idx));
+        self.wb_ready.retain(|idx| alive(&self.uops, idx));
+        self.decode_q.clear();
+
+        // Rename recovery from the branch's checkpoint.
+        let checkpoint = self.uops[branch_rob_idx]
+            .as_ref()
+            .and_then(|u| u.checkpoint.clone())
+            .expect("branches carry a rename checkpoint");
+        let dests: Vec<PhysReg> = self
+            .rob
+            .occupied()
+            .filter_map(|i| self.uops[i].as_ref())
+            .filter_map(|u| u.dest.map(|d| d.phys))
+            .collect();
+        self.rf.recover(&checkpoint, &dests);
+
+        self.fetch_pc = redirect;
+        self.fetch_wait = false;
+        self.fetch_stall = 3; // front-end redirect penalty
+        self.mispredicts += 1;
+        Ok(())
+    }
+}
+
+enum FinishAction {
+    Complete,
+    WaitMem,
+    Mispredict(u64),
+}
+
+/// Applies load extension semantics (shared with the emulator's rules).
+fn extend_load(profile: Profile, raw: u64, size: u64, signed: bool) -> u64 {
+    let v = if signed {
+        match size {
+            1 => raw as u8 as i8 as i64 as u64,
+            4 => raw as u32 as i32 as i64 as u64,
+            _ => raw,
+        }
+    } else {
+        raw
+    };
+    profile.mask(v)
+}

@@ -1,0 +1,316 @@
+//! Reorder buffer: a circular buffer whose four per-entry fields are the
+//! paper's four ROB injection targets — **PC**, **destination** (arch +
+//! new/old physical), **sequence**, and **flags**.
+
+use crate::regs::PhysReg;
+use serde::{Deserialize, Serialize};
+
+/// Flag-bit positions within the injectable flags byte.
+pub mod flag {
+    /// Entry holds a dispatched instruction.
+    pub const VALID: u8 = 1 << 0;
+    /// Instruction has finished executing.
+    pub const DONE: u8 = 1 << 1;
+    /// Control-transfer instruction.
+    pub const BRANCH: u8 = 1 << 2;
+    /// Store instruction.
+    pub const STORE: u8 = 1 << 3;
+    /// Exception pending at commit.
+    pub const EXCEPTION: u8 = 1 << 4;
+    /// `out` instruction.
+    pub const OUT: u8 = 1 << 5;
+    /// `halt` instruction.
+    pub const HALT: u8 = 1 << 6;
+    /// Entry writes a destination register.
+    pub const HAS_DEST: u8 = 1 << 7;
+}
+
+/// Which injectable field of the ROB a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RobField {
+    /// The PC field.
+    Pc,
+    /// The destination triple (arch, new phys, old phys).
+    Dest,
+    /// The 16-bit sequence field.
+    Seq,
+    /// The status flags byte.
+    Flags,
+}
+
+/// The reorder buffer.
+#[derive(Debug, Clone)]
+pub struct Rob {
+    n: usize,
+    pc_bits: u32,
+    head: usize,
+    tail: usize,
+    count: usize,
+    /// Injectable PC field.
+    pc: Vec<u64>,
+    /// Injectable destination triple.
+    dest_arch: Vec<u8>,
+    /// New physical register.
+    dest_phys: Vec<PhysReg>,
+    /// Previous physical register for the same arch reg.
+    old_phys: Vec<PhysReg>,
+    /// Injectable low 16 bits of the sequence number.
+    seq16: Vec<u16>,
+    /// Injectable flags byte.
+    flags: Vec<u8>,
+}
+
+impl Rob {
+    /// Creates an empty ROB of `n` entries with `pc_bits`-wide PC fields
+    /// (32 on the A32 machine, 64 on A64).
+    pub fn new(n: usize, pc_bits: u32) -> Rob {
+        Rob {
+            n,
+            pc_bits,
+            head: 0,
+            tail: 0,
+            count: 0,
+            pc: vec![0; n],
+            dest_arch: vec![0; n],
+            dest_phys: vec![0; n],
+            old_phys: vec![0; n],
+            seq16: vec![0; n],
+            flags: vec![0; n],
+        }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.n
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the ROB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether the ROB is full.
+    pub fn is_full(&self) -> bool {
+        self.count == self.n
+    }
+
+    /// Head (next-to-commit) slot index.
+    pub fn head(&self) -> usize {
+        self.head
+    }
+
+    /// Allocates the tail slot, writing all injectable fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if full — dispatch must check first.
+    pub fn push(
+        &mut self,
+        pc: u64,
+        seq: u64,
+        dest: Option<(u8, PhysReg, PhysReg)>,
+        flag_bits: u8,
+    ) -> usize {
+        assert!(!self.is_full(), "ROB overflow");
+        let idx = self.tail;
+        self.pc[idx] = pc & (u64::MAX >> (64 - self.pc_bits));
+        self.seq16[idx] = seq as u16;
+        let mut f = flag_bits | flag::VALID;
+        match dest {
+            Some((a, p, o)) => {
+                self.dest_arch[idx] = a;
+                self.dest_phys[idx] = p;
+                self.old_phys[idx] = o;
+                f |= flag::HAS_DEST;
+            }
+            None => {
+                self.dest_arch[idx] = 0;
+                self.dest_phys[idx] = 0;
+                self.old_phys[idx] = 0;
+            }
+        }
+        self.flags[idx] = f;
+        self.tail = (self.tail + 1) % self.n;
+        self.count += 1;
+        idx
+    }
+
+    /// Releases the head slot.
+    pub fn pop_head(&mut self) {
+        assert!(!self.is_empty(), "ROB underflow");
+        self.flags[self.head] = 0;
+        self.head = (self.head + 1) % self.n;
+        self.count -= 1;
+    }
+
+    /// Rolls the tail back by one entry (branch-mispredict squash).
+    pub fn pop_tail(&mut self) -> usize {
+        assert!(!self.is_empty(), "ROB underflow");
+        self.tail = (self.tail + self.n - 1) % self.n;
+        self.flags[self.tail] = 0;
+        self.count -= 1;
+        self.tail
+    }
+
+    /// Sets the DONE flag of an entry.
+    pub fn set_done(&mut self, idx: usize) {
+        self.flags[idx] |= flag::DONE;
+    }
+
+    /// Sets the EXCEPTION flag of an entry.
+    pub fn set_exception(&mut self, idx: usize) {
+        self.flags[idx] |= flag::EXCEPTION;
+    }
+
+    /// Reads an entry's flags byte.
+    pub fn flags_of(&self, idx: usize) -> u8 {
+        self.flags[idx]
+    }
+
+    /// Reads an entry's injectable PC field.
+    pub fn pc_of(&self, idx: usize) -> u64 {
+        self.pc[idx]
+    }
+
+    /// Reads an entry's injectable sequence field.
+    pub fn seq_of(&self, idx: usize) -> u16 {
+        self.seq16[idx]
+    }
+
+    /// Reads an entry's injectable destination triple.
+    pub fn dest_of(&self, idx: usize) -> (u8, PhysReg, PhysReg) {
+        (self.dest_arch[idx], self.dest_phys[idx], self.old_phys[idx])
+    }
+
+    /// Masks a full PC value to this ROB's PC field width (for
+    /// payload-vs-field comparisons).
+    pub fn mask_pc(&self, pc: u64) -> u64 {
+        pc & (u64::MAX >> (64 - self.pc_bits))
+    }
+
+    /// Injectable bit count of one field across all entries.
+    pub fn field_bits(&self, field: RobField) -> u64 {
+        let per = match field {
+            RobField::Pc => self.pc_bits as u64,
+            RobField::Dest => 5 + 8 + 8,
+            RobField::Seq => 16,
+            RobField::Flags => 8,
+        };
+        per * self.n as u64
+    }
+
+    /// Flips one bit of one injectable field.
+    pub fn flip_bit(&mut self, field: RobField, bit: u64) {
+        assert!(bit < self.field_bits(field), "ROB bit out of range");
+        match field {
+            RobField::Pc => {
+                let per = self.pc_bits as u64;
+                self.pc[(bit / per) as usize] ^= 1 << (bit % per);
+            }
+            RobField::Dest => {
+                let idx = (bit / 21) as usize;
+                let off = bit % 21;
+                if off < 5 {
+                    self.dest_arch[idx] ^= 1 << off;
+                } else if off < 13 {
+                    self.dest_phys[idx] ^= 1 << (off - 5);
+                } else {
+                    self.old_phys[idx] ^= 1 << (off - 13);
+                }
+            }
+            RobField::Seq => {
+                let idx = (bit / 16) as usize;
+                self.seq16[idx] ^= 1 << (bit % 16);
+            }
+            RobField::Flags => {
+                let idx = (bit / 8) as usize;
+                self.flags[idx] ^= 1 << (bit % 8);
+            }
+        }
+    }
+
+    /// Iterates over occupied slot indices from head to tail.
+    pub fn occupied(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.count).map(move |k| (self.head + k) % self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_wraparound() {
+        let mut rob = Rob::new(4, 32);
+        for k in 0..4 {
+            rob.push(0x1000 + k * 4, k, None, 0);
+        }
+        assert!(rob.is_full());
+        rob.pop_head();
+        rob.pop_head();
+        let idx = rob.push(0x2000, 9, Some((3, 40, 41)), flag::STORE);
+        assert_eq!(rob.len(), 3);
+        assert_eq!(rob.dest_of(idx), (3, 40, 41));
+        assert!(rob.flags_of(idx) & flag::HAS_DEST != 0);
+        assert!(rob.flags_of(idx) & flag::STORE != 0);
+    }
+
+    #[test]
+    fn tail_rollback() {
+        let mut rob = Rob::new(8, 32);
+        rob.push(0x1000, 1, None, 0);
+        let b = rob.push(0x1004, 2, None, flag::BRANCH);
+        rob.push(0x1008, 3, None, 0);
+        let popped = rob.pop_tail();
+        assert_eq!(rob.len(), 2);
+        assert_eq!(popped, (b + 1) % 8);
+        assert_eq!(rob.flags_of(popped), 0);
+    }
+
+    #[test]
+    fn occupied_iterates_in_order() {
+        let mut rob = Rob::new(4, 32);
+        rob.push(0, 0, None, 0);
+        rob.push(4, 1, None, 0);
+        rob.pop_head();
+        rob.push(8, 2, None, 0);
+        let ids: Vec<usize> = rob.occupied().collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn field_bit_counts() {
+        let rob = Rob::new(40, 32);
+        assert_eq!(rob.field_bits(RobField::Pc), 40 * 32);
+        assert_eq!(rob.field_bits(RobField::Dest), 40 * 21);
+        assert_eq!(rob.field_bits(RobField::Seq), 40 * 16);
+        assert_eq!(rob.field_bits(RobField::Flags), 40 * 8);
+    }
+
+    #[test]
+    fn flips_hit_expected_fields() {
+        let mut rob = Rob::new(4, 32);
+        let idx = rob.push(0x1000, 7, Some((2, 30, 31)), 0);
+        rob.flip_bit(RobField::Pc, idx as u64 * 32 + 4);
+        assert_eq!(rob.pc_of(idx), 0x1010);
+        rob.flip_bit(RobField::Seq, idx as u64 * 16);
+        assert_eq!(rob.seq_of(idx), 6);
+        rob.flip_bit(RobField::Dest, idx as u64 * 21 + 5); // phys bit 0
+        assert_eq!(rob.dest_of(idx), (2, 31, 31));
+        rob.flip_bit(RobField::Flags, idx as u64 * 8); // VALID bit
+        assert_eq!(rob.flags_of(idx) & flag::VALID, 0);
+    }
+
+    #[test]
+    fn pc_field_masks_to_width() {
+        let mut rob = Rob::new(2, 32);
+        rob.push(0xFFFF_FFFF_0000_1000, 0, None, 0);
+        assert_eq!(rob.pc_of(0), 0x1000);
+        assert_eq!(rob.mask_pc(0xFFFF_FFFF_0000_1000), 0x1000);
+    }
+}

@@ -1,0 +1,317 @@
+//! Fault-injection behaviour tests: injected single-bit flips must always
+//! produce a *classifiable* outcome (Masked / SDC / Crash / Timeout /
+//! Assert) — never a simulator panic — and targeted flips must produce the
+//! fault classes the paper associates with each structure.
+
+use proptest::prelude::*;
+use softerr_cc::{Compiler, OptLevel};
+use softerr_isa::Profile;
+use softerr_sim::{MachineConfig, Sim, SimOutcome, Structure};
+use softerr_workloads::{Scale, Workload};
+
+fn golden(cfg: &MachineConfig, src: &str) -> (softerr_isa::Program, u64, Vec<u64>) {
+    let compiled = Compiler::new(cfg.profile, OptLevel::O1).compile(src).unwrap();
+    let mut sim = Sim::new(cfg, &compiled.program);
+    match sim.run(50_000_000) {
+        SimOutcome::Halted { cycles, output, .. } => (compiled.program, cycles, output),
+        other => panic!("golden run failed: {other:?}"),
+    }
+}
+
+/// Runs one injection and returns the outcome.
+fn inject(
+    cfg: &MachineConfig,
+    program: &softerr_isa::Program,
+    golden_cycles: u64,
+    s: Structure,
+    bit: u64,
+    cycle: u64,
+) -> SimOutcome {
+    let mut sim = Sim::new(cfg, program);
+    if let Some(end) = sim.run_to_cycle(cycle) {
+        return end;
+    }
+    sim.flip_bit(s, bit % sim.bit_count(s).max(1));
+    sim.run(2 * golden_cycles)
+}
+
+const SMALL_SRC: &str = "
+    int tab[16];
+    void main() {
+        for (int i = 0; i < 16; i = i + 1) tab[i] = i * 3 + 1;
+        int s = 0;
+        for (int i = 0; i < 16; i = i + 1) s = s + tab[i];
+        out(s);
+    }";
+
+#[test]
+fn bit_counts_match_paper_structure_sizes() {
+    let cfg = MachineConfig::cortex_a15();
+    let program = Compiler::new(cfg.profile, OptLevel::O0)
+        .compile(SMALL_SRC)
+        .unwrap()
+        .program;
+    let sim = Sim::new(&cfg, &program);
+    assert_eq!(sim.bit_count(Structure::L1IData), 32 * 1024 * 8);
+    assert_eq!(sim.bit_count(Structure::L1DData), 32 * 1024 * 8);
+    assert_eq!(sim.bit_count(Structure::L2Data), 1024 * 1024 * 8);
+    assert_eq!(sim.bit_count(Structure::RegFile), 128 * 32);
+    assert_eq!(sim.bit_count(Structure::LoadQueue), 16 * 32);
+    assert_eq!(sim.bit_count(Structure::StoreQueue), 16 * 32);
+    assert_eq!(sim.bit_count(Structure::IqSrc), 32 * 18);
+    assert_eq!(sim.bit_count(Structure::RobPc), 40 * 32);
+
+    let cfg72 = MachineConfig::cortex_a72();
+    let program72 = Compiler::new(cfg72.profile, OptLevel::O0)
+        .compile(SMALL_SRC)
+        .unwrap()
+        .program;
+    let sim72 = Sim::new(&cfg72, &program72);
+    assert_eq!(sim72.bit_count(Structure::RegFile), 192 * 64);
+    assert_eq!(sim72.bit_count(Structure::LoadQueue), 16 * 64);
+    assert_eq!(sim72.bit_count(Structure::RobPc), 128 * 64);
+    assert_eq!(sim72.bit_count(Structure::L2Data), 2 * 1024 * 1024 * 8);
+}
+
+#[test]
+fn flip_before_start_in_unused_space_is_masked() {
+    let cfg = MachineConfig::cortex_a72();
+    let (program, cycles, output) = golden(&cfg, SMALL_SRC);
+    // A bit in the far end of L2 data that the tiny program never touches.
+    let mut sim = Sim::new(&cfg, &program);
+    let bits = sim.bit_count(Structure::L2Data);
+    sim.flip_bit(Structure::L2Data, bits - 1);
+    match sim.run(2 * cycles) {
+        SimOutcome::Halted { output: o, .. } => assert_eq!(o, output, "must be masked"),
+        other => panic!("expected masked run, got {other:?}"),
+    }
+}
+
+#[test]
+fn live_register_flip_produces_sdc() {
+    let cfg = MachineConfig::cortex_a72();
+    let (program, cycles, output) = golden(&cfg, SMALL_SRC);
+    // Sweep low registers mid-run; at least one flip must corrupt the
+    // output without crashing (SDC), since `s` lives in a register.
+    let mut sdc = 0;
+    for reg in 0..32u64 {
+        for bit in [0u64, 7, 13] {
+            let out = inject(&cfg, &program, cycles, Structure::RegFile, reg * 64 + bit, cycles / 2);
+            if let SimOutcome::Halted { output: o, .. } = out {
+                if o != output {
+                    sdc += 1;
+                }
+            }
+        }
+    }
+    assert!(sdc > 0, "no SDC produced by live register flips");
+}
+
+#[test]
+fn icache_data_flip_produces_crash() {
+    let cfg = MachineConfig::cortex_a15();
+    let (program, cycles, _) = golden(&cfg, SMALL_SRC);
+    // The code segment starts at 0x1000 → L1I set 64 → line index 128 in a
+    // 2-way 256-set cache → data bits from 128·64·8. Flip bits across the
+    // lines holding the hot loop: corrupted encodings should crash (invalid
+    // opcode) in at least some cases.
+    let base = 128u64 * 64 * 8;
+    let mut crashes = 0;
+    let mut runs = 0;
+    for bit in (base..base + 16 * 1024).step_by(97) {
+        let out = inject(&cfg, &program, cycles, Structure::L1IData, bit, 5);
+        runs += 1;
+        if matches!(out, SimOutcome::Crash { .. }) {
+            crashes += 1;
+        }
+    }
+    assert!(crashes > 0, "no crash among {runs} L1I data flips");
+}
+
+#[test]
+fn lsq_flips_assert_or_mask_only() {
+    // The paper observes only Assert-class failures for LQ/SQ.
+    let cfg = MachineConfig::cortex_a15();
+    let (program, cycles, output) = golden(&cfg, SMALL_SRC);
+    for s in [Structure::LoadQueue, Structure::StoreQueue] {
+        for bit in 0..cfg_bits(&cfg, &program, s) {
+            for cycle in [3u64, cycles / 2] {
+                let out = inject(&cfg, &program, cycles, s, bit, cycle);
+                match out {
+                    SimOutcome::Assert { .. } => {}
+                    SimOutcome::Halted { output: o, .. } => {
+                        assert_eq!(o, output, "{s} flip bit {bit} caused SDC");
+                    }
+                    SimOutcome::CycleLimit { .. } => {}
+                    other => panic!("{s} flip bit {bit} → unexpected {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+fn cfg_bits(cfg: &MachineConfig, program: &softerr_isa::Program, s: Structure) -> u64 {
+    Sim::new(cfg, program).bit_count(s)
+}
+
+#[test]
+fn iq_src_flips_produce_timeouts_and_asserts() {
+    let cfg = MachineConfig::cortex_a15();
+    let (program, cycles, _) = golden(&cfg, SMALL_SRC);
+    let (mut timeouts, mut asserts) = (0, 0);
+    for bit in 0..cfg_bits(&cfg, &program, Structure::IqSrc) {
+        for cycle in [4u64, 10, cycles / 2] {
+            match inject(&cfg, &program, cycles, Structure::IqSrc, bit, cycle) {
+                SimOutcome::CycleLimit { .. } => timeouts += 1,
+                SimOutcome::Assert { .. } => asserts += 1,
+                _ => {}
+            }
+        }
+    }
+    assert!(timeouts > 0, "IQ source flips should deadlock sometimes");
+    assert!(asserts > 0, "IQ source flips should assert sometimes");
+}
+
+#[test]
+fn rob_flips_never_silently_corrupt() {
+    // ROB fields are fully cross-checked: outcomes are Assert, Timeout, or
+    // Masked — never SDC (paper Fig. 8: ROB is Assert-only among failures).
+    let cfg = MachineConfig::cortex_a15();
+    let (program, cycles, output) = golden(&cfg, SMALL_SRC);
+    for s in [
+        Structure::RobPc,
+        Structure::RobDest,
+        Structure::RobSeq,
+        Structure::RobFlags,
+    ] {
+        let bits = cfg_bits(&cfg, &program, s);
+        for bit in (0..bits).step_by(7) {
+            match inject(&cfg, &program, cycles, s, bit, cycles / 3) {
+                SimOutcome::Halted { output: o, .. } => {
+                    assert_eq!(o, output, "{s} bit {bit} silently corrupted output");
+                }
+                SimOutcome::Assert { .. } | SimOutcome::CycleLimit { .. } => {}
+                SimOutcome::Crash { .. } => panic!("{s} bit {bit} crashed unexpectedly"),
+            }
+        }
+    }
+}
+
+#[test]
+fn rob_done_flag_loss_can_deadlock() {
+    // Clearing a DONE flag on a completed-but-uncommitted entry leaves the
+    // commit head waiting forever → Timeout. A divider-bound loop keeps the
+    // ROB backed up with completed younger entries, widening the window.
+    let cfg = MachineConfig::cortex_a72();
+    let src = "
+        void main() {
+            int x = 1000000;
+            int s = 0;
+            for (int i = 1; i < 40; i = i + 1) {
+                x = x / 3 + 7;
+                s = s + x + i;
+            }
+            out(s);
+            out(x);
+        }";
+    let (program, cycles, _) = golden(&cfg, src);
+    let mut timeouts = 0;
+    for entry in 0..24u64 {
+        for k in 1..8u64 {
+            // Bit 1 of each flags byte is DONE.
+            let out = inject(
+                &cfg,
+                &program,
+                cycles,
+                Structure::RobFlags,
+                entry * 8 + 1,
+                cycles * k / 8,
+            );
+            if matches!(out, SimOutcome::CycleLimit { .. }) {
+                timeouts += 1;
+            }
+        }
+    }
+    assert!(timeouts > 0, "no deadlock from DONE-flag loss");
+}
+
+#[test]
+fn rob_dest_corruption_asserts_at_commit() {
+    let cfg = MachineConfig::cortex_a15();
+    let (program, cycles, _) = golden(&cfg, SMALL_SRC);
+    let mut asserts = 0;
+    let bits = cfg_bits(&cfg, &program, Structure::RobDest);
+    for bit in (0..bits).step_by(3) {
+        for cycle in [cycles / 3, cycles / 2] {
+            if matches!(
+                inject(&cfg, &program, cycles, Structure::RobDest, bit, cycle),
+                SimOutcome::Assert { .. }
+            ) {
+                asserts += 1;
+            }
+        }
+    }
+    assert!(asserts > 0, "destination-field corruption never caught");
+}
+
+#[test]
+fn tag_aliasing_can_produce_sdc_in_data_caches() {
+    // A flipped L1D tag can make a line answer for the wrong address —
+    // silent data corruption without any crash.
+    let cfg = MachineConfig::cortex_a15();
+    let (program, cycles, output) = golden(&cfg, SMALL_SRC);
+    let mut nonmasked = 0;
+    let bits = cfg_bits(&cfg, &program, Structure::L1DTag);
+    for bit in (0..bits).step_by(11) {
+        match inject(&cfg, &program, cycles, Structure::L1DTag, bit, cycles / 2) {
+            SimOutcome::Halted { output: o, .. } if o != output => nonmasked += 1,
+            SimOutcome::Crash { .. } | SimOutcome::Assert { .. } => nonmasked += 1,
+            _ => {}
+        }
+    }
+    assert!(nonmasked > 0, "L1D tag flips never visible");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any single flip at any cycle in any structure yields a classifiable
+    /// outcome without panicking.
+    #[test]
+    fn random_injections_never_panic(
+        s_idx in 0usize..15,
+        bit in any::<u64>(),
+        cycle_frac in 0.0f64..1.0,
+        a72 in any::<bool>(),
+    ) {
+        let cfg = if a72 { MachineConfig::cortex_a72() } else { MachineConfig::cortex_a15() };
+        let (program, cycles, _) = golden(&cfg, SMALL_SRC);
+        let s = Structure::ALL[s_idx];
+        let cycle = ((cycles as f64) * cycle_frac) as u64;
+        let _ = inject(&cfg, &program, cycles, s, bit, cycle);
+    }
+}
+
+#[test]
+fn injection_on_real_workload_is_classifiable() {
+    let cfg = MachineConfig::cortex_a72();
+    let src = Workload::Qsort.source(Scale::Tiny);
+    let compiled = Compiler::new(Profile::A64, OptLevel::O2).compile(&src).unwrap();
+    let mut sim = Sim::new(&cfg, &compiled.program);
+    let SimOutcome::Halted { cycles, .. } = sim.run(50_000_000) else {
+        panic!("golden failed");
+    };
+    let mut classes = std::collections::BTreeMap::new();
+    for k in 0..60u64 {
+        let s = Structure::ALL[(k % 15) as usize];
+        let out = inject(&cfg, &compiled.program, cycles, s, k * 131, (k * 997) % cycles);
+        let label = match out {
+            SimOutcome::Halted { .. } => "finished",
+            SimOutcome::Crash { .. } => "crash",
+            SimOutcome::Assert { .. } => "assert",
+            SimOutcome::CycleLimit { .. } => "timeout",
+        };
+        *classes.entry(label).or_insert(0) += 1;
+    }
+    assert!(classes["finished"] > 0, "some injections must be masked: {classes:?}");
+}

@@ -1,0 +1,20 @@
+//! Prints static and dynamic size of every workload at every level/scale.
+use softerr_cc::{Compiler, OptLevel};
+use softerr_isa::{Emulator, Profile};
+use softerr_workloads::{Scale, Workload};
+
+fn main() {
+    for scale in [Scale::Tiny, Scale::Small] {
+        println!("== scale {scale}");
+        for w in Workload::ALL {
+            print!("{:10}", w.name());
+            for level in OptLevel::ALL {
+                let c = Compiler::new(Profile::A64, level).compile(&w.source(scale)).unwrap();
+                let mut e = Emulator::new(&c.program);
+                let out = e.run(2_000_000_000).unwrap();
+                print!("  {level}: {:>6} w / {:>9} dyn", c.stats.code_words, out.retired);
+            }
+            println!();
+        }
+    }
+}

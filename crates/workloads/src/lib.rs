@@ -1,0 +1,206 @@
+//! # softerr-workloads
+//!
+//! The benchmark suite of the study: eight MiniC kernels mirroring the
+//! MiBench programs used by the paper (`qsort`, `dijkstra`, `fft`, `sha`,
+//! `blowfish`, `gsm`, `patricia`, `rijndael`). Every workload
+//!
+//! * generates its own input deterministically (an in-guest LCG — no file
+//!   I/O exists on the bare-metal target),
+//! * is *self-checking*: it emits validity flags and checksums through the
+//!   `out` instruction, so silent data corruptions are observable as output
+//!   differences against the fault-free golden run,
+//! * comes in three input scales, standing in for MiBench's small/large
+//!   datasets (scaled down so campaigns fit a single-machine budget).
+//!
+//! ```
+//! use softerr_workloads::{Scale, Workload};
+//! use softerr_cc::{Compiler, OptLevel};
+//! use softerr_isa::{Emulator, Profile};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = Workload::Qsort.source(Scale::Tiny);
+//! let compiled = Compiler::new(Profile::A64, OptLevel::O2).compile(&src)?;
+//! let out = Emulator::new(&compiled.program).run(10_000_000)?;
+//! assert_eq!(out.output[0], 1, "qsort reports a sorted array");
+//! # Ok(())
+//! # }
+//! ```
+#![warn(missing_docs)]
+
+mod sources;
+
+pub use sources::blowfish::boxes as blowfish_boxes;
+pub use sources::rijndael::aes_sbox;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Input scale, standing in for MiBench's dataset sizes.
+///
+/// `Tiny` is for unit tests, `Small` for single-machine injection
+/// campaigns, `Full` for longer paper-style runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// Smallest inputs (unit tests, smoke campaigns).
+    Tiny,
+    /// Default campaign scale.
+    Small,
+    /// Largest inputs (closest to the paper's *large* datasets).
+    Full,
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scale::Tiny => write!(f, "tiny"),
+            Scale::Small => write!(f, "small"),
+            Scale::Full => write!(f, "full"),
+        }
+    }
+}
+
+/// One of the eight benchmark kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// Recursive quicksort over pseudo-random integers (MiBench `qsort`).
+    Qsort,
+    /// Shortest paths from several sources, O(V²) Dijkstra (MiBench `dijkstra`).
+    Dijkstra,
+    /// Fixed-point radix-2 FFT with per-stage scaling (MiBench `fft`).
+    Fft,
+    /// Real SHA-1 with padding over a deterministic message (MiBench `sha`).
+    Sha,
+    /// Blowfish-style 16-round Feistel cipher, encrypt + verify decrypt
+    /// (MiBench `blowfish`; S-boxes are deterministic pseudo-random rather
+    /// than π digits — structurally identical).
+    Blowfish,
+    /// GSM-style LPC front end: autocorrelation + Schur reflection
+    /// coefficients in fixed point (MiBench `gsm`).
+    Gsm,
+    /// Bitwise trie insert/lookup over routing-style keys (MiBench
+    /// `patricia`).
+    Patricia,
+    /// Full AES-128 ECB encryption with key expansion (MiBench `rijndael`).
+    Rijndael,
+}
+
+impl Workload {
+    /// All workloads, in the paper's presentation order.
+    pub const ALL: [Workload; 8] = [
+        Workload::Qsort,
+        Workload::Dijkstra,
+        Workload::Fft,
+        Workload::Sha,
+        Workload::Blowfish,
+        Workload::Gsm,
+        Workload::Patricia,
+        Workload::Rijndael,
+    ];
+
+    /// Short name (matches the paper's benchmark labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Qsort => "qsort",
+            Workload::Dijkstra => "dijkstra",
+            Workload::Fft => "fft",
+            Workload::Sha => "sha",
+            Workload::Blowfish => "blowfish",
+            Workload::Gsm => "gsm",
+            Workload::Patricia => "patricia",
+            Workload::Rijndael => "rijndael",
+        }
+    }
+
+    /// Parses a workload from its short name.
+    pub fn from_name(name: &str) -> Option<Workload> {
+        Workload::ALL.iter().copied().find(|w| w.name() == name)
+    }
+
+    /// One-line description of the kernel and its computational character.
+    pub fn description(self) -> &'static str {
+        match self {
+            Workload::Qsort => "recursive quicksort; branch-heavy, data-dependent control flow",
+            Workload::Dijkstra => "O(V^2) shortest paths; memory-scan dominated",
+            Workload::Fft => "fixed-point radix-2 FFT; multiply-heavy with table lookups",
+            Workload::Sha => "SHA-1; long dependence chains of rotates and adds",
+            Workload::Blowfish => "16-round Feistel cipher; S-box lookups",
+            Workload::Gsm => "LPC autocorrelation + Schur recursion; MAC loops with divisions",
+            Workload::Patricia => "bitwise trie insert/lookup; pointer chasing",
+            Workload::Rijndael => "AES-128; byte-level tables and xtime GF arithmetic",
+        }
+    }
+
+    /// Returns the MiniC source for this workload at the given scale.
+    pub fn source(self, scale: Scale) -> String {
+        match self {
+            Workload::Qsort => sources::qsort::source(scale),
+            Workload::Dijkstra => sources::dijkstra::source(scale),
+            Workload::Fft => sources::fft::source(scale),
+            Workload::Sha => sources::sha::source(scale),
+            Workload::Blowfish => sources::blowfish::source(scale),
+            Workload::Gsm => sources::gsm::source(scale),
+            Workload::Patricia => sources::patricia::source(scale),
+            Workload::Rijndael => sources::rijndael::source(scale),
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The guest-side LCG shared by all workloads (documented here so host-side
+/// reference implementations can reproduce the inputs).
+///
+/// `seed = seed * 1103515245 + 12345` over `u32`; each draw returns
+/// `(seed >> 16) & 0x7FFF`.
+pub fn lcg_next(seed: &mut u32) -> u32 {
+    *seed = seed.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+    (*seed >> 16) & 0x7FFF
+}
+
+/// MiniC snippet implementing the shared LCG as `rnd()` with a `u32 seed`
+/// global (kept in one place so every workload uses identical input
+/// generation).
+pub(crate) const LCG_SNIPPET: &str = "
+u32 seed;
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 0x7FFF;
+}
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(Workload::from_name("nope"), None);
+    }
+
+    #[test]
+    fn all_sources_nonempty_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for w in Workload::ALL {
+            for s in [Scale::Tiny, Scale::Small, Scale::Full] {
+                let src = w.source(s);
+                assert!(src.contains("void main"), "{w}/{s} missing main");
+                assert!(seen.insert(src), "{w}/{s} duplicates another source");
+            }
+        }
+    }
+
+    #[test]
+    fn lcg_matches_documented_recurrence() {
+        let mut s = 42u32;
+        let a = lcg_next(&mut s);
+        assert_eq!(s, 42u32.wrapping_mul(1_103_515_245).wrapping_add(12_345));
+        assert_eq!(a, (s >> 16) & 0x7FFF);
+    }
+}

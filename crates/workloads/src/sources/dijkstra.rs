@@ -1,0 +1,74 @@
+//! MiBench `dijkstra` equivalent: O(V²) single-source shortest paths over a
+//! dense random graph, repeated from several sources.
+
+use crate::{Scale, LCG_SNIPPET};
+
+/// (vertex count, source count) per scale.
+pub fn params(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Tiny => (12, 2),
+        Scale::Small => (24, 4),
+        Scale::Full => (48, 8),
+    }
+}
+
+/// Returns the MiniC source.
+pub fn source(scale: Scale) -> String {
+    let (v, s) = params(scale);
+    let vv = v * v;
+    format!(
+        r#"
+// dijkstra: shortest paths over a dense {v}-vertex random graph, {s} sources.
+int graph[{vv}];
+int dist[{v}];
+int visited[{v}];
+{LCG_SNIPPET}
+
+void init_graph() {{
+    for (int i = 0; i < {v}; i = i + 1) {{
+        for (int j = 0; j < {v}; j = j + 1) {{
+            if (i == j) graph[i * {v} + j] = 0;
+            else graph[i * {v} + j] = rnd() % 97 + 1;
+        }}
+    }}
+}}
+
+int dijkstra(int src) {{
+    for (int i = 0; i < {v}; i = i + 1) {{
+        dist[i] = 1000000;
+        visited[i] = 0;
+    }}
+    dist[src] = 0;
+    for (int round = 0; round < {v}; round = round + 1) {{
+        int u = -1;
+        int best = 1000001;
+        for (int i = 0; i < {v}; i = i + 1) {{
+            if (!visited[i] && dist[i] < best) {{
+                best = dist[i];
+                u = i;
+            }}
+        }}
+        if (u < 0) break;
+        visited[u] = 1;
+        for (int w = 0; w < {v}; w = w + 1) {{
+            int nd = dist[u] + graph[u * {v} + w];
+            if (nd < dist[w]) dist[w] = nd;
+        }}
+    }}
+    int total = 0;
+    for (int i = 0; i < {v}; i = i + 1) total = total + dist[i];
+    return total;
+}}
+
+void main() {{
+    seed = 7;
+    init_graph();
+    int sum = 0;
+    for (int src = 0; src < {s}; src = src + 1) {{
+        sum = sum + dijkstra(src * ({v} / {s}));
+    }}
+    out(sum);
+}}
+"#
+    )
+}

@@ -1,0 +1,103 @@
+//! MiBench `fft` equivalent: iterative radix-2 fixed-point FFT (Q12
+//! twiddles, per-stage scaling to keep every intermediate inside 32 bits so
+//! the kernel is profile-independent).
+
+use crate::{Scale, LCG_SNIPPET};
+
+/// (FFT size, repetitions) per scale.
+pub fn params(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Tiny => (32, 1),
+        Scale::Small => (64, 3),
+        Scale::Full => (128, 8),
+    }
+}
+
+fn twiddle_tables(n: usize) -> (String, String) {
+    let mut cos = Vec::with_capacity(n / 2);
+    let mut sin = Vec::with_capacity(n / 2);
+    for k in 0..n / 2 {
+        let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        cos.push(((ang.cos() * 4096.0).round()) as i64);
+        sin.push(((ang.sin() * 4096.0).round()) as i64);
+    }
+    let fmt = |v: &[i64]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    (fmt(&cos), fmt(&sin))
+}
+
+/// Returns the MiniC source.
+pub fn source(scale: Scale) -> String {
+    let (n, reps) = params(scale);
+    let (costab, sintab) = twiddle_tables(n);
+    let half = n / 2;
+    format!(
+        r#"
+// fft: {reps} fixed-point radix-2 FFTs of size {n} (Q12 twiddles).
+int re[{n}];
+int im[{n}];
+int costab[{half}] = {{{costab}}};
+int sintab[{half}] = {{{sintab}}};
+{LCG_SNIPPET}
+
+void bit_reverse() {{
+    int j = 0;
+    for (int i = 1; i < {n} - 1; i = i + 1) {{
+        int bit = {n} >> 1;
+        while (j & bit) {{
+            j = j ^ bit;
+            bit = bit >> 1;
+        }}
+        j = j | bit;
+        if (i < j) {{
+            int t = re[i]; re[i] = re[j]; re[j] = t;
+            t = im[i]; im[i] = im[j]; im[j] = t;
+        }}
+    }}
+}}
+
+void fft() {{
+    bit_reverse();
+    for (int len = 2; len <= {n}; len = len << 1) {{
+        int step = {n} / len;
+        int halflen = len / 2;
+        for (int base = 0; base < {n}; base = base + len) {{
+            for (int k = 0; k < halflen; k = k + 1) {{
+                int c = costab[k * step];
+                int s = sintab[k * step];
+                int p = base + k;
+                int q = base + k + halflen;
+                int tr = (re[q] * c - im[q] * s) >> 12;
+                int ti = (re[q] * s + im[q] * c) >> 12;
+                // Per-stage scaling keeps magnitudes bounded.
+                re[q] = (re[p] - tr) >> 1;
+                im[q] = (im[p] - ti) >> 1;
+                re[p] = (re[p] + tr) >> 1;
+                im[p] = (im[p] + ti) >> 1;
+            }}
+        }}
+    }}
+}}
+
+void main() {{
+    seed = 1234;
+    int cks = 0;
+    for (int rep = 0; rep < {reps}; rep = rep + 1) {{
+        for (int i = 0; i < {n}; i = i + 1) {{
+            re[i] = rnd() % 4096 - 2048;
+            im[i] = 0;
+        }}
+        fft();
+        for (int i = 0; i < {n}; i = i + 1) {{
+            cks = cks + re[i] * (i + 1) + im[i] * (i + 3);
+        }}
+    }}
+    out(cks);
+}}
+"#
+    )
+}

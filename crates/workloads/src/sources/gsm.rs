@@ -1,0 +1,85 @@
+//! MiBench `gsm` equivalent: the LPC front end of a GSM 06.10-style codec —
+//! per-frame autocorrelation followed by a fixed-point Levinson-Durbin
+//! recursion producing eight reflection/predictor coefficients. Dominated
+//! by multiply-accumulate loops with data-dependent divisions, like the
+//! original `toast` encoder.
+
+use crate::{Scale, LCG_SNIPPET};
+
+/// Number of 160-sample frames per scale.
+pub fn frames(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 2,
+        Scale::Small => 8,
+        Scale::Full => 40,
+    }
+}
+
+/// Returns the MiniC source.
+pub fn source(scale: Scale) -> String {
+    let f = frames(scale);
+    format!(
+        r#"
+// gsm: LPC analysis (autocorrelation + Levinson-Durbin) over {f} frames.
+int pcm[160];
+int acf[9];
+int lpc[9];
+int prev[9];
+{LCG_SNIPPET}
+
+void autocorrelate() {{
+    for (int k = 0; k <= 8; k = k + 1) {{
+        int sum = 0;
+        for (int i = k; i < 160; i = i + 1) {{
+            sum = sum + pcm[i] * pcm[i - k];
+        }}
+        acf[k] = sum;
+    }}
+    // Normalize so Q12 fixed-point products below stay inside 32 bits.
+    while (acf[0] >= 16384) {{
+        for (int k = 0; k <= 8; k = k + 1) acf[k] = acf[k] >> 1;
+    }}
+}}
+
+// Fixed-point Levinson-Durbin; returns a checksum of the reflection
+// coefficients (Q12).
+int levinson() {{
+    int err = acf[0];
+    if (err == 0) return 0;
+    int cks = 0;
+    for (int i = 0; i <= 8; i = i + 1) lpc[i] = 0;
+    for (int n = 1; n <= 8; n = n + 1) {{
+        int acc = acf[n] << 12;
+        for (int j = 1; j < n; j = j + 1) {{
+            acc = acc - lpc[j] * acf[n - j];
+        }}
+        int k = acc / err;
+        if (k > 4095) k = 4095;
+        if (k < -4095) k = -4095;
+        for (int j = 0; j <= 8; j = j + 1) prev[j] = lpc[j];
+        for (int j = 1; j < n; j = j + 1) {{
+            lpc[j] = prev[j] - ((k * prev[n - j]) >> 12);
+        }}
+        lpc[n] = k;
+        err = err - ((((k * k) >> 12) * err) >> 12);
+        if (err < 1) err = 1;
+        cks = cks + k * n;
+    }}
+    return cks;
+}}
+
+void main() {{
+    seed = 777;
+    int total = 0;
+    for (int frame = 0; frame < {f}; frame = frame + 1) {{
+        for (int i = 0; i < 160; i = i + 1) {{
+            pcm[i] = rnd() % 512 - 256;
+        }}
+        autocorrelate();
+        total = total + levinson();
+    }}
+    out(total);
+}}
+"#
+    )
+}

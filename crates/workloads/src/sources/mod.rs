@@ -1,0 +1,10 @@
+//! MiniC source generators, one module per benchmark.
+
+pub mod blowfish;
+pub mod dijkstra;
+pub mod fft;
+pub mod gsm;
+pub mod patricia;
+pub mod qsort;
+pub mod rijndael;
+pub mod sha;

@@ -1,0 +1,98 @@
+//! MiBench `patricia` equivalent: a bitwise routing trie over 16-bit keys
+//! with array-based nodes — insertions, successful lookups, and guaranteed
+//! misses, finishing with a structural checksum. Pointer-chasing dominated,
+//! like the original routing-table benchmark.
+
+use crate::{Scale, LCG_SNIPPET};
+
+/// Number of inserted keys per scale.
+pub fn keys(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 24,
+        Scale::Small => 90,
+        Scale::Full => 400,
+    }
+}
+
+/// Returns the MiniC source.
+pub fn source(scale: Scale) -> String {
+    let k = keys(scale);
+    let maxn = k * 16 + 2;
+    format!(
+        r#"
+// patricia: bit-trie over {k} 16-bit keys ({maxn} node slots).
+int left[{maxn}];
+int right[{maxn}];
+int value[{maxn}];
+int nnodes;
+{LCG_SNIPPET}
+
+int insert(int key) {{
+    int node = 0;
+    for (int b = 15; b >= 0; b = b - 1) {{
+        int bit = (key >> b) & 1;
+        int next;
+        if (bit) next = right[node];
+        else next = left[node];
+        if (next == 0) {{
+            next = nnodes;
+            nnodes = nnodes + 1;
+            left[next] = 0;
+            right[next] = 0;
+            value[next] = 0;
+            if (bit) right[node] = next;
+            else left[node] = next;
+        }}
+        node = next;
+    }}
+    value[node] = value[node] + 1;
+    return node;
+}}
+
+int lookup(int key) {{
+    int node = 0;
+    for (int b = 15; b >= 0; b = b - 1) {{
+        int bit = (key >> b) & 1;
+        if (bit) node = right[node];
+        else node = left[node];
+        if (node == 0) return -1;
+    }}
+    return value[node];
+}}
+
+void main() {{
+    nnodes = 1;
+    seed = 31337;
+    // Insert phase: keys have bit 15 clear.
+    for (int i = 0; i < {k}; i = i + 1) {{
+        insert(rnd() & 0x7FFF);
+    }}
+    // Lookup phase: regenerate the same keys (hits), then probe keys with
+    // bit 15 set (guaranteed misses).
+    seed = 31337;
+    int hits = 0;
+    int found = 0;
+    for (int i = 0; i < {k}; i = i + 1) {{
+        int v = lookup(rnd() & 0x7FFF);
+        if (v > 0) {{
+            hits = hits + 1;
+            found = found + v;
+        }}
+    }}
+    int misses = 0;
+    for (int i = 0; i < {k}; i = i + 1) {{
+        if (lookup(0x8000 | (rnd() & 0x7FFF)) < 0) misses = misses + 1;
+    }}
+    int cks = 0;
+    for (int i = 0; i < nnodes; i = i + 1) {{
+        cks = cks + left[i] * 3 + right[i] * 5 + value[i] * 7;
+    }}
+    out(hits);
+    out(found);
+    out(misses);
+    out(nnodes);
+    out(cks);
+}}
+"#
+    )
+}

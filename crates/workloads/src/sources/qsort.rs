@@ -1,0 +1,60 @@
+//! MiBench `qsort` equivalent: recursive quicksort of pseudo-random
+//! integers, followed by a sortedness check and a position-weighted
+//! checksum.
+
+use crate::{Scale, LCG_SNIPPET};
+
+/// Array length per scale.
+pub fn n(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 48,
+        Scale::Small => 160,
+        Scale::Full => 700,
+    }
+}
+
+/// Returns the MiniC source.
+pub fn source(scale: Scale) -> String {
+    let n = n(scale);
+    format!(
+        r#"
+// qsort: recursive quicksort over {n} pseudo-random integers.
+int a[{n}];
+{LCG_SNIPPET}
+
+void quicksort(int lo, int hi) {{
+    if (lo >= hi) return;
+    int p = a[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {{
+        while (a[i] < p) i = i + 1;
+        while (a[j] > p) j = j - 1;
+        if (i <= j) {{
+            int t = a[i];
+            a[i] = a[j];
+            a[j] = t;
+            i = i + 1;
+            j = j - 1;
+        }}
+    }}
+    quicksort(lo, j);
+    quicksort(i, hi);
+}}
+
+void main() {{
+    seed = 42;
+    for (int k = 0; k < {n}; k = k + 1) a[k] = rnd();
+    quicksort(0, {n} - 1);
+    int ok = 1;
+    int sum = 0;
+    for (int k = 0; k < {n}; k = k + 1) {{
+        if (k > 0 && a[k - 1] > a[k]) ok = 0;
+        sum = sum + a[k] * (k + 1);
+    }}
+    out(ok);
+    out(sum);
+}}
+"#
+    )
+}

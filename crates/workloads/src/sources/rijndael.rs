@@ -1,0 +1,154 @@
+//! MiBench `rijndael` equivalent: genuine AES-128 ECB encryption — real
+//! S-box (generated from GF(2⁸) inversion plus the affine transform), full
+//! key expansion, and all ten rounds. The host-side reference in the test
+//! suite validates ciphertexts bit-for-bit.
+
+use crate::{Scale, LCG_SNIPPET};
+
+/// Number of 16-byte blocks per scale.
+pub fn blocks(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 3,
+        Scale::Small => 10,
+        Scale::Full => 64,
+    }
+}
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (if b & 0x80 != 0 { 0x1B } else { 0 })
+}
+
+/// The AES S-box, computed (not transcribed).
+pub fn aes_sbox() -> [u8; 256] {
+    let mut alog = [0u8; 256];
+    let mut log = [0u8; 256];
+    let mut p: u8 = 1;
+    for i in 0..255 {
+        alog[i] = p;
+        log[p as usize] = i as u8;
+        p ^= xtime(p); // multiply by the generator 0x03
+    }
+    let mut sbox = [0u8; 256];
+    for i in 0..256usize {
+        let inv = if i == 0 {
+            0
+        } else {
+            alog[(255 - log[i] as usize) % 255]
+        };
+        let mut x = inv;
+        let mut y = inv;
+        for _ in 0..4 {
+            y = y.rotate_left(1);
+            x ^= y;
+        }
+        sbox[i] = x ^ 0x63;
+    }
+    sbox
+}
+
+/// Returns the MiniC source.
+pub fn source(scale: Scale) -> String {
+    let nblocks = blocks(scale);
+    let sbox = aes_sbox()
+        .iter()
+        .map(|b| format!("0x{b:02X}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        r#"
+// rijndael: AES-128 ECB over {nblocks} blocks (computed S-box, 10 rounds).
+int sbox[256] = {{{sbox}}};
+int rcon[11] = {{0, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36}};
+int rk[176];
+int st[16];
+{LCG_SNIPPET}
+
+int xtime(int b) {{
+    int r = b << 1;
+    if (b & 0x80) r = r ^ 0x1B;
+    return r & 0xFF;
+}}
+
+void key_expand() {{
+    for (int i = 16; i < 176; i = i + 4) {{
+        int t0 = rk[i - 4];
+        int t1 = rk[i - 3];
+        int t2 = rk[i - 2];
+        int t3 = rk[i - 1];
+        if (i % 16 == 0) {{
+            int tmp = t0;
+            t0 = sbox[t1] ^ rcon[i / 16];
+            t1 = sbox[t2];
+            t2 = sbox[t3];
+            t3 = sbox[tmp];
+        }}
+        rk[i] = rk[i - 16] ^ t0;
+        rk[i + 1] = rk[i - 15] ^ t1;
+        rk[i + 2] = rk[i - 14] ^ t2;
+        rk[i + 3] = rk[i - 13] ^ t3;
+    }}
+}}
+
+void add_round_key(int round) {{
+    for (int i = 0; i < 16; i = i + 1) {{
+        st[i] = st[i] ^ rk[round * 16 + i];
+    }}
+}}
+
+void sub_bytes() {{
+    for (int i = 0; i < 16; i = i + 1) st[i] = sbox[st[i]];
+}}
+
+// State is column-major: st[row + 4*col]; row r rotates left by r.
+void shift_rows() {{
+    int t = st[1];
+    st[1] = st[5]; st[5] = st[9]; st[9] = st[13]; st[13] = t;
+    t = st[2]; st[2] = st[10]; st[10] = t;
+    t = st[6]; st[6] = st[14]; st[14] = t;
+    t = st[3];
+    st[3] = st[15]; st[15] = st[11]; st[11] = st[7]; st[7] = t;
+}}
+
+void mix_columns() {{
+    for (int c = 0; c < 4; c = c + 1) {{
+        int a0 = st[4 * c];
+        int a1 = st[4 * c + 1];
+        int a2 = st[4 * c + 2];
+        int a3 = st[4 * c + 3];
+        st[4 * c]     = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+        st[4 * c + 1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+        st[4 * c + 2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+        st[4 * c + 3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+    }}
+}}
+
+void encrypt_block() {{
+    add_round_key(0);
+    for (int round = 1; round < 10; round = round + 1) {{
+        sub_bytes();
+        shift_rows();
+        mix_columns();
+        add_round_key(round);
+    }}
+    sub_bytes();
+    shift_rows();
+    add_round_key(10);
+}}
+
+void main() {{
+    seed = 5150;
+    for (int i = 0; i < 16; i = i + 1) rk[i] = rnd() & 0xFF;
+    key_expand();
+    u32 cks = 0;
+    for (int blk = 0; blk < {nblocks}; blk = blk + 1) {{
+        for (int i = 0; i < 16; i = i + 1) st[i] = rnd() & 0xFF;
+        encrypt_block();
+        for (int i = 0; i < 16; i = i + 1) {{
+            cks = (cks * 31) + st[i];
+        }}
+    }}
+    out(cks);
+}}
+"#
+    )
+}

@@ -1,0 +1,104 @@
+//! MiBench `sha` equivalent: genuine SHA-1 (with padding) over a
+//! deterministic pseudo-random message; the five hash words are the
+//! program output. The host-side reference implementation in the test
+//! suite validates the digest bit-for-bit.
+
+use crate::{Scale, LCG_SNIPPET};
+
+/// Number of 64-byte message blocks per scale (padding adds one more).
+pub fn blocks(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 2,
+        Scale::Small => 8,
+        Scale::Full => 48,
+    }
+}
+
+/// Returns the MiniC source.
+pub fn source(scale: Scale) -> String {
+    let b = blocks(scale);
+    let words = b * 16;
+    let bitlen = (b * 64 * 8) as u64;
+    format!(
+        r#"
+// sha: SHA-1 of a {b}-block ({words}-word) pseudo-random message.
+u32 msg[{words}];
+u32 h[5];
+u32 w[80];
+{LCG_SNIPPET}
+
+u32 rotl(u32 x, int n) {{
+    return (x << n) | (x >> (32 - n));
+}}
+
+void process(int base, int pad) {{
+    for (int t = 0; t < 16; t = t + 1) {{
+        if (pad) {{
+            if (t == 0) w[t] = 0x80000000;
+            else if (t == 15) w[t] = {bitlen};
+            else w[t] = 0;
+        }} else {{
+            w[t] = msg[base + t];
+        }}
+    }}
+    for (int t = 16; t < 80; t = t + 1) {{
+        w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+    }}
+    u32 a = h[0];
+    u32 b = h[1];
+    u32 c = h[2];
+    u32 d = h[3];
+    u32 e = h[4];
+    for (int t = 0; t < 80; t = t + 1) {{
+        u32 f;
+        u32 k;
+        if (t < 20) {{
+            f = (b & c) | ((~b) & d);
+            k = 0x5A827999;
+        }} else if (t < 40) {{
+            f = b ^ c ^ d;
+            k = 0x6ED9EBA1;
+        }} else if (t < 60) {{
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8F1BBCDC;
+        }} else {{
+            f = b ^ c ^ d;
+            k = 0xCA62C1D6;
+        }}
+        u32 tmp = rotl(a, 5) + f + e + k + w[t];
+        e = d;
+        d = c;
+        c = rotl(b, 30);
+        b = a;
+        a = tmp;
+    }}
+    h[0] = h[0] + a;
+    h[1] = h[1] + b;
+    h[2] = h[2] + c;
+    h[3] = h[3] + d;
+    h[4] = h[4] + e;
+}}
+
+void main() {{
+    seed = 99;
+    for (int i = 0; i < {words}; i = i + 1) {{
+        msg[i] = (rnd() << 17) | (rnd() << 2) | (rnd() & 3);
+    }}
+    h[0] = 0x67452301;
+    h[1] = 0xEFCDAB89;
+    h[2] = 0x98BADCFE;
+    h[3] = 0x10325476;
+    h[4] = 0xC3D2E1F0;
+    for (int blk = 0; blk < {b}; blk = blk + 1) {{
+        process(blk * 16, 0);
+    }}
+    process(0, 1);
+    out(h[0]);
+    out(h[1]);
+    out(h[2]);
+    out(h[3]);
+    out(h[4]);
+}}
+"#
+    )
+}

@@ -1,0 +1,56 @@
+//! Paper-scale (`Scale::Full`) smoke validation: every workload compiles
+//! and runs to completion at both remaining scales on the reference
+//! emulator, with self-checks passing. (The cycle-level campaigns use the
+//! smaller scales by default; this guarantees `--scale paper` works.)
+
+use softerr_cc::{Compiler, OptLevel};
+use softerr_isa::{Emulator, Profile};
+use softerr_workloads::{Scale, Workload};
+
+#[test]
+fn full_scale_runs_and_self_checks() {
+    for w in Workload::ALL {
+        let src = w.source(Scale::Full);
+        let compiled = Compiler::new(Profile::A64, OptLevel::O2)
+            .compile(&src)
+            .unwrap_or_else(|e| panic!("{w} failed to compile at Full: {e}"));
+        let mut emu = Emulator::new(&compiled.program);
+        let out = emu
+            .run(4_000_000_000)
+            .unwrap_or_else(|t| panic!("{w} trapped at Full: {t}"));
+        assert!(out.completed, "{w} did not halt at Full scale");
+        match w {
+            Workload::Qsort => assert_eq!(out.output[0], 1, "qsort sortedness flag"),
+            Workload::Blowfish => {
+                assert_eq!(out.output[0], 96, "all blowfish blocks must verify")
+            }
+            Workload::Patricia => {
+                assert_eq!(out.output[0], 400, "all patricia lookups must hit");
+                assert_eq!(out.output[2], 400, "all patricia misses must miss");
+            }
+            _ => assert!(!out.output.is_empty()),
+        }
+    }
+}
+
+#[test]
+fn scales_strictly_increase_work() {
+    for w in Workload::ALL {
+        let retired = |scale: Scale| {
+            let compiled = Compiler::new(Profile::A64, OptLevel::O1)
+                .compile(&w.source(scale))
+                .unwrap();
+            Emulator::new(&compiled.program)
+                .run(4_000_000_000)
+                .unwrap()
+                .retired
+        };
+        let tiny = retired(Scale::Tiny);
+        let small = retired(Scale::Small);
+        let full = retired(Scale::Full);
+        assert!(
+            tiny < small && small < full,
+            "{w}: scales must grow ({tiny} / {small} / {full})"
+        );
+    }
+}
