@@ -1,12 +1,46 @@
-//! Criterion benchmark: end-to-end fault injections per second (golden
-//! positioning + flip + run-to-outcome), the unit cost of every campaign.
+//! Criterion benchmark: end-to-end fault injections per second.
+//!
+//! Two groups:
+//!
+//! * `injection_throughput` — the default RegFile campaign (100 uniformly
+//!   sampled faults) with the fresh per-fault engine versus the
+//!   golden-prefix checkpointing engine. The checkpointing engine simulates
+//!   the fault-free prefix once and forks a child per fault, so its
+//!   advantage grows with the golden run length; this pair is the headline
+//!   before/after number for the campaign engine.
+//! * `single_injection` — the unit cost of one from-scratch injection
+//!   (golden positioning + flip + run-to-outcome) across structures.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use softerr::{
-    Compiler, FaultSpec, Injector, MachineConfig, OptLevel, Scale, Structure, Workload,
+    CampaignConfig, Compiler, FaultSpec, Injector, MachineConfig, OptLevel, Scale, Structure,
+    Workload,
 };
 
-fn bench_injection(c: &mut Criterion) {
+fn bench_campaign(c: &mut Criterion) {
+    let machine = MachineConfig::cortex_a15();
+    let compiled = Compiler::new(machine.profile, OptLevel::O1)
+        .compile(&Workload::Qsort.source(Scale::Tiny))
+        .expect("compile");
+    let injector = Injector::new(&machine, &compiled.program).expect("golden");
+
+    let mut group = c.benchmark_group("injection_throughput");
+    let base = CampaignConfig::default();
+    group.throughput(Throughput::Elements(base.injections));
+    for (label, checkpoint) in [("fresh", false), ("checkpoint", true)] {
+        group.bench_with_input(
+            BenchmarkId::new("rf_campaign", label),
+            &checkpoint,
+            |b, &checkpoint| {
+                let cfg = CampaignConfig { checkpoint, ..base };
+                b.iter(|| injector.campaign(Structure::RegFile, &cfg))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single(c: &mut Criterion) {
     let machine = MachineConfig::cortex_a15();
     let compiled = Compiler::new(machine.profile, OptLevel::O1)
         .compile(&Workload::Qsort.source(Scale::Tiny))
@@ -14,7 +48,7 @@ fn bench_injection(c: &mut Criterion) {
     let injector = Injector::new(&machine, &compiled.program).expect("golden");
     let mid = injector.golden().cycles / 2;
 
-    let mut group = c.benchmark_group("injection_throughput");
+    let mut group = c.benchmark_group("single_injection");
     for structure in [Structure::RegFile, Structure::L1DData, Structure::RobPc] {
         group.bench_with_input(
             BenchmarkId::new("qsort_o1", structure.name()),
@@ -32,5 +66,5 @@ fn bench_injection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1)); targets = bench_injection}
+criterion_group! {name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1)); targets = bench_campaign, bench_single}
 criterion_main!(benches);

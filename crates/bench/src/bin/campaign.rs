@@ -20,6 +20,7 @@ struct Args {
     injections: u64,
     seed: u64,
     threads: usize,
+    checkpoint: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
         injections: 200,
         seed: 1,
         threads: 1,
+        checkpoint: true,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -73,6 +75,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => args.seed = value.parse().map_err(|_| "bad seed")?,
             "--threads" => args.threads = value.parse().map_err(|_| "bad thread count")?,
+            "--checkpoint" => {
+                args.checkpoint = match value.as_str() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => return Err(format!("bad --checkpoint value `{other}` (on|off)")),
+                }
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -87,7 +96,7 @@ fn main() {
             eprintln!(
                 "usage: campaign [--machine a15|a72] [--workload NAME] [--level O0..O3]\n\
                  \x20              [--structure NAME] [--scale tiny|small|full]\n\
-                 \x20              [-n COUNT] [--seed N] [--threads N]"
+                 \x20              [-n COUNT] [--seed N] [--threads N] [--checkpoint on|off]"
             );
             std::process::exit(1);
         }
@@ -120,6 +129,7 @@ fn main() {
                 injections: args.injections,
                 seed: args.seed,
                 threads: args.threads,
+                checkpoint: args.checkpoint,
             },
         );
         table.row(vec![

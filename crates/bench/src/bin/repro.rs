@@ -92,6 +92,7 @@ fn usage() {
     eprintln!("  --injections N                override injections per cell");
     eprintln!("  --seed N                      campaign seed (default 20240704)");
     eprintln!("  --threads N                   worker threads (default 1)");
+    eprintln!("  --no-checkpoint               disable golden-prefix checkpointing");
     eprintln!("  --results DIR                 cache directory (default target/)");
     eprintln!("  --fresh                       ignore any cached results");
 }
@@ -102,6 +103,7 @@ struct Options {
     injections: u64,
     seed: u64,
     threads: usize,
+    checkpoint: bool,
     results_dir: PathBuf,
     fresh: bool,
 }
@@ -113,6 +115,7 @@ impl Options {
             injections: 16,
             seed: 20_240_704,
             threads: 1,
+            checkpoint: true,
             results_dir: PathBuf::from("target"),
             fresh: false,
         };
@@ -150,6 +153,7 @@ impl Options {
                 "--injections" => opts.injections = next("--injections").parse().expect("number"),
                 "--seed" => opts.seed = next("--seed").parse().expect("number"),
                 "--threads" => opts.threads = next("--threads").parse().expect("number"),
+                "--no-checkpoint" => opts.checkpoint = false,
                 "--results" => opts.results_dir = PathBuf::from(next("--results")),
                 "--fresh" => opts.fresh = true,
                 other => {
@@ -184,6 +188,7 @@ fn study(opts: &Options) -> StudyResults {
         injections: opts.injections,
         seed: opts.seed,
         threads: opts.threads,
+        checkpoint: opts.checkpoint,
         ..StudyConfig::default()
     };
     eprintln!(
@@ -516,6 +521,7 @@ fn ablation_opt(opts: &Options) {
                 injections: opts.injections.max(50),
                 seed: opts.seed,
                 threads: opts.threads,
+                checkpoint: opts.checkpoint,
             },
         );
         t.row(vec![
@@ -557,6 +563,7 @@ fn mbu(opts: &Options) {
                     injections: opts.injections.max(60),
                     seed: opts.seed,
                     threads: opts.threads,
+                    checkpoint: opts.checkpoint,
                 },
                 width,
             );
@@ -592,6 +599,7 @@ fn ablation_size(opts: &Options) {
                 injections: opts.injections.max(50),
                 seed: opts.seed,
                 threads: opts.threads,
+                checkpoint: opts.checkpoint,
             },
         );
         t.row(vec![

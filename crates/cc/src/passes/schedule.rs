@@ -43,12 +43,13 @@ pub fn run(func: &mut IrFunc) -> bool {
     let mut changed = false;
     for b in &mut func.blocks {
         let n = b.insts.len();
-        if n < 3 || n > MAX_BLOCK {
+        if !(3..=MAX_BLOCK).contains(&n) {
             continue;
         }
         // Build the dependence DAG.
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut npreds: Vec<usize> = vec![0; n];
+        #[allow(clippy::needless_range_loop)] // pairwise (i, j) DAG build
         for i in 0..n {
             for j in (i + 1)..n {
                 if depends(&b.insts[i], &b.insts[j]) {

@@ -33,6 +33,7 @@ fn fold_trivial_branches(func: &mut IrFunc) -> bool {
 fn thread_jumps(func: &mut IrFunc) -> bool {
     // forward[b] = ultimate target of the empty-jump chain starting at b.
     let mut forward: Vec<BlockId> = (0..func.blocks.len()).collect();
+    #[allow(clippy::needless_range_loop)] // id is also chased through chains
     for id in 0..func.blocks.len() {
         let mut target = id;
         let mut hops = 0;

@@ -14,7 +14,7 @@ fn main() {
                 let SimOutcome::Halted { cycles, .. } = sim.run(1_000_000_000) else { panic!() };
                 let st = sim.stats();
                 let inj = Injector::new(&cfg, &c.program).unwrap();
-                let camp = inj.campaign(Structure::RegFile, &CampaignConfig { injections: 250, seed: 9, threads: 1 });
+                let camp = inj.campaign(Structure::RegFile, &CampaignConfig { injections: 250, seed: 9, ..CampaignConfig::default() });
                 print!(
                     "  {level}: rd/c {:.2} avf {:.3}",
                     st.rf_reads as f64 / cycles as f64,

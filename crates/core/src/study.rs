@@ -29,6 +29,10 @@ pub struct StudyConfig {
     pub seed: u64,
     /// Worker threads per campaign.
     pub threads: usize,
+    /// Golden-prefix checkpointing for each campaign (see
+    /// [`CampaignConfig::checkpoint`]). Results are identical either way;
+    /// checkpointing is just faster.
+    pub checkpoint: bool,
 }
 
 impl Default for StudyConfig {
@@ -43,6 +47,7 @@ impl Default for StudyConfig {
             injections: 100,
             seed: 0x5EED,
             threads: 1,
+            checkpoint: true,
         }
     }
 }
@@ -228,6 +233,7 @@ impl Study {
                         injections: cfg.injections,
                         seed: cfg.seed,
                         threads: cfg.threads,
+                        checkpoint: cfg.checkpoint,
                     };
                     let campaigns: Vec<CampaignResult> = cfg
                         .structures

@@ -6,6 +6,8 @@ use serde::{Deserialize, Serialize};
 use softerr_isa::Program;
 use softerr_sim::{MachineConfig, Sim, SimOutcome, Structure};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One single-bit transient fault: flip `bit` of `structure` at `cycle`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -140,17 +142,27 @@ impl std::error::Error for GoldenError {}
 /// Campaign parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignConfig {
-    /// Injections per structure (the paper uses 2,000).
+    /// Injections per structure. The default (100) keeps the bundled
+    /// experiments fast; the paper samples 2,000 per structure to reach its
+    /// reported confidence margins — pass a larger count to match.
     pub injections: u64,
     /// RNG seed (campaigns are fully reproducible).
     pub seed: u64,
     /// Worker threads (1 = sequential).
     pub threads: usize,
+    /// Golden-prefix checkpointing. When enabled (the default), the engine
+    /// sorts sampled faults by cycle, advances a single fault-free simulator
+    /// once, and forks a child at each fault cycle instead of re-simulating
+    /// the prefix from cycle 0 per injection. Children run in lockstep with
+    /// the golden simulator and are classified the moment they either end or
+    /// re-converge to the golden state. Classification is bit-identical to
+    /// the fresh per-fault path (`checkpoint: false`).
+    pub checkpoint: bool,
 }
 
 impl Default for CampaignConfig {
     fn default() -> CampaignConfig {
-        CampaignConfig { injections: 100, seed: 0xB17F11B5, threads: 1 }
+        CampaignConfig { injections: 100, seed: 0xB17F11B5, threads: 1, checkpoint: true }
     }
 }
 
@@ -249,7 +261,25 @@ impl<'a> Injector<'a> {
     /// flipped at the fault cycle (width 1 is the paper's single-event
     /// upset; larger widths model the MBU bursts of the authors' companion
     /// IISWC'19 study). Bits past the end of the structure wrap around.
+    ///
+    /// A simulator panic during the faulted run is caught and classified as
+    /// [`FaultClass::Assert`] (with a warning on stderr) instead of aborting
+    /// the campaign: a flipped bit driving the model into a state it refuses
+    /// to handle is exactly what the paper's Assert class records.
     pub fn inject_burst(&self, fault: FaultSpec, width: u8) -> FaultClass {
+        match catch_unwind(AssertUnwindSafe(|| self.inject_burst_inner(fault, width))) {
+            Ok(class) => class,
+            Err(_) => {
+                eprintln!(
+                    "warning: simulator panicked on {fault:?} (width {width}); \
+                     classifying as Assert"
+                );
+                FaultClass::Assert
+            }
+        }
+    }
+
+    fn inject_burst_inner(&self, fault: FaultSpec, width: u8) -> FaultClass {
         let mut sim = Sim::new(self.cfg, self.program);
         if let Some(early) = sim.run_to_cycle(fault.cycle) {
             // The golden run ended before the injection cycle (can only
@@ -257,14 +287,24 @@ impl<'a> Injector<'a> {
             // program finished and is architecturally masked.
             return match early {
                 SimOutcome::Halted { .. } => FaultClass::Masked,
-                other => unreachable!("golden-equivalent prefix diverged: {other:?}"),
+                other => {
+                    eprintln!(
+                        "warning: fault-free prefix of {fault:?} ended abnormally \
+                         ({other:?}); classifying as Assert"
+                    );
+                    FaultClass::Assert
+                }
             };
         }
-        let bits = sim.bit_count(fault.structure);
-        for k in 0..width.max(1) as u64 {
-            sim.flip_bit(fault.structure, (fault.bit + k) % bits);
+        if !apply_burst(&mut sim, fault, width) {
+            return FaultClass::Masked;
         }
-        match sim.run(2 * self.golden.cycles) {
+        self.classify_end(sim.run(2 * self.golden.cycles))
+    }
+
+    /// Maps a terminal faulted-run outcome to the paper's classes.
+    fn classify_end(&self, end: SimOutcome) -> FaultClass {
+        match end {
             SimOutcome::Halted { output, .. } => {
                 if output == self.golden.output {
                     FaultClass::Masked
@@ -286,9 +326,10 @@ impl<'a> Injector<'a> {
         width: u8,
     ) -> CampaignResult {
         let faults = self.sample_faults(structure, cfg.injections, cfg.seed);
+        let classes = self.classify_all(&faults, width, cfg);
         let mut counts = ClassCounts::default();
-        for f in &faults {
-            counts.record(self.inject_burst(*f, width));
+        for class in classes {
+            counts.record(class);
         }
         CampaignResult {
             structure,
@@ -300,8 +341,15 @@ impl<'a> Injector<'a> {
 
     /// Samples `n` faults for a structure uniformly over (bit × cycle),
     /// reproducibly from `seed`.
+    ///
+    /// A structure with no injectable bits on this machine (e.g. a queue
+    /// configured with zero entries) yields an empty sample instead of
+    /// panicking on the empty bit range.
     pub fn sample_faults(&self, structure: Structure, n: u64, seed: u64) -> Vec<FaultSpec> {
         let bits = self.bit_count(structure);
+        if bits == 0 {
+            return Vec::new();
+        }
         let cycles = self.golden.cycles.max(1);
         // Mix the structure into the seed so different structures draw
         // independent samples from the same campaign seed.
@@ -319,50 +367,278 @@ impl<'a> Injector<'a> {
 
     /// Runs a full campaign on one structure.
     pub fn campaign(&self, structure: Structure, cfg: &CampaignConfig) -> CampaignResult {
-        let faults = self.sample_faults(structure, cfg.injections, cfg.seed);
-        let counts = if cfg.threads <= 1 {
-            let mut counts = ClassCounts::default();
-            for f in &faults {
-                counts.record(self.inject(*f));
-            }
-            counts
-        } else {
-            self.parallel_counts(&faults, cfg.threads)
-        };
-        CampaignResult {
-            structure,
-            bit_population: self.bit_count(structure),
-            golden_cycles: self.golden.cycles,
-            counts,
-        }
+        self.campaign_burst(structure, cfg, 1)
     }
 
-    fn parallel_counts(&self, faults: &[FaultSpec], threads: usize) -> ClassCounts {
-        let chunk = faults.len().div_ceil(threads).max(1);
-        let partials: Vec<ClassCounts> = std::thread::scope(|scope| {
-            let handles: Vec<_> = faults
-                .chunks(chunk)
-                .map(|slice| {
-                    scope.spawn(move || {
-                        let mut counts = ClassCounts::default();
-                        for f in slice {
-                            counts.record(self.inject(*f));
-                        }
-                        counts
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("injection worker panicked"))
-                .collect()
-        });
-        let mut total = ClassCounts::default();
-        for p in &partials {
-            total.merge(p);
+    /// Classifies every fault in `faults`, returning one class per fault in
+    /// input order.
+    ///
+    /// This is the campaign engine. With `cfg.checkpoint` the faults are
+    /// processed in cycle order by forking children off a single advancing
+    /// golden simulator (see [`CampaignConfig::checkpoint`]); otherwise each
+    /// fault re-simulates its prefix from cycle 0. With `cfg.threads > 1`
+    /// workers claim cycle-sorted faults from a shared work-stealing index;
+    /// each worker keeps its own golden simulator, and because the claim
+    /// order is cycle-sorted every worker's golden run only ever moves
+    /// forward. Results are identical across thread counts and between the
+    /// two engines: each fault's class depends only on the fault itself.
+    pub fn classify_all(
+        &self,
+        faults: &[FaultSpec],
+        width: u8,
+        cfg: &CampaignConfig,
+    ) -> Vec<FaultClass> {
+        let mut order: Vec<usize> = (0..faults.len()).collect();
+        if cfg.checkpoint {
+            // Stable, so same-cycle faults keep their sample order.
+            order.sort_by_key(|&i| faults[i].cycle);
         }
-        total
+        let order = &order[..];
+        let next = AtomicUsize::new(0);
+        let run_worker = || {
+            if cfg.checkpoint {
+                self.convoy_worker(faults, order, &next, width)
+            } else {
+                self.fresh_worker(faults, order, &next, width)
+            }
+        };
+        let parts: Vec<Vec<(usize, FaultClass)>> = if cfg.threads <= 1 {
+            vec![run_worker()]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> =
+                    (0..cfg.threads).map(|_| scope.spawn(run_worker)).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("injection worker panicked"))
+                    .collect()
+            })
+        };
+        let mut classes = vec![FaultClass::Masked; faults.len()];
+        for (slot, class) in parts.into_iter().flatten() {
+            classes[slot] = class;
+        }
+        classes
     }
+
+    /// Fresh-path worker: every claimed fault re-simulates from cycle 0.
+    fn fresh_worker(
+        &self,
+        faults: &[FaultSpec],
+        order: &[usize],
+        next: &AtomicUsize,
+        width: u8,
+    ) -> Vec<(usize, FaultClass)> {
+        let mut results = Vec::new();
+        loop {
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&slot) = order.get(k) else { break };
+            results.push((slot, self.inject_burst(faults[slot], width)));
+        }
+        results
+    }
+
+    /// Checkpointing worker: advances one golden simulator across its
+    /// (cycle-sorted) claimed faults and forks a child per fault, so the
+    /// fault-free prefix is simulated once instead of once per injection.
+    ///
+    /// Forked children travel in a *convoy*: they advance in lockstep with
+    /// the golden simulator and are periodically compared against it with
+    /// [`Sim::state_eq`]. A child whose state re-converges to the golden
+    /// state is classified on the spot — by determinism its remaining run is
+    /// the golden run, so it halts with the golden suffix appended to its
+    /// own output; the fault is Masked exactly when the output prefixes
+    /// match, and an SDC otherwise. Checks back off exponentially so
+    /// children that stay diverged spend their time simulating, not
+    /// comparing.
+    fn convoy_worker(
+        &self,
+        faults: &[FaultSpec],
+        order: &[usize],
+        next: &AtomicUsize,
+        width: u8,
+    ) -> Vec<(usize, FaultClass)> {
+        let mut results = Vec::new();
+        let mut golden = Sim::new(self.cfg, self.program);
+        let mut golden_done = false;
+        let mut convoy: Vec<Child> = Vec::new();
+        loop {
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&slot) = order.get(k) else { break };
+            let fault = faults[slot];
+            if fault.cycle > self.golden.cycles {
+                // The program halts before the fault lands: masked, exactly
+                // as the fresh path's early-halt case.
+                results.push((slot, FaultClass::Masked));
+                continue;
+            }
+            if !golden_done {
+                golden_done =
+                    self.advance_convoy(&mut golden, fault.cycle, &mut convoy, &mut results);
+            }
+            if golden_done && golden.cycle() < fault.cycle {
+                // Defensive: the golden simulator ended before the recorded
+                // golden cycle count (a simulator bug, not a reachable state
+                // today). Fall back to a from-scratch run for exactness.
+                results.push((slot, self.inject_burst(fault, width)));
+                continue;
+            }
+            let mut sim = golden.clone();
+            if !apply_burst(&mut sim, fault, width) {
+                results.push((slot, FaultClass::Masked));
+                continue;
+            }
+            convoy.push(Child {
+                slot,
+                sim,
+                next_check: fault.cycle + FIRST_CHECK_INTERVAL,
+                interval: FIRST_CHECK_INTERVAL,
+            });
+            if convoy.len() > MAX_CONVOY {
+                // Bound memory: graduate the oldest child and run it to its
+                // own end off-convoy.
+                let oldest = convoy.remove(0);
+                results.push(self.finish_child(oldest));
+            }
+        }
+        // No faults left to fork: run the golden simulator out so remaining
+        // children can still converge, then finish survivors independently.
+        while !golden_done && !convoy.is_empty() {
+            let target = convoy.iter().map(|c| c.next_check).min().unwrap();
+            golden_done = self.advance_convoy(&mut golden, target, &mut convoy, &mut results);
+        }
+        for child in convoy {
+            results.push(self.finish_child(child));
+        }
+        results
+    }
+
+    /// Advances the golden simulator to `target` cycles, co-advancing convoy
+    /// children in lockstep and classifying any that end or converge on the
+    /// way. Returns `true` once the golden run has ended.
+    fn advance_convoy(
+        &self,
+        golden: &mut Sim,
+        target: u64,
+        convoy: &mut Vec<Child>,
+        results: &mut Vec<(usize, FaultClass)>,
+    ) -> bool {
+        while golden.cycle() < target {
+            let stop = convoy
+                .iter()
+                .map(|c| c.next_check)
+                .min()
+                .unwrap_or(u64::MAX)
+                .clamp(golden.cycle() + 1, target);
+            let halted = golden.run_to_cycle(stop).is_some();
+            self.lockstep_children(golden, convoy, results, halted);
+            if halted {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Advances every convoy child to the golden simulator's current cycle,
+    /// classifying children that reach their own end, panic, or (when the
+    /// golden run is still live) re-converge to the golden state.
+    fn lockstep_children(
+        &self,
+        golden: &Sim,
+        convoy: &mut Vec<Child>,
+        results: &mut Vec<(usize, FaultClass)>,
+        golden_halted: bool,
+    ) {
+        let cycle = golden.cycle();
+        convoy.retain_mut(|child| {
+            let end = match catch_unwind(AssertUnwindSafe(|| child.sim.run_to_cycle(cycle))) {
+                Ok(end) => end,
+                Err(_) => {
+                    eprintln!(
+                        "warning: simulator panicked on forked injection (slot {}); \
+                         classifying as Assert",
+                        child.slot
+                    );
+                    results.push((child.slot, FaultClass::Assert));
+                    return false;
+                }
+            };
+            if let Some(end) = end {
+                results.push((child.slot, self.classify_end(end)));
+                return false;
+            }
+            if !golden_halted && child.next_check <= cycle {
+                if child.sim.state_eq(golden) {
+                    // Converged: the child's future is the golden future, so
+                    // it will halt with output = own-prefix ++ golden-suffix.
+                    // Masked exactly when the prefixes agree.
+                    let class = if child.sim.output() == golden.output() {
+                        FaultClass::Masked
+                    } else {
+                        FaultClass::Sdc
+                    };
+                    results.push((child.slot, class));
+                    return false;
+                }
+                child.interval = (child.interval * 2).min(MAX_CHECK_INTERVAL);
+                child.next_check = cycle + child.interval;
+            }
+            true
+        });
+    }
+
+    /// Runs a child that outlived the convoy to its own terminal outcome,
+    /// under the same 2× golden-time budget as the fresh path.
+    fn finish_child(&self, mut child: Child) -> (usize, FaultClass) {
+        let budget = 2 * self.golden.cycles;
+        let class = match catch_unwind(AssertUnwindSafe(|| child.sim.run(budget))) {
+            Ok(end) => self.classify_end(end),
+            Err(_) => {
+                eprintln!(
+                    "warning: simulator panicked on forked injection (slot {}); \
+                     classifying as Assert",
+                    child.slot
+                );
+                FaultClass::Assert
+            }
+        };
+        (child.slot, class)
+    }
+}
+
+/// First convergence check happens this many cycles after the fork.
+const FIRST_CHECK_INTERVAL: u64 = 16;
+
+/// Cap on the exponential back-off between convergence checks.
+const MAX_CHECK_INTERVAL: u64 = 4096;
+
+/// Convoy size bound; the oldest child graduates beyond this.
+const MAX_CONVOY: usize = 8;
+
+/// One forked, faulted simulation riding a convoy.
+struct Child {
+    /// Index of the fault in the caller's fault list.
+    slot: usize,
+    /// The faulted simulator, kept in lockstep with the golden one.
+    sim: Sim,
+    /// Golden cycle at which to next test convergence.
+    next_check: u64,
+    /// Current back-off interval between convergence checks.
+    interval: u64,
+}
+
+/// Flips `width` adjacent bits of the fault's structure (wrapping at the
+/// end). Returns `false` — flipping nothing — when the structure has no
+/// injectable bits on this machine, instead of taking `% 0`.
+fn apply_burst(sim: &mut Sim, fault: FaultSpec, width: u8) -> bool {
+    let bits = sim.bit_count(fault.structure);
+    if bits == 0 {
+        return false;
+    }
+    for k in 0..u64::from(width.max(1)) {
+        sim.flip_bit(fault.structure, (fault.bit + k) % bits);
+    }
+    true
 }
 
 #[cfg(test)]
@@ -422,7 +698,7 @@ mod tests {
         let inj = Injector::new(&cfg, &program).unwrap();
         let r = inj.campaign(
             Structure::RegFile,
-            &CampaignConfig { injections: 40, seed: 1, threads: 1 },
+            &CampaignConfig { injections: 40, seed: 1, threads: 1, checkpoint: true },
         );
         assert_eq!(r.total(), 40);
         assert!((0.0..=1.0).contains(&r.avf()));
@@ -434,7 +710,7 @@ mod tests {
     fn campaigns_are_deterministic() {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
-        let cc = CampaignConfig { injections: 30, seed: 99, threads: 1 };
+        let cc = CampaignConfig { injections: 30, seed: 99, threads: 1, checkpoint: true };
         let a = inj.campaign(Structure::IqSrc, &cc);
         let b = inj.campaign(Structure::IqSrc, &cc);
         assert_eq!(a, b);
@@ -446,11 +722,11 @@ mod tests {
         let inj = Injector::new(&cfg, &program).unwrap();
         let seq = inj.campaign(
             Structure::L1DData,
-            &CampaignConfig { injections: 24, seed: 5, threads: 1 },
+            &CampaignConfig { injections: 24, seed: 5, threads: 1, checkpoint: true },
         );
         let par = inj.campaign(
             Structure::L1DData,
-            &CampaignConfig { injections: 24, seed: 5, threads: 3 },
+            &CampaignConfig { injections: 24, seed: 5, threads: 3, checkpoint: true },
         );
         assert_eq!(seq.counts, par.counts);
     }
@@ -460,7 +736,7 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         for s in [Structure::LoadQueue, Structure::StoreQueue] {
-            let r = inj.campaign(s, &CampaignConfig { injections: 50, seed: 3, threads: 1 });
+            let r = inj.campaign(s, &CampaignConfig { injections: 50, seed: 3, threads: 1, checkpoint: true });
             assert_eq!(r.counts.sdc, 0, "{s}: paper reports no SDCs");
             assert_eq!(r.counts.crash, 0, "{s}: paper reports no crashes");
         }
@@ -490,7 +766,7 @@ mod tests {
     fn wider_bursts_are_at_least_as_vulnerable_on_average() {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
-        let cc = CampaignConfig { injections: 60, seed: 77, threads: 1 };
+        let cc = CampaignConfig { injections: 60, seed: 77, threads: 1, checkpoint: true };
         let single = inj.campaign_burst(Structure::L1IData, &cc, 1);
         let quad = inj.campaign_burst(Structure::L1IData, &cc, 4);
         // Same fault sites: a 4-bit burst strictly contains the 1-bit flip,
@@ -505,6 +781,73 @@ mod tests {
         let bits = inj.bit_count(Structure::LoadQueue);
         let f = FaultSpec { structure: Structure::LoadQueue, bit: bits - 1, cycle: 10 };
         let _ = inj.inject_burst(f, 4);
+    }
+
+    #[test]
+    fn checkpointed_classes_match_fresh_per_fault() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let fresh_cfg =
+            CampaignConfig { injections: 25, seed: 21, threads: 1, checkpoint: false };
+        let ckpt_cfg = CampaignConfig { checkpoint: true, ..fresh_cfg };
+        for s in [Structure::RegFile, Structure::L1DData, Structure::RobFlags] {
+            let faults = inj.sample_faults(s, fresh_cfg.injections, fresh_cfg.seed);
+            let fresh = inj.classify_all(&faults, 1, &fresh_cfg);
+            let ckpt = inj.classify_all(&faults, 1, &ckpt_cfg);
+            assert_eq!(fresh, ckpt, "{s}: fork-from-checkpoint must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn parallel_checkpointed_campaign_matches_sequential() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let seq = inj.campaign(
+            Structure::IqDest,
+            &CampaignConfig { injections: 24, seed: 8, threads: 1, checkpoint: true },
+        );
+        let par = inj.campaign(
+            Structure::IqDest,
+            &CampaignConfig { injections: 24, seed: 8, threads: 3, checkpoint: true },
+        );
+        assert_eq!(seq.counts, par.counts);
+    }
+
+    #[test]
+    fn zero_bit_structure_samples_nothing_and_injects_masked() {
+        // A machine with no load queue: the LoadQueue structure has zero
+        // injectable bits. Sampling must not panic on the empty bit range,
+        // and a direct injection must classify as Masked (nothing to flip).
+        let mut cfg = MachineConfig::cortex_a15();
+        cfg.lq_entries = 0;
+        // Store-only workload (never reads memory), so no load ever needs a
+        // queue slot.
+        let program = Compiler::new(cfg.profile, OptLevel::O1)
+            .compile(
+                "int tab[8];
+                 void main() {
+                     int s = 0;
+                     for (int i = 0; i < 8; i = i + 1) {
+                         tab[i] = i * 2;
+                         s = s + i;
+                     }
+                     out(s);
+                 }",
+            )
+            .unwrap()
+            .program;
+        let inj = Injector::new(&cfg, &program).unwrap();
+        assert_eq!(inj.bit_count(Structure::LoadQueue), 0);
+        assert!(inj.sample_faults(Structure::LoadQueue, 20, 7).is_empty());
+        for checkpoint in [false, true] {
+            let r = inj.campaign(
+                Structure::LoadQueue,
+                &CampaignConfig { injections: 20, seed: 7, threads: 1, checkpoint },
+            );
+            assert_eq!(r.total(), 0, "no injectable bits means an empty campaign");
+        }
+        let f = FaultSpec { structure: Structure::LoadQueue, bit: 0, cycle: 1 };
+        assert_eq!(inj.inject(f), FaultClass::Masked);
     }
 
     #[test]

@@ -27,7 +27,10 @@
 //!     .compile("void main() { int s = 0; for (int i = 0; i < 30; i = i + 1) s = s + i; out(s); }")?
 //!     .program;
 //! let injector = Injector::new(&cfg, &program)?;
-//! let result = injector.campaign(Structure::RegFile, &CampaignConfig { injections: 25, seed: 7, threads: 1 });
+//! let result = injector.campaign(
+//!     Structure::RegFile,
+//!     &CampaignConfig { injections: 25, seed: 7, ..CampaignConfig::default() },
+//! );
 //! assert_eq!(result.total(), 25);
 //! assert!(result.avf() >= 0.0 && result.avf() <= 1.0);
 //! # Ok(())

@@ -644,13 +644,7 @@ pub fn eval_alu(profile: Profile, op: AluOp, a: u64, b: u64) -> u64 {
                 (sa / sb) as u64
             }
         }
-        AluOp::Divu => {
-            if ub == 0 {
-                0
-            } else {
-                ua / ub
-            }
-        }
+        AluOp::Divu => ua.checked_div(ub).unwrap_or(0),
         AluOp::Rem => {
             if sb == 0 {
                 sa as u64

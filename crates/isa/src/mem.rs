@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Kind of guest memory fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -48,16 +49,31 @@ pub const NULL_PAGE: u64 = 0x1000;
 ///
 /// The first 4 KiB are unmapped so that null-pointer dereferences fault, as
 /// they would under an OS; everything else is readable and writable.
+///
+/// The byte store is copy-on-write: cloning a `Memory` shares the backing
+/// allocation, and the first write after a clone materializes a private
+/// copy. This makes forking a simulator from a checkpoint cheap — suffix
+/// runs that never write back to main memory (the common case for cached
+/// workloads) never pay for a copy of guest memory.
 #[derive(Debug, Clone)]
 pub struct Memory {
-    bytes: Vec<u8>,
+    bytes: Arc<Vec<u8>>,
 }
+
+impl PartialEq for Memory {
+    fn eq(&self, other: &Memory) -> bool {
+        // Clones that were never written to still share the allocation.
+        Arc::ptr_eq(&self.bytes, &other.bytes) || self.bytes == other.bytes
+    }
+}
+
+impl Eq for Memory {}
 
 impl Memory {
     /// Allocates `size` bytes of zeroed guest memory.
     pub fn new(size: u64) -> Memory {
         Memory {
-            bytes: vec![0; size as usize],
+            bytes: Arc::new(vec![0; size as usize]),
         }
     }
 
@@ -74,7 +90,7 @@ impl Memory {
                 kind: MemFaultKind::NullPage,
             });
         }
-        if addr % size != 0 {
+        if !addr.is_multiple_of(size) {
             return Err(MemFault {
                 addr,
                 size,
@@ -115,8 +131,9 @@ impl Memory {
     /// out-of-range access.
     pub fn write(&mut self, addr: u64, size: u64, value: u64) -> Result<(), MemFault> {
         let base = self.check(addr, size)?;
+        let bytes = Arc::make_mut(&mut self.bytes);
         for i in 0..size as usize {
-            self.bytes[base + i] = (value >> (8 * i)) as u8;
+            bytes[base + i] = (value >> (8 * i)) as u8;
         }
         Ok(())
     }
@@ -140,7 +157,7 @@ impl Memory {
     /// trusted.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
         let base = addr as usize;
-        self.bytes[base..base + data.len()].copy_from_slice(data);
+        Arc::make_mut(&mut self.bytes)[base..base + data.len()].copy_from_slice(data);
     }
 
     /// Reads raw bytes without alignment checks (cache line fills).
@@ -217,7 +234,7 @@ mod tests {
         let m = Memory::new(0x3000);
         // Aligned address whose end overflows u64.
         assert_eq!(
-            m.read(u64::MAX & !7, 8).unwrap_err().kind,
+            m.read(!7, 8).unwrap_err().kind,
             MemFaultKind::OutOfRange
         );
     }

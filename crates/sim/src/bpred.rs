@@ -6,7 +6,7 @@
 //! injected structures.
 
 /// Branch predictor state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BranchPredictor {
     counters: Vec<u8>,
     btb_tags: Vec<u64>,

@@ -50,6 +50,19 @@ impl Cache {
         }
     }
 
+    /// Whether two caches hold identical execution-relevant state: tags,
+    /// valid/dirty bits, LRU ordering, and line data. Hit/miss statistics
+    /// are deliberately excluded — they never feed back into execution, so
+    /// two states that agree on everything else evolve identically.
+    pub fn state_eq(&self, other: &Cache) -> bool {
+        self.use_counter == other.use_counter
+            && self.valid == other.valid
+            && self.dirty == other.dirty
+            && self.tags == other.tags
+            && self.lru == other.lru
+            && self.data == other.data
+    }
+
     /// Geometry of this cache.
     pub fn geometry(&self) -> CacheGeometry {
         self.geom

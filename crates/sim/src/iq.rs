@@ -17,7 +17,7 @@ pub const SRC_BITS_PER_ENTRY: u64 = 18;
 pub const DEST_BITS_PER_ENTRY: u64 = 9;
 
 /// Non-injectable payload of an IQ entry.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IqPayload {
     /// ROB slot of the instruction.
     pub rob_idx: usize,
@@ -36,7 +36,7 @@ pub struct IqPayload {
 }
 
 /// The issue queue.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IssueQueue {
     n: usize,
     // Injectable source field.

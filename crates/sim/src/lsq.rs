@@ -51,7 +51,7 @@ impl LsqLayout {
 }
 
 /// Non-injectable payload of an LSQ entry.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LsqPayload {
     /// Sequence number.
     pub seq: u64,
@@ -81,7 +81,7 @@ pub enum StoreCheck {
 }
 
 /// A load or store queue (circular, allocated in program order).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LsQueue {
     layout: LsqLayout,
     n: usize,

@@ -64,6 +64,17 @@ impl MemorySystem {
         }
     }
 
+    /// Whether two hierarchies hold identical execution-relevant state
+    /// (cache arrays and guest memory; hit/miss statistics excluded).
+    /// Guest memory compares by pointer first: clones that were never
+    /// written still share their copy-on-write allocation.
+    pub fn state_eq(&self, other: &MemorySystem) -> bool {
+        self.l1i.state_eq(&other.l1i)
+            && self.l1d.state_eq(&other.l1d)
+            && self.l2.state_eq(&other.l2)
+            && self.mem == other.mem
+    }
+
     /// Architectural validity check for a demand access (the same rules the
     /// reference [`softerr_isa::Memory`] enforces). Used by the pipeline's
     /// AGU so that faulting addresses are flagged *before* touching caches.
@@ -75,7 +86,7 @@ impl MemorySystem {
         if addr < NULL_PAGE {
             return Err(MemFault { addr, size, kind: MemFaultKind::NullPage });
         }
-        if addr % size != 0 {
+        if !addr.is_multiple_of(size) {
             return Err(MemFault { addr, size, kind: MemFaultKind::Misaligned });
         }
         if addr

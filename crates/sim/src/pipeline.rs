@@ -206,6 +206,39 @@ impl Sim {
         }
     }
 
+    /// Whether two simulators at the same cycle hold identical
+    /// execution-relevant state, so that (by determinism) their futures are
+    /// identical.
+    ///
+    /// Statistics counters (retired, mispredicts, port traffic, occupancy
+    /// sums, cache hit/miss counts) and the emitted output stream are
+    /// excluded: none of them feed back into execution. Callers deciding a
+    /// fault's outcome compare [`Sim::output`] separately — equal state with
+    /// equal output prefixes means the fault is fully masked, while equal
+    /// state with diverged output means the final output must differ.
+    ///
+    /// Fields are compared cheapest-first so that actively diverged states
+    /// (the common case while a fault is still live) return quickly.
+    pub fn state_eq(&self, other: &Sim) -> bool {
+        self.cycle == other.cycle
+            && self.fetch_pc == other.fetch_pc
+            && self.next_seq == other.next_seq
+            && self.fetch_stall == other.fetch_stall
+            && self.fetch_wait == other.fetch_wait
+            && self.divider_busy == other.divider_busy
+            && self.in_flight == other.in_flight
+            && self.wb_ready == other.wb_ready
+            && self.rf.state_eq(&other.rf)
+            && self.rob == other.rob
+            && self.iq == other.iq
+            && self.lq == other.lq
+            && self.sq == other.sq
+            && self.decode_q == other.decode_q
+            && self.uops == other.uops
+            && self.bp == other.bp
+            && self.mem.state_eq(&other.mem)
+    }
+
     /// Runs until the program ends or `max_cycles` elapse.
     pub fn run(&mut self, max_cycles: u64) -> SimOutcome {
         while self.cycle < max_cycles {

@@ -12,7 +12,7 @@ use softerr_isa::Profile;
 pub type PhysReg = u8;
 
 /// Physical register file plus rename state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegisterFile {
     profile: Profile,
     nphys: usize,
@@ -166,6 +166,33 @@ impl RegisterFile {
     /// Utilization statistic: registers currently allocated.
     pub fn allocated_count(&self) -> usize {
         self.nphys - self.free_list.len()
+    }
+
+    /// Whether two register files hold execution-equivalent state: identical
+    /// rename metadata and identical values in every **allocated** register.
+    ///
+    /// The values of free registers are excluded because they are dead: the
+    /// only value reads in the pipeline happen at issue, through source tags
+    /// gated on the ready bits, and in-order commit guarantees no in-flight
+    /// consumer still references a freed register. Before a free register's
+    /// value can be observed again it must be re-allocated — which clears
+    /// its ready bit — and rewritten at writeback. Two machines that agree
+    /// on everything here (including the free list, so they allocate in the
+    /// same order) therefore behave identically even if freed cells disagree.
+    pub fn state_eq(&self, other: &RegisterFile) -> bool {
+        self.profile == other.profile
+            && self.nphys == other.nphys
+            && self.ready == other.ready
+            && self.spec_map == other.spec_map
+            && self.arch_map == other.arch_map
+            && self.free_list == other.free_list
+            && self.is_free == other.is_free
+            && self
+                .values
+                .iter()
+                .zip(&other.values)
+                .enumerate()
+                .all(|(reg, (a, b))| a == b || self.is_free[reg])
     }
 }
 

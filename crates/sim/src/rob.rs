@@ -39,7 +39,7 @@ pub enum RobField {
 }
 
 /// The reorder buffer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Rob {
     n: usize,
     pc_bits: u32,

@@ -65,7 +65,7 @@ pub enum UopKind {
 }
 
 /// One in-flight instruction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Uop {
     /// Global sequence number (program order).
     pub seq: u64,

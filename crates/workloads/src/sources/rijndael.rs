@@ -23,6 +23,7 @@ pub fn aes_sbox() -> [u8; 256] {
     let mut alog = [0u8; 256];
     let mut log = [0u8; 256];
     let mut p: u8 = 1;
+    #[allow(clippy::needless_range_loop)] // i indexes alog and feeds log[p]
     for i in 0..255 {
         alog[i] = p;
         log[p as usize] = i as u8;

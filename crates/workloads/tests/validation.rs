@@ -244,8 +244,8 @@ fn blowfish_decrypt_verifies_and_matches_reference() {
         (r ^ s[2][((x >> 8) & 255) as usize]).wrapping_add(s[3][(x & 255) as usize])
     };
     let encrypt = |mut l: u32, mut r: u32| -> (u32, u32) {
-        for i in 0..16 {
-            l ^= p[i];
+        for &pk in p.iter().take(16) {
+            l ^= pk;
             r ^= feistel(l);
             std::mem::swap(&mut l, &mut r);
         }

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cycles.push(injector.golden().cycles);
             let campaign = injector.campaign(
                 Structure::RegFile,
-                &CampaignConfig { injections: 150, seed: 7, threads: 1 },
+                &CampaignConfig { injections: 150, seed: 7, ..CampaignConfig::default() },
             );
             avfs.push(campaign.avf());
         }

@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let c = injector.campaign(
             structure,
-            &CampaignConfig { injections: 120, seed: 99, threads: 1 },
+            &CampaignConfig { injections: 120, seed: 99, ..CampaignConfig::default() },
         );
         table.row(vec![
             structure.name().into(),

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. A small fault-injection campaign against the register file.
     let campaign = injector.campaign(
         Structure::RegFile,
-        &CampaignConfig { injections: 200, seed: 42, threads: 1 },
+        &CampaignConfig { injections: 200, seed: 42, ..CampaignConfig::default() },
     );
     println!(
         "register file: AVF = {:.3} (±{:.3} at 99% confidence)",

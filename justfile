@@ -1,0 +1,24 @@
+# Development entry points. `just ci` is what the CI workflow runs.
+
+# Tier-1: build and the full test suite (unit + integration + property).
+test:
+    cargo build --release
+    cargo test -q --release
+
+# Lints: clippy over every target, warnings are errors.
+lint:
+    cargo clippy --all-targets -- -D warnings
+    cargo fmt --check
+
+# Benchmarks. Each group writes a BENCH_<group>.json summary into the repo
+# root (mean ns per iteration and derived throughput per benchmark).
+bench:
+    cargo bench -p softerr-bench
+
+# The headline engine benchmark: fresh vs golden-prefix-checkpointed
+# campaign throughput (BENCH_injection_throughput.json).
+bench-injection:
+    cargo bench -p softerr-bench --bench injection_throughput
+
+# Everything the CI gate requires.
+ci: test lint

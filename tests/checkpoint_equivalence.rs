@@ -1,0 +1,75 @@
+//! Property test: the golden-prefix checkpointing engine must classify every
+//! fault exactly as the fresh from-cycle-0 engine does, on both paper
+//! machines, for arbitrary (structure, bit, cycle) faults — including cycles
+//! past the end of the program and batches that put several forked children
+//! in flight at once.
+
+use proptest::prelude::*;
+use softerr::{
+    CampaignConfig, Compiler, FaultSpec, Injector, MachineConfig, OptLevel, Program, Structure,
+};
+use std::sync::OnceLock;
+
+/// Small mixed workload: ALU loops, memory traffic, and data-dependent
+/// branches, so every structure class sees live state.
+const SOURCE: &str = "
+    int tab[24];
+    void main() {
+        for (int i = 0; i < 24; i = i + 1) tab[i] = i * 5 - 7;
+        int acc = 0;
+        for (int i = 0; i < 24; i = i + 1) {
+            if (tab[i] > 20) acc = acc + tab[i];
+            else acc = acc - 1;
+        }
+        out(acc);
+    }";
+
+fn machines() -> &'static Vec<(MachineConfig, Program)> {
+    static CELL: OnceLock<Vec<(MachineConfig, Program)>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        MachineConfig::paper_machines()
+            .into_iter()
+            .map(|m| {
+                let program = Compiler::new(m.profile, OptLevel::O2)
+                    .compile(SOURCE)
+                    .expect("workload compiles")
+                    .program;
+                (m, program)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn checkpointed_classification_matches_fresh(
+        raw in proptest::collection::vec((0usize..15, any::<u64>(), any::<u64>()), 1..6),
+    ) {
+        for (machine, program) in machines() {
+            let injector = Injector::new(machine, program).expect("golden run");
+            let cycles = injector.golden().cycles;
+            let faults: Vec<FaultSpec> = raw
+                .iter()
+                .map(|&(s, bit, cycle)| {
+                    let structure = Structure::ALL[s];
+                    FaultSpec {
+                        structure,
+                        bit: bit % injector.bit_count(structure),
+                        // Bias into the live range but keep past-the-end
+                        // cycles reachable (fresh path masks those).
+                        cycle: cycle % (cycles + cycles / 4 + 1),
+                    }
+                })
+                .collect();
+            let fresh_cfg = CampaignConfig { checkpoint: false, ..CampaignConfig::default() };
+            let ckpt_cfg = CampaignConfig { checkpoint: true, ..CampaignConfig::default() };
+            let fresh = injector.classify_all(&faults, 1, &fresh_cfg);
+            let ckpt = injector.classify_all(&faults, 1, &ckpt_cfg);
+            prop_assert_eq!(
+                &fresh, &ckpt,
+                "divergence on {} for faults {:?}", machine.name, faults
+            );
+        }
+    }
+}

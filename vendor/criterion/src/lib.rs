@@ -1,0 +1,331 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Measures real wall-clock time with a warm-up phase and a fixed measurement
+//! window, prints one line per benchmark, and writes each benchmark group's
+//! results to `BENCH_<group>.json` at the workspace root so performance can
+//! be tracked across commits.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units of work per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter rendering.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+}
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    group: String,
+    id: String,
+    iters: u64,
+    total: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Record {
+    fn ns_per_iter(&self) -> f64 {
+        self.total.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal number of samples (kept for API compatibility; this
+    /// stand-in scales the measurement window rather than sampling).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+    }
+
+    /// Convenience for an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        let mut g = self.benchmark_group("default");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        group: &str,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) {
+        let mut b = Bencher {
+            mode: Mode::WarmUp,
+            window: self.warm_up_time,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        b.mode = Mode::Measure;
+        b.window = self.measurement_time;
+        b.iters = 0;
+        b.elapsed = Duration::ZERO;
+        routine(&mut b);
+        let rec = Record {
+            group: group.to_string(),
+            id: id.to_string(),
+            iters: b.iters,
+            total: b.elapsed,
+            throughput,
+        };
+        let per_iter = rec.ns_per_iter();
+        let thrpt = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(" thrpt: {:.3} Melem/s", n as f64 / per_iter * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(" thrpt: {:.3} MiB/s", n as f64 / per_iter * 1e9 / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{group}/{id}: {} per iter ({} iters in {:.3}s){thrpt}",
+            fmt_ns(per_iter),
+            rec.iters,
+            rec.total.as_secs_f64(),
+        );
+        self.records.push(rec);
+    }
+
+    /// Writes `BENCH_<group>.json` files for everything measured so far.
+    /// Called automatically by `criterion_group!`.
+    pub fn final_summary(&mut self) {
+        let root = workspace_root();
+        let mut groups: Vec<String> = Vec::new();
+        for r in &self.records {
+            if !groups.contains(&r.group) {
+                groups.push(r.group.clone());
+            }
+        }
+        for group in groups {
+            let mut json = String::from("{\n");
+            json.push_str(&format!("  \"group\": \"{group}\",\n  \"benchmarks\": [\n"));
+            let members: Vec<&Record> =
+                self.records.iter().filter(|r| r.group == group).collect();
+            for (i, r) in members.iter().enumerate() {
+                let thrpt = match r.throughput {
+                    Some(Throughput::Elements(n)) => format!(
+                        ", \"elements_per_sec\": {:.1}",
+                        n as f64 / r.ns_per_iter() * 1e9
+                    ),
+                    Some(Throughput::Bytes(n)) => {
+                        format!(", \"bytes_per_sec\": {:.1}", n as f64 / r.ns_per_iter() * 1e9)
+                    }
+                    None => String::new(),
+                };
+                json.push_str(&format!(
+                    "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}{}}}{}\n",
+                    r.id,
+                    r.ns_per_iter(),
+                    r.iters,
+                    thrpt,
+                    if i + 1 < members.len() { "," } else { "" },
+                ));
+            }
+            json.push_str("  ]\n}\n");
+            let path = root.join(format!("BENCH_{}.json", sanitize(&group)));
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("wrote {}", path.display());
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput basis for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark with an auxiliary input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let (name, throughput) = (self.name.clone(), self.throughput);
+        self.c.run_one(&name, &id.id, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let (name, throughput) = (self.name.clone(), self.throughput);
+        self.c.run_one(&name, id, throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    WarmUp,
+    Measure,
+}
+
+/// Handed to benchmark closures; [`Bencher::iter`] runs the routine
+/// repeatedly inside the current timing window.
+pub struct Bencher {
+    mode: Mode,
+    window: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the window closes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.window {
+                break;
+            }
+        }
+        if self.mode == Mode::Measure {
+            self.iters += iters;
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect()
+}
+
+/// Walks up from the current directory to the outermost directory holding a
+/// `Cargo.toml` (the workspace root), falling back to the current directory.
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut root = cwd.clone();
+    for dir in cwd.ancestors() {
+        if dir.join("Cargo.toml").exists() {
+            root = dir.to_path_buf();
+        }
+    }
+    root
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
