@@ -1,0 +1,180 @@
+//! ACE-style static AVF estimation from one golden run.
+//!
+//! Instead of thousands of fault injections, one un-faulted simulation
+//! with residency tracking ([`softerr_sim::Sim::enable_residency`]) yields
+//! a per-structure **static AVF estimate**
+//!
+//! ```text
+//! AVF(s) ≈ live-bit-cycles(s) / (bits(s) × cycles)
+//! ```
+//!
+//! where a bit is live (ACE) from the cycle it is written to the last
+//! cycle it is read before being overwritten, freed, or evicted
+//! (Mukherjee et al., MICRO'03; bit-level refinement per BEC). Free and
+//! dead entries are un-ACE, so the estimate directly reflects how a
+//! compiler optimization level changes structure *utilization* — the
+//! mechanism the paper measures by injection.
+//!
+//! The accounting granularity is one entry (register, queue slot, cache
+//! line), so the estimate is an **upper bound** on true bit-level
+//! ACE-ness, and it deliberately ignores fault→crash conversion: a tag
+//! fault that would crash the machine counts the same as one silently
+//! corrupting data. See `EXPERIMENTS.md` ("The static layer") for the
+//! measured static-vs-injected deltas and the known divergences.
+
+use serde::{Deserialize, Serialize};
+use softerr_sim::{MachineConfig, Sim, SimOutcome, Structure};
+
+/// Per-structure static AVF from one golden run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AceEstimate {
+    /// Cycles the golden run took.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// One estimate per injectable structure, in [`Structure::ALL`] order.
+    pub structures: Vec<StructureAvf>,
+}
+
+/// The static AVF of one structure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StructureAvf {
+    /// The structure.
+    pub structure: Structure,
+    /// Total bits (the injection population).
+    pub bits: u64,
+    /// Sum over bits of cycles spent ACE.
+    pub live_bit_cycles: u64,
+    /// `live_bit_cycles / (bits × cycles)`, clamped to [0, 1].
+    pub avf: f64,
+}
+
+impl AceEstimate {
+    /// The static AVF of `structure` (0.0 if the structure is unknown,
+    /// which cannot happen for estimates built by [`estimate`]).
+    pub fn avf(&self, structure: Structure) -> f64 {
+        self.structures
+            .iter()
+            .find(|s| s.structure == structure)
+            .map_or(0.0, |s| s.avf)
+    }
+}
+
+/// Runs one golden simulation of `program` on `cfg` with residency
+/// tracking and returns the per-structure static AVF estimate.
+///
+/// # Errors
+///
+/// A description of the outcome if the golden run does not halt cleanly
+/// within `max_cycles` (a program that crashes un-faulted has no
+/// meaningful AVF).
+pub fn estimate(
+    cfg: &MachineConfig,
+    program: &softerr_isa::Program,
+    max_cycles: u64,
+) -> Result<AceEstimate, String> {
+    let mut sim = Sim::new(cfg, program);
+    sim.enable_residency();
+    match sim.run(max_cycles) {
+        SimOutcome::Halted {
+            cycles, retired, ..
+        } => {
+            let report = sim.residency_report().expect("residency was enabled");
+            let structures = report
+                .structures
+                .iter()
+                .map(|r| {
+                    let denom = (r.bits as f64) * (cycles as f64);
+                    let avf = if denom > 0.0 {
+                        (r.live_bit_cycles as f64 / denom).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    StructureAvf {
+                        structure: r.structure,
+                        bits: r.bits,
+                        live_bit_cycles: r.live_bit_cycles,
+                        avf,
+                    }
+                })
+                .collect();
+            Ok(AceEstimate {
+                cycles,
+                retired,
+                structures,
+            })
+        }
+        other => Err(format!("golden run did not halt cleanly: {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softerr_cc::{Compiler, OptLevel};
+    use softerr_isa::Profile;
+
+    fn compile(src: &str, profile: Profile, level: OptLevel) -> softerr_isa::Program {
+        Compiler::new(profile, level)
+            .compile(src)
+            .expect("compile")
+            .program
+    }
+
+    const LOOP_SRC: &str = "
+        void main() {
+            int s = 0;
+            for (int i = 0; i < 200; i = i + 1) { s = s + i * 3; }
+            out(s);
+        }";
+
+    #[test]
+    fn estimates_are_valid_fractions() {
+        let cfg = MachineConfig::cortex_a72();
+        let prog = compile(LOOP_SRC, Profile::A64, OptLevel::O2);
+        let est = estimate(&cfg, &prog, 10_000_000).unwrap();
+        assert_eq!(est.structures.len(), Structure::ALL.len());
+        for s in &est.structures {
+            assert!((0.0..=1.0).contains(&s.avf), "{:?}: {}", s.structure, s.avf);
+            assert!(s.bits > 0);
+        }
+        // A compute loop keeps some architectural registers live.
+        assert!(est.avf(Structure::RegFile) > 0.0);
+    }
+
+    #[test]
+    fn crashing_program_is_rejected() {
+        let cfg = MachineConfig::cortex_a72();
+        // Out-of-range store crashes un-faulted.
+        let prog = compile(
+            "void main() { int a[2]; int *p = &a[0]; p[9000000] = 1; out(1); }",
+            Profile::A64,
+            OptLevel::O0,
+        );
+        assert!(estimate(&cfg, &prog, 1_000_000).is_err());
+    }
+
+    #[test]
+    fn busier_structures_show_higher_residency() {
+        // O0 keeps every value on the stack → far more cache traffic and
+        // longer runtimes than O2; the register file holds fewer live
+        // temporaries per cycle at O0.
+        let cfg = MachineConfig::cortex_a15();
+        let o0 = estimate(
+            &cfg,
+            &compile(LOOP_SRC, Profile::A32, OptLevel::O0),
+            10_000_000,
+        )
+        .unwrap();
+        let o2 = estimate(
+            &cfg,
+            &compile(LOOP_SRC, Profile::A32, OptLevel::O2),
+            10_000_000,
+        )
+        .unwrap();
+        assert!(o0.cycles > o2.cycles, "O0 must be slower than O2");
+        // L1D holds the stack-resident locals continuously at O0.
+        assert!(o0.avf(Structure::L1DData) > 0.0);
+        assert!(o2.avf(Structure::RegFile) > 0.0);
+    }
+}

@@ -9,12 +9,16 @@
 //!   into a CPU failure rate, optionally split by fault class (Fig. 10),
 //! * **ECC configurations** (Fig. 12) — unprotected, L1D+L2 protected, and
 //!   L2-only protected designs,
-//! * **FPE** (eq. 3) — the performance-aware Failures-Per-Execution metric.
+//! * **FPE** (eq. 3) — the performance-aware Failures-Per-Execution metric,
+//! * **static ACE AVF** ([`mod@ace`]) — a bit-liveness estimate of every
+//!   structure's AVF from one golden run, no injections required.
 #![warn(missing_docs)]
 
+pub mod ace;
 mod ecc;
 mod metrics;
 
+pub use ace::{estimate as ace_estimate, AceEstimate, StructureAvf};
 pub use ecc::EccScheme;
 pub use metrics::{
     cpu_fit, cpu_fit_by_class, fit_of_structure, fpe, weighted_avf, StructureMeasurement,

@@ -39,11 +39,16 @@ impl StructureMeasurement {
 /// Execution-time-weighted AVF over benchmarks (paper eq. 1):
 /// `wAVF = Σ AVF_k·t_k / Σ t_k`.
 ///
+/// An empty slice, or one whose times are all zero, returns `0.0` rather
+/// than `NaN` (no observed execution time means no observed vulnerability).
+///
 /// ```
 /// use softerr_analysis::weighted_avf;
 /// // A long benchmark at AVF 0.1 dominates a short one at AVF 0.9.
 /// let w = weighted_avf(&[(0.1, 900), (0.9, 100)]);
 /// assert!((w - 0.18).abs() < 1e-12);
+/// assert_eq!(weighted_avf(&[]), 0.0);
+/// assert_eq!(weighted_avf(&[(0.5, 0), (0.9, 0)]), 0.0);
 /// ```
 pub fn weighted_avf(avf_and_time: &[(f64, u64)]) -> f64 {
     let total_time: u64 = avf_and_time.iter().map(|(_, t)| *t).sum();
@@ -64,11 +69,7 @@ pub fn fit_of_structure(raw_fit_per_bit: f64, bits: u64, avf: f64) -> f64 {
 
 /// CPU FIT: sum of per-structure FITs, with ECC-protected structures
 /// contributing zero.
-pub fn cpu_fit(
-    measurements: &[StructureMeasurement],
-    raw_fit_per_bit: f64,
-    ecc: EccScheme,
-) -> f64 {
+pub fn cpu_fit(measurements: &[StructureMeasurement], raw_fit_per_bit: f64, ecc: EccScheme) -> f64 {
     measurements
         .iter()
         .filter(|m| !ecc.protects(m.structure))
@@ -105,6 +106,8 @@ pub fn cpu_fit_by_class(
 /// Failures per execution (paper eq. 3): `FPE = FIT × t_exec / 10⁹ h`.
 ///
 /// `exec_seconds` is the single-execution wall time (cycles / frequency).
+/// A zero execution time returns `0.0` (an instantaneous run cannot
+/// absorb a strike); the function never produces `NaN` for finite inputs.
 pub fn fpe(fit: f64, exec_seconds: f64) -> f64 {
     fit * (exec_seconds / 3600.0) / 1e9
 }
@@ -113,11 +116,23 @@ pub fn fpe(fit: f64, exec_seconds: f64) -> f64 {
 mod tests {
     use super::*;
 
-    fn m(structure: Structure, bits: u64, masked: u64, sdc: u64, crash: u64) -> StructureMeasurement {
+    fn m(
+        structure: Structure,
+        bits: u64,
+        masked: u64,
+        sdc: u64,
+        crash: u64,
+    ) -> StructureMeasurement {
         StructureMeasurement {
             structure,
             bits,
-            counts: ClassCounts { masked, sdc, crash, timeout: 0, assert_: 0 },
+            counts: ClassCounts {
+                masked,
+                sdc,
+                crash,
+                timeout: 0,
+                assert_: 0,
+            },
         }
     }
 
@@ -136,6 +151,13 @@ mod tests {
         assert_eq!(weighted_avf(&[]), 0.0);
         // Single benchmark.
         assert_eq!(weighted_avf(&[(0.42, 1234)]), 0.42);
+    }
+
+    #[test]
+    fn weighted_avf_of_all_zero_times_is_zero_not_nan() {
+        let w = weighted_avf(&[(0.5, 0), (0.9, 0), (1.0, 0)]);
+        assert_eq!(w, 0.0);
+        assert!(!w.is_nan());
     }
 
     #[test]
@@ -182,5 +204,12 @@ mod tests {
     fn fpe_rewards_faster_executions() {
         // Same FIT, 10× faster execution → 10× fewer failures per run.
         assert!(fpe(500.0, 1.0) < fpe(500.0, 10.0));
+    }
+
+    #[test]
+    fn fpe_of_zero_exec_time_is_zero_not_nan() {
+        let v = fpe(1000.0, 0.0);
+        assert_eq!(v, 0.0);
+        assert!(!v.is_nan());
     }
 }

@@ -8,22 +8,18 @@ fn bench_compile(c: &mut Criterion) {
     let source = Workload::Rijndael.source(Scale::Tiny);
     let mut group = c.benchmark_group("compile_speed");
     for level in OptLevel::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("rijndael", level),
-            &level,
-            |b, &level| {
-                b.iter(|| {
-                    Compiler::new(Profile::A64, level)
-                        .compile(&source)
-                        .expect("compile")
-                        .stats
-                        .code_words
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("rijndael", level), &level, |b, &level| {
+            b.iter(|| {
+                Compiler::new(Profile::A64, level)
+                    .compile(&source)
+                    .expect("compile")
+                    .stats
+                    .code_words
+            })
+        });
     }
     group.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1)); targets = bench_compile}
+criterion_group! {name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1)); targets = bench_compile}
 criterion_main!(benches);

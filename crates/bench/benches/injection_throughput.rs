@@ -58,7 +58,11 @@ fn bench_single(c: &mut Criterion) {
                 let bits = injector.bit_count(s);
                 b.iter(|| {
                     bit = (bit + 127) % bits;
-                    injector.inject(FaultSpec { structure: s, bit, cycle: mid })
+                    injector.inject(FaultSpec {
+                        structure: s,
+                        bit,
+                        cycle: mid,
+                    })
                 })
             },
         );

@@ -34,5 +34,5 @@ fn bench_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1)); targets = bench_sim}
+criterion_group! {name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1)); targets = bench_sim}
 criterion_main!(benches);

@@ -7,8 +7,8 @@
 //! ```
 
 use softerr::{
-    CampaignConfig, Compiler, Injector, MachineConfig, OptLevel, Scale, Structure, Table,
-    Workload,
+    ace_estimate, CampaignConfig, Compiler, Injector, MachineConfig, OptLevel, Scale, Structure,
+    Table, Workload,
 };
 
 struct Args {
@@ -21,6 +21,7 @@ struct Args {
     seed: u64,
     threads: usize,
     checkpoint: bool,
+    estimate_ace: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         threads: 1,
         checkpoint: true,
+        estimate_ace: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -75,6 +77,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => args.seed = value.parse().map_err(|_| "bad seed")?,
             "--threads" => args.threads = value.parse().map_err(|_| "bad thread count")?,
+            "--estimate" => match value.as_str() {
+                "ace" => args.estimate_ace = true,
+                other => return Err(format!("unknown estimator `{other}` (ace)")),
+            },
             "--checkpoint" => {
                 args.checkpoint = match value.as_str() {
                     "on" | "true" | "1" => true,
@@ -96,7 +102,8 @@ fn main() {
             eprintln!(
                 "usage: campaign [--machine a15|a72] [--workload NAME] [--level O0..O3]\n\
                  \x20              [--structure NAME] [--scale tiny|small|full]\n\
-                 \x20              [-n COUNT] [--seed N] [--threads N] [--checkpoint on|off]"
+                 \x20              [-n COUNT] [--seed N] [--threads N] [--checkpoint on|off]\n\
+                 \x20              [--estimate ace]"
             );
             std::process::exit(1);
         }
@@ -112,16 +119,28 @@ fn main() {
         args.machine.name, args.workload, args.level, args.scale, golden.cycles, golden.retired
     );
 
-    let mut table = Table::new(vec![
-        "structure".into(),
+    // One extra golden run with residency tracking; no injections needed.
+    let ace = args.estimate_ace.then(|| {
+        ace_estimate(&args.machine, &compiled.program, 4_000_000_000)
+            .expect("ACE golden run must halt cleanly")
+    });
+
+    let mut header = vec![
+        "structure".to_string(),
         "bits".into(),
         "AVF".into(),
         "±99%".into(),
+    ];
+    if ace.is_some() {
+        header.push("static AVF".into());
+    }
+    header.extend([
         "SDC".into(),
         "Crash".into(),
         "Timeout".into(),
         "Assert".into(),
     ]);
+    let mut table = Table::new(header);
     for &s in &args.structures {
         let result = injector.campaign(
             s,
@@ -132,20 +151,32 @@ fn main() {
                 checkpoint: args.checkpoint,
             },
         );
-        table.row(vec![
-            s.name().into(),
+        let mut row = vec![
+            s.name().to_string(),
             result.bit_population.to_string(),
             format!("{:.4}", result.avf()),
             format!("{:.4}", result.margin_99()),
+        ];
+        if let Some(est) = &ace {
+            row.push(format!("{:.4}", est.avf(s)));
+        }
+        row.extend([
             result.counts.sdc.to_string(),
             result.counts.crash.to_string(),
             result.counts.timeout.to_string(),
             result.counts.assert_.to_string(),
         ]);
+        table.row(row);
     }
     println!("{table}");
     println!(
         "({} injections per structure; uniform bit x cycle sampling; margin at 99% via Leveugle)",
         args.injections
     );
+    if ace.is_some() {
+        println!(
+            "(static AVF: entry-granular ACE bit-liveness from one golden run — an upper-bound\n\
+             \x20estimate that ignores fault-to-crash conversion; see EXPERIMENTS.md)"
+        );
+    }
 }

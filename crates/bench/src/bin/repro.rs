@@ -9,8 +9,8 @@
 //! individual figures re-render instantly after the first run.
 
 use softerr::{
-    EccScheme, FaultClass, MachineConfig, OptLevel, PassConfig, Scale, Structure, Study,
-    StudyConfig, StudyResults, Table, Workload,
+    ace_estimate, weighted_avf, AceEstimate, EccScheme, FaultClass, MachineConfig, OptLevel,
+    PassConfig, Scale, Structure, Study, StudyConfig, StudyResults, Table, Workload,
 };
 use std::path::PathBuf;
 
@@ -25,19 +25,46 @@ fn main() {
     match command.as_str() {
         "table1" => table1(),
         "fig1" => fig1(&opts),
-        "fig2" => avf_figure(&opts, "Fig 2: L1 Instruction Cache AVF",
-            &[Structure::L1IData, Structure::L1ITag]),
-        "fig3" => avf_figure(&opts, "Fig 3: L1 Data Cache AVF",
-            &[Structure::L1DData, Structure::L1DTag]),
-        "fig4" => avf_figure(&opts, "Fig 4: L2 Cache AVF",
-            &[Structure::L2Data, Structure::L2Tag]),
-        "fig5" => avf_figure(&opts, "Fig 5: Physical Register File AVF", &[Structure::RegFile]),
-        "fig6" => avf_figure(&opts, "Fig 6: Load Queue and Store Queue AVF",
-            &[Structure::LoadQueue, Structure::StoreQueue]),
-        "fig7" => avf_figure(&opts, "Fig 7: Issue Queue AVF (source field)",
-            &[Structure::IqSrc, Structure::IqDest]),
-        "fig8" => avf_figure(&opts, "Fig 8: Reorder Buffer AVF (PC field)",
-            &[Structure::RobPc, Structure::RobDest, Structure::RobSeq, Structure::RobFlags]),
+        "fig2" => avf_figure(
+            &opts,
+            "Fig 2: L1 Instruction Cache AVF",
+            &[Structure::L1IData, Structure::L1ITag],
+        ),
+        "fig3" => avf_figure(
+            &opts,
+            "Fig 3: L1 Data Cache AVF",
+            &[Structure::L1DData, Structure::L1DTag],
+        ),
+        "fig4" => avf_figure(
+            &opts,
+            "Fig 4: L2 Cache AVF",
+            &[Structure::L2Data, Structure::L2Tag],
+        ),
+        "fig5" => avf_figure(
+            &opts,
+            "Fig 5: Physical Register File AVF",
+            &[Structure::RegFile],
+        ),
+        "fig6" => avf_figure(
+            &opts,
+            "Fig 6: Load Queue and Store Queue AVF",
+            &[Structure::LoadQueue, Structure::StoreQueue],
+        ),
+        "fig7" => avf_figure(
+            &opts,
+            "Fig 7: Issue Queue AVF (source field)",
+            &[Structure::IqSrc, Structure::IqDest],
+        ),
+        "fig8" => avf_figure(
+            &opts,
+            "Fig 8: Reorder Buffer AVF (PC field)",
+            &[
+                Structure::RobPc,
+                Structure::RobDest,
+                Structure::RobSeq,
+                Structure::RobFlags,
+            ],
+        ),
         "fig9" => fig9(&opts),
         "fig10" => fig10(&opts),
         "fig11" => fig11(&opts),
@@ -45,21 +72,50 @@ fn main() {
         "ablation-opt" => ablation_opt(&opts),
         "ablation-size" => ablation_size(&opts),
         "mbu" => mbu(&opts),
+        "ace" => ace_sweep(&opts),
         "all" => {
             table1();
             fig1(&opts);
-            avf_figure(&opts, "Fig 2: L1 Instruction Cache AVF",
-                &[Structure::L1IData, Structure::L1ITag]);
-            avf_figure(&opts, "Fig 3: L1 Data Cache AVF",
-                &[Structure::L1DData, Structure::L1DTag]);
-            avf_figure(&opts, "Fig 4: L2 Cache AVF", &[Structure::L2Data, Structure::L2Tag]);
-            avf_figure(&opts, "Fig 5: Physical Register File AVF", &[Structure::RegFile]);
-            avf_figure(&opts, "Fig 6: Load Queue and Store Queue AVF",
-                &[Structure::LoadQueue, Structure::StoreQueue]);
-            avf_figure(&opts, "Fig 7: Issue Queue AVF (source field)",
-                &[Structure::IqSrc, Structure::IqDest]);
-            avf_figure(&opts, "Fig 8: Reorder Buffer AVF (PC field)",
-                &[Structure::RobPc, Structure::RobDest, Structure::RobSeq, Structure::RobFlags]);
+            avf_figure(
+                &opts,
+                "Fig 2: L1 Instruction Cache AVF",
+                &[Structure::L1IData, Structure::L1ITag],
+            );
+            avf_figure(
+                &opts,
+                "Fig 3: L1 Data Cache AVF",
+                &[Structure::L1DData, Structure::L1DTag],
+            );
+            avf_figure(
+                &opts,
+                "Fig 4: L2 Cache AVF",
+                &[Structure::L2Data, Structure::L2Tag],
+            );
+            avf_figure(
+                &opts,
+                "Fig 5: Physical Register File AVF",
+                &[Structure::RegFile],
+            );
+            avf_figure(
+                &opts,
+                "Fig 6: Load Queue and Store Queue AVF",
+                &[Structure::LoadQueue, Structure::StoreQueue],
+            );
+            avf_figure(
+                &opts,
+                "Fig 7: Issue Queue AVF (source field)",
+                &[Structure::IqSrc, Structure::IqDest],
+            );
+            avf_figure(
+                &opts,
+                "Fig 8: Reorder Buffer AVF (PC field)",
+                &[
+                    Structure::RobPc,
+                    Structure::RobDest,
+                    Structure::RobSeq,
+                    Structure::RobFlags,
+                ],
+            );
             fig9(&opts);
             fig10(&opts);
             fig11(&opts);
@@ -86,7 +142,8 @@ fn usage() {
     eprintln!("  ablation-opt     single-pass ablations of O2 (perf + RF AVF)");
     eprintln!("  ablation-size    ROB/IQ size sweep (perf + ROB AVF)");
     eprintln!("  mbu              multi-bit-upset extension (1/2/4-bit bursts)");
-    eprintln!("  all              everything above\n");
+    eprintln!("  ace              static ACE/bit-liveness AVF sweep (no injections)");
+    eprintln!("  all              everything above (except ablations/mbu/ace)\n");
     eprintln!("options:");
     eprintln!("  --scale quick|default|paper   campaign size (default: quick)");
     eprintln!("  --injections N                override injections per cell");
@@ -95,6 +152,7 @@ fn usage() {
     eprintln!("  --no-checkpoint               disable golden-prefix checkpointing");
     eprintln!("  --results DIR                 cache directory (default target/)");
     eprintln!("  --fresh                       ignore any cached results");
+    eprintln!("  --estimate ace                print static ACE AVF beside injected (figs 2-8)");
 }
 
 #[derive(Debug, Clone)]
@@ -106,6 +164,7 @@ struct Options {
     checkpoint: bool,
     results_dir: PathBuf,
     fresh: bool,
+    estimate_ace: bool,
 }
 
 impl Options {
@@ -118,6 +177,7 @@ impl Options {
             checkpoint: true,
             results_dir: PathBuf::from("target"),
             fresh: false,
+            estimate_ace: false,
         };
         let mut i = 0;
         while i < args.len() {
@@ -156,6 +216,13 @@ impl Options {
                 "--no-checkpoint" => opts.checkpoint = false,
                 "--results" => opts.results_dir = PathBuf::from(next("--results")),
                 "--fresh" => opts.fresh = true,
+                "--estimate" => match next("--estimate").as_str() {
+                    "ace" => opts.estimate_ace = true,
+                    other => {
+                        eprintln!("unknown estimator `{other}` (ace)");
+                        std::process::exit(1);
+                    }
+                },
                 other => {
                     eprintln!("unknown option `{other}`");
                     std::process::exit(1);
@@ -206,8 +273,7 @@ fn study(opts: &Options) -> StudyResults {
     results
 }
 
-const MACHINE_SHORT: [(&str, &str); 2] =
-    [("Cortex-A15-like", "A15"), ("Cortex-A72-like", "A72")];
+const MACHINE_SHORT: [(&str, &str); 2] = [("Cortex-A15-like", "A15"), ("Cortex-A72-like", "A72")];
 
 fn short_name(machine: &str) -> &str {
     MACHINE_SHORT
@@ -228,7 +294,11 @@ fn table1() {
     ]);
     let (a, b) = (MachineConfig::cortex_a15(), MachineConfig::cortex_a72());
     let kb = |bytes: u64| format!("{} KB", bytes / 1024);
-    t.row(vec!["ISA profile".into(), a.profile.to_string(), b.profile.to_string()]);
+    t.row(vec![
+        "ISA profile".into(),
+        a.profile.to_string(),
+        b.profile.to_string(),
+    ]);
     t.row(vec![
         "L1 D-cache".into(),
         format!("{} ({}-way)", kb(a.l1d.size_bytes), a.l1d.ways),
@@ -305,13 +375,63 @@ fn fig1(opts: &Options) {
 
 // ---------------------------------------------------------- Figs 2 – 8 --
 
+fn machine_config(name: &str) -> MachineConfig {
+    MachineConfig::paper_machines()
+        .into_iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("unknown machine `{name}`"))
+}
+
+/// One golden ACE run per (machine, workload, level): `result[machine]` is
+/// indexed `[workload][level]` in `Workload::ALL` / `OptLevel::ALL` order.
+fn static_estimates(opts: &Options, machines: &[String]) -> Vec<(String, Vec<Vec<AceEstimate>>)> {
+    use softerr::Compiler;
+    machines
+        .iter()
+        .map(|name| {
+            let cfg = machine_config(name);
+            let per_workload = Workload::ALL
+                .iter()
+                .map(|w| {
+                    OptLevel::ALL
+                        .iter()
+                        .map(|&level| {
+                            let compiled = Compiler::new(cfg.profile, level)
+                                .compile(&w.source(opts.scale))
+                                .expect("workload must compile");
+                            ace_estimate(&cfg, &compiled.program, 4_000_000_000)
+                                .expect("ACE golden run must halt cleanly")
+                        })
+                        .collect()
+                })
+                .collect();
+            (name.clone(), per_workload)
+        })
+        .collect()
+}
+
 fn avf_figure(opts: &Options, title: &str, structures: &[Structure]) {
     let results = study(opts);
     println!("== {title} ==");
     println!("(per-benchmark AVF with the wAVF aggregate; fault-class split of wAVF below)\n");
+    let statics = if opts.estimate_ace {
+        let machines = results.machine_names();
+        eprintln!(
+            "(running {} ACE golden runs for --estimate ace)",
+            machines.len() * 32
+        );
+        Some(static_estimates(opts, &machines))
+    } else {
+        None
+    };
     for structure in structures {
         for machine in results.machine_names() {
-            println!("-- {} — {} ({})", short_name(&machine), structure, structure.component());
+            println!(
+                "-- {} — {} ({})",
+                short_name(&machine),
+                structure,
+                structure.component()
+            );
             let mut t = Table::new(vec![
                 "benchmark".into(),
                 "O0".into(),
@@ -322,7 +442,10 @@ fn avf_figure(opts: &Options, title: &str, structures: &[Structure]) {
             for w in Workload::ALL {
                 let mut row = vec![w.name().to_string()];
                 for level in OptLevel::ALL {
-                    row.push(format!("{:.3}", results.avf(&machine, w, level, *structure)));
+                    row.push(format!(
+                        "{:.3}",
+                        results.avf(&machine, w, level, *structure)
+                    ));
                 }
                 t.row(row);
             }
@@ -343,7 +466,12 @@ fn avf_figure(opts: &Options, title: &str, structures: &[Structure]) {
                 "O2".into(),
                 "O3".into(),
             ]);
-            for class in [FaultClass::Sdc, FaultClass::Crash, FaultClass::Timeout, FaultClass::Assert] {
+            for class in [
+                FaultClass::Sdc,
+                FaultClass::Crash,
+                FaultClass::Timeout,
+                FaultClass::Assert,
+            ] {
                 let mut row = vec![class.name().to_string()];
                 for level in OptLevel::ALL {
                     row.push(format!(
@@ -354,7 +482,78 @@ fn avf_figure(opts: &Options, title: &str, structures: &[Structure]) {
                 ct.row(row);
             }
             println!("{ct}");
+            // Static ACE estimate next to the injected table above.
+            if let Some(statics) = &statics {
+                let (_, per_workload) = statics
+                    .iter()
+                    .find(|(name, _)| *name == machine)
+                    .expect("estimates cover every machine");
+                println!(
+                    "-- {} — {} static ACE AVF (bit-liveness, no injections)",
+                    short_name(&machine),
+                    structure
+                );
+                let mut st = Table::new(vec![
+                    "benchmark".into(),
+                    "O0".into(),
+                    "O1".into(),
+                    "O2".into(),
+                    "O3".into(),
+                ]);
+                for (w, levels) in Workload::ALL.iter().zip(per_workload) {
+                    let mut row = vec![w.name().to_string()];
+                    for est in levels {
+                        row.push(format!("{:.3}", est.avf(*structure)));
+                    }
+                    st.row(row);
+                }
+                let mut wavf_row = vec!["wAVF".to_string()];
+                for li in 0..OptLevel::ALL.len() {
+                    let samples: Vec<(f64, u64)> = per_workload
+                        .iter()
+                        .map(|levels| (levels[li].avf(*structure), levels[li].cycles))
+                        .collect();
+                    wavf_row.push(format!("{:.3}", weighted_avf(&samples)));
+                }
+                st.row(wavf_row);
+                println!("{st}");
+            }
         }
+    }
+}
+
+// ----------------------------------------------------------- static ACE --
+
+fn ace_sweep(opts: &Options) {
+    println!("== Static ACE/bit-liveness AVF (one golden run per cell, no injections) ==");
+    println!("(cycle-weighted over the eight benchmarks, the wAVF analogue of figs 2-8;");
+    println!(" entry-granular upper bound that ignores fault-to-crash conversion)\n");
+    let machines: Vec<String> = MachineConfig::paper_machines()
+        .into_iter()
+        .map(|m| m.name)
+        .collect();
+    let statics = static_estimates(opts, &machines);
+    for (machine, per_workload) in &statics {
+        println!("-- {machine}");
+        let mut t = Table::new(vec![
+            "structure".into(),
+            "O0".into(),
+            "O1".into(),
+            "O2".into(),
+            "O3".into(),
+        ]);
+        for structure in Structure::ALL {
+            let mut row = vec![structure.name().to_string()];
+            for li in 0..OptLevel::ALL.len() {
+                let samples: Vec<(f64, u64)> = per_workload
+                    .iter()
+                    .map(|levels| (levels[li].avf(structure), levels[li].cycles))
+                    .collect();
+                row.push(format!("{:.3}", weighted_avf(&samples)));
+            }
+            t.row(row);
+        }
+        println!("{t}");
     }
 }
 
@@ -498,7 +697,14 @@ fn ablation_opt(opts: &Options) {
     let machine = MachineConfig::cortex_a72();
     let w = Workload::Gsm;
     let source = w.source(opts.scale);
-    let passes = ["(full O2)", "cse", "licm", "schedule", "strength-reduce", "mem2reg"];
+    let passes = [
+        "(full O2)",
+        "cse",
+        "licm",
+        "schedule",
+        "strength-reduce",
+        "mem2reg",
+    ];
     let mut t = Table::new(vec![
         "O2 without".into(),
         "cycles".into(),

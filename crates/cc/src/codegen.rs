@@ -33,7 +33,31 @@ pub struct FuncStats {
 ///
 /// Returns an error if a function exceeds structural limits (branch ranges,
 /// code segment size); realistic workloads never hit these.
-pub fn generate(ir: &IrModule, profile: Profile) -> Result<(Program, Vec<FuncStats>), CompileError> {
+pub fn generate(
+    ir: &IrModule,
+    profile: Profile,
+) -> Result<(Program, Vec<FuncStats>), CompileError> {
+    generate_with(ir, profile, crate::opt::verify_default())
+}
+
+/// [`generate`] with explicit control over post-regalloc verification:
+/// when `verify` is on, every function's register allocation is checked
+/// with [`crate::verify::verify_allocation`] before instruction selection.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+///
+/// # Panics
+///
+/// When `verify` is on and the allocator broke an invariant (overlapping
+/// live ranges on one register, a scratch-register assignment, an
+/// unallocated vreg) — an allocator bug, not a recoverable user error.
+pub fn generate_with(
+    ir: &IrModule,
+    profile: Profile,
+    verify: bool,
+) -> Result<(Program, Vec<FuncStats>), CompileError> {
     let mut order: Vec<usize> = (0..ir.funcs.len()).collect();
     // main first: it is the entry point.
     order.sort_by_key(|&i| (ir.funcs[i].name != "main", i));
@@ -48,6 +72,11 @@ pub fn generate(ir: &IrModule, profile: Profile) -> Result<(Program, Vec<FuncSta
         let start = code.len();
         func_addr.insert(f.name.clone(), start);
         let mut gen = FuncGen::new(f, ir, profile);
+        if verify {
+            if let Err(e) = crate::verify::verify_allocation(f, &gen.alloc) {
+                panic!("{}", e.after_pass("regalloc"));
+            }
+        }
         gen.run()?;
         for (at, callee) in gen.call_fixups {
             call_fixups.push((start + at, callee));
@@ -94,8 +123,7 @@ pub fn generate(ir: &IrModule, profile: Profile) -> Result<(Program, Vec<FuncSta
         for (i, &v) in g.init.iter().enumerate() {
             let off = (g.offset + i as u64 * g.elem_bytes) as usize;
             let bytes = v.to_le_bytes();
-            data[off..off + g.elem_bytes as usize]
-                .copy_from_slice(&bytes[..g.elem_bytes as usize]);
+            data[off..off + g.elem_bytes as usize].copy_from_slice(&bytes[..g.elem_bytes as usize]);
         }
     }
 
@@ -248,7 +276,14 @@ impl<'a> FuncGen<'a> {
     }
 
     /// Emits a load/store with an offset that may exceed the immediate range.
-    fn mem_op(&mut self, load: Option<(Reg, bool)>, store: Option<Reg>, width: MemWidth, base: Reg, off: i64) {
+    fn mem_op(
+        &mut self,
+        load: Option<(Reg, bool)>,
+        store: Option<Reg>,
+        width: MemWidth,
+        base: Reg,
+        off: i64,
+    ) {
         let (base, off) = if (-8192..8192).contains(&off) {
             (base, off as i32)
         } else {
@@ -261,7 +296,10 @@ impl<'a> FuncGen<'a> {
             } else {
                 scratch1()
             };
-            assert!(base != tmp && store != Some(tmp), "scratch conflict in mem_op");
+            assert!(
+                base != tmp && store != Some(tmp),
+                "scratch conflict in mem_op"
+            );
             self.emit_const(tmp, off);
             self.emit(Instr::Alu {
                 op: AluOp::Add,
@@ -712,9 +750,7 @@ impl<'a> FuncGen<'a> {
     /// Re-establishes the u32 zero-extension invariant after operations that
     /// can carry into bit 32 (A64 only).
     fn maybe_mask(&mut self, w: Width, op: BinOp, rd: Reg) {
-        if w == Width::U32
-            && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Shl)
-        {
+        if w == Width::U32 && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Shl) {
             self.mask_u32(rd);
         }
     }
@@ -731,7 +767,11 @@ impl<'a> FuncGen<'a> {
         };
         match cond {
             Cond::Lt | Cond::Ltu => {
-                let slt = if cond == Cond::Lt { AluOp::Slt } else { AluOp::Sltu };
+                let slt = if cond == Cond::Lt {
+                    AluOp::Slt
+                } else {
+                    AluOp::Sltu
+                };
                 match b {
                     Operand::C(c) if (-8192..8192).contains(&c) => {
                         let ra = self.read_operand(a, scratch0());
@@ -757,7 +797,11 @@ impl<'a> FuncGen<'a> {
             Cond::Ge | Cond::Geu => {
                 // a >= b  ⇔  !(a < b)
                 self.gen_cmp(
-                    if cond == Cond::Ge { Cond::Lt } else { Cond::Ltu },
+                    if cond == Cond::Ge {
+                        Cond::Lt
+                    } else {
+                        Cond::Ltu
+                    },
                     dst,
                     a,
                     b,

@@ -188,9 +188,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let mut text = String::new();
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     text.push(bytes[i] as char);
                     bump!();
                 }
@@ -212,9 +210,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 toks.push(Token { tok, loc });
             }
             _ => {
-                let two = |a: u8, b: u8| -> bool {
-                    c == a && bytes.get(i + 1) == Some(&b)
-                };
+                let two = |a: u8, b: u8| -> bool { c == a && bytes.get(i + 1) == Some(&b) };
                 let (tok, len) = if two(b'<', b'<') {
                     (Tok::Shl, 2)
                 } else if two(b'>', b'>') {

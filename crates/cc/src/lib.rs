@@ -37,9 +37,11 @@ pub mod opt;
 pub mod parser;
 pub mod passes;
 pub mod regalloc;
+pub mod verify;
 
 pub use error::CompileError;
 pub use opt::{OptLevel, PassConfig};
+pub use verify::VerifyError;
 
 use softerr_isa::{Profile, Program};
 
@@ -72,6 +74,7 @@ pub struct Compiler {
     profile: Profile,
     passes: PassConfig,
     level: OptLevel,
+    verify: bool,
 }
 
 impl Compiler {
@@ -81,6 +84,7 @@ impl Compiler {
             profile,
             passes: PassConfig::for_level(level),
             level,
+            verify: opt::verify_default(),
         }
     }
 
@@ -90,7 +94,19 @@ impl Compiler {
             profile,
             passes,
             level: OptLevel::O2,
+            verify: opt::verify_default(),
         }
+    }
+
+    /// Overrides IR verification: when on, the IR is re-verified after
+    /// every optimization pass and the register allocation is checked
+    /// after codegen (see [`verify`]). Defaults to
+    /// [`opt::verify_default`] — on in tests and under the `verify-ir`
+    /// feature, off otherwise.
+    #[must_use]
+    pub fn with_verify(mut self, verify: bool) -> Compiler {
+        self.verify = verify;
+        self
     }
 
     /// The target profile.
@@ -109,12 +125,21 @@ impl Compiler {
     ///
     /// Returns the first lexical, syntactic, or semantic error, or a
     /// code-generation limit violation (oversized functions).
+    ///
+    /// # Panics
+    ///
+    /// When verification is enabled and a pass (or the register allocator)
+    /// breaks an IR invariant — a miscompile is a compiler bug, not a
+    /// recoverable user error, and the panic message names the offending
+    /// pass, function, block, and instruction.
     pub fn compile(&self, source: &str) -> Result<Compiled, CompileError> {
         let ast = parser::parse(source)?;
         let mut ir = lower::lower(&ast, self.profile)?;
-        opt::run_pipeline(&mut ir, self.passes, self.profile);
+        if let Err(e) = opt::run_pipeline_checked(&mut ir, self.passes, self.profile, self.verify) {
+            panic!("{e}");
+        }
         let ir_insts = ir.funcs.iter().map(|f| f.inst_count()).sum();
-        let (program, funcs) = codegen::generate(&ir, self.profile)?;
+        let (program, funcs) = codegen::generate_with(&ir, self.profile, self.verify)?;
         let stats = CompileStats {
             code_words: program.code.len(),
             data_bytes: program.data.len(),
@@ -132,7 +157,9 @@ impl Compiler {
     pub fn compile_to_ir(&self, source: &str) -> Result<ir::IrModule, CompileError> {
         let ast = parser::parse(source)?;
         let mut ir = lower::lower(&ast, self.profile)?;
-        opt::run_pipeline(&mut ir, self.passes, self.profile);
+        if let Err(e) = opt::run_pipeline_checked(&mut ir, self.passes, self.profile, self.verify) {
+            panic!("{e}");
+        }
         Ok(ir)
     }
 }
@@ -240,8 +267,12 @@ mod tests {
         let src = "
             int work(int n) { int s = 0; for (int i = 0; i < n; i = i + 1) s = s + i * i; return s; }
             void main() { out(work(50)); }";
-        let o0 = Compiler::new(Profile::A64, OptLevel::O0).compile(src).unwrap();
-        let o2 = Compiler::new(Profile::A64, OptLevel::O2).compile(src).unwrap();
+        let o0 = Compiler::new(Profile::A64, OptLevel::O0)
+            .compile(src)
+            .unwrap();
+        let o2 = Compiler::new(Profile::A64, OptLevel::O2)
+            .compile(src)
+            .unwrap();
         assert!(
             o0.stats.code_words > o2.stats.code_words,
             "O0 ({}) should out-size O2 ({})",
@@ -269,8 +300,12 @@ mod tests {
                 }
                 out(s);
             }";
-        let o2 = Compiler::new(Profile::A64, OptLevel::O2).compile(src).unwrap();
-        let o3 = Compiler::new(Profile::A64, OptLevel::O3).compile(src).unwrap();
+        let o2 = Compiler::new(Profile::A64, OptLevel::O2)
+            .compile(src)
+            .unwrap();
+        let o3 = Compiler::new(Profile::A64, OptLevel::O3)
+            .compile(src)
+            .unwrap();
         assert!(
             o3.stats.code_words > o2.stats.code_words,
             "O3 ({}) should out-size O2 ({}) on a loop-only program",
@@ -297,7 +332,9 @@ mod tests {
         let golden = run_level(src, Profile::A64, OptLevel::O2);
         for pass in ["cse", "licm", "schedule", "strength-reduce"] {
             let cfg = PassConfig::for_level(OptLevel::O2).without(pass);
-            let compiled = Compiler::with_passes(Profile::A64, cfg).compile(src).unwrap();
+            let compiled = Compiler::with_passes(Profile::A64, cfg)
+                .compile(src)
+                .unwrap();
             let mut emu = Emulator::new(&compiled.program);
             assert_eq!(
                 emu.run(10_000_000).unwrap().output,

@@ -348,10 +348,7 @@ impl<'a> FuncLower<'a> {
                     (Type::Scalar(s), Some(_)) => VTy::Ptr(*s),
                     (t, _) => VTy::of(*t),
                 };
-                let init_val = init
-                    .as_ref()
-                    .map(|e| self.lower_expr(e))
-                    .transpose()?;
+                let init_val = init.as_ref().map(|e| self.lower_expr(e)).transpose()?;
                 let slot = self.declare(*loc, name, vty, len.is_some(), *len)?;
                 if let Some((op, from)) = init_val {
                     let op = self.convert(op, from, vty, *loc)?;
@@ -455,9 +452,7 @@ impl<'a> FuncLower<'a> {
                     (None, Some(_)) => {
                         return Err(CompileError::new(*loc, "void function returns a value"))
                     }
-                    (Some(_), None) => {
-                        return Err(CompileError::new(*loc, "missing return value"))
-                    }
+                    (Some(_), None) => return Err(CompileError::new(*loc, "missing return value")),
                     (Some(rt), Some(e)) => {
                         let rt = *rt;
                         let (op, from) = self.lower_expr(e)?;
@@ -618,7 +613,10 @@ impl<'a> FuncLower<'a> {
                     });
                     return Ok((Operand::V(dst), g.vty));
                 }
-                Err(CompileError::new(*loc, format!("unknown variable `{name}`")))
+                Err(CompileError::new(
+                    *loc,
+                    format!("unknown variable `{name}`"),
+                ))
             }
             Expr::Unary { op, expr, loc } => match op {
                 UnOp::Neg => {
@@ -930,7 +928,10 @@ impl<'a> FuncLower<'a> {
             unreachable!("lower_call on non-call");
         };
         let Some(sig) = self.sigs.get(name).cloned() else {
-            return Err(CompileError::new(*loc, format!("unknown function `{name}`")));
+            return Err(CompileError::new(
+                *loc,
+                format!("unknown function `{name}`"),
+            ));
         };
         if sig.params.len() != args.len() {
             return Err(CompileError::new(
@@ -1069,7 +1070,10 @@ impl<'a> FuncLower<'a> {
                         vty: g.vty,
                     });
                 }
-                Err(CompileError::new(*loc, format!("unknown variable `{name}`")))
+                Err(CompileError::new(
+                    *loc,
+                    format!("unknown variable `{name}`"),
+                ))
             }
             Expr::Unary {
                 op: UnOp::Deref,
@@ -1244,8 +1248,8 @@ mod tests {
 
     #[test]
     fn short_circuit_creates_control_flow() {
-        let m = lower_src("void main() { int a = 1; int b = 2; if (a < 1 && b > 0) out(1); }")
-            .unwrap();
+        let m =
+            lower_src("void main() { int a = 1; int b = 2; if (a < 1 && b > 0) out(1); }").unwrap();
         assert!(m.funcs[0].blocks.len() >= 4);
     }
 

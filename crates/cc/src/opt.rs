@@ -12,6 +12,7 @@
 
 use crate::ir::IrModule;
 use crate::passes;
+use crate::verify::{self, VerifyError};
 use serde::{Deserialize, Serialize};
 use softerr_isa::Profile;
 use std::fmt;
@@ -138,72 +139,169 @@ impl PassConfig {
     }
 }
 
-/// Runs the configured pass pipeline over a module in place.
+/// Whether pipelines verify the IR after every pass by default: always in
+/// test builds, and in any build with the `verify-ir` cargo feature on
+/// (which CI enables for the workload sweep).
+pub fn verify_default() -> bool {
+    cfg!(any(test, feature = "verify-ir"))
+}
+
+/// The verifying pass driver: every pass application goes through
+/// [`Pipeline::func_pass`] / [`Pipeline::module_pass`], which re-verify the
+/// produced IR when `verify` is on and attach the offending pass name to
+/// any failure.
+struct Pipeline {
+    cfg: PassConfig,
+    profile: Profile,
+    verify: bool,
+}
+
+impl Pipeline {
+    /// Runs a per-function pass over one function and verifies that
+    /// function afterwards.
+    fn func_pass(
+        &self,
+        name: &str,
+        ir: &mut IrModule,
+        fi: usize,
+        run: impl FnOnce(&mut crate::ir::IrFunc) -> bool,
+    ) -> Result<bool, VerifyError> {
+        let changed = run(&mut ir.funcs[fi]);
+        if self.verify {
+            verify::verify_func(&ir.funcs[fi]).map_err(|e| e.after_pass(name))?;
+        }
+        Ok(changed)
+    }
+
+    /// Runs a whole-module pass and verifies the whole module afterwards
+    /// (module passes can change call signatures and function sets, so the
+    /// cross-function checks re-run too).
+    fn module_pass(
+        &self,
+        name: &str,
+        ir: &mut IrModule,
+        run: impl FnOnce(&mut IrModule) -> bool,
+    ) -> Result<bool, VerifyError> {
+        let changed = run(ir);
+        if self.verify {
+            verify::verify_module(ir).map_err(|e| e.after_pass(name))?;
+        }
+        Ok(changed)
+    }
+
+    fn scalar_fixpoint(&self, ir: &mut IrModule, fi: usize) -> Result<(), VerifyError> {
+        let cfg = self.cfg;
+        let profile = self.profile;
+        for _ in 0..4 {
+            let mut changed = false;
+            if cfg.const_fold {
+                changed |= self.func_pass("const-fold", ir, fi, |f| {
+                    passes::const_fold::run(f, profile)
+                })?;
+            }
+            if cfg.copy_prop {
+                changed |= self.func_pass("copy-prop", ir, fi, passes::copy_prop::run)?;
+            }
+            if cfg.cse {
+                changed |= self.func_pass("cse", ir, fi, passes::cse::run)?;
+            }
+            if cfg.dce {
+                changed |= self.func_pass("dce", ir, fi, passes::dce::run)?;
+            }
+            if cfg.simplify_cfg {
+                changed |= self.func_pass("simplify-cfg", ir, fi, passes::simplify_cfg::run)?;
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&self, ir: &mut IrModule) -> Result<(), VerifyError> {
+        let cfg = self.cfg;
+        if self.verify {
+            // Catch lowering bugs before blaming any pass.
+            verify::verify_module(ir).map_err(|e| e.after_pass("lower"))?;
+        }
+        if cfg.inline {
+            self.module_pass("inline", ir, |m| {
+                passes::inline::run(m);
+                true
+            })?;
+        }
+        for fi in 0..ir.funcs.len() {
+            if cfg.mem2reg {
+                self.func_pass("mem2reg", ir, fi, passes::mem2reg::run)?;
+            }
+            self.scalar_fixpoint(ir, fi)?;
+            if cfg.licm {
+                self.func_pass("licm", ir, fi, passes::licm::run)?;
+            }
+            if cfg.strength_reduce {
+                self.func_pass("strength-reduce", ir, fi, passes::strength_reduce::run)?;
+                if cfg.dce {
+                    self.func_pass("dce", ir, fi, passes::dce::run)?;
+                }
+            }
+            if cfg.cross_jump {
+                self.func_pass("cross-jump", ir, fi, passes::cross_jump::run)?;
+            }
+        }
+        // Unrolling runs late (it duplicates definitions, which would defeat
+        // LICM's single-definition reasoning if run earlier), followed by a
+        // second scalar round that merges the duplicated exit tests.
+        if cfg.unroll {
+            self.module_pass("unroll", ir, |m| {
+                passes::unroll::run(m);
+                true
+            })?;
+            for fi in 0..ir.funcs.len() {
+                self.scalar_fixpoint(ir, fi)?;
+            }
+        }
+        for fi in 0..ir.funcs.len() {
+            if cfg.schedule {
+                self.func_pass("schedule", ir, fi, passes::schedule::run)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the configured pass pipeline over a module in place, verifying the
+/// IR after every pass when `verify` is on.
 ///
 /// Pass order follows GCC's broad staging: inlining first (so every later
 /// pass sees merged bodies), the scalar/loop pipeline next, and loop
 /// unrolling *late* (unrolling duplicates definitions, which would defeat
 /// the single-definition reasoning in LICM if run earlier), with scheduling
 /// last over the final block shapes.
-pub fn run_pipeline(ir: &mut IrModule, cfg: PassConfig, profile: Profile) {
-    fn scalar_fixpoint(f: &mut crate::ir::IrFunc, cfg: PassConfig, profile: Profile) {
-        for _ in 0..4 {
-            let mut changed = false;
-            if cfg.const_fold {
-                changed |= passes::const_fold::run(f, profile);
-            }
-            if cfg.copy_prop {
-                changed |= passes::copy_prop::run(f);
-            }
-            if cfg.cse {
-                changed |= passes::cse::run(f);
-            }
-            if cfg.dce {
-                changed |= passes::dce::run(f);
-            }
-            if cfg.simplify_cfg {
-                changed |= passes::simplify_cfg::run(f);
-            }
-            if !changed {
-                break;
-            }
-        }
+///
+/// # Errors
+///
+/// The first invariant violation found, naming the offending pass,
+/// function, block, and instruction.
+pub fn run_pipeline_checked(
+    ir: &mut IrModule,
+    cfg: PassConfig,
+    profile: Profile,
+    verify: bool,
+) -> Result<(), VerifyError> {
+    Pipeline {
+        cfg,
+        profile,
+        verify,
     }
+    .run(ir)
+}
 
-    if cfg.inline {
-        passes::inline::run(ir);
-    }
-    for f in &mut ir.funcs {
-        if cfg.mem2reg {
-            passes::mem2reg::run(f);
-        }
-        scalar_fixpoint(f, cfg, profile);
-        if cfg.licm {
-            passes::licm::run(f);
-        }
-        if cfg.strength_reduce {
-            passes::strength_reduce::run(f);
-            if cfg.dce {
-                passes::dce::run(f);
-            }
-        }
-        if cfg.cross_jump {
-            passes::cross_jump::run(f);
-        }
-    }
-    // Unrolling runs late (it duplicates definitions, which would defeat
-    // LICM's single-definition reasoning if run earlier), followed by a
-    // second scalar round that merges the duplicated exit tests.
-    if cfg.unroll {
-        passes::unroll::run(ir);
-        for f in &mut ir.funcs {
-            scalar_fixpoint(f, cfg, profile);
-        }
-    }
-    for f in &mut ir.funcs {
-        if cfg.schedule {
-            passes::schedule::run(f);
-        }
+/// Runs the configured pass pipeline over a module in place, with
+/// verification at [`verify_default`]. Panics with the full diagnostic on a
+/// verifier failure (a miscompile is a bug, not a recoverable condition).
+pub fn run_pipeline(ir: &mut IrModule, cfg: PassConfig, profile: Profile) {
+    if let Err(e) = run_pipeline_checked(ir, cfg, profile, verify_default()) {
+        panic!("{e}");
     }
 }
 
@@ -246,5 +344,44 @@ mod tests {
     fn without_disables_single_pass() {
         let c = PassConfig::for_level(OptLevel::O2).without("cse");
         assert!(!c.cse && c.licm);
+    }
+
+    #[test]
+    fn broken_pass_is_caught_with_diagnostic() {
+        // An intentionally-broken "pass" that deletes every defining
+        // instruction but leaves the uses behind. The driver must catch it
+        // and name the pass, function, and block in the diagnostic.
+        let mut ir = crate::passes::testutil::ir_of("void main() { int a = 1; out(a); }");
+        let p = Pipeline {
+            cfg: PassConfig::for_level(OptLevel::O1),
+            profile: Profile::A64,
+            verify: true,
+        };
+        let err = p
+            .func_pass("break-defs", &mut ir, 0, |f| {
+                for b in &mut f.blocks {
+                    b.insts.retain(|i| i.def().is_none());
+                }
+                true
+            })
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("`break-defs`"), "{msg}");
+        assert!(msg.contains("`main`"), "{msg}");
+        assert!(msg.contains("bb"), "{msg}");
+    }
+
+    #[test]
+    fn verified_pipeline_accepts_all_levels() {
+        let src = "
+            int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+            void main() { int i = 0; while (i < 6) { out(fib(i)); i = i + 1; } }";
+        for profile in [Profile::A32, Profile::A64] {
+            for level in OptLevel::ALL {
+                let mut ir = crate::passes::testutil::ir_of(src);
+                run_pipeline_checked(&mut ir, PassConfig::for_level(level), profile, true)
+                    .unwrap_or_else(|e| panic!("{profile:?} {level}: {e}"));
+            }
+        }
     }
 }

@@ -560,7 +560,12 @@ mod tests {
         let Stmt::Return { value: Some(e), .. } = &m.funcs[0].body[0] else {
             panic!("expected return");
         };
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = e else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = e
+        else {
             panic!("expected add at top: {e:?}");
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -618,7 +623,8 @@ mod tests {
 
     #[test]
     fn else_if_chains() {
-        let src = "int sign(int x) { if (x > 0) return 1; else if (x < 0) return -1; else return 0; }";
+        let src =
+            "int sign(int x) { if (x > 0) return 1; else if (x < 0) return -1; else return 0; }";
         assert!(parse(src).is_ok());
     }
 
@@ -628,6 +634,12 @@ mod tests {
         let Stmt::Return { value: Some(e), .. } = &m.funcs[0].body[0] else {
             panic!();
         };
-        assert!(matches!(e, Expr::Binary { op: BinOp::LogOr, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinOp::LogOr,
+                ..
+            }
+        ));
     }
 }

@@ -162,11 +162,21 @@ pub fn run(func: &mut IrFunc, profile: Profile) -> bool {
         }
         // Fold the terminator.
         match &mut b.term {
-            Term::CondBr { cond, a, b: rhs, t, f } => {
+            Term::CondBr {
+                cond,
+                a,
+                b: rhs,
+                t,
+                f,
+            } => {
                 subst(&known, a, &mut changed);
                 subst(&known, rhs, &mut changed);
                 if let (Some(x), Some(y)) = (a.as_const(), rhs.as_const()) {
-                    let target = if eval_cmp(profile, *cond, x, y) { *t } else { *f };
+                    let target = if eval_cmp(profile, *cond, x, y) {
+                        *t
+                    } else {
+                        *f
+                    };
                     b.term = Term::Jmp(target);
                     changed = true;
                 }
@@ -270,7 +280,13 @@ mod tests {
             0
         );
         assert_eq!(
-            eval_bin(Profile::A64, BinOp::Rem { signed: false }, Width::Word, 7, 0),
+            eval_bin(
+                Profile::A64,
+                BinOp::Rem { signed: false },
+                Width::Word,
+                7,
+                0
+            ),
             7
         );
     }

@@ -84,9 +84,18 @@ mod tests {
             ret: None,
             blocks: vec![Block {
                 insts: vec![
-                    Inst::Copy { dst: 0, src: Operand::C(7) },
-                    Inst::Copy { dst: 1, src: Operand::V(0) },
-                    Inst::Copy { dst: 2, src: Operand::V(1) },
+                    Inst::Copy {
+                        dst: 0,
+                        src: Operand::C(7),
+                    },
+                    Inst::Copy {
+                        dst: 1,
+                        src: Operand::V(0),
+                    },
+                    Inst::Copy {
+                        dst: 2,
+                        src: Operand::V(1),
+                    },
                     Inst::Out { src: Operand::V(2) },
                 ],
                 term: Term::Ret(None),
@@ -110,10 +119,19 @@ mod tests {
             ret: None,
             blocks: vec![Block {
                 insts: vec![
-                    Inst::Copy { dst: 0, src: Operand::C(1) },
-                    Inst::Copy { dst: 1, src: Operand::V(0) },
+                    Inst::Copy {
+                        dst: 0,
+                        src: Operand::C(1),
+                    },
+                    Inst::Copy {
+                        dst: 1,
+                        src: Operand::V(0),
+                    },
                     // v0 redefined: v1 may no longer forward to v0.
-                    Inst::Copy { dst: 0, src: Operand::C(2) },
+                    Inst::Copy {
+                        dst: 0,
+                        src: Operand::C(2),
+                    },
                     Inst::Out { src: Operand::V(1) },
                 ],
                 term: Term::Ret(None),

@@ -72,7 +72,10 @@ pub fn run(func: &mut IrFunc) -> bool {
                 }
             }
             // Stores and calls invalidate all cached loads.
-            if matches!(inst, Inst::Store { .. } | Inst::StoreSlot { .. } | Inst::Call { .. }) {
+            if matches!(
+                inst,
+                Inst::Store { .. } | Inst::StoreSlot { .. } | Inst::Call { .. }
+            ) {
                 epoch += 1;
             }
             // A def invalidates every expression that reads the def'd vreg,
@@ -93,9 +96,7 @@ pub fn run(func: &mut IrFunc) -> bool {
                     Inst::Cmp { cond, a, b, .. } => Some(Key::Cmp(*cond, *a, *b)),
                     Inst::SlotAddr { slot, .. } => Some(Key::SlotAddr(*slot)),
                     Inst::GlobalAddr { name, .. } => Some(Key::GlobalAddr(name.clone())),
-                    Inst::Load { w, addr, off, .. } => {
-                        Some(Key::Load(*w, *addr, *off, epoch))
-                    }
+                    Inst::Load { w, addr, off, .. } => Some(Key::Load(*w, *addr, *off, epoch)),
                     _ => None,
                 };
                 // Do not record expressions that read their own destination
@@ -193,7 +194,8 @@ mod tests {
 
     #[test]
     fn redefined_operand_invalidates_expression() {
-        let src = "void main() { int a = 1; int x = a + 2; a = 10; int y = a + 2; out(x); out(y); }";
+        let src =
+            "void main() { int a = 1; int x = a + 2; a = 10; int y = a + 2; out(x); out(y); }";
         let mut ir = ir_of(src);
         optimize(&mut ir);
         assert_eq!(run_ir(&ir, Profile::A64), vec![3, 12]);

@@ -69,7 +69,10 @@ mod tests {
             ret: None,
             blocks: vec![Block {
                 insts: vec![
-                    Inst::Copy { dst: 0, src: Operand::C(1) },
+                    Inst::Copy {
+                        dst: 0,
+                        src: Operand::C(1),
+                    },
                     Inst::Bin {
                         op: BinOp::Add,
                         w: Width::Word,
@@ -126,9 +129,7 @@ mod tests {
 
     #[test]
     fn unoptimized_code_shrinks_substantially() {
-        let mut ir = ir_of(
-            "void main() { int a = 1; int b = a + 2; int unused = b * b; out(a); }",
-        );
+        let mut ir = ir_of("void main() { int a = 1; int b = a + 2; int unused = b * b; out(a); }");
         let before = inst_count(&ir.funcs[0]);
         mem2reg::run(&mut ir.funcs[0]);
         crate::passes::copy_prop::run(&mut ir.funcs[0]);

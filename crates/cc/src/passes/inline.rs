@@ -29,9 +29,7 @@ pub fn run(ir: &mut IrModule) -> bool {
             .funcs
             .iter()
             .filter(|f| {
-                f.name != "main"
-                    && f.inst_count() <= MAX_CALLEE_SIZE
-                    && !calls_itself(ir, f)
+                f.name != "main" && f.inst_count() <= MAX_CALLEE_SIZE && !calls_itself(ir, f)
             })
             .map(|f| (f.name.clone(), f.clone()))
             .collect();
@@ -135,7 +133,7 @@ fn splice(
     let mut head_insts = std::mem::take(&mut caller.blocks[bi].insts);
     let tail_insts: Vec<Inst> = head_insts.split_off(pos + 1);
     head_insts.pop(); // remove the call itself
-    // Parameter setup: copy arguments into the callee's parameter vregs.
+                      // Parameter setup: copy arguments into the callee's parameter vregs.
     for ((pv, _), arg) in callee.params.iter().zip(args) {
         head_insts.push(Inst::Copy {
             dst: map_v(*pv),

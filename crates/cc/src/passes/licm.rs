@@ -121,9 +121,10 @@ pub fn run(func: &mut IrFunc) -> bool {
                 );
                 let hoistable = pure
                     && inst.def().is_some_and(|d| def_count.get(&d) == Some(&1))
-                    && inst.uses().iter().all(|u| {
-                        !loop_defs.contains(u) || hoisted_defs.contains(u)
-                    });
+                    && inst
+                        .uses()
+                        .iter()
+                        .all(|u| !loop_defs.contains(u) || hoisted_defs.contains(u));
                 if hoistable {
                     if let Some(d) = inst.def() {
                         hoisted_defs.insert(d);

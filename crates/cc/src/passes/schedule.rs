@@ -13,7 +13,10 @@ fn latency(inst: &Inst) -> u32 {
     match inst {
         Inst::Load { .. } | Inst::LoadSlot { .. } => 3,
         Inst::Bin { op: BinOp::Mul, .. } => 4,
-        Inst::Bin { op: BinOp::Div { .. } | BinOp::Rem { .. }, .. } => 12,
+        Inst::Bin {
+            op: BinOp::Div { .. } | BinOp::Rem { .. },
+            ..
+        } => 12,
         Inst::Call { .. } => 8,
         _ => 1,
     }
@@ -61,11 +64,7 @@ pub fn run(func: &mut IrFunc) -> bool {
         // Critical-path priority.
         let mut height: Vec<u32> = vec![0; n];
         for i in (0..n).rev() {
-            let h = succs[i]
-                .iter()
-                .map(|&j| height[j])
-                .max()
-                .unwrap_or(0);
+            let h = succs[i].iter().map(|&j| height[j]).max().unwrap_or(0);
             height[i] = h + latency(&b.insts[i]);
         }
         // Greedy list schedule: highest critical path first, original order
@@ -131,8 +130,8 @@ fn depends(i: &Inst, j: &Inst) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::passes::testutil::{ir_of, run_ir};
     use crate::passes::mem2reg;
+    use crate::passes::testutil::{ir_of, run_ir};
     use softerr_isa::Profile;
 
     #[test]
@@ -144,7 +143,12 @@ mod tests {
             ret: None,
             blocks: vec![Block {
                 insts: vec![
-                    Inst::Load { w: Width::Word, dst: 0, addr: Operand::C(0x2000), off: 0 },
+                    Inst::Load {
+                        w: Width::Word,
+                        dst: 0,
+                        addr: Operand::C(0x2000),
+                        off: 0,
+                    },
                     Inst::Bin {
                         op: BinOp::Add,
                         w: Width::Word,
@@ -152,7 +156,12 @@ mod tests {
                         a: Operand::V(0),
                         b: Operand::C(1),
                     },
-                    Inst::Load { w: Width::Word, dst: 2, addr: Operand::C(0x2008), off: 0 },
+                    Inst::Load {
+                        w: Width::Word,
+                        dst: 2,
+                        addr: Operand::C(0x2008),
+                        off: 0,
+                    },
                     Inst::Bin {
                         op: BinOp::Add,
                         w: Width::Word,
@@ -207,9 +216,15 @@ mod tests {
             ret: None,
             blocks: vec![Block {
                 insts: vec![
-                    Inst::Copy { dst: 0, src: Operand::C(1) },
+                    Inst::Copy {
+                        dst: 0,
+                        src: Operand::C(1),
+                    },
                     Inst::Out { src: Operand::V(0) },
-                    Inst::Copy { dst: 0, src: Operand::C(2) },
+                    Inst::Copy {
+                        dst: 0,
+                        src: Operand::C(2),
+                    },
                     Inst::Out { src: Operand::V(0) },
                 ],
                 term: Term::Ret(None),
@@ -221,9 +236,15 @@ mod tests {
         assert_eq!(
             f.blocks[0].insts,
             vec![
-                Inst::Copy { dst: 0, src: Operand::C(1) },
+                Inst::Copy {
+                    dst: 0,
+                    src: Operand::C(1)
+                },
                 Inst::Out { src: Operand::V(0) },
-                Inst::Copy { dst: 0, src: Operand::C(2) },
+                Inst::Copy {
+                    dst: 0,
+                    src: Operand::C(2)
+                },
                 Inst::Out { src: Operand::V(0) },
             ]
         );

@@ -208,8 +208,14 @@ mod tests {
             params: vec![],
             ret: None,
             blocks: vec![
-                Block { insts: vec![], term: Term::Jmp(1) },
-                Block { insts: vec![], term: Term::Jmp(2) },
+                Block {
+                    insts: vec![],
+                    term: Term::Jmp(1),
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Jmp(2),
+                },
                 Block {
                     insts: vec![Inst::Out { src: Operand::C(1) }],
                     term: Term::Ret(None),
@@ -229,8 +235,14 @@ mod tests {
             params: vec![],
             ret: None,
             blocks: vec![
-                Block { insts: vec![], term: Term::Jmp(1) },
-                Block { insts: vec![], term: Term::Jmp(1) },
+                Block {
+                    insts: vec![],
+                    term: Term::Jmp(1),
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Jmp(1),
+                },
             ],
             slots: vec![],
             next_vreg: 0,

@@ -113,8 +113,8 @@ pub fn run(func: &mut IrFunc) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::passes::testutil::{ir_of, run_ir};
     use crate::passes::mem2reg;
+    use crate::passes::testutil::{ir_of, run_ir};
     use softerr_isa::Profile;
 
     fn muls(f: &IrFunc) -> usize {
@@ -158,7 +158,15 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| &b.insts)
-            .filter(|i| matches!(i, Inst::Bin { op: BinOp::Div { .. } | BinOp::Rem { .. }, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Bin {
+                        op: BinOp::Div { .. } | BinOp::Rem { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(divs, 0);
         assert_eq!(run_ir(&ir, Profile::A64), golden);

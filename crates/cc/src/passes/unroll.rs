@@ -92,9 +92,9 @@ fn run_func(func: &mut IrFunc) -> bool {
             continue;
         }
         // Innermost: the body contains no other back edge than tail→head.
-        let inner = back_edges
-            .iter()
-            .all(|&(t2, h2)| (t2, h2) == (tail, head) || !(body.contains(&t2) && body.contains(&h2)));
+        let inner = back_edges.iter().all(|&(t2, h2)| {
+            (t2, h2) == (tail, head) || !(body.contains(&t2) && body.contains(&h2))
+        });
         if !inner {
             continue;
         }

@@ -19,7 +19,7 @@ use softerr_isa::{Profile, Reg};
 use std::collections::{HashMap, HashSet};
 
 /// Where a vreg lives at execution time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Loc {
     /// A machine register.
     R(Reg),
@@ -106,9 +106,7 @@ pub fn allocate(func: &IrFunc, profile: Profile) -> Allocation {
     }
 
     for itv in intervals.values_mut() {
-        itv.crosses_call = call_points
-            .iter()
-            .any(|&c| itv.start < c && c < itv.end);
+        itv.crosses_call = call_points.iter().any(|&c| itv.start < c && c < itv.end);
     }
 
     // Allocatable pools. Two temporaries are reserved as scratch.
@@ -219,16 +217,26 @@ mod tests {
         let f = simple_func(
             2,
             vec![
-                Inst::Copy { dst: 0, src: Operand::C(1) },
+                Inst::Copy {
+                    dst: 0,
+                    src: Operand::C(1),
+                },
                 Inst::Out { src: Operand::V(0) },
-                Inst::Copy { dst: 1, src: Operand::C(2) },
+                Inst::Copy {
+                    dst: 1,
+                    src: Operand::C(2),
+                },
                 Inst::Out { src: Operand::V(1) },
             ],
             Term::Ret(None),
         );
         let a = allocate(&f, Profile::A64);
-        let Loc::R(r0) = a.locs[&0] else { panic!("spilled") };
-        let Loc::R(r1) = a.locs[&1] else { panic!("spilled") };
+        let Loc::R(r0) = a.locs[&0] else {
+            panic!("spilled")
+        };
+        let Loc::R(r1) = a.locs[&1] else {
+            panic!("spilled")
+        };
         assert_eq!(r0, r1, "disjoint intervals should reuse the register");
     }
 
@@ -237,8 +245,14 @@ mod tests {
         let f = simple_func(
             2,
             vec![
-                Inst::Copy { dst: 0, src: Operand::C(1) },
-                Inst::Copy { dst: 1, src: Operand::C(2) },
+                Inst::Copy {
+                    dst: 0,
+                    src: Operand::C(1),
+                },
+                Inst::Copy {
+                    dst: 1,
+                    src: Operand::C(2),
+                },
                 Inst::Bin {
                     op: BinOp::Add,
                     w: Width::Word,
@@ -261,14 +275,23 @@ mod tests {
         let f = simple_func(
             1,
             vec![
-                Inst::Copy { dst: 0, src: Operand::C(1) },
-                Inst::Call { dst: None, callee: "g".into(), args: vec![] },
+                Inst::Copy {
+                    dst: 0,
+                    src: Operand::C(1),
+                },
+                Inst::Call {
+                    dst: None,
+                    callee: "g".into(),
+                    args: vec![],
+                },
                 Inst::Out { src: Operand::V(0) },
             ],
             Term::Ret(None),
         );
         let a = allocate(&f, Profile::A64);
-        let Loc::R(r) = a.locs[&0] else { panic!("spilled") };
+        let Loc::R(r) = a.locs[&0] else {
+            panic!("spilled")
+        };
         assert!(
             Profile::A64.saved_regs().contains(&r),
             "{r} is not callee-saved"
@@ -282,7 +305,10 @@ mod tests {
         // the scratch registers.
         let n = 24u32;
         let mut insts: Vec<Inst> = (0..n)
-            .map(|v| Inst::Copy { dst: v, src: Operand::C(v as i64) })
+            .map(|v| Inst::Copy {
+                dst: v,
+                src: Operand::C(v as i64),
+            })
             .collect();
         for v in 0..n {
             insts.push(Inst::Out { src: Operand::V(v) });
@@ -302,7 +328,10 @@ mod tests {
     fn a64_spills_less_than_a32() {
         let n = 16u32;
         let mut insts: Vec<Inst> = (0..n)
-            .map(|v| Inst::Copy { dst: v, src: Operand::C(v as i64) })
+            .map(|v| Inst::Copy {
+                dst: v,
+                src: Operand::C(v as i64),
+            })
             .collect();
         for v in 0..n {
             insts.push(Inst::Out { src: Operand::V(v) });
@@ -324,7 +353,10 @@ mod tests {
             ret: None,
             blocks: vec![
                 Block {
-                    insts: vec![Inst::Copy { dst: 0, src: Operand::C(0) }],
+                    insts: vec![Inst::Copy {
+                        dst: 0,
+                        src: Operand::C(0),
+                    }],
                     term: Term::Jmp(1),
                 },
                 Block {

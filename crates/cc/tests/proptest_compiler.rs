@@ -13,11 +13,21 @@ const OPS: [&str; 10] = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"];
 #[derive(Debug, Clone)]
 enum Stmt {
     /// `vD = vA op (vB | const)`
-    Assign { dst: usize, a: usize, op: usize, b: Operand },
+    Assign {
+        dst: usize,
+        a: usize,
+        op: usize,
+        b: Operand,
+    },
     /// `if (vA < vB) vD = vA; else vD = expr;`
     Cond { dst: usize, a: usize, b: usize },
     /// `for (i = 0; i < n; i++) vD = vD op vA;`
-    Loop { dst: usize, a: usize, op: usize, n: u8 },
+    Loop {
+        dst: usize,
+        a: usize,
+        op: usize,
+        n: u8,
+    },
     /// `arr[idxvar & 7] = vA; vD = arr[vB & 7];`
     Mem { dst: usize, a: usize, b: usize },
 }
@@ -36,8 +46,12 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
         (var.clone(), var.clone(), 0..OPS.len(), arb_operand())
             .prop_map(|(dst, a, op, b)| Stmt::Assign { dst, a, op, b }),
         (var.clone(), var.clone(), var.clone()).prop_map(|(dst, a, b)| Stmt::Cond { dst, a, b }),
-        (var.clone(), var.clone(), 0..OPS.len(), 1u8..6)
-            .prop_map(|(dst, a, op, n)| Stmt::Loop { dst, a, op, n }),
+        (var.clone(), var.clone(), 0..OPS.len(), 1u8..6).prop_map(|(dst, a, op, n)| Stmt::Loop {
+            dst,
+            a,
+            op,
+            n
+        }),
         (var.clone(), var.clone(), var).prop_map(|(dst, a, b)| Stmt::Mem { dst, a, b }),
     ]
 }
@@ -129,6 +143,27 @@ proptest! {
         for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3] {
             let out = run(&src, profile, level);
             prop_assert_eq!(&out, &golden, "{} diverged from O0 on:\n{}", level, src);
+        }
+    }
+
+    /// The IR verifier accepts every prefix of the optimization pipeline
+    /// on random programs: `with_verify(true)` re-runs the verifier after
+    /// every individual pass application (and after register allocation),
+    /// so one clean compile certifies each intermediate IR state, not just
+    /// the final one.
+    #[test]
+    fn verifier_accepts_every_pipeline_prefix(
+        init in prop::collection::vec(any::<i16>(), NVARS),
+        stmts in prop::collection::vec(arb_stmt(), 1..12),
+    ) {
+        let src = render(&init, &stmts);
+        for profile in [Profile::A32, Profile::A64] {
+            for level in OptLevel::ALL {
+                Compiler::new(profile, level)
+                    .with_verify(true)
+                    .compile(&src)
+                    .unwrap_or_else(|e| panic!("compile failed at {level}: {e}\n{src}"));
+            }
         }
     }
 

@@ -1,20 +1,36 @@
 //! Compares RF utilization metrics and RF AVF across levels (diagnostic).
-use softerr::{Compiler, OptLevel};
 use softerr::{CampaignConfig, Injector};
+use softerr::{Compiler, OptLevel};
 use softerr::{MachineConfig, Sim, SimOutcome, Structure};
 use softerr::{Scale, Workload};
 
 fn main() {
-    for w in [Workload::Blowfish, Workload::Dijkstra, Workload::Sha, Workload::Qsort] {
+    for w in [
+        Workload::Blowfish,
+        Workload::Dijkstra,
+        Workload::Sha,
+        Workload::Qsort,
+    ] {
         for cfg in MachineConfig::paper_machines() {
             print!("{:9} {:16}", w.name(), cfg.name);
             for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
-                let c = Compiler::new(cfg.profile, level).compile(&w.source(Scale::Tiny)).unwrap();
+                let c = Compiler::new(cfg.profile, level)
+                    .compile(&w.source(Scale::Tiny))
+                    .unwrap();
                 let mut sim = Sim::new(&cfg, &c.program);
-                let SimOutcome::Halted { cycles, .. } = sim.run(1_000_000_000) else { panic!() };
+                let SimOutcome::Halted { cycles, .. } = sim.run(1_000_000_000) else {
+                    panic!()
+                };
                 let st = sim.stats();
                 let inj = Injector::new(&cfg, &c.program).unwrap();
-                let camp = inj.campaign(Structure::RegFile, &CampaignConfig { injections: 250, seed: 9, ..CampaignConfig::default() });
+                let camp = inj.campaign(
+                    Structure::RegFile,
+                    &CampaignConfig {
+                        injections: 250,
+                        seed: 9,
+                        ..CampaignConfig::default()
+                    },
+                );
                 print!(
                     "  {level}: rd/c {:.2} avf {:.3}",
                     st.rf_reads as f64 / cycles as f64,

@@ -39,14 +39,16 @@ pub use study::{CellKey, CellResult, Study, StudyConfig, StudyError, StudyResult
 
 // Re-export the full vocabulary so downstream users need only this crate.
 pub use softerr_analysis::{
-    cpu_fit, cpu_fit_by_class, fit_of_structure, fpe, weighted_avf, EccScheme,
-    StructureMeasurement,
+    ace_estimate, cpu_fit, cpu_fit_by_class, fit_of_structure, fpe, weighted_avf, AceEstimate,
+    EccScheme, StructureAvf, StructureMeasurement,
 };
-pub use softerr_cc::{CompileError, Compiled, Compiler, OptLevel, PassConfig};
+pub use softerr_cc::{CompileError, Compiled, Compiler, OptLevel, PassConfig, VerifyError};
 pub use softerr_inject::{
     error_margin, CampaignConfig, CampaignResult, ClassCounts, FaultClass, FaultSpec, Golden,
     Injector, Z_90, Z_95, Z_99,
 };
 pub use softerr_isa::{disassemble, Emulator, Profile, Program};
-pub use softerr_sim::{MachineConfig, Sim, SimOutcome, SimStats, Structure};
+pub use softerr_sim::{
+    MachineConfig, ResidencyReport, Sim, SimOutcome, SimStats, Structure, StructureResidency,
+};
 pub use softerr_workloads::{Scale, Workload};

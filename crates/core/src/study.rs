@@ -219,16 +219,13 @@ impl Study {
                 for &level in &cfg.levels {
                     let compiled = Compiler::new(machine.profile, level)
                         .compile(&source)
-                        .map_err(|e| {
-                            StudyError::Compile(format!("{workload} at {level}: {e}"))
-                        })?;
-                    let injector =
-                        Injector::new(machine, &compiled.program).map_err(|e| {
-                            StudyError::Golden(format!(
-                                "{workload} at {level} on {}: {e}",
-                                machine.name
-                            ))
-                        })?;
+                        .map_err(|e| StudyError::Compile(format!("{workload} at {level}: {e}")))?;
+                    let injector = Injector::new(machine, &compiled.program).map_err(|e| {
+                        StudyError::Golden(format!(
+                            "{workload} at {level} on {}: {e}",
+                            machine.name
+                        ))
+                    })?;
                     let campaign_cfg = CampaignConfig {
                         injections: cfg.injections,
                         seed: cfg.seed,
@@ -279,7 +276,11 @@ pub struct StudyResults {
 impl StudyResults {
     /// The machine names in the study, in configuration order.
     pub fn machine_names(&self) -> Vec<String> {
-        self.config.machines.iter().map(|m| m.name.clone()).collect()
+        self.config
+            .machines
+            .iter()
+            .map(|m| m.name.clone())
+            .collect()
     }
 
     /// The machine configuration by name.
@@ -368,8 +369,12 @@ impl StudyResults {
         level: OptLevel,
         ecc: EccScheme,
     ) -> f64 {
-        let Some(cfg) = self.machine(machine) else { return 0.0 };
-        let Some(cell) = self.cell(machine, workload, level) else { return 0.0 };
+        let Some(cfg) = self.machine(machine) else {
+            return 0.0;
+        };
+        let Some(cell) = self.cell(machine, workload, level) else {
+            return 0.0;
+        };
         softerr_analysis::cpu_fit(&cell.measurements(), cfg.raw_fit_per_bit, ecc)
     }
 
@@ -381,15 +386,21 @@ impl StudyResults {
         level: OptLevel,
         ecc: EccScheme,
     ) -> Vec<(FaultClass, f64)> {
-        let Some(cfg) = self.machine(machine) else { return Vec::new() };
-        let Some(cell) = self.cell(machine, workload, level) else { return Vec::new() };
+        let Some(cfg) = self.machine(machine) else {
+            return Vec::new();
+        };
+        let Some(cell) = self.cell(machine, workload, level) else {
+            return Vec::new();
+        };
         softerr_analysis::cpu_fit_by_class(&cell.measurements(), cfg.raw_fit_per_bit, ecc)
     }
 
     /// CPU FIT at one level aggregated over all workloads using weighted
     /// AVFs (paper Fig. 12).
     pub fn aggregate_cpu_fit(&self, machine: &str, level: OptLevel, ecc: EccScheme) -> f64 {
-        let Some(cfg) = self.machine(machine) else { return 0.0 };
+        let Some(cfg) = self.machine(machine) else {
+            return 0.0;
+        };
         self.config
             .structures
             .iter()
@@ -417,15 +428,20 @@ impl StudyResults {
     /// Failures per execution for one cell (paper eq. 3, Fig. 11), using
     /// the machine's clock frequency to convert cycles to seconds.
     pub fn fpe(&self, machine: &str, workload: Workload, level: OptLevel, ecc: EccScheme) -> f64 {
-        let Some(cfg) = self.machine(machine) else { return 0.0 };
-        let Some(cell) = self.cell(machine, workload, level) else { return 0.0 };
+        let Some(cfg) = self.machine(machine) else {
+            return 0.0;
+        };
+        let Some(cell) = self.cell(machine, workload, level) else {
+            return 0.0;
+        };
         let seconds = cell.golden_cycles as f64 / (cfg.freq_ghz * 1e9);
         softerr_analysis::fpe(self.cpu_fit(machine, workload, level, ecc), seconds)
     }
 
     /// Golden execution time of one cell, in cycles.
     pub fn cycles(&self, machine: &str, workload: Workload, level: OptLevel) -> u64 {
-        self.cell(machine, workload, level).map_or(0, |c| c.golden_cycles)
+        self.cell(machine, workload, level)
+            .map_or(0, |c| c.golden_cycles)
     }
 
     /// Speedup of `level` relative to O0 for one cell (paper Fig. 1).

@@ -162,7 +162,12 @@ pub struct CampaignConfig {
 
 impl Default for CampaignConfig {
     fn default() -> CampaignConfig {
-        CampaignConfig { injections: 100, seed: 0xB17F11B5, threads: 1, checkpoint: true }
+        CampaignConfig {
+            injections: 100,
+            seed: 0xB17F11B5,
+            threads: 1,
+            checkpoint: true,
+        }
     }
 }
 
@@ -207,7 +212,8 @@ impl CampaignResult {
     pub fn margin_99(&self) -> f64 {
         crate::stats::error_margin(
             self.total(),
-            self.bit_population.saturating_mul(self.golden_cycles.max(1)),
+            self.bit_population
+                .saturating_mul(self.golden_cycles.max(1)),
             crate::stats::Z_99,
         )
     }
@@ -233,10 +239,18 @@ impl<'a> Injector<'a> {
     pub fn new(cfg: &'a MachineConfig, program: &'a Program) -> Result<Injector<'a>, GoldenError> {
         let mut sim = Sim::new(cfg, program);
         match sim.run(4_000_000_000) {
-            SimOutcome::Halted { cycles, retired, output } => Ok(Injector {
+            SimOutcome::Halted {
+                cycles,
+                retired,
+                output,
+            } => Ok(Injector {
                 cfg,
                 program,
-                golden: Golden { cycles, retired, output },
+                golden: Golden {
+                    cycles,
+                    retired,
+                    output,
+                },
             }),
             other => Err(GoldenError(format!("{other:?}"))),
         }
@@ -353,9 +367,8 @@ impl<'a> Injector<'a> {
         let cycles = self.golden.cycles.max(1);
         // Mix the structure into the seed so different structures draw
         // independent samples from the same campaign seed.
-        let mut rng = SmallRng::seed_from_u64(
-            seed ^ (structure as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (structure as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         (0..n)
             .map(|_| FaultSpec {
                 structure,
@@ -406,8 +419,7 @@ impl<'a> Injector<'a> {
             vec![run_worker()]
         } else {
             std::thread::scope(|scope| {
-                let handles: Vec<_> =
-                    (0..cfg.threads).map(|_| scope.spawn(run_worker)).collect();
+                let handles: Vec<_> = (0..cfg.threads).map(|_| scope.spawn(run_worker)).collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("injection worker panicked"))
@@ -698,7 +710,12 @@ mod tests {
         let inj = Injector::new(&cfg, &program).unwrap();
         let r = inj.campaign(
             Structure::RegFile,
-            &CampaignConfig { injections: 40, seed: 1, threads: 1, checkpoint: true },
+            &CampaignConfig {
+                injections: 40,
+                seed: 1,
+                threads: 1,
+                checkpoint: true,
+            },
         );
         assert_eq!(r.total(), 40);
         assert!((0.0..=1.0).contains(&r.avf()));
@@ -710,7 +727,12 @@ mod tests {
     fn campaigns_are_deterministic() {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
-        let cc = CampaignConfig { injections: 30, seed: 99, threads: 1, checkpoint: true };
+        let cc = CampaignConfig {
+            injections: 30,
+            seed: 99,
+            threads: 1,
+            checkpoint: true,
+        };
         let a = inj.campaign(Structure::IqSrc, &cc);
         let b = inj.campaign(Structure::IqSrc, &cc);
         assert_eq!(a, b);
@@ -722,11 +744,21 @@ mod tests {
         let inj = Injector::new(&cfg, &program).unwrap();
         let seq = inj.campaign(
             Structure::L1DData,
-            &CampaignConfig { injections: 24, seed: 5, threads: 1, checkpoint: true },
+            &CampaignConfig {
+                injections: 24,
+                seed: 5,
+                threads: 1,
+                checkpoint: true,
+            },
         );
         let par = inj.campaign(
             Structure::L1DData,
-            &CampaignConfig { injections: 24, seed: 5, threads: 3, checkpoint: true },
+            &CampaignConfig {
+                injections: 24,
+                seed: 5,
+                threads: 3,
+                checkpoint: true,
+            },
         );
         assert_eq!(seq.counts, par.counts);
     }
@@ -736,7 +768,15 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         for s in [Structure::LoadQueue, Structure::StoreQueue] {
-            let r = inj.campaign(s, &CampaignConfig { injections: 50, seed: 3, threads: 1, checkpoint: true });
+            let r = inj.campaign(
+                s,
+                &CampaignConfig {
+                    injections: 50,
+                    seed: 3,
+                    threads: 1,
+                    checkpoint: true,
+                },
+            );
             assert_eq!(r.counts.sdc, 0, "{s}: paper reports no SDCs");
             assert_eq!(r.counts.crash, 0, "{s}: paper reports no crashes");
         }
@@ -758,7 +798,11 @@ mod tests {
     fn burst_width_one_equals_single_bit() {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
-        let f = FaultSpec { structure: Structure::RegFile, bit: 100, cycle: 20 };
+        let f = FaultSpec {
+            structure: Structure::RegFile,
+            bit: 100,
+            cycle: 20,
+        };
         assert_eq!(inj.inject(f), inj.inject_burst(f, 1));
     }
 
@@ -766,12 +810,22 @@ mod tests {
     fn wider_bursts_are_at_least_as_vulnerable_on_average() {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
-        let cc = CampaignConfig { injections: 60, seed: 77, threads: 1, checkpoint: true };
+        let cc = CampaignConfig {
+            injections: 60,
+            seed: 77,
+            threads: 1,
+            checkpoint: true,
+        };
         let single = inj.campaign_burst(Structure::L1IData, &cc, 1);
         let quad = inj.campaign_burst(Structure::L1IData, &cc, 4);
         // Same fault sites: a 4-bit burst strictly contains the 1-bit flip,
         // so it can only add ways to fail.
-        assert!(quad.avf() >= single.avf(), "{} < {}", quad.avf(), single.avf());
+        assert!(
+            quad.avf() >= single.avf(),
+            "{} < {}",
+            quad.avf(),
+            single.avf()
+        );
     }
 
     #[test]
@@ -779,7 +833,11 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         let bits = inj.bit_count(Structure::LoadQueue);
-        let f = FaultSpec { structure: Structure::LoadQueue, bit: bits - 1, cycle: 10 };
+        let f = FaultSpec {
+            structure: Structure::LoadQueue,
+            bit: bits - 1,
+            cycle: 10,
+        };
         let _ = inj.inject_burst(f, 4);
     }
 
@@ -787,14 +845,24 @@ mod tests {
     fn checkpointed_classes_match_fresh_per_fault() {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
-        let fresh_cfg =
-            CampaignConfig { injections: 25, seed: 21, threads: 1, checkpoint: false };
-        let ckpt_cfg = CampaignConfig { checkpoint: true, ..fresh_cfg };
+        let fresh_cfg = CampaignConfig {
+            injections: 25,
+            seed: 21,
+            threads: 1,
+            checkpoint: false,
+        };
+        let ckpt_cfg = CampaignConfig {
+            checkpoint: true,
+            ..fresh_cfg
+        };
         for s in [Structure::RegFile, Structure::L1DData, Structure::RobFlags] {
             let faults = inj.sample_faults(s, fresh_cfg.injections, fresh_cfg.seed);
             let fresh = inj.classify_all(&faults, 1, &fresh_cfg);
             let ckpt = inj.classify_all(&faults, 1, &ckpt_cfg);
-            assert_eq!(fresh, ckpt, "{s}: fork-from-checkpoint must be bit-identical");
+            assert_eq!(
+                fresh, ckpt,
+                "{s}: fork-from-checkpoint must be bit-identical"
+            );
         }
     }
 
@@ -804,11 +872,21 @@ mod tests {
         let inj = Injector::new(&cfg, &program).unwrap();
         let seq = inj.campaign(
             Structure::IqDest,
-            &CampaignConfig { injections: 24, seed: 8, threads: 1, checkpoint: true },
+            &CampaignConfig {
+                injections: 24,
+                seed: 8,
+                threads: 1,
+                checkpoint: true,
+            },
         );
         let par = inj.campaign(
             Structure::IqDest,
-            &CampaignConfig { injections: 24, seed: 8, threads: 3, checkpoint: true },
+            &CampaignConfig {
+                injections: 24,
+                seed: 8,
+                threads: 3,
+                checkpoint: true,
+            },
         );
         assert_eq!(seq.counts, par.counts);
     }
@@ -842,11 +920,20 @@ mod tests {
         for checkpoint in [false, true] {
             let r = inj.campaign(
                 Structure::LoadQueue,
-                &CampaignConfig { injections: 20, seed: 7, threads: 1, checkpoint },
+                &CampaignConfig {
+                    injections: 20,
+                    seed: 7,
+                    threads: 1,
+                    checkpoint,
+                },
             );
             assert_eq!(r.total(), 0, "no injectable bits means an empty campaign");
         }
-        let f = FaultSpec { structure: Structure::LoadQueue, bit: 0, cycle: 1 };
+        let f = FaultSpec {
+            structure: Structure::LoadQueue,
+            bit: 0,
+            cycle: 1,
+        };
         assert_eq!(inj.inject(f), FaultClass::Masked);
     }
 

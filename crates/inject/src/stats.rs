@@ -25,7 +25,11 @@ pub fn error_margin(n: u64, population: u64, z: f64) -> f64 {
     }
     let n_f = n as f64;
     let pop = population.max(n) as f64;
-    let fpc = if pop > 1.0 { (pop - n_f) / (pop - 1.0) } else { 0.0 };
+    let fpc = if pop > 1.0 {
+        (pop - n_f) / (pop - 1.0)
+    } else {
+        0.0
+    };
     z * (0.25 / n_f * fpc.max(0.0)).sqrt()
 }
 

@@ -43,7 +43,12 @@ mod tests {
         let p = Program::from_instrs(
             Profile::A32,
             vec![
-                Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 7 },
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::ZERO,
+                    imm: 7,
+                },
                 Instr::Halt,
             ],
         );

@@ -5,9 +5,7 @@
 //! architectural state for fault-free runs; the differential tests in the
 //! workspace enforce this.
 
-use crate::{
-    decode, eval_alu, eval_branch, Instr, Memory, Profile, Program, Reg, Trap,
-};
+use crate::{decode, eval_alu, eval_branch, Instr, Memory, Profile, Program, Reg, Trap};
 
 /// Result of running a program to completion (or to the instruction limit).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,8 +96,7 @@ impl Emulator {
         let n = self.profile.nregs();
         let (s1, s2) = instr.sources();
         let dest_ok = instr.dest().is_none_or(|d| d.valid_for(n));
-        let src_ok =
-            s1.is_none_or(|r| r.valid_for(n)) && s2.is_none_or(|r| r.valid_for(n));
+        let src_ok = s1.is_none_or(|r| r.valid_for(n)) && s2.is_none_or(|r| r.valid_for(n));
         dest_ok && src_ok
     }
 
@@ -121,8 +118,13 @@ impl Emulator {
         if !self.check_regs(instr)
             || (matches!(
                 instr,
-                Instr::Load { width: crate::MemWidth::D, .. }
-                    | Instr::Store { width: crate::MemWidth::D, .. }
+                Instr::Load {
+                    width: crate::MemWidth::D,
+                    ..
+                } | Instr::Store {
+                    width: crate::MemWidth::D,
+                    ..
+                }
             ) && self.profile == Profile::A32)
         {
             return Err(Trap::InvalidInstr { pc, word });
@@ -242,9 +244,24 @@ mod tests {
         let out = run_ok(
             Profile::A64,
             vec![
-                Instr::AluImm { op: AluOp::Add, rd: a0, rs1: Reg::ZERO, imm: 6 },
-                Instr::AluImm { op: AluOp::Add, rd: Reg::new(9), rs1: Reg::ZERO, imm: 7 },
-                Instr::Alu { op: AluOp::Mul, rd: a0, rs1: a0, rs2: Reg::new(9) },
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: a0,
+                    rs1: Reg::ZERO,
+                    imm: 6,
+                },
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg::new(9),
+                    rs1: Reg::ZERO,
+                    imm: 7,
+                },
+                Instr::Alu {
+                    op: AluOp::Mul,
+                    rd: a0,
+                    rs1: a0,
+                    rs2: Reg::new(9),
+                },
                 Instr::Out { rs1: a0 },
                 Instr::Halt,
             ],
@@ -262,12 +279,37 @@ mod tests {
         let out = run_ok(
             Profile::A32,
             vec![
-                Instr::AluImm { op: AluOp::Add, rd: x3, rs1: Reg::ZERO, imm: 1 },
-                Instr::AluImm { op: AluOp::Add, rd: x4, rs1: Reg::ZERO, imm: 10 },
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: x3,
+                    rs1: Reg::ZERO,
+                    imm: 1,
+                },
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: x4,
+                    rs1: Reg::ZERO,
+                    imm: 10,
+                },
                 // loop:
-                Instr::Alu { op: AluOp::Add, rd: a0, rs1: a0, rs2: x3 },
-                Instr::AluImm { op: AluOp::Add, rd: x3, rs1: x3, imm: 1 },
-                Instr::Branch { cond: BranchCond::Ge, rs1: x4, rs2: x3, offset: -2 },
+                Instr::Alu {
+                    op: AluOp::Add,
+                    rd: a0,
+                    rs1: a0,
+                    rs2: x3,
+                },
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: x3,
+                    rs1: x3,
+                    imm: 1,
+                },
+                Instr::Branch {
+                    cond: BranchCond::Ge,
+                    rs1: x4,
+                    rs2: x3,
+                    offset: -2,
+                },
                 Instr::Out { rs1: a0 },
                 Instr::Halt,
             ],
@@ -283,12 +325,37 @@ mod tests {
         let out = run_ok(
             Profile::A64,
             vec![
-                Instr::Lui { rd: x3, imm: (DATA_BASE >> 13) as i32 },
-                Instr::AluImm { op: AluOp::Add, rd: a0, rs1: Reg::ZERO, imm: -1 },
-                Instr::Store { width: MemWidth::D, src: a0, base: x3, offset: 16 },
-                Instr::Load { width: MemWidth::W, signed: false, rd: a0, base: x3, offset: 16 },
+                Instr::Lui {
+                    rd: x3,
+                    imm: (DATA_BASE >> 13) as i32,
+                },
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: a0,
+                    rs1: Reg::ZERO,
+                    imm: -1,
+                },
+                Instr::Store {
+                    width: MemWidth::D,
+                    src: a0,
+                    base: x3,
+                    offset: 16,
+                },
+                Instr::Load {
+                    width: MemWidth::W,
+                    signed: false,
+                    rd: a0,
+                    base: x3,
+                    offset: 16,
+                },
                 Instr::Out { rs1: a0 },
-                Instr::Load { width: MemWidth::W, signed: true, rd: a0, base: x3, offset: 16 },
+                Instr::Load {
+                    width: MemWidth::W,
+                    signed: true,
+                    rd: a0,
+                    base: x3,
+                    offset: 16,
+                },
                 Instr::Out { rs1: a0 },
                 Instr::Halt,
             ],
@@ -303,12 +370,29 @@ mod tests {
         let out = run_ok(
             Profile::A64,
             vec![
-                Instr::AluImm { op: AluOp::Add, rd: a0, rs1: Reg::ZERO, imm: 21 },
-                Instr::Jal { rd: Reg::RA, offset: 3 }, // -> instr 4
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: a0,
+                    rs1: Reg::ZERO,
+                    imm: 21,
+                },
+                Instr::Jal {
+                    rd: Reg::RA,
+                    offset: 3,
+                }, // -> instr 4
                 Instr::Out { rs1: a0 },
                 Instr::Halt,
-                Instr::Alu { op: AluOp::Add, rd: a0, rs1: a0, rs2: a0 },
-                Instr::Jalr { rd: Reg::ZERO, base: Reg::RA, offset: 0 },
+                Instr::Alu {
+                    op: AluOp::Add,
+                    rd: a0,
+                    rs1: a0,
+                    rs2: a0,
+                },
+                Instr::Jalr {
+                    rd: Reg::ZERO,
+                    base: Reg::RA,
+                    offset: 0,
+                },
             ],
         );
         assert_eq!(out.output, vec![42]);
@@ -365,7 +449,12 @@ mod tests {
         let out = run_ok(
             Profile::A64,
             vec![
-                Instr::AluImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 99 },
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg::ZERO,
+                    rs1: Reg::ZERO,
+                    imm: 99,
+                },
                 Instr::Out { rs1: Reg::ZERO },
                 Instr::Halt,
             ],
@@ -377,7 +466,10 @@ mod tests {
     fn instruction_limit_reports_incomplete() {
         let p = Program::from_instrs(
             Profile::A64,
-            vec![Instr::Jal { rd: Reg::ZERO, offset: 0 }], // infinite loop
+            vec![Instr::Jal {
+                rd: Reg::ZERO,
+                offset: 0,
+            }], // infinite loop
         );
         let mut emu = Emulator::new(&p);
         let out = emu.run(100).unwrap();
@@ -391,11 +483,22 @@ mod tests {
         // opcode (0x00).
         let p = Program::from_instrs(
             Profile::A64,
-            vec![Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 1 }],
+            vec![Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                imm: 1,
+            }],
         );
         let mut emu = Emulator::new(&p);
         let err = emu.run(10).unwrap_err();
-        assert_eq!(err, Trap::InvalidInstr { pc: CODE_BASE + 4, word: 0 });
+        assert_eq!(
+            err,
+            Trap::InvalidInstr {
+                pc: CODE_BASE + 4,
+                word: 0
+            }
+        );
     }
 
     #[test]

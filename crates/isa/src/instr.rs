@@ -759,7 +759,11 @@ impl fmt::Display for Instr {
                 src,
                 base,
                 offset,
-            } => write!(f, "s{} {src}, {offset}({base})", lower(format!("{width:?}"))),
+            } => write!(
+                f,
+                "s{} {src}, {offset}({base})",
+                lower(format!("{width:?}"))
+            ),
             Instr::Branch {
                 cond,
                 rs1,
@@ -783,7 +787,11 @@ mod tests {
     fn opcodes_are_distinct() {
         let mut seen = std::collections::HashSet::new();
         for op in ALL_OPCODES {
-            assert!(seen.insert(op as u8), "duplicate opcode byte {:#04x}", op as u8);
+            assert!(
+                seen.insert(op as u8),
+                "duplicate opcode byte {:#04x}",
+                op as u8
+            );
         }
         assert_eq!(seen.len(), 43);
     }
@@ -842,8 +850,14 @@ mod tests {
                 rs2: r(2),
                 offset: -1,
             },
-            Instr::Lui { rd: r(5), imm: -262144 },
-            Instr::Jal { rd: Reg::RA, offset: 262143 },
+            Instr::Lui {
+                rd: r(5),
+                imm: -262144,
+            },
+            Instr::Jal {
+                rd: Reg::RA,
+                offset: 262143,
+            },
             Instr::Jalr {
                 rd: Reg::ZERO,
                 base: Reg::RA,
@@ -918,7 +932,10 @@ mod tests {
     fn alu_width_semantics_differ_between_profiles() {
         // 0xFFFF_FFFF + 1 wraps to 0 on A32 but not on A64.
         assert_eq!(eval_alu(Profile::A32, AluOp::Add, 0xFFFF_FFFF, 1), 0);
-        assert_eq!(eval_alu(Profile::A64, AluOp::Add, 0xFFFF_FFFF, 1), 0x1_0000_0000);
+        assert_eq!(
+            eval_alu(Profile::A64, AluOp::Add, 0xFFFF_FFFF, 1),
+            0x1_0000_0000
+        );
         // Arithmetic shift right sees the A32 sign bit.
         assert_eq!(
             eval_alu(Profile::A32, AluOp::Sra, 0x8000_0000, 31),
@@ -933,7 +950,10 @@ mod tests {
             eval_alu(Profile::A64, AluOp::Div, i64::MIN as u64, u64::MAX),
             i64::MIN as u64
         );
-        assert_eq!(eval_alu(Profile::A64, AluOp::Rem, i64::MIN as u64, u64::MAX), 0);
+        assert_eq!(
+            eval_alu(Profile::A64, AluOp::Rem, i64::MIN as u64, u64::MAX),
+            0
+        );
         assert_eq!(
             eval_alu(Profile::A32, AluOp::Div, 0x8000_0000, 0xFFFF_FFFF),
             0x8000_0000

@@ -44,8 +44,7 @@ mod trap;
 pub use disasm::disassemble;
 pub use emu::{Emulator, RunOutcome};
 pub use instr::{
-    decode, encode, eval_alu, eval_branch, AluOp, BranchCond, DecodeError, Instr, MemWidth,
-    Opcode,
+    decode, encode, eval_alu, eval_branch, AluOp, BranchCond, DecodeError, Instr, MemWidth, Opcode,
 };
 pub use mem::{MemFault, MemFaultKind, Memory, NULL_PAGE};
 pub use profile::Profile;

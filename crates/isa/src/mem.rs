@@ -184,8 +184,12 @@ mod tests {
     #[test]
     fn roundtrip_all_widths() {
         let mut m = Memory::new(0x3000);
-        for (size, val) in [(1, 0xAB), (2, 0xBEEF), (4, 0xDEAD_BEEF), (8, 0x0123_4567_89AB_CDEF)]
-        {
+        for (size, val) in [
+            (1, 0xAB),
+            (2, 0xBEEF),
+            (4, 0xDEAD_BEEF),
+            (8, 0x0123_4567_89AB_CDEF),
+        ] {
             m.write(0x2000, size, val).unwrap();
             assert_eq!(m.read(0x2000, size).unwrap(), val);
         }
@@ -211,16 +215,28 @@ mod tests {
     #[test]
     fn misaligned_faults() {
         let m = Memory::new(0x3000);
-        assert_eq!(m.read(0x2001, 4).unwrap_err().kind, MemFaultKind::Misaligned);
-        assert_eq!(m.read(0x2004, 8).unwrap_err().kind, MemFaultKind::Misaligned);
+        assert_eq!(
+            m.read(0x2001, 4).unwrap_err().kind,
+            MemFaultKind::Misaligned
+        );
+        assert_eq!(
+            m.read(0x2004, 8).unwrap_err().kind,
+            MemFaultKind::Misaligned
+        );
         assert!(m.read(0x2001, 1).is_ok(), "bytes have no alignment");
     }
 
     #[test]
     fn out_of_range_faults() {
         let m = Memory::new(0x3000);
-        assert_eq!(m.read(0x3000, 4).unwrap_err().kind, MemFaultKind::OutOfRange);
-        assert_eq!(m.read(0x2FFC, 8).unwrap_err().kind, MemFaultKind::Misaligned);
+        assert_eq!(
+            m.read(0x3000, 4).unwrap_err().kind,
+            MemFaultKind::OutOfRange
+        );
+        assert_eq!(
+            m.read(0x2FFC, 8).unwrap_err().kind,
+            MemFaultKind::Misaligned
+        );
         assert!(m.read(0x2FF8, 8).is_ok(), "last aligned dword is in range");
         // u64::MAX - 7 is 8-aligned; its end overflows u64 → out of range.
         assert_eq!(
@@ -233,10 +249,7 @@ mod tests {
     fn overflowing_address_faults_not_panics() {
         let m = Memory::new(0x3000);
         // Aligned address whose end overflows u64.
-        assert_eq!(
-            m.read(!7, 8).unwrap_err().kind,
-            MemFaultKind::OutOfRange
-        );
+        assert_eq!(m.read(!7, 8).unwrap_err().kind, MemFaultKind::OutOfRange);
     }
 
     #[test]

@@ -59,7 +59,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let t = Trap::InvalidInstr { pc: 0x1000, word: 0xDEAD_BEEF };
+        let t = Trap::InvalidInstr {
+            pc: 0x1000,
+            word: 0xDEAD_BEEF,
+        };
         assert!(t.to_string().contains("0xdeadbeef"));
         let m = Trap::from(MemFault {
             addr: 4,

@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use softerr_isa::{
-    decode, encode, eval_alu, AluOp, BranchCond, Emulator, Instr, MemWidth, Profile, Program,
-    Reg,
+    decode, encode, eval_alu, AluOp, BranchCond, Emulator, Instr, MemWidth, Profile, Program, Reg,
 };
 
 fn arb_reg() -> impl Strategy<Value = Reg> {

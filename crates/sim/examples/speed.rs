@@ -16,11 +16,16 @@ fn main() {
         let t1 = Instant::now();
         let mut total_cycles = 0u64;
         let out = sims.pop().unwrap().run(1_000_000_000);
-        if let SimOutcome::Halted { cycles, retired, .. } = out {
+        if let SimOutcome::Halted {
+            cycles, retired, ..
+        } = out
+        {
             total_cycles += cycles;
             println!(
                 "{}: {} cycles, {} instrs, IPC {:.2}",
-                cfg.name, cycles, retired,
+                cfg.name,
+                cycles,
+                retired,
                 retired as f64 / cycles as f64
             );
         }

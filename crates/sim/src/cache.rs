@@ -78,8 +78,7 @@ impl Cache {
     }
 
     fn tag_of(&self, addr: u64) -> u64 {
-        (addr >> (self.geom.offset_bits() + self.geom.set_bits()))
-            & ((1u64 << self.tag_width) - 1)
+        (addr >> (self.geom.offset_bits() + self.geom.set_bits())) & ((1u64 << self.tag_width) - 1)
     }
 
     /// Looks up `addr`; on a hit returns the line index and refreshes LRU.
@@ -204,7 +203,11 @@ mod tests {
 
     fn small() -> Cache {
         // 4 sets × 2 ways × 64B = 512 B.
-        Cache::new(CacheGeometry { size_bytes: 512, ways: 2, line_bytes: 64 })
+        Cache::new(CacheGeometry {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
@@ -297,7 +300,11 @@ mod tests {
 
     #[test]
     fn bit_counts_match_table_1_formulas() {
-        let c = Cache::new(CacheGeometry { size_bytes: 32 * 1024, ways: 2, line_bytes: 64 });
+        let c = Cache::new(CacheGeometry {
+            size_bytes: 32 * 1024,
+            ways: 2,
+            line_bytes: 64,
+        });
         assert_eq!(c.data_bits(), 32 * 1024 * 8);
         // 512 lines × (18-bit tag + valid + dirty).
         assert_eq!(c.tag_width(), 32 - 8 - 6);

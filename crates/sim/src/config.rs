@@ -88,9 +88,21 @@ impl MachineConfig {
         MachineConfig {
             name: "Cortex-A15-like".to_string(),
             profile: Profile::A32,
-            l1i: CacheGeometry { size_bytes: 32 * 1024, ways: 2, line_bytes: 64 },
-            l1d: CacheGeometry { size_bytes: 32 * 1024, ways: 2, line_bytes: 64 },
-            l2: CacheGeometry { size_bytes: 1024 * 1024, ways: 8, line_bytes: 64 },
+            l1i: CacheGeometry {
+                size_bytes: 32 * 1024,
+                ways: 2,
+                line_bytes: 64,
+            },
+            l1d: CacheGeometry {
+                size_bytes: 32 * 1024,
+                ways: 2,
+                line_bytes: 64,
+            },
+            l2: CacheGeometry {
+                size_bytes: 1024 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
             phys_regs: 128,
             iq_entries: 32,
             lq_entries: 16,
@@ -113,9 +125,21 @@ impl MachineConfig {
         MachineConfig {
             name: "Cortex-A72-like".to_string(),
             profile: Profile::A64,
-            l1i: CacheGeometry { size_bytes: 48 * 1024, ways: 3, line_bytes: 64 },
-            l1d: CacheGeometry { size_bytes: 32 * 1024, ways: 2, line_bytes: 64 },
-            l2: CacheGeometry { size_bytes: 2 * 1024 * 1024, ways: 16, line_bytes: 64 },
+            l1i: CacheGeometry {
+                size_bytes: 48 * 1024,
+                ways: 3,
+                line_bytes: 64,
+            },
+            l1d: CacheGeometry {
+                size_bytes: 32 * 1024,
+                ways: 2,
+                line_bytes: 64,
+            },
+            l2: CacheGeometry {
+                size_bytes: 2 * 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+            },
             phys_regs: 192,
             iq_entries: 64,
             lq_entries: 16,
@@ -145,7 +169,11 @@ mod tests {
 
     #[test]
     fn geometry_math() {
-        let g = CacheGeometry { size_bytes: 32 * 1024, ways: 2, line_bytes: 64 };
+        let g = CacheGeometry {
+            size_bytes: 32 * 1024,
+            ways: 2,
+            line_bytes: 64,
+        };
         assert_eq!(g.sets(), 256);
         assert_eq!(g.lines(), 512);
         assert_eq!(g.offset_bits(), 6);

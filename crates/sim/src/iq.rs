@@ -100,12 +100,7 @@ impl IssueQueue {
     /// # Panics
     ///
     /// Panics if full — dispatch must check first.
-    pub fn insert(
-        &mut self,
-        payload: IqPayload,
-        src1_ready: bool,
-        src2_ready: bool,
-    ) -> usize {
+    pub fn insert(&mut self, payload: IqPayload, src1_ready: bool, src2_ready: bool) -> usize {
         let slot = (0..self.n)
             .find(|&s| !self.valid[s] && self.payload[s].is_none())
             .expect("IQ overflow");
@@ -167,7 +162,11 @@ impl IssueQueue {
     /// Reads the injectable fields of an entry:
     /// `(src1, src2, dest)` tags as currently stored.
     pub fn stored_tags(&self, slot: usize) -> (PhysReg, PhysReg, PhysReg) {
-        (self.src1_tag[slot], self.src2_tag[slot], self.dest_tag[slot])
+        (
+            self.src1_tag[slot],
+            self.src2_tag[slot],
+            self.dest_tag[slot],
+        )
     }
 
     /// Payload of an entry.
@@ -264,7 +263,10 @@ mod tests {
         iq.broadcast(11);
         let ready = iq.ready_entries().unwrap();
         assert_eq!(
-            (iq.payload(ready[0]).unwrap().seq, iq.payload(ready[1]).unwrap().seq),
+            (
+                iq.payload(ready[0]).unwrap().seq,
+                iq.payload(ready[1]).unwrap().seq
+            ),
             (1, 2),
             "oldest first"
         );
@@ -278,7 +280,11 @@ mod tests {
         iq.broadcast(10);
         assert!(iq.ready_entries().unwrap().is_empty(), "wakeup missed");
         iq.broadcast(11);
-        assert_eq!(iq.ready_entries().unwrap().len(), 1, "wrong producer wakes it");
+        assert_eq!(
+            iq.ready_entries().unwrap().len(),
+            1,
+            "wrong producer wakes it"
+        );
         let (s1, _, _) = iq.stored_tags(slot);
         assert_eq!(s1, 11, "cross-check against payload 10 must fail");
     }

@@ -43,6 +43,7 @@ mod lsq;
 mod memsys;
 mod pipeline;
 mod regs;
+mod residency;
 mod rob;
 mod uop;
 
@@ -51,3 +52,4 @@ pub use config::{CacheGeometry, MachineConfig};
 pub use inject::Structure;
 pub use memsys::{MemErr, MemorySystem};
 pub use pipeline::{Sim, SimOutcome, SimStats};
+pub use residency::{ResidencyReport, StructureResidency};

@@ -28,8 +28,18 @@ impl LsqLayout {
     /// following the paper's Table I).
     pub fn for_profile(profile: Profile) -> LsqLayout {
         match profile {
-            Profile::A32 => LsqLayout { tag_bits: 8, rob_bits: 8, seq_bits: 12, flag_bits: 4 },
-            Profile::A64 => LsqLayout { tag_bits: 12, rob_bits: 12, seq_bits: 32, flag_bits: 8 },
+            Profile::A32 => LsqLayout {
+                tag_bits: 8,
+                rob_bits: 8,
+                seq_bits: 12,
+                flag_bits: 4,
+            },
+            Profile::A64 => LsqLayout {
+                tag_bits: 12,
+                rob_bits: 12,
+                seq_bits: 32,
+                flag_bits: 8,
+            },
         }
     }
 
@@ -303,7 +313,10 @@ mod tests {
         q.push(entry(1, 0x2000, 4, 0xAA, true));
         q.push(entry(3, 0x3000, 4, 0xBB, true));
         // Exact match forwards from the matching store.
-        assert_eq!(q.check_older_stores(5, 0x2000, 4), StoreCheck::Forward(0xAA));
+        assert_eq!(
+            q.check_older_stores(5, 0x2000, 4),
+            StoreCheck::Forward(0xAA)
+        );
         // Disjoint addresses are clear.
         assert_eq!(q.check_older_stores(5, 0x4000, 4), StoreCheck::Clear);
         // Partial overlap blocks.
@@ -324,7 +337,10 @@ mod tests {
         let mut q = queue();
         q.push(entry(1, 0x2000, 4, 0xAA, true));
         q.push(entry(2, 0x2000, 4, 0xBB, true));
-        assert_eq!(q.check_older_stores(5, 0x2000, 4), StoreCheck::Forward(0xBB));
+        assert_eq!(
+            q.check_older_stores(5, 0x2000, 4),
+            StoreCheck::Forward(0xBB)
+        );
     }
 
     #[test]

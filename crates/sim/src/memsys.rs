@@ -4,6 +4,7 @@
 
 use crate::cache::Cache;
 use crate::config::MachineConfig;
+use crate::residency::CacheResidency;
 use softerr_isa::{MemFault, MemFaultKind, Memory, NULL_PAGE};
 
 /// Which L1 a request goes through.
@@ -48,6 +49,12 @@ pub struct MemorySystem {
     l1_lat: u64,
     l2_lat: u64,
     mem_lat: u64,
+    /// Current pipeline cycle, pushed in by [`crate::Sim`] each cycle when
+    /// residency tracking is on (line fills/evictions need timestamps).
+    clock: u64,
+    /// Per-line ACE residency for the three cache arrays (golden runs
+    /// only; excluded from [`MemorySystem::state_eq`]).
+    residency: Option<Box<[CacheResidency; 3]>>,
 }
 
 impl MemorySystem {
@@ -61,7 +68,38 @@ impl MemorySystem {
             l1_lat: cfg.l1_latency,
             l2_lat: cfg.l2_latency,
             mem_lat: cfg.mem_latency,
+            clock: 0,
+            residency: None,
         }
+    }
+
+    /// Turns on per-line ACE residency tracking (indices: l1i, l1d, l2).
+    pub(crate) fn enable_residency(&mut self) {
+        self.residency = Some(Box::new([
+            CacheResidency::new(self.l1i.geometry().lines()),
+            CacheResidency::new(self.l1d.geometry().lines()),
+            CacheResidency::new(self.l2.geometry().lines()),
+        ]));
+    }
+
+    /// Advances the residency clock (called once per pipeline cycle).
+    pub(crate) fn set_clock(&mut self, cycle: u64) {
+        self.clock = cycle;
+    }
+
+    /// Line-cycle residency totals `(l1i, l1d, l2)`, closing still-valid
+    /// lines at their last use.
+    pub(crate) fn residency_totals(&self) -> Option<(u64, u64, u64)> {
+        let r = self.residency.as_deref()?;
+        Some((r[0].total(), r[1].total(), r[2].total()))
+    }
+
+    fn l1_residency(&mut self, side: Side) -> Option<&mut CacheResidency> {
+        let idx = match side {
+            Side::Instr => 0,
+            Side::Data => 1,
+        };
+        self.residency.as_deref_mut().map(|r| &mut r[idx])
     }
 
     /// Whether two hierarchies hold identical execution-relevant state
@@ -84,22 +122,41 @@ impl MemorySystem {
 
     fn check(&self, addr: u64, size: u64) -> Result<(), MemFault> {
         if addr < NULL_PAGE {
-            return Err(MemFault { addr, size, kind: MemFaultKind::NullPage });
+            return Err(MemFault {
+                addr,
+                size,
+                kind: MemFaultKind::NullPage,
+            });
         }
         if !addr.is_multiple_of(size) {
-            return Err(MemFault { addr, size, kind: MemFaultKind::Misaligned });
+            return Err(MemFault {
+                addr,
+                size,
+                kind: MemFaultKind::Misaligned,
+            });
         }
         if addr
             .checked_add(size)
             .is_none_or(|end| end > self.mem.size())
         {
-            return Err(MemFault { addr, size, kind: MemFaultKind::OutOfRange });
+            return Err(MemFault {
+                addr,
+                size,
+                kind: MemFaultKind::OutOfRange,
+            });
         }
         Ok(())
     }
 
     /// Evicts `line` from L2 (writing back to memory when dirty).
     fn evict_l2(&mut self, line: usize) -> Result<(), MemErr> {
+        if self.residency.is_some() {
+            let dirty = self.l2.is_valid(line) && self.l2.is_dirty(line);
+            let clock = self.clock;
+            if let Some(r) = self.residency.as_deref_mut() {
+                r[2].on_evict(line, clock, dirty);
+            }
+        }
         if self.l2.is_valid(line) && self.l2.is_dirty(line) {
             let addr = self.l2.reconstruct_addr(line);
             let lb = self.l2.geometry().line_bytes;
@@ -116,6 +173,10 @@ impl MemorySystem {
     /// Ensures `addr`'s line is present in L2; returns (line, extra latency).
     fn l2_line(&mut self, addr: u64) -> Result<(usize, u64), MemErr> {
         if let Some(line) = self.l2.lookup(addr) {
+            let clock = self.clock;
+            if let Some(r) = self.residency.as_deref_mut() {
+                r[2].on_use(line, clock);
+            }
             return Ok((line, self.l2_lat));
         }
         let lb = self.l2.geometry().line_bytes;
@@ -127,12 +188,27 @@ impl MemorySystem {
         self.evict_l2(victim)?;
         let contents = self.mem.read_bytes(base, lb as usize).to_vec();
         self.l2.fill(victim, base, &contents);
+        let clock = self.clock;
+        if let Some(r) = self.residency.as_deref_mut() {
+            r[2].on_fill(victim, clock);
+        }
         Ok((victim, self.l2_lat + self.mem_lat))
     }
 
     /// Evicts an L1 line: dirty data goes to L2 if present there, else
     /// straight to memory.
     fn evict_l1(&mut self, side: Side, line: usize) -> Result<(), MemErr> {
+        if self.residency.is_some() {
+            let l1 = match side {
+                Side::Instr => &self.l1i,
+                Side::Data => &self.l1d,
+            };
+            let dirty = l1.is_valid(line) && l1.is_dirty(line);
+            let clock = self.clock;
+            if let Some(r) = self.l1_residency(side) {
+                r.on_evict(line, clock, dirty);
+            }
+        }
         let l1 = match side {
             Side::Instr => &mut self.l1i,
             Side::Data => &mut self.l1d,
@@ -165,6 +241,10 @@ impl MemorySystem {
             Side::Data => &mut self.l1d,
         };
         if let Some(line) = l1.lookup(addr) {
+            let clock = self.clock;
+            if let Some(r) = self.l1_residency(side) {
+                r.on_use(line, clock);
+            }
             return Ok((line, self.l1_lat));
         }
         let (l2_line, fill_lat) = self.l2_line(addr)?;
@@ -180,6 +260,10 @@ impl MemorySystem {
         match side {
             Side::Instr => self.l1i.fill(victim, base, &contents),
             Side::Data => self.l1d.fill(victim, base, &contents),
+        }
+        let clock = self.clock;
+        if let Some(r) = self.l1_residency(side) {
+            r.on_fill(victim, clock);
         }
         Ok((victim, self.l1_lat + fill_lat))
     }
@@ -281,8 +365,8 @@ mod tests {
         // 0x2000>>6 = 0x80 (set 128). Conflicting addrs: 0x2000 + n*0x4000.
         s.read(0x6000, 4).unwrap();
         s.read(0xA000, 4).unwrap(); // evicts 0x2000's line into L2
-        // L2 still holds it (fill-on-miss put it there); force L2 eviction
-        // is unnecessary — read back through the hierarchy instead.
+                                    // L2 still holds it (fill-on-miss put it there); force L2 eviction
+                                    // is unnecessary — read back through the hierarchy instead.
         let (v, _) = s.read(0x2000, 4).unwrap();
         assert_eq!(v, 77, "dirty data must survive eviction");
     }
@@ -305,7 +389,8 @@ mod tests {
         let line = s.l1d.lookup(0x2000).unwrap();
         // Flip a high tag bit → reconstructed address far outside the 4 MiB map.
         let per_line = s.l1d.tag_width() as u64 + 2;
-        s.l1d.flip_tag_bit(line as u64 * per_line + (s.l1d.tag_width() as u64 - 1));
+        s.l1d
+            .flip_tag_bit(line as u64 * per_line + (s.l1d.tag_width() as u64 - 1));
         // Force eviction of that (dirty) line.
         s.read(0x6000, 4).unwrap();
         let err = s.read(0xA000, 4).unwrap_err();
@@ -328,8 +413,12 @@ mod tests {
     #[test]
     fn architectural_faults_reported() {
         let mut s = sys();
-        assert!(matches!(s.read(0x2001, 4), Err(MemErr::Arch(f)) if f.kind == MemFaultKind::Misaligned));
-        assert!(matches!(s.read(0x10, 8), Err(MemErr::Arch(f)) if f.kind == MemFaultKind::NullPage));
+        assert!(
+            matches!(s.read(0x2001, 4), Err(MemErr::Arch(f)) if f.kind == MemFaultKind::Misaligned)
+        );
+        assert!(
+            matches!(s.read(0x10, 8), Err(MemErr::Arch(f)) if f.kind == MemFaultKind::NullPage)
+        );
         assert!(matches!(
             s.write(DEFAULT_MEM_SIZE, 4, 0),
             Err(MemErr::Arch(f)) if f.kind == MemFaultKind::OutOfRange

@@ -13,8 +13,10 @@ use crate::iq::{IqPayload, IssueQueue};
 use crate::lsq::{LsQueue, LsqLayout, LsqPayload, StoreCheck};
 use crate::memsys::{MemErr, MemorySystem};
 use crate::regs::{PhysReg, RegisterFile};
+use crate::residency::{CoreResidency, ResidencyReport, StructureResidency};
 use crate::rob::{flag, Rob};
 use crate::uop::{DestInfo, Uop, UopKind, UopState};
+use crate::Structure;
 use softerr_isa::{
     decode, eval_alu, eval_branch, AluOp, Instr, MemWidth, Profile, Program, Reg, Trap,
 };
@@ -124,6 +126,9 @@ pub struct Sim {
     rf_reads: u64,
     rf_writes: u64,
     stats_occupancy: [u64; 5],
+    /// ACE residency tracker (golden runs only; excluded from
+    /// [`Sim::state_eq`] — it observes execution without feeding back).
+    residency: Option<Box<CoreResidency>>,
 }
 
 impl Sim {
@@ -168,8 +173,78 @@ impl Sim {
             rf_reads: 0,
             rf_writes: 0,
             stats_occupancy: [0; 5],
+            residency: None,
             cfg: cfg.clone(),
         }
+    }
+
+    /// Turns on ACE residency tracking for a golden run: every structure
+    /// records write→last-read bit-liveness intervals, summarized by
+    /// [`Sim::residency_report`]. Call before the first cycle. Tracking is
+    /// observational only (no effect on execution), but costs time — leave
+    /// it off for injection campaigns.
+    pub fn enable_residency(&mut self) {
+        let mut core = CoreResidency::new(self.rf.nphys());
+        // Architecturally-mapped registers (including the zero register
+        // and the initialized stack pointer) hold live state from cycle 0.
+        for &tag in &self.rf.arch_map {
+            core.rf_open(tag, 0);
+        }
+        self.residency = Some(Box::new(core));
+        self.mem.enable_residency();
+    }
+
+    /// Per-structure live-bit-cycle totals recorded since
+    /// [`Sim::enable_residency`], or `None` if tracking was never enabled.
+    /// Callable at any point; open intervals are closed at their last read.
+    pub fn residency_report(&self) -> Option<ResidencyReport> {
+        let core = self.residency.as_deref()?;
+        let (rf, rob, rob_dest, iq, lq, sq) = core.totals();
+        let (l1i, l1d, l2) = self.mem.residency_totals()?;
+        // Entry-granular accounting: live-bit-cycles = entry-cycles × the
+        // structure's bits-per-entry.
+        let entries = |s: Structure| -> u64 {
+            match s {
+                Structure::L1IData | Structure::L1ITag => self.mem.l1i.geometry().lines() as u64,
+                Structure::L1DData | Structure::L1DTag => self.mem.l1d.geometry().lines() as u64,
+                Structure::L2Data | Structure::L2Tag => self.mem.l2.geometry().lines() as u64,
+                Structure::RegFile => self.rf.nphys() as u64,
+                Structure::LoadQueue => self.cfg.lq_entries as u64,
+                Structure::StoreQueue => self.cfg.sq_entries as u64,
+                Structure::IqSrc | Structure::IqDest => self.cfg.iq_entries as u64,
+                Structure::RobPc | Structure::RobDest | Structure::RobSeq | Structure::RobFlags => {
+                    self.cfg.rob_entries as u64
+                }
+            }
+        };
+        let acc = |s: Structure| -> u64 {
+            match s {
+                Structure::L1IData | Structure::L1ITag => l1i,
+                Structure::L1DData | Structure::L1DTag => l1d,
+                Structure::L2Data | Structure::L2Tag => l2,
+                Structure::RegFile => rf,
+                Structure::LoadQueue => lq,
+                Structure::StoreQueue => sq,
+                Structure::IqSrc | Structure::IqDest => iq,
+                Structure::RobDest => rob_dest,
+                Structure::RobPc | Structure::RobSeq | Structure::RobFlags => rob,
+            }
+        };
+        let structures = Structure::ALL
+            .iter()
+            .map(|&s| {
+                let bits = self.bit_count(s);
+                StructureResidency {
+                    structure: s,
+                    bits,
+                    live_bit_cycles: acc(s) * (bits / entries(s)),
+                }
+            })
+            .collect();
+        Some(ResidencyReport {
+            cycles: self.cycle,
+            structures,
+        })
     }
 
     /// Elapsed cycles.
@@ -266,6 +341,9 @@ impl Sim {
     ///
     /// The terminal [`SimOutcome`] when the program ends this cycle.
     pub fn step_cycle(&mut self) -> Result<(), SimOutcome> {
+        if self.residency.is_some() {
+            self.mem.set_clock(self.cycle);
+        }
         self.commit()?;
         self.execute()?;
         self.writeback()?;
@@ -282,7 +360,10 @@ impl Sim {
     }
 
     fn assert_stop(&self, reason: &'static str) -> SimOutcome {
-        SimOutcome::Assert { cycles: self.cycle, reason }
+        SimOutcome::Assert {
+            cycles: self.cycle,
+            reason,
+        }
     }
 
     // ----------------------------------------------------------- commit --
@@ -339,7 +420,10 @@ impl Sim {
             // Architectural effects (payload verified equal to fields).
             let uop = self.uops[idx].take().expect("checked above");
             if let Some(trap) = uop.exception {
-                return Err(SimOutcome::Crash { cycles: self.cycle, trap });
+                return Err(SimOutcome::Crash {
+                    cycles: self.cycle,
+                    trap,
+                });
             }
             match uop.kind {
                 UopKind::Store => {
@@ -365,6 +449,10 @@ impl Sim {
                         Err(MemErr::Assert(m)) => return Err(self.assert_stop(m)),
                     }
                     self.sq.pop_head();
+                    let cycle = self.cycle;
+                    if let Some(t) = self.residency.as_deref_mut() {
+                        t.sq_pop(uop.seq, cycle);
+                    }
                 }
                 UopKind::Load => {
                     let h = self.lq.head();
@@ -379,6 +467,10 @@ impl Sim {
                         return Err(self.assert_stop("load queue commit order broken"));
                     }
                     self.lq.pop_head();
+                    let cycle = self.cycle;
+                    if let Some(t) = self.residency.as_deref_mut() {
+                        t.lq_pop(uop.seq, cycle);
+                    }
                 }
                 UopKind::Out => self.output.push(self.profile.mask(uop.result)),
                 UopKind::Halt => {
@@ -398,8 +490,15 @@ impl Sim {
                 if let Err(m) = self.rf.free(d.old) {
                     return Err(self.assert_stop(m));
                 }
+                if let Some(t) = self.residency.as_deref_mut() {
+                    t.rf_free(d.old);
+                }
             }
             self.rob.pop_head();
+            let cycle = self.cycle;
+            if let Some(t) = self.residency.as_deref_mut() {
+                t.rob_pop(uop.seq, cycle);
+            }
             self.retired += 1;
         }
         Ok(())
@@ -425,10 +524,17 @@ impl Sim {
                 self.rf.set_ready(tag, true);
                 self.rf_writes += 1;
                 self.iq.broadcast(tag);
+                let cycle = self.cycle;
+                if let Some(t) = self.residency.as_deref_mut() {
+                    t.rf_write(tag, cycle);
+                }
             }
             uop.state = UopState::Done;
             self.rob.set_done(idx);
-            if self.uops[idx].as_ref().is_some_and(|u| u.exception.is_some()) {
+            if self.uops[idx]
+                .as_ref()
+                .is_some_and(|u| u.exception.is_some())
+            {
                 self.rob.set_exception(idx);
             }
         }
@@ -511,7 +617,12 @@ impl Sim {
                 uop.result = profile.mask(((imm as i64) << 13) as u64);
                 Ok(FinishAction::Complete)
             }
-            Instr::Load { width, signed, offset, .. } => {
+            Instr::Load {
+                width,
+                signed,
+                offset,
+                ..
+            } => {
                 let addr = profile.mask(uop.val1.wrapping_add(offset as i64 as u64));
                 uop.mem_addr = addr;
                 uop.mem_size = width.bytes();
@@ -522,7 +633,10 @@ impl Sim {
                     return Ok(FinishAction::Complete);
                 }
                 let lsq_idx = uop.lsq_idx.expect("load has an LQ slot");
-                if let Err(m) = self.lq.check(lsq_idx, "LQ entry corrupted at address generation") {
+                if let Err(m) = self
+                    .lq
+                    .check(lsq_idx, "LQ entry corrupted at address generation")
+                {
                     return Err(self.assert_stop(m));
                 }
                 let p = self.lq.payload_mut(lsq_idx).expect("checked");
@@ -549,7 +663,10 @@ impl Sim {
                     return Ok(FinishAction::Complete);
                 }
                 let lsq_idx = uop.lsq_idx.expect("store has an SQ slot");
-                if let Err(m) = self.sq.check(lsq_idx, "SQ entry corrupted at address generation") {
+                if let Err(m) = self
+                    .sq
+                    .check(lsq_idx, "SQ entry corrupted at address generation")
+                {
                     return Err(self.assert_stop(m));
                 }
                 let p = self.sq.payload_mut(lsq_idx).expect("checked");
@@ -619,28 +736,26 @@ impl Sim {
                 uop.state = UopState::WaitWriteback;
                 Ok(false)
             }
-            StoreCheck::Clear => {
-                match self.mem.read(addr, size) {
-                    Ok((raw, lat)) => {
-                        let uop = self.uops[idx].as_mut().expect("alive");
-                        uop.result = extend_load(self.profile, raw, size, signed);
-                        if lat <= 1 {
-                            uop.state = UopState::WaitWriteback;
-                            Ok(false)
-                        } else {
-                            uop.state = UopState::MemAccess { left: lat - 1 };
-                            Ok(true)
-                        }
-                    }
-                    Err(MemErr::Arch(f)) => {
-                        let uop = self.uops[idx].as_mut().expect("alive");
-                        uop.exception = Some(Trap::Mem(f));
+            StoreCheck::Clear => match self.mem.read(addr, size) {
+                Ok((raw, lat)) => {
+                    let uop = self.uops[idx].as_mut().expect("alive");
+                    uop.result = extend_load(self.profile, raw, size, signed);
+                    if lat <= 1 {
                         uop.state = UopState::WaitWriteback;
                         Ok(false)
+                    } else {
+                        uop.state = UopState::MemAccess { left: lat - 1 };
+                        Ok(true)
                     }
-                    Err(MemErr::Assert(m)) => Err(self.assert_stop(m)),
                 }
-            }
+                Err(MemErr::Arch(f)) => {
+                    let uop = self.uops[idx].as_mut().expect("alive");
+                    uop.exception = Some(Trap::Mem(f));
+                    uop.state = UopState::WaitWriteback;
+                    Ok(false)
+                }
+                Err(MemErr::Assert(m)) => Err(self.assert_stop(m)),
+            },
         }
     }
 
@@ -671,23 +786,44 @@ impl Sim {
             }
             let is_div = matches!(
                 uop.instr,
-                Some(Instr::Alu { op: AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu, .. })
+                Some(Instr::Alu {
+                    op: AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu,
+                    ..
+                })
             );
             if is_div && self.divider_busy > 0 {
                 continue;
             }
             // Cross-check the injectable fields against the rename payload.
             let (s1, s2, d) = self.iq.stored_tags(slot);
-            if (p.has_src1 && s1 != p.golden_src1)
-                || (p.has_src2 && s2 != p.golden_src2)
-            {
+            if (p.has_src1 && s1 != p.golden_src1) || (p.has_src2 && s2 != p.golden_src2) {
                 return Err(self.assert_stop("IQ source field corrupted"));
             }
             if d != p.golden_dest {
                 return Err(self.assert_stop("IQ destination field corrupted"));
             }
-            let v1 = if p.has_src1 { self.rf_reads += 1; self.rf.read(s1) } else { 0 };
-            let v2 = if p.has_src2 { self.rf_reads += 1; self.rf.read(s2) } else { 0 };
+            let v1 = if p.has_src1 {
+                self.rf_reads += 1;
+                self.rf.read(s1)
+            } else {
+                0
+            };
+            let v2 = if p.has_src2 {
+                self.rf_reads += 1;
+                self.rf.read(s2)
+            } else {
+                0
+            };
+            let cycle = self.cycle;
+            if let Some(t) = self.residency.as_deref_mut() {
+                if p.has_src1 {
+                    t.rf_read(s1, cycle);
+                }
+                if p.has_src2 {
+                    t.rf_read(s2, cycle);
+                }
+                t.iq_remove(p.seq, cycle);
+            }
             let latency = self.latency_of(p.rob_idx);
             if is_div {
                 self.divider_busy = latency;
@@ -740,10 +876,7 @@ impl Sim {
             if kind == UopKind::Store && self.sq.is_full() {
                 return Ok(());
             }
-            let needs_dest = front
-                .instr
-                .and_then(|i| i.dest())
-                .is_some();
+            let needs_dest = front.instr.and_then(|i| i.dest()).is_some();
             if needs_dest && self.rf.free_count() == 0 {
                 return Ok(());
             }
@@ -771,7 +904,11 @@ impl Sim {
                     let phys = self.rf.alloc().expect("free count checked");
                     let old = self.rf.spec_map[rd.index()];
                     self.rf.spec_map[rd.index()] = phys;
-                    uop.dest = Some(DestInfo { arch: rd.index() as u8, phys, old });
+                    uop.dest = Some(DestInfo {
+                        arch: rd.index() as u8,
+                        phys,
+                        old,
+                    });
                 }
             }
             if kind == UopKind::Branch {
@@ -793,6 +930,10 @@ impl Sim {
             let dest_triple = uop.dest.map(|d| (d.arch, d.phys, d.old));
             let rob_idx = self.rob.push(uop.pc, uop.seq, dest_triple, flag_bits);
             uop.rob_idx = rob_idx;
+            let cycle = self.cycle;
+            if let Some(t) = self.residency.as_deref_mut() {
+                t.rob_push(uop.seq, dest_triple.is_some(), cycle);
+            }
 
             if kind == UopKind::Poisoned {
                 uop.state = UopState::Done;
@@ -813,6 +954,9 @@ impl Sim {
                     data: 0,
                     addr_known: false,
                 }));
+                if let Some(t) = self.residency.as_deref_mut() {
+                    t.lq_push(uop.seq, cycle);
+                }
             }
             if kind == UopKind::Store {
                 uop.lsq_idx = Some(self.sq.push(LsqPayload {
@@ -824,6 +968,9 @@ impl Sim {
                     data: 0,
                     addr_known: false,
                 }));
+                if let Some(t) = self.residency.as_deref_mut() {
+                    t.sq_push(uop.seq, cycle);
+                }
             }
 
             // IQ entry.
@@ -839,6 +986,9 @@ impl Sim {
             let r1 = !has1 || self.rf.is_ready(g1);
             let r2 = !has2 || self.rf.is_ready(g2);
             self.iq.insert(payload, r1, r2);
+            if let Some(t) = self.residency.as_deref_mut() {
+                t.iq_insert(uop.seq, cycle);
+            }
             self.uops[rob_idx] = Some(uop);
         }
         Ok(())
@@ -914,7 +1064,13 @@ impl Sim {
         let width_ok = !(self.profile == Profile::A32
             && matches!(
                 instr,
-                Instr::Load { width: MemWidth::D, .. } | Instr::Store { width: MemWidth::D, .. }
+                Instr::Load {
+                    width: MemWidth::D,
+                    ..
+                } | Instr::Store {
+                    width: MemWidth::D,
+                    ..
+                }
             ));
         regs_ok && width_ok
     }
@@ -996,6 +1152,10 @@ impl Sim {
             .filter_map(|u| u.dest.map(|d| d.phys))
             .collect();
         self.rf.recover(&checkpoint, &dests);
+        if let Some(t) = self.residency.as_deref_mut() {
+            t.squash_queues(boundary_seq);
+            t.rf_sync_freed(&self.rf);
+        }
 
         self.fetch_pc = redirect;
         self.fetch_wait = false;

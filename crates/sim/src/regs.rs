@@ -150,6 +150,12 @@ impl RegisterFile {
         self.free_list.len()
     }
 
+    /// Whether `tag` is currently on the free list (used by the residency
+    /// tracker to close ACE intervals after a squash recovery).
+    pub fn is_free_reg(&self, tag: PhysReg) -> bool {
+        self.is_free[tag as usize]
+    }
+
     /// Total injectable bits: every physical register at the profile width.
     pub fn bit_count(&self) -> u64 {
         self.nphys as u64 * self.profile.xlen() as u64

@@ -1,0 +1,326 @@
+//! Bit-residency (ACE interval) recording for the static AVF estimator.
+//!
+//! During one golden (un-faulted) run the pipeline and memory system feed
+//! the trackers here with allocate / read / write / free / evict events for
+//! every injectable structure. A bit is **ACE** (architecturally correct
+//! execution required) from the cycle it is written until the last cycle
+//! it is read before being overwritten, freed, evicted, or abandoned —
+//! dead and free entries are un-ACE. Summing those intervals gives
+//! live-bit-cycles per structure, and
+//! `AVF ≈ live-bit-cycles / (bits × cycles)` (Mukherjee et al., MICRO'03).
+//!
+//! Granularity is one *entry* (a physical register, a queue entry, a cache
+//! line): every bit of a live entry is counted live, so the estimate is an
+//! upper bound on true bit-level ACE-ness. Closing events:
+//!
+//! * **register file** — written at writeback, read at issue, closed at
+//!   retirement `free` (or when a squash recovery frees the register);
+//! * **ROB / IQ / LSQ entries** — keyed by the uop's global sequence
+//!   number; an entry is live from dispatch to the commit/issue event that
+//!   reads it, and squashed entries are discarded un-ACE;
+//! * **cache lines** — live from fill to last use for clean lines (the
+//!   eviction never reads them), and from fill to eviction for dirty lines
+//!   (the writeback reads the whole line).
+//!
+//! Trackers are deliberately *not* part of [`crate::Sim::state_eq`]: they
+//! observe execution without feeding back into it.
+
+use crate::regs::{PhysReg, RegisterFile};
+use crate::Structure;
+use std::collections::HashMap;
+
+/// One open write→last-read interval.
+#[derive(Debug, Clone, Copy)]
+struct Open {
+    start: u64,
+    last_read: u64,
+}
+
+impl Open {
+    fn span(&self) -> u64 {
+        self.last_read.saturating_sub(self.start)
+    }
+}
+
+/// Residency accumulators for the core structures (register file, ROB,
+/// IQ, load/store queues). Queue entries are keyed by uop sequence number
+/// so that a squash can discard every younger entry without knowing the
+/// structures' internal slot layout.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CoreResidency {
+    rf: Vec<Option<Open>>,
+    rf_acc: u64,
+    rob: HashMap<u64, (u64, bool)>,
+    rob_acc: u64,
+    rob_dest_acc: u64,
+    iq: HashMap<u64, u64>,
+    iq_acc: u64,
+    lq: HashMap<u64, u64>,
+    lq_acc: u64,
+    sq: HashMap<u64, u64>,
+    sq_acc: u64,
+}
+
+impl CoreResidency {
+    pub(crate) fn new(nphys: usize) -> CoreResidency {
+        CoreResidency {
+            rf: vec![None; nphys],
+            ..CoreResidency::default()
+        }
+    }
+
+    /// Marks a register live from `cycle` (initial architectural state).
+    pub(crate) fn rf_open(&mut self, tag: PhysReg, cycle: u64) {
+        self.rf[tag as usize] = Some(Open {
+            start: cycle,
+            last_read: cycle,
+        });
+    }
+
+    /// A value lands in the register at writeback: close any stale
+    /// interval and start a new one.
+    pub(crate) fn rf_write(&mut self, tag: PhysReg, cycle: u64) {
+        if tag == 0 {
+            return; // the zero register discards writes
+        }
+        if let Some(o) = self.rf[tag as usize].take() {
+            self.rf_acc += o.span();
+        }
+        self.rf[tag as usize] = Some(Open {
+            start: cycle,
+            last_read: cycle,
+        });
+    }
+
+    /// A source operand is read at issue.
+    pub(crate) fn rf_read(&mut self, tag: PhysReg, cycle: u64) {
+        if let Some(o) = &mut self.rf[tag as usize] {
+            o.last_read = cycle;
+        }
+    }
+
+    /// The register returns to the free list at retirement.
+    pub(crate) fn rf_free(&mut self, tag: PhysReg) {
+        if let Some(o) = self.rf[tag as usize].take() {
+            self.rf_acc += o.span();
+        }
+    }
+
+    /// After a squash recovery rebuilt the free list, close the interval
+    /// of every register that became free.
+    pub(crate) fn rf_sync_freed(&mut self, rf: &RegisterFile) {
+        for tag in 0..self.rf.len() {
+            if self.rf[tag].is_some() && rf.is_free_reg(tag as PhysReg) {
+                let o = self.rf[tag].take().expect("checked");
+                self.rf_acc += o.span();
+            }
+        }
+    }
+
+    pub(crate) fn rob_push(&mut self, seq: u64, has_dest: bool, cycle: u64) {
+        self.rob.insert(seq, (cycle, has_dest));
+    }
+
+    /// Commit reads every ROB field of the retiring entry.
+    pub(crate) fn rob_pop(&mut self, seq: u64, cycle: u64) {
+        if let Some((start, has_dest)) = self.rob.remove(&seq) {
+            let span = cycle.saturating_sub(start);
+            self.rob_acc += span;
+            if has_dest {
+                self.rob_dest_acc += span;
+            }
+        }
+    }
+
+    pub(crate) fn iq_insert(&mut self, seq: u64, cycle: u64) {
+        self.iq.insert(seq, cycle);
+    }
+
+    /// Issue reads the IQ entry's tags and removes it.
+    pub(crate) fn iq_remove(&mut self, seq: u64, cycle: u64) {
+        if let Some(start) = self.iq.remove(&seq) {
+            self.iq_acc += cycle.saturating_sub(start);
+        }
+    }
+
+    pub(crate) fn lq_push(&mut self, seq: u64, cycle: u64) {
+        self.lq.insert(seq, cycle);
+    }
+
+    pub(crate) fn lq_pop(&mut self, seq: u64, cycle: u64) {
+        if let Some(start) = self.lq.remove(&seq) {
+            self.lq_acc += cycle.saturating_sub(start);
+        }
+    }
+
+    pub(crate) fn sq_push(&mut self, seq: u64, cycle: u64) {
+        self.sq.insert(seq, cycle);
+    }
+
+    pub(crate) fn sq_pop(&mut self, seq: u64, cycle: u64) {
+        if let Some(start) = self.sq.remove(&seq) {
+            self.sq_acc += cycle.saturating_sub(start);
+        }
+    }
+
+    /// Discards every queue entry younger than `boundary_seq` — squashed
+    /// entries are never architecturally read, so they are un-ACE.
+    pub(crate) fn squash_queues(&mut self, boundary_seq: u64) {
+        self.rob.retain(|&seq, _| seq <= boundary_seq);
+        self.iq.retain(|&seq, _| seq <= boundary_seq);
+        self.lq.retain(|&seq, _| seq <= boundary_seq);
+        self.sq.retain(|&seq, _| seq <= boundary_seq);
+    }
+
+    /// Entry-granular live-cycle totals `(rf, rob, rob_dest, iq, lq, sq)`,
+    /// closing still-open register intervals at their last read (entries
+    /// still queued at end of run were never fully read and contribute 0).
+    pub(crate) fn totals(&self) -> (u64, u64, u64, u64, u64, u64) {
+        let rf = self.rf_acc + self.rf.iter().flatten().map(Open::span).sum::<u64>();
+        (
+            rf,
+            self.rob_acc,
+            self.rob_dest_acc,
+            self.iq_acc,
+            self.lq_acc,
+            self.sq_acc,
+        )
+    }
+}
+
+/// Per-line residency of one cache array.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CacheResidency {
+    open: Vec<Option<Open>>,
+    acc: u64,
+}
+
+impl CacheResidency {
+    pub(crate) fn new(lines: usize) -> CacheResidency {
+        CacheResidency {
+            open: vec![None; lines],
+            acc: 0,
+        }
+    }
+
+    pub(crate) fn on_fill(&mut self, line: usize, cycle: u64) {
+        if let Some(o) = self.open[line].take() {
+            self.acc += o.span();
+        }
+        self.open[line] = Some(Open {
+            start: cycle,
+            last_read: cycle,
+        });
+    }
+
+    pub(crate) fn on_use(&mut self, line: usize, cycle: u64) {
+        if let Some(o) = &mut self.open[line] {
+            o.last_read = cycle;
+        }
+    }
+
+    /// Eviction closes the line: a dirty eviction reads the whole line for
+    /// the writeback (live up to `cycle`); a clean one reads nothing
+    /// beyond the last demand access.
+    pub(crate) fn on_evict(&mut self, line: usize, cycle: u64, dirty: bool) {
+        if let Some(mut o) = self.open[line].take() {
+            if dirty {
+                o.last_read = o.last_read.max(cycle);
+            }
+            self.acc += o.span();
+        }
+    }
+
+    /// Line-cycle total, closing still-valid lines at their last use.
+    pub(crate) fn total(&self) -> u64 {
+        self.acc + self.open.iter().flatten().map(Open::span).sum::<u64>()
+    }
+}
+
+/// Per-structure residency from one golden run: the raw material of the
+/// ACE AVF estimate (`softerr-analysis`'s `ace` module does the division).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidencyReport {
+    /// Cycles the run took (the AVF denominator's time term).
+    pub cycles: u64,
+    /// One entry per injectable structure.
+    pub structures: Vec<StructureResidency>,
+}
+
+/// Live-bit-cycles of one structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructureResidency {
+    /// The structure.
+    pub structure: Structure,
+    /// Total bits in the structure (the injection population).
+    pub bits: u64,
+    /// Sum over bits of cycles spent ACE (entry-granular upper bound).
+    pub live_bit_cycles: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rf_interval_is_write_to_last_read() {
+        let mut r = CoreResidency::new(8);
+        r.rf_write(3, 10);
+        r.rf_read(3, 15);
+        r.rf_read(3, 40);
+        r.rf_free(3);
+        assert_eq!(r.totals().0, 30);
+    }
+
+    #[test]
+    fn unread_register_is_unace() {
+        let mut r = CoreResidency::new(8);
+        r.rf_write(2, 10);
+        r.rf_free(2);
+        assert_eq!(r.totals().0, 0);
+    }
+
+    #[test]
+    fn zero_register_writes_are_ignored() {
+        let mut r = CoreResidency::new(8);
+        r.rf_open(0, 0);
+        r.rf_write(0, 50); // discarded by hardware, must not reset the interval
+        r.rf_read(0, 70);
+        assert_eq!(r.totals().0, 70);
+    }
+
+    #[test]
+    fn squashed_queue_entries_are_unace() {
+        let mut r = CoreResidency::new(4);
+        r.rob_push(5, false, 100);
+        r.rob_push(6, true, 101);
+        r.squash_queues(5);
+        r.rob_pop(5, 120);
+        r.rob_pop(6, 130); // already squashed: no effect
+        let (_, rob, rob_dest, ..) = r.totals();
+        assert_eq!(rob, 20);
+        assert_eq!(rob_dest, 0);
+    }
+
+    #[test]
+    fn dirty_eviction_extends_to_eviction_cycle() {
+        let mut c = CacheResidency::new(2);
+        c.on_fill(0, 10);
+        c.on_use(0, 20);
+        c.on_evict(0, 90, true);
+        assert_eq!(c.total(), 80, "writeback reads the line at eviction");
+
+        c.on_fill(1, 10);
+        c.on_use(1, 20);
+        c.on_evict(1, 90, false);
+        assert_eq!(c.total(), 80 + 10, "clean line dies at its last use");
+    }
+
+    #[test]
+    fn open_lines_close_at_last_use() {
+        let mut c = CacheResidency::new(1);
+        c.on_fill(0, 5);
+        c.on_use(0, 25);
+        assert_eq!(c.total(), 20);
+    }
+}

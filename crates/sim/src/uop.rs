@@ -121,9 +121,10 @@ impl Uop {
             (_, Some(_)) => UopKind::Poisoned,
             (Some(Instr::Load { .. }), _) => UopKind::Load,
             (Some(Instr::Store { .. }), _) => UopKind::Store,
-            (Some(Instr::Branch { .. }) | Some(Instr::Jal { .. }) | Some(Instr::Jalr { .. }), _) => {
-                UopKind::Branch
-            }
+            (
+                Some(Instr::Branch { .. }) | Some(Instr::Jal { .. }) | Some(Instr::Jalr { .. }),
+                _,
+            ) => UopKind::Branch,
             (Some(Instr::Out { .. }), _) => UopKind::Out,
             (Some(Instr::Halt), _) => UopKind::Halt,
             (Some(_), _) => UopKind::Alu,
@@ -165,7 +166,12 @@ mod tests {
     fn kind_classification() {
         let mk = |i: Instr| Uop::new(0, 0x1000, Some(i), None).kind;
         assert_eq!(
-            mk(Instr::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A0 }),
+            mk(Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                rs2: Reg::A0
+            }),
             UopKind::Alu
         );
         assert_eq!(
@@ -179,12 +185,21 @@ mod tests {
             UopKind::Load
         );
         assert_eq!(mk(Instr::Halt), UopKind::Halt);
-        assert_eq!(mk(Instr::Jal { rd: Reg::RA, offset: 1 }), UopKind::Branch);
+        assert_eq!(
+            mk(Instr::Jal {
+                rd: Reg::RA,
+                offset: 1
+            }),
+            UopKind::Branch
+        );
         let poisoned = Uop::new(
             0,
             0x1000,
             None,
-            Some(Trap::InvalidInstr { pc: 0x1000, word: 0 }),
+            Some(Trap::InvalidInstr {
+                pc: 0x1000,
+                word: 0,
+            }),
         );
         assert_eq!(poisoned.kind, UopKind::Poisoned);
     }

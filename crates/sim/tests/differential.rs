@@ -22,7 +22,11 @@ fn check_program(cfg: &MachineConfig, src: &str, level: OptLevel, what: &str) {
 
     let mut sim = Sim::new(cfg, &compiled.program);
     match sim.run(2_000_000_000) {
-        SimOutcome::Halted { retired, output, cycles } => {
+        SimOutcome::Halted {
+            retired,
+            output,
+            cycles,
+        } => {
             assert_eq!(output, golden.output, "{what}: output mismatch");
             assert_eq!(retired, golden.retired, "{what}: retired-count mismatch");
             assert!(cycles > 0);
@@ -70,7 +74,12 @@ fn simple_programs_match_emulator() {
     for cfg in machines() {
         for (k, src) in cases.iter().enumerate() {
             for level in [OptLevel::O0, OptLevel::O2] {
-                check_program(&cfg, src, level, &format!("case {k} on {} {level}", cfg.name));
+                check_program(
+                    &cfg,
+                    src,
+                    level,
+                    &format!("case {k} on {} {level}", cfg.name),
+                );
             }
         }
     }
@@ -119,7 +128,10 @@ fn sim_collects_meaningful_stats() {
     let out = sim.run(100_000_000);
     assert!(matches!(out, SimOutcome::Halted { .. }));
     let stats = sim.stats();
-    assert!(stats.cycles > stats.retired / 6, "IPC cannot exceed machine width");
+    assert!(
+        stats.cycles > stats.retired / 6,
+        "IPC cannot exceed machine width"
+    );
     assert!(stats.l1i.0 > 0, "I-cache must see hits");
     assert!(stats.l1d.1 > 0, "cold D-misses must occur");
     assert!(stats.rob_occupancy_sum > 0);

@@ -10,7 +10,9 @@ use softerr_sim::{MachineConfig, Sim, SimOutcome, Structure};
 use softerr_workloads::{Scale, Workload};
 
 fn golden(cfg: &MachineConfig, src: &str) -> (softerr_isa::Program, u64, Vec<u64>) {
-    let compiled = Compiler::new(cfg.profile, OptLevel::O1).compile(src).unwrap();
+    let compiled = Compiler::new(cfg.profile, OptLevel::O1)
+        .compile(src)
+        .unwrap();
     let mut sim = Sim::new(cfg, &compiled.program);
     match sim.run(50_000_000) {
         SimOutcome::Halted { cycles, output, .. } => (compiled.program, cycles, output),
@@ -96,7 +98,14 @@ fn live_register_flip_produces_sdc() {
     let mut sdc = 0;
     for reg in 0..32u64 {
         for bit in [0u64, 7, 13] {
-            let out = inject(&cfg, &program, cycles, Structure::RegFile, reg * 64 + bit, cycles / 2);
+            let out = inject(
+                &cfg,
+                &program,
+                cycles,
+                Structure::RegFile,
+                reg * 64 + bit,
+                cycles / 2,
+            );
             if let SimOutcome::Halted { output: o, .. } = out {
                 if o != output {
                     sdc += 1;
@@ -296,7 +305,9 @@ proptest! {
 fn injection_on_real_workload_is_classifiable() {
     let cfg = MachineConfig::cortex_a72();
     let src = Workload::Qsort.source(Scale::Tiny);
-    let compiled = Compiler::new(Profile::A64, OptLevel::O2).compile(&src).unwrap();
+    let compiled = Compiler::new(Profile::A64, OptLevel::O2)
+        .compile(&src)
+        .unwrap();
     let mut sim = Sim::new(&cfg, &compiled.program);
     let SimOutcome::Halted { cycles, .. } = sim.run(50_000_000) else {
         panic!("golden failed");
@@ -304,7 +315,14 @@ fn injection_on_real_workload_is_classifiable() {
     let mut classes = std::collections::BTreeMap::new();
     for k in 0..60u64 {
         let s = Structure::ALL[(k % 15) as usize];
-        let out = inject(&cfg, &compiled.program, cycles, s, k * 131, (k * 997) % cycles);
+        let out = inject(
+            &cfg,
+            &compiled.program,
+            cycles,
+            s,
+            k * 131,
+            (k * 997) % cycles,
+        );
         let label = match out {
             SimOutcome::Halted { .. } => "finished",
             SimOutcome::Crash { .. } => "crash",
@@ -313,5 +331,8 @@ fn injection_on_real_workload_is_classifiable() {
         };
         *classes.entry(label).or_insert(0) += 1;
     }
-    assert!(classes["finished"] > 0, "some injections must be masked: {classes:?}");
+    assert!(
+        classes["finished"] > 0,
+        "some injections must be masked: {classes:?}"
+    );
 }

@@ -9,10 +9,15 @@ fn main() {
         for w in Workload::ALL {
             print!("{:10}", w.name());
             for level in OptLevel::ALL {
-                let c = Compiler::new(Profile::A64, level).compile(&w.source(scale)).unwrap();
+                let c = Compiler::new(Profile::A64, level)
+                    .compile(&w.source(scale))
+                    .unwrap();
                 let mut e = Emulator::new(&c.program);
                 let out = e.run(2_000_000_000).unwrap();
-                print!("  {level}: {:>6} w / {:>9} dyn", c.stats.code_words, out.retired);
+                print!(
+                    "  {level}: {:>6} w / {:>9} dyn",
+                    c.stats.code_words, out.retired
+                );
             }
             println!();
         }

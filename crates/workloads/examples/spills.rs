@@ -4,11 +4,22 @@ use softerr_isa::Profile;
 use softerr_workloads::{Scale, Workload};
 
 fn main() {
-    for w in [Workload::Fft, Workload::Sha, Workload::Patricia, Workload::Dijkstra] {
+    for w in [
+        Workload::Fft,
+        Workload::Sha,
+        Workload::Patricia,
+        Workload::Dijkstra,
+    ] {
         for level in [OptLevel::O2, OptLevel::O3] {
-            let c = Compiler::new(Profile::A64, level).compile(&w.source(Scale::Tiny)).unwrap();
+            let c = Compiler::new(Profile::A64, level)
+                .compile(&w.source(Scale::Tiny))
+                .unwrap();
             let spills: usize = c.stats.funcs.iter().map(|f| f.spills).sum();
-            println!("{:10} {level}: spills={spills} words={}", w.name(), c.stats.code_words);
+            println!(
+                "{:10} {level}: spills={spills} words={}",
+                w.name(),
+                c.stats.code_words
+            );
         }
     }
 }

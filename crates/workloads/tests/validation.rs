@@ -143,7 +143,9 @@ fn rijndael_matches_reference_aes() {
     let out = compile_run(Workload::Rijndael, Profile::A64, OptLevel::O2, Scale::Tiny);
     let nblocks = 3usize;
     let mut seed = 5150u32;
-    let key: Vec<u8> = (0..16).map(|_| (lcg_next(&mut seed) & 0xFF) as u8).collect();
+    let key: Vec<u8> = (0..16)
+        .map(|_| (lcg_next(&mut seed) & 0xFF) as u8)
+        .collect();
     let rk = aes_key_expand(key.as_slice().try_into().unwrap());
     let mut cks: u32 = 0;
     for _ in 0..nblocks {

@@ -7,8 +7,7 @@
 //! ```
 
 use softerr::{
-    CampaignConfig, Compiler, Injector, MachineConfig, OptLevel, Scale, Structure, Table,
-    Workload,
+    CampaignConfig, Compiler, Injector, MachineConfig, OptLevel, Scale, Structure, Table, Workload,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cycles.push(injector.golden().cycles);
             let campaign = injector.campaign(
                 Structure::RegFile,
-                &CampaignConfig { injections: 150, seed: 7, ..CampaignConfig::default() },
+                &CampaignConfig {
+                    injections: 150,
+                    seed: 7,
+                    ..CampaignConfig::default()
+                },
             );
             avfs.push(campaign.avf());
         }

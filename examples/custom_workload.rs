@@ -65,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let c = injector.campaign(
             structure,
-            &CampaignConfig { injections: 120, seed: 99, ..CampaignConfig::default() },
+            &CampaignConfig {
+                injections: 120,
+                seed: 99,
+                ..CampaignConfig::default()
+            },
         );
         table.row(vec![
             structure.name().into(),

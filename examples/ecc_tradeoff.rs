@@ -16,10 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 2024,
         ..StudyConfig::default()
     };
-    println!(
-        "running {} injections...\n",
-        config.total_injections()
-    );
+    println!("running {} injections...\n", config.total_injections());
     let results = Study::new(config).run()?;
 
     for machine in results.machine_names() {

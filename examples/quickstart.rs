@@ -18,8 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("workload: {} — {}", workload, workload.description());
 
     // 2. Compile at -O2 with the built-in MiniC compiler.
-    let compiled = Compiler::new(machine.profile, OptLevel::O2)
-        .compile(&workload.source(Scale::Tiny))?;
+    let compiled =
+        Compiler::new(machine.profile, OptLevel::O2).compile(&workload.source(Scale::Tiny))?;
     println!(
         "compiled: {} instructions, {} bytes of data",
         compiled.stats.code_words, compiled.stats.data_bytes
@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. A small fault-injection campaign against the register file.
     let campaign = injector.campaign(
         Structure::RegFile,
-        &CampaignConfig { injections: 200, seed: 42, ..CampaignConfig::default() },
+        &CampaignConfig {
+            injections: 200,
+            seed: 42,
+            ..CampaignConfig::default()
+        },
     );
     println!(
         "register file: AVF = {:.3} (±{:.3} at 99% confidence)",

@@ -10,6 +10,11 @@ lint:
     cargo clippy --all-targets -- -D warnings
     cargo fmt --check
 
+# IR lint: compile all 8 workloads at O0-O3 for both profiles with the
+# compiler's IR verifier re-run after every pass (the `verify-ir` feature).
+lint-ir:
+    cargo test -p softerr --features verify-ir --release -q --test verify_sweep
+
 # Benchmarks. Each group writes a BENCH_<group>.json summary into the repo
 # root (mean ns per iteration and derived throughput per benchmark).
 bench:
@@ -21,4 +26,4 @@ bench-injection:
     cargo bench -p softerr-bench --bench injection_throughput
 
 # Everything the CI gate requires.
-ci: test lint
+ci: test lint lint-ir

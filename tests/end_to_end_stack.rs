@@ -4,8 +4,8 @@
 //! stack.
 
 use softerr::{
-    CampaignConfig, Compiler, Emulator, FaultClass, Injector, MachineConfig, OptLevel, Scale,
-    Sim, SimOutcome, Structure, Workload,
+    CampaignConfig, Compiler, Emulator, FaultClass, Injector, MachineConfig, OptLevel, Scale, Sim,
+    SimOutcome, Structure, Workload,
 };
 
 #[test]
@@ -18,7 +18,12 @@ fn emulator_sim_and_injector_golden_all_agree() {
     let emu_out = Emulator::new(&compiled.program).run(1_000_000_000).unwrap();
 
     let mut sim = Sim::new(&machine, &compiled.program);
-    let SimOutcome::Halted { retired, output, cycles } = sim.run(1_000_000_000) else {
+    let SimOutcome::Halted {
+        retired,
+        output,
+        cycles,
+    } = sim.run(1_000_000_000)
+    else {
         panic!("sim did not halt");
     };
     assert_eq!(output, emu_out.output);
@@ -66,7 +71,12 @@ fn icache_faults_crash_dcache_faults_corrupt() {
         .compile(&Workload::Sha.source(Scale::Tiny))
         .unwrap();
     let injector = Injector::new(&machine, &compiled.program).unwrap();
-    let cfg = CampaignConfig { injections: 400, seed: 5, threads: 1, checkpoint: true };
+    let cfg = CampaignConfig {
+        injections: 400,
+        seed: 5,
+        threads: 1,
+        checkpoint: true,
+    };
 
     let l1i = injector.campaign(Structure::L1IData, &cfg);
     if l1i.avf() > 0.02 {
@@ -98,7 +108,12 @@ fn rob_and_lsq_fail_only_via_assert() {
         .compile(&Workload::Gsm.source(Scale::Tiny))
         .unwrap();
     let injector = Injector::new(&machine, &compiled.program).unwrap();
-    let cfg = CampaignConfig { injections: 250, seed: 11, threads: 1, checkpoint: true };
+    let cfg = CampaignConfig {
+        injections: 250,
+        seed: 11,
+        threads: 1,
+        checkpoint: true,
+    };
     for s in [
         Structure::LoadQueue,
         Structure::StoreQueue,
@@ -121,7 +136,12 @@ fn unused_hardware_has_low_avf() {
         .compile(&Workload::Fft.source(Scale::Tiny))
         .unwrap();
     let injector = Injector::new(&machine, &compiled.program).unwrap();
-    let cfg = CampaignConfig { injections: 300, seed: 21, threads: 1, checkpoint: true };
+    let cfg = CampaignConfig {
+        injections: 300,
+        seed: 21,
+        threads: 1,
+        checkpoint: true,
+    };
     let l2 = injector.campaign(Structure::L2Data, &cfg);
     assert!(
         l2.avf() < 0.10,
@@ -139,7 +159,12 @@ fn timeout_class_is_reachable_via_iq() {
     let injector = Injector::new(&machine, &compiled.program).unwrap();
     let c = injector.campaign(
         Structure::IqSrc,
-        &CampaignConfig { injections: 400, seed: 31, threads: 1, checkpoint: true },
+        &CampaignConfig {
+            injections: 400,
+            seed: 31,
+            threads: 1,
+            checkpoint: true,
+        },
     );
     assert!(
         c.counts.timeout > 0,

@@ -2,8 +2,7 @@
 //! facade: grid execution, metric invariants, and result persistence.
 
 use softerr::{
-    EccScheme, FaultClass, OptLevel, Scale, Structure, Study, StudyConfig, StudyResults,
-    Workload,
+    EccScheme, FaultClass, OptLevel, Scale, Structure, Study, StudyConfig, StudyResults, Workload,
 };
 
 /// One shared study for the whole test binary (campaigns are expensive).
@@ -27,7 +26,11 @@ fn small_study() -> &'static StudyResults {
 #[test]
 fn study_produces_full_grid() {
     let results = small_study();
-    assert_eq!(results.cells.len(), 2 * 2 * 2, "machines × workloads × levels");
+    assert_eq!(
+        results.cells.len(),
+        2 * 2 * 2,
+        "machines × workloads × levels"
+    );
     for (key, cell) in &results.cells {
         assert_eq!(cell.campaigns.len(), 15, "{key}: all structures measured");
         assert!(cell.golden_cycles > 0);

@@ -1,0 +1,31 @@
+//! The `verify-ir` sweep: every workload × every optimization level ×
+//! both target profiles compiles with the IR verifier re-checking the
+//! module after **every** pass application, plus the post-regalloc
+//! allocation check.
+//!
+//! This is the correctness net over the 13 optimization passes that CI
+//! runs with the `verify-ir` feature enabled (`just lint-ir`): a pass that
+//! breaks an invariant (use before def, dangling branch target, clobbered
+//! live range, ...) fails here with a diagnostic naming the pass, the
+//! function, and the block.
+
+use softerr::{Compiler, OptLevel, Profile, Scale, Workload};
+
+#[test]
+fn verifier_accepts_all_workloads_at_all_levels() {
+    for profile in [Profile::A32, Profile::A64] {
+        for workload in Workload::ALL {
+            for scale in [Scale::Tiny, Scale::Small] {
+                let src = workload.source(scale);
+                for level in OptLevel::ALL {
+                    Compiler::new(profile, level)
+                        .with_verify(true)
+                        .compile(&src)
+                        .unwrap_or_else(|e| {
+                            panic!("{}/{profile}/{level}/{scale:?}: {e}", workload.name())
+                        });
+                }
+            }
+        }
+    }
+}
