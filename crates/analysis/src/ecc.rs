@@ -75,4 +75,82 @@ mod tests {
             }
         }
     }
+
+    /// Fixture matching Fig. 12's setting: every structure carries some
+    /// vulnerability, caches carry most of the bits.
+    fn fig12_measurements() -> Vec<crate::StructureMeasurement> {
+        use softerr_inject::ClassCounts;
+        Structure::ALL
+            .iter()
+            .map(|&structure| {
+                let cache = matches!(
+                    structure,
+                    Structure::L1IData
+                        | Structure::L1ITag
+                        | Structure::L1DData
+                        | Structure::L1DTag
+                        | Structure::L2Data
+                        | Structure::L2Tag
+                );
+                crate::StructureMeasurement {
+                    structure,
+                    bits: if cache { 100_000 } else { 2_000 },
+                    counts: ClassCounts {
+                        masked: 80,
+                        sdc: 10,
+                        crash: 8,
+                        timeout: 1,
+                        assert_: 1,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fig12_none_variant_counts_every_structure() {
+        let ms = fig12_measurements();
+        let total = crate::cpu_fit(&ms, 1e-5, EccScheme::None);
+        // Every structure has AVF 0.2; FIT = Σ raw·bits·AVF.
+        let bits: u64 = ms.iter().map(|m| m.bits).sum();
+        assert!((total - 1e-5 * bits as f64 * 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig12_l1d_l2_variant_removes_both_protected_caches() {
+        let ms = fig12_measurements();
+        let protected = crate::cpu_fit(&ms, 1e-5, EccScheme::L1dAndL2);
+        let unprotected_bits: u64 = ms
+            .iter()
+            .filter(|m| !EccScheme::L1dAndL2.protects(m.structure))
+            .map(|m| m.bits)
+            .sum();
+        assert!((protected - 1e-5 * unprotected_bits as f64 * 0.2).abs() < 1e-9);
+        // L1D (data+tag) and L2 (data+tag) dropped: 4 × 100k bits gone.
+        let none = crate::cpu_fit(&ms, 1e-5, EccScheme::None);
+        assert!((none - protected - 1e-5 * 400_000.0 * 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig12_l2_only_variant_sits_between_the_other_two() {
+        let ms = fig12_measurements();
+        let none = crate::cpu_fit(&ms, 1e-5, EccScheme::None);
+        let l2_only = crate::cpu_fit(&ms, 1e-5, EccScheme::L2Only);
+        let l1d_l2 = crate::cpu_fit(&ms, 1e-5, EccScheme::L1dAndL2);
+        // Fig. 12's ordering: protecting more SRAM can only lower the FIT.
+        assert!(none > l2_only, "{none} vs {l2_only}");
+        assert!(l2_only > l1d_l2, "{l2_only} vs {l1d_l2}");
+        // L2-only drops exactly the two L2 arrays.
+        assert!((none - l2_only - 1e-5 * 200_000.0 * 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scheme_roundtrips_through_serde_and_displays() {
+        for scheme in EccScheme::ALL {
+            let json = serde_json::to_string(&scheme).unwrap();
+            let back: EccScheme = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, scheme);
+            assert!(!scheme.to_string().is_empty());
+        }
+    }
 }

@@ -1,0 +1,286 @@
+//! Aggregations over per-fault forensic records.
+//!
+//! A `--records` campaign stream ([`FaultRecord`]) is one JSON object per
+//! injection; these functions fold a stream into the report tables the
+//! harnesses print: detection-latency distributions, class-by-cycle and
+//! class-by-bit heatmaps, and a census of where faulted state first
+//! diverged from the golden run.
+//!
+//! Every function returns an empty [`Table`] (headers only) for an empty
+//! record slice, so harnesses can print unconditionally.
+
+use softerr_inject::{FaultClass, FaultRecord};
+use softerr_telemetry::Table;
+use std::collections::BTreeMap;
+
+/// Headers shared by the per-class tables: one leading label column, one
+/// column per class, and a total.
+fn class_headers(label: &str) -> Vec<String> {
+    let mut headers = vec![label.to_string()];
+    headers.extend(FaultClass::ALL.iter().map(|c| c.name().to_string()));
+    headers.push("total".to_string());
+    headers
+}
+
+/// One table row from a label and per-class counts.
+fn class_row(label: String, counts: &[u64; 5]) -> Vec<String> {
+    let mut row = vec![label];
+    row.extend(counts.iter().map(|n| n.to_string()));
+    row.push(counts.iter().sum::<u64>().to_string());
+    row
+}
+
+/// Detection-latency distribution: how many cycles passed between the
+/// injection and the verdict, bucketed by powers of two, split by class.
+///
+/// Crash/Assert latencies measure how long the corruption stayed latent
+/// before the machine noticed; SDC/Masked latencies measure how long the
+/// engine needed to prove the fault's fate.
+pub fn latency_table(records: &[FaultRecord]) -> Table {
+    let mut table = Table::new(class_headers("latency (cycles)"));
+    if records.is_empty() {
+        return table;
+    }
+    let bucket_of = |latency: u64| -> usize {
+        if latency == 0 {
+            0
+        } else {
+            64 - latency.leading_zeros() as usize
+        }
+    };
+    let top = records
+        .iter()
+        .map(|r| bucket_of(r.detect_latency_cycles()))
+        .max()
+        .expect("non-empty");
+    let mut buckets = vec![[0u64; 5]; top + 1];
+    for r in records {
+        buckets[bucket_of(r.detect_latency_cycles())][r.class as usize] += 1;
+    }
+    for (k, counts) in buckets.iter().enumerate() {
+        let label = if k == 0 {
+            "0".to_string()
+        } else {
+            let lo = 1u64 << (k - 1);
+            let hi = (1u64 << k) - 1;
+            if lo == hi {
+                format!("{lo}")
+            } else {
+                format!("{lo}-{hi}")
+            }
+        };
+        table.row(class_row(label, counts));
+    }
+    table
+}
+
+/// Class-by-injection-cycle heatmap: the golden execution is split into
+/// `bins` equal windows and each record lands in the window its fault was
+/// injected in, so vulnerability phases of the program become visible.
+/// The trailing column is each window's AVF (non-masked fraction).
+pub fn class_by_cycle_table(records: &[FaultRecord], bins: usize) -> Table {
+    let mut headers = class_headers("cycle window");
+    headers.push("AVF".to_string());
+    let mut table = Table::new(headers);
+    let bins = bins.max(1);
+    if records.is_empty() {
+        return table;
+    }
+    let span = records
+        .iter()
+        .map(|r| r.golden_cycles)
+        .max()
+        .expect("non-empty")
+        .max(1);
+    let mut grid = vec![[0u64; 5]; bins];
+    for r in records {
+        // Faults can land past the golden end (out-of-range sampling);
+        // clamp them into the last window.
+        let bin = ((r.spec.cycle as u128 * bins as u128 / span as u128) as usize).min(bins - 1);
+        grid[bin][r.class as usize] += 1;
+    }
+    for (bin, counts) in grid.iter().enumerate() {
+        let lo = bin as u64 * span / bins as u64;
+        let hi = (bin as u64 + 1) * span / bins as u64;
+        let total: u64 = counts.iter().sum();
+        let avf = if total == 0 {
+            0.0
+        } else {
+            1.0 - counts[FaultClass::Masked as usize] as f64 / total as f64
+        };
+        let mut row = class_row(format!("{lo}-{hi}"), counts);
+        row.push(format!("{avf:.3}"));
+        table.row(row);
+    }
+    table
+}
+
+/// Class-by-bit heatmap: the structure's `bit_population` injectable bits
+/// are split into `bins` equal ranges and each record lands in the range
+/// its flipped bit belongs to, exposing vulnerable regions of a structure
+/// (e.g. architecturally mapped registers vs. the speculative tail).
+pub fn class_by_bit_table(records: &[FaultRecord], bit_population: u64, bins: usize) -> Table {
+    let mut headers = class_headers("bit range");
+    headers.push("AVF".to_string());
+    let mut table = Table::new(headers);
+    let bins = bins.max(1);
+    if records.is_empty() {
+        return table;
+    }
+    let span = bit_population.max(1);
+    let mut grid = vec![[0u64; 5]; bins];
+    for r in records {
+        let bin = ((r.spec.bit as u128 * bins as u128 / span as u128) as usize).min(bins - 1);
+        grid[bin][r.class as usize] += 1;
+    }
+    for (bin, counts) in grid.iter().enumerate() {
+        let lo = bin as u64 * span / bins as u64;
+        let hi = ((bin as u64 + 1) * span / bins as u64).saturating_sub(1);
+        let total: u64 = counts.iter().sum();
+        let avf = if total == 0 {
+            0.0
+        } else {
+            1.0 - counts[FaultClass::Masked as usize] as f64 / total as f64
+        };
+        let mut row = class_row(format!("{lo}-{hi}"), counts);
+        row.push(format!("{avf:.3}"));
+        table.row(row);
+    }
+    table
+}
+
+/// Census of first-divergence components: for every simulator component
+/// that ever showed up as a fault's first point of divergence, the
+/// per-class record counts. Records with no divergence (faults into dead
+/// state, or landing after the program's end) count under `(none)`.
+pub fn divergence_table(records: &[FaultRecord]) -> Table {
+    let mut table = Table::new(class_headers("first divergence"));
+    if records.is_empty() {
+        return table;
+    }
+    let mut census: BTreeMap<String, [u64; 5]> = BTreeMap::new();
+    for r in records {
+        let component = r
+            .first_divergence
+            .as_ref()
+            .map(|site| site.component.clone())
+            .unwrap_or_else(|| "(none)".to_string());
+        census.entry(component).or_insert([0u64; 5])[r.class as usize] += 1;
+    }
+    let mut rows: Vec<(String, [u64; 5])> = census.into_iter().collect();
+    // Most-implicated components first; ties in name order (BTreeMap gave
+    // us a deterministic base order).
+    rows.sort_by_key(|(_, counts)| std::cmp::Reverse(counts.iter().sum::<u64>()));
+    for (component, counts) in rows {
+        table.row(class_row(component, &counts));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softerr_inject::{DivergenceSite, FaultSpec};
+    use softerr_sim::Structure;
+
+    fn record(
+        cycle: u64,
+        bit: u64,
+        class: FaultClass,
+        end: u64,
+        comp: Option<&str>,
+    ) -> FaultRecord {
+        FaultRecord {
+            spec: FaultSpec {
+                structure: Structure::RegFile,
+                bit,
+                cycle,
+            },
+            class,
+            end_cycle: end,
+            golden_cycles: 1000,
+            first_divergence: comp.map(|c| DivergenceSite {
+                cycle,
+                pc: 0x40,
+                component: c.to_string(),
+            }),
+        }
+    }
+
+    #[test]
+    fn latency_buckets_are_log2_and_cover_all_records() {
+        let records = vec![
+            record(10, 0, FaultClass::Masked, 10, None), // latency 0
+            record(10, 1, FaultClass::Sdc, 11, Some("rf")), // latency 1
+            record(10, 2, FaultClass::Crash, 15, Some("rf")), // latency 5 → 4-7
+            record(10, 3, FaultClass::Crash, 522, Some("rob")), // latency 512 → 512-1023
+        ];
+        let t = latency_table(&records);
+        let csv = t.to_csv();
+        assert!(csv.contains("4-7"));
+        assert!(csv.contains("512-1023"));
+        // Every record lands in exactly one bucket.
+        let total: u64 = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.rsplit(',').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, records.len() as u64);
+    }
+
+    #[test]
+    fn cycle_heatmap_bins_by_injection_cycle() {
+        let records = vec![
+            record(0, 0, FaultClass::Masked, 0, None),
+            record(999, 0, FaultClass::Sdc, 1200, Some("rf")),
+            record(500, 0, FaultClass::Crash, 700, Some("iq")),
+        ];
+        let t = class_by_cycle_table(&records, 2);
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        // First window holds the cycle-0 masked fault: AVF 0.
+        assert!(rows[0].ends_with("0.000"), "{}", rows[0]);
+        // Second window holds the SDC and the Crash: AVF 1.
+        assert!(rows[1].ends_with("1.000"), "{}", rows[1]);
+    }
+
+    #[test]
+    fn bit_heatmap_bins_by_bit_index() {
+        let records = vec![
+            record(5, 0, FaultClass::Masked, 5, None),
+            record(5, 99, FaultClass::Sdc, 80, Some("rf")),
+        ];
+        let t = class_by_bit_table(&records, 100, 4);
+        assert_eq!(t.len(), 4);
+        let csv = t.to_csv();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        assert!(rows[0].starts_with("0-24"));
+        assert!(rows[3].starts_with("75-99"));
+    }
+
+    #[test]
+    fn divergence_census_counts_sites_and_none() {
+        let records = vec![
+            record(1, 0, FaultClass::Sdc, 40, Some("rf")),
+            record(2, 1, FaultClass::Crash, 41, Some("rf")),
+            record(3, 2, FaultClass::Masked, 3, None),
+        ];
+        let t = divergence_table(&records);
+        let csv = t.to_csv();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        assert_eq!(rows.len(), 2);
+        // rf implicated twice, so it sorts first; the masked no-site record
+        // counts under (none).
+        assert!(rows[0].starts_with("rf"), "{}", rows[0]);
+        assert!(rows[1].starts_with("(none)"), "{}", rows[1]);
+    }
+
+    #[test]
+    fn empty_records_give_empty_tables() {
+        assert!(latency_table(&[]).is_empty());
+        assert!(class_by_cycle_table(&[], 10).is_empty());
+        assert!(class_by_bit_table(&[], 64, 10).is_empty());
+        assert!(divergence_table(&[]).is_empty());
+    }
+}

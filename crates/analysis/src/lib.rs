@@ -11,11 +11,15 @@
 //!   L2-only protected designs,
 //! * **FPE** (eq. 3) — the performance-aware Failures-Per-Execution metric,
 //! * **static ACE AVF** ([`mod@ace`]) — a bit-liveness estimate of every
-//!   structure's AVF from one golden run, no injections required.
+//!   structure's AVF from one golden run, no injections required,
+//! * **fault forensics** ([`mod@forensics`]) — detection-latency
+//!   distributions, class-by-cycle/bit heatmaps, and first-divergence
+//!   censuses over per-fault campaign records.
 #![warn(missing_docs)]
 
 pub mod ace;
 mod ecc;
+pub mod forensics;
 mod metrics;
 
 pub use ace::{estimate as ace_estimate, AceEstimate, StructureAvf};

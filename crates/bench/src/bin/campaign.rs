@@ -5,11 +5,24 @@
 //! cargo run --release -p softerr-bench --bin campaign -- \
 //!     --machine a72 --workload sha --level O2 --structure rf -n 500
 //! ```
+//!
+//! Observability flags:
+//!
+//! * `--records FILE` — stream one JSONL `FaultRecord` per injection to
+//!   `FILE` (first line is the run manifest), and print forensic summary
+//!   tables;
+//! * `--metrics` — run the golden execution once more with the simulator's
+//!   microarchitectural counters enabled and print them next to the AVF
+//!   table;
+//! * `--quiet` — suppress warning events and the progress line;
+//! * `--log-json` — emit warning events as JSONL on stderr instead of
+//!   human-readable text.
 
 use softerr::{
-    ace_estimate, CampaignConfig, Compiler, Injector, MachineConfig, OptLevel, Scale, Structure,
-    Table, Workload,
+    ace_estimate, telemetry, CampaignConfig, Compiler, FaultRecord, Injector, MachineConfig,
+    OptLevel, ProgressLine, RunManifest, Scale, Sim, Structure, Table, Workload,
 };
+use std::io::Write;
 
 struct Args {
     machine: MachineConfig,
@@ -22,6 +35,10 @@ struct Args {
     threads: usize,
     checkpoint: bool,
     estimate_ace: bool,
+    records: Option<String>,
+    metrics: bool,
+    quiet: bool,
+    log_json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,12 +53,32 @@ fn parse_args() -> Result<Args, String> {
         threads: 1,
         checkpoint: true,
         estimate_ace: false,
+        records: None,
+        metrics: false,
+        quiet: false,
+        log_json: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         let flag = argv[i].clone();
         i += 1;
+        // Value-less switches first; everything else consumes a value.
+        match flag.as_str() {
+            "--metrics" => {
+                args.metrics = true;
+                continue;
+            }
+            "--quiet" => {
+                args.quiet = true;
+                continue;
+            }
+            "--log-json" => {
+                args.log_json = true;
+                continue;
+            }
+            _ => {}
+        }
         let value = argv
             .get(i)
             .ok_or_else(|| format!("missing value for {flag}"))?
@@ -88,10 +125,68 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("bad --checkpoint value `{other}` (on|off)")),
                 }
             }
+            "--records" => args.records = Some(value),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     Ok(args)
+}
+
+/// Golden-run counter report: one row per headline counter, then the
+/// per-structure occupancy histogram summary.
+fn metrics_tables(machine: &MachineConfig, program: &softerr::Program) -> (Table, Table) {
+    let mut sim = Sim::new(machine, program);
+    sim.enable_counters();
+    sim.run(4_000_000_000);
+    let c = sim.counters().expect("counters were enabled");
+    let mut headline = Table::new(vec!["counter".into(), "value".into()]);
+    headline.row(vec!["cycles".into(), c.cycles.to_string()]);
+    headline.row(vec![
+        "committed instructions".into(),
+        c.committed.to_string(),
+    ]);
+    headline.row(vec!["IPC".into(), format!("{:.3}", c.ipc())]);
+    headline.row(vec![
+        "fetch stall cycles".into(),
+        c.fetch_stall_cycles.to_string(),
+    ]);
+    headline.row(vec![
+        "issue stall cycles".into(),
+        c.issue_stall_cycles.to_string(),
+    ]);
+    headline.row(vec![
+        "commit stall cycles".into(),
+        c.commit_stall_cycles.to_string(),
+    ]);
+    headline.row(vec!["branches committed".into(), c.branches.to_string()]);
+    headline.row(vec!["mispredicts".into(), c.mispredicts.to_string()]);
+    headline.row(vec![
+        "mispredicts / kilo-branch".into(),
+        format!("{:.1}", c.mispredicts_per_kilo_branch()),
+    ]);
+    headline.row(vec!["squashes".into(), c.squashes.to_string()]);
+    headline.row(vec!["squashed uops".into(), c.squashed_uops.to_string()]);
+    let mut occupancy = Table::new(vec![
+        "structure".into(),
+        "capacity".into(),
+        "mean".into(),
+        "p50".into(),
+        "p99".into(),
+        "peak".into(),
+        "utilization".into(),
+    ]);
+    for h in &c.occupancy {
+        occupancy.row(vec![
+            h.name.to_string(),
+            h.capacity.to_string(),
+            format!("{:.2}", h.mean()),
+            h.percentile(0.5).to_string(),
+            h.percentile(0.99).to_string(),
+            h.peak().to_string(),
+            format!("{:.1}%", 100.0 * h.utilization()),
+        ]);
+    }
+    (headline, occupancy)
 }
 
 fn main() {
@@ -103,21 +198,49 @@ fn main() {
                 "usage: campaign [--machine a15|a72] [--workload NAME] [--level O0..O3]\n\
                  \x20              [--structure NAME] [--scale tiny|small|full]\n\
                  \x20              [-n COUNT] [--seed N] [--threads N] [--checkpoint on|off]\n\
-                 \x20              [--estimate ace]"
+                 \x20              [--estimate ace] [--records FILE] [--metrics] [--quiet]\n\
+                 \x20              [--log-json]"
             );
             std::process::exit(1);
         }
     };
+    if args.quiet {
+        telemetry::set_max_level(None);
+    }
+    if args.log_json {
+        telemetry::install_sink(Box::new(telemetry::JsonlSink::stderr()));
+    }
+
+    let campaign_cfg = CampaignConfig {
+        injections: args.injections,
+        seed: args.seed,
+        threads: args.threads,
+        checkpoint: args.checkpoint,
+    };
+    let mut manifest = RunManifest::new(&args.machine.name, &args.machine, &campaign_cfg);
+    manifest.workload = args.workload.to_string();
+    manifest.level = args.level.to_string();
+    manifest.scale = args.scale.to_string();
 
     let compiled = Compiler::new(args.machine.profile, args.level)
         .compile(&args.workload.source(args.scale))
         .expect("workload must compile");
     let injector = Injector::new(&args.machine, &compiled.program).expect("golden run");
     let golden = injector.golden();
+    println!("manifest: {manifest}");
     println!(
         "{} / {} / {} ({} scale): {} cycles, {} instructions fault-free\n",
         args.machine.name, args.workload, args.level, args.scale, golden.cycles, golden.retired
     );
+
+    let mut records_out = args.records.as_deref().map(|path| {
+        let mut file = std::io::BufWriter::new(
+            std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}")),
+        );
+        let header = serde_json::to_string(&manifest).expect("manifest serializes");
+        writeln!(file, "{header}").expect("record stream writable");
+        file
+    });
 
     // One extra golden run with residency tracking; no injections needed.
     let ace = args.estimate_ace.then(|| {
@@ -141,16 +264,26 @@ fn main() {
         "Assert".into(),
     ]);
     let mut table = Table::new(header);
+    let mut all_records: Vec<FaultRecord> = Vec::new();
     for &s in &args.structures {
-        let result = injector.campaign(
-            s,
-            &CampaignConfig {
-                injections: args.injections,
-                seed: args.seed,
-                threads: args.threads,
-                checkpoint: args.checkpoint,
-            },
-        );
+        let progress = (!args.quiet).then(|| ProgressLine::new(s.name(), args.injections));
+        let observer = progress.as_ref().map(|p| p as _);
+        let result = if let Some(file) = records_out.as_mut() {
+            let (result, records) = injector.campaign_forensics(s, &campaign_cfg, observer);
+            for record in &records {
+                let line = serde_json::to_string(record).expect("record serializes");
+                writeln!(file, "{line}").expect("record stream writable");
+            }
+            all_records.extend(records);
+            result
+        } else if let Some(p) = progress.as_ref() {
+            injector.campaign_observed(s, &campaign_cfg, p)
+        } else {
+            injector.campaign(s, &campaign_cfg)
+        };
+        if let Some(p) = progress.as_ref() {
+            p.finish();
+        }
         let mut row = vec![
             s.name().to_string(),
             result.bit_population.to_string(),
@@ -168,6 +301,9 @@ fn main() {
         ]);
         table.row(row);
     }
+    if let Some(file) = records_out.as_mut() {
+        file.flush().expect("record stream flushes");
+    }
     println!("{table}");
     println!(
         "({} injections per structure; uniform bit x cycle sampling; margin at 99% via Leveugle)",
@@ -178,5 +314,21 @@ fn main() {
             "(static AVF: entry-granular ACE bit-liveness from one golden run — an upper-bound\n\
              \x20estimate that ignores fault-to-crash conversion; see EXPERIMENTS.md)"
         );
+    }
+    if !all_records.is_empty() {
+        println!("\ndetection latency (cycles from injection to verdict):");
+        println!("{}", softerr::forensics::latency_table(&all_records));
+        println!("first-divergence census:");
+        println!("{}", softerr::forensics::divergence_table(&all_records));
+        if let Some(path) = args.records.as_deref() {
+            println!("({} records streamed to {path})", all_records.len());
+        }
+    }
+    if args.metrics {
+        let (headline, occupancy) = metrics_tables(&args.machine, &compiled.program);
+        println!("\ngolden-run microarchitectural counters:");
+        println!("{headline}");
+        println!("occupancy histograms:");
+        println!("{occupancy}");
     }
 }

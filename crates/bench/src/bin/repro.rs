@@ -9,9 +9,10 @@
 //! individual figures re-render instantly after the first run.
 
 use softerr::{
-    ace_estimate, weighted_avf, AceEstimate, EccScheme, FaultClass, MachineConfig, OptLevel,
-    PassConfig, Scale, Structure, Study, StudyConfig, StudyResults, Table, Workload,
+    ace_estimate, telemetry, weighted_avf, AceEstimate, EccScheme, FaultClass, MachineConfig,
+    OptLevel, PassConfig, Scale, Structure, Study, StudyConfig, StudyResults, Table, Workload,
 };
+use softerr::{event, Level};
 use std::path::PathBuf;
 
 fn main() {
@@ -22,6 +23,16 @@ fn main() {
     }
     let command = args[0].clone();
     let opts = Options::parse(&args[1..]);
+    // Progress events are part of repro's normal chatter; `--quiet` drops
+    // them back to silence and `--log-json` reroutes them as JSONL.
+    if opts.quiet {
+        telemetry::set_max_level(None);
+    } else {
+        telemetry::set_max_level(Some(Level::Info));
+    }
+    if opts.log_json {
+        telemetry::install_sink(Box::new(telemetry::JsonlSink::stderr()));
+    }
     match command.as_str() {
         "table1" => table1(),
         "fig1" => fig1(&opts),
@@ -73,6 +84,7 @@ fn main() {
         "ablation-size" => ablation_size(&opts),
         "mbu" => mbu(&opts),
         "ace" => ace_sweep(&opts),
+        "metrics" => metrics(&opts),
         "all" => {
             table1();
             fig1(&opts);
@@ -143,7 +155,8 @@ fn usage() {
     eprintln!("  ablation-size    ROB/IQ size sweep (perf + ROB AVF)");
     eprintln!("  mbu              multi-bit-upset extension (1/2/4-bit bursts)");
     eprintln!("  ace              static ACE/bit-liveness AVF sweep (no injections)");
-    eprintln!("  all              everything above (except ablations/mbu/ace)\n");
+    eprintln!("  metrics          golden-run microarchitectural counters sweep");
+    eprintln!("  all              everything above (except ablations/mbu/ace/metrics)\n");
     eprintln!("options:");
     eprintln!("  --scale quick|default|paper   campaign size (default: quick)");
     eprintln!("  --injections N                override injections per cell");
@@ -153,6 +166,8 @@ fn usage() {
     eprintln!("  --results DIR                 cache directory (default target/)");
     eprintln!("  --fresh                       ignore any cached results");
     eprintln!("  --estimate ace                print static ACE AVF beside injected (figs 2-8)");
+    eprintln!("  --quiet                       suppress progress/warning events");
+    eprintln!("  --log-json                    emit progress/warning events as JSONL on stderr");
 }
 
 #[derive(Debug, Clone)]
@@ -165,6 +180,8 @@ struct Options {
     results_dir: PathBuf,
     fresh: bool,
     estimate_ace: bool,
+    quiet: bool,
+    log_json: bool,
 }
 
 impl Options {
@@ -178,6 +195,8 @@ impl Options {
             results_dir: PathBuf::from("target"),
             fresh: false,
             estimate_ace: false,
+            quiet: false,
+            log_json: false,
         };
         let mut i = 0;
         while i < args.len() {
@@ -216,6 +235,8 @@ impl Options {
                 "--no-checkpoint" => opts.checkpoint = false,
                 "--results" => opts.results_dir = PathBuf::from(next("--results")),
                 "--fresh" => opts.fresh = true,
+                "--quiet" => opts.quiet = true,
+                "--log-json" => opts.log_json = true,
                 "--estimate" => match next("--estimate").as_str() {
                     "ace" => opts.estimate_ace = true,
                     other => {
@@ -246,7 +267,13 @@ fn study(opts: &Options) -> StudyResults {
     let path = opts.cache_path();
     if !opts.fresh {
         if let Ok(results) = StudyResults::load(&path) {
-            eprintln!("(using cached results from {})", path.display());
+            event!(
+                Level::Info,
+                "repro.study",
+                { cache: path.display().to_string() },
+                "(using cached results from {})",
+                path.display()
+            );
             return results;
         }
     }
@@ -258,16 +285,25 @@ fn study(opts: &Options) -> StudyResults {
         checkpoint: opts.checkpoint,
         ..StudyConfig::default()
     };
-    eprintln!(
+    event!(
+        Level::Info,
+        "repro.study",
+        { injections: config.total_injections(), cache: path.display().to_string() },
         "running study: {} injections total (cache: {})",
         config.total_injections(),
         path.display()
     );
     let t0 = std::time::Instant::now();
     let results = Study::new(config)
-        .run_with_progress(|msg| eprintln!("  {msg}"))
+        .run_with_progress(|msg| event!(Level::Info, "repro.study", {}, "  {msg}"))
         .expect("study failed");
-    eprintln!("study completed in {:.1}s", t0.elapsed().as_secs_f64());
+    event!(
+        Level::Info,
+        "repro.study",
+        { seconds: t0.elapsed().as_secs_f64() },
+        "study completed in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
     std::fs::create_dir_all(&opts.results_dir).ok();
     results.save(&path).expect("failed to cache results");
     results
@@ -416,7 +452,10 @@ fn avf_figure(opts: &Options, title: &str, structures: &[Structure]) {
     println!("(per-benchmark AVF with the wAVF aggregate; fault-class split of wAVF below)\n");
     let statics = if opts.estimate_ace {
         let machines = results.machine_names();
-        eprintln!(
+        event!(
+            Level::Info,
+            "repro.ace",
+            { runs: machines.len() * 32 },
             "(running {} ACE golden runs for --estimate ace)",
             machines.len() * 32
         );
@@ -552,6 +591,71 @@ fn ace_sweep(opts: &Options) {
                 row.push(format!("{:.3}", weighted_avf(&samples)));
             }
             t.row(row);
+        }
+        println!("{t}");
+    }
+}
+
+// -------------------------------------------------------------- metrics --
+
+/// Golden-run microarchitectural counter sweep: every (machine, benchmark,
+/// opt level) cell runs fault-free once with `Sim` counters enabled.
+///
+/// Stall percentages are cycles in which the stage made no forward progress;
+/// occupancy is the time-average fill of the structure relative to capacity.
+fn metrics(opts: &Options) {
+    use softerr::{Compiler, Sim};
+    println!("== Golden-run microarchitectural counters ==");
+    println!(
+        "({} scale, fault-free; stalls as % of cycles, occupancy as mean fill)\n",
+        opts.scale
+    );
+    for machine in MachineConfig::paper_machines() {
+        println!("-- {}", machine.name);
+        let mut t = Table::new(vec![
+            "benchmark".into(),
+            "level".into(),
+            "cycles".into(),
+            "IPC".into(),
+            "fetch st%".into(),
+            "issue st%".into(),
+            "commit st%".into(),
+            "mpred/kbr".into(),
+            "rf occ".into(),
+            "rob occ".into(),
+            "iq occ".into(),
+        ]);
+        for w in Workload::ALL {
+            for level in OptLevel::ALL {
+                let compiled = Compiler::new(machine.profile, level)
+                    .compile(&w.source(opts.scale))
+                    .expect("workload must compile");
+                let mut sim = Sim::new(&machine, &compiled.program);
+                sim.enable_counters();
+                sim.run(4_000_000_000);
+                let c = sim.counters().expect("counters were enabled");
+                let pct = |n: u64| format!("{:.1}", 100.0 * n as f64 / c.cycles.max(1) as f64);
+                let occ = |name: &str| {
+                    c.occupancy
+                        .iter()
+                        .find(|h| h.name == name)
+                        .map(|h| format!("{:.1}%", 100.0 * h.utilization()))
+                        .unwrap_or_else(|| "-".into())
+                };
+                t.row(vec![
+                    w.name().to_string(),
+                    level.to_string(),
+                    c.cycles.to_string(),
+                    format!("{:.2}", c.ipc()),
+                    pct(c.fetch_stall_cycles),
+                    pct(c.issue_stall_cycles),
+                    pct(c.commit_stall_cycles),
+                    format!("{:.1}", c.mispredicts_per_kilo_branch()),
+                    occ("regfile"),
+                    occ("rob"),
+                    occ("iq"),
+                ]);
+            }
         }
         println!("{t}");
     }

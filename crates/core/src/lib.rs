@@ -31,24 +31,27 @@
 //! ```
 #![warn(missing_docs)]
 
-mod report;
 mod study;
 
-pub use report::Table;
 pub use study::{CellKey, CellResult, Study, StudyConfig, StudyError, StudyResults};
 
 // Re-export the full vocabulary so downstream users need only this crate.
 pub use softerr_analysis::{
-    ace_estimate, cpu_fit, cpu_fit_by_class, fit_of_structure, fpe, weighted_avf, AceEstimate,
-    EccScheme, StructureAvf, StructureMeasurement,
+    ace_estimate, cpu_fit, cpu_fit_by_class, fit_of_structure, forensics, fpe, weighted_avf,
+    AceEstimate, EccScheme, StructureAvf, StructureMeasurement,
 };
 pub use softerr_cc::{CompileError, Compiled, Compiler, OptLevel, PassConfig, VerifyError};
 pub use softerr_inject::{
-    error_margin, CampaignConfig, CampaignResult, ClassCounts, FaultClass, FaultSpec, Golden,
-    Injector, Z_90, Z_95, Z_99,
+    error_margin, CampaignConfig, CampaignObserver, CampaignResult, ClassCounts, DivergenceSite,
+    FaultClass, FaultRecord, FaultSpec, Golden, Injector, ProgressLine, RunManifest, Z_90, Z_95,
+    Z_99,
 };
 pub use softerr_isa::{disassemble, Emulator, Profile, Program};
 pub use softerr_sim::{
-    MachineConfig, ResidencyReport, Sim, SimOutcome, SimStats, Structure, StructureResidency,
+    MachineConfig, OccupancyHistogram, ResidencyReport, Sim, SimCounters, SimOutcome, SimStats,
+    Structure, StructureResidency,
 };
+/// The structured event/telemetry facade (see [`mod@telemetry`]).
+pub use softerr_telemetry as telemetry;
+pub use softerr_telemetry::{event, Level, Table};
 pub use softerr_workloads::{Scale, Workload};

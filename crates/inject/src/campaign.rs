@@ -1,10 +1,13 @@
 //! Fault specification, single-run execution, and campaign orchestration.
 
+use crate::progress::CampaignObserver;
+use crate::record::{DivergenceSite, FaultRecord};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use softerr_isa::Program;
 use softerr_sim::{MachineConfig, Sim, SimOutcome, Structure};
+use softerr_telemetry::{event, Level};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -277,50 +280,79 @@ impl<'a> Injector<'a> {
     /// IISWC'19 study). Bits past the end of the structure wrap around.
     ///
     /// A simulator panic during the faulted run is caught and classified as
-    /// [`FaultClass::Assert`] (with a warning on stderr) instead of aborting
+    /// [`FaultClass::Assert`] (with a warning event) instead of aborting
     /// the campaign: a flipped bit driving the model into a state it refuses
     /// to handle is exactly what the paper's Assert class records.
     pub fn inject_burst(&self, fault: FaultSpec, width: u8) -> FaultClass {
-        match catch_unwind(AssertUnwindSafe(|| self.inject_burst_inner(fault, width))) {
-            Ok(class) => class,
+        self.inject_outcome(fault, width).class
+    }
+
+    /// Fresh-path injection with forensic context (the end cycle; the fresh
+    /// path has no golden simulator alongside to diff, so no divergence
+    /// site).
+    fn inject_outcome(&self, fault: FaultSpec, width: u8) -> Outcome {
+        match catch_unwind(AssertUnwindSafe(|| self.inject_outcome_inner(fault, width))) {
+            Ok(outcome) => outcome,
             Err(_) => {
-                eprintln!(
-                    "warning: simulator panicked on {fault:?} (width {width}); \
-                     classifying as Assert"
+                event!(
+                    Level::Warn,
+                    "inject.fresh",
+                    { bit: fault.bit, cycle: fault.cycle, width: width },
+                    "simulator panicked on {:?} (width {}); classifying as Assert",
+                    fault,
+                    width
                 );
-                FaultClass::Assert
+                Outcome {
+                    class: FaultClass::Assert,
+                    end_cycle: fault.cycle,
+                    divergence: None,
+                }
             }
         }
     }
 
-    fn inject_burst_inner(&self, fault: FaultSpec, width: u8) -> FaultClass {
+    fn inject_outcome_inner(&self, fault: FaultSpec, width: u8) -> Outcome {
         let mut sim = Sim::new(self.cfg, self.program);
         if let Some(early) = sim.run_to_cycle(fault.cycle) {
             // The golden run ended before the injection cycle (can only
             // happen with out-of-range cycles): the fault lands after the
             // program finished and is architecturally masked.
             return match early {
-                SimOutcome::Halted { .. } => FaultClass::Masked,
+                SimOutcome::Halted { cycles, .. } => Outcome::masked_at(cycles),
                 other => {
-                    eprintln!(
-                        "warning: fault-free prefix of {fault:?} ended abnormally \
-                         ({other:?}); classifying as Assert"
+                    event!(
+                        Level::Warn,
+                        "inject.fresh",
+                        { bit: fault.bit, cycle: fault.cycle },
+                        "fault-free prefix of {:?} ended abnormally ({:?}); \
+                         classifying as Assert",
+                        fault,
+                        other
                     );
-                    FaultClass::Assert
+                    Outcome {
+                        class: FaultClass::Assert,
+                        end_cycle: sim.cycle(),
+                        divergence: None,
+                    }
                 }
             };
         }
         if !apply_burst(&mut sim, fault, width) {
-            return FaultClass::Masked;
+            return Outcome::masked_at(fault.cycle);
         }
-        self.classify_end(sim.run(2 * self.golden.cycles))
+        let end = sim.run(2 * self.golden.cycles);
+        Outcome {
+            class: self.classify_end(&end),
+            end_cycle: end_cycles(&end),
+            divergence: None,
+        }
     }
 
     /// Maps a terminal faulted-run outcome to the paper's classes.
-    fn classify_end(&self, end: SimOutcome) -> FaultClass {
+    fn classify_end(&self, end: &SimOutcome) -> FaultClass {
         match end {
             SimOutcome::Halted { output, .. } => {
-                if output == self.golden.output {
+                if *output == self.golden.output {
                     FaultClass::Masked
                 } else {
                     FaultClass::Sdc
@@ -383,6 +415,56 @@ impl<'a> Injector<'a> {
         self.campaign_burst(structure, cfg, 1)
     }
 
+    /// Runs a full single-bit campaign with live per-classification
+    /// notifications (e.g. a [`crate::ProgressLine`]) but no forensic
+    /// record capture.
+    pub fn campaign_observed(
+        &self,
+        structure: Structure,
+        cfg: &CampaignConfig,
+        observer: &dyn CampaignObserver,
+    ) -> CampaignResult {
+        let faults = self.sample_faults(structure, cfg.injections, cfg.seed);
+        let outcomes = self.classify_outcomes(&faults, 1, cfg, false, Some(observer));
+        let mut counts = ClassCounts::default();
+        for outcome in &outcomes {
+            counts.record(outcome.class);
+        }
+        CampaignResult {
+            structure,
+            bit_population: self.bit_count(structure),
+            golden_cycles: self.golden.cycles,
+            counts,
+        }
+    }
+
+    /// Runs a full single-bit campaign on one structure, returning both the
+    /// aggregate result and one forensic [`FaultRecord`] per sampled fault
+    /// (in sample order), so the records' class tallies match the result's
+    /// counts exactly.
+    pub fn campaign_forensics(
+        &self,
+        structure: Structure,
+        cfg: &CampaignConfig,
+        observer: Option<&dyn CampaignObserver>,
+    ) -> (CampaignResult, Vec<FaultRecord>) {
+        let faults = self.sample_faults(structure, cfg.injections, cfg.seed);
+        let records = self.classify_all_recorded(&faults, 1, cfg, observer);
+        let mut counts = ClassCounts::default();
+        for record in &records {
+            counts.record(record.class);
+        }
+        (
+            CampaignResult {
+                structure,
+                bit_population: self.bit_count(structure),
+                golden_cycles: self.golden.cycles,
+                counts,
+            },
+            records,
+        )
+    }
+
     /// Classifies every fault in `faults`, returning one class per fault in
     /// input order.
     ///
@@ -401,21 +483,76 @@ impl<'a> Injector<'a> {
         width: u8,
         cfg: &CampaignConfig,
     ) -> Vec<FaultClass> {
+        self.classify_outcomes(faults, width, cfg, false, None)
+            .into_iter()
+            .map(|outcome| outcome.class)
+            .collect()
+    }
+
+    /// Classifies every fault in `faults` with full forensics, returning
+    /// one [`FaultRecord`] per fault in input order. Classes are identical
+    /// to [`Injector::classify_all`]; the records additionally carry the
+    /// cycle each verdict was decided at and the first-divergence site.
+    ///
+    /// Recording always uses the checkpointed convoy engine regardless of
+    /// `cfg.checkpoint` — the golden simulator the engine forks children
+    /// from doubles as the divergence reference, and classification is
+    /// bit-identical between the two engines anyway.
+    pub fn classify_all_recorded(
+        &self,
+        faults: &[FaultSpec],
+        width: u8,
+        cfg: &CampaignConfig,
+        observer: Option<&dyn CampaignObserver>,
+    ) -> Vec<FaultRecord> {
+        self.classify_outcomes(faults, width, cfg, true, observer)
+            .into_iter()
+            .zip(faults)
+            .map(|(outcome, &spec)| FaultRecord {
+                spec,
+                class: outcome.class,
+                end_cycle: outcome.end_cycle,
+                golden_cycles: self.golden.cycles,
+                first_divergence: outcome.divergence,
+            })
+            .collect()
+    }
+
+    /// The engine shared by the class-only and recorded paths: classifies
+    /// every fault, notifying `observer` per verdict, and (in `record`
+    /// mode, which forces the convoy engine) capturing forensic context.
+    fn classify_outcomes(
+        &self,
+        faults: &[FaultSpec],
+        width: u8,
+        cfg: &CampaignConfig,
+        record: bool,
+        observer: Option<&dyn CampaignObserver>,
+    ) -> Vec<Outcome> {
+        let convoy = record || cfg.checkpoint;
         let mut order: Vec<usize> = (0..faults.len()).collect();
-        if cfg.checkpoint {
+        if convoy {
             // Stable, so same-cycle faults keep their sample order.
             order.sort_by_key(|&i| faults[i].cycle);
         }
-        let order = &order[..];
         let next = AtomicUsize::new(0);
+        let engine = Engine {
+            inj: self,
+            faults,
+            order: &order,
+            next: &next,
+            width,
+            record,
+            observer,
+        };
         let run_worker = || {
-            if cfg.checkpoint {
-                self.convoy_worker(faults, order, &next, width)
+            if convoy {
+                engine.convoy_worker()
             } else {
-                self.fresh_worker(faults, order, &next, width)
+                engine.fresh_worker()
             }
         };
-        let parts: Vec<Vec<(usize, FaultClass)>> = if cfg.threads <= 1 {
+        let parts: Vec<Vec<(usize, Outcome)>> = if cfg.threads <= 1 {
             vec![run_worker()]
         } else {
             std::thread::scope(|scope| {
@@ -426,26 +563,79 @@ impl<'a> Injector<'a> {
                     .collect()
             })
         };
-        let mut classes = vec![FaultClass::Masked; faults.len()];
-        for (slot, class) in parts.into_iter().flatten() {
-            classes[slot] = class;
+        let mut outcomes = vec![Outcome::masked_at(0); faults.len()];
+        for (slot, outcome) in parts.into_iter().flatten() {
+            outcomes[slot] = outcome;
         }
-        classes
+        outcomes
+    }
+}
+
+/// Classification outcome plus forensic context for one fault.
+#[derive(Debug, Clone)]
+struct Outcome {
+    class: FaultClass,
+    /// Cycle the verdict was decided at.
+    end_cycle: u64,
+    /// First-divergence site (recorded-mode convoy forks only).
+    divergence: Option<DivergenceSite>,
+}
+
+impl Outcome {
+    /// A Masked verdict decided at `cycle` without any state divergence.
+    fn masked_at(cycle: u64) -> Outcome {
+        Outcome {
+            class: FaultClass::Masked,
+            end_cycle: cycle,
+            divergence: None,
+        }
+    }
+}
+
+/// Terminal cycle of a simulation outcome.
+fn end_cycles(end: &SimOutcome) -> u64 {
+    match end {
+        SimOutcome::Halted { cycles, .. }
+        | SimOutcome::Crash { cycles, .. }
+        | SimOutcome::Assert { cycles, .. }
+        | SimOutcome::CycleLimit { cycles } => *cycles,
+    }
+}
+
+/// One `classify_outcomes` invocation's shared context; worker threads run
+/// its `convoy_worker`/`fresh_worker` against the common claim index.
+struct Engine<'e, 'a> {
+    inj: &'e Injector<'a>,
+    faults: &'e [FaultSpec],
+    /// Fault indices in claim order (cycle-sorted for the convoy engine).
+    order: &'e [usize],
+    /// Work-stealing claim index shared by every worker.
+    next: &'e AtomicUsize,
+    width: u8,
+    /// Capture end cycles and first-divergence sites (forensics mode).
+    record: bool,
+    observer: Option<&'e dyn CampaignObserver>,
+}
+
+impl Engine<'_, '_> {
+    /// Files a verdict: notifies the observer and appends to `results`.
+    fn push(&self, results: &mut Vec<(usize, Outcome)>, slot: usize, outcome: Outcome) {
+        if let Some(observer) = self.observer {
+            observer.fault_classified(outcome.class);
+        }
+        results.push((slot, outcome));
     }
 
     /// Fresh-path worker: every claimed fault re-simulates from cycle 0.
-    fn fresh_worker(
-        &self,
-        faults: &[FaultSpec],
-        order: &[usize],
-        next: &AtomicUsize,
-        width: u8,
-    ) -> Vec<(usize, FaultClass)> {
+    fn fresh_worker(&self) -> Vec<(usize, Outcome)> {
         let mut results = Vec::new();
         loop {
-            let k = next.fetch_add(1, Ordering::Relaxed);
-            let Some(&slot) = order.get(k) else { break };
-            results.push((slot, self.inject_burst(faults[slot], width)));
+            let k = self.next.fetch_add(1, Ordering::Relaxed);
+            let Some(&slot) = self.order.get(k) else {
+                break;
+            };
+            let outcome = self.inj.inject_outcome(self.faults[slot], self.width);
+            self.push(&mut results, slot, outcome);
         }
         results
     }
@@ -463,25 +653,30 @@ impl<'a> Injector<'a> {
     /// match, and an SDC otherwise. Checks back off exponentially so
     /// children that stay diverged spend their time simulating, not
     /// comparing.
-    fn convoy_worker(
-        &self,
-        faults: &[FaultSpec],
-        order: &[usize],
-        next: &AtomicUsize,
-        width: u8,
-    ) -> Vec<(usize, FaultClass)> {
+    ///
+    /// In `record` mode each fork is additionally diffed against the golden
+    /// simulator at the injection cycle ([`Sim::state_divergence`]) to name
+    /// the first corrupted component; a fork whose state is *equal* to the
+    /// golden state (the flip landed in execution-dead bits, e.g. a free
+    /// physical register) is provably Masked — identical future, outputs
+    /// already equal — and is classified immediately instead of riding the
+    /// convoy.
+    fn convoy_worker(&self) -> Vec<(usize, Outcome)> {
+        let inj = self.inj;
         let mut results = Vec::new();
-        let mut golden = Sim::new(self.cfg, self.program);
+        let mut golden = Sim::new(inj.cfg, inj.program);
         let mut golden_done = false;
         let mut convoy: Vec<Child> = Vec::new();
         loop {
-            let k = next.fetch_add(1, Ordering::Relaxed);
-            let Some(&slot) = order.get(k) else { break };
-            let fault = faults[slot];
-            if fault.cycle > self.golden.cycles {
+            let k = self.next.fetch_add(1, Ordering::Relaxed);
+            let Some(&slot) = self.order.get(k) else {
+                break;
+            };
+            let fault = self.faults[slot];
+            if fault.cycle > inj.golden.cycles {
                 // The program halts before the fault lands: masked, exactly
                 // as the fresh path's early-halt case.
-                results.push((slot, FaultClass::Masked));
+                self.push(&mut results, slot, Outcome::masked_at(fault.cycle));
                 continue;
             }
             if !golden_done {
@@ -492,25 +687,43 @@ impl<'a> Injector<'a> {
                 // Defensive: the golden simulator ended before the recorded
                 // golden cycle count (a simulator bug, not a reachable state
                 // today). Fall back to a from-scratch run for exactness.
-                results.push((slot, self.inject_burst(fault, width)));
+                let outcome = inj.inject_outcome(fault, self.width);
+                self.push(&mut results, slot, outcome);
                 continue;
             }
             let mut sim = golden.clone();
-            if !apply_burst(&mut sim, fault, width) {
-                results.push((slot, FaultClass::Masked));
+            if !apply_burst(&mut sim, fault, self.width) {
+                self.push(&mut results, slot, Outcome::masked_at(fault.cycle));
                 continue;
             }
+            let divergence = if self.record {
+                match sim.state_divergence(&golden) {
+                    Some(component) => Some(DivergenceSite {
+                        cycle: fault.cycle,
+                        pc: sim.fetch_pc(),
+                        component: component.to_string(),
+                    }),
+                    None => {
+                        self.push(&mut results, slot, Outcome::masked_at(fault.cycle));
+                        continue;
+                    }
+                }
+            } else {
+                None
+            };
             convoy.push(Child {
                 slot,
                 sim,
                 next_check: fault.cycle + FIRST_CHECK_INTERVAL,
                 interval: FIRST_CHECK_INTERVAL,
+                divergence,
             });
             if convoy.len() > MAX_CONVOY {
                 // Bound memory: graduate the oldest child and run it to its
                 // own end off-convoy.
                 let oldest = convoy.remove(0);
-                results.push(self.finish_child(oldest));
+                let (slot, outcome) = self.finish_child(oldest);
+                self.push(&mut results, slot, outcome);
             }
         }
         // No faults left to fork: run the golden simulator out so remaining
@@ -520,7 +733,8 @@ impl<'a> Injector<'a> {
             golden_done = self.advance_convoy(&mut golden, target, &mut convoy, &mut results);
         }
         for child in convoy {
-            results.push(self.finish_child(child));
+            let (slot, outcome) = self.finish_child(child);
+            self.push(&mut results, slot, outcome);
         }
         results
     }
@@ -533,7 +747,7 @@ impl<'a> Injector<'a> {
         golden: &mut Sim,
         target: u64,
         convoy: &mut Vec<Child>,
-        results: &mut Vec<(usize, FaultClass)>,
+        results: &mut Vec<(usize, Outcome)>,
     ) -> bool {
         while golden.cycle() < target {
             let stop = convoy
@@ -558,7 +772,7 @@ impl<'a> Injector<'a> {
         &self,
         golden: &Sim,
         convoy: &mut Vec<Child>,
-        results: &mut Vec<(usize, FaultClass)>,
+        results: &mut Vec<(usize, Outcome)>,
         golden_halted: bool,
     ) {
         let cycle = golden.cycle();
@@ -566,17 +780,30 @@ impl<'a> Injector<'a> {
             let end = match catch_unwind(AssertUnwindSafe(|| child.sim.run_to_cycle(cycle))) {
                 Ok(end) => end,
                 Err(_) => {
-                    eprintln!(
-                        "warning: simulator panicked on forked injection (slot {}); \
+                    event!(
+                        Level::Warn,
+                        "inject.convoy",
+                        { slot: child.slot },
+                        "simulator panicked on forked injection (slot {}); \
                          classifying as Assert",
                         child.slot
                     );
-                    results.push((child.slot, FaultClass::Assert));
+                    let outcome = Outcome {
+                        class: FaultClass::Assert,
+                        end_cycle: cycle,
+                        divergence: child.divergence.take(),
+                    };
+                    self.push(results, child.slot, outcome);
                     return false;
                 }
             };
             if let Some(end) = end {
-                results.push((child.slot, self.classify_end(end)));
+                let outcome = Outcome {
+                    class: self.inj.classify_end(&end),
+                    end_cycle: end_cycles(&end),
+                    divergence: child.divergence.take(),
+                };
+                self.push(results, child.slot, outcome);
                 return false;
             }
             if !golden_halted && child.next_check <= cycle {
@@ -589,7 +816,12 @@ impl<'a> Injector<'a> {
                     } else {
                         FaultClass::Sdc
                     };
-                    results.push((child.slot, class));
+                    let outcome = Outcome {
+                        class,
+                        end_cycle: cycle,
+                        divergence: child.divergence.take(),
+                    };
+                    self.push(results, child.slot, outcome);
                     return false;
                 }
                 child.interval = (child.interval * 2).min(MAX_CHECK_INTERVAL);
@@ -601,20 +833,31 @@ impl<'a> Injector<'a> {
 
     /// Runs a child that outlived the convoy to its own terminal outcome,
     /// under the same 2× golden-time budget as the fresh path.
-    fn finish_child(&self, mut child: Child) -> (usize, FaultClass) {
-        let budget = 2 * self.golden.cycles;
-        let class = match catch_unwind(AssertUnwindSafe(|| child.sim.run(budget))) {
-            Ok(end) => self.classify_end(end),
+    fn finish_child(&self, mut child: Child) -> (usize, Outcome) {
+        let budget = 2 * self.inj.golden.cycles;
+        let outcome = match catch_unwind(AssertUnwindSafe(|| child.sim.run(budget))) {
+            Ok(end) => Outcome {
+                class: self.inj.classify_end(&end),
+                end_cycle: end_cycles(&end),
+                divergence: child.divergence,
+            },
             Err(_) => {
-                eprintln!(
-                    "warning: simulator panicked on forked injection (slot {}); \
+                event!(
+                    Level::Warn,
+                    "inject.convoy",
+                    { slot: child.slot },
+                    "simulator panicked on forked injection (slot {}); \
                      classifying as Assert",
                     child.slot
                 );
-                FaultClass::Assert
+                Outcome {
+                    class: FaultClass::Assert,
+                    end_cycle: child.sim.cycle(),
+                    divergence: child.divergence,
+                }
             }
         };
-        (child.slot, class)
+        (child.slot, outcome)
     }
 }
 
@@ -637,6 +880,9 @@ struct Child {
     next_check: u64,
     /// Current back-off interval between convergence checks.
     interval: u64,
+    /// First-divergence site captured at the fork (recorded mode only),
+    /// carried until the child is classified.
+    divergence: Option<DivergenceSite>,
 }
 
 /// Flips `width` adjacent bits of the fault's structure (wrapping at the
@@ -935,6 +1181,84 @@ mod tests {
             cycle: 1,
         };
         assert_eq!(inj.inject(f), FaultClass::Masked);
+    }
+
+    #[test]
+    fn recorded_classes_match_classify_all_with_forensics() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let cc = CampaignConfig {
+            injections: 30,
+            seed: 11,
+            threads: 1,
+            checkpoint: true,
+        };
+        for s in [Structure::RegFile, Structure::RobPc] {
+            let faults = inj.sample_faults(s, cc.injections, cc.seed);
+            let classes = inj.classify_all(&faults, 1, &cc);
+            let records = inj.classify_all_recorded(&faults, 1, &cc, None);
+            assert_eq!(records.len(), faults.len());
+            for ((record, class), fault) in records.iter().zip(&classes).zip(&faults) {
+                assert_eq!(
+                    record.class, *class,
+                    "{s}: classes must be engine-identical"
+                );
+                assert_eq!(record.spec, *fault, "records keep sample order");
+                assert_eq!(record.golden_cycles, inj.golden().cycles);
+                assert!(record.end_cycle >= record.spec.cycle);
+                if record.class != FaultClass::Masked {
+                    let site = record
+                        .first_divergence
+                        .as_ref()
+                        .expect("non-masked faults diverge at the fork");
+                    assert_eq!(site.cycle, record.spec.cycle);
+                    assert!(!site.component.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recording_ignores_checkpoint_flag_and_matches_fresh() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let cc = CampaignConfig {
+            injections: 20,
+            seed: 33,
+            threads: 1,
+            checkpoint: false,
+        };
+        let faults = inj.sample_faults(Structure::RegFile, cc.injections, cc.seed);
+        let fresh = inj.classify_all(&faults, 1, &cc);
+        // Recording always runs the convoy engine; classes must still match
+        // the fresh per-fault path the config asked for.
+        let records = inj.classify_all_recorded(&faults, 1, &cc, None);
+        let recorded: Vec<FaultClass> = records.iter().map(|r| r.class).collect();
+        assert_eq!(fresh, recorded);
+    }
+
+    #[test]
+    fn observer_sees_every_classification() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let cc = CampaignConfig {
+            injections: 30,
+            seed: 2,
+            threads: 2,
+            checkpoint: true,
+        };
+        let progress = crate::ProgressLine::with_activity("test", cc.injections, false);
+        let (result, records) = inj.campaign_forensics(Structure::RegFile, &cc, Some(&progress));
+        let (done, counts) = progress.snapshot();
+        assert_eq!(done, result.total());
+        assert_eq!(counts, result.counts, "observer tallies match the result");
+        assert_eq!(records.len() as u64, result.total());
+        let observed = inj.campaign_observed(
+            Structure::RegFile,
+            &cc,
+            &crate::ProgressLine::with_activity("test", cc.injections, false),
+        );
+        assert_eq!(observed, result, "observed and forensic runs agree");
     }
 
     #[test]

@@ -39,10 +39,16 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod manifest;
+mod progress;
+mod record;
 mod stats;
 
 pub use campaign::{
     CampaignConfig, CampaignResult, ClassCounts, FaultClass, FaultSpec, Golden, GoldenError,
     Injector,
 };
+pub use manifest::RunManifest;
+pub use progress::{CampaignObserver, ProgressLine};
+pub use record::{DivergenceSite, FaultRecord};
 pub use stats::{error_margin, required_sample, Z_90, Z_95, Z_99};

@@ -1,0 +1,189 @@
+//! Campaign liveness: an observer hook and a rate-limited stderr progress
+//! line.
+//!
+//! Long campaigns previously ran silent until the final table. The engine
+//! now reports every classification through [`CampaignObserver`];
+//! [`ProgressLine`] is the standard observer, rendering a
+//! carriage-return-overwritten status line (done/total, per-class tallies,
+//! throughput, ETA) on stderr — but only when stderr is a terminal, so
+//! redirected logs and CI output stay clean.
+
+use crate::campaign::{ClassCounts, FaultClass};
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Receives every per-fault classification a campaign engine makes, as it
+/// is made (from whichever worker thread made it — implementations must be
+/// thread-safe).
+pub trait CampaignObserver: Sync {
+    /// One fault was classified.
+    fn fault_classified(&self, class: FaultClass);
+}
+
+/// Minimum microseconds between two progress-line renders.
+const RENDER_INTERVAL_US: u64 = 100_000;
+
+/// A live progress line for one campaign, driven through
+/// [`CampaignObserver`].
+///
+/// Rendering is rate-limited (at most ten updates per second, claimed via
+/// a compare-exchange so concurrent workers never double-render) and
+/// TTY-gated: when stderr is not a terminal the observer still tallies but
+/// never writes. Call [`ProgressLine::finish`] to clear the line before
+/// printing final results.
+pub struct ProgressLine {
+    label: String,
+    total: u64,
+    start: Instant,
+    done: AtomicU64,
+    tallies: [AtomicU64; 5],
+    /// Microseconds-since-start of the last render, used as the
+    /// rate-limiter's claim word.
+    last_render_us: AtomicU64,
+    active: bool,
+}
+
+impl ProgressLine {
+    /// A progress line labelled `label` (typically the structure name) for
+    /// `total` expected faults, active only when stderr is a terminal.
+    pub fn new(label: &str, total: u64) -> ProgressLine {
+        ProgressLine::with_activity(label, total, std::io::stderr().is_terminal())
+    }
+
+    /// As [`ProgressLine::new`] with the TTY test overridden — for tests
+    /// and for harnesses that know better.
+    pub fn with_activity(label: &str, total: u64, active: bool) -> ProgressLine {
+        ProgressLine {
+            label: label.to_string(),
+            total,
+            start: Instant::now(),
+            done: AtomicU64::new(0),
+            tallies: std::array::from_fn(|_| AtomicU64::new(0)),
+            last_render_us: AtomicU64::new(0),
+            active,
+        }
+    }
+
+    /// Faults classified so far and their per-class tallies.
+    pub fn snapshot(&self) -> (u64, ClassCounts) {
+        let tally = |c: FaultClass| self.tallies[c as usize].load(Ordering::Relaxed);
+        (
+            self.done.load(Ordering::Relaxed),
+            ClassCounts {
+                masked: tally(FaultClass::Masked),
+                sdc: tally(FaultClass::Sdc),
+                crash: tally(FaultClass::Crash),
+                timeout: tally(FaultClass::Timeout),
+                assert_: tally(FaultClass::Assert),
+            },
+        )
+    }
+
+    /// Clears the progress line (when active) so subsequent output starts
+    /// on a clean row.
+    pub fn finish(&self) {
+        if !self.active {
+            return;
+        }
+        let mut err = std::io::stderr().lock();
+        let _ = write!(err, "\r{:width$}\r", "", width = self.line_width());
+        let _ = err.flush();
+    }
+
+    /// Worst-case rendered width, for clearing.
+    fn line_width(&self) -> usize {
+        (self.label.len() + 80).max(100)
+    }
+
+    fn render(&self, done: u64) {
+        let (_, counts) = self.snapshot();
+        let elapsed = self.start.elapsed().as_secs_f64().max(1e-9);
+        let rate = done as f64 / elapsed;
+        let eta = if rate > 0.0 && done < self.total {
+            (self.total - done) as f64 / rate
+        } else {
+            0.0
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r{:width$}\r{}: {}/{} M:{} S:{} C:{} T:{} A:{} {:.1}/s ETA {:.0}s",
+            "",
+            self.label,
+            done,
+            self.total,
+            counts.masked,
+            counts.sdc,
+            counts.crash,
+            counts.timeout,
+            counts.assert_,
+            rate,
+            eta,
+            width = self.line_width(),
+        );
+        let _ = err.flush();
+    }
+}
+
+impl CampaignObserver for ProgressLine {
+    fn fault_classified(&self, class: FaultClass) {
+        self.tallies[class as usize].fetch_add(1, Ordering::Relaxed);
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.active {
+            return;
+        }
+        let now_us = self.start.elapsed().as_micros() as u64;
+        let last = self.last_render_us.load(Ordering::Relaxed);
+        let due = now_us.saturating_sub(last) >= RENDER_INTERVAL_US || done == self.total;
+        if !due {
+            return;
+        }
+        // One worker claims this render; the rest skip it.
+        if self
+            .last_render_us
+            .compare_exchange(last, now_us, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.render(done);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_track_classifications_without_a_tty() {
+        let p = ProgressLine::with_activity("regfile", 5, false);
+        p.fault_classified(FaultClass::Masked);
+        p.fault_classified(FaultClass::Masked);
+        p.fault_classified(FaultClass::Sdc);
+        p.fault_classified(FaultClass::Crash);
+        let (done, counts) = p.snapshot();
+        assert_eq!(done, 4);
+        assert_eq!(counts.masked, 2);
+        assert_eq!(counts.sdc, 1);
+        assert_eq!(counts.crash, 1);
+        assert_eq!(counts.total(), 4);
+        p.finish(); // must be a no-op, not a panic
+    }
+
+    #[test]
+    fn concurrent_observers_lose_no_counts() {
+        let p = ProgressLine::with_activity("rob", 400, false);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        p.fault_classified(FaultClass::Timeout);
+                    }
+                });
+            }
+        });
+        let (done, counts) = p.snapshot();
+        assert_eq!(done, 400);
+        assert_eq!(counts.timeout, 400);
+    }
+}

@@ -1,0 +1,102 @@
+//! Per-fault provenance records.
+//!
+//! A campaign's aggregate [`crate::CampaignResult`] answers *how often* a
+//! structure's faults matter; the per-fault [`FaultRecord`] answers *how*
+//! each one mattered: when the outcome was decided, how long the fault
+//! stayed latent, and — for faults that corrupted execution — where the
+//! microarchitectural state first diverged from the fault-free run.
+
+use crate::campaign::{FaultClass, FaultSpec};
+use serde::{Deserialize, Serialize};
+
+/// Where a faulted run's state first differed from the golden run.
+///
+/// Captured at the injection cycle by diffing the forked simulator against
+/// the golden one it was cloned from, so `component` names the structure
+/// the flip actually corrupted (a flip into dead state is provably masked
+/// and produces no site at all).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DivergenceSite {
+    /// Cycle at which the divergence was first observed (the injection
+    /// cycle).
+    pub cycle: u64,
+    /// Program counter the front end was fetching from at that cycle.
+    pub pc: u64,
+    /// First differing simulator component in the engine's cheapest-first
+    /// comparison order (e.g. `"rf"`, `"rob"`, `"mem.l1d"`).
+    pub component: String,
+}
+
+/// Full forensic record of one injection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// The injected fault.
+    pub spec: FaultSpec,
+    /// Outcome class.
+    pub class: FaultClass,
+    /// Cycle at which the outcome was decided: the faulted run's terminal
+    /// cycle, or the cycle a convoy convergence check proved the fault's
+    /// fate. For faults that land after the program ends (or flip nothing)
+    /// this is the injection cycle itself.
+    pub end_cycle: u64,
+    /// Golden (fault-free) execution time in cycles, for normalizing.
+    pub golden_cycles: u64,
+    /// First point where microarchitectural state diverged from the golden
+    /// run, or `None` for faults that never corrupted live state.
+    pub first_divergence: Option<DivergenceSite>,
+}
+
+impl FaultRecord {
+    /// Cycles from injection to the outcome being decided — the detection
+    /// latency for Crash/Assert faults, and the time-to-verdict for the
+    /// other classes.
+    pub fn detect_latency_cycles(&self) -> u64 {
+        self.end_cycle.saturating_sub(self.spec.cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softerr_sim::Structure;
+
+    fn record(cycle: u64, end_cycle: u64) -> FaultRecord {
+        FaultRecord {
+            spec: FaultSpec {
+                structure: Structure::RegFile,
+                bit: 17,
+                cycle,
+            },
+            class: FaultClass::Sdc,
+            end_cycle,
+            golden_cycles: 500,
+            first_divergence: Some(DivergenceSite {
+                cycle,
+                pc: 0x40,
+                component: "rf".to_string(),
+            }),
+        }
+    }
+
+    #[test]
+    fn latency_is_end_minus_injection() {
+        assert_eq!(record(100, 350).detect_latency_cycles(), 250);
+        // Degenerate records (decided at the injection cycle) have zero
+        // latency, never an underflow.
+        assert_eq!(record(100, 100).detect_latency_cycles(), 0);
+        assert_eq!(record(100, 90).detect_latency_cycles(), 0);
+    }
+
+    #[test]
+    fn records_roundtrip_through_json() {
+        let r = record(42, 99);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: FaultRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        let mut bare = record(1, 2);
+        bare.first_divergence = None;
+        let json = serde_json::to_string(&bare).unwrap();
+        let back: FaultRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, bare);
+    }
+}

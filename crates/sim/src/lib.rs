@@ -37,6 +37,7 @@
 mod bpred;
 mod cache;
 mod config;
+mod counters;
 mod inject;
 mod iq;
 mod lsq;
@@ -49,6 +50,7 @@ mod uop;
 
 pub use cache::{Cache, PHYS_ADDR_BITS};
 pub use config::{CacheGeometry, MachineConfig};
+pub use counters::{OccupancyHistogram, SimCounters};
 pub use inject::Structure;
 pub use memsys::{MemErr, MemorySystem};
 pub use pipeline::{Sim, SimOutcome, SimStats};

@@ -107,10 +107,22 @@ impl MemorySystem {
     /// Guest memory compares by pointer first: clones that were never
     /// written still share their copy-on-write allocation.
     pub fn state_eq(&self, other: &MemorySystem) -> bool {
-        self.l1i.state_eq(&other.l1i)
-            && self.l1d.state_eq(&other.l1d)
-            && self.l2.state_eq(&other.l2)
-            && self.mem == other.mem
+        self.divergence(other).is_none()
+    }
+
+    /// Like [`MemorySystem::state_eq`], but names the first differing
+    /// level of the hierarchy (`None` means the hierarchies are equal).
+    pub fn divergence(&self, other: &MemorySystem) -> Option<&'static str> {
+        if !self.l1i.state_eq(&other.l1i) {
+            return Some("mem.l1i");
+        }
+        if !self.l1d.state_eq(&other.l1d) {
+            return Some("mem.l1d");
+        }
+        if !self.l2.state_eq(&other.l2) {
+            return Some("mem.l2");
+        }
+        (self.mem != other.mem).then_some("mem")
     }
 
     /// Architectural validity check for a demand access (the same rules the

@@ -9,6 +9,7 @@
 
 use crate::bpred::BranchPredictor;
 use crate::config::MachineConfig;
+use crate::counters::{CounterState, OccupancyHistogram, SimCounters};
 use crate::iq::{IqPayload, IssueQueue};
 use crate::lsq::{LsQueue, LsqLayout, LsqPayload, StoreCheck};
 use crate::memsys::{MemErr, MemorySystem};
@@ -129,6 +130,9 @@ pub struct Sim {
     /// ACE residency tracker (golden runs only; excluded from
     /// [`Sim::state_eq`] — it observes execution without feeding back).
     residency: Option<Box<CoreResidency>>,
+    /// Microarchitectural event counters (same observer contract as
+    /// `residency`: optional, feedback-free, excluded from `state_eq`).
+    counters: Option<Box<CounterState>>,
 }
 
 impl Sim {
@@ -174,6 +178,7 @@ impl Sim {
             rf_writes: 0,
             stats_occupancy: [0; 5],
             residency: None,
+            counters: None,
             cfg: cfg.clone(),
         }
     }
@@ -247,9 +252,62 @@ impl Sim {
         })
     }
 
+    /// Turns on the microarchitectural event counters (stall cycles,
+    /// squash activity, branch statistics, per-structure occupancy
+    /// histograms). Like residency tracking this is observational only —
+    /// it never feeds back into execution and is excluded from
+    /// [`Sim::state_eq`] — and it is off by default so campaigns pay only
+    /// one branch per cycle for it.
+    pub fn enable_counters(&mut self) {
+        self.counters = Some(Box::new(CounterState::new([
+            self.cfg.phys_regs,
+            self.cfg.rob_entries,
+            self.cfg.iq_entries,
+            self.cfg.lq_entries,
+            self.cfg.sq_entries,
+        ])));
+    }
+
+    /// Snapshot of the counters recorded since [`Sim::enable_counters`],
+    /// or `None` if counting was never enabled.
+    pub fn counters(&self) -> Option<SimCounters> {
+        let c = self.counters.as_deref()?;
+        const NAMES: [&str; 5] = ["regfile", "rob", "iq", "lq", "sq"];
+        let capacities = [
+            self.cfg.phys_regs,
+            self.cfg.rob_entries,
+            self.cfg.iq_entries,
+            self.cfg.lq_entries,
+            self.cfg.sq_entries,
+        ];
+        Some(SimCounters {
+            cycles: self.cycle,
+            committed: self.retired,
+            fetch_stall_cycles: c.fetch_stall_cycles,
+            issue_stall_cycles: c.issue_stall_cycles,
+            commit_stall_cycles: c.commit_stall_cycles,
+            squashes: c.squashes,
+            squashed_uops: c.squashed_uops,
+            branches: c.branches,
+            mispredicts: self.mispredicts,
+            occupancy: (0..5)
+                .map(|i| OccupancyHistogram {
+                    name: NAMES[i],
+                    capacity: capacities[i],
+                    counts: c.occupancy[i].clone(),
+                })
+                .collect(),
+        })
+    }
+
     /// Elapsed cycles.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// The PC the front end will fetch from next.
+    pub fn fetch_pc(&self) -> u64 {
+        self.fetch_pc
     }
 
     /// Committed instruction count.
@@ -295,23 +353,63 @@ impl Sim {
     /// Fields are compared cheapest-first so that actively diverged states
     /// (the common case while a fault is still live) return quickly.
     pub fn state_eq(&self, other: &Sim) -> bool {
-        self.cycle == other.cycle
-            && self.fetch_pc == other.fetch_pc
-            && self.next_seq == other.next_seq
-            && self.fetch_stall == other.fetch_stall
-            && self.fetch_wait == other.fetch_wait
-            && self.divider_busy == other.divider_busy
-            && self.in_flight == other.in_flight
-            && self.wb_ready == other.wb_ready
-            && self.rf.state_eq(&other.rf)
-            && self.rob == other.rob
-            && self.iq == other.iq
-            && self.lq == other.lq
-            && self.sq == other.sq
-            && self.decode_q == other.decode_q
-            && self.uops == other.uops
-            && self.bp == other.bp
-            && self.mem.state_eq(&other.mem)
+        self.state_divergence(other).is_none()
+    }
+
+    /// Like [`Sim::state_eq`], but names the first execution-relevant
+    /// component found to differ (`None` means the states are equal).
+    ///
+    /// Components are checked in the same cheapest-first order `state_eq`
+    /// uses, so for a freshly injected fault the returned name is the
+    /// faulted (or first directly corrupted) structure — the forensic
+    /// "where did state first diverge" answer the injector records.
+    pub fn state_divergence(&self, other: &Sim) -> Option<&'static str> {
+        if self.cycle != other.cycle {
+            return Some("cycle");
+        }
+        if self.fetch_pc != other.fetch_pc {
+            return Some("fetch.pc");
+        }
+        if self.next_seq != other.next_seq {
+            return Some("fetch.seq");
+        }
+        if self.fetch_stall != other.fetch_stall || self.fetch_wait != other.fetch_wait {
+            return Some("fetch.stall");
+        }
+        if self.divider_busy != other.divider_busy {
+            return Some("exec.divider");
+        }
+        if self.in_flight != other.in_flight {
+            return Some("exec.in_flight");
+        }
+        if self.wb_ready != other.wb_ready {
+            return Some("exec.wb_ready");
+        }
+        if !self.rf.state_eq(&other.rf) {
+            return Some("rf");
+        }
+        if self.rob != other.rob {
+            return Some("rob");
+        }
+        if self.iq != other.iq {
+            return Some("iq");
+        }
+        if self.lq != other.lq {
+            return Some("lq");
+        }
+        if self.sq != other.sq {
+            return Some("sq");
+        }
+        if self.decode_q != other.decode_q {
+            return Some("decode_q");
+        }
+        if self.uops != other.uops {
+            return Some("uops");
+        }
+        if self.bp != other.bp {
+            return Some("bpred");
+        }
+        self.mem.divergence(&other.mem)
     }
 
     /// Runs until the program ends or `max_cycles` elapse.
@@ -344,18 +442,59 @@ impl Sim {
         if self.residency.is_some() {
             self.mem.set_clock(self.cycle);
         }
+        if self.counters.is_none() {
+            self.commit()?;
+            self.execute()?;
+            self.writeback()?;
+            self.issue()?;
+            self.rename()?;
+            self.fetch()?;
+        } else {
+            self.step_stages_counted()?;
+        }
+        self.cycle += 1;
+        let occupancy = [
+            self.rf.allocated_count(),
+            self.rob.len(),
+            self.iq.len(),
+            self.lq.len(),
+            self.sq.len(),
+        ];
+        for (sum, occ) in self.stats_occupancy.iter_mut().zip(occupancy) {
+            *sum += occ as u64;
+        }
+        if let Some(c) = self.counters.as_deref_mut() {
+            for (hist, occ) in c.occupancy.iter_mut().zip(occupancy) {
+                hist[occ] += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The stage sequence with before/after probes for the stall counters.
+    /// Kept out of [`Sim::step_cycle`]'s counters-off path so campaigns pay
+    /// only one branch per cycle when counting is disabled.
+    fn step_stages_counted(&mut self) -> Result<(), SimOutcome> {
+        let retired_before = self.retired;
+        let rob_waiting = !self.rob.is_empty();
         self.commit()?;
+        let commit_stalled = rob_waiting && self.retired == retired_before;
         self.execute()?;
         self.writeback()?;
+        // Probed after execute so a squash's IQ cleanup is not mistaken
+        // for issued work.
+        let iq_before = self.iq.len();
         self.issue()?;
+        let issue_stalled = iq_before > 0 && self.iq.len() == iq_before;
         self.rename()?;
+        // Rename has already drained its share, so any growth is fetch's.
+        let decoded_before = self.decode_q.len();
         self.fetch()?;
-        self.cycle += 1;
-        self.stats_occupancy[0] += self.rf.allocated_count() as u64;
-        self.stats_occupancy[1] += self.rob.len() as u64;
-        self.stats_occupancy[2] += self.iq.len() as u64;
-        self.stats_occupancy[3] += self.lq.len() as u64;
-        self.stats_occupancy[4] += self.sq.len() as u64;
+        let fetch_stalled = self.decode_q.len() == decoded_before;
+        let c = self.counters.as_deref_mut().expect("counters enabled");
+        c.commit_stall_cycles += commit_stalled as u64;
+        c.issue_stall_cycles += issue_stalled as u64;
+        c.fetch_stall_cycles += fetch_stalled as u64;
         Ok(())
     }
 
@@ -480,7 +619,12 @@ impl Sim {
                         output: self.output.clone(),
                     });
                 }
-                UopKind::Alu | UopKind::Branch | UopKind::Poisoned => {}
+                UopKind::Branch => {
+                    if let Some(c) = self.counters.as_deref_mut() {
+                        c.branches += 1;
+                    }
+                }
+                UopKind::Alu | UopKind::Poisoned => {}
             }
             if let Some(d) = uop.dest {
                 if self.rf.arch_map[d.arch as usize] != d.old {
@@ -1115,6 +1259,7 @@ impl Sim {
         redirect: u64,
     ) -> Result<(), SimOutcome> {
         // Roll the ROB tail back over every younger instruction.
+        let mut discarded: u64 = 0;
         while !self.rob.is_empty() {
             let tail_idx = {
                 // Peek the youngest entry via its payload.
@@ -1129,6 +1274,11 @@ impl Sim {
             }
             self.uops[tail_idx] = None;
             self.rob.pop_tail();
+            discarded += 1;
+        }
+        if let Some(c) = self.counters.as_deref_mut() {
+            c.squashes += 1;
+            c.squashed_uops += discarded;
         }
         self.iq.squash_younger(boundary_seq);
         self.lq.squash_younger(boundary_seq);

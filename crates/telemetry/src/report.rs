@@ -1,11 +1,12 @@
-//! Plain-text table rendering for the figure-regeneration harness.
+//! Plain-text table rendering for the figure-regeneration harness and the
+//! forensics aggregations.
 
 use std::fmt;
 
 /// A simple aligned text table.
 ///
 /// ```
-/// use softerr::Table;
+/// use softerr_telemetry::Table;
 /// let mut t = Table::new(vec!["bench".into(), "O0".into(), "O2".into()]);
 /// t.row(vec!["qsort".into(), "1.00".into(), "1.31".into()]);
 /// let text = t.to_string();
@@ -40,7 +41,7 @@ impl Table {
     /// Renders the table as CSV (for external plotting tools).
     ///
     /// ```
-    /// use softerr::Table;
+    /// use softerr_telemetry::Table;
     /// let mut t = Table::new(vec!["a".into(), "b".into()]);
     /// t.row(vec!["x,y".into(), "1".into()]);
     /// assert_eq!(t.to_csv(), "a,b\n\"x,y\",1\n");

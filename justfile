@@ -25,5 +25,12 @@ bench:
 bench-injection:
     cargo bench -p softerr-bench --bench injection_throughput
 
+# Forensics smoke: a small recorded RegFile campaign (JSONL records +
+# progress + forensic tables + golden-run counters) into target/.
+forensics:
+    cargo run --release -p softerr-bench --bin campaign -- \
+        --structure rf -n 200 --threads 2 \
+        --records target/forensics-records.jsonl --metrics
+
 # Everything the CI gate requires.
 ci: test lint lint-ir

@@ -1,0 +1,157 @@
+//! End-to-end forensics guarantees, on both paper machines:
+//!
+//! * a recorded campaign yields exactly one [`FaultRecord`] per injection,
+//!   in fault order, and the per-class tallies of those records match the
+//!   aggregate [`CampaignResult`] bit-for-bit;
+//! * every non-Masked record (SDC/Crash/Timeout/Assert) carries a detection
+//!   latency and a first-divergence site anchored at the injection cycle;
+//! * records and the run manifest survive a JSONL round-trip;
+//! * the simulator's microarchitectural counters are off by default, do not
+//!   perturb execution when on, and their occupancy histograms account for
+//!   every cycle.
+
+use softerr::{
+    CampaignConfig, ClassCounts, Compiler, FaultClass, FaultRecord, Injector, MachineConfig,
+    OptLevel, RunManifest, Sim, Structure,
+};
+
+/// Mixed workload: ALU loops, memory traffic, and data-dependent branches,
+/// so register-file faults can land in live and dead state alike.
+const SOURCE: &str = "
+    int tab[24];
+    void main() {
+        for (int i = 0; i < 24; i = i + 1) tab[i] = i * 5 - 7;
+        int acc = 0;
+        for (int i = 0; i < 24; i = i + 1) {
+            if (tab[i] > 20) acc = acc + tab[i];
+            else acc = acc - 1;
+        }
+        out(acc);
+    }";
+
+fn tally(records: &[FaultRecord]) -> ClassCounts {
+    let mut counts = ClassCounts::default();
+    for r in records {
+        counts.record(r.class);
+    }
+    counts
+}
+
+#[test]
+fn records_match_aggregate_on_both_paper_machines() {
+    for machine in MachineConfig::paper_machines() {
+        let compiled = Compiler::new(machine.profile, OptLevel::O2)
+            .compile(SOURCE)
+            .expect("workload compiles");
+        let injector = Injector::new(&machine, &compiled.program).expect("golden run");
+        // Seed picked so the uniform sampler lands at least one visible
+        // (SDC/Crash) fault on each paper machine — keeps the divergence
+        // assertions below non-vacuous.
+        let cfg = CampaignConfig {
+            injections: 60,
+            seed: 13,
+            threads: 2,
+            checkpoint: true,
+        };
+        let (result, records) = injector.campaign_forensics(Structure::RegFile, &cfg, None);
+
+        // One record per sampled fault, reported in sample order.
+        assert_eq!(records.len() as u64, cfg.injections, "{}", machine.name);
+        // The records ARE the campaign: identical per-class tallies.
+        assert_eq!(tally(&records), result.counts, "{}", machine.name);
+
+        let golden_cycles = injector.golden().cycles;
+        for r in &records {
+            assert_eq!(r.spec.structure, Structure::RegFile);
+            assert_eq!(r.golden_cycles, golden_cycles);
+            assert!(
+                r.end_cycle >= r.spec.cycle,
+                "{}: verdict before injection: {r:?}",
+                machine.name
+            );
+            if r.class == FaultClass::Masked {
+                continue;
+            }
+            // Every visible fault must name where it first left the golden
+            // trajectory — at the injection cycle, by construction.
+            let site = r.first_divergence.as_ref().unwrap_or_else(|| {
+                panic!(
+                    "{}: {:?} record without divergence: {r:?}",
+                    machine.name, r.class
+                )
+            });
+            assert_eq!(site.cycle, r.spec.cycle, "{}", machine.name);
+            assert!(!site.component.is_empty(), "{}", machine.name);
+            assert_eq!(r.detect_latency_cycles(), r.end_cycle - r.spec.cycle);
+        }
+        // The sampler hits live state often enough that the assertion above
+        // is exercised on every machine, not vacuously true.
+        assert!(
+            records.iter().any(|r| r.class != FaultClass::Masked),
+            "{}: campaign produced no visible faults",
+            machine.name
+        );
+    }
+}
+
+#[test]
+fn records_and_manifest_roundtrip_through_jsonl() {
+    let machine = MachineConfig::cortex_a72();
+    let compiled = Compiler::new(machine.profile, OptLevel::O2)
+        .compile(SOURCE)
+        .expect("workload compiles");
+    let injector = Injector::new(&machine, &compiled.program).expect("golden run");
+    let cfg = CampaignConfig {
+        injections: 20,
+        seed: 3,
+        threads: 1,
+        checkpoint: true,
+    };
+    let manifest = RunManifest::new(&machine.name, &machine, &cfg);
+    let (_, records) = injector.campaign_forensics(Structure::RegFile, &cfg, None);
+
+    // A records file is one manifest line followed by one line per fault.
+    let mut stream = vec![serde_json::to_string(&manifest).unwrap()];
+    stream.extend(records.iter().map(|r| serde_json::to_string(r).unwrap()));
+    assert_eq!(stream.len(), 21);
+
+    let manifest_back: RunManifest = serde_json::from_str(&stream[0]).unwrap();
+    assert_eq!(manifest_back.machine, machine.name);
+    assert_eq!(manifest_back.config_hash, manifest.config_hash);
+    for (line, original) in stream[1..].iter().zip(&records) {
+        let back: FaultRecord = serde_json::from_str(line).unwrap();
+        assert_eq!(&back, original);
+    }
+}
+
+#[test]
+fn counters_are_opt_in_and_do_not_perturb_execution() {
+    for machine in MachineConfig::paper_machines() {
+        let compiled = Compiler::new(machine.profile, OptLevel::O2)
+            .compile(SOURCE)
+            .expect("workload compiles");
+
+        let mut plain = Sim::new(&machine, &compiled.program);
+        let plain_outcome = plain.run(1_000_000);
+        assert!(plain.counters().is_none(), "counters must be opt-in");
+
+        let mut counted = Sim::new(&machine, &compiled.program);
+        counted.enable_counters();
+        let counted_outcome = counted.run(1_000_000);
+        assert_eq!(plain_outcome, counted_outcome, "{}", machine.name);
+        assert!(plain.state_eq(&counted), "{}", machine.name);
+
+        let c = counted.counters().expect("counters were enabled");
+        assert_eq!(c.cycles, counted.cycle());
+        assert_eq!(c.committed, counted.retired());
+        assert!(c.ipc() > 0.0);
+        // Occupancy histograms sample every structure once per cycle.
+        assert_eq!(c.occupancy.len(), 5);
+        for h in &c.occupancy {
+            assert_eq!(h.cycles(), c.cycles, "{}: {}", machine.name, h.name);
+            assert!(h.peak() <= h.capacity, "{}: {}", machine.name, h.name);
+        }
+        // The program branches, so branch-direction counters must move.
+        assert!(c.branches > 0, "{}", machine.name);
+    }
+}
