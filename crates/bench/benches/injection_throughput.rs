@@ -33,7 +33,7 @@ fn bench_campaign(c: &mut Criterion) {
             &checkpoint,
             |b, &checkpoint| {
                 let cfg = CampaignConfig { checkpoint, ..base };
-                b.iter(|| injector.campaign(Structure::RegFile, &cfg))
+                b.iter(|| injector.run(Structure::RegFile, &cfg).execute().result)
             },
         );
     }

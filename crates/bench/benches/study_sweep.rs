@@ -1,0 +1,91 @@
+//! Benchmark: cell-parallel sweep orchestration versus the serial study
+//! loop, plus the fully-warm store-served path.
+//!
+//! Writes `BENCH_study_sweep.json` with the measured wall-clock of a quick
+//! study run three ways on the same configuration:
+//!
+//! * `serial_ms` — one cell worker (the pre-orchestrator behavior),
+//! * `parallel_ms` — one cell worker per available core,
+//! * `warm_ms` — a re-run against the populated result store (must execute
+//!   zero campaigns).
+//!
+//! The `speedup` figure is serial/parallel; it only demonstrates cell
+//! parallelism on a multi-core host, so the host's core count is recorded
+//! alongside it.
+
+use softerr::{OptLevel, Orchestrator, ResultStore, Structure, StudyConfig, Workload};
+use std::time::Instant;
+
+fn sweep_config() -> StudyConfig {
+    StudyConfig {
+        workloads: vec![Workload::Qsort, Workload::Sha],
+        levels: vec![OptLevel::O0, OptLevel::O2],
+        structures: vec![Structure::RegFile, Structure::IqSrc, Structure::L1DData],
+        injections: 24,
+        seed: 0xBEEF,
+        ..StudyConfig::default()
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let store_root =
+        std::env::temp_dir().join(format!("softerr-sweep-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&store_root).ok();
+
+    let t0 = Instant::now();
+    let serial = Orchestrator::new(sweep_config())
+        .run()
+        .expect("serial sweep");
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let parallel = Orchestrator::new(sweep_config())
+        .cell_workers(0)
+        .store(ResultStore::open(&store_root).expect("store opens"))
+        .execute(&|_| {})
+        .expect("parallel sweep");
+    let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        serial, parallel.results,
+        "cell-parallel sweep must be bit-identical to serial"
+    );
+
+    let t0 = Instant::now();
+    let warm = Orchestrator::new(sweep_config())
+        .cell_workers(0)
+        .store(ResultStore::open(&store_root).expect("store reopens"))
+        .execute(&|_| {})
+        .expect("warm sweep");
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(warm.executed, 0, "warm sweep must be fully store-served");
+    assert_eq!(warm.results, serial, "store round-trip must be lossless");
+    std::fs::remove_dir_all(&store_root).ok();
+
+    let speedup = serial_ms / parallel_ms;
+    let json = format!(
+        "{{\n  \"group\": \"study_sweep\",\n  \"cores\": {cores},\n  \"cells\": {},\n  \
+         \"serial_ms\": {serial_ms:.1},\n  \"parallel_ms\": {parallel_ms:.1},\n  \
+         \"warm_ms\": {warm_ms:.1},\n  \"speedup\": {speedup:.2},\n  \
+         \"warm_executed_campaigns\": {}\n}}\n",
+        parallel.cells, warm.executed
+    );
+    // Same destination convention as the criterion-stub groups: the
+    // outermost Cargo.toml directory (workspace root), not the bench cwd.
+    let root = std::env::current_dir()
+        .ok()
+        .and_then(|cwd| {
+            cwd.ancestors()
+                .filter(|d| d.join("Cargo.toml").exists())
+                .last()
+                .map(std::path::Path::to_path_buf)
+        })
+        .unwrap_or_default();
+    std::fs::write(root.join("BENCH_study_sweep.json"), &json)
+        .expect("write BENCH_study_sweep.json");
+    print!("{json}");
+    eprintln!(
+        "study_sweep: serial {serial_ms:.0} ms, parallel {parallel_ms:.0} ms \
+         ({speedup:.2}x on {cores} core(s)), warm {warm_ms:.0} ms"
+    );
+}

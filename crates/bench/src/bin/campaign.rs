@@ -267,19 +267,21 @@ fn main() {
     let mut all_records: Vec<FaultRecord> = Vec::new();
     for &s in &args.structures {
         let progress = (!args.quiet).then(|| ProgressLine::new(s.name(), args.injections));
-        let observer = progress.as_ref().map(|p| p as _);
+        let mut run = injector.run(s, &campaign_cfg);
+        if let Some(p) = progress.as_ref() {
+            run = run.observer(p);
+        }
         let result = if let Some(file) = records_out.as_mut() {
-            let (result, records) = injector.campaign_forensics(s, &campaign_cfg, observer);
+            let output = run.records(true).execute();
+            let records = output.records.expect("records requested");
             for record in &records {
                 let line = serde_json::to_string(record).expect("record serializes");
                 writeln!(file, "{line}").expect("record stream writable");
             }
             all_records.extend(records);
-            result
-        } else if let Some(p) = progress.as_ref() {
-            injector.campaign_observed(s, &campaign_cfg, p)
+            output.result
         } else {
-            injector.campaign(s, &campaign_cfg)
+            run.execute().result
         };
         if let Some(p) = progress.as_ref() {
             p.finish();

@@ -5,12 +5,15 @@
 //! cargo run --release -p softerr-bench --bin repro -- fig5 --injections 200
 //! ```
 //!
-//! Campaign results are cached as JSON (keyed by scale/seed/injections) so
-//! individual figures re-render instantly after the first run.
+//! Completed study cells are persisted in a content-addressed result store
+//! under `--results` (keyed by the full cell configuration), so individual
+//! figures re-render instantly after the first run and a killed study
+//! resumes from the cells it already finished.
 
 use softerr::{
     ace_estimate, telemetry, weighted_avf, AceEstimate, EccScheme, FaultClass, MachineConfig,
-    OptLevel, PassConfig, Scale, Structure, Study, StudyConfig, StudyResults, Table, Workload,
+    OptLevel, Orchestrator, PassConfig, ResultStore, Scale, Structure, StudyConfig, StudyResults,
+    Table, Workload,
 };
 use softerr::{event, Level};
 use std::path::PathBuf;
@@ -161,10 +164,11 @@ fn usage() {
     eprintln!("  --scale quick|default|paper   campaign size (default: quick)");
     eprintln!("  --injections N                override injections per cell");
     eprintln!("  --seed N                      campaign seed (default 20240704)");
-    eprintln!("  --threads N                   worker threads (default 1)");
+    eprintln!("  --threads N                   worker threads per campaign (default 1)");
+    eprintln!("  --jobs N                      concurrent study cells (default 1; 0 = all cores)");
     eprintln!("  --no-checkpoint               disable golden-prefix checkpointing");
-    eprintln!("  --results DIR                 cache directory (default target/)");
-    eprintln!("  --fresh                       ignore any cached results");
+    eprintln!("  --results DIR                 result-store root (default target/softerr-store)");
+    eprintln!("  --fresh                       ignore stored results (re-execute every cell)");
     eprintln!("  --estimate ace                print static ACE AVF beside injected (figs 2-8)");
     eprintln!("  --quiet                       suppress progress/warning events");
     eprintln!("  --log-json                    emit progress/warning events as JSONL on stderr");
@@ -176,6 +180,7 @@ struct Options {
     injections: u64,
     seed: u64,
     threads: usize,
+    jobs: usize,
     checkpoint: bool,
     results_dir: PathBuf,
     fresh: bool,
@@ -191,8 +196,9 @@ impl Options {
             injections: 16,
             seed: 20_240_704,
             threads: 1,
+            jobs: 1,
             checkpoint: true,
-            results_dir: PathBuf::from("target"),
+            results_dir: PathBuf::from("target/softerr-store"),
             fresh: false,
             estimate_ace: false,
             quiet: false,
@@ -232,6 +238,7 @@ impl Options {
                 "--injections" => opts.injections = next("--injections").parse().expect("number"),
                 "--seed" => opts.seed = next("--seed").parse().expect("number"),
                 "--threads" => opts.threads = next("--threads").parse().expect("number"),
+                "--jobs" => opts.jobs = next("--jobs").parse().expect("number"),
                 "--no-checkpoint" => opts.checkpoint = false,
                 "--results" => opts.results_dir = PathBuf::from(next("--results")),
                 "--fresh" => opts.fresh = true,
@@ -253,30 +260,16 @@ impl Options {
         }
         opts
     }
-
-    fn cache_path(&self) -> PathBuf {
-        self.results_dir.join(format!(
-            "softerr-study-{}-n{}-s{}.json",
-            self.scale, self.injections, self.seed
-        ))
-    }
 }
 
-/// Loads the cached study or runs it.
+/// Runs (or re-serves from the result store) the full study grid.
+///
+/// Every completed (machine, workload, level) cell is persisted in the
+/// content-addressed store under `--results`, keyed by the full cell
+/// configuration, so a second invocation with the same parameters executes
+/// zero campaigns and a killed study resumes from its completed cells.
+/// `--fresh` skips store *reads* (every cell re-executes and overwrites).
 fn study(opts: &Options) -> StudyResults {
-    let path = opts.cache_path();
-    if !opts.fresh {
-        if let Ok(results) = StudyResults::load(&path) {
-            event!(
-                Level::Info,
-                "repro.study",
-                { cache: path.display().to_string() },
-                "(using cached results from {})",
-                path.display()
-            );
-            return results;
-        }
-    }
     let config = StudyConfig {
         scale: opts.scale,
         injections: opts.injections,
@@ -285,28 +278,35 @@ fn study(opts: &Options) -> StudyResults {
         checkpoint: opts.checkpoint,
         ..StudyConfig::default()
     };
+    let store = ResultStore::open(&opts.results_dir).expect("result store opens");
     event!(
         Level::Info,
         "repro.study",
-        { injections: config.total_injections(), cache: path.display().to_string() },
-        "running study: {} injections total (cache: {})",
+        { injections: config.total_injections(), store: store.root().display().to_string() },
+        "running study: {} injections total (result store: {})",
         config.total_injections(),
-        path.display()
+        store.root().display()
     );
-    let t0 = std::time::Instant::now();
-    let results = Study::new(config)
-        .run_with_progress(|msg| event!(Level::Info, "repro.study", {}, "  {msg}"))
+    let report = Orchestrator::new(config)
+        .cell_workers(opts.jobs)
+        .store(store)
+        .refresh(opts.fresh)
+        .execute(&|msg| event!(Level::Info, "repro.study", {}, "  {msg}"))
         .expect("study failed");
     event!(
         Level::Info,
         "repro.study",
-        { seconds: t0.elapsed().as_secs_f64() },
-        "study completed in {:.1}s",
-        t0.elapsed().as_secs_f64()
+        {
+            seconds: report.seconds,
+            executed: report.executed,
+            store_hits: report.store_hits
+        },
+        "study completed in {:.1}s ({} cell(s) executed, {} from store)",
+        report.seconds,
+        report.executed,
+        report.store_hits
     );
-    std::fs::create_dir_all(&opts.results_dir).ok();
-    results.save(&path).expect("failed to cache results");
-    results
+    report.results
 }
 
 const MACHINE_SHORT: [(&str, &str); 2] = [("Cortex-A15-like", "A15"), ("Cortex-A72-like", "A72")];
@@ -825,15 +825,18 @@ fn ablation_opt(opts: &Options) {
             .compile(&source)
             .expect("compile");
         let injector = Injector::new(&machine, &compiled.program).expect("golden");
-        let campaign = injector.campaign(
-            Structure::RegFile,
-            &CampaignConfig {
-                injections: opts.injections.max(50),
-                seed: opts.seed,
-                threads: opts.threads,
-                checkpoint: opts.checkpoint,
-            },
-        );
+        let campaign = injector
+            .run(
+                Structure::RegFile,
+                &CampaignConfig {
+                    injections: opts.injections.max(50),
+                    seed: opts.seed,
+                    threads: opts.threads,
+                    checkpoint: opts.checkpoint,
+                },
+            )
+            .execute()
+            .result;
         t.row(vec![
             pass.to_string(),
             injector.golden().cycles.to_string(),
@@ -867,16 +870,19 @@ fn mbu(opts: &Options) {
     ] {
         let mut row = vec![s.name().to_string()];
         for width in [1u8, 2, 4] {
-            let c = injector.campaign_burst(
-                s,
-                &CampaignConfig {
-                    injections: opts.injections.max(60),
-                    seed: opts.seed,
-                    threads: opts.threads,
-                    checkpoint: opts.checkpoint,
-                },
-                width,
-            );
+            let c = injector
+                .run(
+                    s,
+                    &CampaignConfig {
+                        injections: opts.injections.max(60),
+                        seed: opts.seed,
+                        threads: opts.threads,
+                        checkpoint: opts.checkpoint,
+                    },
+                )
+                .burst_width(width)
+                .execute()
+                .result;
             row.push(format!("{:.3}", c.avf()));
         }
         t.row(row);
@@ -903,15 +909,18 @@ fn ablation_size(opts: &Options) {
             .compile(&w.source(opts.scale))
             .expect("compile");
         let injector = Injector::new(&machine, &compiled.program).expect("golden");
-        let campaign = injector.campaign(
-            Structure::RobPc,
-            &CampaignConfig {
-                injections: opts.injections.max(50),
-                seed: opts.seed,
-                threads: opts.threads,
-                checkpoint: opts.checkpoint,
-            },
-        );
+        let campaign = injector
+            .run(
+                Structure::RobPc,
+                &CampaignConfig {
+                    injections: opts.injections.max(50),
+                    seed: opts.seed,
+                    threads: opts.threads,
+                    checkpoint: opts.checkpoint,
+                },
+            )
+            .execute()
+            .result;
         t.row(vec![
             rob.to_string(),
             injector.golden().cycles.to_string(),

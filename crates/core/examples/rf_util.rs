@@ -23,14 +23,17 @@ fn main() {
                 };
                 let st = sim.stats();
                 let inj = Injector::new(&cfg, &c.program).unwrap();
-                let camp = inj.campaign(
-                    Structure::RegFile,
-                    &CampaignConfig {
-                        injections: 250,
-                        seed: 9,
-                        ..CampaignConfig::default()
-                    },
-                );
+                let camp = inj
+                    .run(
+                        Structure::RegFile,
+                        &CampaignConfig {
+                            injections: 250,
+                            seed: 9,
+                            ..CampaignConfig::default()
+                        },
+                    )
+                    .execute()
+                    .result;
                 print!(
                     "  {level}: rd/c {:.2} avf {:.3}",
                     st.rf_reads as f64 / cycles as f64,

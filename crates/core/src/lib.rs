@@ -31,9 +31,15 @@
 //! ```
 #![warn(missing_docs)]
 
+mod sched;
+mod store;
 mod study;
 
-pub use study::{CellKey, CellResult, Study, StudyConfig, StudyError, StudyResults};
+pub use sched::{Orchestrator, SweepReport};
+pub use store::{cell_config_hash, ResultStore};
+pub use study::{
+    CellKey, CellResult, Study, StudyConfig, StudyConfigBuilder, StudyError, StudyResults,
+};
 
 // Re-export the full vocabulary so downstream users need only this crate.
 pub use softerr_analysis::{
@@ -42,9 +48,9 @@ pub use softerr_analysis::{
 };
 pub use softerr_cc::{CompileError, Compiled, Compiler, OptLevel, PassConfig, VerifyError};
 pub use softerr_inject::{
-    error_margin, CampaignConfig, CampaignObserver, CampaignResult, ClassCounts, DivergenceSite,
-    FaultClass, FaultRecord, FaultSpec, Golden, Injector, ProgressLine, RunManifest, Z_90, Z_95,
-    Z_99,
+    error_margin, fnv1a, CampaignConfig, CampaignObserver, CampaignOutput, CampaignResult,
+    CampaignRun, ClassCounts, DivergenceSite, FaultClass, FaultRecord, FaultSpec, Golden, Injector,
+    ProgressLine, RunManifest, Z_90, Z_95, Z_99,
 };
 pub use softerr_isa::{disassemble, Emulator, Profile, Program};
 pub use softerr_sim::{

@@ -1,0 +1,337 @@
+//! Content-addressed on-disk store of completed study cells.
+//!
+//! Every (machine, workload, level) cell of a study is persisted as one
+//! JSON file named by the FNV-1a hash of the *full* configuration that
+//! produced it — machine geometry, workload, optimization level, input
+//! scale, injection count, seed, checkpointing mode, structure list, and
+//! crate version. Because the key is derived from content, a re-run with
+//! any parameter changed misses the store and re-executes, while an
+//! identical re-run (or a study killed halfway and restarted) is served
+//! from disk without re-simulating a single fault. This replaces the old
+//! whole-study JSON cache that was keyed by `(scale, injections, seed)`
+//! only and silently served stale figures when anything else changed.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/cells/<16-hex-hash>.json   one StoredCell per completed cell
+//! ```
+//!
+//! Loads verify the embedded hash and cell key against the request; a
+//! mismatch (corrupted, renamed, or version-skewed file) is reported on
+//! the `study.store` telemetry target and treated as a miss, never served.
+
+use crate::study::{CellKey, CellResult, StudyConfig, StudyError};
+use serde::{Deserialize, Serialize};
+use softerr_cc::OptLevel;
+use softerr_inject::fnv1a;
+use softerr_sim::MachineConfig;
+use softerr_telemetry::{event, Level};
+use softerr_workloads::Workload;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Content hash (16 hex digits) of one study cell's full configuration:
+/// everything that can change the cell's measured result, plus the crate
+/// version so stores never leak across incompatible builds. Worker-thread
+/// count is deliberately excluded — campaigns are bit-identical across
+/// thread counts, so a store written with `--threads 8` serves a
+/// single-threaded re-run and vice versa.
+pub fn cell_config_hash(
+    config: &StudyConfig,
+    machine: &MachineConfig,
+    workload: Workload,
+    level: OptLevel,
+) -> String {
+    let canonical = format!(
+        "v{}|machine={:?}|workload={}|level={}|scale={}|injections={}|seed={}|checkpoint={}|structures={:?}",
+        env!("CARGO_PKG_VERSION"),
+        machine,
+        workload,
+        level,
+        config.scale,
+        config.injections,
+        config.seed,
+        config.checkpoint,
+        config.structures,
+    );
+    format!("{:016x}", fnv1a(canonical.as_bytes()))
+}
+
+/// On-disk representation of one completed cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StoredCell {
+    /// Crate version that wrote the file (informational; the version is
+    /// also folded into the hash, so skew shows up as a plain miss).
+    version: String,
+    /// The content hash the file claims to be stored under.
+    config_hash: String,
+    /// The grid coordinate of the cell.
+    key: CellKey,
+    /// The measured cell.
+    result: CellResult,
+}
+
+/// A content-addressed directory of completed study cells with hit/miss
+/// accounting. Thread-safe: the orchestrator's cell workers load and save
+/// concurrently through a shared reference.
+#[derive(Debug)]
+pub struct ResultStore {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl ResultStore {
+    /// Opens (creating if necessary) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::Io`] if the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<ResultStore, StudyError> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("cells"))?;
+        Ok(ResultStore {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn cell_path(&self, hash: &str) -> PathBuf {
+        self.root.join("cells").join(format!("{hash}.json"))
+    }
+
+    /// Loads the cell stored under `hash`, verifying that the file really
+    /// holds that hash and `key`. Any mismatch or parse failure is
+    /// reported via `event!` and counted as a miss — a stale or corrupted
+    /// entry is never silently served.
+    pub fn load(&self, hash: &str, key: &CellKey) -> Option<CellResult> {
+        let path = self.cell_path(hash);
+        let json = match std::fs::read_to_string(&path) {
+            Ok(json) => json,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let stored: StoredCell = match serde_json::from_str(&json) {
+            Ok(stored) => stored,
+            Err(e) => {
+                event!(
+                    Level::Warn,
+                    "study.store",
+                    { path: path.display().to_string() },
+                    "unreadable cell in result store ({}): {e}; re-running the cell",
+                    path.display()
+                );
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        if stored.config_hash != hash || stored.key != *key {
+            event!(
+                Level::Warn,
+                "study.store",
+                {
+                    path: path.display().to_string(),
+                    expected: hash,
+                    found: stored.config_hash.clone()
+                },
+                "result store hash mismatch at {} (expected {hash}, file claims {} for {}); \
+                 ignoring the stale entry and re-running the cell",
+                path.display(),
+                stored.config_hash,
+                stored.key
+            );
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(stored.result)
+    }
+
+    /// Persists one completed cell under `hash`. The write goes through a
+    /// temporary file and an atomic rename so a killed study never leaves
+    /// a half-written cell behind.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::Io`] / [`StudyError::Format`] on failure.
+    pub fn save(&self, hash: &str, key: &CellKey, result: &CellResult) -> Result<(), StudyError> {
+        let stored = StoredCell {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            config_hash: hash.to_string(),
+            key: key.clone(),
+            result: result.clone(),
+        };
+        let path = self.cell_path(hash);
+        let tmp = self.root.join("cells").join(format!("{hash}.json.tmp"));
+        std::fs::write(&tmp, serde_json::to_string(&stored)?)?;
+        std::fs::rename(&tmp, &path)?;
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Cells served from disk so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found no valid entry.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cells written to disk so far.
+    pub fn stores(&self) -> u64 {
+        self.stores.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softerr_inject::{CampaignResult, ClassCounts};
+    use softerr_sim::Structure;
+
+    fn temp_store(tag: &str) -> ResultStore {
+        let dir =
+            std::env::temp_dir().join(format!("softerr-store-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        ResultStore::open(dir).unwrap()
+    }
+
+    fn sample_cell() -> (CellKey, CellResult) {
+        (
+            CellKey {
+                machine: "Cortex-A15-like".into(),
+                workload: Workload::Qsort,
+                level: OptLevel::O2,
+            },
+            CellResult {
+                golden_cycles: 1234,
+                golden_retired: 567,
+                code_words: 89,
+                campaigns: vec![CampaignResult {
+                    structure: Structure::RegFile,
+                    bit_population: 2048,
+                    golden_cycles: 1234,
+                    counts: ClassCounts {
+                        masked: 9,
+                        sdc: 1,
+                        ..ClassCounts::default()
+                    },
+                }],
+            },
+        )
+    }
+
+    #[test]
+    fn hash_covers_every_result_determining_parameter() {
+        let base = StudyConfig::default();
+        let machine = MachineConfig::cortex_a15();
+        let h = |cfg: &StudyConfig| cell_config_hash(cfg, &machine, Workload::Sha, OptLevel::O1);
+        let baseline = h(&base);
+        assert_eq!(baseline, h(&base.clone()), "hash is deterministic");
+        let mut c = base.clone();
+        c.injections += 1;
+        assert_ne!(baseline, h(&c), "injections are keyed");
+        let mut c = base.clone();
+        c.seed += 1;
+        assert_ne!(baseline, h(&c), "seed is keyed");
+        let mut c = base.clone();
+        c.checkpoint = !c.checkpoint;
+        assert_ne!(baseline, h(&c), "checkpoint mode is keyed");
+        let mut c = base.clone();
+        c.scale = softerr_workloads::Scale::Full;
+        assert_ne!(baseline, h(&c), "scale is keyed");
+        let mut c = base.clone();
+        c.structures.pop();
+        assert_ne!(baseline, h(&c), "structure list is keyed");
+        let mut c = base.clone();
+        c.threads += 7;
+        assert_eq!(
+            baseline,
+            h(&c),
+            "thread count must NOT be keyed: campaigns are thread-count-invariant"
+        );
+        assert_ne!(
+            cell_config_hash(
+                &base,
+                &MachineConfig::cortex_a72(),
+                Workload::Sha,
+                OptLevel::O1
+            ),
+            baseline,
+            "machine is keyed"
+        );
+        assert_ne!(
+            cell_config_hash(&base, &machine, Workload::Fft, OptLevel::O1),
+            baseline,
+            "workload is keyed"
+        );
+        assert_ne!(
+            cell_config_hash(&base, &machine, Workload::Sha, OptLevel::O3),
+            baseline,
+            "level is keyed"
+        );
+    }
+
+    #[test]
+    fn save_load_roundtrip_counts_hits() {
+        let store = temp_store("roundtrip");
+        let (key, result) = sample_cell();
+        let hash = "00deadbeef00cafe";
+        assert!(store.load(hash, &key).is_none());
+        assert_eq!(store.misses(), 1);
+        store.save(hash, &key, &result).unwrap();
+        assert_eq!(store.stores(), 1);
+        let loaded = store.load(hash, &key).expect("stored cell loads");
+        assert_eq!(loaded, result);
+        assert_eq!(store.hits(), 1);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn mismatched_hash_is_a_miss_not_a_stale_serve() {
+        let store = temp_store("mismatch");
+        let (key, result) = sample_cell();
+        store.save("1111111111111111", &key, &result).unwrap();
+        // Simulate a renamed/corrupted entry: the file exists under the
+        // requested name but claims a different hash inside.
+        std::fs::rename(
+            store.root().join("cells/1111111111111111.json"),
+            store.root().join("cells/2222222222222222.json"),
+        )
+        .unwrap();
+        assert!(
+            store.load("2222222222222222", &key).is_none(),
+            "a hash-mismatched entry must never be served"
+        );
+        assert_eq!(store.hits(), 0);
+        assert_eq!(store.misses(), 1);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn unparsable_entry_is_a_miss() {
+        let store = temp_store("corrupt");
+        let (key, _) = sample_cell();
+        std::fs::write(
+            store.root().join("cells/3333333333333333.json"),
+            "{not json",
+        )
+        .unwrap();
+        assert!(store.load("3333333333333333", &key).is_none());
+        assert_eq!(store.misses(), 1);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+}

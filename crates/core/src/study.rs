@@ -1,14 +1,16 @@
 //! Study orchestration: the full compile → simulate → inject → analyze
 //! pipeline over a (machines × workloads × levels × structures) grid.
 
+use crate::sched::Orchestrator;
 use serde::{Deserialize, Serialize};
 use softerr_analysis::{weighted_avf, EccScheme, StructureMeasurement};
-use softerr_cc::{Compiler, OptLevel};
-use softerr_inject::{CampaignConfig, CampaignResult, FaultClass, Injector};
+use softerr_cc::OptLevel;
+use softerr_inject::{CampaignResult, FaultClass};
 use softerr_sim::{MachineConfig, Structure};
 use softerr_workloads::{Scale, Workload};
 use std::fmt;
 use std::path::Path;
+use std::sync::Mutex;
 
 /// Configuration of a characterization study.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -84,6 +86,130 @@ impl StudyConfig {
             * self.structures.len() as u64
             * self.injections
     }
+
+    /// A builder pre-seeded with [`StudyConfig::default`], whose
+    /// [`build`](StudyConfigBuilder::build) validates the grid instead of
+    /// letting an empty axis or zero thread count surface as a confusing
+    /// downstream failure.
+    pub fn builder() -> StudyConfigBuilder {
+        StudyConfigBuilder {
+            config: StudyConfig::default(),
+        }
+    }
+
+    /// Checks the configuration for degenerate values: every grid axis
+    /// must be non-empty and `threads` non-zero.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.machines.is_empty() {
+            return Err("study has no machines: add at least one MachineConfig".to_string());
+        }
+        if self.workloads.is_empty() {
+            return Err("study has no workloads: add at least one Workload".to_string());
+        }
+        if self.levels.is_empty() {
+            return Err("study has no optimization levels: add at least one OptLevel".to_string());
+        }
+        if self.structures.is_empty() {
+            return Err("study has no structures: add at least one Structure".to_string());
+        }
+        if self.threads == 0 {
+            return Err(
+                "threads must be at least 1 (0 worker threads can run nothing)".to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`StudyConfig`].
+///
+/// ```
+/// use softerr::{OptLevel, StudyConfig, Workload};
+///
+/// let cfg = StudyConfig::builder()
+///     .workloads(vec![Workload::Qsort])
+///     .levels(vec![OptLevel::O0, OptLevel::O2])
+///     .injections(50)
+///     .seed(7)
+///     .build()
+///     .expect("non-degenerate grid");
+/// assert_eq!(cfg.total_injections(), 2 * 1 * 2 * 15 * 50);
+/// assert!(StudyConfig::builder().workloads(vec![]).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StudyConfigBuilder {
+    config: StudyConfig,
+}
+
+impl StudyConfigBuilder {
+    /// Machines to evaluate.
+    pub fn machines(mut self, machines: Vec<MachineConfig>) -> StudyConfigBuilder {
+        self.config.machines = machines;
+        self
+    }
+
+    /// Benchmarks to run.
+    pub fn workloads(mut self, workloads: Vec<Workload>) -> StudyConfigBuilder {
+        self.config.workloads = workloads;
+        self
+    }
+
+    /// Optimization levels to sweep.
+    pub fn levels(mut self, levels: Vec<OptLevel>) -> StudyConfigBuilder {
+        self.config.levels = levels;
+        self
+    }
+
+    /// Structure fields to inject into.
+    pub fn structures(mut self, structures: Vec<Structure>) -> StudyConfigBuilder {
+        self.config.structures = structures;
+        self
+    }
+
+    /// Workload input scale.
+    pub fn scale(mut self, scale: Scale) -> StudyConfigBuilder {
+        self.config.scale = scale;
+        self
+    }
+
+    /// Injections per (machine, workload, level, structure) cell.
+    pub fn injections(mut self, injections: u64) -> StudyConfigBuilder {
+        self.config.injections = injections;
+        self
+    }
+
+    /// Campaign RNG seed.
+    pub fn seed(mut self, seed: u64) -> StudyConfigBuilder {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Worker threads per campaign.
+    pub fn threads(mut self, threads: usize) -> StudyConfigBuilder {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Golden-prefix checkpointing per campaign.
+    pub fn checkpoint(mut self, checkpoint: bool) -> StudyConfigBuilder {
+        self.config.checkpoint = checkpoint;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::Config`] for an empty grid axis or `threads == 0`
+    /// (see [`StudyConfig::validate`]).
+    pub fn build(self) -> Result<StudyConfig, StudyError> {
+        self.config.validate().map_err(StudyError::Config)?;
+        Ok(self.config)
+    }
 }
 
 /// Identifies one (machine, workload, level) cell of the study grid.
@@ -138,6 +264,8 @@ impl CellResult {
 /// Errors raised while running a study.
 #[derive(Debug)]
 pub enum StudyError {
+    /// The configuration is degenerate (empty grid axis, zero threads).
+    Config(String),
     /// A workload failed to compile (compiler or workload bug).
     Compile(String),
     /// A fault-free run did not halt cleanly (simulator or workload bug).
@@ -146,15 +274,30 @@ pub enum StudyError {
     Io(std::io::Error),
     /// Result deserialization failed.
     Format(serde_json::Error),
+    /// A budgeted sweep stopped before measuring every cell; completed
+    /// cells are already persisted, so re-running resumes where it left
+    /// off (see [`Orchestrator::cell_budget`]).
+    Incomplete {
+        /// Cells measured (executed or store-served) before the budget ran out.
+        completed: usize,
+        /// Cells in the study grid.
+        total: usize,
+    },
 }
 
 impl fmt::Display for StudyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            StudyError::Config(m) => write!(f, "invalid study configuration: {m}"),
             StudyError::Compile(m) => write!(f, "compilation failed: {m}"),
             StudyError::Golden(m) => write!(f, "golden run failed: {m}"),
             StudyError::Io(e) => write!(f, "i/o error: {e}"),
             StudyError::Format(e) => write!(f, "result format error: {e}"),
+            StudyError::Incomplete { completed, total } => write!(
+                f,
+                "study incomplete: cell budget reached after {completed}/{total} cells \
+                 (completed cells are persisted; re-run to resume)"
+            ),
         }
     }
 }
@@ -190,77 +333,35 @@ impl Study {
         &self.config
     }
 
-    /// Runs the full grid.
+    /// Runs the full grid serially. A thin wrapper over a one-worker
+    /// [`Orchestrator`]; use the orchestrator directly for cell
+    /// parallelism, a result store, or budgeted/resumable sweeps.
     ///
     /// # Errors
     ///
-    /// [`StudyError`] if any workload fails to compile or to complete its
-    /// fault-free run.
+    /// [`StudyError`] if the configuration is degenerate or any workload
+    /// fails to compile or to complete its fault-free run.
     pub fn run(&self) -> Result<StudyResults, StudyError> {
         self.run_with_progress(|_| {})
     }
 
-    /// Runs the full grid, reporting each completed cell to `progress`.
+    /// Runs the full grid serially, reporting each completed cell to
+    /// `progress` as `[done/total] machine/workload/level`.
     ///
     /// # Errors
     ///
     /// As for [`Study::run`].
     pub fn run_with_progress(
         &self,
-        mut progress: impl FnMut(&str),
+        mut progress: impl FnMut(&str) + Send,
     ) -> Result<StudyResults, StudyError> {
-        let cfg = &self.config;
-        let mut cells = Vec::new();
-        let total_cells = cfg.machines.len() * cfg.workloads.len() * cfg.levels.len();
-        let mut done = 0usize;
-        for machine in &cfg.machines {
-            for &workload in &cfg.workloads {
-                let source = workload.source(cfg.scale);
-                for &level in &cfg.levels {
-                    let compiled = Compiler::new(machine.profile, level)
-                        .compile(&source)
-                        .map_err(|e| StudyError::Compile(format!("{workload} at {level}: {e}")))?;
-                    let injector = Injector::new(machine, &compiled.program).map_err(|e| {
-                        StudyError::Golden(format!(
-                            "{workload} at {level} on {}: {e}",
-                            machine.name
-                        ))
-                    })?;
-                    let campaign_cfg = CampaignConfig {
-                        injections: cfg.injections,
-                        seed: cfg.seed,
-                        threads: cfg.threads,
-                        checkpoint: cfg.checkpoint,
-                    };
-                    let campaigns: Vec<CampaignResult> = cfg
-                        .structures
-                        .iter()
-                        .map(|&s| injector.campaign(s, &campaign_cfg))
-                        .collect();
-                    let key = CellKey {
-                        machine: machine.name.clone(),
-                        workload,
-                        level,
-                    };
-                    let golden = injector.golden();
-                    cells.push((
-                        key.clone(),
-                        CellResult {
-                            golden_cycles: golden.cycles,
-                            golden_retired: golden.retired,
-                            code_words: compiled.stats.code_words as u64,
-                            campaigns,
-                        },
-                    ));
-                    done += 1;
-                    progress(&format!("[{done}/{total_cells}] {key}"));
-                }
-            }
-        }
-        Ok(StudyResults {
-            config: cfg.clone(),
-            cells,
-        })
+        // The orchestrator's callback is shared across cell workers and so
+        // must be `Fn + Sync`; with one worker the Mutex is uncontended and
+        // keeps this signature caller-friendly (`FnMut`).
+        let progress: Mutex<&mut (dyn FnMut(&str) + Send)> = Mutex::new(&mut progress);
+        Orchestrator::new(self.config.clone())
+            .execute(&|msg| (progress.lock().expect("progress callback"))(msg))
+            .map(|report| report.results)
     }
 }
 

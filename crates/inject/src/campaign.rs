@@ -364,25 +364,46 @@ impl<'a> Injector<'a> {
         }
     }
 
+    /// Starts configuring a campaign on one structure — the single entry
+    /// point every campaign flavour goes through.
+    ///
+    /// The returned [`CampaignRun`] builder selects the optional extras the
+    /// old `campaign_*` method family hard-coded into separate entry
+    /// points: a live [`CampaignObserver`], forensic [`FaultRecord`]
+    /// capture, a multi-bit burst width, and an explicit pre-sampled fault
+    /// list. Call [`CampaignRun::execute`] to run it.
+    ///
+    /// ```ignore
+    /// let out = injector
+    ///     .run(Structure::RegFile, &cfg)
+    ///     .observer(&progress)
+    ///     .records(true)
+    ///     .execute();
+    /// ```
+    pub fn run<'r>(&'r self, structure: Structure, cfg: &CampaignConfig) -> CampaignRun<'r, 'a> {
+        CampaignRun {
+            injector: self,
+            structure,
+            cfg: *cfg,
+            faults: None,
+            observer: None,
+            record: false,
+            burst_width: 1,
+        }
+    }
+
     /// Runs a campaign of `width`-bit burst upsets on one structure.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `injector.run(s, cfg).burst_width(w).execute()`"
+    )]
     pub fn campaign_burst(
         &self,
         structure: Structure,
         cfg: &CampaignConfig,
         width: u8,
     ) -> CampaignResult {
-        let faults = self.sample_faults(structure, cfg.injections, cfg.seed);
-        let classes = self.classify_all(&faults, width, cfg);
-        let mut counts = ClassCounts::default();
-        for class in classes {
-            counts.record(class);
-        }
-        CampaignResult {
-            structure,
-            bit_population: self.bit_count(structure),
-            golden_cycles: self.golden.cycles,
-            counts,
-        }
+        self.run(structure, cfg).burst_width(width).execute().result
     }
 
     /// Samples `n` faults for a structure uniformly over (bit × cycle),
@@ -411,93 +432,72 @@ impl<'a> Injector<'a> {
     }
 
     /// Runs a full campaign on one structure.
+    #[deprecated(since = "0.1.0", note = "use `injector.run(s, cfg).execute().result`")]
     pub fn campaign(&self, structure: Structure, cfg: &CampaignConfig) -> CampaignResult {
-        self.campaign_burst(structure, cfg, 1)
+        self.run(structure, cfg).execute().result
     }
 
     /// Runs a full single-bit campaign with live per-classification
     /// notifications (e.g. a [`crate::ProgressLine`]) but no forensic
     /// record capture.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `injector.run(s, cfg).observer(o).execute()`"
+    )]
     pub fn campaign_observed(
         &self,
         structure: Structure,
         cfg: &CampaignConfig,
         observer: &dyn CampaignObserver,
     ) -> CampaignResult {
-        let faults = self.sample_faults(structure, cfg.injections, cfg.seed);
-        let outcomes = self.classify_outcomes(&faults, 1, cfg, false, Some(observer));
-        let mut counts = ClassCounts::default();
-        for outcome in &outcomes {
-            counts.record(outcome.class);
-        }
-        CampaignResult {
-            structure,
-            bit_population: self.bit_count(structure),
-            golden_cycles: self.golden.cycles,
-            counts,
-        }
+        self.run(structure, cfg).observer(observer).execute().result
     }
 
     /// Runs a full single-bit campaign on one structure, returning both the
     /// aggregate result and one forensic [`FaultRecord`] per sampled fault
     /// (in sample order), so the records' class tallies match the result's
     /// counts exactly.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `injector.run(s, cfg).records(true).execute()` (add `.observer(o)` as needed)"
+    )]
     pub fn campaign_forensics(
         &self,
         structure: Structure,
         cfg: &CampaignConfig,
         observer: Option<&dyn CampaignObserver>,
     ) -> (CampaignResult, Vec<FaultRecord>) {
-        let faults = self.sample_faults(structure, cfg.injections, cfg.seed);
-        let records = self.classify_all_recorded(&faults, 1, cfg, observer);
-        let mut counts = ClassCounts::default();
-        for record in &records {
-            counts.record(record.class);
-        }
-        (
-            CampaignResult {
-                structure,
-                bit_population: self.bit_count(structure),
-                golden_cycles: self.golden.cycles,
-                counts,
-            },
-            records,
-        )
+        let mut run = self.run(structure, cfg).records(true);
+        run.observer = observer;
+        let out = run.execute();
+        (out.result, out.records.unwrap_or_default())
     }
 
     /// Classifies every fault in `faults`, returning one class per fault in
     /// input order.
-    ///
-    /// This is the campaign engine. With `cfg.checkpoint` the faults are
-    /// processed in cycle order by forking children off a single advancing
-    /// golden simulator (see [`CampaignConfig::checkpoint`]); otherwise each
-    /// fault re-simulates its prefix from cycle 0. With `cfg.threads > 1`
-    /// workers claim cycle-sorted faults from a shared work-stealing index;
-    /// each worker keeps its own golden simulator, and because the claim
-    /// order is cycle-sorted every worker's golden run only ever moves
-    /// forward. Results are identical across thread counts and between the
-    /// two engines: each fault's class depends only on the fault itself.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `injector.run(s, cfg).faults(&faults).burst_width(w).execute().classes`"
+    )]
     pub fn classify_all(
         &self,
         faults: &[FaultSpec],
         width: u8,
         cfg: &CampaignConfig,
     ) -> Vec<FaultClass> {
-        self.classify_outcomes(faults, width, cfg, false, None)
-            .into_iter()
-            .map(|outcome| outcome.class)
-            .collect()
+        self.run(primary_structure(faults), cfg)
+            .faults(faults)
+            .burst_width(width)
+            .execute()
+            .classes
     }
 
     /// Classifies every fault in `faults` with full forensics, returning
-    /// one [`FaultRecord`] per fault in input order. Classes are identical
-    /// to [`Injector::classify_all`]; the records additionally carry the
-    /// cycle each verdict was decided at and the first-divergence site.
-    ///
-    /// Recording always uses the checkpointed convoy engine regardless of
-    /// `cfg.checkpoint` — the golden simulator the engine forks children
-    /// from doubles as the divergence reference, and classification is
-    /// bit-identical between the two engines anyway.
+    /// one [`FaultRecord`] per fault in input order.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `injector.run(s, cfg).faults(&faults).records(true).execute().records`"
+    )]
     pub fn classify_all_recorded(
         &self,
         faults: &[FaultSpec],
@@ -505,17 +505,13 @@ impl<'a> Injector<'a> {
         cfg: &CampaignConfig,
         observer: Option<&dyn CampaignObserver>,
     ) -> Vec<FaultRecord> {
-        self.classify_outcomes(faults, width, cfg, true, observer)
-            .into_iter()
-            .zip(faults)
-            .map(|(outcome, &spec)| FaultRecord {
-                spec,
-                class: outcome.class,
-                end_cycle: outcome.end_cycle,
-                golden_cycles: self.golden.cycles,
-                first_divergence: outcome.divergence,
-            })
-            .collect()
+        let mut run = self
+            .run(primary_structure(faults), cfg)
+            .faults(faults)
+            .burst_width(width)
+            .records(true);
+        run.observer = observer;
+        run.execute().records.unwrap_or_default()
     }
 
     /// The engine shared by the class-only and recorded paths: classifies
@@ -569,6 +565,128 @@ impl<'a> Injector<'a> {
         }
         outcomes
     }
+}
+
+/// Structure the aggregate [`CampaignResult`] of an explicit fault list is
+/// attributed to: the first fault's target (campaigns are per-structure in
+/// practice; an empty list aggregates nothing, so any structure will do).
+fn primary_structure(faults: &[FaultSpec]) -> Structure {
+    faults.first().map_or(Structure::RegFile, |f| f.structure)
+}
+
+/// A configured-but-not-yet-executed campaign, built by [`Injector::run`].
+///
+/// Defaults: single-bit upsets, faults sampled from the config's
+/// `(injections, seed)`, no observer, no forensic records. Each builder
+/// method opts into one extra; [`CampaignRun::execute`] runs the campaign
+/// on the engine selected by the config (`checkpoint`, `threads`).
+/// Classification is bit-identical across every combination of extras —
+/// observers and records never perturb the engine's verdicts.
+#[must_use = "a CampaignRun does nothing until `.execute()` is called"]
+pub struct CampaignRun<'r, 'a> {
+    injector: &'r Injector<'a>,
+    structure: Structure,
+    cfg: CampaignConfig,
+    faults: Option<&'r [FaultSpec]>,
+    observer: Option<&'r dyn CampaignObserver>,
+    record: bool,
+    burst_width: u8,
+}
+
+impl<'r, 'a> CampaignRun<'r, 'a> {
+    /// Streams every per-fault classification to `observer` as it is made
+    /// (e.g. a [`crate::ProgressLine`]).
+    pub fn observer(mut self, observer: &'r dyn CampaignObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Captures one forensic [`FaultRecord`] per fault (verdict cycle,
+    /// first-divergence site). Recording always runs the checkpointed
+    /// convoy engine — the golden simulator it forks children from doubles
+    /// as the divergence reference — and classes stay identical to the
+    /// engine the config selects.
+    pub fn records(mut self, record: bool) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Flips `width` adjacent bits per injection instead of one (the MBU
+    /// extension; width 1 is the paper's single-event upset).
+    pub fn burst_width(mut self, width: u8) -> Self {
+        self.burst_width = width;
+        self
+    }
+
+    /// Classifies exactly `faults` (in input order) instead of sampling
+    /// from the config's `(injections, seed)`. The aggregate result is
+    /// attributed to the run's structure even if the list mixes targets.
+    pub fn faults(mut self, faults: &'r [FaultSpec]) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Executes the campaign.
+    pub fn execute(self) -> CampaignOutput {
+        let sampled;
+        let faults: &[FaultSpec] = match self.faults {
+            Some(faults) => faults,
+            None => {
+                sampled =
+                    self.injector
+                        .sample_faults(self.structure, self.cfg.injections, self.cfg.seed);
+                &sampled
+            }
+        };
+        let outcomes = self.injector.classify_outcomes(
+            faults,
+            self.burst_width,
+            &self.cfg,
+            self.record,
+            self.observer,
+        );
+        let mut counts = ClassCounts::default();
+        for outcome in &outcomes {
+            counts.record(outcome.class);
+        }
+        let classes: Vec<FaultClass> = outcomes.iter().map(|o| o.class).collect();
+        let records = self.record.then(|| {
+            outcomes
+                .into_iter()
+                .zip(faults)
+                .map(|(outcome, &spec)| FaultRecord {
+                    spec,
+                    class: outcome.class,
+                    end_cycle: outcome.end_cycle,
+                    golden_cycles: self.injector.golden.cycles,
+                    first_divergence: outcome.divergence,
+                })
+                .collect()
+        });
+        CampaignOutput {
+            result: CampaignResult {
+                structure: self.structure,
+                bit_population: self.injector.bit_count(self.structure),
+                golden_cycles: self.injector.golden.cycles,
+                counts,
+            },
+            classes,
+            records,
+        }
+    }
+}
+
+/// Everything one executed campaign produced.
+#[derive(Debug, Clone)]
+pub struct CampaignOutput {
+    /// Aggregate per-class tallies and structure metadata.
+    pub result: CampaignResult,
+    /// One class per fault, in sample (or [`CampaignRun::faults`] input)
+    /// order.
+    pub classes: Vec<FaultClass>,
+    /// One forensic record per fault in the same order, when
+    /// [`CampaignRun::records`] was enabled.
+    pub records: Option<Vec<FaultRecord>>,
 }
 
 /// Classification outcome plus forensic context for one fault.
@@ -954,15 +1072,18 @@ mod tests {
     fn campaign_counts_sum_and_avf_bounds() {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
-        let r = inj.campaign(
-            Structure::RegFile,
-            &CampaignConfig {
-                injections: 40,
-                seed: 1,
-                threads: 1,
-                checkpoint: true,
-            },
-        );
+        let r = inj
+            .run(
+                Structure::RegFile,
+                &CampaignConfig {
+                    injections: 40,
+                    seed: 1,
+                    threads: 1,
+                    checkpoint: true,
+                },
+            )
+            .execute()
+            .result;
         assert_eq!(r.total(), 40);
         assert!((0.0..=1.0).contains(&r.avf()));
         let frac_sum: f64 = FaultClass::ALL.iter().map(|c| r.fraction(*c)).sum();
@@ -979,8 +1100,8 @@ mod tests {
             threads: 1,
             checkpoint: true,
         };
-        let a = inj.campaign(Structure::IqSrc, &cc);
-        let b = inj.campaign(Structure::IqSrc, &cc);
+        let a = inj.run(Structure::IqSrc, &cc).execute().result;
+        let b = inj.run(Structure::IqSrc, &cc).execute().result;
         assert_eq!(a, b);
     }
 
@@ -988,24 +1109,30 @@ mod tests {
     fn parallel_campaign_matches_sequential() {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
-        let seq = inj.campaign(
-            Structure::L1DData,
-            &CampaignConfig {
-                injections: 24,
-                seed: 5,
-                threads: 1,
-                checkpoint: true,
-            },
-        );
-        let par = inj.campaign(
-            Structure::L1DData,
-            &CampaignConfig {
-                injections: 24,
-                seed: 5,
-                threads: 3,
-                checkpoint: true,
-            },
-        );
+        let seq = inj
+            .run(
+                Structure::L1DData,
+                &CampaignConfig {
+                    injections: 24,
+                    seed: 5,
+                    threads: 1,
+                    checkpoint: true,
+                },
+            )
+            .execute()
+            .result;
+        let par = inj
+            .run(
+                Structure::L1DData,
+                &CampaignConfig {
+                    injections: 24,
+                    seed: 5,
+                    threads: 3,
+                    checkpoint: true,
+                },
+            )
+            .execute()
+            .result;
         assert_eq!(seq.counts, par.counts);
     }
 
@@ -1014,15 +1141,18 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         for s in [Structure::LoadQueue, Structure::StoreQueue] {
-            let r = inj.campaign(
-                s,
-                &CampaignConfig {
-                    injections: 50,
-                    seed: 3,
-                    threads: 1,
-                    checkpoint: true,
-                },
-            );
+            let r = inj
+                .run(
+                    s,
+                    &CampaignConfig {
+                        injections: 50,
+                        seed: 3,
+                        threads: 1,
+                        checkpoint: true,
+                    },
+                )
+                .execute()
+                .result;
             assert_eq!(r.counts.sdc, 0, "{s}: paper reports no SDCs");
             assert_eq!(r.counts.crash, 0, "{s}: paper reports no crashes");
         }
@@ -1062,8 +1192,16 @@ mod tests {
             threads: 1,
             checkpoint: true,
         };
-        let single = inj.campaign_burst(Structure::L1IData, &cc, 1);
-        let quad = inj.campaign_burst(Structure::L1IData, &cc, 4);
+        let single = inj
+            .run(Structure::L1IData, &cc)
+            .burst_width(1)
+            .execute()
+            .result;
+        let quad = inj
+            .run(Structure::L1IData, &cc)
+            .burst_width(4)
+            .execute()
+            .result;
         // Same fault sites: a 4-bit burst strictly contains the 1-bit flip,
         // so it can only add ways to fail.
         assert!(
@@ -1103,8 +1241,8 @@ mod tests {
         };
         for s in [Structure::RegFile, Structure::L1DData, Structure::RobFlags] {
             let faults = inj.sample_faults(s, fresh_cfg.injections, fresh_cfg.seed);
-            let fresh = inj.classify_all(&faults, 1, &fresh_cfg);
-            let ckpt = inj.classify_all(&faults, 1, &ckpt_cfg);
+            let fresh = inj.run(s, &fresh_cfg).faults(&faults).execute().classes;
+            let ckpt = inj.run(s, &ckpt_cfg).faults(&faults).execute().classes;
             assert_eq!(
                 fresh, ckpt,
                 "{s}: fork-from-checkpoint must be bit-identical"
@@ -1116,24 +1254,30 @@ mod tests {
     fn parallel_checkpointed_campaign_matches_sequential() {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
-        let seq = inj.campaign(
-            Structure::IqDest,
-            &CampaignConfig {
-                injections: 24,
-                seed: 8,
-                threads: 1,
-                checkpoint: true,
-            },
-        );
-        let par = inj.campaign(
-            Structure::IqDest,
-            &CampaignConfig {
-                injections: 24,
-                seed: 8,
-                threads: 3,
-                checkpoint: true,
-            },
-        );
+        let seq = inj
+            .run(
+                Structure::IqDest,
+                &CampaignConfig {
+                    injections: 24,
+                    seed: 8,
+                    threads: 1,
+                    checkpoint: true,
+                },
+            )
+            .execute()
+            .result;
+        let par = inj
+            .run(
+                Structure::IqDest,
+                &CampaignConfig {
+                    injections: 24,
+                    seed: 8,
+                    threads: 3,
+                    checkpoint: true,
+                },
+            )
+            .execute()
+            .result;
         assert_eq!(seq.counts, par.counts);
     }
 
@@ -1164,15 +1308,18 @@ mod tests {
         assert_eq!(inj.bit_count(Structure::LoadQueue), 0);
         assert!(inj.sample_faults(Structure::LoadQueue, 20, 7).is_empty());
         for checkpoint in [false, true] {
-            let r = inj.campaign(
-                Structure::LoadQueue,
-                &CampaignConfig {
-                    injections: 20,
-                    seed: 7,
-                    threads: 1,
-                    checkpoint,
-                },
-            );
+            let r = inj
+                .run(
+                    Structure::LoadQueue,
+                    &CampaignConfig {
+                        injections: 20,
+                        seed: 7,
+                        threads: 1,
+                        checkpoint,
+                    },
+                )
+                .execute()
+                .result;
             assert_eq!(r.total(), 0, "no injectable bits means an empty campaign");
         }
         let f = FaultSpec {
@@ -1195,8 +1342,14 @@ mod tests {
         };
         for s in [Structure::RegFile, Structure::RobPc] {
             let faults = inj.sample_faults(s, cc.injections, cc.seed);
-            let classes = inj.classify_all(&faults, 1, &cc);
-            let records = inj.classify_all_recorded(&faults, 1, &cc, None);
+            let classes = inj.run(s, &cc).faults(&faults).execute().classes;
+            let records = inj
+                .run(s, &cc)
+                .faults(&faults)
+                .records(true)
+                .execute()
+                .records
+                .expect("records were requested");
             assert_eq!(records.len(), faults.len());
             for ((record, class), fault) in records.iter().zip(&classes).zip(&faults) {
                 assert_eq!(
@@ -1229,10 +1382,20 @@ mod tests {
             checkpoint: false,
         };
         let faults = inj.sample_faults(Structure::RegFile, cc.injections, cc.seed);
-        let fresh = inj.classify_all(&faults, 1, &cc);
+        let fresh = inj
+            .run(Structure::RegFile, &cc)
+            .faults(&faults)
+            .execute()
+            .classes;
         // Recording always runs the convoy engine; classes must still match
         // the fresh per-fault path the config asked for.
-        let records = inj.classify_all_recorded(&faults, 1, &cc, None);
+        let records = inj
+            .run(Structure::RegFile, &cc)
+            .faults(&faults)
+            .records(true)
+            .execute()
+            .records
+            .expect("records were requested");
         let recorded: Vec<FaultClass> = records.iter().map(|r| r.class).collect();
         assert_eq!(fresh, recorded);
     }
@@ -1248,16 +1411,25 @@ mod tests {
             checkpoint: true,
         };
         let progress = crate::ProgressLine::with_activity("test", cc.injections, false);
-        let (result, records) = inj.campaign_forensics(Structure::RegFile, &cc, Some(&progress));
+        let out = inj
+            .run(Structure::RegFile, &cc)
+            .records(true)
+            .observer(&progress)
+            .execute();
+        let (result, records) = (out.result, out.records.expect("records were requested"));
         let (done, counts) = progress.snapshot();
         assert_eq!(done, result.total());
         assert_eq!(counts, result.counts, "observer tallies match the result");
         assert_eq!(records.len() as u64, result.total());
-        let observed = inj.campaign_observed(
-            Structure::RegFile,
-            &cc,
-            &crate::ProgressLine::with_activity("test", cc.injections, false),
-        );
+        let observed = inj
+            .run(Structure::RegFile, &cc)
+            .observer(&crate::ProgressLine::with_activity(
+                "test",
+                cc.injections,
+                false,
+            ))
+            .execute()
+            .result;
         assert_eq!(observed, result, "observed and forensic runs agree");
     }
 

@@ -27,10 +27,13 @@
 //!     .compile("void main() { int s = 0; for (int i = 0; i < 30; i = i + 1) s = s + i; out(s); }")?
 //!     .program;
 //! let injector = Injector::new(&cfg, &program)?;
-//! let result = injector.campaign(
-//!     Structure::RegFile,
-//!     &CampaignConfig { injections: 25, seed: 7, ..CampaignConfig::default() },
-//! );
+//! let result = injector
+//!     .run(
+//!         Structure::RegFile,
+//!         &CampaignConfig { injections: 25, seed: 7, ..CampaignConfig::default() },
+//!     )
+//!     .execute()
+//!     .result;
 //! assert_eq!(result.total(), 25);
 //! assert!(result.avf() >= 0.0 && result.avf() <= 1.0);
 //! # Ok(())
@@ -45,10 +48,10 @@ mod record;
 mod stats;
 
 pub use campaign::{
-    CampaignConfig, CampaignResult, ClassCounts, FaultClass, FaultSpec, Golden, GoldenError,
-    Injector,
+    CampaignConfig, CampaignOutput, CampaignResult, CampaignRun, ClassCounts, FaultClass,
+    FaultSpec, Golden, GoldenError, Injector,
 };
-pub use manifest::RunManifest;
+pub use manifest::{fnv1a, RunManifest};
 pub use progress::{CampaignObserver, ProgressLine};
 pub use record::{DivergenceSite, FaultRecord};
 pub use stats::{error_margin, required_sample, Z_90, Z_95, Z_99};

@@ -82,8 +82,11 @@ impl fmt::Display for RunManifest {
     }
 }
 
-/// 64-bit FNV-1a over a byte string.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// 64-bit FNV-1a over a byte string — the hash behind every `config_hash`
+/// in this crate and the content-addressed study result store in
+/// `softerr-core`. Deterministic across runs and platforms; not stable
+/// across crate versions (callers fold the version into the hashed bytes).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

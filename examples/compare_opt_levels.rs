@@ -33,14 +33,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Compiler::new(machine.profile, level).compile(&workload.source(Scale::Tiny))?;
             let injector = Injector::new(&machine, &compiled.program)?;
             cycles.push(injector.golden().cycles);
-            let campaign = injector.campaign(
-                Structure::RegFile,
-                &CampaignConfig {
-                    injections: 150,
-                    seed: 7,
-                    ..CampaignConfig::default()
-                },
-            );
+            let campaign = injector
+                .run(
+                    Structure::RegFile,
+                    &CampaignConfig {
+                        injections: 150,
+                        seed: 7,
+                        ..CampaignConfig::default()
+                    },
+                )
+                .execute()
+                .result;
             avfs.push(campaign.avf());
         }
         table.row(vec![

@@ -63,14 +63,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Structure::RobPc,
         Structure::LoadQueue,
     ] {
-        let c = injector.campaign(
-            structure,
-            &CampaignConfig {
-                injections: 120,
-                seed: 99,
-                ..CampaignConfig::default()
-            },
-        );
+        let c = injector
+            .run(
+                structure,
+                &CampaignConfig {
+                    injections: 120,
+                    seed: 99,
+                    ..CampaignConfig::default()
+                },
+            )
+            .execute()
+            .result;
         table.row(vec![
             structure.name().into(),
             format!("{:.3}", c.avf()),

@@ -36,14 +36,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. A small fault-injection campaign against the register file.
-    let campaign = injector.campaign(
-        Structure::RegFile,
-        &CampaignConfig {
-            injections: 200,
-            seed: 42,
-            ..CampaignConfig::default()
-        },
-    );
+    let campaign = injector
+        .run(
+            Structure::RegFile,
+            &CampaignConfig {
+                injections: 200,
+                seed: 42,
+                ..CampaignConfig::default()
+            },
+        )
+        .execute()
+        .result;
     println!(
         "register file: AVF = {:.3} (±{:.3} at 99% confidence)",
         campaign.avf(),

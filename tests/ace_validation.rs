@@ -60,15 +60,18 @@ fn measure(cfg: &MachineConfig) -> Vec<Vec<Cell>> {
             VALIDATED
                 .iter()
                 .map(|&s| {
-                    let campaign = injector.campaign(
-                        s,
-                        &CampaignConfig {
-                            injections: INJECTIONS,
-                            seed: SEED,
-                            threads: 1,
-                            checkpoint: true,
-                        },
-                    );
+                    let campaign = injector
+                        .run(
+                            s,
+                            &CampaignConfig {
+                                injections: INJECTIONS,
+                                seed: SEED,
+                                threads: 1,
+                                checkpoint: true,
+                            },
+                        )
+                        .execute()
+                        .result;
                     Cell {
                         injected: campaign.avf(),
                         margin: campaign.margin_99(),

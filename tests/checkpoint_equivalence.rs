@@ -64,8 +64,11 @@ proptest! {
                 .collect();
             let fresh_cfg = CampaignConfig { checkpoint: false, ..CampaignConfig::default() };
             let ckpt_cfg = CampaignConfig { checkpoint: true, ..CampaignConfig::default() };
-            let fresh = injector.classify_all(&faults, 1, &fresh_cfg);
-            let ckpt = injector.classify_all(&faults, 1, &ckpt_cfg);
+            // The nominal structure only labels the result; the explicit
+            // fault list drives classification.
+            let s = faults[0].structure;
+            let fresh = injector.run(s, &fresh_cfg).faults(&faults).execute().classes;
+            let ckpt = injector.run(s, &ckpt_cfg).faults(&faults).execute().classes;
             prop_assert_eq!(
                 &fresh, &ckpt,
                 "divergence on {} for faults {:?}", machine.name, faults

@@ -78,7 +78,7 @@ fn icache_faults_crash_dcache_faults_corrupt() {
         checkpoint: true,
     };
 
-    let l1i = injector.campaign(Structure::L1IData, &cfg);
+    let l1i = injector.run(Structure::L1IData, &cfg).execute().result;
     if l1i.avf() > 0.02 {
         assert!(
             l1i.fraction(FaultClass::Crash) > l1i.fraction(FaultClass::Sdc),
@@ -88,7 +88,7 @@ fn icache_faults_crash_dcache_faults_corrupt() {
         );
     }
 
-    let l1d = injector.campaign(Structure::L1DData, &cfg);
+    let l1d = injector.run(Structure::L1DData, &cfg).execute().result;
     if l1d.avf() > 0.02 {
         assert!(
             l1d.fraction(FaultClass::Sdc) >= l1d.fraction(FaultClass::Crash),
@@ -121,7 +121,7 @@ fn rob_and_lsq_fail_only_via_assert() {
         Structure::RobDest,
         Structure::RobSeq,
     ] {
-        let c = injector.campaign(s, &cfg);
+        let c = injector.run(s, &cfg).execute().result;
         assert_eq!(c.counts.sdc, 0, "{s} must not produce SDC");
         assert_eq!(c.counts.crash, 0, "{s} must not produce crashes");
     }
@@ -142,7 +142,7 @@ fn unused_hardware_has_low_avf() {
         threads: 1,
         checkpoint: true,
     };
-    let l2 = injector.campaign(Structure::L2Data, &cfg);
+    let l2 = injector.run(Structure::L2Data, &cfg).execute().result;
     assert!(
         l2.avf() < 0.10,
         "a 2 MiB L2 under a tiny workload should be mostly masked, got {}",
@@ -157,15 +157,18 @@ fn timeout_class_is_reachable_via_iq() {
         .compile(&Workload::Qsort.source(Scale::Tiny))
         .unwrap();
     let injector = Injector::new(&machine, &compiled.program).unwrap();
-    let c = injector.campaign(
-        Structure::IqSrc,
-        &CampaignConfig {
-            injections: 400,
-            seed: 31,
-            threads: 1,
-            checkpoint: true,
-        },
-    );
+    let c = injector
+        .run(
+            Structure::IqSrc,
+            &CampaignConfig {
+                injections: 400,
+                seed: 31,
+                threads: 1,
+                checkpoint: true,
+            },
+        )
+        .execute()
+        .result;
     assert!(
         c.counts.timeout > 0,
         "IQ source-tag corruption should deadlock at least once: {:?}",

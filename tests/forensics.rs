@@ -53,7 +53,11 @@ fn records_match_aggregate_on_both_paper_machines() {
             threads: 2,
             checkpoint: true,
         };
-        let (result, records) = injector.campaign_forensics(Structure::RegFile, &cfg, None);
+        let output = injector
+            .run(Structure::RegFile, &cfg)
+            .records(true)
+            .execute();
+        let (result, records) = (output.result, output.records.expect("records requested"));
 
         // One record per sampled fault, reported in sample order.
         assert_eq!(records.len() as u64, cfg.injections, "{}", machine.name);
@@ -108,7 +112,12 @@ fn records_and_manifest_roundtrip_through_jsonl() {
         checkpoint: true,
     };
     let manifest = RunManifest::new(&machine.name, &machine, &cfg);
-    let (_, records) = injector.campaign_forensics(Structure::RegFile, &cfg, None);
+    let records = injector
+        .run(Structure::RegFile, &cfg)
+        .records(true)
+        .execute()
+        .records
+        .expect("records requested");
 
     // A records file is one manifest line followed by one line per fault.
     let mut stream = vec![serde_json::to_string(&manifest).unwrap()];
