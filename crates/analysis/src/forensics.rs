@@ -199,6 +199,7 @@ mod tests {
             class,
             end_cycle: end,
             golden_cycles: 1000,
+            pruned: false,
             first_divergence: comp.map(|c| DivergenceSite {
                 cycle,
                 pc: 0x40,

@@ -4,17 +4,20 @@
 //!
 //! * `injection_throughput` — the default RegFile campaign (100 uniformly
 //!   sampled faults) with the fresh per-fault engine versus the
-//!   golden-prefix checkpointing engine. The checkpointing engine simulates
-//!   the fault-free prefix once and forks a child per fault, so its
-//!   advantage grows with the golden run length; this pair is the headline
-//!   before/after number for the campaign engine.
+//!   golden-prefix checkpointing engine, versus checkpointing plus
+//!   liveness pruning. The checkpointing engine simulates the fault-free
+//!   prefix once and forks a child per fault, so its advantage grows with
+//!   the golden run length; the pruned variant additionally classifies
+//!   faults outside every live window as Masked without forking a child
+//!   at all. This trio is the headline before/after number for the
+//!   campaign engine.
 //! * `single_injection` — the unit cost of one from-scratch injection
 //!   (golden positioning + flip + run-to-outcome) across structures.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use softerr::{
-    CampaignConfig, Compiler, FaultSpec, Injector, MachineConfig, OptLevel, Scale, Structure,
-    Workload,
+    CampaignConfig, Compiler, FaultSpec, Injector, MachineConfig, OptLevel, PruneMode, Scale,
+    Structure, Workload,
 };
 
 fn bench_campaign(c: &mut Criterion) {
@@ -27,12 +30,23 @@ fn bench_campaign(c: &mut Criterion) {
     let mut group = c.benchmark_group("injection_throughput");
     let base = CampaignConfig::default();
     group.throughput(Throughput::Elements(base.injections));
-    for (label, checkpoint) in [("fresh", false), ("checkpoint", true)] {
+    // The pruned variant pays the one-off liveness golden run up front so
+    // the measured loop sees only the steady-state campaign cost.
+    injector.liveness();
+    for (label, checkpoint, prune) in [
+        ("fresh", false, PruneMode::Off),
+        ("checkpoint", true, PruneMode::Off),
+        ("pruned", true, PruneMode::On),
+    ] {
         group.bench_with_input(
             BenchmarkId::new("rf_campaign", label),
-            &checkpoint,
-            |b, &checkpoint| {
-                let cfg = CampaignConfig { checkpoint, ..base };
+            &(checkpoint, prune),
+            |b, &(checkpoint, prune)| {
+                let cfg = CampaignConfig {
+                    checkpoint,
+                    prune,
+                    ..base
+                };
                 b.iter(|| injector.run(Structure::RegFile, &cfg).execute().result)
             },
         );

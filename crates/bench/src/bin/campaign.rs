@@ -20,7 +20,7 @@
 
 use softerr::{
     ace_estimate, telemetry, CampaignConfig, Compiler, FaultRecord, Injector, MachineConfig,
-    OptLevel, ProgressLine, RunManifest, Scale, Sim, Structure, Table, Workload,
+    OptLevel, ProgressLine, PruneMode, RunManifest, Scale, Sim, Structure, Table, Workload,
 };
 use std::io::Write;
 
@@ -34,6 +34,8 @@ struct Args {
     seed: u64,
     threads: usize,
     checkpoint: bool,
+    prune: PruneMode,
+    target_margin: Option<f64>,
     estimate_ace: bool,
     records: Option<String>,
     metrics: bool,
@@ -52,6 +54,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         threads: 1,
         checkpoint: true,
+        prune: PruneMode::Off,
+        target_margin: None,
         estimate_ace: false,
         records: None,
         metrics: false,
@@ -124,6 +128,17 @@ fn parse_args() -> Result<Args, String> {
                     "off" | "false" | "0" => false,
                     other => return Err(format!("bad --checkpoint value `{other}` (on|off)")),
                 }
+            }
+            "--prune" => args.prune = value.parse()?,
+            "--target-margin" => {
+                let target: f64 = value.parse().map_err(|_| "bad target margin")?;
+                if !(target > 0.0 && target < 1.0) {
+                    return Err(format!(
+                        "--target-margin must be in (0, 1), got {target} \
+                         (the paper's figure is 0.0288)"
+                    ));
+                }
+                args.target_margin = Some(target);
             }
             "--records" => args.records = Some(value),
             other => return Err(format!("unknown option `{other}`")),
@@ -198,6 +213,7 @@ fn main() {
                 "usage: campaign [--machine a15|a72] [--workload NAME] [--level O0..O3]\n\
                  \x20              [--structure NAME] [--scale tiny|small|full]\n\
                  \x20              [-n COUNT] [--seed N] [--threads N] [--checkpoint on|off]\n\
+                 \x20              [--prune off|on|verify] [--target-margin F]\n\
                  \x20              [--estimate ace] [--records FILE] [--metrics] [--quiet]\n\
                  \x20              [--log-json]"
             );
@@ -216,6 +232,8 @@ fn main() {
         seed: args.seed,
         threads: args.threads,
         checkpoint: args.checkpoint,
+        prune: args.prune,
+        target_margin: args.target_margin,
     };
     let mut manifest = RunManifest::new(&args.machine.name, &args.machine, &campaign_cfg);
     manifest.workload = args.workload.to_string();
@@ -307,10 +325,28 @@ fn main() {
         file.flush().expect("record stream flushes");
     }
     println!("{table}");
-    println!(
-        "({} injections per structure; uniform bit x cycle sampling; margin at 99% via Leveugle)",
-        args.injections
-    );
+    match args.target_margin {
+        Some(target) => println!(
+            "(adaptive sampling to a {target} margin at 99% in batches of {}; \
+             uniform bit x cycle sampling via Leveugle)",
+            args.injections
+        ),
+        None => println!(
+            "({} injections per structure; uniform bit x cycle sampling; margin at 99% via Leveugle)",
+            args.injections
+        ),
+    }
+    if args.prune != PruneMode::Off {
+        println!(
+            "(prune={}: faults outside every golden-run live window classify as Masked{})",
+            args.prune,
+            if args.prune == PruneMode::Verify {
+                ", then re-simulate to assert the verdict"
+            } else {
+                " without simulating"
+            }
+        );
+    }
     if ace.is_some() {
         println!(
             "(static AVF: entry-granular ACE bit-liveness from one golden run — an upper-bound\n\

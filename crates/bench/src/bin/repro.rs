@@ -12,8 +12,8 @@
 
 use softerr::{
     ace_estimate, telemetry, weighted_avf, AceEstimate, EccScheme, FaultClass, MachineConfig,
-    OptLevel, Orchestrator, PassConfig, ResultStore, Scale, Structure, StudyConfig, StudyResults,
-    Table, Workload,
+    OptLevel, Orchestrator, PassConfig, PruneMode, ResultStore, Scale, Structure, StudyConfig,
+    StudyResults, Table, Workload,
 };
 use softerr::{event, Level};
 use std::path::PathBuf;
@@ -167,6 +167,10 @@ fn usage() {
     eprintln!("  --threads N                   worker threads per campaign (default 1)");
     eprintln!("  --jobs N                      concurrent study cells (default 1; 0 = all cores)");
     eprintln!("  --no-checkpoint               disable golden-prefix checkpointing");
+    eprintln!("  --prune off|on|verify         skip provably-masked faults via golden-run");
+    eprintln!("                                liveness (verify re-simulates and asserts)");
+    eprintln!("  --target-margin F             adaptive sampling: draw until the 99% error");
+    eprintln!("                                margin is <= F (overrides --injections)");
     eprintln!("  --results DIR                 result-store root (default target/softerr-store)");
     eprintln!("  --fresh                       ignore stored results (re-execute every cell)");
     eprintln!("  --estimate ace                print static ACE AVF beside injected (figs 2-8)");
@@ -182,6 +186,8 @@ struct Options {
     threads: usize,
     jobs: usize,
     checkpoint: bool,
+    prune: PruneMode,
+    target_margin: Option<f64>,
     results_dir: PathBuf,
     fresh: bool,
     estimate_ace: bool,
@@ -198,6 +204,8 @@ impl Options {
             threads: 1,
             jobs: 1,
             checkpoint: true,
+            prune: PruneMode::Off,
+            target_margin: None,
             results_dir: PathBuf::from("target/softerr-store"),
             fresh: false,
             estimate_ace: false,
@@ -240,6 +248,20 @@ impl Options {
                 "--threads" => opts.threads = next("--threads").parse().expect("number"),
                 "--jobs" => opts.jobs = next("--jobs").parse().expect("number"),
                 "--no-checkpoint" => opts.checkpoint = false,
+                "--prune" => {
+                    opts.prune = next("--prune").parse().unwrap_or_else(|e: String| {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    })
+                }
+                "--target-margin" => {
+                    let target: f64 = next("--target-margin").parse().expect("number");
+                    if !(target > 0.0 && target < 1.0) {
+                        eprintln!("--target-margin must be in (0, 1), got {target}");
+                        std::process::exit(1);
+                    }
+                    opts.target_margin = Some(target);
+                }
                 "--results" => opts.results_dir = PathBuf::from(next("--results")),
                 "--fresh" => opts.fresh = true,
                 "--quiet" => opts.quiet = true,
@@ -276,6 +298,8 @@ fn study(opts: &Options) -> StudyResults {
         seed: opts.seed,
         threads: opts.threads,
         checkpoint: opts.checkpoint,
+        prune: opts.prune,
+        target_margin: opts.target_margin,
         ..StudyConfig::default()
     };
     let store = ResultStore::open(&opts.results_dir).expect("result store opens");
@@ -833,6 +857,8 @@ fn ablation_opt(opts: &Options) {
                     seed: opts.seed,
                     threads: opts.threads,
                     checkpoint: opts.checkpoint,
+                    prune: opts.prune,
+                    target_margin: opts.target_margin,
                 },
             )
             .execute()
@@ -878,6 +904,8 @@ fn mbu(opts: &Options) {
                         seed: opts.seed,
                         threads: opts.threads,
                         checkpoint: opts.checkpoint,
+                        prune: opts.prune,
+                        target_margin: opts.target_margin,
                     },
                 )
                 .burst_width(width)
@@ -917,6 +945,8 @@ fn ablation_size(opts: &Options) {
                     seed: opts.seed,
                     threads: opts.threads,
                     checkpoint: opts.checkpoint,
+                    prune: opts.prune,
+                    target_margin: opts.target_margin,
                 },
             )
             .execute()

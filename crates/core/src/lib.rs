@@ -50,12 +50,12 @@ pub use softerr_cc::{CompileError, Compiled, Compiler, OptLevel, PassConfig, Ver
 pub use softerr_inject::{
     error_margin, fnv1a, CampaignConfig, CampaignObserver, CampaignOutput, CampaignResult,
     CampaignRun, ClassCounts, DivergenceSite, FaultClass, FaultRecord, FaultSpec, Golden, Injector,
-    ProgressLine, RunManifest, Z_90, Z_95, Z_99,
+    ProgressLine, PruneMode, RunManifest, Z_90, Z_95, Z_99,
 };
 pub use softerr_isa::{disassemble, Emulator, Profile, Program};
 pub use softerr_sim::{
-    MachineConfig, OccupancyHistogram, ResidencyReport, Sim, SimCounters, SimOutcome, SimStats,
-    Structure, StructureResidency,
+    LiveWindow, LivenessMap, MachineConfig, OccupancyHistogram, ResidencyReport, Sim, SimCounters,
+    SimOutcome, SimStats, Structure, StructureLiveness, StructureResidency,
 };
 /// The structured event/telemetry facade (see [`mod@telemetry`]).
 pub use softerr_telemetry as telemetry;

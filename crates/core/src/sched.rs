@@ -323,6 +323,8 @@ impl Orchestrator {
                     seed: cfg.seed,
                     threads: cfg.threads,
                     checkpoint: cfg.checkpoint,
+                    prune: cfg.prune,
+                    target_margin: cfg.target_margin,
                 };
                 let campaigns: Vec<CampaignResult> = cfg
                     .structures

@@ -3,8 +3,8 @@
 //! Every (machine, workload, level) cell of a study is persisted as one
 //! JSON file named by the FNV-1a hash of the *full* configuration that
 //! produced it — machine geometry, workload, optimization level, input
-//! scale, injection count, seed, checkpointing mode, structure list, and
-//! crate version. Because the key is derived from content, a re-run with
+//! scale, injection count, seed, checkpointing mode, structure list,
+//! pruning mode, adaptive-sampling target, and crate version. Because the key is derived from content, a re-run with
 //! any parameter changed misses the store and re-executes, while an
 //! identical re-run (or a study killed halfway and restarted) is served
 //! from disk without re-simulating a single fault. This replaces the old
@@ -44,7 +44,7 @@ pub fn cell_config_hash(
     level: OptLevel,
 ) -> String {
     let canonical = format!(
-        "v{}|machine={:?}|workload={}|level={}|scale={}|injections={}|seed={}|checkpoint={}|structures={:?}",
+        "v{}|machine={:?}|workload={}|level={}|scale={}|injections={}|seed={}|checkpoint={}|structures={:?}|prune={:?}|target_margin={:?}",
         env!("CARGO_PKG_VERSION"),
         machine,
         workload,
@@ -54,6 +54,8 @@ pub fn cell_config_hash(
         config.seed,
         config.checkpoint,
         config.structures,
+        config.prune,
+        config.target_margin,
     );
     format!("{:016x}", fnv1a(canonical.as_bytes()))
 }
@@ -250,6 +252,22 @@ mod tests {
         let mut c = base.clone();
         c.checkpoint = !c.checkpoint;
         assert_ne!(baseline, h(&c), "checkpoint mode is keyed");
+        let mut c = base.clone();
+        c.prune = softerr_inject::PruneMode::On;
+        assert_ne!(baseline, h(&c), "prune mode is keyed");
+        let mut c = base.clone();
+        c.target_margin = Some(0.0288);
+        assert_ne!(baseline, h(&c), "adaptive-sampling target is keyed");
+        let mut c = base.clone();
+        c.target_margin = Some(0.05);
+        assert_ne!(
+            h(&StudyConfig {
+                target_margin: Some(0.0288),
+                ..base.clone()
+            }),
+            h(&c),
+            "different targets key differently"
+        );
         let mut c = base.clone();
         c.scale = softerr_workloads::Scale::Full;
         assert_ne!(baseline, h(&c), "scale is keyed");

@@ -5,7 +5,7 @@ use crate::sched::Orchestrator;
 use serde::{Deserialize, Serialize};
 use softerr_analysis::{weighted_avf, EccScheme, StructureMeasurement};
 use softerr_cc::OptLevel;
-use softerr_inject::{CampaignResult, FaultClass};
+use softerr_inject::{CampaignResult, FaultClass, PruneMode};
 use softerr_sim::{MachineConfig, Structure};
 use softerr_workloads::{Scale, Workload};
 use std::fmt;
@@ -35,6 +35,16 @@ pub struct StudyConfig {
     /// [`CampaignConfig::checkpoint`]). Results are identical either way;
     /// checkpointing is just faster.
     pub checkpoint: bool,
+    /// Liveness-based pruning of provably-masked faults for each campaign
+    /// (see [`softerr_inject::PruneMode`]). `On` keeps class tallies
+    /// bit-identical to `Off`; `Verify` re-simulates every pruned fault and
+    /// asserts the verdict.
+    pub prune: PruneMode,
+    /// Adaptive sampling: grow each campaign until its AVF error margin at
+    /// 99% confidence reaches this target (see
+    /// [`CampaignConfig::target_margin`]); `None` injects a fixed
+    /// `injections` per cell.
+    pub target_margin: Option<f64>,
 }
 
 impl Default for StudyConfig {
@@ -50,6 +60,8 @@ impl Default for StudyConfig {
             seed: 0x5EED,
             threads: 1,
             checkpoint: true,
+            prune: PruneMode::Off,
+            target_margin: None,
         }
     }
 }
@@ -120,6 +132,14 @@ impl StudyConfig {
             return Err(
                 "threads must be at least 1 (0 worker threads can run nothing)".to_string(),
             );
+        }
+        if let Some(target) = self.target_margin {
+            if !(target > 0.0 && target < 1.0) {
+                return Err(format!(
+                    "target_margin must be in (0, 1), got {target} \
+                     (the paper's figure is 0.0288)"
+                ));
+            }
         }
         Ok(())
     }
@@ -197,6 +217,19 @@ impl StudyConfigBuilder {
     /// Golden-prefix checkpointing per campaign.
     pub fn checkpoint(mut self, checkpoint: bool) -> StudyConfigBuilder {
         self.config.checkpoint = checkpoint;
+        self
+    }
+
+    /// Liveness-based pruning mode per campaign.
+    pub fn prune(mut self, prune: PruneMode) -> StudyConfigBuilder {
+        self.config.prune = prune;
+        self
+    }
+
+    /// Adaptive-sampling target margin per campaign (99% confidence);
+    /// validated to lie in (0, 1) by [`build`](StudyConfigBuilder::build).
+    pub fn target_margin(mut self, target_margin: Option<f64>) -> StudyConfigBuilder {
+        self.config.target_margin = target_margin;
         self
     }
 

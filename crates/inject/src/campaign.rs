@@ -6,11 +6,13 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use softerr_isa::Program;
-use softerr_sim::{MachineConfig, Sim, SimOutcome, Structure};
+use softerr_sim::{LivenessMap, MachineConfig, Sim, SimOutcome, Structure};
 use softerr_telemetry::{event, Level};
+use std::collections::HashSet;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// One single-bit transient fault: flip `bit` of `structure` at `cycle`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -142,12 +144,64 @@ impl fmt::Display for GoldenError {
 
 impl std::error::Error for GoldenError {}
 
+/// Liveness-based pre-simulation pruning policy.
+///
+/// The golden run's [`softerr_sim::LivenessMap`] knows, per structure, the
+/// exact (bit, cycle) windows in which a flip could still be observed. A
+/// fault outside every window is Masked by construction; pruning classifies
+/// it on the spot instead of forking a child simulator for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PruneMode {
+    /// Simulate every sampled fault (the baseline engines).
+    #[default]
+    Off,
+    /// Classify faults landing outside every live window as Masked without
+    /// simulating them. Class tallies are bit-identical to `Off`.
+    On,
+    /// Simulate every fault anyway and assert that each prunable one really
+    /// classifies as Masked — the regression net for the liveness model.
+    /// Panics on a mismatch (an unsound prune window is a correctness bug).
+    Verify,
+}
+
+impl PruneMode {
+    /// Lower-case CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            PruneMode::Off => "off",
+            PruneMode::On => "on",
+            PruneMode::Verify => "verify",
+        }
+    }
+}
+
+impl fmt::Display for PruneMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PruneMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<PruneMode, String> {
+        match s {
+            "off" => Ok(PruneMode::Off),
+            "on" => Ok(PruneMode::On),
+            "verify" => Ok(PruneMode::Verify),
+            other => Err(format!("unknown prune mode '{other}' (off|on|verify)")),
+        }
+    }
+}
+
 /// Campaign parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Injections per structure. The default (100) keeps the bundled
     /// experiments fast; the paper samples 2,000 per structure to reach its
-    /// reported confidence margins — pass a larger count to match.
+    /// reported confidence margins — pass a larger count to match. With
+    /// [`CampaignConfig::target_margin`] set, this is the batch size the
+    /// adaptive sampler grows the campaign by instead.
     pub injections: u64,
     /// RNG seed (campaigns are fully reproducible).
     pub seed: u64,
@@ -161,6 +215,16 @@ pub struct CampaignConfig {
     /// re-converge to the golden state. Classification is bit-identical to
     /// the fresh per-fault path (`checkpoint: false`).
     pub checkpoint: bool,
+    /// Liveness-based pruning of provably-masked faults (default `Off`).
+    pub prune: PruneMode,
+    /// Adaptive sampling: keep drawing faults in batches of `injections`
+    /// until the worst-case AVF error margin at 99% confidence drops to
+    /// this target (e.g. the paper's `0.0288`), instead of always burning a
+    /// fixed budget. `None` (the default) samples exactly `injections`
+    /// faults. The drawn sample is a deterministic function of the final
+    /// count, so two campaigns that settle on the same size inject the
+    /// same faults.
+    pub target_margin: Option<f64>,
 }
 
 impl Default for CampaignConfig {
@@ -170,6 +234,8 @@ impl Default for CampaignConfig {
             seed: 0xB17F11B5,
             threads: 1,
             checkpoint: true,
+            prune: PruneMode::Off,
+            target_margin: None,
         }
     }
 }
@@ -231,6 +297,9 @@ pub struct Injector<'a> {
     cfg: &'a MachineConfig,
     program: &'a Program,
     golden: Golden,
+    /// Golden-run liveness windows, built lazily by one extra instrumented
+    /// golden execution the first time a campaign prunes (or verifies).
+    liveness: OnceLock<LivenessMap>,
 }
 
 impl<'a> Injector<'a> {
@@ -254,6 +323,7 @@ impl<'a> Injector<'a> {
                     retired,
                     output,
                 },
+                liveness: OnceLock::new(),
             }),
             other => Err(GoldenError(format!("{other:?}"))),
         }
@@ -267,6 +337,34 @@ impl<'a> Injector<'a> {
     /// Number of injectable bits of `structure` on this machine.
     pub fn bit_count(&self, structure: Structure) -> u64 {
         Sim::new(self.cfg, self.program).bit_count(structure)
+    }
+
+    /// Per-structure live windows of the golden run, built on first use by
+    /// one extra instrumented golden execution and cached for the
+    /// injector's lifetime.
+    pub fn liveness(&self) -> &LivenessMap {
+        self.liveness.get_or_init(|| {
+            let mut sim = Sim::new(self.cfg, self.program);
+            sim.enable_liveness();
+            let _ = sim.run(4_000_000_000);
+            sim.liveness_map()
+                .expect("liveness instrumentation was enabled")
+        })
+    }
+
+    /// True when every bit of the `width`-bit burst at `fault` lands
+    /// outside all of the golden run's live windows: the flip can never be
+    /// observed, so the fault is Masked by construction and a campaign may
+    /// classify it without simulating.
+    fn prunable(&self, fault: FaultSpec, width: u8) -> bool {
+        let bits = self.bit_count(fault.structure);
+        if bits == 0 {
+            // Nothing to flip; the engines classify this Masked themselves.
+            return false;
+        }
+        let map = self.liveness();
+        (0..u64::from(width.max(1)))
+            .all(|k| !map.is_ace(fault.structure, (fault.bit + k) % bits, fault.cycle))
     }
 
     /// Executes one single-bit injection and classifies the outcome.
@@ -306,6 +404,7 @@ impl<'a> Injector<'a> {
                     class: FaultClass::Assert,
                     end_cycle: fault.cycle,
                     divergence: None,
+                    pruned: false,
                 }
             }
         }
@@ -333,6 +432,7 @@ impl<'a> Injector<'a> {
                         class: FaultClass::Assert,
                         end_cycle: sim.cycle(),
                         divergence: None,
+                        pruned: false,
                     }
                 }
             };
@@ -345,6 +445,7 @@ impl<'a> Injector<'a> {
             class: self.classify_end(&end),
             end_cycle: end_cycles(&end),
             divergence: None,
+            pruned: false,
         }
     }
 
@@ -392,22 +493,17 @@ impl<'a> Injector<'a> {
         }
     }
 
-    /// Runs a campaign of `width`-bit burst upsets on one structure.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `injector.run(s, cfg).burst_width(w).execute()`"
-    )]
-    pub fn campaign_burst(
-        &self,
-        structure: Structure,
-        cfg: &CampaignConfig,
-        width: u8,
-    ) -> CampaignResult {
-        self.run(structure, cfg).burst_width(width).execute().result
-    }
-
-    /// Samples `n` faults for a structure uniformly over (bit × cycle),
-    /// reproducibly from `seed`.
+    /// Samples `n` distinct faults for a structure uniformly over
+    /// (bit × cycle), reproducibly from `seed`.
+    ///
+    /// Draws are deduplicated (collisions are redrawn, preserving draw
+    /// order): the error-margin statistics apply a finite-population
+    /// correction that assumes sampling *without* replacement, so injecting
+    /// the same (bit, cycle) twice would overstate the campaign's
+    /// confidence. When `n` exceeds the structure's (bit × cycle)
+    /// population the sample is the full census. Because rejected draws
+    /// depend only on earlier draws, a smaller sample is always a prefix of
+    /// a larger one from the same seed.
     ///
     /// A structure with no injectable bits on this machine (e.g. a queue
     /// configured with zero entries) yields an empty sample instead of
@@ -418,100 +514,64 @@ impl<'a> Injector<'a> {
             return Vec::new();
         }
         let cycles = self.golden.cycles.max(1);
+        let population = bits.saturating_mul(cycles);
+        let n = n.min(population);
         // Mix the structure into the seed so different structures draw
         // independent samples from the same campaign seed.
         let mut rng =
             SmallRng::seed_from_u64(seed ^ (structure as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        (0..n)
-            .map(|_| FaultSpec {
-                structure,
-                bit: rng.gen_range(0..bits),
-                cycle: rng.gen_range(0..cycles),
-            })
-            .collect()
+        let mut seen: HashSet<(u64, u64)> = HashSet::with_capacity(n as usize);
+        let mut faults = Vec::with_capacity(n as usize);
+        while (faults.len() as u64) < n {
+            let bit = rng.gen_range(0..bits);
+            let cycle = rng.gen_range(0..cycles);
+            if seen.insert((bit, cycle)) {
+                faults.push(FaultSpec {
+                    structure,
+                    bit,
+                    cycle,
+                });
+            }
+        }
+        faults
     }
 
-    /// Runs a full campaign on one structure.
-    #[deprecated(since = "0.1.0", note = "use `injector.run(s, cfg).execute().result`")]
-    pub fn campaign(&self, structure: Structure, cfg: &CampaignConfig) -> CampaignResult {
-        self.run(structure, cfg).execute().result
-    }
-
-    /// Runs a full single-bit campaign with live per-classification
-    /// notifications (e.g. a [`crate::ProgressLine`]) but no forensic
-    /// record capture.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `injector.run(s, cfg).observer(o).execute()`"
-    )]
-    pub fn campaign_observed(
+    /// Samples just enough faults to push the worst-case AVF error margin
+    /// at 99% confidence down to `target`, growing in batches of
+    /// `cfg.injections`. The resulting sample size depends only on the
+    /// population and the target, and the sampler is prefix-stable, so the
+    /// adaptive sample equals a fixed-size sample of the same count.
+    fn sample_adaptive(
         &self,
         structure: Structure,
+        target: f64,
         cfg: &CampaignConfig,
-        observer: &dyn CampaignObserver,
-    ) -> CampaignResult {
-        self.run(structure, cfg).observer(observer).execute().result
-    }
-
-    /// Runs a full single-bit campaign on one structure, returning both the
-    /// aggregate result and one forensic [`FaultRecord`] per sampled fault
-    /// (in sample order), so the records' class tallies match the result's
-    /// counts exactly.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `injector.run(s, cfg).records(true).execute()` (add `.observer(o)` as needed)"
-    )]
-    pub fn campaign_forensics(
-        &self,
-        structure: Structure,
-        cfg: &CampaignConfig,
-        observer: Option<&dyn CampaignObserver>,
-    ) -> (CampaignResult, Vec<FaultRecord>) {
-        let mut run = self.run(structure, cfg).records(true);
-        run.observer = observer;
-        let out = run.execute();
-        (out.result, out.records.unwrap_or_default())
-    }
-
-    /// Classifies every fault in `faults`, returning one class per fault in
-    /// input order.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `injector.run(s, cfg).faults(&faults).burst_width(w).execute().classes`"
-    )]
-    pub fn classify_all(
-        &self,
-        faults: &[FaultSpec],
-        width: u8,
-        cfg: &CampaignConfig,
-    ) -> Vec<FaultClass> {
-        self.run(primary_structure(faults), cfg)
-            .faults(faults)
-            .burst_width(width)
-            .execute()
-            .classes
-    }
-
-    /// Classifies every fault in `faults` with full forensics, returning
-    /// one [`FaultRecord`] per fault in input order.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `injector.run(s, cfg).faults(&faults).records(true).execute().records`"
-    )]
-    pub fn classify_all_recorded(
-        &self,
-        faults: &[FaultSpec],
-        width: u8,
-        cfg: &CampaignConfig,
-        observer: Option<&dyn CampaignObserver>,
-    ) -> Vec<FaultRecord> {
-        let mut run = self
-            .run(primary_structure(faults), cfg)
-            .faults(faults)
-            .burst_width(width)
-            .records(true);
-        run.observer = observer;
-        run.execute().records.unwrap_or_default()
+    ) -> Vec<FaultSpec> {
+        let bits = self.bit_count(structure);
+        if bits == 0 {
+            return Vec::new();
+        }
+        let population = bits.saturating_mul(self.golden.cycles.max(1));
+        let batch = cfg.injections.max(1);
+        // Jump straight to the analytic sample size, rounded up to whole
+        // batches, then let the margin check absorb any rounding slack.
+        let need = crate::stats::required_sample(target, population, crate::stats::Z_99);
+        let mut n = need.div_ceil(batch).saturating_mul(batch).min(population);
+        while crate::stats::error_margin(n, population, crate::stats::Z_99) > target
+            && n < population
+        {
+            n = n.saturating_add(batch).min(population);
+        }
+        event!(
+            Level::Info,
+            "inject.adaptive",
+            { structure: format!("{structure:?}"), n: n, population: population, target: target },
+            "adaptive sampling: {} faults reach a {:.4} margin over a population of {}",
+            n,
+            target,
+            population
+        );
+        self.sample_faults(structure, n, cfg.seed)
     }
 
     /// The engine shared by the class-only and recorded paths: classifies
@@ -565,13 +625,6 @@ impl<'a> Injector<'a> {
         }
         outcomes
     }
-}
-
-/// Structure the aggregate [`CampaignResult`] of an explicit fault list is
-/// attributed to: the first fault's target (campaigns are per-structure in
-/// practice; an empty list aggregates nothing, so any structure will do).
-fn primary_structure(faults: &[FaultSpec]) -> Structure {
-    faults.first().map_or(Structure::RegFile, |f| f.structure)
 }
 
 /// A configured-but-not-yet-executed campaign, built by [`Injector::run`].
@@ -632,19 +685,31 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
         let faults: &[FaultSpec] = match self.faults {
             Some(faults) => faults,
             None => {
-                sampled =
-                    self.injector
-                        .sample_faults(self.structure, self.cfg.injections, self.cfg.seed);
+                sampled = match self.cfg.target_margin {
+                    Some(target) => {
+                        self.injector
+                            .sample_adaptive(self.structure, target, &self.cfg)
+                    }
+                    None => self.injector.sample_faults(
+                        self.structure,
+                        self.cfg.injections,
+                        self.cfg.seed,
+                    ),
+                };
                 &sampled
             }
         };
-        let outcomes = self.injector.classify_outcomes(
-            faults,
-            self.burst_width,
-            &self.cfg,
-            self.record,
-            self.observer,
-        );
+        let outcomes = match self.cfg.prune {
+            PruneMode::Off => self.injector.classify_outcomes(
+                faults,
+                self.burst_width,
+                &self.cfg,
+                self.record,
+                self.observer,
+            ),
+            PruneMode::On => self.execute_pruned(faults),
+            PruneMode::Verify => self.execute_verified(faults),
+        };
         let mut counts = ClassCounts::default();
         for outcome in &outcomes {
             counts.record(outcome.class);
@@ -660,6 +725,7 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
                     end_cycle: outcome.end_cycle,
                     golden_cycles: self.injector.golden.cycles,
                     first_divergence: outcome.divergence,
+                    pruned: outcome.pruned,
                 })
                 .collect()
         });
@@ -673,6 +739,111 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
             classes,
             records,
         }
+    }
+
+    /// `prune = on`: classifies liveness-prunable faults as Masked without
+    /// simulating them and runs only the survivors through the engine,
+    /// scattering both back into sample order.
+    fn execute_pruned(&self, faults: &[FaultSpec]) -> Vec<Outcome> {
+        let flags: Vec<bool> = faults
+            .iter()
+            .map(|&f| self.injector.prunable(f, self.burst_width))
+            .collect();
+        let survivors: Vec<FaultSpec> = faults
+            .iter()
+            .zip(&flags)
+            .filter(|&(_, &pruned)| !pruned)
+            .map(|(&f, _)| f)
+            .collect();
+        let pruned_n = faults.len() - survivors.len();
+        if let Some(&first) = faults.first() {
+            event!(
+                Level::Info,
+                "inject.prune",
+                {
+                    structure: format!("{:?}", first.structure),
+                    pruned: pruned_n,
+                    total: faults.len(),
+                    width: self.burst_width
+                },
+                "pruned {}/{} sampled faults as provably masked",
+                pruned_n,
+                faults.len()
+            );
+        }
+        let survivor_outcomes = self.injector.classify_outcomes(
+            &survivors,
+            self.burst_width,
+            &self.cfg,
+            self.record,
+            self.observer,
+        );
+        let mut survivor_it = survivor_outcomes.into_iter();
+        faults
+            .iter()
+            .zip(&flags)
+            .map(|(fault, &pruned)| {
+                if pruned {
+                    if let Some(observer) = self.observer {
+                        observer.fault_classified(FaultClass::Masked);
+                    }
+                    Outcome::pruned_at(fault.cycle)
+                } else {
+                    survivor_it.next().expect("one engine outcome per survivor")
+                }
+            })
+            .collect()
+    }
+
+    /// `prune = verify`: simulates every fault exactly like `off`, then
+    /// asserts that each liveness-prunable fault really classified as
+    /// Masked. A mismatch means a live window is missing from the map — a
+    /// soundness bug — so it panics rather than returning tainted tallies.
+    fn execute_verified(&self, faults: &[FaultSpec]) -> Vec<Outcome> {
+        let outcomes = self.injector.classify_outcomes(
+            faults,
+            self.burst_width,
+            &self.cfg,
+            self.record,
+            self.observer,
+        );
+        let mut checked = 0usize;
+        for (fault, outcome) in faults.iter().zip(&outcomes) {
+            if !self.injector.prunable(*fault, self.burst_width) {
+                continue;
+            }
+            checked += 1;
+            if outcome.class != FaultClass::Masked {
+                event!(
+                    Level::Error,
+                    "inject.prune",
+                    {
+                        structure: format!("{:?}", fault.structure),
+                        bit: fault.bit,
+                        cycle: fault.cycle,
+                        class: outcome.class.name()
+                    },
+                    "prune verification failed: {:?} is outside every live window \
+                     but simulated as {}",
+                    fault,
+                    outcome.class
+                );
+                panic!(
+                    "prune verification failed: {fault:?} (width {}) is outside every \
+                     live window but simulated as {}",
+                    self.burst_width, outcome.class
+                );
+            }
+        }
+        event!(
+            Level::Info,
+            "inject.prune",
+            { verified: checked, total: faults.len() },
+            "verified {}/{} prunable faults simulate as Masked",
+            checked,
+            faults.len()
+        );
+        outcomes
     }
 }
 
@@ -697,6 +868,8 @@ struct Outcome {
     end_cycle: u64,
     /// First-divergence site (recorded-mode convoy forks only).
     divergence: Option<DivergenceSite>,
+    /// Verdict produced by the liveness pruner, without simulation.
+    pruned: bool,
 }
 
 impl Outcome {
@@ -706,6 +879,15 @@ impl Outcome {
             class: FaultClass::Masked,
             end_cycle: cycle,
             divergence: None,
+            pruned: false,
+        }
+    }
+
+    /// A Masked verdict the liveness pruner issued without simulating.
+    fn pruned_at(cycle: u64) -> Outcome {
+        Outcome {
+            pruned: true,
+            ..Outcome::masked_at(cycle)
         }
     }
 }
@@ -906,10 +1088,16 @@ impl Engine<'_, '_> {
                          classifying as Assert",
                         child.slot
                     );
+                    // The child's own cycle counter, not the convoy's stop
+                    // cycle: the stop schedule depends on which other faults
+                    // share the convoy, and records must be a pure function
+                    // of the fault itself (pruning changes convoy
+                    // membership; record streams must not notice).
                     let outcome = Outcome {
                         class: FaultClass::Assert,
-                        end_cycle: cycle,
+                        end_cycle: child.sim.cycle(),
                         divergence: child.divergence.take(),
+                        pruned: false,
                     };
                     self.push(results, child.slot, outcome);
                     return false;
@@ -920,6 +1108,7 @@ impl Engine<'_, '_> {
                     class: self.inj.classify_end(&end),
                     end_cycle: end_cycles(&end),
                     divergence: child.divergence.take(),
+                    pruned: false,
                 };
                 self.push(results, child.slot, outcome);
                 return false;
@@ -934,10 +1123,16 @@ impl Engine<'_, '_> {
                     } else {
                         FaultClass::Sdc
                     };
+                    // A converged child provably halts exactly when the
+                    // golden run does, so record that terminal cycle rather
+                    // than the (convoy-membership-dependent) cycle the check
+                    // happened to run at — the same verdict a graduated
+                    // child reaches by simulating to its own halt.
                     let outcome = Outcome {
                         class,
-                        end_cycle: cycle,
+                        end_cycle: self.inj.golden.cycles,
                         divergence: child.divergence.take(),
+                        pruned: false,
                     };
                     self.push(results, child.slot, outcome);
                     return false;
@@ -958,6 +1153,7 @@ impl Engine<'_, '_> {
                 class: self.inj.classify_end(&end),
                 end_cycle: end_cycles(&end),
                 divergence: child.divergence,
+                pruned: false,
             },
             Err(_) => {
                 event!(
@@ -972,6 +1168,7 @@ impl Engine<'_, '_> {
                     class: FaultClass::Assert,
                     end_cycle: child.sim.cycle(),
                     divergence: child.divergence,
+                    pruned: false,
                 }
             }
         };
@@ -1080,6 +1277,7 @@ mod tests {
                     seed: 1,
                     threads: 1,
                     checkpoint: true,
+                    ..CampaignConfig::default()
                 },
             )
             .execute()
@@ -1099,6 +1297,7 @@ mod tests {
             seed: 99,
             threads: 1,
             checkpoint: true,
+            ..CampaignConfig::default()
         };
         let a = inj.run(Structure::IqSrc, &cc).execute().result;
         let b = inj.run(Structure::IqSrc, &cc).execute().result;
@@ -1117,6 +1316,7 @@ mod tests {
                     seed: 5,
                     threads: 1,
                     checkpoint: true,
+                    ..CampaignConfig::default()
                 },
             )
             .execute()
@@ -1129,6 +1329,7 @@ mod tests {
                     seed: 5,
                     threads: 3,
                     checkpoint: true,
+                    ..CampaignConfig::default()
                 },
             )
             .execute()
@@ -1149,6 +1350,7 @@ mod tests {
                         seed: 3,
                         threads: 1,
                         checkpoint: true,
+                        ..CampaignConfig::default()
                     },
                 )
                 .execute()
@@ -1191,6 +1393,7 @@ mod tests {
             seed: 77,
             threads: 1,
             checkpoint: true,
+            ..CampaignConfig::default()
         };
         let single = inj
             .run(Structure::L1IData, &cc)
@@ -1234,6 +1437,7 @@ mod tests {
             seed: 21,
             threads: 1,
             checkpoint: false,
+            ..CampaignConfig::default()
         };
         let ckpt_cfg = CampaignConfig {
             checkpoint: true,
@@ -1262,6 +1466,7 @@ mod tests {
                     seed: 8,
                     threads: 1,
                     checkpoint: true,
+                    ..CampaignConfig::default()
                 },
             )
             .execute()
@@ -1274,6 +1479,7 @@ mod tests {
                     seed: 8,
                     threads: 3,
                     checkpoint: true,
+                    ..CampaignConfig::default()
                 },
             )
             .execute()
@@ -1316,6 +1522,7 @@ mod tests {
                         seed: 7,
                         threads: 1,
                         checkpoint,
+                        ..CampaignConfig::default()
                     },
                 )
                 .execute()
@@ -1339,6 +1546,7 @@ mod tests {
             seed: 11,
             threads: 1,
             checkpoint: true,
+            ..CampaignConfig::default()
         };
         for s in [Structure::RegFile, Structure::RobPc] {
             let faults = inj.sample_faults(s, cc.injections, cc.seed);
@@ -1380,6 +1588,7 @@ mod tests {
             seed: 33,
             threads: 1,
             checkpoint: false,
+            ..CampaignConfig::default()
         };
         let faults = inj.sample_faults(Structure::RegFile, cc.injections, cc.seed);
         let fresh = inj
@@ -1409,6 +1618,7 @@ mod tests {
             seed: 2,
             threads: 2,
             checkpoint: true,
+            ..CampaignConfig::default()
         };
         let progress = crate::ProgressLine::with_activity("test", cc.injections, false);
         let out = inj
@@ -1431,6 +1641,194 @@ mod tests {
             .execute()
             .result;
         assert_eq!(observed, result, "observed and forensic runs agree");
+    }
+
+    #[test]
+    fn sampling_never_repeats_a_fault_site() {
+        // Small population: a single-entry load queue (32 injectable bits
+        // on A32) over a few hundred golden cycles. Sampling with
+        // replacement would collide here with near-certainty, and the
+        // finite-population-corrected error margin assumes it never does.
+        let mut cfg = MachineConfig::cortex_a15();
+        cfg.lq_entries = 1;
+        let program = Compiler::new(cfg.profile, OptLevel::O1)
+            .compile(
+                "int tab[8];
+                 void main() {
+                     int s = 0;
+                     for (int i = 0; i < 8; i = i + 1) { tab[i] = i; s = s + tab[i]; }
+                     out(s);
+                 }",
+            )
+            .unwrap()
+            .program;
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let population = inj.bit_count(Structure::LoadQueue) * inj.golden().cycles;
+        assert!(population > 0);
+        let sample = inj.sample_faults(Structure::LoadQueue, population + 100, 42);
+        assert_eq!(
+            sample.len() as u64,
+            population,
+            "over-asking yields the full census, not duplicates"
+        );
+        let mut seen = std::collections::HashSet::new();
+        for f in &sample {
+            assert!(
+                seen.insert((f.bit, f.cycle)),
+                "duplicate draw at bit {} cycle {}",
+                f.bit,
+                f.cycle
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_prefix_stable() {
+        // The adaptive sampler depends on this: a grown sample must extend,
+        // not reshuffle, the smaller one drawn from the same seed.
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let small = inj.sample_faults(Structure::RegFile, 30, 9);
+        let big = inj.sample_faults(Structure::RegFile, 90, 9);
+        assert_eq!(&big[..30], &small[..]);
+    }
+
+    #[test]
+    fn pruned_campaign_matches_unpruned_and_flags_pruned_records() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let base = CampaignConfig {
+            injections: 60,
+            seed: 13,
+            ..CampaignConfig::default()
+        };
+        let on = CampaignConfig {
+            prune: PruneMode::On,
+            ..base
+        };
+        for s in [Structure::RegFile, Structure::L1DData, Structure::IqDest] {
+            let off_out = inj.run(s, &base).records(true).execute();
+            let on_out = inj.run(s, &on).records(true).execute();
+            assert_eq!(off_out.result, on_out.result, "{s}: tallies must match");
+            assert_eq!(off_out.classes, on_out.classes, "{s}: classes must match");
+            let (off_recs, on_recs) = (off_out.records.unwrap(), on_out.records.unwrap());
+            for (a, b) in off_recs.iter().zip(&on_recs) {
+                if b.class != FaultClass::Masked {
+                    assert_eq!(a, b, "{s}: non-masked records must be engine-invariant");
+                    assert!(!b.pruned, "only Masked verdicts can come from the pruner");
+                }
+            }
+            if s == Structure::RegFile {
+                assert!(
+                    on_recs.iter().any(|r| r.pruned),
+                    "a RegFile campaign lands some faults in dead bit-cycles"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verify_mode_agrees_with_unpruned_and_does_not_panic() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let base = CampaignConfig {
+            injections: 40,
+            seed: 4,
+            ..CampaignConfig::default()
+        };
+        let verify = CampaignConfig {
+            prune: PruneMode::Verify,
+            ..base
+        };
+        for s in [
+            Structure::RegFile,
+            Structure::LoadQueue,
+            Structure::RobFlags,
+            Structure::L1DTag,
+        ] {
+            let off = inj.run(s, &base).execute();
+            let v = inj.run(s, &verify).execute();
+            assert_eq!(
+                off.result, v.result,
+                "{s}: verify simulates exactly like off"
+            );
+            let records = inj.run(s, &verify).records(true).execute().records.unwrap();
+            assert!(
+                records.iter().all(|r| !r.pruned),
+                "{s}: verify-mode records are all simulated"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_sampling_stops_at_the_target_margin() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let cc = CampaignConfig {
+            injections: 25,
+            seed: 6,
+            target_margin: Some(0.15),
+            ..CampaignConfig::default()
+        };
+        let r = inj.run(Structure::RegFile, &cc).execute().result;
+        assert!(
+            r.margin_99() <= 0.15,
+            "margin {} misses the target",
+            r.margin_99()
+        );
+        let population = r.bit_population * r.golden_cycles;
+        assert!(r.total() > 0 && r.total() < population);
+        // Deterministic: the same target settles on the same sample.
+        let again = inj.run(Structure::RegFile, &cc).execute().result;
+        assert_eq!(r, again);
+        // A tighter target draws more faults.
+        let tighter = CampaignConfig {
+            target_margin: Some(0.08),
+            ..cc
+        };
+        let t = inj.run(Structure::RegFile, &tighter).execute().result;
+        assert!(t.total() > r.total());
+        assert!(t.margin_99() <= 0.08);
+    }
+
+    #[test]
+    fn ghost_iq_valid_bit_asserts_instead_of_panicking() {
+        // Satellite: a tag fault that corrupts capacity bookkeeping must end
+        // in a SimOutcome::Assert *return*, not a panic — under
+        // `panic = "abort"` a panicking child would take the whole campaign
+        // down with it. Setting the dest-field valid bit of an empty issue
+        // queue slot fabricates a ghost entry with no dispatched
+        // instruction; the issue stage must refuse it gracefully. No
+        // catch_unwind here on purpose: a panic fails the test.
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let mut sim = Sim::new(&cfg, &program);
+        assert!(sim.run_to_cycle(20).is_none(), "program runs past cycle 20");
+        let bpe = sim.bit_count(Structure::IqDest) / cfg.iq_entries as u64;
+        let ghost_valid_bit = (cfg.iq_entries as u64 - 1) * bpe + (bpe - 1);
+        sim.flip_bit(Structure::IqDest, ghost_valid_bit);
+        let end = sim.run(2 * inj.golden().cycles);
+        assert!(
+            matches!(end, SimOutcome::Assert { .. }),
+            "ghost IQ entry must classify as Assert, got {end:?}"
+        );
+        // And the campaign path agrees (the fault is never prunable: valid
+        // bits of empty slots are exactly where ghosts come from).
+        let fault = FaultSpec {
+            structure: Structure::IqDest,
+            bit: ghost_valid_bit,
+            cycle: 20,
+        };
+        assert_eq!(inj.inject(fault), FaultClass::Assert);
+        assert!(!inj.prunable(fault, 1), "ghost sites must never be pruned");
+    }
+
+    #[test]
+    fn prune_mode_round_trips_through_str() {
+        for mode in [PruneMode::Off, PruneMode::On, PruneMode::Verify] {
+            assert_eq!(mode.name().parse::<PruneMode>().unwrap(), mode);
+        }
+        assert!("sometimes".parse::<PruneMode>().is_err());
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod stats;
 
 pub use campaign::{
     CampaignConfig, CampaignOutput, CampaignResult, CampaignRun, ClassCounts, FaultClass,
-    FaultSpec, Golden, GoldenError, Injector,
+    FaultSpec, Golden, GoldenError, Injector, PruneMode,
 };
 pub use manifest::{fnv1a, RunManifest};
 pub use progress::{CampaignObserver, ProgressLine};

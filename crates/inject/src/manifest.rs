@@ -6,7 +6,7 @@
 //! of the full configuration. In a `--records` JSONL stream the manifest
 //! is the first line; in text reports it prints as a one-line header.
 
-use crate::campaign::CampaignConfig;
+use crate::campaign::{CampaignConfig, PruneMode};
 use serde::{Deserialize, Serialize};
 use softerr_sim::MachineConfig;
 use std::fmt;
@@ -22,6 +22,8 @@ pub struct RunManifest {
     pub threads: u64,
     /// Whether golden-prefix checkpointing was enabled.
     pub checkpoint: bool,
+    /// Liveness-based pruning mode the campaign ran under.
+    pub prune: PruneMode,
     /// Machine profile name (e.g. `"cortex-a15"`).
     pub machine: String,
     /// ISA profile (e.g. `"A32"`).
@@ -50,6 +52,7 @@ impl RunManifest {
             injections: cfg.injections,
             threads: cfg.threads as u64,
             checkpoint: cfg.checkpoint,
+            prune: cfg.prune,
             machine: machine_name.to_string(),
             profile: format!("{:?}", machine.profile),
             workload: "-".to_string(),
@@ -66,7 +69,7 @@ impl fmt::Display for RunManifest {
         write!(
             f,
             "machine={} profile={} workload={} level={} scale={} \
-             injections={} seed={} threads={} checkpoint={} config={} v{}",
+             injections={} seed={} threads={} checkpoint={} prune={} config={} v{}",
             self.machine,
             self.profile,
             self.workload,
@@ -76,6 +79,7 @@ impl fmt::Display for RunManifest {
             self.seed,
             self.threads,
             self.checkpoint,
+            self.prune,
             self.config_hash,
             self.version,
         )

@@ -34,16 +34,24 @@ pub struct FaultRecord {
     pub spec: FaultSpec,
     /// Outcome class.
     pub class: FaultClass,
-    /// Cycle at which the outcome was decided: the faulted run's terminal
-    /// cycle, or the cycle a convoy convergence check proved the fault's
-    /// fate. For faults that land after the program ends (or flip nothing)
-    /// this is the injection cycle itself.
+    /// The faulted run's terminal cycle. A run the convoy engine proved
+    /// converged back to the golden state necessarily halts exactly when
+    /// the golden run does, so its record carries the golden cycle count;
+    /// faults that land after the program ends (or flip nothing, or are
+    /// pruned as provably dead) are decided at the injection cycle itself.
+    /// This makes the field a pure function of the fault — independent of
+    /// engine choice, thread count, and which other faults were sampled.
     pub end_cycle: u64,
     /// Golden (fault-free) execution time in cycles, for normalizing.
     pub golden_cycles: u64,
     /// First point where microarchitectural state diverged from the golden
     /// run, or `None` for faults that never corrupted live state.
     pub first_divergence: Option<DivergenceSite>,
+    /// Verdict provenance: `true` when the liveness pruner classified the
+    /// fault as Masked without simulating it (`prune = on` campaigns only;
+    /// verify-mode campaigns simulate everything, so their records never
+    /// set this).
+    pub pruned: bool,
 }
 
 impl FaultRecord {
@@ -75,6 +83,7 @@ mod tests {
                 pc: 0x40,
                 component: "rf".to_string(),
             }),
+            pruned: false,
         }
     }
 
@@ -95,6 +104,7 @@ mod tests {
         assert_eq!(back, r);
         let mut bare = record(1, 2);
         bare.first_divergence = None;
+        bare.pruned = true;
         let json = serde_json::to_string(&bare).unwrap();
         let back: FaultRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, bare);

@@ -95,15 +95,18 @@ impl IssueQueue {
         (0..self.n).any(|s| !self.valid[s] && self.payload[s].is_none())
     }
 
-    /// Inserts an entry; returns its slot.
-    ///
-    /// # Panics
-    ///
-    /// Panics if full — dispatch must check first.
-    pub fn insert(&mut self, payload: IqPayload, src1_ready: bool, src2_ready: bool) -> usize {
-        let slot = (0..self.n)
-            .find(|&s| !self.valid[s] && self.payload[s].is_none())
-            .expect("IQ overflow");
+    /// Inserts an entry; returns its slot, or `None` when no insertable
+    /// slot exists. Dispatch guards with [`IssueQueue::has_free_slot`], so
+    /// `None` only happens when a fault corrupted the capacity
+    /// bookkeeping; returning it (instead of panicking) lets the pipeline
+    /// classify the run as an Assert even under `panic = "abort"`.
+    pub fn insert(
+        &mut self,
+        payload: IqPayload,
+        src1_ready: bool,
+        src2_ready: bool,
+    ) -> Option<usize> {
+        let slot = (0..self.n).find(|&s| !self.valid[s] && self.payload[s].is_none())?;
         self.src1_tag[slot] = payload.golden_src1;
         self.src2_tag[slot] = payload.golden_src2;
         self.src1_ready[slot] = src1_ready || !payload.has_src1;
@@ -112,7 +115,7 @@ impl IssueQueue {
         self.valid[slot] = true;
         self.payload[slot] = Some(payload);
         self.count += 1;
-        slot
+        Some(slot)
     }
 
     /// Removes an entry (after issue or squash).
@@ -275,7 +278,7 @@ mod tests {
     #[test]
     fn flipped_src_tag_misses_broadcast() {
         let mut iq = IssueQueue::new(2);
-        let slot = iq.insert(payload(1, 10, 0, 20), false, true);
+        let slot = iq.insert(payload(1, 10, 0, 20), false, true).unwrap();
         iq.flip_src_bit(slot as u64 * SRC_BITS_PER_ENTRY); // tag 10 → 11
         iq.broadcast(10);
         assert!(iq.ready_entries().unwrap().is_empty(), "wakeup missed");
@@ -292,7 +295,7 @@ mod tests {
     #[test]
     fn ready_bit_flip_makes_entry_issueable() {
         let mut iq = IssueQueue::new(2);
-        let slot = iq.insert(payload(1, 10, 0, 20), false, true);
+        let slot = iq.insert(payload(1, 10, 0, 20), false, true).unwrap();
         iq.flip_src_bit(slot as u64 * SRC_BITS_PER_ENTRY + 8);
         assert_eq!(iq.ready_entries().unwrap(), vec![slot]);
     }
@@ -307,9 +310,9 @@ mod tests {
     #[test]
     fn squash_removes_younger_only() {
         let mut iq = IssueQueue::new(4);
-        iq.insert(payload(1, 0, 0, 1), true, true);
-        iq.insert(payload(5, 0, 0, 2), true, true);
-        iq.insert(payload(9, 0, 0, 3), true, true);
+        iq.insert(payload(1, 0, 0, 1), true, true).unwrap();
+        iq.insert(payload(5, 0, 0, 2), true, true).unwrap();
+        iq.insert(payload(9, 0, 0, 3), true, true).unwrap();
         iq.squash_younger(5);
         assert_eq!(iq.len(), 2);
         let seqs: Vec<u64> = iq
@@ -322,10 +325,17 @@ mod tests {
     }
 
     #[test]
+    fn insert_on_full_queue_returns_none_instead_of_panicking() {
+        let mut iq = IssueQueue::new(1);
+        iq.insert(payload(1, 0, 0, 1), true, true).unwrap();
+        assert_eq!(iq.insert(payload(2, 0, 0, 2), true, true), None);
+    }
+
+    #[test]
     fn capacity_tracking() {
         let mut iq = IssueQueue::new(2);
-        let a = iq.insert(payload(1, 0, 0, 1), true, true);
-        iq.insert(payload(2, 0, 0, 2), true, true);
+        let a = iq.insert(payload(1, 0, 0, 1), true, true).unwrap();
+        iq.insert(payload(2, 0, 0, 2), true, true).unwrap();
         assert!(iq.is_full());
         iq.remove(a);
         assert!(!iq.is_full());

@@ -54,4 +54,6 @@ pub use counters::{OccupancyHistogram, SimCounters};
 pub use inject::Structure;
 pub use memsys::{MemErr, MemorySystem};
 pub use pipeline::{Sim, SimOutcome, SimStats};
-pub use residency::{ResidencyReport, StructureResidency};
+pub use residency::{
+    LiveWindow, LivenessMap, ResidencyReport, StructureLiveness, StructureResidency,
+};

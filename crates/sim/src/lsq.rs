@@ -142,13 +142,15 @@ impl LsQueue {
         self.head
     }
 
-    /// Allocates the tail slot for a new entry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if full — dispatch must check first.
-    pub fn push(&mut self, payload: LsqPayload) -> usize {
-        assert!(!self.is_full(), "LSQ overflow");
+    /// Allocates the tail slot for a new entry; returns `None` when full.
+    /// Dispatch guards with [`LsQueue::is_full`], so `None` only happens
+    /// when a fault corrupted the capacity bookkeeping; returning it
+    /// (instead of panicking) lets the pipeline classify the run as an
+    /// Assert even under `panic = "abort"`.
+    pub fn push(&mut self, payload: LsqPayload) -> Option<usize> {
+        if self.is_full() {
+            return None;
+        }
         let idx = self.tail;
         self.words[idx] = self
             .layout
@@ -156,7 +158,7 @@ impl LsQueue {
         self.payload[idx] = Some(payload);
         self.tail = (self.tail + 1) % self.n;
         self.count += 1;
-        idx
+        Some(idx)
     }
 
     /// Releases the head entry.
@@ -280,9 +282,17 @@ mod tests {
     }
 
     #[test]
+    fn push_on_full_queue_returns_none_instead_of_panicking() {
+        let mut q = LsQueue::new(2, LsqLayout::for_profile(Profile::A32));
+        q.push(entry(1, 0x2000, 4, 0, true)).unwrap();
+        q.push(entry(2, 0x2004, 4, 0, true)).unwrap();
+        assert_eq!(q.push(entry(3, 0x2008, 4, 0, true)), None);
+    }
+
+    #[test]
     fn push_check_pop() {
         let mut q = queue();
-        let i = q.push(entry(5, 0x2000, 4, 7, true));
+        let i = q.push(entry(5, 0x2000, 4, 7, true)).unwrap();
         assert!(q.check(i, "sq").is_ok());
         q.pop_head();
         assert!(q.is_empty());
@@ -292,7 +302,7 @@ mod tests {
     fn any_flip_on_live_entry_fails_check() {
         for bit in 0..32u64 {
             let mut q = queue();
-            let i = q.push(entry(5, 0x2000, 4, 7, true));
+            let i = q.push(entry(5, 0x2000, 4, 7, true)).unwrap();
             q.flip_bit(i as u64 * 32 + bit);
             assert!(q.check(i, "flip").is_err(), "bit {bit} undetected");
         }
@@ -301,7 +311,7 @@ mod tests {
     #[test]
     fn flips_on_free_entries_are_masked() {
         let mut q = queue();
-        q.push(entry(1, 0x2000, 4, 0, true));
+        q.push(entry(1, 0x2000, 4, 0, true)).unwrap();
         // Flip in slot 3 (never allocated).
         q.flip_bit(3 * 32 + 5);
         assert!(q.check(0, "live").is_ok());
@@ -310,8 +320,8 @@ mod tests {
     #[test]
     fn store_forwarding_cases() {
         let mut q = queue();
-        q.push(entry(1, 0x2000, 4, 0xAA, true));
-        q.push(entry(3, 0x3000, 4, 0xBB, true));
+        q.push(entry(1, 0x2000, 4, 0xAA, true)).unwrap();
+        q.push(entry(3, 0x3000, 4, 0xBB, true)).unwrap();
         // Exact match forwards from the matching store.
         assert_eq!(
             q.check_older_stores(5, 0x2000, 4),
@@ -328,15 +338,15 @@ mod tests {
     #[test]
     fn unknown_address_blocks() {
         let mut q = queue();
-        q.push(entry(1, 0, 0, 0, false));
+        q.push(entry(1, 0, 0, 0, false)).unwrap();
         assert_eq!(q.check_older_stores(5, 0x2000, 4), StoreCheck::Blocked);
     }
 
     #[test]
     fn youngest_matching_store_forwards() {
         let mut q = queue();
-        q.push(entry(1, 0x2000, 4, 0xAA, true));
-        q.push(entry(2, 0x2000, 4, 0xBB, true));
+        q.push(entry(1, 0x2000, 4, 0xAA, true)).unwrap();
+        q.push(entry(2, 0x2000, 4, 0xBB, true)).unwrap();
         assert_eq!(
             q.check_older_stores(5, 0x2000, 4),
             StoreCheck::Forward(0xBB)
@@ -346,15 +356,15 @@ mod tests {
     #[test]
     fn squash_rolls_back_tail() {
         let mut q = queue();
-        q.push(entry(1, 0x2000, 4, 0, true));
-        q.push(entry(5, 0x2004, 4, 0, true));
-        q.push(entry(9, 0x2008, 4, 0, true));
+        q.push(entry(1, 0x2000, 4, 0, true)).unwrap();
+        q.push(entry(5, 0x2004, 4, 0, true)).unwrap();
+        q.push(entry(9, 0x2008, 4, 0, true)).unwrap();
         q.squash_younger(5);
         assert_eq!(q.len(), 2);
         let seqs: Vec<u64> = q.occupied().map(|i| q.payload(i).unwrap().seq).collect();
         assert_eq!(seqs, vec![1, 5]);
         // The freed slot is reusable.
-        q.push(entry(6, 0x2010, 4, 0, true));
+        q.push(entry(6, 0x2010, 4, 0, true)).unwrap();
         assert_eq!(q.len(), 3);
     }
 
@@ -362,12 +372,12 @@ mod tests {
     fn wraparound_allocation() {
         let mut q = queue();
         for k in 0..4 {
-            q.push(entry(k, 0x2000 + k * 8, 4, 0, true));
+            q.push(entry(k, 0x2000 + k * 8, 4, 0, true)).unwrap();
         }
         assert!(q.is_full());
         q.pop_head();
         q.pop_head();
-        q.push(entry(10, 0x3000, 4, 0, true));
+        q.push(entry(10, 0x3000, 4, 0, true)).unwrap();
         let seqs: Vec<u64> = q.occupied().map(|i| q.payload(i).unwrap().seq).collect();
         assert_eq!(seqs, vec![2, 3, 10]);
     }

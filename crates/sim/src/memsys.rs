@@ -4,7 +4,7 @@
 
 use crate::cache::Cache;
 use crate::config::MachineConfig;
-use crate::residency::CacheResidency;
+use crate::residency::{CacheResidency, LiveWindow};
 use softerr_isa::{MemFault, MemFaultKind, Memory, NULL_PAGE};
 
 /// Which L1 a request goes through.
@@ -80,6 +80,30 @@ impl MemorySystem {
             CacheResidency::new(self.l1d.geometry().lines()),
             CacheResidency::new(self.l2.geometry().lines()),
         ]));
+    }
+
+    /// Additionally records per-line lifetime windows (for the campaign
+    /// prune filter's [`crate::LivenessMap`]). Requires residency on.
+    pub(crate) fn record_liveness_windows(&mut self) {
+        if let Some(r) = self.residency.as_deref_mut() {
+            for cache in r.iter_mut() {
+                cache.set_record_windows(true);
+            }
+        }
+    }
+
+    /// Finished `(data, tag)` danger windows of the three cache arrays
+    /// (indices: l1i, l1d, l2), or `None` if residency was never enabled.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn liveness_windows(
+        &self,
+    ) -> Option<[(Vec<Vec<LiveWindow>>, Vec<Vec<LiveWindow>>); 3]> {
+        let r = self.residency.as_deref()?;
+        Some([
+            r[0].live_windows(),
+            r[1].live_windows(),
+            r[2].live_windows(),
+        ])
     }
 
     /// Advances the residency clock (called once per pipeline cycle).

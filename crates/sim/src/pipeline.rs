@@ -14,7 +14,9 @@ use crate::iq::{IqPayload, IssueQueue};
 use crate::lsq::{LsQueue, LsqLayout, LsqPayload, StoreCheck};
 use crate::memsys::{MemErr, MemorySystem};
 use crate::regs::{PhysReg, RegisterFile};
-use crate::residency::{CoreResidency, ResidencyReport, StructureResidency};
+use crate::residency::{
+    CoreResidency, LivenessMap, ResidencyReport, StructureLiveness, StructureResidency,
+};
 use crate::rob::{flag, Rob};
 use crate::uop::{DestInfo, Uop, UopKind, UopState};
 use crate::Structure;
@@ -199,6 +201,18 @@ impl Sim {
         self.mem.enable_residency();
     }
 
+    /// Like [`Sim::enable_residency`], but additionally records every
+    /// closed per-entry interval so the run can be summarized as a
+    /// [`Sim::liveness_map`] for campaign pruning. Call before the first
+    /// cycle; costs memory proportional to the event count.
+    pub fn enable_liveness(&mut self) {
+        self.enable_residency();
+        if let Some(t) = self.residency.as_deref_mut() {
+            t.set_record_windows(true);
+        }
+        self.mem.record_liveness_windows();
+    }
+
     /// Per-structure live-bit-cycle totals recorded since
     /// [`Sim::enable_residency`], or `None` if tracking was never enabled.
     /// Callable at any point; open intervals are closed at their last read.
@@ -250,6 +264,70 @@ impl Sim {
             cycles: self.cycle,
             structures,
         })
+    }
+
+    /// Assembles the per-entry danger windows recorded since
+    /// [`Sim::enable_liveness`] into a queryable [`LivenessMap`] (the
+    /// campaign prune filter), or `None` if liveness recording was never
+    /// enabled. Callable at any point; still-open entries are closed
+    /// conservatively (see `CoreResidency::live_windows`).
+    pub fn liveness_map(&self) -> Option<LivenessMap> {
+        let core = self.residency.as_deref()?;
+        let cw = core.live_windows();
+        let [l1i, l1d, l2] = self.mem.liveness_windows()?;
+        let bpe = |bits: u64, entries: usize| {
+            if entries == 0 {
+                0
+            } else {
+                bits / entries as u64
+            }
+        };
+        let structures = Structure::ALL
+            .iter()
+            .map(|&s| {
+                let bits = self.bit_count(s);
+                let (entries, windows, always_live_offset) = match s {
+                    Structure::RegFile => (self.rf.nphys(), cw.rf.clone(), None),
+                    Structure::LoadQueue => (self.cfg.lq_entries, cw.lq.clone(), None),
+                    Structure::StoreQueue => (self.cfg.sq_entries, cw.sq.clone(), None),
+                    Structure::IqSrc => (self.cfg.iq_entries, cw.iq.clone(), None),
+                    // A flipped-on valid bit (the entry's last bit) makes a
+                    // ghost entry out of a free slot, so it is dangerous at
+                    // any cycle, occupancy notwithstanding.
+                    Structure::IqDest => (
+                        self.cfg.iq_entries,
+                        cw.iq.clone(),
+                        bpe(bits, self.cfg.iq_entries).checked_sub(1),
+                    ),
+                    Structure::RobPc
+                    | Structure::RobDest
+                    | Structure::RobSeq
+                    | Structure::RobFlags => (self.cfg.rob_entries, cw.rob.clone(), None),
+                    Structure::L1IData => (self.mem.l1i.geometry().lines(), l1i.0.clone(), None),
+                    Structure::L1DData => (self.mem.l1d.geometry().lines(), l1d.0.clone(), None),
+                    Structure::L2Data => (self.mem.l2.geometry().lines(), l2.0.clone(), None),
+                    // Tag arrays: per-line layout is tag|valid|dirty, and a
+                    // flipped-on valid bit resurrects a stale line.
+                    Structure::L1ITag => (
+                        self.mem.l1i.geometry().lines(),
+                        l1i.1.clone(),
+                        bpe(bits, self.mem.l1i.geometry().lines()).checked_sub(2),
+                    ),
+                    Structure::L1DTag => (
+                        self.mem.l1d.geometry().lines(),
+                        l1d.1.clone(),
+                        bpe(bits, self.mem.l1d.geometry().lines()).checked_sub(2),
+                    ),
+                    Structure::L2Tag => (
+                        self.mem.l2.geometry().lines(),
+                        l2.1.clone(),
+                        bpe(bits, self.mem.l2.geometry().lines()).checked_sub(2),
+                    ),
+                };
+                StructureLiveness::new(s, bits, entries, always_live_offset, windows)
+            })
+            .collect();
+        Some(LivenessMap::new(self.cycle, structures))
     }
 
     /// Turns on the microarchitectural event counters (stall cycles,
@@ -1045,7 +1123,9 @@ impl Sim {
                     uop.src2 = Some(g2);
                 }
                 if let Some(rd) = instr.dest() {
-                    let phys = self.rf.alloc().expect("free count checked");
+                    let Some(phys) = self.rf.alloc() else {
+                        return Err(self.assert_stop("rename without a free physical register"));
+                    };
                     let old = self.rf.spec_map[rd.index()];
                     self.rf.spec_map[rd.index()] = phys;
                     uop.dest = Some(DestInfo {
@@ -1072,11 +1152,16 @@ impl Sim {
                 flag_bits |= flag::EXCEPTION;
             }
             let dest_triple = uop.dest.map(|d| (d.arch, d.phys, d.old));
-            let rob_idx = self.rob.push(uop.pc, uop.seq, dest_triple, flag_bits);
+            let Some(rob_idx) = self.rob.push(uop.pc, uop.seq, dest_triple, flag_bits) else {
+                // Unreachable through the is_full guard above unless a
+                // fault corrupted the capacity bookkeeping: an Assert, not
+                // a panic — campaigns must survive it under panic="abort".
+                return Err(self.assert_stop("ROB overflow at dispatch"));
+            };
             uop.rob_idx = rob_idx;
             let cycle = self.cycle;
             if let Some(t) = self.residency.as_deref_mut() {
-                t.rob_push(uop.seq, dest_triple.is_some(), cycle);
+                t.rob_push(uop.seq, rob_idx, dest_triple.is_some(), cycle);
             }
 
             if kind == UopKind::Poisoned {
@@ -1089,7 +1174,7 @@ impl Sim {
             // LSQ entries.
             if kind == UopKind::Load {
                 let tag = uop.dest.map_or(0, |d| d.phys);
-                uop.lsq_idx = Some(self.lq.push(LsqPayload {
+                let Some(lq_idx) = self.lq.push(LsqPayload {
                     seq: uop.seq,
                     rob_idx,
                     tag,
@@ -1097,13 +1182,16 @@ impl Sim {
                     size: 0,
                     data: 0,
                     addr_known: false,
-                }));
+                }) else {
+                    return Err(self.assert_stop("load queue overflow at dispatch"));
+                };
+                uop.lsq_idx = Some(lq_idx);
                 if let Some(t) = self.residency.as_deref_mut() {
-                    t.lq_push(uop.seq, cycle);
+                    t.lq_push(uop.seq, lq_idx, cycle);
                 }
             }
             if kind == UopKind::Store {
-                uop.lsq_idx = Some(self.sq.push(LsqPayload {
+                let Some(sq_idx) = self.sq.push(LsqPayload {
                     seq: uop.seq,
                     rob_idx,
                     tag: g2,
@@ -1111,9 +1199,12 @@ impl Sim {
                     size: 0,
                     data: 0,
                     addr_known: false,
-                }));
+                }) else {
+                    return Err(self.assert_stop("store queue overflow at dispatch"));
+                };
+                uop.lsq_idx = Some(sq_idx);
                 if let Some(t) = self.residency.as_deref_mut() {
-                    t.sq_push(uop.seq, cycle);
+                    t.sq_push(uop.seq, sq_idx, cycle);
                 }
             }
 
@@ -1129,9 +1220,11 @@ impl Sim {
             };
             let r1 = !has1 || self.rf.is_ready(g1);
             let r2 = !has2 || self.rf.is_ready(g2);
-            self.iq.insert(payload, r1, r2);
+            let Some(iq_slot) = self.iq.insert(payload, r1, r2) else {
+                return Err(self.assert_stop("IQ overflow at dispatch"));
+            };
             if let Some(t) = self.residency.as_deref_mut() {
-                t.iq_insert(uop.seq, cycle);
+                t.iq_insert(uop.seq, iq_slot, cycle);
             }
             self.uops[rob_idx] = Some(uop);
         }
@@ -1302,8 +1395,9 @@ impl Sim {
             .filter_map(|u| u.dest.map(|d| d.phys))
             .collect();
         self.rf.recover(&checkpoint, &dests);
+        let cycle = self.cycle;
         if let Some(t) = self.residency.as_deref_mut() {
-            t.squash_queues(boundary_seq);
+            t.squash_queues(boundary_seq, cycle);
             t.rf_sync_freed(&self.rf);
         }
 

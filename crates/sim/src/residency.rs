@@ -1,4 +1,5 @@
-//! Bit-residency (ACE interval) recording for the static AVF estimator.
+//! Bit-residency (ACE interval) recording for the static AVF estimator
+//! and the campaign prune filter.
 //!
 //! During one golden (un-faulted) run the pipeline and memory system feed
 //! the trackers here with allocate / read / write / free / evict events for
@@ -22,6 +23,16 @@
 //!   eviction never reads them), and from fill to eviction for dirty lines
 //!   (the writeback reads the whole line).
 //!
+//! Beyond the aggregate totals, the trackers can record every closed
+//! interval per entry ([`CoreResidency::set_record_windows`]); the
+//! pipeline assembles those into a [`LivenessMap`], the queryable
+//! structure behind campaign pruning. The map's windows are *danger*
+//! windows, not ACE windows: they must cover every cycle at which a flip
+//! could still be observed by any read — including squashed-but-occupied
+//! queue entries (cross-checked at commit/issue until the squash) — so
+//! occupancy closes at the squash cycle here even though the squashed
+//! span is discarded from the ACE accumulators.
+//!
 //! Trackers are deliberately *not* part of [`crate::Sim::state_eq`]: they
 //! observe execution without feeding back into it.
 
@@ -42,23 +53,59 @@ impl Open {
     }
 }
 
+/// One closed, inclusive `[start, end]` cycle window during which a flip
+/// of the entry's bits can still influence execution. A fault is applied
+/// *before* its cycle executes, so a flip at exactly `end` is observed by
+/// that cycle's read and both bounds are inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveWindow {
+    /// First cycle at which a flip is observable.
+    pub start: u64,
+    /// Last cycle at which a flip is observable (inclusive).
+    pub end: u64,
+}
+
+fn push_window(windows: &mut Vec<Vec<LiveWindow>>, slot: usize, start: u64, end: u64) {
+    if windows.len() <= slot {
+        windows.resize_with(slot + 1, Vec::new);
+    }
+    windows[slot].push(LiveWindow { start, end });
+}
+
+/// Finished per-entry danger windows of the core structures.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CoreWindows {
+    pub(crate) rf: Vec<Vec<LiveWindow>>,
+    pub(crate) rob: Vec<Vec<LiveWindow>>,
+    pub(crate) iq: Vec<Vec<LiveWindow>>,
+    pub(crate) lq: Vec<Vec<LiveWindow>>,
+    pub(crate) sq: Vec<Vec<LiveWindow>>,
+}
+
 /// Residency accumulators for the core structures (register file, ROB,
 /// IQ, load/store queues). Queue entries are keyed by uop sequence number
 /// so that a squash can discard every younger entry without knowing the
-/// structures' internal slot layout.
+/// structures' internal slot layout; each entry also carries its slot
+/// index so closed occupancy windows land on the right injection target.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct CoreResidency {
     rf: Vec<Option<Open>>,
     rf_acc: u64,
-    rob: HashMap<u64, (u64, bool)>,
+    rob: HashMap<u64, (u64, bool, usize)>,
     rob_acc: u64,
     rob_dest_acc: u64,
-    iq: HashMap<u64, u64>,
+    iq: HashMap<u64, (u64, usize)>,
     iq_acc: u64,
-    lq: HashMap<u64, u64>,
+    lq: HashMap<u64, (u64, usize)>,
     lq_acc: u64,
-    sq: HashMap<u64, u64>,
+    sq: HashMap<u64, (u64, usize)>,
     sq_acc: u64,
+    record_windows: bool,
+    rf_windows: Vec<Vec<LiveWindow>>,
+    rob_windows: Vec<Vec<LiveWindow>>,
+    iq_windows: Vec<Vec<LiveWindow>>,
+    lq_windows: Vec<Vec<LiveWindow>>,
+    sq_windows: Vec<Vec<LiveWindow>>,
 }
 
 impl CoreResidency {
@@ -69,6 +116,13 @@ impl CoreResidency {
         }
     }
 
+    /// Turns on per-entry window recording (off by default: the windows
+    /// are only needed when the run feeds a [`LivenessMap`], and they cost
+    /// memory proportional to the event count).
+    pub(crate) fn set_record_windows(&mut self, on: bool) {
+        self.record_windows = on;
+    }
+
     /// Marks a register live from `cycle` (initial architectural state).
     pub(crate) fn rf_open(&mut self, tag: PhysReg, cycle: u64) {
         self.rf[tag as usize] = Some(Open {
@@ -77,15 +131,22 @@ impl CoreResidency {
         });
     }
 
+    fn rf_close(&mut self, tag: PhysReg) {
+        if let Some(o) = self.rf[tag as usize].take() {
+            self.rf_acc += o.span();
+            if self.record_windows {
+                push_window(&mut self.rf_windows, tag as usize, o.start, o.last_read);
+            }
+        }
+    }
+
     /// A value lands in the register at writeback: close any stale
     /// interval and start a new one.
     pub(crate) fn rf_write(&mut self, tag: PhysReg, cycle: u64) {
         if tag == 0 {
             return; // the zero register discards writes
         }
-        if let Some(o) = self.rf[tag as usize].take() {
-            self.rf_acc += o.span();
-        }
+        self.rf_close(tag);
         self.rf[tag as usize] = Some(Open {
             start: cycle,
             last_read: cycle,
@@ -101,9 +162,7 @@ impl CoreResidency {
 
     /// The register returns to the free list at retirement.
     pub(crate) fn rf_free(&mut self, tag: PhysReg) {
-        if let Some(o) = self.rf[tag as usize].take() {
-            self.rf_acc += o.span();
-        }
+        self.rf_close(tag);
     }
 
     /// After a squash recovery rebuilt the free list, close the interval
@@ -111,65 +170,109 @@ impl CoreResidency {
     pub(crate) fn rf_sync_freed(&mut self, rf: &RegisterFile) {
         for tag in 0..self.rf.len() {
             if self.rf[tag].is_some() && rf.is_free_reg(tag as PhysReg) {
-                let o = self.rf[tag].take().expect("checked");
-                self.rf_acc += o.span();
+                self.rf_close(tag as PhysReg);
             }
         }
     }
 
-    pub(crate) fn rob_push(&mut self, seq: u64, has_dest: bool, cycle: u64) {
-        self.rob.insert(seq, (cycle, has_dest));
+    pub(crate) fn rob_push(&mut self, seq: u64, slot: usize, has_dest: bool, cycle: u64) {
+        self.rob.insert(seq, (cycle, has_dest, slot));
     }
 
     /// Commit reads every ROB field of the retiring entry.
     pub(crate) fn rob_pop(&mut self, seq: u64, cycle: u64) {
-        if let Some((start, has_dest)) = self.rob.remove(&seq) {
+        if let Some((start, has_dest, slot)) = self.rob.remove(&seq) {
             let span = cycle.saturating_sub(start);
             self.rob_acc += span;
             if has_dest {
                 self.rob_dest_acc += span;
             }
+            if self.record_windows {
+                push_window(&mut self.rob_windows, slot, start, cycle);
+            }
         }
     }
 
-    pub(crate) fn iq_insert(&mut self, seq: u64, cycle: u64) {
-        self.iq.insert(seq, cycle);
+    pub(crate) fn iq_insert(&mut self, seq: u64, slot: usize, cycle: u64) {
+        self.iq.insert(seq, (cycle, slot));
     }
 
     /// Issue reads the IQ entry's tags and removes it.
     pub(crate) fn iq_remove(&mut self, seq: u64, cycle: u64) {
-        if let Some(start) = self.iq.remove(&seq) {
+        if let Some((start, slot)) = self.iq.remove(&seq) {
             self.iq_acc += cycle.saturating_sub(start);
+            if self.record_windows {
+                push_window(&mut self.iq_windows, slot, start, cycle);
+            }
         }
     }
 
-    pub(crate) fn lq_push(&mut self, seq: u64, cycle: u64) {
-        self.lq.insert(seq, cycle);
+    pub(crate) fn lq_push(&mut self, seq: u64, slot: usize, cycle: u64) {
+        self.lq.insert(seq, (cycle, slot));
     }
 
     pub(crate) fn lq_pop(&mut self, seq: u64, cycle: u64) {
-        if let Some(start) = self.lq.remove(&seq) {
+        if let Some((start, slot)) = self.lq.remove(&seq) {
             self.lq_acc += cycle.saturating_sub(start);
+            if self.record_windows {
+                push_window(&mut self.lq_windows, slot, start, cycle);
+            }
         }
     }
 
-    pub(crate) fn sq_push(&mut self, seq: u64, cycle: u64) {
-        self.sq.insert(seq, cycle);
+    pub(crate) fn sq_push(&mut self, seq: u64, slot: usize, cycle: u64) {
+        self.sq.insert(seq, (cycle, slot));
     }
 
     pub(crate) fn sq_pop(&mut self, seq: u64, cycle: u64) {
-        if let Some(start) = self.sq.remove(&seq) {
+        if let Some((start, slot)) = self.sq.remove(&seq) {
             self.sq_acc += cycle.saturating_sub(start);
+            if self.record_windows {
+                push_window(&mut self.sq_windows, slot, start, cycle);
+            }
         }
     }
 
     /// Discards every queue entry younger than `boundary_seq` — squashed
-    /// entries are never architecturally read, so they are un-ACE.
-    pub(crate) fn squash_queues(&mut self, boundary_seq: u64) {
-        self.rob.retain(|&seq, _| seq <= boundary_seq);
-        self.iq.retain(|&seq, _| seq <= boundary_seq);
-        self.lq.retain(|&seq, _| seq <= boundary_seq);
-        self.sq.retain(|&seq, _| seq <= boundary_seq);
+    /// entries are never architecturally read, so they are un-ACE and
+    /// contribute nothing to the accumulators. Their *occupancy* windows
+    /// still close at the squash cycle: until the squash executes, the
+    /// pipeline cross-checks those entries every cycle, so flips on them
+    /// are observable (as Asserts) and must not be pruned.
+    pub(crate) fn squash_queues(&mut self, boundary_seq: u64, cycle: u64) {
+        let record = self.record_windows;
+        let rob_windows = &mut self.rob_windows;
+        self.rob.retain(|&seq, &mut (start, _, slot)| {
+            let keep = seq <= boundary_seq;
+            if !keep && record {
+                push_window(rob_windows, slot, start, cycle);
+            }
+            keep
+        });
+        let iq_windows = &mut self.iq_windows;
+        self.iq.retain(|&seq, &mut (start, slot)| {
+            let keep = seq <= boundary_seq;
+            if !keep && record {
+                push_window(iq_windows, slot, start, cycle);
+            }
+            keep
+        });
+        let lq_windows = &mut self.lq_windows;
+        self.lq.retain(|&seq, &mut (start, slot)| {
+            let keep = seq <= boundary_seq;
+            if !keep && record {
+                push_window(lq_windows, slot, start, cycle);
+            }
+            keep
+        });
+        let sq_windows = &mut self.sq_windows;
+        self.sq.retain(|&seq, &mut (start, slot)| {
+            let keep = seq <= boundary_seq;
+            if !keep && record {
+                push_window(sq_windows, slot, start, cycle);
+            }
+            keep
+        });
     }
 
     /// Entry-granular live-cycle totals `(rf, rob, rob_dest, iq, lq, sq)`,
@@ -186,6 +289,57 @@ impl CoreResidency {
             self.sq_acc,
         )
     }
+
+    /// The recorded danger windows, with still-open entries closed
+    /// conservatively: an open register interval dies at its last read (no
+    /// later cycle can observe it before the run ends), while queue
+    /// entries still resident at end of run stay dangerous forever — a
+    /// flip on them at any later cycle would still be cross-checked if the
+    /// run went on, so they close at `u64::MAX`.
+    pub(crate) fn live_windows(&self) -> CoreWindows {
+        let mut w = CoreWindows {
+            rf: self.rf_windows.clone(),
+            rob: self.rob_windows.clone(),
+            iq: self.iq_windows.clone(),
+            lq: self.lq_windows.clone(),
+            sq: self.sq_windows.clone(),
+        };
+        for (tag, o) in self.rf.iter().enumerate() {
+            if let Some(o) = o {
+                push_window(&mut w.rf, tag, o.start, o.last_read);
+            }
+        }
+        for &(start, _, slot) in self.rob.values() {
+            push_window(&mut w.rob, slot, start, u64::MAX);
+        }
+        for &(start, slot) in self.iq.values() {
+            push_window(&mut w.iq, slot, start, u64::MAX);
+        }
+        for &(start, slot) in self.lq.values() {
+            push_window(&mut w.lq, slot, start, u64::MAX);
+        }
+        for &(start, slot) in self.sq.values() {
+            push_window(&mut w.sq, slot, start, u64::MAX);
+        }
+        for windows in [&mut w.rf, &mut w.rob, &mut w.iq, &mut w.lq, &mut w.sq] {
+            for entry in windows.iter_mut() {
+                entry.sort_by_key(|lw| lw.start);
+            }
+        }
+        w
+    }
+}
+
+/// One closed cache-line lifetime: `[start, data_end]` covers the data
+/// array's danger window, `[start, valid_end]` the tag array's (a stored
+/// tag can falsely alias *any* lookup in its set for as long as the line
+/// stays valid, and a spurious dirty bit changes the eviction path, so
+/// tag/dirty bits are dangerous for the whole valid lifetime).
+#[derive(Debug, Clone, Copy)]
+struct LineWindow {
+    start: u64,
+    data_end: u64,
+    valid_end: u64,
 }
 
 /// Per-line residency of one cache array.
@@ -193,6 +347,8 @@ impl CoreResidency {
 pub(crate) struct CacheResidency {
     open: Vec<Option<Open>>,
     acc: u64,
+    record_windows: bool,
+    windows: Vec<Vec<LineWindow>>,
 }
 
 impl CacheResidency {
@@ -200,12 +356,38 @@ impl CacheResidency {
         CacheResidency {
             open: vec![None; lines],
             acc: 0,
+            record_windows: false,
+            windows: vec![Vec::new(); lines],
+        }
+    }
+
+    /// Turns on per-line window recording (see
+    /// [`CoreResidency::set_record_windows`]).
+    pub(crate) fn set_record_windows(&mut self, on: bool) {
+        self.record_windows = on;
+    }
+
+    fn close(&mut self, line: usize, o: Open, valid_end: u64, dirty: bool) {
+        let data_end = if dirty {
+            o.last_read.max(valid_end)
+        } else {
+            o.last_read
+        };
+        self.acc += data_end.saturating_sub(o.start);
+        if self.record_windows {
+            self.windows[line].push(LineWindow {
+                start: o.start,
+                data_end,
+                valid_end,
+            });
         }
     }
 
     pub(crate) fn on_fill(&mut self, line: usize, cycle: u64) {
         if let Some(o) = self.open[line].take() {
-            self.acc += o.span();
+            // Defensive: fills are normally preceded by an eviction of the
+            // victim; a stale open line closes clean at the fill cycle.
+            self.close(line, o, cycle, false);
         }
         self.open[line] = Some(Open {
             start: cycle,
@@ -223,17 +405,48 @@ impl CacheResidency {
     /// the writeback (live up to `cycle`); a clean one reads nothing
     /// beyond the last demand access.
     pub(crate) fn on_evict(&mut self, line: usize, cycle: u64, dirty: bool) {
-        if let Some(mut o) = self.open[line].take() {
-            if dirty {
-                o.last_read = o.last_read.max(cycle);
-            }
-            self.acc += o.span();
+        if let Some(o) = self.open[line].take() {
+            self.close(line, o, cycle, dirty);
         }
     }
 
     /// Line-cycle total, closing still-valid lines at their last use.
     pub(crate) fn total(&self) -> u64 {
         self.acc + self.open.iter().flatten().map(Open::span).sum::<u64>()
+    }
+
+    /// The recorded danger windows as `(data, tag)` per-line window lists.
+    /// Still-valid lines close their data window at the last use and keep
+    /// their tag window open forever (the line would stay a false-hit
+    /// candidate for as long as the run continued).
+    pub(crate) fn live_windows(&self) -> (Vec<Vec<LiveWindow>>, Vec<Vec<LiveWindow>>) {
+        let mut data = vec![Vec::new(); self.open.len()];
+        let mut tag = vec![Vec::new(); self.open.len()];
+        for (line, lws) in self.windows.iter().enumerate() {
+            for lw in lws {
+                data[line].push(LiveWindow {
+                    start: lw.start,
+                    end: lw.data_end,
+                });
+                tag[line].push(LiveWindow {
+                    start: lw.start,
+                    end: lw.valid_end,
+                });
+            }
+        }
+        for (line, o) in self.open.iter().enumerate() {
+            if let Some(o) = o {
+                data[line].push(LiveWindow {
+                    start: o.start,
+                    end: o.last_read,
+                });
+                tag[line].push(LiveWindow {
+                    start: o.start,
+                    end: u64::MAX,
+                });
+            }
+        }
+        (data, tag)
     }
 }
 
@@ -256,6 +469,145 @@ pub struct StructureResidency {
     pub bits: u64,
     /// Sum over bits of cycles spent ACE (entry-granular upper bound).
     pub live_bit_cycles: u64,
+}
+
+/// Queryable per-entry liveness of one structure, built from a golden run
+/// with window recording on ([`crate::Sim::enable_liveness`]).
+///
+/// [`StructureLiveness::is_ace`] answers "could a flip of `bit` applied
+/// before cycle `cycle` ever be observed?" — `false` is a *proof* that the
+/// fault is masked (the flipped bit is overwritten or abandoned before any
+/// read), `true` is merely "not provably dead". All approximations are
+/// conservative: unknown bits, out-of-range queries, and always-live
+/// offsets (ghost-creating valid bits) answer `true`.
+#[derive(Debug, Clone)]
+pub struct StructureLiveness {
+    structure: Structure,
+    bits: u64,
+    bits_per_entry: u64,
+    /// Bit offset within each entry that is dangerous for the whole run
+    /// regardless of occupancy: a flip can *create* state out of nothing
+    /// (IQ dest-array valid bits make ghost entries, cache tag-array valid
+    /// bits resurrect stale lines), so no occupancy window bounds it.
+    always_live_offset: Option<u64>,
+    /// Per entry, chronologically sorted inclusive danger windows.
+    windows: Vec<Vec<LiveWindow>>,
+}
+
+impl StructureLiveness {
+    pub(crate) fn new(
+        structure: Structure,
+        bits: u64,
+        entries: usize,
+        always_live_offset: Option<u64>,
+        mut windows: Vec<Vec<LiveWindow>>,
+    ) -> StructureLiveness {
+        windows.resize_with(entries.max(windows.len()), Vec::new);
+        let bits_per_entry = if entries == 0 {
+            0
+        } else {
+            bits / entries as u64
+        };
+        StructureLiveness {
+            structure,
+            bits,
+            bits_per_entry,
+            always_live_offset,
+            windows,
+        }
+    }
+
+    /// The structure this liveness describes.
+    pub fn structure(&self) -> Structure {
+        self.structure
+    }
+
+    /// Total injectable bits (the fault population per cycle).
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Whether a flip of `bit` applied before `cycle` executes could still
+    /// be observed (`true` = dangerous / not provably masked).
+    pub fn is_ace(&self, bit: u64, cycle: u64) -> bool {
+        if self.bits_per_entry == 0 || bit >= self.bits {
+            return true; // conservative on anything we cannot attribute
+        }
+        let entry = (bit / self.bits_per_entry) as usize;
+        if self.always_live_offset == Some(bit % self.bits_per_entry) {
+            return true;
+        }
+        let Some(ws) = self.windows.get(entry) else {
+            return true;
+        };
+        // Windows are sorted by start and non-nested (an entry's next
+        // lifetime begins at or after the previous one closed), so only
+        // the last window starting at or before `cycle` can contain it.
+        let idx = ws.partition_point(|w| w.start <= cycle);
+        idx > 0 && ws[idx - 1].end >= cycle
+    }
+
+    /// The recorded danger windows of one entry (for diagnostics/tests).
+    pub fn entry_windows(&self, entry: usize) -> &[LiveWindow] {
+        self.windows.get(entry).map_or(&[], Vec::as_slice)
+    }
+
+    /// Fraction of the structure's bit-cycles that fall inside a danger
+    /// window over `cycles` (an upper bound on the campaign's live draw
+    /// rate; `1 - live_fraction` is the expected prune rate).
+    pub fn live_fraction(&self, cycles: u64) -> f64 {
+        if self.bits == 0 || cycles == 0 {
+            return 0.0;
+        }
+        let mut live_bit_cycles = 0u128;
+        let per_entry = self.bits_per_entry as u128;
+        for ws in &self.windows {
+            for w in ws {
+                let end = w.end.min(cycles.saturating_sub(1));
+                if end >= w.start {
+                    live_bit_cycles += (end - w.start + 1) as u128 * per_entry;
+                }
+            }
+        }
+        if self.always_live_offset.is_some() {
+            let entries = (self.bits / self.bits_per_entry.max(1)) as u128;
+            live_bit_cycles += entries * cycles as u128;
+        }
+        let total = self.bits as u128 * cycles as u128;
+        (live_bit_cycles.min(total)) as f64 / total as f64
+    }
+}
+
+/// Every structure's [`StructureLiveness`] from one golden run, plus the
+/// run length. The campaign prune filter queries this before deciding to
+/// fork a child simulator.
+#[derive(Debug, Clone)]
+pub struct LivenessMap {
+    cycles: u64,
+    structures: Vec<StructureLiveness>,
+}
+
+impl LivenessMap {
+    pub(crate) fn new(cycles: u64, structures: Vec<StructureLiveness>) -> LivenessMap {
+        LivenessMap { cycles, structures }
+    }
+
+    /// Cycles the golden run took.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The liveness of one structure, if tracked.
+    pub fn structure(&self, structure: Structure) -> Option<&StructureLiveness> {
+        self.structures.iter().find(|s| s.structure == structure)
+    }
+
+    /// Whether a flip of `(bit, cycle)` in `structure` could be observed.
+    /// Conservative: `true` for untracked structures.
+    pub fn is_ace(&self, structure: Structure, bit: u64, cycle: u64) -> bool {
+        self.structure(structure)
+            .is_none_or(|s| s.is_ace(bit, cycle))
+    }
 }
 
 #[cfg(test)]
@@ -292,14 +644,64 @@ mod tests {
     #[test]
     fn squashed_queue_entries_are_unace() {
         let mut r = CoreResidency::new(4);
-        r.rob_push(5, false, 100);
-        r.rob_push(6, true, 101);
-        r.squash_queues(5);
+        r.rob_push(5, 0, false, 100);
+        r.rob_push(6, 1, true, 101);
+        r.squash_queues(5, 110);
         r.rob_pop(5, 120);
         r.rob_pop(6, 130); // already squashed: no effect
         let (_, rob, rob_dest, ..) = r.totals();
         assert_eq!(rob, 20);
         assert_eq!(rob_dest, 0);
+    }
+
+    #[test]
+    fn squashed_entries_stay_dangerous_until_the_squash() {
+        let mut r = CoreResidency::new(4);
+        r.set_record_windows(true);
+        r.rob_push(6, 1, true, 101);
+        r.squash_queues(5, 110);
+        let w = r.live_windows();
+        assert_eq!(
+            w.rob[1],
+            vec![LiveWindow {
+                start: 101,
+                end: 110
+            }],
+            "occupancy must close at the squash cycle, not vanish"
+        );
+    }
+
+    #[test]
+    fn rf_windows_cover_write_to_last_read_only() {
+        let mut r = CoreResidency::new(8);
+        r.set_record_windows(true);
+        r.rf_write(3, 10);
+        r.rf_read(3, 40);
+        r.rf_free(3);
+        r.rf_write(3, 60); // reallocated, never read, still open at end
+        let w = r.live_windows();
+        assert_eq!(
+            w.rf[3],
+            vec![
+                LiveWindow { start: 10, end: 40 },
+                LiveWindow { start: 60, end: 60 }
+            ]
+        );
+    }
+
+    #[test]
+    fn open_queue_entries_stay_dangerous_forever() {
+        let mut r = CoreResidency::new(4);
+        r.set_record_windows(true);
+        r.lq_push(9, 2, 50);
+        let w = r.live_windows();
+        assert_eq!(
+            w.lq[2],
+            vec![LiveWindow {
+                start: 50,
+                end: u64::MAX
+            }]
+        );
     }
 
     #[test]
@@ -322,5 +724,66 @@ mod tests {
         c.on_fill(0, 5);
         c.on_use(0, 25);
         assert_eq!(c.total(), 20);
+    }
+
+    #[test]
+    fn cache_tag_windows_outlive_data_windows() {
+        let mut c = CacheResidency::new(2);
+        c.set_record_windows(true);
+        c.on_fill(0, 10);
+        c.on_use(0, 20);
+        c.on_evict(0, 90, false); // clean: data dies at 20, tag at 90
+        c.on_fill(1, 30); // still valid at end of run
+        c.on_use(1, 40);
+        let (data, tag) = c.live_windows();
+        assert_eq!(data[0], vec![LiveWindow { start: 10, end: 20 }]);
+        assert_eq!(tag[0], vec![LiveWindow { start: 10, end: 90 }]);
+        assert_eq!(data[1], vec![LiveWindow { start: 30, end: 40 }]);
+        assert_eq!(
+            tag[1],
+            vec![LiveWindow {
+                start: 30,
+                end: u64::MAX
+            }]
+        );
+    }
+
+    #[test]
+    fn liveness_map_is_conservative_and_window_exact() {
+        let windows = vec![
+            vec![LiveWindow { start: 10, end: 20 }],
+            Vec::new(), // entry 1 never occupied
+        ];
+        let s = StructureLiveness::new(Structure::LoadQueue, 2 * 32, 2, None, windows);
+        assert!(s.is_ace(0, 10), "window start is inclusive");
+        assert!(s.is_ace(31, 20), "window end is inclusive");
+        assert!(!s.is_ace(0, 9), "before the window is dead");
+        assert!(!s.is_ace(0, 21), "after the window is dead");
+        assert!(!s.is_ace(32, 15), "never-occupied entry is dead");
+        assert!(s.is_ace(9999, 15), "out-of-range bits are conservative");
+        let map = LivenessMap::new(100, vec![s]);
+        assert!(
+            map.is_ace(Structure::RegFile, 0, 0),
+            "untracked structures are conservative"
+        );
+        assert!(!map.is_ace(Structure::LoadQueue, 0, 9));
+    }
+
+    #[test]
+    fn always_live_offset_defeats_occupancy() {
+        // 9-bit entries with the valid bit at offset 8, like the IQ dest
+        // array: a ghost flip on a free slot must stay dangerous.
+        let s = StructureLiveness::new(Structure::IqDest, 4 * 9, 4, Some(8), vec![Vec::new(); 4]);
+        assert!(s.is_ace(8, 500), "valid bit of a free entry is live");
+        assert!(!s.is_ace(7, 500), "payload bits of a free entry are dead");
+    }
+
+    #[test]
+    fn live_fraction_counts_window_bit_cycles() {
+        let windows = vec![vec![LiveWindow { start: 0, end: 9 }], Vec::new()];
+        let s = StructureLiveness::new(Structure::LoadQueue, 2 * 32, 2, None, windows);
+        // One of two entries live for 10 of 100 cycles → 5% of bit-cycles.
+        let f = s.live_fraction(100);
+        assert!((f - 0.05).abs() < 1e-12, "got {f}");
     }
 }

@@ -104,19 +104,21 @@ impl Rob {
         self.head
     }
 
-    /// Allocates the tail slot, writing all injectable fields.
-    ///
-    /// # Panics
-    ///
-    /// Panics if full — dispatch must check first.
+    /// Allocates the tail slot, writing all injectable fields; returns
+    /// `None` when full. Dispatch guards with [`Rob::is_full`], so `None`
+    /// only happens when a fault corrupted the capacity bookkeeping;
+    /// returning it (instead of panicking) lets the pipeline classify the
+    /// run as an Assert even under `panic = "abort"`.
     pub fn push(
         &mut self,
         pc: u64,
         seq: u64,
         dest: Option<(u8, PhysReg, PhysReg)>,
         flag_bits: u8,
-    ) -> usize {
-        assert!(!self.is_full(), "ROB overflow");
+    ) -> Option<usize> {
+        if self.is_full() {
+            return None;
+        }
         let idx = self.tail;
         self.pc[idx] = pc & (u64::MAX >> (64 - self.pc_bits));
         self.seq16[idx] = seq as u16;
@@ -137,7 +139,7 @@ impl Rob {
         self.flags[idx] = f;
         self.tail = (self.tail + 1) % self.n;
         self.count += 1;
-        idx
+        Some(idx)
     }
 
     /// Releases the head slot.
@@ -253,7 +255,7 @@ mod tests {
         assert!(rob.is_full());
         rob.pop_head();
         rob.pop_head();
-        let idx = rob.push(0x2000, 9, Some((3, 40, 41)), flag::STORE);
+        let idx = rob.push(0x2000, 9, Some((3, 40, 41)), flag::STORE).unwrap();
         assert_eq!(rob.len(), 3);
         assert_eq!(rob.dest_of(idx), (3, 40, 41));
         assert!(rob.flags_of(idx) & flag::HAS_DEST != 0);
@@ -261,11 +263,19 @@ mod tests {
     }
 
     #[test]
+    fn push_on_full_rob_returns_none_instead_of_panicking() {
+        let mut rob = Rob::new(2, 32);
+        rob.push(0, 0, None, 0).unwrap();
+        rob.push(4, 1, None, 0).unwrap();
+        assert_eq!(rob.push(8, 2, None, 0), None);
+    }
+
+    #[test]
     fn tail_rollback() {
         let mut rob = Rob::new(8, 32);
-        rob.push(0x1000, 1, None, 0);
-        let b = rob.push(0x1004, 2, None, flag::BRANCH);
-        rob.push(0x1008, 3, None, 0);
+        rob.push(0x1000, 1, None, 0).unwrap();
+        let b = rob.push(0x1004, 2, None, flag::BRANCH).unwrap();
+        rob.push(0x1008, 3, None, 0).unwrap();
         let popped = rob.pop_tail();
         assert_eq!(rob.len(), 2);
         assert_eq!(popped, (b + 1) % 8);
@@ -275,10 +285,10 @@ mod tests {
     #[test]
     fn occupied_iterates_in_order() {
         let mut rob = Rob::new(4, 32);
-        rob.push(0, 0, None, 0);
-        rob.push(4, 1, None, 0);
+        rob.push(0, 0, None, 0).unwrap();
+        rob.push(4, 1, None, 0).unwrap();
         rob.pop_head();
-        rob.push(8, 2, None, 0);
+        rob.push(8, 2, None, 0).unwrap();
         let ids: Vec<usize> = rob.occupied().collect();
         assert_eq!(ids, vec![1, 2]);
     }
@@ -295,7 +305,7 @@ mod tests {
     #[test]
     fn flips_hit_expected_fields() {
         let mut rob = Rob::new(4, 32);
-        let idx = rob.push(0x1000, 7, Some((2, 30, 31)), 0);
+        let idx = rob.push(0x1000, 7, Some((2, 30, 31)), 0).unwrap();
         rob.flip_bit(RobField::Pc, idx as u64 * 32 + 4);
         assert_eq!(rob.pc_of(idx), 0x1010);
         rob.flip_bit(RobField::Seq, idx as u64 * 16);
@@ -309,7 +319,7 @@ mod tests {
     #[test]
     fn pc_field_masks_to_width() {
         let mut rob = Rob::new(2, 32);
-        rob.push(0xFFFF_FFFF_0000_1000, 0, None, 0);
+        rob.push(0xFFFF_FFFF_0000_1000, 0, None, 0).unwrap();
         assert_eq!(rob.pc_of(0), 0x1000);
         assert_eq!(rob.mask_pc(0xFFFF_FFFF_0000_1000), 0x1000);
     }

@@ -45,5 +45,17 @@ forensics:
         --structure rf -n 200 --threads 2 \
         --records target/forensics-records.jsonl --metrics
 
+# Prune self-check: quick campaigns in `--prune verify` mode, which
+# re-simulates every fault the liveness pruner would skip and panics if
+# any of them simulates as non-Masked. One sparse structure (high prune
+# rate) and one busy one, on both paper machines.
+prune-check:
+    cargo run --release -p softerr-bench --bin campaign -- \
+        --machine a15 --workload qsort --level O2 --structure rf \
+        -n 200 --prune verify
+    cargo run --release -p softerr-bench --bin campaign -- \
+        --machine a72 --workload sha --level O2 --structure rob.pc \
+        -n 200 --prune verify
+
 # Everything the CI gate requires.
-ci: test lint lint-ir
+ci: test lint lint-ir prune-check

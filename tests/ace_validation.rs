@@ -68,6 +68,7 @@ fn measure(cfg: &MachineConfig) -> Vec<Vec<Cell>> {
                                 seed: SEED,
                                 threads: 1,
                                 checkpoint: true,
+                                ..CampaignConfig::default()
                             },
                         )
                         .execute()

@@ -76,6 +76,7 @@ fn icache_faults_crash_dcache_faults_corrupt() {
         seed: 5,
         threads: 1,
         checkpoint: true,
+        ..CampaignConfig::default()
     };
 
     let l1i = injector.run(Structure::L1IData, &cfg).execute().result;
@@ -113,6 +114,7 @@ fn rob_and_lsq_fail_only_via_assert() {
         seed: 11,
         threads: 1,
         checkpoint: true,
+        ..CampaignConfig::default()
     };
     for s in [
         Structure::LoadQueue,
@@ -141,6 +143,7 @@ fn unused_hardware_has_low_avf() {
         seed: 21,
         threads: 1,
         checkpoint: true,
+        ..CampaignConfig::default()
     };
     let l2 = injector.run(Structure::L2Data, &cfg).execute().result;
     assert!(
@@ -165,6 +168,7 @@ fn timeout_class_is_reachable_via_iq() {
                 seed: 31,
                 threads: 1,
                 checkpoint: true,
+                ..CampaignConfig::default()
             },
         )
         .execute()

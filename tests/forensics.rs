@@ -52,6 +52,7 @@ fn records_match_aggregate_on_both_paper_machines() {
             seed: 13,
             threads: 2,
             checkpoint: true,
+            ..CampaignConfig::default()
         };
         let output = injector
             .run(Structure::RegFile, &cfg)
@@ -110,6 +111,7 @@ fn records_and_manifest_roundtrip_through_jsonl() {
         seed: 3,
         threads: 1,
         checkpoint: true,
+        ..CampaignConfig::default()
     };
     let manifest = RunManifest::new(&machine.name, &machine, &cfg);
     let records = injector
