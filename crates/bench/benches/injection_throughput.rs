@@ -10,7 +10,11 @@
 //!   the golden run length; the pruned variant additionally classifies
 //!   faults outside every live window as Masked without forking a child
 //!   at all. This trio is the headline before/after number for the
-//!   campaign engine.
+//!   campaign engine. The `cow` rows measure the same convoy engine with
+//!   copy-on-write forking called out explicitly — one for the RegFile
+//!   campaign and one for an `l1d.data` campaign, where each fork
+//!   previously deep-copied the full cache tag+data arrays and now shares
+//!   every chunk with the golden simulator until somebody writes it.
 //! * `single_injection` — the unit cost of one from-scratch injection
 //!   (golden positioning + flip + run-to-outcome) across structures.
 
@@ -37,6 +41,9 @@ fn bench_campaign(c: &mut Criterion) {
         ("fresh", false, PruneMode::Off),
         ("checkpoint", true, PruneMode::Off),
         ("pruned", true, PruneMode::On),
+        // Same engine as `checkpoint`, recorded under the storage scheme's
+        // own name so the COW fork cost is a tracked series of its own.
+        ("cow", true, PruneMode::Off),
     ] {
         group.bench_with_input(
             BenchmarkId::new("rf_campaign", label),
@@ -48,6 +55,18 @@ fn bench_campaign(c: &mut Criterion) {
                     ..base
                 };
                 b.iter(|| injector.run(Structure::RegFile, &cfg).execute().result)
+            },
+        );
+    }
+    // Cache campaign: the case COW forking exists for. Every fork used to
+    // deep-copy ~100 KB of L1 arrays plus the 1 MB L2 data array.
+    for (label, checkpoint) in [("fresh", false), ("cow", true)] {
+        group.bench_with_input(
+            BenchmarkId::new("l1d_campaign", label),
+            &checkpoint,
+            |b, &checkpoint| {
+                let cfg = CampaignConfig { checkpoint, ..base };
+                b.iter(|| injector.run(Structure::L1DData, &cfg).execute().result)
             },
         );
     }

@@ -1,0 +1,117 @@
+//! Benchmark regression gate.
+//!
+//! Compares a freshly generated `BENCH_<group>.json` against the committed
+//! baseline copy and fails (exit 1) if any benchmark id present in *both*
+//! files regressed by more than the allowed fraction in `mean_ns`. Ids only
+//! present on one side are reported but never fail the gate: new benchmarks
+//! need a first run to gain a baseline, and retired ones should not haunt
+//! the build.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [--max-regression 0.20]
+//! ```
+//!
+//! CI timing noise is real, so the threshold is a deliberate 20% by
+//! default — loose enough to ignore scheduler jitter, tight enough to catch
+//! "the fork deep-copies the machine again" class mistakes, which move the
+//! needle by integer factors.
+
+use serde::Deserialize;
+use std::process::ExitCode;
+
+/// A `BENCH_<group>.json` file as written by the criterion shim.
+#[derive(Deserialize)]
+struct BenchFile {
+    #[allow(dead_code)]
+    group: String,
+    benchmarks: Vec<Entry>,
+}
+
+/// One benchmark row; only `id` and `mean_ns` matter to the gate.
+#[derive(Deserialize)]
+struct Entry {
+    id: String,
+    mean_ns: f64,
+    #[allow(dead_code)]
+    iters: u64,
+    #[allow(dead_code)]
+    elements_per_sec: f64,
+}
+
+fn load(path: &str) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let file: BenchFile = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(file.benchmarks)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_regression = 0.20f64;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-regression" {
+            let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("bench_gate: --max-regression needs a numeric value");
+                return ExitCode::FAILURE;
+            };
+            max_regression = v;
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        eprintln!("usage: bench_gate <baseline.json> <current.json> [--max-regression 0.20]");
+        return ExitCode::FAILURE;
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+    for cur in &current {
+        let Some(base) = baseline.iter().find(|b| b.id == cur.id) else {
+            println!(
+                "NEW      {:<28} {:>12.1} ms (no baseline)",
+                cur.id,
+                cur.mean_ns / 1e6
+            );
+            continue;
+        };
+        let ratio = cur.mean_ns / base.mean_ns;
+        let verdict = if ratio > 1.0 + max_regression {
+            failed = true;
+            "FAIL"
+        } else if ratio < 1.0 {
+            "FASTER"
+        } else {
+            "OK"
+        };
+        println!(
+            "{:<8} {:<28} {:>12.1} ms -> {:>10.1} ms ({:+.1}%)",
+            verdict,
+            cur.id,
+            base.mean_ns / 1e6,
+            cur.mean_ns / 1e6,
+            (ratio - 1.0) * 100.0
+        );
+    }
+    for base in &baseline {
+        if !current.iter().any(|c| c.id == base.id) {
+            println!("GONE     {:<28} (in baseline only)", base.id);
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench_gate: at least one benchmark regressed more than {:.0}%",
+            max_regression * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

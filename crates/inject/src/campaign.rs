@@ -297,6 +297,10 @@ pub struct Injector<'a> {
     cfg: &'a MachineConfig,
     program: &'a Program,
     golden: Golden,
+    /// Per-structure injectable-bit populations, captured once at
+    /// construction: machine geometry, not simulation state, so no caller
+    /// should ever pay a full `Sim` allocation just to read a size.
+    bit_counts: [u64; Structure::ALL.len()],
     /// Golden-run liveness windows, built lazily by one extra instrumented
     /// golden execution the first time a campaign prunes (or verifies).
     liveness: OnceLock<LivenessMap>,
@@ -310,6 +314,7 @@ impl<'a> Injector<'a> {
     /// [`GoldenError`] if the fault-free program does not halt cleanly.
     pub fn new(cfg: &'a MachineConfig, program: &'a Program) -> Result<Injector<'a>, GoldenError> {
         let mut sim = Sim::new(cfg, program);
+        let bit_counts = Structure::ALL.map(|s| sim.bit_count(s));
         match sim.run(4_000_000_000) {
             SimOutcome::Halted {
                 cycles,
@@ -323,6 +328,7 @@ impl<'a> Injector<'a> {
                     retired,
                     output,
                 },
+                bit_counts,
                 liveness: OnceLock::new(),
             }),
             other => Err(GoldenError(format!("{other:?}"))),
@@ -334,9 +340,15 @@ impl<'a> Injector<'a> {
         &self.golden
     }
 
-    /// Number of injectable bits of `structure` on this machine.
+    /// Number of injectable bits of `structure` on this machine (cached at
+    /// construction — this used to allocate a throwaway `Sim` per call,
+    /// which dominated the pruning filter once COW forking made the convoy
+    /// itself cheap).
     pub fn bit_count(&self, structure: Structure) -> u64 {
-        Sim::new(self.cfg, self.program).bit_count(structure)
+        self.bit_counts[Structure::ALL
+            .iter()
+            .position(|&s| s == structure)
+            .expect("Structure::ALL is exhaustive")]
     }
 
     /// Per-structure live windows of the golden run, built on first use by
@@ -991,7 +1003,11 @@ impl Engine<'_, '_> {
                 self.push(&mut results, slot, outcome);
                 continue;
             }
-            let mut sim = golden.clone();
+            // COW fork: shares every cache/RF storage chunk with the golden
+            // simulator; only chunks either side writes afterwards are
+            // copied, so a child that re-converges quickly never pays for
+            // the arrays it didn't touch.
+            let mut sim = golden.fork();
             if !apply_burst(&mut sim, fault, self.width) {
                 self.push(&mut results, slot, Outcome::masked_at(fault.cycle));
                 continue;

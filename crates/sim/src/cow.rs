@@ -1,0 +1,259 @@
+//! Copy-on-write chunked storage for forked simulator state.
+//!
+//! The convoy engine forks thousands of short-lived children from one golden
+//! simulator. A deep clone of every cache array (~1 MB for the A15 L2 data
+//! array alone) per fork dwarfs the work most children actually do before
+//! re-converging. [`CowVec`] makes the fork itself O(chunks): state lives in
+//! fixed-size chunks behind [`Arc`]s, a clone only bumps refcounts, and the
+//! first write to a shared chunk materializes a private copy of just that
+//! chunk via [`Arc::make_mut`].
+//!
+//! Chunk-level `Arc` identity doubles as an implicit dirty-since-fork set:
+//! a chunk is unchanged between a parent and a child if and only if the two
+//! still point at the same allocation ([`Arc::ptr_eq`]). This composes
+//! across forks taken at different times with no per-child bookkeeping —
+//! a chunk the golden run writes *after* child A forked but *before* child B
+//! forked ptr-differs for A and ptr-matches for B, exactly the right answer
+//! for each. Equality checks exploit it as a fast path: shared chunks are
+//! equal by construction and are never walked.
+
+use std::ops::Index;
+use std::sync::Arc;
+
+/// A fixed-length array stored as power-of-two-sized chunks behind `Arc`s.
+///
+/// Cloning is O(number of chunks) refcount bumps; writes copy at most one
+/// chunk. Indexing uses a shift/mask pair so the hot lookup paths pay no
+/// division.
+#[derive(Debug, Clone)]
+pub struct CowVec<T> {
+    chunks: Vec<Arc<Vec<T>>>,
+    shift: u32,
+    mask: usize,
+    len: usize,
+}
+
+impl<T: Clone> CowVec<T> {
+    /// Builds a `CowVec` of `len` copies of `fill`, split into chunks of
+    /// `chunk_len` elements (the last chunk may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is not a power of two.
+    pub fn new(len: usize, chunk_len: usize, fill: T) -> CowVec<T> {
+        assert!(
+            chunk_len.is_power_of_two(),
+            "chunk_len must be a power of two"
+        );
+        let mut chunks = Vec::with_capacity(len.div_ceil(chunk_len));
+        let mut remaining = len;
+        while remaining > 0 {
+            let n = remaining.min(chunk_len);
+            chunks.push(Arc::new(vec![fill.clone(); n]));
+            remaining -= n;
+        }
+        CowVec {
+            chunks,
+            shift: chunk_len.trailing_zeros(),
+            mask: chunk_len - 1,
+            len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Shared reference to element `i`.
+    pub fn get(&self, i: usize) -> &T {
+        &self.chunks[i >> self.shift][i & self.mask]
+    }
+
+    /// Writes element `i`, materializing a private copy of its chunk if the
+    /// chunk is still shared with a fork sibling.
+    pub fn set(&mut self, i: usize, value: T) {
+        Arc::make_mut(&mut self.chunks[i >> self.shift])[i & self.mask] = value;
+    }
+
+    /// Mutable reference to element `i` (copy-on-write at chunk granularity).
+    pub fn get_mut(&mut self, i: usize) -> &mut T {
+        &mut Arc::make_mut(&mut self.chunks[i >> self.shift])[i & self.mask]
+    }
+
+    /// Shared slice of `count` elements starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range crosses a chunk boundary; callers size chunks as
+    /// a multiple of their natural record (e.g. a cache line) so contiguous
+    /// records never straddle chunks.
+    pub fn slice(&self, start: usize, count: usize) -> &[T] {
+        let chunk = start >> self.shift;
+        let off = start & self.mask;
+        assert!(
+            off + count <= self.chunks[chunk].len(),
+            "slice crosses a chunk boundary"
+        );
+        &self.chunks[chunk][off..off + count]
+    }
+
+    /// Mutable slice of `count` elements starting at `start`
+    /// (copy-on-write at chunk granularity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range crosses a chunk boundary.
+    pub fn slice_mut(&mut self, start: usize, count: usize) -> &mut [T] {
+        let chunk = start >> self.shift;
+        let off = start & self.mask;
+        assert!(
+            off + count <= self.chunks[chunk].len(),
+            "slice crosses a chunk boundary"
+        );
+        &mut Arc::make_mut(&mut self.chunks[chunk])[off..off + count]
+    }
+
+    /// Number of chunks still physically shared with `other` (same
+    /// allocation). A fork followed by no writes shares every chunk; each
+    /// write since the fork unshares at most one.
+    pub fn shared_chunk_count(&self, other: &CowVec<T>) -> usize {
+        self.chunks
+            .iter()
+            .zip(&other.chunks)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Element ranges `[start, end)` of chunks that are neither
+    /// pointer-shared with `other` nor content-equal — the only regions a
+    /// semantic comparison still has to examine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths or chunking.
+    pub fn differing_ranges(&self, other: &CowVec<T>) -> Vec<(usize, usize)>
+    where
+        T: PartialEq,
+    {
+        assert_eq!(self.len, other.len, "length mismatch");
+        assert_eq!(self.shift, other.shift, "chunking mismatch");
+        let chunk_len = self.mask + 1;
+        self.chunks
+            .iter()
+            .zip(&other.chunks)
+            .enumerate()
+            .filter(|(_, (a, b))| !Arc::ptr_eq(a, b) && a != b)
+            .map(|(i, (a, _))| (i * chunk_len, i * chunk_len + a.len()))
+            .collect()
+    }
+}
+
+impl<T: Clone> Index<usize> for CowVec<T> {
+    type Output = T;
+
+    fn index(&self, i: usize) -> &T {
+        self.get(i)
+    }
+}
+
+/// Chunk-wise equality with a pointer fast path: chunks still shared after a
+/// fork are equal by construction and are not walked.
+impl<T: Clone + PartialEq> PartialEq for CowVec<T> {
+    fn eq(&self, other: &CowVec<T>) -> bool {
+        self.len == other.len
+            && self.shift == other.shift
+            && self
+                .chunks
+                .iter()
+                .zip(&other.chunks)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || a == b)
+    }
+}
+
+impl<T: Clone + Eq> Eq for CowVec<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let v = CowVec::new(100, 16, 7u32);
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.chunk_count(), 7); // 6×16 + 1×4
+        assert_eq!(v[0], 7);
+        assert_eq!(v[99], 7);
+    }
+
+    #[test]
+    fn clone_shares_every_chunk_until_written() {
+        let a = CowVec::new(100, 16, 0u8);
+        let mut b = a.clone();
+        assert_eq!(a.shared_chunk_count(&b), 7);
+        b.set(33, 1);
+        assert_eq!(a.shared_chunk_count(&b), 6, "one chunk unshared");
+        assert_eq!(a[33], 0, "parent unaffected");
+        assert_eq!(b[33], 1);
+        // A second write to the same chunk allocates nothing further.
+        b.set(34, 2);
+        assert_eq!(a.shared_chunk_count(&b), 6);
+    }
+
+    #[test]
+    fn equality_tracks_content_not_sharing() {
+        let a = CowVec::new(40, 8, 0u64);
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.set(9, 5);
+        assert_ne!(a, b);
+        b.set(9, 0); // back to original content, chunk no longer shared
+        assert_eq!(a.shared_chunk_count(&b), 4);
+        assert_eq!(a, b, "content equality survives unsharing");
+    }
+
+    #[test]
+    fn differing_ranges_reports_only_real_differences() {
+        let a = CowVec::new(40, 8, 0u32);
+        let mut b = a.clone();
+        assert!(a.differing_ranges(&b).is_empty());
+        b.set(9, 5); // chunk 1 differs
+        b.set(17, 0); // chunk 2 rewritten with the same value: unshared, equal
+        assert_eq!(a.differing_ranges(&b), vec![(8, 16)]);
+    }
+
+    #[test]
+    fn slices_stay_within_chunks() {
+        let mut v = CowVec::new(64, 16, 0u8);
+        v.slice_mut(16, 16).copy_from_slice(&[3; 16]);
+        assert_eq!(v.slice(16, 16), &[3; 16]);
+        assert_eq!(v[15], 0);
+        assert_eq!(v[32], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses a chunk boundary")]
+    fn cross_chunk_slice_panics() {
+        let v = CowVec::new(64, 16, 0u8);
+        let _ = v.slice(8, 16);
+    }
+
+    #[test]
+    fn fork_then_drop_allocates_no_chunks() {
+        let a = CowVec::new(1 << 20, 4096, 0u8);
+        let b = a.clone();
+        assert_eq!(a.shared_chunk_count(&b), a.chunk_count());
+        drop(b);
+        assert_eq!(a[0], 0);
+    }
+}

@@ -38,6 +38,7 @@ mod bpred;
 mod cache;
 mod config;
 mod counters;
+mod cow;
 mod inject;
 mod iq;
 mod lsq;
@@ -51,6 +52,7 @@ mod uop;
 pub use cache::{Cache, PHYS_ADDR_BITS};
 pub use config::{CacheGeometry, MachineConfig};
 pub use counters::{OccupancyHistogram, SimCounters};
+pub use cow::CowVec;
 pub use inject::Structure;
 pub use memsys::{MemErr, MemorySystem};
 pub use pipeline::{Sim, SimOutcome, SimStats};

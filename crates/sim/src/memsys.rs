@@ -111,6 +111,12 @@ impl MemorySystem {
         self.clock = cycle;
     }
 
+    /// Drops residency tracking (forked children are classification-only
+    /// and must not drag a per-line tracker copy behind them).
+    pub(crate) fn clear_residency(&mut self) {
+        self.residency = None;
+    }
+
     /// Line-cycle residency totals `(l1i, l1d, l2)`, closing still-valid
     /// lines at their last use.
     pub(crate) fn residency_totals(&self) -> Option<(u64, u64, u64)> {
@@ -128,8 +134,11 @@ impl MemorySystem {
 
     /// Whether two hierarchies hold identical execution-relevant state
     /// (cache arrays and guest memory; hit/miss statistics excluded).
-    /// Guest memory compares by pointer first: clones that were never
-    /// written still share their copy-on-write allocation.
+    /// Guest memory compares by pointer first, and the cache arrays are
+    /// chunked copy-on-write storage compared the same way: chunks a fork
+    /// never unshared are equal by construction and are not walked, so for
+    /// a recently forked child this is a near-free pointer sweep rather
+    /// than a megabyte-scale comparison.
     pub fn state_eq(&self, other: &MemorySystem) -> bool {
         self.divergence(other).is_none()
     }

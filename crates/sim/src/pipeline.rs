@@ -434,6 +434,56 @@ impl Sim {
         self.state_divergence(other).is_none()
     }
 
+    /// Every component name [`Sim::state_divergence`] can return, in its
+    /// exact probe order. Forensics records persist these names
+    /// (`DivergenceSite.component`), so the list is part of the public
+    /// contract: a golden-record test pins it, and any reordering or
+    /// renaming of the probes below must show up here as a deliberate,
+    /// visible change.
+    pub const DIVERGENCE_COMPONENTS: [&'static str; 19] = [
+        "cycle",
+        "fetch.pc",
+        "fetch.seq",
+        "fetch.stall",
+        "exec.divider",
+        "exec.in_flight",
+        "exec.wb_ready",
+        "rf",
+        "rob",
+        "iq",
+        "lq",
+        "sq",
+        "decode_q",
+        "uops",
+        "bpred",
+        "mem.l1i",
+        "mem.l1d",
+        "mem.l2",
+        "mem",
+    ];
+
+    /// Forks a child simulator for fault injection.
+    ///
+    /// Semantically identical to `clone()` for execution purposes, but
+    /// cheap: the cache arrays and the register-file value bank live in
+    /// copy-on-write chunked storage, so the fork shares every chunk with
+    /// the parent and only writes made *after* the fork materialize private
+    /// copies. A fork immediately dropped allocates O(1) chunk copies, not
+    /// O(machine).
+    ///
+    /// Observational state that never feeds back into execution — the
+    /// residency tracker and the event counters — is not inherited: a child
+    /// exists to classify one fault, and dragging a multi-megabyte residency
+    /// map through every fork would defeat the point. The output stream *is*
+    /// kept, because convergence classification compares output prefixes.
+    pub fn fork(&self) -> Sim {
+        let mut child = self.clone();
+        child.residency = None;
+        child.counters = None;
+        child.mem.clear_residency();
+        child
+    }
+
     /// Like [`Sim::state_eq`], but names the first execution-relevant
     /// component found to differ (`None` means the states are equal).
     ///
@@ -441,6 +491,7 @@ impl Sim {
     /// uses, so for a freshly injected fault the returned name is the
     /// faulted (or first directly corrupted) structure — the forensic
     /// "where did state first diverge" answer the injector records.
+    /// The full name list, in probe order, is [`Sim::DIVERGENCE_COMPONENTS`].
     pub fn state_divergence(&self, other: &Sim) -> Option<&'static str> {
         if self.cycle != other.cycle {
             return Some("cycle");

@@ -6,17 +6,29 @@
 //! the paper does not inject, but it *checks* consistency and raises
 //! Assert-class failures when corrupted ROB fields feed it garbage.
 
+use crate::cow::CowVec;
 use softerr_isa::Profile;
 
 /// Physical register index.
 pub type PhysReg = u8;
 
+/// Chunk size (registers) for the copy-on-write value bank.
+const VALUE_CHUNK: usize = 32;
+
 /// Physical register file plus rename state.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Deliberately **not** `PartialEq`: the only sound comparison is
+/// [`RegisterFile::state_eq`], which excludes the dead values of free
+/// registers. A derived `==` would be stricter and silently misreport
+/// divergence at any call site that reached for it.
+///
+/// The value bank lives in copy-on-write chunked storage so forked children
+/// share it with the golden run until one of them writes a register.
+#[derive(Debug, Clone)]
 pub struct RegisterFile {
     profile: Profile,
     nphys: usize,
-    values: Vec<u64>,
+    values: CowVec<u64>,
     ready: Vec<bool>,
     /// Speculative (front-end) map, arch → phys.
     pub spec_map: Vec<PhysReg>,
@@ -43,7 +55,7 @@ impl RegisterFile {
         RegisterFile {
             profile,
             nphys,
-            values: vec![0; nphys],
+            values: CowVec::new(nphys, VALUE_CHUNK, 0),
             ready: vec![true; nphys],
             arch_map: spec_map.clone(),
             spec_map,
@@ -71,7 +83,7 @@ impl RegisterFile {
     /// phys 0 (the zero register) are discarded.
     pub fn write(&mut self, tag: PhysReg, value: u64) {
         if tag != 0 {
-            self.values[tag as usize] = self.profile.mask(value);
+            self.values.set(tag as usize, self.profile.mask(value));
         }
     }
 
@@ -166,7 +178,7 @@ impl RegisterFile {
         assert!(bit < self.bit_count(), "RF bit index out of range");
         let xlen = self.profile.xlen() as u64;
         let reg = (bit / xlen) as usize;
-        self.values[reg] ^= 1 << (bit % xlen);
+        *self.values.get_mut(reg) ^= 1 << (bit % xlen);
     }
 
     /// Utilization statistic: registers currently allocated.
@@ -193,12 +205,29 @@ impl RegisterFile {
             && self.arch_map == other.arch_map
             && self.free_list == other.free_list
             && self.is_free == other.is_free
+            // Value chunks still shared (or byte-identical) after a fork
+            // need no walk; only genuinely rewritten chunks are examined,
+            // with the free-register relaxation applied per cell.
             && self
                 .values
+                .differing_ranges(&other.values)
                 .iter()
-                .zip(&other.values)
-                .enumerate()
-                .all(|(reg, (a, b))| a == b || self.is_free[reg])
+                .all(|&(start, end)| {
+                    (start..end).all(|reg| {
+                        self.values[reg] == other.values[reg] || self.is_free[reg]
+                    })
+                })
+    }
+
+    /// Number of value-bank chunks still physically shared with `other`
+    /// (the complement of what a fork has had to copy).
+    pub fn shared_value_chunks(&self, other: &RegisterFile) -> usize {
+        self.values.shared_chunk_count(&other.values)
+    }
+
+    /// Total number of value-bank chunks.
+    pub fn value_chunk_count(&self) -> usize {
+        self.values.chunk_count()
     }
 }
 

@@ -57,5 +57,27 @@ prune-check:
         --machine a72 --workload sha --level O2 --structure rob.pc \
         -n 200 --prune verify
 
+# COW self-check: the copy-on-write forking equivalence net plus verify-mode
+# campaigns on both machines over the structure whose forks used to be the
+# most expensive (the L1D arrays). `--prune verify` re-simulates every
+# prunable fault through the COW convoy and panics on any mismatch, so a
+# chunk-sharing bug that leaked state between children cannot pass.
+cow-check:
+    cargo test -p softerr --release -q --test cow_equivalence
+    cargo run --release -p softerr-bench --bin campaign -- \
+        --machine a15 --workload qsort --level O2 --structure l1d.data \
+        -n 200 --prune verify
+    cargo run --release -p softerr-bench --bin campaign -- \
+        --machine a72 --workload qsort --level O2 --structure l1d.data \
+        -n 200 --prune verify
+
+# Bench regression gate: regenerate the injection-throughput summary and
+# fail if any benchmark regressed >20% against the committed baseline.
+bench-gate:
+    cp BENCH_injection_throughput.json target/bench-baseline.json
+    cargo bench -p softerr-bench --bench injection_throughput
+    cargo run --release -p softerr-bench --bin bench_gate -- \
+        target/bench-baseline.json BENCH_injection_throughput.json
+
 # Everything the CI gate requires.
-ci: test lint lint-ir prune-check
+ci: test lint lint-ir prune-check cow-check
