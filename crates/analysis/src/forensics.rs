@@ -200,6 +200,7 @@ mod tests {
             end_cycle: end,
             golden_cycles: 1000,
             pruned: false,
+            pruned_static: false,
             first_divergence: comp.map(|c| DivergenceSite {
                 cycle,
                 pc: 0x40,

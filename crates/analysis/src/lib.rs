@@ -21,9 +21,13 @@ pub mod ace;
 mod ecc;
 pub mod forensics;
 mod metrics;
+pub mod vuln;
 
 pub use ace::{estimate as ace_estimate, AceEstimate, StructureAvf};
 pub use ecc::EccScheme;
 pub use metrics::{
     cpu_fit, cpu_fit_by_class, fit_of_structure, fpe, weighted_avf, StructureMeasurement,
+};
+pub use vuln::{
+    mean_static_uplift, static_injected_rank_correlation, static_vuln_table, StaticVulnCell,
 };

@@ -1,0 +1,212 @@
+//! Static bit-vulnerability vs. injected AVF comparison (the `repro vuln`
+//! table).
+//!
+//! The compiler's bit-level demand analysis proves, per def site, which
+//! destination-register bits can never influence an architecturally
+//! visible value. This module relates that *static* masked fraction to the
+//! *measured* register-file AVF of the same (machine, workload, level)
+//! cell, and quantifies how much the static masks add on top of dynamic
+//! liveness pruning. The two quantities are not the same thing — the
+//! static fraction is over def-site bits while AVF is over bit-cycles —
+//! but they must correlate: a cell whose compiled code carries more
+//! provably-dead bits has more masked faults.
+
+use softerr_telemetry::Table;
+
+/// One (machine, workload, level) cell of the static-vs-injected
+/// comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticVulnCell {
+    /// Machine name (e.g. `"cortex-a15"`).
+    pub machine: String,
+    /// Workload name.
+    pub workload: String,
+    /// Optimization level (e.g. `"O2"`).
+    pub level: String,
+    /// Fraction of def-site destination bits the static analysis proved
+    /// masked (0 = every bit demanded, 1 = all provably dead).
+    pub static_masked: f64,
+    /// Injected register-file AVF measured by the campaign.
+    pub injected_avf: f64,
+    /// Fraction of sampled RF faults the dynamic liveness pruner
+    /// classified without simulation.
+    pub prune_rate_liveness: f64,
+    /// Fraction pruned with the static demand masks composed on top
+    /// (always ≥ `prune_rate_liveness`: static pruning is a refinement).
+    pub prune_rate_static: f64,
+}
+
+impl StaticVulnCell {
+    /// Additional prune rate the static masks bought over liveness alone.
+    pub fn static_uplift(&self) -> f64 {
+        (self.prune_rate_static - self.prune_rate_liveness).max(0.0)
+    }
+}
+
+/// Renders the comparison as the `repro vuln` table: one row per cell,
+/// with the static masked fraction beside the measured RF AVF and both
+/// prune rates.
+pub fn static_vuln_table(cells: &[StaticVulnCell]) -> Table {
+    let mut t = Table::new(vec![
+        "machine".into(),
+        "workload".into(),
+        "level".into(),
+        "static masked".into(),
+        "RF AVF".into(),
+        "prune (liveness)".into(),
+        "prune (+static)".into(),
+        "uplift".into(),
+    ]);
+    for c in cells {
+        t.row(vec![
+            c.machine.clone(),
+            c.workload.clone(),
+            c.level.clone(),
+            format!("{:.4}", c.static_masked),
+            format!("{:.4}", c.injected_avf),
+            format!("{:.4}", c.prune_rate_liveness),
+            format!("{:.4}", c.prune_rate_static),
+            format!("{:+.4}", c.prune_rate_static - c.prune_rate_liveness),
+        ]);
+    }
+    t
+}
+
+/// Mean additional prune rate across cells (the headline "what did the
+/// static analysis buy" number).
+pub fn mean_static_uplift(cells: &[StaticVulnCell]) -> f64 {
+    if cells.is_empty() {
+        return 0.0;
+    }
+    cells.iter().map(StaticVulnCell::static_uplift).sum::<f64>() / cells.len() as f64
+}
+
+/// Spearman rank correlation between the static masked fraction and the
+/// *masked* fraction of injections (`1 - AVF`) across cells. Positive
+/// means the static proof tracks the measured masking, which is the
+/// soundness-adjacent sanity check the paper's methodology section asks
+/// for. Returns `None` with fewer than three cells or when either side
+/// has no variation (rank correlation is undefined on constants).
+pub fn static_injected_rank_correlation(cells: &[StaticVulnCell]) -> Option<f64> {
+    if cells.len() < 3 {
+        return None;
+    }
+    let xs: Vec<f64> = cells.iter().map(|c| c.static_masked).collect();
+    let ys: Vec<f64> = cells.iter().map(|c| 1.0 - c.injected_avf).collect();
+    let rx = ranks(&xs);
+    let ry = ranks(&ys);
+    pearson(&rx, &ry)
+}
+
+/// Fractional (average-tie) ranks of a sample.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let rank = (i + j) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            out[k] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation; `None` when either side is constant.
+fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+        sxy += (x - mx) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(masked: f64, avf: f64, live: f64, stat: f64) -> StaticVulnCell {
+        StaticVulnCell {
+            machine: "m".into(),
+            workload: "w".into(),
+            level: "O2".into(),
+            static_masked: masked,
+            injected_avf: avf,
+            prune_rate_liveness: live,
+            prune_rate_static: stat,
+        }
+    }
+
+    #[test]
+    fn uplift_is_nonnegative_and_averaged() {
+        let cells = vec![cell(0.2, 0.1, 0.5, 0.7), cell(0.1, 0.2, 0.6, 0.6)];
+        assert!((cells[0].static_uplift() - 0.2).abs() < 1e-12);
+        assert_eq!(cells[1].static_uplift(), 0.0);
+        assert!((mean_static_uplift(&cells) - 0.1).abs() < 1e-12);
+        assert_eq!(mean_static_uplift(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_has_one_row_per_cell_and_all_columns() {
+        let cells = vec![cell(0.25, 0.125, 0.5, 0.625)];
+        let rendered = static_vuln_table(&cells).to_string();
+        assert!(rendered.contains("static masked"));
+        assert!(rendered.contains("0.2500"));
+        assert!(rendered.contains("+0.1250"));
+        assert_eq!(
+            rendered.lines().filter(|l| l.contains("O2")).count(),
+            1,
+            "one data row"
+        );
+    }
+
+    #[test]
+    fn perfectly_aligned_cells_correlate_positively() {
+        // More statically-masked bits ↔ more masked injections.
+        let cells: Vec<StaticVulnCell> = (0..6)
+            .map(|i| {
+                let f = i as f64 / 10.0;
+                cell(f, 1.0 - f, 0.0, 0.0)
+            })
+            .collect();
+        let rho = static_injected_rank_correlation(&cells).unwrap();
+        assert!((rho - 1.0).abs() < 1e-9, "rho = {rho}");
+        let anti: Vec<StaticVulnCell> = (0..6)
+            .map(|i| {
+                let f = i as f64 / 10.0;
+                cell(f, f, 0.0, 0.0)
+            })
+            .collect();
+        let rho = static_injected_rank_correlation(&anti).unwrap();
+        assert!((rho + 1.0).abs() < 1e-9, "rho = {rho}");
+    }
+
+    #[test]
+    fn degenerate_correlations_are_none() {
+        assert!(static_injected_rank_correlation(&[]).is_none());
+        let constant = vec![cell(0.3, 0.1, 0.0, 0.0); 5];
+        assert!(static_injected_rank_correlation(&constant).is_none());
+    }
+
+    #[test]
+    fn tied_ranks_average() {
+        let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![0.0, 1.5, 1.5, 3.0]);
+    }
+}

@@ -37,21 +37,26 @@ fn bench_campaign(c: &mut Criterion) {
     // The pruned variant pays the one-off liveness golden run up front so
     // the measured loop sees only the steady-state campaign cost.
     injector.liveness();
-    for (label, checkpoint, prune) in [
-        ("fresh", false, PruneMode::Off),
-        ("checkpoint", true, PruneMode::Off),
-        ("pruned", true, PruneMode::On),
+    for (label, checkpoint, prune, prune_static) in [
+        ("fresh", false, PruneMode::Off, PruneMode::Off),
+        ("checkpoint", true, PruneMode::Off, PruneMode::Off),
+        ("pruned", true, PruneMode::On, PruneMode::Off),
+        // Liveness pruning with the compiler's static bit-demand masks
+        // composed on top: faults inside live windows whose bits every
+        // covering writeback provably never demands are also skipped.
+        ("static-pruned", true, PruneMode::On, PruneMode::On),
         // Same engine as `checkpoint`, recorded under the storage scheme's
         // own name so the COW fork cost is a tracked series of its own.
-        ("cow", true, PruneMode::Off),
+        ("cow", true, PruneMode::Off, PruneMode::Off),
     ] {
         group.bench_with_input(
             BenchmarkId::new("rf_campaign", label),
-            &(checkpoint, prune),
-            |b, &(checkpoint, prune)| {
+            &(checkpoint, prune, prune_static),
+            |b, &(checkpoint, prune, prune_static)| {
                 let cfg = CampaignConfig {
                     checkpoint,
                     prune,
+                    prune_static,
                     ..base
                 };
                 b.iter(|| injector.run(Structure::RegFile, &cfg).execute().result)

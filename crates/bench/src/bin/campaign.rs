@@ -35,6 +35,7 @@ struct Args {
     threads: usize,
     checkpoint: bool,
     prune: PruneMode,
+    prune_static: PruneMode,
     target_margin: Option<f64>,
     estimate_ace: bool,
     records: Option<String>,
@@ -55,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 1,
         checkpoint: true,
         prune: PruneMode::Off,
+        prune_static: PruneMode::Off,
         target_margin: None,
         estimate_ace: false,
         records: None,
@@ -130,6 +132,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--prune" => args.prune = value.parse()?,
+            "--prune-static" => args.prune_static = value.parse()?,
             "--target-margin" => {
                 let target: f64 = value.parse().map_err(|_| "bad target margin")?;
                 if !(target > 0.0 && target < 1.0) {
@@ -213,7 +216,8 @@ fn main() {
                 "usage: campaign [--machine a15|a72] [--workload NAME] [--level O0..O3]\n\
                  \x20              [--structure NAME] [--scale tiny|small|full]\n\
                  \x20              [-n COUNT] [--seed N] [--threads N] [--checkpoint on|off]\n\
-                 \x20              [--prune off|on|verify] [--target-margin F]\n\
+                 \x20              [--prune off|on|verify] [--prune-static off|on|verify]\n\
+                 \x20              [--target-margin F]\n\
                  \x20              [--estimate ace] [--records FILE] [--metrics] [--quiet]\n\
                  \x20              [--log-json]"
             );
@@ -233,6 +237,7 @@ fn main() {
         threads: args.threads,
         checkpoint: args.checkpoint,
         prune: args.prune,
+        prune_static: args.prune_static,
         target_margin: args.target_margin,
     };
     let mut manifest = RunManifest::new(&args.machine.name, &args.machine, &campaign_cfg);
@@ -341,6 +346,18 @@ fn main() {
             "(prune={}: faults outside every golden-run live window classify as Masked{})",
             args.prune,
             if args.prune == PruneMode::Verify {
+                ", then re-simulate to assert the verdict"
+            } else {
+                " without simulating"
+            }
+        );
+    }
+    if args.prune_static != PruneMode::Off {
+        println!(
+            "(prune_static={}: faults in statically-dead bits of every covering RF window \
+             classify as Masked{})",
+            args.prune_static,
+            if args.prune_static == PruneMode::Verify {
                 ", then re-simulate to assert the verdict"
             } else {
                 " without simulating"

@@ -87,6 +87,7 @@ fn main() {
         "ablation-size" => ablation_size(&opts),
         "mbu" => mbu(&opts),
         "ace" => ace_sweep(&opts),
+        "vuln" => vuln(&opts),
         "metrics" => metrics(&opts),
         "all" => {
             table1();
@@ -158,8 +159,10 @@ fn usage() {
     eprintln!("  ablation-size    ROB/IQ size sweep (perf + ROB AVF)");
     eprintln!("  mbu              multi-bit-upset extension (1/2/4-bit bursts)");
     eprintln!("  ace              static ACE/bit-liveness AVF sweep (no injections)");
+    eprintln!("  vuln             static bit-demand masked fraction vs injected RF AVF,");
+    eprintln!("                   with liveness-only vs +static prune rates per cell");
     eprintln!("  metrics          golden-run microarchitectural counters sweep");
-    eprintln!("  all              everything above (except ablations/mbu/ace/metrics)\n");
+    eprintln!("  all              everything above (except ablations/mbu/ace/vuln/metrics)\n");
     eprintln!("options:");
     eprintln!("  --scale quick|default|paper   campaign size (default: quick)");
     eprintln!("  --injections N                override injections per cell");
@@ -169,6 +172,8 @@ fn usage() {
     eprintln!("  --no-checkpoint               disable golden-prefix checkpointing");
     eprintln!("  --prune off|on|verify         skip provably-masked faults via golden-run");
     eprintln!("                                liveness (verify re-simulates and asserts)");
+    eprintln!("  --prune-static off|on|verify  additionally skip faults the compiler's static");
+    eprintln!("                                bit-demand analysis proves masked");
     eprintln!("  --target-margin F             adaptive sampling: draw until the 99% error");
     eprintln!("                                margin is <= F (overrides --injections)");
     eprintln!("  --results DIR                 result-store root (default target/softerr-store)");
@@ -187,6 +192,7 @@ struct Options {
     jobs: usize,
     checkpoint: bool,
     prune: PruneMode,
+    prune_static: PruneMode,
     target_margin: Option<f64>,
     results_dir: PathBuf,
     fresh: bool,
@@ -205,6 +211,7 @@ impl Options {
             jobs: 1,
             checkpoint: true,
             prune: PruneMode::Off,
+            prune_static: PruneMode::Off,
             target_margin: None,
             results_dir: PathBuf::from("target/softerr-store"),
             fresh: false,
@@ -254,6 +261,13 @@ impl Options {
                         std::process::exit(1);
                     })
                 }
+                "--prune-static" => {
+                    opts.prune_static =
+                        next("--prune-static").parse().unwrap_or_else(|e: String| {
+                            eprintln!("{e}");
+                            std::process::exit(1);
+                        })
+                }
                 "--target-margin" => {
                     let target: f64 = next("--target-margin").parse().expect("number");
                     if !(target > 0.0 && target < 1.0) {
@@ -299,6 +313,7 @@ fn study(opts: &Options) -> StudyResults {
         threads: opts.threads,
         checkpoint: opts.checkpoint,
         prune: opts.prune,
+        prune_static: opts.prune_static,
         target_margin: opts.target_margin,
         ..StudyConfig::default()
     };
@@ -620,6 +635,85 @@ fn ace_sweep(opts: &Options) {
     }
 }
 
+// --------------------------------------------------------- static vuln --
+
+/// Static bit-demand masked fraction vs. injected RF AVF, per (machine,
+/// workload, level) cell, plus the prune-rate uplift the static masks buy
+/// over dynamic liveness pruning alone.
+///
+/// Every cell runs one RF campaign with both pruners enabled and records
+/// on; the per-fault `pruned`/`pruned_static` flags attribute each skipped
+/// fault to exactly one stage, so the liveness-only rate and the composed
+/// rate come out of a single run (and the tallies are bit-identical to an
+/// unpruned campaign — see `tests/static_vuln.rs`).
+fn vuln(opts: &Options) {
+    use softerr::{CampaignConfig, Compiler, Injector, StaticVulnCell};
+    println!("== Static bit vulnerability vs injected RF AVF ==");
+    println!("(static masked = fraction of def-site destination bits the compiler's");
+    println!(" backward demand analysis proves unobservable; prune rates are the");
+    println!(" fraction of sampled RF faults classified without simulation)\n");
+    let mut cells = Vec::new();
+    for machine in MachineConfig::paper_machines() {
+        for w in Workload::ALL {
+            for level in OptLevel::ALL {
+                let compiled = Compiler::new(machine.profile, level)
+                    .compile(&w.source(opts.scale))
+                    .expect("workload must compile");
+                let injector = Injector::new(&machine, &compiled.program).expect("golden");
+                let out = injector
+                    .run(
+                        Structure::RegFile,
+                        &CampaignConfig {
+                            injections: opts.injections.max(40),
+                            seed: opts.seed,
+                            threads: opts.threads,
+                            checkpoint: opts.checkpoint,
+                            prune: PruneMode::On,
+                            prune_static: PruneMode::On,
+                            target_margin: opts.target_margin,
+                        },
+                    )
+                    .records(true)
+                    .execute();
+                let records = out.records.as_deref().unwrap_or(&[]);
+                let n = records.len().max(1) as f64;
+                let dyn_n = records.iter().filter(|r| r.pruned).count() as f64;
+                let static_n = records.iter().filter(|r| r.pruned_static).count() as f64;
+                event!(
+                    Level::Info,
+                    "repro.vuln",
+                    { machine: machine.name.clone(), workload: w.name(), level: level.to_string() },
+                    "(vuln cell {}/{}/{} done)",
+                    machine.name,
+                    w.name(),
+                    level
+                );
+                cells.push(StaticVulnCell {
+                    machine: machine.name.clone(),
+                    workload: w.name().to_string(),
+                    level: level.to_string(),
+                    static_masked: compiled.vuln.masked_fraction(),
+                    injected_avf: out.result.avf(),
+                    prune_rate_liveness: dyn_n / n,
+                    prune_rate_static: (dyn_n + static_n) / n,
+                });
+            }
+        }
+    }
+    println!("{}", softerr::static_vuln_table(&cells));
+    println!(
+        "mean prune-rate uplift from static masks: {:+.4}",
+        softerr::mean_static_uplift(&cells)
+    );
+    match softerr::static_injected_rank_correlation(&cells) {
+        Some(rho) => println!(
+            "Spearman rank correlation, static masked fraction vs measured \
+             masked fraction (1 - AVF): {rho:.3}"
+        ),
+        None => println!("(too few distinct cells for a rank correlation)"),
+    }
+}
+
 // -------------------------------------------------------------- metrics --
 
 /// Golden-run microarchitectural counter sweep: every (machine, benchmark,
@@ -858,6 +952,7 @@ fn ablation_opt(opts: &Options) {
                     threads: opts.threads,
                     checkpoint: opts.checkpoint,
                     prune: opts.prune,
+                    prune_static: opts.prune_static,
                     target_margin: opts.target_margin,
                 },
             )
@@ -905,6 +1000,7 @@ fn mbu(opts: &Options) {
                         threads: opts.threads,
                         checkpoint: opts.checkpoint,
                         prune: opts.prune,
+                        prune_static: opts.prune_static,
                         target_margin: opts.target_margin,
                     },
                 )
@@ -946,6 +1042,7 @@ fn ablation_size(opts: &Options) {
                     threads: opts.threads,
                     checkpoint: opts.checkpoint,
                     prune: opts.prune,
+                    prune_static: opts.prune_static,
                     target_margin: opts.target_margin,
                 },
             )

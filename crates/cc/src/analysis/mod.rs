@@ -1,0 +1,782 @@
+//! Static bit-level vulnerability analysis over the IR.
+//!
+//! A backward **bit-demand** dataflow: for every program point and vreg it
+//! computes the set of bits that could still influence an observable output
+//! (memory stores, call arguments, return values, branch conditions, `out`).
+//! The complement — the *provably masked* bits — is the static layer of the
+//! study: a soft-error flip in a masked bit at that point can never change
+//! program output, with zero simulation.
+//!
+//! The lattice element is a `u64` demand mask per vreg (and per eligible
+//! stack slot), ordered by inclusion; join is bitwise OR. Transfer functions
+//! mirror the machine semantics of [`softerr_isa::eval_alu`] exactly — e.g.
+//! addition propagates carries strictly upward, so demanding bit *i* of a
+//! sum demands only bits `0..=i` of each operand; `AND` with a constant
+//! masks the operand demand by that constant; a right shift by constant *k*
+//! moves demand up by *k*. `Width::U32` operations that codegen physically
+//! truncates (`Add`/`Sub`/`Mul`/`Shl` and the `& 0xFFFF_FFFF` idiom) confine
+//! demand to the low 32 bits, which is how the analysis proves the high
+//! halves of `u32` values dead on the 64-bit profile even while the dynamic
+//! liveness pruner sees the register as "live".
+//!
+//! Roots are conservative: addresses, stored values (to untracked memory),
+//! call arguments, returned values, compared/branched values, and `out`
+//! operands demand every bit. Division and remainder are total in this ISA
+//! (by-zero is defined, never a trap), so a fully-dead quotient really is
+//! dead. The analysis is a fixpoint over the CFG (reverse-iterated until
+//! stable), so loops are handled soundly.
+//!
+//! Results are packaged as a [`StaticVulnMap`]: per-(function, program
+//! point, vreg) demand masks at def sites, entry demands for parameters,
+//! and the fully-dead defs/stores the lint reports. Codegen carries the def
+//! masks through register allocation onto physical writeback sites (see
+//! `Program::wb_masks`), which is what the injector's static pruner
+//! consumes.
+
+use crate::ir::*;
+use softerr_isa::Profile;
+use std::collections::HashMap;
+
+/// Demand mask of one def site: the bits of `vreg` that may still reach an
+/// observable output from this point on. `!demand & full` is provably
+/// masked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefDemand {
+    /// The vreg defined at this site.
+    pub vreg: VReg,
+    /// Demand mask (bit set ⇒ potentially vulnerable).
+    pub demand: u64,
+}
+
+/// A fully-dead site reported by the lint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeadSite {
+    /// A def none of whose bits are ever demanded (and the instruction has
+    /// no side effects), at `(block, inst index)`.
+    Def {
+        /// Block id.
+        block: BlockId,
+        /// Instruction index within the block.
+        inst: usize,
+        /// The dead vreg.
+        vreg: VReg,
+    },
+    /// A scalar slot store none of whose stored bits are ever re-loaded,
+    /// at `(block, inst index)`.
+    Store {
+        /// Block id.
+        block: BlockId,
+        /// Instruction index within the block.
+        inst: usize,
+        /// The slot written.
+        slot: SlotId,
+    },
+}
+
+/// Per-function analysis result.
+#[derive(Debug, Clone)]
+pub struct FuncVuln {
+    /// Function name.
+    pub name: String,
+    /// Demand mask per def site, keyed by `(block, inst index)`.
+    pub def_demand: HashMap<(BlockId, usize), DefDemand>,
+    /// Entry demand per parameter, in ABI order (parallel to
+    /// `IrFunc::params`).
+    pub param_demand: Vec<(VReg, u64)>,
+    /// Fully-dead defs and slot stores (the lint's input).
+    pub dead: Vec<DeadSite>,
+}
+
+/// The static vulnerability map of one compiled module: bit-demand masks at
+/// every def site of every function, plus summary accessors used by the
+/// `repro vuln` report.
+#[derive(Debug, Clone)]
+pub struct StaticVulnMap {
+    /// Per-function results, in `IrModule::funcs` order.
+    pub funcs: Vec<FuncVuln>,
+    /// Register width of the analyzed profile (32 or 64).
+    pub xlen: u32,
+}
+
+/// Word-width demand mask for a profile (all bits demanded).
+pub fn full_mask(profile: Profile) -> u64 {
+    match profile {
+        Profile::A32 => 0xFFFF_FFFF,
+        Profile::A64 => !0,
+    }
+}
+
+/// All bits at or below the highest set bit of `m` (carry smear: the
+/// operand bits an addition needs to produce the demanded result bits).
+fn smear_down(m: u64) -> u64 {
+    if m == 0 {
+        0
+    } else {
+        let h = 63 - m.leading_zeros();
+        if h == 63 {
+            !0
+        } else {
+            (1u64 << (h + 1)) - 1
+        }
+    }
+}
+
+/// All bits at or above the lowest set bit of `m`, clipped to `full`.
+fn smear_up(m: u64, full: u64) -> u64 {
+    if m == 0 {
+        0
+    } else {
+        (!0u64 << m.trailing_zeros()) & full
+    }
+}
+
+const LOW32: u64 = 0xFFFF_FFFF;
+
+/// Dataflow environment at one program point: demand per vreg and per
+/// tracked slot. Join is pointwise OR.
+#[derive(Clone, PartialEq, Eq)]
+struct Env {
+    vregs: Vec<u64>,
+    slots: Vec<u64>,
+}
+
+impl Env {
+    fn zero(nvregs: usize, nslots: usize) -> Env {
+        Env {
+            vregs: vec![0; nvregs],
+            slots: vec![0; nslots],
+        }
+    }
+
+    fn join(&mut self, other: &Env) {
+        for (a, b) in self.vregs.iter_mut().zip(&other.vregs) {
+            *a |= b;
+        }
+        for (a, b) in self.slots.iter_mut().zip(&other.slots) {
+            *a |= b;
+        }
+    }
+}
+
+/// The per-function analysis driver.
+struct Analyzer<'a> {
+    f: &'a IrFunc,
+    profile: Profile,
+    full: u64,
+    /// Demand mask a variable shift amount contributes (low `log2(xlen)`
+    /// bits — `eval_alu` masks shift counts by `xlen - 1`).
+    shift_amount_mask: u64,
+    /// Slots eligible for demand tracking: scalar, never address-taken,
+    /// accessed at one consistent width. `None` ⇒ untracked (conservative).
+    slot_width: Vec<Option<Width>>,
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(f: &'a IrFunc, profile: Profile) -> Analyzer<'a> {
+        let full = full_mask(profile);
+        let shift_amount_mask = u64::from(profile.xlen() - 1);
+        // A slot is trackable when its address never escapes and every
+        // access agrees on a width: then stores fully determine the bits
+        // loads can see, and a store kills the slot's prior demand.
+        let mut slot_width: Vec<Option<Width>> = f
+            .slots
+            .iter()
+            .map(|s| (!s.addr_taken).then_some(s.elem))
+            .collect();
+        let mut seen: Vec<Option<Width>> = vec![None; f.slots.len()];
+        for b in &f.blocks {
+            for inst in &b.insts {
+                let (slot, w) = match inst {
+                    Inst::LoadSlot { w, slot, .. } | Inst::StoreSlot { w, slot, .. } => (*slot, *w),
+                    Inst::SlotAddr { slot, .. } => {
+                        slot_width[*slot] = None;
+                        continue;
+                    }
+                    _ => continue,
+                };
+                match seen[slot] {
+                    None => seen[slot] = Some(w),
+                    Some(prev) if prev == w => {}
+                    Some(_) => slot_width[slot] = None,
+                }
+            }
+        }
+        Analyzer {
+            f,
+            profile,
+            full,
+            shift_amount_mask,
+            slot_width,
+        }
+    }
+
+    /// Demand contributed to loaded/stored bits of width `w`.
+    fn width_mask(&self, w: Width) -> u64 {
+        match w {
+            Width::Word => self.full,
+            Width::U32 => LOW32,
+        }
+    }
+
+    fn add(&self, env: &mut Env, op: Operand, demand: u64) {
+        if let Operand::V(v) = op {
+            env.vregs[v as usize] |= demand;
+        }
+    }
+
+    fn root(&self, env: &mut Env, op: Operand) {
+        self.add(env, op, self.full);
+    }
+
+    /// Operand demands of `a op b` (width `w`) given demand `d` on the
+    /// result. Mirrors `eval_alu`: every set bit in the returned masks can
+    /// genuinely influence a demanded result bit; every cleared bit
+    /// provably cannot.
+    fn bin_demands(&self, op: BinOp, w: Width, d: u64, a: Operand, b: Operand) -> (u64, u64) {
+        // Operations codegen truncates to 32 bits on A64 (`maybe_mask` and
+        // the `& 0xFFFF_FFFF` idiom): result bits 32.. are constant zero,
+        // so only the low-32 part of the demand reaches the operands. The
+        // untruncated u32 ops (And/Or/Xor/Shr/Div/Rem) preserve the
+        // zero-extension invariant without masking and transfer at full
+        // width.
+        let truncated = w == Width::U32
+            && (matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Shl)
+                || (op == BinOp::And && b == Operand::C(0xFFFF_FFFF)));
+        let d = if truncated { d & LOW32 } else { d };
+        let full = self.full;
+        let konst = |o: Operand| match (w, o) {
+            // gen_bin truncates u32 constants before selection.
+            (Width::U32, Operand::C(c)) => Some(c as u32 as u64),
+            (_, Operand::C(c)) => Some(c as u64 & full),
+            _ => None,
+        };
+        match op {
+            // Carries/borrows/partial products propagate strictly upward:
+            // result bit i depends only on operand bits 0..=i.
+            BinOp::Add | BinOp::Sub | BinOp::Mul => (smear_down(d), smear_down(d)),
+            // Total in this ISA (by-zero defined, no trap), but any
+            // demanded result bit may depend on every operand bit.
+            BinOp::Div { .. } | BinOp::Rem { .. } => {
+                if d == 0 {
+                    (0, 0)
+                } else {
+                    (full, full)
+                }
+            }
+            BinOp::And => {
+                let da = konst(b).map_or(d, |c| d & c);
+                let db = konst(a).map_or(d, |c| d & c);
+                (da, db)
+            }
+            BinOp::Or => {
+                let da = konst(b).map_or(d, |c| d & !c);
+                let db = konst(a).map_or(d, |c| d & !c);
+                (da, db)
+            }
+            BinOp::Xor => (d, d),
+            BinOp::Shl => match konst(b) {
+                Some(k) => {
+                    let k = (k & self.shift_amount_mask) as u32;
+                    (d >> k, 0)
+                }
+                None => {
+                    let amount = if d == 0 { 0 } else { self.shift_amount_mask };
+                    (smear_down(d), amount)
+                }
+            },
+            BinOp::Shr { arith } => match konst(b) {
+                Some(k) => {
+                    let k = (k & self.shift_amount_mask) as u32;
+                    let mut da = (d << k) & full;
+                    // Arithmetic shifts replicate the sign bit into the
+                    // vacated high positions.
+                    if arith && k > 0 {
+                        let vacated = (full << (self.profile.xlen() - k)) & full;
+                        if d & vacated != 0 {
+                            da |= 1 << (self.profile.xlen() - 1);
+                        }
+                    }
+                    (da, 0)
+                }
+                None => {
+                    let amount = if d == 0 { 0 } else { self.shift_amount_mask };
+                    // Any demanded bit may come from any higher operand
+                    // bit; for Sra the sign bit (top of `full`) is already
+                    // inside the smear.
+                    (smear_up(d, full), amount)
+                }
+            },
+        }
+    }
+
+    /// Backward transfer of one instruction. Returns the demand that was on
+    /// the instruction's def (before the kill), if it defines one.
+    fn transfer(&self, inst: &Inst, env: &mut Env) -> Option<u64> {
+        let def_demand = inst.def().map(|d| {
+            let dm = env.vregs[d as usize];
+            env.vregs[d as usize] = 0;
+            dm
+        });
+        match inst {
+            Inst::Bin { op, w, a, b, .. } => {
+                let d = def_demand.unwrap_or(0);
+                let (da, db) = self.bin_demands(*op, *w, d, *a, *b);
+                self.add(env, *a, da);
+                self.add(env, *b, db);
+            }
+            Inst::Cmp { a, b, .. } => {
+                // One demanded result bit collapses to full demand on both
+                // words: any operand bit can swing a comparison.
+                if def_demand.unwrap_or(0) != 0 {
+                    self.root(env, *a);
+                    self.root(env, *b);
+                }
+            }
+            Inst::Copy { src, .. } => {
+                self.add(env, *src, def_demand.unwrap_or(0));
+            }
+            Inst::Load { addr, .. } => {
+                // Loaded data comes from untracked memory; the address is a
+                // root (a corrupted address changes which cell is read and
+                // can trap).
+                self.root(env, *addr);
+            }
+            Inst::Store { w, src, addr, .. } => {
+                self.add(env, *src, self.width_mask(*w));
+                self.root(env, *addr);
+            }
+            Inst::SlotAddr { .. } | Inst::GlobalAddr { .. } => {}
+            Inst::LoadSlot { w, dst: _, slot } => {
+                if self.slot_width[*slot].is_some() {
+                    // A 32-bit slot load zero-extends, so only the low-32
+                    // part of the def demand reaches the slot.
+                    env.slots[*slot] |= def_demand.unwrap_or(0) & self.width_mask(*w);
+                }
+            }
+            Inst::StoreSlot { w, slot, src } => {
+                if self.slot_width[*slot].is_some() {
+                    let s = env.slots[*slot];
+                    env.slots[*slot] = 0;
+                    self.add(env, *src, s & self.width_mask(*w));
+                } else {
+                    self.add(env, *src, self.width_mask(*w));
+                }
+            }
+            Inst::Call { args, .. } => {
+                // Calls are interprocedural roots: every argument bit may
+                // matter to the callee. Non-address-taken slots are
+                // invisible to the callee, so slot demands survive.
+                for a in args {
+                    self.root(env, *a);
+                }
+            }
+            Inst::Out { src } => self.root(env, *src),
+        }
+        def_demand
+    }
+
+    /// Backward transfer of a terminator (executed first, since the walk is
+    /// backwards).
+    fn transfer_term(&self, term: &Term, env: &mut Env) {
+        match term {
+            Term::Ret(Some(op)) => self.root(env, *op),
+            Term::Ret(None) | Term::Jmp(_) => {}
+            Term::CondBr { a, b, .. } => {
+                self.root(env, *a);
+                self.root(env, *b);
+            }
+        }
+    }
+
+    fn run(&self) -> FuncVuln {
+        let nv = self.f.next_vreg as usize;
+        let ns = self.f.slots.len();
+        let nb = self.f.blocks.len();
+        // in[b]: demand at block entry. Fixpoint: the lattice is finite
+        // (64 bits per vreg/slot) and the transfer is monotone, so
+        // reverse-order round-robin iteration terminates.
+        let mut block_in: Vec<Env> = vec![Env::zero(nv, ns); nb];
+        loop {
+            let mut changed = false;
+            for id in (0..nb).rev() {
+                let mut env = Env::zero(nv, ns);
+                for s in self.f.blocks[id].term.succs() {
+                    env.join(&block_in[s]);
+                }
+                self.transfer_term(&self.f.blocks[id].term, &mut env);
+                for inst in self.f.blocks[id].insts.iter().rev() {
+                    self.transfer(inst, &mut env);
+                }
+                if env != block_in[id] {
+                    block_in[id] = env;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Recording pass: re-walk every block once, capturing the demand on
+        // each def at its def site and the fully-dead sites for the lint.
+        let mut def_demand = HashMap::new();
+        let mut dead = Vec::new();
+        for id in 0..nb {
+            let mut env = Env::zero(nv, ns);
+            for s in self.f.blocks[id].term.succs() {
+                env.join(&block_in[s]);
+            }
+            self.transfer_term(&self.f.blocks[id].term, &mut env);
+            for (ii, inst) in self.f.blocks[id].insts.iter().enumerate().rev() {
+                if let Inst::StoreSlot { w, slot, .. } = inst {
+                    if self.slot_width[*slot].is_some()
+                        && env.slots[*slot] & self.width_mask(*w) == 0
+                    {
+                        dead.push(DeadSite::Store {
+                            block: id,
+                            inst: ii,
+                            slot: *slot,
+                        });
+                    }
+                }
+                let dm = self.transfer(inst, &mut env);
+                if let (Some(dm), Some(vreg)) = (dm, inst.def()) {
+                    def_demand.insert((id, ii), DefDemand { vreg, demand: dm });
+                    if dm == 0 && !inst.has_side_effects() {
+                        dead.push(DeadSite::Def {
+                            block: id,
+                            inst: ii,
+                            vreg,
+                        });
+                    }
+                }
+            }
+        }
+        dead.sort_by_key(|d| match *d {
+            DeadSite::Def { block, inst, .. } | DeadSite::Store { block, inst, .. } => {
+                (block, inst)
+            }
+        });
+        let param_demand = self
+            .f
+            .params
+            .iter()
+            .map(|&(v, _)| (v, block_in[0].vregs[v as usize]))
+            .collect();
+        FuncVuln {
+            name: self.f.name.clone(),
+            def_demand,
+            param_demand,
+            dead,
+        }
+    }
+}
+
+impl StaticVulnMap {
+    /// Runs the bit-demand analysis over every function of `ir` under
+    /// `profile`'s width semantics.
+    pub fn analyze(ir: &IrModule, profile: Profile) -> StaticVulnMap {
+        StaticVulnMap {
+            funcs: ir
+                .funcs
+                .iter()
+                .map(|f| Analyzer::new(f, profile).run())
+                .collect(),
+            xlen: profile.xlen(),
+        }
+    }
+
+    /// The per-function result for `name`, if present.
+    pub fn func(&self, name: &str) -> Option<&FuncVuln> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Total def sites across all functions.
+    pub fn def_sites(&self) -> usize {
+        self.funcs.iter().map(|f| f.def_demand.len()).sum()
+    }
+
+    /// Total provably-masked bits across all def sites.
+    pub fn masked_bits(&self) -> u64 {
+        let full = if self.xlen == 32 { LOW32 } else { !0 };
+        self.funcs
+            .iter()
+            .flat_map(|f| f.def_demand.values())
+            .map(|d| u64::from((!d.demand & full).count_ones()))
+            .sum()
+    }
+
+    /// Fraction of def-site bits that are provably masked, in `[0, 1]`.
+    /// This is the static analogue of `1 - AVF` for values at their def
+    /// points; `0.0` when the module has no def sites.
+    pub fn masked_fraction(&self) -> f64 {
+        let sites = self.def_sites() as u64;
+        if sites == 0 {
+            return 0.0;
+        }
+        self.masked_bits() as f64 / (sites * u64::from(self.xlen)) as f64
+    }
+
+    /// Total fully-dead sites (defs + stores) across all functions.
+    pub fn dead_sites(&self) -> usize {
+        self.funcs.iter().map(|f| f.dead.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Compiler, OptLevel};
+    use softerr_isa::eval_alu;
+
+    fn analyze(src: &str, profile: Profile, level: OptLevel) -> (IrModule, StaticVulnMap) {
+        let ir = Compiler::new(profile, level)
+            .compile_to_ir(src)
+            .expect("compile");
+        let map = StaticVulnMap::analyze(&ir, profile);
+        (ir, map)
+    }
+
+    /// Demand on the def feeding a `return` is full (returns are roots).
+    #[test]
+    fn return_is_a_full_root() {
+        let (ir, map) = analyze(
+            "int f(int x) { return x + 1; }
+             void main() { out(f(3)); }",
+            Profile::A64,
+            OptLevel::O0,
+        );
+        let vf = map.func("f").expect("f analyzed");
+        let irf = ir.funcs.iter().find(|f| f.name == "f").expect("f in IR");
+        // Whatever vreg the Ret consumes must carry full demand at its def.
+        let ret_vregs: Vec<VReg> = irf
+            .blocks
+            .iter()
+            .filter_map(|b| match &b.term {
+                Term::Ret(Some(Operand::V(v))) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert!(!ret_vregs.is_empty(), "no value-returning Ret in f");
+        let full_defs: Vec<_> = vf
+            .def_demand
+            .values()
+            .filter(|d| ret_vregs.contains(&d.vreg) && d.demand == !0)
+            .collect();
+        assert!(!full_defs.is_empty(), "ret operand def not fully demanded");
+    }
+
+    /// An empty function shell for exercising transfer functions directly.
+    fn shell() -> IrFunc {
+        IrFunc {
+            name: "t".into(),
+            params: vec![],
+            ret: None,
+            blocks: vec![],
+            slots: vec![],
+            next_vreg: 0,
+        }
+    }
+
+    /// `(x & 0xFF) outputs` only demands the low byte of `x`'s def.
+    #[test]
+    fn and_mask_confines_demand() {
+        let f = shell();
+        let a = Analyzer::new(&f, Profile::A64);
+        let (da, db) = a.bin_demands(BinOp::And, Width::Word, !0, Operand::V(0), Operand::C(0xFF));
+        assert_eq!(da, 0xFF);
+        assert_eq!(db, !0); // constant side: unused anyway
+        let (da, _) = a.bin_demands(BinOp::Or, Width::Word, !0, Operand::V(0), Operand::C(0xFF));
+        assert_eq!(da, !0xFFu64, "OR with set bits kills their demand");
+    }
+
+    /// Shift transfers move demand in the correct direction.
+    #[test]
+    fn shift_transfers_match_machine_semantics() {
+        let f = shell();
+        let a = Analyzer::new(&f, Profile::A64);
+        // d on result bit 8 of `x << 4` demands operand bit 4.
+        let (da, _) = a.bin_demands(
+            BinOp::Shl,
+            Width::Word,
+            1 << 8,
+            Operand::V(0),
+            Operand::C(4),
+        );
+        assert_eq!(da, 1 << 4);
+        // d on result bit 8 of `x >> 4` demands operand bit 12.
+        let (da, _) = a.bin_demands(
+            BinOp::Shr { arith: false },
+            Width::Word,
+            1 << 8,
+            Operand::V(0),
+            Operand::C(4),
+        );
+        assert_eq!(da, 1 << 12);
+        // Arithmetic shift: demanding a vacated high bit demands the sign.
+        let (da, _) = a.bin_demands(
+            BinOp::Shr { arith: true },
+            Width::Word,
+            1 << 62,
+            Operand::V(0),
+            Operand::C(4),
+        );
+        assert_eq!(da, 1 << 63, "vacated high-bit demand collapses to sign");
+    }
+
+    /// Exhaustive 8-bit check: for every op and every operand bit the
+    /// transfer claims dead, flipping that bit never changes a demanded
+    /// result bit. This is the soundness net for the transfer functions
+    /// against the real `eval_alu`.
+    #[test]
+    fn transfers_are_sound_against_eval_alu() {
+        use softerr_isa::AluOp;
+        let f = shell();
+        let profile = Profile::A64;
+        let a = Analyzer::new(&f, profile);
+        let cases: Vec<(BinOp, AluOp)> = vec![
+            (BinOp::Add, AluOp::Add),
+            (BinOp::Sub, AluOp::Sub),
+            (BinOp::Mul, AluOp::Mul),
+            (BinOp::And, AluOp::And),
+            (BinOp::Or, AluOp::Or),
+            (BinOp::Xor, AluOp::Xor),
+            (BinOp::Shl, AluOp::Sll),
+            (BinOp::Shr { arith: false }, AluOp::Srl),
+            (BinOp::Shr { arith: true }, AluOp::Sra),
+        ];
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for (bin, alu) in cases {
+            for _ in 0..200 {
+                let x = next();
+                let y = next();
+                let d = next(); // random demand mask
+                let (da, db) = a.bin_demands(bin, Width::Word, d, Operand::V(0), Operand::V(1));
+                let base = eval_alu(profile, alu, x, y);
+                for bit in 0..64 {
+                    if da & (1 << bit) == 0 {
+                        let flipped = eval_alu(profile, alu, x ^ (1 << bit), y);
+                        assert_eq!(
+                            base & d,
+                            flipped & d,
+                            "{bin:?}: dead lhs bit {bit} leaked (x={x:#x} y={y:#x} d={d:#x})"
+                        );
+                    }
+                    if db & (1 << bit) == 0 {
+                        let flipped = eval_alu(profile, alu, x, y ^ (1 << bit));
+                        assert_eq!(
+                            base & d,
+                            flipped & d,
+                            "{bin:?}: dead rhs bit {bit} leaked (x={x:#x} y={y:#x} d={d:#x})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// u32 truncated ops confine demand to the low half on A64; the static
+    /// map proves the high 32 bits of u32 defs dead when all consumers are
+    /// u32.
+    #[test]
+    fn u32_defs_prove_high_half_dead_on_a64() {
+        let src = "
+            u32 tab[2];
+            void main() {
+                u32 a = tab[0];
+                u32 b = tab[1];
+                u32 s = 0;
+                for (int i = 0; i < 8; i = i + 1) {
+                    s = s + (a ^ b);
+                    a = a * 31 + 7;
+                    b = (b << 5) + (b >> 2);
+                }
+                out(s);
+            }";
+        let (_, map) = analyze(src, Profile::A64, OptLevel::O2);
+        let f = map.func("main").expect("main analyzed");
+        let confined = f
+            .def_demand
+            .values()
+            .filter(|d| d.demand != 0 && d.demand & !LOW32 == 0)
+            .count();
+        assert!(
+            confined > 0,
+            "no u32 def had its high half proven dead: {:?}",
+            f.def_demand
+        );
+        assert!(map.masked_fraction() > 0.0);
+    }
+
+    /// A store into a local that is never read again is reported dead; the
+    /// O0 pipeline (no DCE) keeps it alive so the lint has something to
+    /// find.
+    #[test]
+    fn dead_slot_store_is_reported_at_o0() {
+        let src = "
+            void main() {
+                int waste = 42;
+                waste = 99;
+                out(1);
+            }";
+        let (_, map) = analyze(src, Profile::A32, OptLevel::O0);
+        let f = map.func("main").expect("main analyzed");
+        assert!(
+            f.dead
+                .iter()
+                .any(|d| matches!(d, DeadSite::Store { .. } | DeadSite::Def { .. })),
+            "dead local store not reported: {:?}",
+            f.dead
+        );
+    }
+
+    /// The fixpoint handles loops: a value live around a back edge keeps
+    /// its demand.
+    #[test]
+    fn loop_carried_demand_is_kept() {
+        let src = "
+            int tab[1];
+            void main() {
+                int acc = tab[0];
+                for (int i = 0; i < 10; i = i + 1) { acc = acc * 3 + 1; }
+                out(acc);
+            }";
+        let (_, map) = analyze(src, Profile::A64, OptLevel::O2);
+        let f = map.func("main").expect("main analyzed");
+        // The accumulator def inside the loop must carry full demand (it
+        // reaches the return through the back edge).
+        assert!(
+            f.def_demand.values().any(|d| d.demand == !0),
+            "no fully-demanded def found: {:?}",
+            f.def_demand
+        );
+    }
+
+    /// Masked fraction is monotone-sane across levels: it stays in [0,1]
+    /// and the analysis runs on every optimization level's output.
+    #[test]
+    fn analyze_runs_on_all_levels_and_profiles() {
+        let src = "
+            void main() {
+                u32 h = 2166136261;
+                for (int i = 0; i < 16; i = i + 1) {
+                    h = ((h << 7) | (h >> 25)) + 2654435769;
+                    h = h ^ (h >> 13);
+                }
+                out(h & 255);
+            }";
+        for profile in [Profile::A32, Profile::A64] {
+            for level in OptLevel::ALL {
+                let (_, map) = analyze(src, profile, level);
+                let frac = map.masked_fraction();
+                assert!((0.0..=1.0).contains(&frac), "{profile:?} {level}: {frac}");
+            }
+        }
+    }
+}

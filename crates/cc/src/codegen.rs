@@ -4,6 +4,7 @@
 //! frame layout, then instruction selection with label fixups for branches
 //! and calls. `main` is placed first and its returns become `halt`.
 
+use crate::analysis::{full_mask, FuncVuln, StaticVulnMap};
 use crate::error::{CompileError, Loc};
 use crate::ir::*;
 use crate::regalloc::{allocate, scratch0, scratch1, Allocation, Loc as RLoc};
@@ -58,6 +59,30 @@ pub fn generate_with(
     profile: Profile,
     verify: bool,
 ) -> Result<(Program, Vec<FuncStats>), CompileError> {
+    generate_annotated(ir, profile, verify, None)
+}
+
+/// [`generate_with`], additionally carrying the static bit-demand masks of
+/// `vuln` through register allocation onto the emitted code: for every def
+/// whose demand the analysis bounded below full width, the machine
+/// instruction performing the final write of the def's home register is
+/// recorded in `Program::wb_masks`. Defs that land in spill slots, no-op
+/// moves, and all instructions the compiler cannot attribute exactly keep
+/// the (sound) default full mask.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+///
+/// # Panics
+///
+/// Same as [`generate_with`].
+pub fn generate_annotated(
+    ir: &IrModule,
+    profile: Profile,
+    verify: bool,
+    vuln: Option<&StaticVulnMap>,
+) -> Result<(Program, Vec<FuncStats>), CompileError> {
     let mut order: Vec<usize> = (0..ir.funcs.len()).collect();
     // main first: it is the entry point.
     order.sort_by_key(|&i| (ir.funcs[i].name != "main", i));
@@ -66,12 +91,14 @@ pub fn generate_with(
     let mut func_addr: HashMap<String, usize> = HashMap::new();
     let mut call_fixups: Vec<(usize, String)> = Vec::new();
     let mut stats = Vec::new();
+    let mut wb_masks: Vec<(u32, u64)> = Vec::new();
 
     for &fi in &order {
         let f = &ir.funcs[fi];
         let start = code.len();
         func_addr.insert(f.name.clone(), start);
         let mut gen = FuncGen::new(f, ir, profile);
+        gen.vuln = vuln.and_then(|v| v.func(&f.name));
         if verify {
             if let Err(e) = crate::verify::verify_allocation(f, &gen.alloc) {
                 panic!("{}", e.after_pass("regalloc"));
@@ -80,6 +107,9 @@ pub fn generate_with(
         gen.run()?;
         for (at, callee) in gen.call_fixups {
             call_fixups.push((start + at, callee));
+        }
+        for (at, mask) in gen.wb_masks {
+            wb_masks.push(((start + at) as u32, mask));
         }
         stats.push(FuncStats {
             name: f.name.clone(),
@@ -133,6 +163,7 @@ pub fn generate_with(
         data,
         entry: CODE_BASE,
         mem_size: DEFAULT_MEM_SIZE,
+        wb_masks,
     };
     Ok((program, stats))
 }
@@ -162,6 +193,10 @@ struct FuncGen<'a> {
     frame_size: u64,
     is_main: bool,
     makes_calls: bool,
+    /// Static bit-demand result for this function, when annotating.
+    vuln: Option<&'a FuncVuln>,
+    /// Collected `(local code index, demand mask)` writeback annotations.
+    wb_masks: Vec<(usize, u64)>,
 }
 
 impl<'a> FuncGen<'a> {
@@ -208,6 +243,8 @@ impl<'a> FuncGen<'a> {
             ra_off,
             frame_size,
             makes_calls,
+            vuln: None,
+            wb_masks: Vec::new(),
         }
     }
 
@@ -385,7 +422,9 @@ impl<'a> FuncGen<'a> {
             let block = &self.f.blocks[id];
             for ii in 0..block.insts.len() {
                 let inst = self.f.blocks[id].insts[ii].clone();
+                let before = self.code.len();
                 self.gen_inst(&inst);
+                self.attribute_def(id, ii, before);
             }
             let term = self.f.blocks[id].term.clone();
             self.gen_term(&term, id);
@@ -429,7 +468,21 @@ impl<'a> FuncGen<'a> {
         for (i, (v, _)) in self.f.params.clone().into_iter().enumerate() {
             let src = args[i];
             match self.alloc.locs.get(&v).copied() {
-                Some(RLoc::R(r)) => self.move_reg(r, src),
+                Some(RLoc::R(r)) => {
+                    let before = self.code.len();
+                    self.move_reg(r, src);
+                    // The home-register move is the parameter's writeback
+                    // site; its entry demand bounds every later use.
+                    if self.code.len() > before {
+                        self.attribute_mask(
+                            self.code.len() - 1,
+                            r,
+                            self.vuln
+                                .and_then(|fv| fv.param_demand.iter().find(|&&(pv, _)| pv == v))
+                                .map(|&(_, d)| d),
+                        );
+                    }
+                }
                 Some(RLoc::Spill(idx)) => {
                     let off = self.spill_addr(idx);
                     self.mem_op(None, Some(src), w, Reg::SP, off);
@@ -437,6 +490,37 @@ impl<'a> FuncGen<'a> {
                 None => {}
             }
         }
+    }
+
+    /// Records a writeback demand mask for the instruction at `at` if it
+    /// writes `home` and `demand` is a genuine (non-full) bound.
+    fn attribute_mask(&mut self, at: usize, home: Reg, demand: Option<u64>) {
+        let Some(demand) = demand else { return };
+        if demand == full_mask(self.profile) {
+            return;
+        }
+        if self.code[at].dest() == Some(home) {
+            self.wb_masks.push((at, demand));
+        }
+    }
+
+    /// After emitting the code for `(block, ii)`, attaches the def's static
+    /// demand mask to the instruction performing its final home-register
+    /// write. Spilled defs, no-op moves, and defs whose last emitted
+    /// instruction does not write the home register (e.g. a call's link
+    /// write) stay unattributed and default to a full mask.
+    fn attribute_def(&mut self, block: BlockId, ii: usize, emitted_from: usize) {
+        let Some(fv) = self.vuln else { return };
+        let Some(dd) = fv.def_demand.get(&(block, ii)).copied() else {
+            return;
+        };
+        if self.code.len() == emitted_from {
+            return;
+        }
+        let Some(RLoc::R(home)) = self.alloc.locs.get(&dd.vreg).copied() else {
+            return;
+        };
+        self.attribute_mask(self.code.len() - 1, home, Some(dd.demand));
     }
 
     fn epilogue(&mut self) {

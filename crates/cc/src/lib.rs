@@ -27,6 +27,7 @@
 //! ```
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod ast;
 pub mod codegen;
 pub mod error;
@@ -39,6 +40,7 @@ pub mod passes;
 pub mod regalloc;
 pub mod verify;
 
+pub use analysis::{DeadSite, DefDemand, FuncVuln, StaticVulnMap};
 pub use error::CompileError;
 pub use opt::{OptLevel, PassConfig};
 pub use verify::VerifyError;
@@ -65,6 +67,10 @@ pub struct Compiled {
     pub program: Program,
     /// Compilation statistics.
     pub stats: CompileStats,
+    /// Static bit-level vulnerability map of the optimized IR (see
+    /// [`analysis`]); its def masks are also carried onto the program as
+    /// `Program::wb_masks`.
+    pub vuln: StaticVulnMap,
 }
 
 /// The MiniC compiler, configured with a target profile and an optimization
@@ -139,14 +145,59 @@ impl Compiler {
             panic!("{e}");
         }
         let ir_insts = ir.funcs.iter().map(|f| f.inst_count()).sum();
-        let (program, funcs) = codegen::generate_with(&ir, self.profile, self.verify)?;
+        let vuln = StaticVulnMap::analyze(&ir, self.profile);
+        // Dead computations surviving the O2/O3 pipelines mean a pass left
+        // work on the table: surface them as lint warnings (`cc.lint`).
+        if self.level >= OptLevel::O2 {
+            self.lint_dead(&ir, &vuln);
+        }
+        let (program, funcs) =
+            codegen::generate_annotated(&ir, self.profile, self.verify, Some(&vuln))?;
         let stats = CompileStats {
             code_words: program.code.len(),
             data_bytes: program.data.len(),
             funcs,
             ir_insts,
         };
-        Ok(Compiled { program, stats })
+        Ok(Compiled {
+            program,
+            stats,
+            vuln,
+        })
+    }
+
+    /// Emits one `cc.lint` warning per fully-dead def or store the static
+    /// analysis found in the optimized IR.
+    fn lint_dead(&self, ir: &ir::IrModule, vuln: &StaticVulnMap) {
+        use softerr_telemetry::{event, Level};
+        for (f, fv) in ir.funcs.iter().zip(&vuln.funcs) {
+            for site in &fv.dead {
+                match *site {
+                    DeadSite::Def { block, inst, vreg } => event!(
+                        Level::Warn,
+                        "cc.lint",
+                        { func: f.name.clone(), block: block as u64, inst: inst as u64 },
+                        "dead computation survives {}: v{} in {}.b{}[{}] has no live bits",
+                        self.level,
+                        vreg,
+                        f.name,
+                        block,
+                        inst
+                    ),
+                    DeadSite::Store { block, inst, slot } => event!(
+                        Level::Warn,
+                        "cc.lint",
+                        { func: f.name.clone(), block: block as u64, inst: inst as u64 },
+                        "dead store survives {}: `{}` in {}.b{}[{}] is never reloaded",
+                        self.level,
+                        f.slots[slot].name,
+                        f.name,
+                        block,
+                        inst
+                    ),
+                }
+            }
+        }
     }
 
     /// Compiles and returns the optimized IR (for inspection and tests).

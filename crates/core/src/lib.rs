@@ -43,10 +43,13 @@ pub use study::{
 
 // Re-export the full vocabulary so downstream users need only this crate.
 pub use softerr_analysis::{
-    ace_estimate, cpu_fit, cpu_fit_by_class, fit_of_structure, forensics, fpe, weighted_avf,
-    AceEstimate, EccScheme, StructureAvf, StructureMeasurement,
+    ace_estimate, cpu_fit, cpu_fit_by_class, fit_of_structure, forensics, fpe, mean_static_uplift,
+    static_injected_rank_correlation, static_vuln_table, weighted_avf, AceEstimate, EccScheme,
+    StaticVulnCell, StructureAvf, StructureMeasurement,
 };
-pub use softerr_cc::{CompileError, Compiled, Compiler, OptLevel, PassConfig, VerifyError};
+pub use softerr_cc::{
+    CompileError, Compiled, Compiler, OptLevel, PassConfig, StaticVulnMap, VerifyError,
+};
 pub use softerr_inject::{
     error_margin, fnv1a, CampaignConfig, CampaignObserver, CampaignOutput, CampaignResult,
     CampaignRun, ClassCounts, DivergenceSite, FaultClass, FaultRecord, FaultSpec, Golden, Injector,

@@ -324,6 +324,7 @@ impl Orchestrator {
                     threads: cfg.threads,
                     checkpoint: cfg.checkpoint,
                     prune: cfg.prune,
+                    prune_static: cfg.prune_static,
                     target_margin: cfg.target_margin,
                 };
                 let campaigns: Vec<CampaignResult> = cfg

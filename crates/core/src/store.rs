@@ -44,7 +44,7 @@ pub fn cell_config_hash(
     level: OptLevel,
 ) -> String {
     let canonical = format!(
-        "v{}|machine={:?}|workload={}|level={}|scale={}|injections={}|seed={}|checkpoint={}|structures={:?}|prune={:?}|target_margin={:?}",
+        "v{}|machine={:?}|workload={}|level={}|scale={}|injections={}|seed={}|checkpoint={}|structures={:?}|prune={:?}|prune_static={:?}|target_margin={:?}",
         env!("CARGO_PKG_VERSION"),
         machine,
         workload,
@@ -55,6 +55,7 @@ pub fn cell_config_hash(
         config.checkpoint,
         config.structures,
         config.prune,
+        config.prune_static,
         config.target_margin,
     );
     format!("{:016x}", fnv1a(canonical.as_bytes()))
@@ -255,6 +256,9 @@ mod tests {
         let mut c = base.clone();
         c.prune = softerr_inject::PruneMode::On;
         assert_ne!(baseline, h(&c), "prune mode is keyed");
+        let mut c = base.clone();
+        c.prune_static = softerr_inject::PruneMode::On;
+        assert_ne!(baseline, h(&c), "static prune mode is keyed");
         let mut c = base.clone();
         c.target_margin = Some(0.0288);
         assert_ne!(baseline, h(&c), "adaptive-sampling target is keyed");

@@ -40,6 +40,11 @@ pub struct StudyConfig {
     /// bit-identical to `Off`; `Verify` re-simulates every pruned fault and
     /// asserts the verdict.
     pub prune: PruneMode,
+    /// Static bit-demand pruning for each campaign (see
+    /// [`CampaignConfig::prune_static`]): prunes faults whose flipped bits
+    /// the compiler proved dead inside every covering RF window. Same
+    /// tally-identity and `Verify` contract as `prune`.
+    pub prune_static: PruneMode,
     /// Adaptive sampling: grow each campaign until its AVF error margin at
     /// 99% confidence reaches this target (see
     /// [`CampaignConfig::target_margin`]); `None` injects a fixed
@@ -61,6 +66,7 @@ impl Default for StudyConfig {
             threads: 1,
             checkpoint: true,
             prune: PruneMode::Off,
+            prune_static: PruneMode::Off,
             target_margin: None,
         }
     }
@@ -223,6 +229,12 @@ impl StudyConfigBuilder {
     /// Liveness-based pruning mode per campaign.
     pub fn prune(mut self, prune: PruneMode) -> StudyConfigBuilder {
         self.config.prune = prune;
+        self
+    }
+
+    /// Static bit-demand pruning mode per campaign.
+    pub fn prune_static(mut self, prune_static: PruneMode) -> StudyConfigBuilder {
+        self.config.prune_static = prune_static;
         self
     }
 

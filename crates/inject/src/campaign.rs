@@ -217,6 +217,14 @@ pub struct CampaignConfig {
     pub checkpoint: bool,
     /// Liveness-based pruning of provably-masked faults (default `Off`).
     pub prune: PruneMode,
+    /// Static bit-demand pruning (default `Off`): additionally classify as
+    /// Masked, without simulating, faults whose flipped bits the compiler's
+    /// bit-level dataflow analysis proved dead inside every covering RF
+    /// danger window (carried onto the program as writeback demand masks).
+    /// Composes with `prune`; a fault both stages could prune is attributed
+    /// to the dynamic liveness pruner. `Verify` simulates everything and
+    /// panics if any statically-prunable fault classifies non-Masked.
+    pub prune_static: PruneMode,
     /// Adaptive sampling: keep drawing faults in batches of `injections`
     /// until the worst-case AVF error margin at 99% confidence drops to
     /// this target (e.g. the paper's `0.0288`), instead of always burning a
@@ -235,6 +243,7 @@ impl Default for CampaignConfig {
             threads: 1,
             checkpoint: true,
             prune: PruneMode::Off,
+            prune_static: PruneMode::Off,
             target_margin: None,
         }
     }
@@ -358,6 +367,7 @@ impl<'a> Injector<'a> {
         self.liveness.get_or_init(|| {
             let mut sim = Sim::new(self.cfg, self.program);
             sim.enable_liveness();
+            sim.attach_static_masks(self.program);
             let _ = sim.run(4_000_000_000);
             sim.liveness_map()
                 .expect("liveness instrumentation was enabled")
@@ -377,6 +387,22 @@ impl<'a> Injector<'a> {
         let map = self.liveness();
         (0..u64::from(width.max(1)))
             .all(|k| !map.is_ace(fault.structure, (fault.bit + k) % bits, fault.cycle))
+    }
+
+    /// True when every bit of the burst is provably unobservable once the
+    /// per-window static demand masks are taken into account: the bit is
+    /// either outside all danger windows (the [`Injector::prunable`] case)
+    /// or inside windows whose writing instructions the compiler proved
+    /// never demand it. Always true where `prunable` is true, so static
+    /// pruning is a strict refinement of liveness pruning.
+    fn prunable_static(&self, fault: FaultSpec, width: u8) -> bool {
+        let bits = self.bit_count(fault.structure);
+        if bits == 0 {
+            return false;
+        }
+        let map = self.liveness();
+        (0..u64::from(width.max(1)))
+            .all(|k| !map.is_vulnerable(fault.structure, (fault.bit + k) % bits, fault.cycle))
     }
 
     /// Executes one single-bit injection and classifies the outcome.
@@ -417,6 +443,7 @@ impl<'a> Injector<'a> {
                     end_cycle: fault.cycle,
                     divergence: None,
                     pruned: false,
+                    pruned_static: false,
                 }
             }
         }
@@ -445,6 +472,7 @@ impl<'a> Injector<'a> {
                         end_cycle: sim.cycle(),
                         divergence: None,
                         pruned: false,
+                        pruned_static: false,
                     }
                 }
             };
@@ -458,6 +486,7 @@ impl<'a> Injector<'a> {
             end_cycle: end_cycles(&end),
             divergence: None,
             pruned: false,
+            pruned_static: false,
         }
     }
 
@@ -711,16 +740,21 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
                 &sampled
             }
         };
-        let outcomes = match self.cfg.prune {
-            PruneMode::Off => self.injector.classify_outcomes(
+        let verify =
+            self.cfg.prune == PruneMode::Verify || self.cfg.prune_static == PruneMode::Verify;
+        let any_on = self.cfg.prune == PruneMode::On || self.cfg.prune_static == PruneMode::On;
+        let outcomes = if verify {
+            self.execute_verified(faults)
+        } else if any_on {
+            self.execute_pruned(faults)
+        } else {
+            self.injector.classify_outcomes(
                 faults,
                 self.burst_width,
                 &self.cfg,
                 self.record,
                 self.observer,
-            ),
-            PruneMode::On => self.execute_pruned(faults),
-            PruneMode::Verify => self.execute_verified(faults),
+            )
         };
         let mut counts = ClassCounts::default();
         for outcome in &outcomes {
@@ -738,6 +772,7 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
                     golden_cycles: self.injector.golden.cycles,
                     first_divergence: outcome.divergence,
                     pruned: outcome.pruned,
+                    pruned_static: outcome.pruned_static,
                 })
                 .collect()
         });
@@ -753,34 +788,47 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
         }
     }
 
-    /// `prune = on`: classifies liveness-prunable faults as Masked without
-    /// simulating them and runs only the survivors through the engine,
-    /// scattering both back into sample order.
+    /// `prune = on` and/or `prune_static = on`: classifies prunable faults
+    /// as Masked without simulating them and runs only the survivors
+    /// through the engine, scattering both back into sample order. A fault
+    /// both stages could prune is attributed to the dynamic liveness
+    /// pruner (the cheaper proof).
     fn execute_pruned(&self, faults: &[FaultSpec]) -> Vec<Outcome> {
-        let flags: Vec<bool> = faults
+        let dyn_on = self.cfg.prune == PruneMode::On;
+        let static_on = self.cfg.prune_static == PruneMode::On;
+        // (liveness-pruned, static-pruned) per fault, mutually exclusive.
+        let flags: Vec<(bool, bool)> = faults
             .iter()
-            .map(|&f| self.injector.prunable(f, self.burst_width))
+            .map(|&f| {
+                let d = dyn_on && self.injector.prunable(f, self.burst_width);
+                let s = !d && static_on && self.injector.prunable_static(f, self.burst_width);
+                (d, s)
+            })
             .collect();
         let survivors: Vec<FaultSpec> = faults
             .iter()
             .zip(&flags)
-            .filter(|&(_, &pruned)| !pruned)
+            .filter(|&(_, &(d, s))| !d && !s)
             .map(|(&f, _)| f)
             .collect();
-        let pruned_n = faults.len() - survivors.len();
+        let dyn_n = flags.iter().filter(|&&(d, _)| d).count();
+        let static_n = flags.iter().filter(|&&(_, s)| s).count();
         if let Some(&first) = faults.first() {
             event!(
                 Level::Info,
                 "inject.prune",
                 {
                     structure: format!("{:?}", first.structure),
-                    pruned: pruned_n,
+                    pruned: dyn_n,
+                    pruned_static: static_n,
                     total: faults.len(),
                     width: self.burst_width
                 },
-                "pruned {}/{} sampled faults as provably masked",
-                pruned_n,
-                faults.len()
+                "pruned {}/{} sampled faults as provably masked ({} by liveness, {} statically)",
+                dyn_n + static_n,
+                faults.len(),
+                dyn_n,
+                static_n
             );
         }
         let survivor_outcomes = self.injector.classify_outcomes(
@@ -794,12 +842,16 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
         faults
             .iter()
             .zip(&flags)
-            .map(|(fault, &pruned)| {
-                if pruned {
+            .map(|(fault, &(d, s))| {
+                if d || s {
                     if let Some(observer) = self.observer {
                         observer.fault_classified(FaultClass::Masked);
                     }
-                    Outcome::pruned_at(fault.cycle)
+                    if d {
+                        Outcome::pruned_at(fault.cycle)
+                    } else {
+                        Outcome::pruned_static_at(fault.cycle)
+                    }
                 } else {
                     survivor_it.next().expect("one engine outcome per survivor")
                 }
@@ -807,10 +859,12 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
             .collect()
     }
 
-    /// `prune = verify`: simulates every fault exactly like `off`, then
-    /// asserts that each liveness-prunable fault really classified as
-    /// Masked. A mismatch means a live window is missing from the map — a
-    /// soundness bug — so it panics rather than returning tainted tallies.
+    /// `prune = verify` and/or `prune_static = verify`: simulates every
+    /// fault exactly like `off`, then asserts that each prunable one really
+    /// classified as Masked — per stage whose knob asked for verification.
+    /// A mismatch means an unsound prune window (or demand mask) — a
+    /// correctness bug — so it panics rather than returning tainted
+    /// tallies.
     fn execute_verified(&self, faults: &[FaultSpec]) -> Vec<Outcome> {
         let outcomes = self.injector.classify_outcomes(
             faults,
@@ -819,9 +873,31 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
             self.record,
             self.observer,
         );
+        if self.cfg.prune == PruneMode::Verify {
+            self.verify_stage(faults, &outcomes, "liveness", |f| {
+                self.injector.prunable(f, self.burst_width)
+            });
+        }
+        if self.cfg.prune_static == PruneMode::Verify {
+            self.verify_stage(faults, &outcomes, "static", |f| {
+                self.injector.prunable_static(f, self.burst_width)
+            });
+        }
+        outcomes
+    }
+
+    /// Asserts every `prunable` fault simulated as Masked; panics on the
+    /// first counterexample.
+    fn verify_stage(
+        &self,
+        faults: &[FaultSpec],
+        outcomes: &[Outcome],
+        stage: &str,
+        prunable: impl Fn(FaultSpec) -> bool,
+    ) {
         let mut checked = 0usize;
-        for (fault, outcome) in faults.iter().zip(&outcomes) {
-            if !self.injector.prunable(*fault, self.burst_width) {
+        for (fault, outcome) in faults.iter().zip(outcomes) {
+            if !prunable(*fault) {
                 continue;
             }
             checked += 1;
@@ -830,19 +906,21 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
                     Level::Error,
                     "inject.prune",
                     {
+                        stage: stage.to_string(),
                         structure: format!("{:?}", fault.structure),
                         bit: fault.bit,
                         cycle: fault.cycle,
                         class: outcome.class.name()
                     },
-                    "prune verification failed: {:?} is outside every live window \
+                    "{} prune verification failed: {:?} is provably masked \
                      but simulated as {}",
+                    stage,
                     fault,
                     outcome.class
                 );
                 panic!(
-                    "prune verification failed: {fault:?} (width {}) is outside every \
-                     live window but simulated as {}",
+                    "{stage} prune verification failed: {fault:?} (width {}) is \
+                     provably masked but simulated as {}",
                     self.burst_width, outcome.class
                 );
             }
@@ -850,12 +928,12 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
         event!(
             Level::Info,
             "inject.prune",
-            { verified: checked, total: faults.len() },
-            "verified {}/{} prunable faults simulate as Masked",
+            { stage: stage.to_string(), verified: checked, total: faults.len() },
+            "verified {}/{} {}-prunable faults simulate as Masked",
             checked,
-            faults.len()
+            faults.len(),
+            stage
         );
-        outcomes
     }
 }
 
@@ -882,6 +960,9 @@ struct Outcome {
     divergence: Option<DivergenceSite>,
     /// Verdict produced by the liveness pruner, without simulation.
     pruned: bool,
+    /// Verdict produced by the static bit-demand pruner, without
+    /// simulation (never set together with `pruned`).
+    pruned_static: bool,
 }
 
 impl Outcome {
@@ -892,6 +973,7 @@ impl Outcome {
             end_cycle: cycle,
             divergence: None,
             pruned: false,
+            pruned_static: false,
         }
     }
 
@@ -899,6 +981,15 @@ impl Outcome {
     fn pruned_at(cycle: u64) -> Outcome {
         Outcome {
             pruned: true,
+            ..Outcome::masked_at(cycle)
+        }
+    }
+
+    /// A Masked verdict the static bit-demand pruner issued without
+    /// simulating.
+    fn pruned_static_at(cycle: u64) -> Outcome {
+        Outcome {
+            pruned_static: true,
             ..Outcome::masked_at(cycle)
         }
     }
@@ -1114,6 +1205,7 @@ impl Engine<'_, '_> {
                         end_cycle: child.sim.cycle(),
                         divergence: child.divergence.take(),
                         pruned: false,
+                        pruned_static: false,
                     };
                     self.push(results, child.slot, outcome);
                     return false;
@@ -1125,6 +1217,7 @@ impl Engine<'_, '_> {
                     end_cycle: end_cycles(&end),
                     divergence: child.divergence.take(),
                     pruned: false,
+                    pruned_static: false,
                 };
                 self.push(results, child.slot, outcome);
                 return false;
@@ -1149,6 +1242,7 @@ impl Engine<'_, '_> {
                         end_cycle: self.inj.golden.cycles,
                         divergence: child.divergence.take(),
                         pruned: false,
+                        pruned_static: false,
                     };
                     self.push(results, child.slot, outcome);
                     return false;
@@ -1170,6 +1264,7 @@ impl Engine<'_, '_> {
                 end_cycle: end_cycles(&end),
                 divergence: child.divergence,
                 pruned: false,
+                pruned_static: false,
             },
             Err(_) => {
                 event!(
@@ -1185,6 +1280,7 @@ impl Engine<'_, '_> {
                     end_cycle: child.sim.cycle(),
                     divergence: child.divergence,
                     pruned: false,
+                    pruned_static: false,
                 }
             }
         };
@@ -1771,6 +1867,95 @@ mod tests {
             let records = inj.run(s, &verify).records(true).execute().records.unwrap();
             assert!(
                 records.iter().all(|r| !r.pruned),
+                "{s}: verify-mode records are all simulated"
+            );
+        }
+    }
+
+    #[test]
+    fn static_pruned_campaign_matches_unpruned_and_flags_static_records() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let base = CampaignConfig {
+            injections: 60,
+            seed: 13,
+            ..CampaignConfig::default()
+        };
+        let static_only = CampaignConfig {
+            prune_static: PruneMode::On,
+            ..base
+        };
+        let both = CampaignConfig {
+            prune: PruneMode::On,
+            prune_static: PruneMode::On,
+            ..base
+        };
+        for s in [Structure::RegFile, Structure::L1DData] {
+            let off_out = inj.run(s, &base).records(true).execute();
+            let st_out = inj.run(s, &static_only).records(true).execute();
+            let both_out = inj.run(s, &both).records(true).execute();
+            assert_eq!(off_out.result, st_out.result, "{s}: tallies must match");
+            assert_eq!(off_out.result, both_out.result, "{s}: tallies must match");
+            assert_eq!(off_out.classes, st_out.classes, "{s}: classes must match");
+            assert_eq!(off_out.classes, both_out.classes, "{s}: classes must match");
+            let st_recs = st_out.records.unwrap();
+            let both_recs = both_out.records.unwrap();
+            for r in st_recs.iter().chain(&both_recs) {
+                assert!(
+                    !(r.pruned && r.pruned_static),
+                    "{s}: prune attribution must be exclusive"
+                );
+                if r.pruned || r.pruned_static {
+                    assert_eq!(r.class, FaultClass::Masked);
+                }
+            }
+            // Static pruning subsumes liveness pruning, so everything the
+            // dynamic stage would prune is pruned here too (attributed to
+            // the static stage in a static-only campaign).
+            let dyn_recs = inj
+                .run(
+                    s,
+                    &CampaignConfig {
+                        prune: PruneMode::On,
+                        ..base
+                    },
+                )
+                .records(true)
+                .execute()
+                .records
+                .unwrap();
+            let dyn_n = dyn_recs.iter().filter(|r| r.pruned).count();
+            let st_n = st_recs.iter().filter(|r| r.pruned_static).count();
+            assert!(st_n >= dyn_n, "{s}: static pruning must refine liveness");
+            if s == Structure::RegFile {
+                assert!(st_n > 0, "a RegFile campaign lands some prunable faults");
+            }
+        }
+    }
+
+    #[test]
+    fn static_verify_mode_agrees_with_unpruned_and_does_not_panic() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let base = CampaignConfig {
+            injections: 40,
+            seed: 4,
+            ..CampaignConfig::default()
+        };
+        let verify = CampaignConfig {
+            prune_static: PruneMode::Verify,
+            ..base
+        };
+        for s in [Structure::RegFile, Structure::RobFlags, Structure::L1DTag] {
+            let off = inj.run(s, &base).execute();
+            let v = inj.run(s, &verify).execute();
+            assert_eq!(
+                off.result, v.result,
+                "{s}: static verify simulates exactly like off"
+            );
+            let records = inj.run(s, &verify).records(true).execute().records.unwrap();
+            assert!(
+                records.iter().all(|r| !r.pruned && !r.pruned_static),
                 "{s}: verify-mode records are all simulated"
             );
         }

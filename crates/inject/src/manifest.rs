@@ -24,6 +24,8 @@ pub struct RunManifest {
     pub checkpoint: bool,
     /// Liveness-based pruning mode the campaign ran under.
     pub prune: PruneMode,
+    /// Static bit-demand pruning mode the campaign ran under.
+    pub prune_static: PruneMode,
     /// Machine profile name (e.g. `"cortex-a15"`).
     pub machine: String,
     /// ISA profile (e.g. `"A32"`).
@@ -53,6 +55,7 @@ impl RunManifest {
             threads: cfg.threads as u64,
             checkpoint: cfg.checkpoint,
             prune: cfg.prune,
+            prune_static: cfg.prune_static,
             machine: machine_name.to_string(),
             profile: format!("{:?}", machine.profile),
             workload: "-".to_string(),
@@ -69,7 +72,8 @@ impl fmt::Display for RunManifest {
         write!(
             f,
             "machine={} profile={} workload={} level={} scale={} \
-             injections={} seed={} threads={} checkpoint={} prune={} config={} v{}",
+             injections={} seed={} threads={} checkpoint={} prune={} \
+             prune_static={} config={} v{}",
             self.machine,
             self.profile,
             self.workload,
@@ -80,6 +84,7 @@ impl fmt::Display for RunManifest {
             self.threads,
             self.checkpoint,
             self.prune,
+            self.prune_static,
             self.config_hash,
             self.version,
         )
@@ -117,6 +122,18 @@ mod tests {
             },
         );
         assert_ne!(a.config_hash, b.config_hash);
+        let st = RunManifest::new(
+            "cortex-a15",
+            &machine,
+            &CampaignConfig {
+                prune_static: PruneMode::On,
+                ..cfg
+            },
+        );
+        assert_ne!(
+            a.config_hash, st.config_hash,
+            "prune_static must be part of the configuration identity"
+        );
         assert_eq!(
             a.config_hash,
             RunManifest::new("cortex-a15", &machine, &cfg).config_hash,
@@ -150,7 +167,13 @@ mod tests {
         );
         let line = m.to_string();
         assert_eq!(line.lines().count(), 1);
-        for needle in ["machine=cortex-a15", "seed=", "config=", "workload=-"] {
+        for needle in [
+            "machine=cortex-a15",
+            "seed=",
+            "config=",
+            "workload=-",
+            "prune_static=",
+        ] {
             assert!(line.contains(needle), "missing {needle} in {line}");
         }
     }

@@ -52,6 +52,12 @@ pub struct FaultRecord {
     /// verify-mode campaigns simulate everything, so their records never
     /// set this).
     pub pruned: bool,
+    /// Verdict provenance: `true` when the compiler's static bit-demand
+    /// analysis classified the fault as Masked without simulating it
+    /// (`prune_static = on` campaigns only). Mutually exclusive with
+    /// `pruned` — a fault both stages could prune is attributed to the
+    /// dynamic liveness pruner.
+    pub pruned_static: bool,
 }
 
 impl FaultRecord {
@@ -84,6 +90,7 @@ mod tests {
                 component: "rf".to_string(),
             }),
             pruned: false,
+            pruned_static: false,
         }
     }
 
@@ -105,6 +112,7 @@ mod tests {
         let mut bare = record(1, 2);
         bare.first_divergence = None;
         bare.pruned = true;
+        bare.pruned_static = false;
         let json = serde_json::to_string(&bare).unwrap();
         let back: FaultRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, bare);

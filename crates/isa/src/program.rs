@@ -31,6 +31,13 @@ pub struct Program {
     pub entry: u64,
     /// Guest memory size in bytes.
     pub mem_size: u64,
+    /// Static writeback demand masks: `(code index, demand mask)` pairs for
+    /// instructions whose destination-register demand the compiler's
+    /// bit-level analysis bounded below full width. A clear mask bit means
+    /// a flip of that register bit after this instruction's writeback is
+    /// provably unobservable. Instructions without an entry default to a
+    /// full (all-demanded) mask; hand-assembled programs leave this empty.
+    pub wb_masks: Vec<(u32, u64)>,
 }
 
 impl Program {
@@ -43,6 +50,7 @@ impl Program {
             data: Vec::new(),
             entry: CODE_BASE,
             mem_size: DEFAULT_MEM_SIZE,
+            wb_masks: Vec::new(),
         }
     }
 
@@ -130,6 +138,7 @@ mod tests {
             data: Vec::new(),
             entry: CODE_BASE,
             mem_size: DEFAULT_MEM_SIZE,
+            wb_masks: Vec::new(),
         };
         let mut mem = Memory::new(p.mem_size);
         p.load_into(&mut mem);

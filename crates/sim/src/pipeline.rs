@@ -23,7 +23,7 @@ use crate::Structure;
 use softerr_isa::{
     decode, eval_alu, eval_branch, AluOp, Instr, MemWidth, Profile, Program, Reg, Trap,
 };
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Terminal state of a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,6 +135,12 @@ pub struct Sim {
     /// Microarchitectural event counters (same observer contract as
     /// `residency`: optional, feedback-free, excluded from `state_eq`).
     counters: Option<Box<CounterState>>,
+    /// Static writeback demand masks by instruction PC, from the
+    /// compiler's bit-level analysis ([`Sim::attach_static_masks`]).
+    /// Observational only: consulted by the residency tracker to tag RF
+    /// danger windows, never fed back into execution; excluded from
+    /// `state_eq` and not inherited by forks.
+    wb_masks: Option<HashMap<u64, u64>>,
 }
 
 impl Sim {
@@ -181,8 +187,26 @@ impl Sim {
             stats_occupancy: [0; 5],
             residency: None,
             counters: None,
+            wb_masks: None,
             cfg: cfg.clone(),
         }
+    }
+
+    /// Attaches the program's static writeback demand masks so a liveness
+    /// run can bound each RF danger window to the bits the compiler proved
+    /// demanded ([`LivenessMap::is_vulnerable`]). Call alongside
+    /// [`Sim::enable_liveness`]; a no-op for programs without annotations.
+    pub fn attach_static_masks(&mut self, program: &Program) {
+        if program.wb_masks.is_empty() {
+            self.wb_masks = None;
+            return;
+        }
+        let map: HashMap<u64, u64> = program
+            .wb_masks
+            .iter()
+            .map(|&(idx, mask)| (program.entry + 4 * u64::from(idx), mask))
+            .collect();
+        self.wb_masks = Some(map);
     }
 
     /// Turns on ACE residency tracking for a golden run: every structure
@@ -324,7 +348,12 @@ impl Sim {
                         bpe(bits, self.mem.l2.geometry().lines()).checked_sub(2),
                     ),
                 };
-                StructureLiveness::new(s, bits, entries, always_live_offset, windows)
+                let sl = StructureLiveness::new(s, bits, entries, always_live_offset, windows);
+                if s == Structure::RegFile {
+                    sl.with_masks(cw.rf_masks.clone())
+                } else {
+                    sl
+                }
             })
             .collect();
         Some(LivenessMap::new(self.cycle, structures))
@@ -480,6 +509,7 @@ impl Sim {
         let mut child = self.clone();
         child.residency = None;
         child.counters = None;
+        child.wb_masks = None;
         child.mem.clear_residency();
         child
     }
@@ -798,8 +828,15 @@ impl Sim {
                 self.rf_writes += 1;
                 self.iq.broadcast(tag);
                 let cycle = self.cycle;
+                let pc = uop.pc;
                 if let Some(t) = self.residency.as_deref_mut() {
-                    t.rf_write(tag, cycle);
+                    let mask = self
+                        .wb_masks
+                        .as_ref()
+                        .and_then(|m| m.get(&pc))
+                        .copied()
+                        .unwrap_or(!0);
+                    t.rf_write(tag, cycle, mask);
                 }
             }
             uop.state = UopState::Done;

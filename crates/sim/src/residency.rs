@@ -72,10 +72,21 @@ fn push_window(windows: &mut Vec<Vec<LiveWindow>>, slot: usize, start: u64, end:
     windows[slot].push(LiveWindow { start, end });
 }
 
+fn push_mask(masks: &mut Vec<Vec<u64>>, slot: usize, mask: u64) {
+    if masks.len() <= slot {
+        masks.resize_with(slot + 1, Vec::new);
+    }
+    masks[slot].push(mask);
+}
+
 /// Finished per-entry danger windows of the core structures.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct CoreWindows {
     pub(crate) rf: Vec<Vec<LiveWindow>>,
+    /// Static writeback demand mask of each RF window, parallel to `rf`: a
+    /// clear bit is provably unobservable for the whole window. Windows
+    /// opened by anything other than an attributed writeback carry `!0`.
+    pub(crate) rf_masks: Vec<Vec<u64>>,
     pub(crate) rob: Vec<Vec<LiveWindow>>,
     pub(crate) iq: Vec<Vec<LiveWindow>>,
     pub(crate) lq: Vec<Vec<LiveWindow>>,
@@ -90,6 +101,9 @@ pub(crate) struct CoreWindows {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct CoreResidency {
     rf: Vec<Option<Open>>,
+    /// Demand mask of each register's currently-open window (`!0` unless
+    /// the opening writeback carried a static annotation).
+    rf_cur_mask: Vec<u64>,
     rf_acc: u64,
     rob: HashMap<u64, (u64, bool, usize)>,
     rob_acc: u64,
@@ -102,6 +116,7 @@ pub(crate) struct CoreResidency {
     sq_acc: u64,
     record_windows: bool,
     rf_windows: Vec<Vec<LiveWindow>>,
+    rf_mask_windows: Vec<Vec<u64>>,
     rob_windows: Vec<Vec<LiveWindow>>,
     iq_windows: Vec<Vec<LiveWindow>>,
     lq_windows: Vec<Vec<LiveWindow>>,
@@ -112,6 +127,7 @@ impl CoreResidency {
     pub(crate) fn new(nphys: usize) -> CoreResidency {
         CoreResidency {
             rf: vec![None; nphys],
+            rf_cur_mask: vec![!0; nphys],
             ..CoreResidency::default()
         }
     }
@@ -129,6 +145,7 @@ impl CoreResidency {
             start: cycle,
             last_read: cycle,
         });
+        self.rf_cur_mask[tag as usize] = !0;
     }
 
     fn rf_close(&mut self, tag: PhysReg) {
@@ -136,13 +153,19 @@ impl CoreResidency {
             self.rf_acc += o.span();
             if self.record_windows {
                 push_window(&mut self.rf_windows, tag as usize, o.start, o.last_read);
+                push_mask(
+                    &mut self.rf_mask_windows,
+                    tag as usize,
+                    self.rf_cur_mask[tag as usize],
+                );
             }
         }
     }
 
     /// A value lands in the register at writeback: close any stale
-    /// interval and start a new one.
-    pub(crate) fn rf_write(&mut self, tag: PhysReg, cycle: u64) {
+    /// interval and start a new one carrying the writing instruction's
+    /// static demand mask (`!0` when unannotated).
+    pub(crate) fn rf_write(&mut self, tag: PhysReg, cycle: u64, mask: u64) {
         if tag == 0 {
             return; // the zero register discards writes
         }
@@ -151,6 +174,7 @@ impl CoreResidency {
             start: cycle,
             last_read: cycle,
         });
+        self.rf_cur_mask[tag as usize] = mask;
     }
 
     /// A source operand is read at issue.
@@ -299,6 +323,7 @@ impl CoreResidency {
     pub(crate) fn live_windows(&self) -> CoreWindows {
         let mut w = CoreWindows {
             rf: self.rf_windows.clone(),
+            rf_masks: self.rf_mask_windows.clone(),
             rob: self.rob_windows.clone(),
             iq: self.iq_windows.clone(),
             lq: self.lq_windows.clone(),
@@ -307,6 +332,7 @@ impl CoreResidency {
         for (tag, o) in self.rf.iter().enumerate() {
             if let Some(o) = o {
                 push_window(&mut w.rf, tag, o.start, o.last_read);
+                push_mask(&mut w.rf_masks, tag, self.rf_cur_mask[tag]);
             }
         }
         for &(start, _, slot) in self.rob.values() {
@@ -321,7 +347,19 @@ impl CoreResidency {
         for &(start, slot) in self.sq.values() {
             push_window(&mut w.sq, slot, start, u64::MAX);
         }
-        for windows in [&mut w.rf, &mut w.rob, &mut w.iq, &mut w.lq, &mut w.sq] {
+        // RF windows must keep their mask vector aligned through the sort,
+        // so entries are permuted as (window, mask) pairs.
+        w.rf_masks.resize_with(w.rf.len(), Vec::new);
+        for (entry, masks) in w.rf.iter_mut().zip(w.rf_masks.iter_mut()) {
+            debug_assert_eq!(entry.len(), masks.len(), "rf window/mask desync");
+            let mut pairs: Vec<(LiveWindow, u64)> = entry.drain(..).zip(masks.drain(..)).collect();
+            pairs.sort_by_key(|(lw, _)| lw.start);
+            for (lw, m) in pairs {
+                entry.push(lw);
+                masks.push(m);
+            }
+        }
+        for windows in [&mut w.rob, &mut w.iq, &mut w.lq, &mut w.sq] {
             for entry in windows.iter_mut() {
                 entry.sort_by_key(|lw| lw.start);
             }
@@ -492,6 +530,11 @@ pub struct StructureLiveness {
     always_live_offset: Option<u64>,
     /// Per entry, chronologically sorted inclusive danger windows.
     windows: Vec<Vec<LiveWindow>>,
+    /// Per entry, static demand mask of each window (parallel to
+    /// `windows`). `None` when the structure carries no static
+    /// annotations; then [`StructureLiveness::is_vulnerable`] degrades to
+    /// [`StructureLiveness::is_ace`].
+    masks: Option<Vec<Vec<u64>>>,
 }
 
 impl StructureLiveness {
@@ -514,7 +557,18 @@ impl StructureLiveness {
             bits_per_entry,
             always_live_offset,
             windows,
+            masks: None,
         }
+    }
+
+    /// Attaches per-window static demand masks (parallel to the window
+    /// lists passed to [`StructureLiveness::new`]). Entries beyond the
+    /// mask vector, or windows beyond an entry's mask list, stay
+    /// conservative (full demand).
+    pub(crate) fn with_masks(mut self, mut masks: Vec<Vec<u64>>) -> StructureLiveness {
+        masks.resize_with(self.windows.len(), Vec::new);
+        self.masks = Some(masks);
+        self
     }
 
     /// The structure this liveness describes.
@@ -545,6 +599,46 @@ impl StructureLiveness {
         // the last window starting at or before `cycle` can contain it.
         let idx = ws.partition_point(|w| w.start <= cycle);
         idx > 0 && ws[idx - 1].end >= cycle
+    }
+
+    /// Like [`StructureLiveness::is_ace`], but additionally consults the
+    /// static demand mask of every danger window covering `cycle`: a flip
+    /// of `bit` is vulnerable only if some covering window demands that
+    /// bit. Without attached masks this is exactly `is_ace`, so the
+    /// static answer is always a subset refinement of the dynamic one.
+    pub fn is_vulnerable(&self, bit: u64, cycle: u64) -> bool {
+        let Some(masks) = &self.masks else {
+            return self.is_ace(bit, cycle);
+        };
+        if self.bits_per_entry == 0 || bit >= self.bits {
+            return true; // conservative on anything we cannot attribute
+        }
+        let entry = (bit / self.bits_per_entry) as usize;
+        let off = bit % self.bits_per_entry;
+        if self.always_live_offset == Some(off) || off >= 64 {
+            return true;
+        }
+        let (Some(ws), Some(ms)) = (self.windows.get(entry), masks.get(entry)) else {
+            return true;
+        };
+        let idx = ws.partition_point(|w| w.start <= cycle);
+        // Adjacent windows may share a boundary cycle (a write closes the
+        // previous window and opens the next on the same cycle), so every
+        // window still covering `cycle` must agree the bit is dead. Window
+        // ends are monotone in start order (lifetimes do not nest), so
+        // scanning backwards until one ends before `cycle` sees them all.
+        let mut i = idx;
+        while i > 0 {
+            i -= 1;
+            if ws[i].end < cycle {
+                break;
+            }
+            let demand = ms.get(i).copied().unwrap_or(!0);
+            if demand & (1u64 << off) != 0 {
+                return true;
+            }
+        }
+        false
     }
 
     /// The recorded danger windows of one entry (for diagnostics/tests).
@@ -608,6 +702,15 @@ impl LivenessMap {
         self.structure(structure)
             .is_none_or(|s| s.is_ace(bit, cycle))
     }
+
+    /// Like [`LivenessMap::is_ace`], but consults static per-window demand
+    /// masks where attached (currently the register file). Conservative:
+    /// `true` for untracked structures; never `true` where `is_ace` is
+    /// `false`.
+    pub fn is_vulnerable(&self, structure: Structure, bit: u64, cycle: u64) -> bool {
+        self.structure(structure)
+            .is_none_or(|s| s.is_vulnerable(bit, cycle))
+    }
 }
 
 #[cfg(test)]
@@ -617,7 +720,7 @@ mod tests {
     #[test]
     fn rf_interval_is_write_to_last_read() {
         let mut r = CoreResidency::new(8);
-        r.rf_write(3, 10);
+        r.rf_write(3, 10, !0);
         r.rf_read(3, 15);
         r.rf_read(3, 40);
         r.rf_free(3);
@@ -627,7 +730,7 @@ mod tests {
     #[test]
     fn unread_register_is_unace() {
         let mut r = CoreResidency::new(8);
-        r.rf_write(2, 10);
+        r.rf_write(2, 10, !0);
         r.rf_free(2);
         assert_eq!(r.totals().0, 0);
     }
@@ -636,7 +739,7 @@ mod tests {
     fn zero_register_writes_are_ignored() {
         let mut r = CoreResidency::new(8);
         r.rf_open(0, 0);
-        r.rf_write(0, 50); // discarded by hardware, must not reset the interval
+        r.rf_write(0, 50, !0); // discarded by hardware, must not reset the interval
         r.rf_read(0, 70);
         assert_eq!(r.totals().0, 70);
     }
@@ -675,10 +778,10 @@ mod tests {
     fn rf_windows_cover_write_to_last_read_only() {
         let mut r = CoreResidency::new(8);
         r.set_record_windows(true);
-        r.rf_write(3, 10);
+        r.rf_write(3, 10, !0);
         r.rf_read(3, 40);
         r.rf_free(3);
-        r.rf_write(3, 60); // reallocated, never read, still open at end
+        r.rf_write(3, 60, !0); // reallocated, never read, still open at end
         let w = r.live_windows();
         assert_eq!(
             w.rf[3],
@@ -687,6 +790,60 @@ mod tests {
                 LiveWindow { start: 60, end: 60 }
             ]
         );
+    }
+
+    #[test]
+    fn rf_masks_stay_aligned_with_windows() {
+        let mut r = CoreResidency::new(8);
+        r.set_record_windows(true);
+        r.rf_write(3, 10, 0x00ff);
+        r.rf_read(3, 40);
+        r.rf_free(3);
+        r.rf_write(3, 60, 0x0f00); // still open at the end of the run
+        let w = r.live_windows();
+        assert_eq!(
+            w.rf[3],
+            vec![
+                LiveWindow { start: 10, end: 40 },
+                LiveWindow { start: 60, end: 60 }
+            ]
+        );
+        assert_eq!(w.rf_masks[3], vec![0x00ff, 0x0f00]);
+    }
+
+    #[test]
+    fn masked_window_bits_are_unvulnerable_but_ace() {
+        let windows = vec![vec![
+            LiveWindow { start: 10, end: 20 },
+            LiveWindow { start: 20, end: 50 },
+        ]];
+        let masks = vec![vec![0b0001u64, 0b0010u64]];
+        let s = StructureLiveness::new(Structure::RegFile, 64, 1, None, windows).with_masks(masks);
+        // Inside the first window only: demand follows that window's mask.
+        assert!(s.is_vulnerable(0, 15));
+        assert!(!s.is_vulnerable(1, 15), "bit 1 not demanded by window 0");
+        assert!(s.is_ace(1, 15), "but it is dynamically live");
+        // Boundary cycle shared by both windows: either demand suffices.
+        assert!(s.is_vulnerable(0, 20));
+        assert!(s.is_vulnerable(1, 20));
+        assert!(!s.is_vulnerable(2, 20));
+        // Inside the second window only.
+        assert!(!s.is_vulnerable(0, 30));
+        assert!(s.is_vulnerable(1, 30));
+        // Outside every window: dead either way.
+        assert!(!s.is_vulnerable(0, 9));
+        assert!(!s.is_vulnerable(0, 51));
+        // Out-of-range stays conservative.
+        assert!(s.is_vulnerable(9999, 15));
+    }
+
+    #[test]
+    fn maskless_vulnerability_degrades_to_ace() {
+        let windows = vec![vec![LiveWindow { start: 5, end: 9 }]];
+        let s = StructureLiveness::new(Structure::RegFile, 64, 1, None, windows);
+        for (bit, cycle) in [(0, 7), (63, 7), (0, 4), (0, 10)] {
+            assert_eq!(s.is_vulnerable(bit, cycle), s.is_ace(bit, cycle));
+        }
     }
 
     #[test]

@@ -71,6 +71,20 @@ cow-check:
         --machine a72 --workload qsort --level O2 --structure l1d.data \
         -n 200 --prune verify
 
+# Static-prune self-check: RF campaigns in `--prune-static verify` mode on
+# both paper machines, which re-simulates every fault the compiler's static
+# bit-demand analysis would skip and panics if any of them simulates as
+# non-Masked. sha and blowfish carry the highest statically-masked bit
+# fractions (shift/mask-heavy u32 code), so they exercise the most
+# annotated writebacks per campaign.
+static-check:
+    cargo run --release -p softerr-bench --bin campaign -- \
+        --machine a15 --workload blowfish --level O2 --structure rf \
+        -n 200 --prune-static verify
+    cargo run --release -p softerr-bench --bin campaign -- \
+        --machine a72 --workload sha --level O2 --structure rf \
+        -n 200 --prune-static verify
+
 # Bench regression gate: regenerate the injection-throughput summary and
 # fail if any benchmark regressed >20% against the committed baseline.
 bench-gate:
@@ -80,4 +94,4 @@ bench-gate:
         target/bench-baseline.json BENCH_injection_throughput.json
 
 # Everything the CI gate requires.
-ci: test lint lint-ir prune-check cow-check
+ci: test lint lint-ir prune-check static-check cow-check

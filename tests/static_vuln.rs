@@ -1,0 +1,211 @@
+//! Soundness net for the static bit-demand pruner.
+//!
+//! Two properties, on both paper machines, for arbitrary seeds:
+//!
+//! 1. **Invisibility** — a campaign with `prune_static: On` (alone or
+//!    composed with liveness pruning) produces class tallies and per-fault
+//!    records bit-identical to the unpruned campaign. Pruning is an
+//!    optimization, never an approximation.
+//! 2. **Soundness under direct injection** — every fault the static
+//!    analysis claims masked, when actually simulated, classifies as
+//!    `Masked`: never SDC, never Assert, never a latency change. This is
+//!    the end-to-end check that the IR-level demand proof survives
+//!    instruction selection, register allocation, and out-of-order
+//!    execution.
+//!
+//! A deterministic companion pins down that the property is not vacuous:
+//! RegFile campaigns must actually attribute prunes to the static stage.
+
+use proptest::prelude::*;
+use softerr::{
+    CampaignConfig, Compiler, FaultClass, Injector, MachineConfig, OptLevel, Program, PruneMode,
+    Structure,
+};
+use std::sync::OnceLock;
+
+/// Mixed workload with partial-width arithmetic (`&` masks and shifts on
+/// `u32` values) so the demand analysis has dead bits to find — an LCG
+/// whose products feed 8-bit extractions — plus control flow and memory
+/// traffic so every structure class sees live state. At O2 this compiles
+/// with a double-digit statically-masked bit fraction on both profiles.
+const SOURCE: &str = "
+    u32 buf[16];
+    void main() {
+        u32 s = 12345;
+        for (int i = 0; i < 16; i = i + 1) {
+            s = s * 1103515245 + 12345;
+            buf[i] = (s >> 16) & 255;
+        }
+        u32 acc = 0;
+        for (int i = 0; i < 16; i = i + 1) {
+            u32 lo = buf[i] & 15;
+            u32 hi = (buf[i] >> 4) & 3;
+            if (lo > hi) acc = acc + lo;
+            else acc = acc + hi;
+        }
+        out(acc & 1023);
+    }";
+
+fn machines() -> &'static Vec<(MachineConfig, Program)> {
+    static CELL: OnceLock<Vec<(MachineConfig, Program)>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        MachineConfig::paper_machines()
+            .into_iter()
+            .map(|m| {
+                let program = Compiler::new(m.profile, OptLevel::O2)
+                    .compile(SOURCE)
+                    .expect("workload compiles")
+                    .program;
+                (m, program)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn static_pruning_is_bit_identical_to_unpruned(
+        seed in any::<u64>(),
+        s in 0usize..15,
+    ) {
+        let structure = Structure::ALL[s];
+        for (machine, program) in machines() {
+            let injector = Injector::new(machine, program).expect("golden run");
+            let off = CampaignConfig { injections: 40, seed, ..CampaignConfig::default() };
+            let static_only = CampaignConfig { prune_static: PruneMode::On, ..off };
+            let composed = CampaignConfig {
+                prune: PruneMode::On,
+                prune_static: PruneMode::On,
+                ..off
+            };
+            let full = injector.run(structure, &off).records(true).execute();
+            for cfg in [&static_only, &composed] {
+                let pruned = injector.run(structure, cfg).records(true).execute();
+                prop_assert_eq!(
+                    &full.result, &pruned.result,
+                    "{}/{}: static pruning changed the class tallies (seed {})",
+                    machine.name, structure, seed
+                );
+                prop_assert_eq!(
+                    &full.classes, &pruned.classes,
+                    "{}/{}: static pruning changed a per-fault verdict (seed {})",
+                    machine.name, structure, seed
+                );
+                let full_recs = full.records.as_deref().expect("records were requested");
+                let pruned_recs = pruned.records.as_deref().expect("records were requested");
+                prop_assert_eq!(full_recs.len(), pruned_recs.len());
+                for (a, b) in full_recs.iter().zip(pruned_recs) {
+                    prop_assert!(
+                        !(b.pruned && b.pruned_static),
+                        "a fault may be attributed to at most one prune stage"
+                    );
+                    if b.class != FaultClass::Masked {
+                        prop_assert_eq!(
+                            a, b,
+                            "{}/{}: non-masked record differs under static pruning (seed {})",
+                            machine.name, structure, seed
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Direct-injection soundness: every fault the composed pruner claims
+    /// masked really simulates as `Masked`. Re-injects each statically
+    /// attributed fault through the raw `inject` path (no pruner in the
+    /// loop at all).
+    #[test]
+    fn statically_pruned_faults_never_sdc_or_assert(seed in any::<u64>()) {
+        for (machine, program) in machines() {
+            let injector = Injector::new(machine, program).expect("golden run");
+            let cfg = CampaignConfig {
+                injections: 400,
+                seed,
+                prune: PruneMode::On,
+                prune_static: PruneMode::On,
+                ..CampaignConfig::default()
+            };
+            let out = injector
+                .run(Structure::RegFile, &cfg)
+                .records(true)
+                .execute();
+            for r in out.records.as_deref().expect("records were requested") {
+                if !r.pruned_static {
+                    continue;
+                }
+                let class = injector.inject(r.spec);
+                prop_assert_eq!(
+                    class, FaultClass::Masked,
+                    "{}: statically-masked fault {:?} simulated as {} (seed {})",
+                    machine.name, r.spec, class, seed
+                );
+            }
+        }
+    }
+}
+
+/// Non-vacuousness guard: with liveness pruning off, the static stage must
+/// claim RegFile prunes on both paper machines (it subsumes liveness), and
+/// in composed mode it must still find faults the liveness pruner missed —
+/// otherwise the properties above never exercise the static path. The
+/// composed increment is rare per sample (a fault must land *inside* a
+/// live window, in a bit every covering writeback provably never demands),
+/// so it is summed over both machines and several seeds at a sample size
+/// where the expected count is well into double digits.
+#[test]
+fn static_pruner_actually_fires() {
+    let mut composed_uplift = 0usize;
+    for (machine, program) in machines() {
+        let injector = Injector::new(machine, program).expect("golden run");
+        let static_only = CampaignConfig {
+            injections: 400,
+            seed: 7,
+            prune_static: PruneMode::On,
+            ..CampaignConfig::default()
+        };
+        let out = injector
+            .run(Structure::RegFile, &static_only)
+            .records(true)
+            .execute();
+        let n = out
+            .records
+            .as_deref()
+            .expect("records were requested")
+            .iter()
+            .filter(|r| r.pruned_static)
+            .count();
+        assert!(
+            n > 0,
+            "{}: static-only pruning never fired on the RegFile — the soundness \
+             properties are vacuous",
+            machine.name
+        );
+        for seed in [7u64, 8, 9] {
+            let composed = CampaignConfig {
+                injections: 2000,
+                seed,
+                prune: PruneMode::On,
+                prune_static: PruneMode::On,
+                ..CampaignConfig::default()
+            };
+            let out = injector
+                .run(Structure::RegFile, &composed)
+                .records(true)
+                .execute();
+            composed_uplift += out
+                .records
+                .as_deref()
+                .expect("records were requested")
+                .iter()
+                .filter(|r| r.pruned_static)
+                .count();
+        }
+    }
+    assert!(
+        composed_uplift > 0,
+        "static masks never pruned a fault the liveness pruner missed on either \
+         machine — composition adds nothing at this sample size"
+    );
+}
