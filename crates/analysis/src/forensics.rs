@@ -177,10 +177,70 @@ pub fn divergence_table(records: &[FaultRecord]) -> Table {
     table
 }
 
+/// Propagation heatmap: how corruption spreads through the machine over
+/// time. Folds every [`softerr_inject::PropagationTrace`] in the record
+/// stream into a component × time-since-injection grid: each snapshot
+/// lands in the `bucket`-cycle window given by its distance from the
+/// fault's injection cycle, and a cell counts how many snapshots in that
+/// window showed the component diverging from the golden run. The final
+/// `(samples)` row gives each window's snapshot population, so a cell's
+/// fraction of it is the probability that a still-diverging fault has
+/// reached that component by then. Records without a timeline (the
+/// non-traced majority) are ignored; an all-`None` stream yields an
+/// empty table.
+pub fn propagation_heatmap(records: &[FaultRecord], bucket: u64) -> Table {
+    let bucket = bucket.max(1);
+    let mut grid: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut population: Vec<u64> = Vec::new();
+    for r in records {
+        let Some(trace) = &r.propagation else {
+            continue;
+        };
+        for sample in &trace.samples {
+            let dt = sample.cycle.saturating_sub(r.spec.cycle);
+            let bin = (dt / bucket) as usize;
+            if population.len() <= bin {
+                population.resize(bin + 1, 0);
+            }
+            population[bin] += 1;
+            for component in &sample.components {
+                let row = grid.entry(component.clone()).or_default();
+                if row.len() <= bin {
+                    row.resize(bin + 1, 0);
+                }
+                row[bin] += 1;
+            }
+        }
+    }
+    let bins = population.len();
+    let mut headers = vec!["component".to_string()];
+    for bin in 0..bins {
+        let lo = bin as u64 * bucket;
+        headers.push(format!("+{lo}-{}", lo + bucket - 1));
+    }
+    let mut table = Table::new(headers);
+    if bins == 0 {
+        return table;
+    }
+    let mut rows: Vec<(String, Vec<u64>)> = grid.into_iter().collect();
+    // Most-corrupted components first; ties in name order.
+    rows.sort_by_key(|(_, counts)| std::cmp::Reverse(counts.iter().sum::<u64>()));
+    for (component, mut counts) in rows {
+        counts.resize(bins, 0);
+        let mut row = vec![component];
+        row.extend(counts.iter().map(|n| n.to_string()));
+        table.row(row);
+    }
+    let mut row = vec!["(samples)".to_string()];
+    row.extend(population.iter().map(|n| n.to_string()));
+    table.row(row);
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use softerr_inject::{DivergenceSite, FaultSpec};
+    use softerr_inject::{DivergenceSite, FaultSpec, PropagationSample, PropagationTrace};
     use softerr_sim::Structure;
 
     fn record(
@@ -206,6 +266,7 @@ mod tests {
                 pc: 0x40,
                 component: c.to_string(),
             }),
+            propagation: None,
         }
     }
 
@@ -284,5 +345,40 @@ mod tests {
         assert!(class_by_cycle_table(&[], 10).is_empty());
         assert!(class_by_bit_table(&[], 64, 10).is_empty());
         assert!(divergence_table(&[]).is_empty());
+        assert!(propagation_heatmap(&[], 64).is_empty());
+    }
+
+    #[test]
+    fn propagation_heatmap_buckets_by_time_since_injection() {
+        let mut traced = record(100, 0, FaultClass::Sdc, 400, Some("rf"));
+        traced.propagation = Some(PropagationTrace {
+            every: 50,
+            samples: vec![
+                PropagationSample {
+                    cycle: 100, // dt 0 → bucket +0-63
+                    components: vec!["rf".into()],
+                },
+                PropagationSample {
+                    cycle: 150, // dt 50 → bucket +0-63
+                    components: vec!["rf".into(), "rob".into()],
+                },
+                PropagationSample {
+                    cycle: 200, // dt 100 → bucket +64-127
+                    components: vec!["rob".into(), "mem.l1d".into()],
+                },
+            ],
+            converged_at: None,
+        });
+        let untraced = record(5, 1, FaultClass::Masked, 5, None);
+        let t = propagation_heatmap(&[traced, untraced], 64);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "component,+0-63,+64-127");
+        let rows: Vec<&str> = lines.collect();
+        // rf and rob both implicated twice; name order breaks the tie.
+        assert_eq!(rows[0], "rf,2,0");
+        assert_eq!(rows[1], "rob,1,1");
+        assert_eq!(rows[2], "mem.l1d,0,1");
+        assert_eq!(rows[3], "(samples),2,1");
     }
 }

@@ -21,6 +21,7 @@ pub mod ace;
 mod ecc;
 pub mod forensics;
 mod metrics;
+pub mod profile;
 pub mod vuln;
 
 pub use ace::{estimate as ace_estimate, AceEstimate, StructureAvf};

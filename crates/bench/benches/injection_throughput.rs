@@ -76,6 +76,45 @@ fn bench_campaign(c: &mut Criterion) {
         );
     }
     group.finish();
+    write_profile(&injector, &base);
+}
+
+/// One traced checkpointed RegFile campaign (outside any measured loop),
+/// whose stage-attribution table lands next to the benchmark rows as
+/// `BENCH_injection_throughput.profile.txt`. The numbers explain what the
+/// `rf_campaign/checkpoint` row is made of; they are never gated.
+fn write_profile(injector: &Injector, base: &CampaignConfig) {
+    softerr::telemetry::set_tracing(true);
+    let cfg = CampaignConfig {
+        checkpoint: true,
+        ..*base
+    };
+    injector.run(Structure::RegFile, &cfg).execute();
+    let trace = softerr::telemetry::take_trace();
+    let text = format!(
+        "stage attribution (rf_campaign/checkpoint, {} spans)\n\n{}\n{}",
+        trace.len(),
+        softerr::profile::stage_table(&trace),
+        trace.aggregate_table(),
+    );
+    let path = workspace_root().join("BENCH_injection_throughput.profile.txt");
+    match std::fs::write(&path, text) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// The outermost ancestor directory holding a `Cargo.toml` (same rule as
+/// the criterion shim uses to place `BENCH_<group>.json`).
+fn workspace_root() -> std::path::PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut root = cwd.clone();
+    for dir in cwd.ancestors() {
+        if dir.join("Cargo.toml").exists() {
+            root = dir.to_path_buf();
+        }
+    }
+    root
 }
 
 fn bench_single(c: &mut Criterion) {

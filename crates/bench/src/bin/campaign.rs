@@ -11,6 +11,16 @@
 //! * `--records FILE` — stream one JSONL `FaultRecord` per injection to
 //!   `FILE` (first line is the run manifest), and print forensic summary
 //!   tables;
+//! * `--trace FILE` — record stage spans and export them as Chrome
+//!   trace-event JSON (load `FILE` in Perfetto / `chrome://tracing`), plus
+//!   a plain aggregate table on stdout;
+//! * `--profile` — record stage spans and print the stage-attribution
+//!   wall-time table (per structure) and the engine worker-counter table;
+//! * `--propagation EVERY[/ONE_IN]` — trace how corruption spreads: a
+//!   deterministic 1-in-`ONE_IN` (default 8) subset of forked faults
+//!   snapshots its diverging components every `EVERY` cycles, and the
+//!   aggregated component × time-since-injection heatmap is printed (and
+//!   the timelines ride `--records` lines when both are given);
 //! * `--metrics` — run the golden execution once more with the simulator's
 //!   microarchitectural counters enabled and print them next to the AVF
 //!   table;
@@ -39,6 +49,10 @@ struct Args {
     target_margin: Option<f64>,
     estimate_ace: bool,
     records: Option<String>,
+    trace: Option<String>,
+    profile: bool,
+    /// `(every, one_in)` propagation sampling.
+    propagation: Option<(u64, u64)>,
     metrics: bool,
     quiet: bool,
     log_json: bool,
@@ -60,6 +74,9 @@ fn parse_args() -> Result<Args, String> {
         target_margin: None,
         estimate_ace: false,
         records: None,
+        trace: None,
+        profile: false,
+        propagation: None,
         metrics: false,
         quiet: false,
         log_json: false,
@@ -81,6 +98,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--log-json" => {
                 args.log_json = true;
+                continue;
+            }
+            "--profile" => {
+                args.profile = true;
                 continue;
             }
             _ => {}
@@ -144,6 +165,20 @@ fn parse_args() -> Result<Args, String> {
                 args.target_margin = Some(target);
             }
             "--records" => args.records = Some(value),
+            "--trace" => args.trace = Some(value),
+            "--propagation" => {
+                let (every, one_in) = match value.split_once('/') {
+                    Some((e, o)) => (
+                        e.parse().map_err(|_| "bad propagation period")?,
+                        o.parse().map_err(|_| "bad propagation subset")?,
+                    ),
+                    None => (value.parse().map_err(|_| "bad propagation period")?, 8),
+                };
+                if every == 0 || one_in == 0 {
+                    return Err("--propagation EVERY/ONE_IN must both be nonzero".to_string());
+                }
+                args.propagation = Some((every, one_in));
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -218,7 +253,8 @@ fn main() {
                  \x20              [-n COUNT] [--seed N] [--threads N] [--checkpoint on|off]\n\
                  \x20              [--prune off|on|verify] [--prune-static off|on|verify]\n\
                  \x20              [--target-margin F]\n\
-                 \x20              [--estimate ace] [--records FILE] [--metrics] [--quiet]\n\
+                 \x20              [--estimate ace] [--records FILE] [--trace FILE] [--profile]\n\
+                 \x20              [--propagation EVERY[/ONE_IN]] [--metrics] [--quiet]\n\
                  \x20              [--log-json]"
             );
             std::process::exit(1);
@@ -229,6 +265,10 @@ fn main() {
     }
     if args.log_json {
         telemetry::install_sink(Box::new(telemetry::JsonlSink::stderr()));
+    }
+    // Arm before the compile so `cc.*` spans land in the trace too.
+    if args.trace.is_some() || args.profile {
+        telemetry::set_tracing(true);
     }
 
     let campaign_cfg = CampaignConfig {
@@ -294,12 +334,19 @@ fn main() {
         if let Some(p) = progress.as_ref() {
             run = run.observer(p);
         }
-        let result = if let Some(file) = records_out.as_mut() {
+        if let Some((every, one_in)) = args.propagation {
+            run = run.propagation(every, one_in);
+        }
+        // Propagation heatmaps fold over in-memory records, so either flag
+        // runs the recording engine; only `--records` also streams them.
+        let result = if records_out.is_some() || args.propagation.is_some() {
             let output = run.records(true).execute();
             let records = output.records.expect("records requested");
-            for record in &records {
-                let line = serde_json::to_string(record).expect("record serializes");
-                writeln!(file, "{line}").expect("record stream writable");
+            if let Some(file) = records_out.as_mut() {
+                for record in &records {
+                    let line = serde_json::to_string(record).expect("record serializes");
+                    writeln!(file, "{line}").expect("record stream writable");
+                }
             }
             all_records.extend(records);
             output.result
@@ -379,11 +426,47 @@ fn main() {
             println!("({} records streamed to {path})", all_records.len());
         }
     }
+    if let Some((every, _)) = args.propagation {
+        let traced = all_records
+            .iter()
+            .filter(|r| r.propagation.is_some())
+            .count();
+        println!(
+            "\npropagation heatmap ({traced} traced fault(s); snapshots every {every} cycles; \
+             columns are cycles since injection):"
+        );
+        println!(
+            "{}",
+            softerr::forensics::propagation_heatmap(&all_records, every)
+        );
+    }
     if args.metrics {
         let (headline, occupancy) = metrics_tables(&args.machine, &compiled.program);
         println!("\ngolden-run microarchitectural counters:");
         println!("{headline}");
         println!("occupancy histograms:");
         println!("{occupancy}");
+    }
+    if args.trace.is_some() || args.profile {
+        let trace = telemetry::take_trace();
+        if let Some(path) = args.trace.as_deref() {
+            std::fs::write(path, trace.to_chrome_json())
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!(
+                "\n({} span(s) exported to {path}; open in Perfetto or chrome://tracing)",
+                trace.len()
+            );
+            if trace.dropped > 0 {
+                println!("(warning: {} span(s) lost to ring overflow)", trace.dropped);
+            }
+            println!("\nspan aggregate:");
+            println!("{}", trace.aggregate_table());
+        }
+        if args.profile {
+            println!("\nstage attribution (self wall-time per campaign stage):");
+            println!("{}", softerr::profile::stage_table(&trace));
+            println!("engine workers:");
+            println!("{}", softerr::profile::worker_table(&trace));
+        }
     }
 }

@@ -89,6 +89,7 @@ fn main() {
         "ace" => ace_sweep(&opts),
         "vuln" => vuln(&opts),
         "metrics" => metrics(&opts),
+        "profile" => profile_cmd(&opts),
         "all" => {
             table1();
             fig1(&opts);
@@ -162,6 +163,9 @@ fn usage() {
     eprintln!("  vuln             static bit-demand masked fraction vs injected RF AVF,");
     eprintln!("                   with liveness-only vs +static prune rates per cell");
     eprintln!("  metrics          golden-run microarchitectural counters sweep");
+    eprintln!("  profile          stage-attribution wall-time profile of the full study grid");
+    eprintln!("                   (8 workloads x O0-O3 x both machines; --trace FILE exports");
+    eprintln!("                   the span timeline as Chrome trace-event JSON)");
     eprintln!("  all              everything above (except ablations/mbu/ace/vuln/metrics)\n");
     eprintln!("options:");
     eprintln!("  --scale quick|default|paper   campaign size (default: quick)");
@@ -179,6 +183,7 @@ fn usage() {
     eprintln!("  --results DIR                 result-store root (default target/softerr-store)");
     eprintln!("  --fresh                       ignore stored results (re-execute every cell)");
     eprintln!("  --estimate ace                print static ACE AVF beside injected (figs 2-8)");
+    eprintln!("  --trace FILE                  (profile) export spans as Chrome trace-event JSON");
     eprintln!("  --quiet                       suppress progress/warning events");
     eprintln!("  --log-json                    emit progress/warning events as JSONL on stderr");
 }
@@ -197,6 +202,7 @@ struct Options {
     results_dir: PathBuf,
     fresh: bool,
     estimate_ace: bool,
+    trace: Option<PathBuf>,
     quiet: bool,
     log_json: bool,
 }
@@ -216,6 +222,7 @@ impl Options {
             results_dir: PathBuf::from("target/softerr-store"),
             fresh: false,
             estimate_ace: false,
+            trace: None,
             quiet: false,
             log_json: false,
         };
@@ -277,6 +284,7 @@ impl Options {
                     opts.target_margin = Some(target);
                 }
                 "--results" => opts.results_dir = PathBuf::from(next("--results")),
+                "--trace" => opts.trace = Some(PathBuf::from(next("--trace"))),
                 "--fresh" => opts.fresh = true,
                 "--quiet" => opts.quiet = true,
                 "--log-json" => opts.log_json = true,
@@ -777,6 +785,47 @@ fn metrics(opts: &Options) {
         }
         println!("{t}");
     }
+}
+
+// -------------------------------------------------------------- profile --
+
+/// Stage-attribution profile of the full study grid: the 8 workloads at
+/// O0–O3 on both paper machines run with span tracing armed, and the
+/// trace is rolled into per-cell, per-stage, and per-worker wall-time
+/// tables. Store reads are skipped (a store-served cell executes no
+/// campaign and would profile as a pure lookup), but completed cells are
+/// still written back.
+fn profile_cmd(opts: &Options) {
+    println!("== Stage-attribution profile (8 workloads x O0-O3 x both machines) ==");
+    println!("(store reads skipped so every cell executes; span tracing armed)\n");
+    telemetry::set_tracing(true);
+    let mut fresh_opts = opts.clone();
+    fresh_opts.fresh = true;
+    let _ = study(&fresh_opts);
+    let trace = telemetry::take_trace();
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, trace.to_chrome_json())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!(
+            "({} span(s) exported to {}; open in Perfetto or chrome://tracing)",
+            trace.len(),
+            path.display()
+        );
+    }
+    if trace.dropped > 0 {
+        println!(
+            "(warning: {} span(s) lost to ring overflow; stage sums undercount)",
+            trace.dropped
+        );
+    }
+    println!("\ncell lifecycle (store lookup / compile / execute / store write):");
+    println!("{}", softerr::profile::cell_table(&trace));
+    println!("stage attribution (self wall-time per campaign stage):");
+    println!("{}", softerr::profile::stage_table(&trace));
+    println!("engine workers:");
+    println!("{}", softerr::profile::worker_table(&trace));
+    println!("span aggregate:");
+    println!("{}", trace.aggregate_table());
 }
 
 // --------------------------------------------------------------- Fig 9 --

@@ -139,6 +139,8 @@ impl Compiler {
     /// recoverable user error, and the panic message names the offending
     /// pass, function, block, and instruction.
     pub fn compile(&self, source: &str) -> Result<Compiled, CompileError> {
+        let mut sp = softerr_telemetry::span("cc.compile");
+        sp.record("level", self.level.to_string());
         let ast = parser::parse(source)?;
         let mut ir = lower::lower(&ast, self.profile)?;
         if let Err(e) = opt::run_pipeline_checked(&mut ir, self.passes, self.profile, self.verify) {
@@ -159,6 +161,7 @@ impl Compiler {
             funcs,
             ir_insts,
         };
+        sp.record("code_words", stats.code_words as u64);
         Ok(Compiled {
             program,
             stats,

@@ -166,7 +166,10 @@ impl Pipeline {
         fi: usize,
         run: impl FnOnce(&mut crate::ir::IrFunc) -> bool,
     ) -> Result<bool, VerifyError> {
+        let mut sp = softerr_telemetry::span("cc.pass");
+        sp.record("pass", name.to_string());
         let changed = run(&mut ir.funcs[fi]);
+        sp.record("changed", changed);
         if self.verify {
             verify::verify_func(&ir.funcs[fi]).map_err(|e| e.after_pass(name))?;
         }
@@ -182,7 +185,10 @@ impl Pipeline {
         ir: &mut IrModule,
         run: impl FnOnce(&mut IrModule) -> bool,
     ) -> Result<bool, VerifyError> {
+        let mut sp = softerr_telemetry::span("cc.pass");
+        sp.record("pass", name.to_string());
         let changed = run(ir);
+        sp.record("changed", changed);
         if self.verify {
             verify::verify_module(ir).map_err(|e| e.after_pass(name))?;
         }

@@ -44,8 +44,8 @@ pub use study::{
 // Re-export the full vocabulary so downstream users need only this crate.
 pub use softerr_analysis::{
     ace_estimate, cpu_fit, cpu_fit_by_class, fit_of_structure, forensics, fpe, mean_static_uplift,
-    static_injected_rank_correlation, static_vuln_table, weighted_avf, AceEstimate, EccScheme,
-    StaticVulnCell, StructureAvf, StructureMeasurement,
+    profile, static_injected_rank_correlation, static_vuln_table, weighted_avf, AceEstimate,
+    EccScheme, StaticVulnCell, StructureAvf, StructureMeasurement,
 };
 pub use softerr_cc::{
     CompileError, Compiled, Compiler, OptLevel, PassConfig, StaticVulnMap, VerifyError,
@@ -53,7 +53,7 @@ pub use softerr_cc::{
 pub use softerr_inject::{
     error_margin, fnv1a, CampaignConfig, CampaignObserver, CampaignOutput, CampaignResult,
     CampaignRun, ClassCounts, DivergenceSite, FaultClass, FaultRecord, FaultSpec, Golden, Injector,
-    ProgressLine, PruneMode, RunManifest, Z_90, Z_95, Z_99,
+    ProgressLine, PropagationSample, PropagationTrace, PruneMode, RunManifest, Z_90, Z_95, Z_99,
 };
 pub use softerr_isa::{disassemble, Emulator, Profile, Program};
 pub use softerr_sim::{
@@ -62,5 +62,7 @@ pub use softerr_sim::{
 };
 /// The structured event/telemetry facade (see [`mod@telemetry`]).
 pub use softerr_telemetry as telemetry;
-pub use softerr_telemetry::{event, Level, Table};
+pub use softerr_telemetry::{
+    event, set_tracing, span, take_trace, tracing_enabled, Level, Span, SpanRecord, Table, Trace,
+};
 pub use softerr_workloads::{Scale, Workload};

@@ -27,7 +27,7 @@ use softerr_cc::{Compiled, Compiler, OptLevel};
 use softerr_inject::{CampaignConfig, CampaignResult, Injector};
 use softerr_isa::Profile;
 use softerr_sim::MachineConfig;
-use softerr_telemetry::{event, Level};
+use softerr_telemetry::{event, span, Level};
 use softerr_workloads::Workload;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -64,6 +64,10 @@ pub struct SweepReport {
     pub executed: usize,
     /// Cells served from the result store this invocation.
     pub store_hits: usize,
+    /// Store lookups that missed (cell absent, stale, or corrupted).
+    pub store_misses: u64,
+    /// Cells written back to the result store this invocation.
+    pub store_writes: u64,
     /// Total cells in the plan.
     pub cells: usize,
     /// Wall-clock seconds of the sweep.
@@ -200,6 +204,7 @@ impl Orchestrator {
         let t0 = Instant::now();
 
         // Plan: deduplicated compile units + one CellPlan per coordinate.
+        let mut plan_sp = span("sched.plan");
         let mut units: Vec<(Profile, Workload, OptLevel)> = Vec::new();
         let mut cells: Vec<CellPlan<'_>> = Vec::new();
         for machine in &cfg.machines {
@@ -225,6 +230,9 @@ impl Orchestrator {
         }
         let total = cells.len();
         let workers = self.cell_workers.clamp(1, total.max(1));
+        plan_sp.record("cells", total as u64);
+        plan_sp.record("compile_units", units.len() as u64);
+        drop(plan_sp);
         event!(
             Level::Info,
             "study.sched",
@@ -261,11 +269,19 @@ impl Orchestrator {
                     break;
                 };
                 let key = plan.key();
+                let mut cell_sp = span("cell");
+                cell_sp.record("machine", plan.machine.name.clone());
+                cell_sp.record("workload", plan.workload.to_string());
+                cell_sp.record("level", plan.level.to_string());
                 // 1. Result store: an identical already-measured cell is
                 //    served from disk instead of re-executed.
                 if !self.refresh {
-                    if let Some(result) = self.store.as_ref().and_then(|s| s.load(&plan.hash, &key))
-                    {
+                    let lookup = {
+                        let _sp = span("cell.lookup");
+                        self.store.as_ref().and_then(|s| s.load(&plan.hash, &key))
+                    };
+                    if let Some(result) = lookup {
+                        cell_sp.record("hit", true);
                         served.fetch_add(1, Ordering::Relaxed);
                         let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                         event!(
@@ -279,6 +295,7 @@ impl Orchestrator {
                         continue;
                     }
                 }
+                cell_sp.record("hit", false);
                 // 2. Execution budget: leave the cell for a later
                 //    invocation once this one's slice is spent.
                 if let Some(budget) = self.cell_budget {
@@ -291,12 +308,17 @@ impl Orchestrator {
                 } else {
                     executed.fetch_add(1, Ordering::Relaxed);
                 }
-                // 3. Compile (shared across machines with this profile).
-                let compiled = compiled[plan.unit].get_or_init(|| {
-                    Compiler::new(plan.machine.profile, plan.level)
-                        .compile(&plan.workload.source(cfg.scale))
-                        .map_err(|e| format!("{} at {}: {e}", plan.workload, plan.level))
-                });
+                // 3. Compile (shared across machines with this profile;
+                //    the span also covers waiting on another worker's
+                //    in-flight compile of the same unit).
+                let compiled = {
+                    let _sp = span("cell.compile");
+                    compiled[plan.unit].get_or_init(|| {
+                        Compiler::new(plan.machine.profile, plan.level)
+                            .compile(&plan.workload.source(cfg.scale))
+                            .map_err(|e| format!("{} at {}: {e}", plan.workload, plan.level))
+                    })
+                };
                 let compiled = match compiled {
                     Ok(compiled) => compiled,
                     Err(e) => {
@@ -305,6 +327,7 @@ impl Orchestrator {
                     }
                 };
                 // 4. Golden run + per-structure campaigns.
+                let mut exec_sp = span("cell.execute");
                 let injector = match Injector::new(plan.machine, &compiled.program) {
                     Ok(injector) => injector,
                     Err(e) => {
@@ -339,9 +362,12 @@ impl Orchestrator {
                     code_words: compiled.stats.code_words as u64,
                     campaigns,
                 };
+                exec_sp.record("campaigns", cfg.structures.len() as u64);
+                drop(exec_sp);
                 // 5. Persist before reporting, so a kill after this point
                 //    never loses the cell.
                 if let Some(store) = &self.store {
+                    let _sp = span("cell.store");
                     if let Err(e) = store.save(&plan.hash, &key, &result) {
                         fail(&failure, e);
                         break;
@@ -401,6 +427,23 @@ impl Orchestrator {
                 .collect(),
         };
         let seconds = t0.elapsed().as_secs_f64();
+        let (store_misses, store_writes) = self
+            .store
+            .as_ref()
+            .map_or((0, 0), |s| (s.misses(), s.stores()));
+        if let Some(store) = &self.store {
+            event!(
+                Level::Info,
+                "study.store",
+                {
+                    hits: store.hits(),
+                    misses: store_misses,
+                    stores: store_writes
+                },
+                "result store: {} hit(s), {store_misses} miss(es), {store_writes} write(s)",
+                store.hits()
+            );
+        }
         if executed == 0 && store_hits == total {
             event!(
                 Level::Info,
@@ -421,6 +464,8 @@ impl Orchestrator {
             results,
             executed,
             store_hits,
+            store_misses,
+            store_writes,
             cells: total,
             seconds,
         })

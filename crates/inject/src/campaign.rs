@@ -1,13 +1,13 @@
 //! Fault specification, single-run execution, and campaign orchestration.
 
 use crate::progress::CampaignObserver;
-use crate::record::{DivergenceSite, FaultRecord};
+use crate::record::{DivergenceSite, FaultRecord, PropagationSample, PropagationTrace};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use softerr_isa::Program;
 use softerr_sim::{LivenessMap, MachineConfig, Sim, SimOutcome, Structure};
-use softerr_telemetry::{event, Level};
+use softerr_telemetry::{event, span, Level, Span};
 use std::collections::HashSet;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -322,6 +322,7 @@ impl<'a> Injector<'a> {
     ///
     /// [`GoldenError`] if the fault-free program does not halt cleanly.
     pub fn new(cfg: &'a MachineConfig, program: &'a Program) -> Result<Injector<'a>, GoldenError> {
+        let mut sp = span("campaign.golden");
         let mut sim = Sim::new(cfg, program);
         let bit_counts = Structure::ALL.map(|s| sim.bit_count(s));
         match sim.run(4_000_000_000) {
@@ -329,17 +330,20 @@ impl<'a> Injector<'a> {
                 cycles,
                 retired,
                 output,
-            } => Ok(Injector {
-                cfg,
-                program,
-                golden: Golden {
-                    cycles,
-                    retired,
-                    output,
-                },
-                bit_counts,
-                liveness: OnceLock::new(),
-            }),
+            } => {
+                sp.record("cycles", cycles);
+                Ok(Injector {
+                    cfg,
+                    program,
+                    golden: Golden {
+                        cycles,
+                        retired,
+                        output,
+                    },
+                    bit_counts,
+                    liveness: OnceLock::new(),
+                })
+            }
             other => Err(GoldenError(format!("{other:?}"))),
         }
     }
@@ -365,9 +369,13 @@ impl<'a> Injector<'a> {
     /// injector's lifetime.
     pub fn liveness(&self) -> &LivenessMap {
         self.liveness.get_or_init(|| {
+            let _sp = span("campaign.liveness");
             let mut sim = Sim::new(self.cfg, self.program);
             sim.enable_liveness();
-            sim.attach_static_masks(self.program);
+            {
+                let _mask_sp = span("campaign.masks");
+                sim.attach_static_masks(self.program);
+            }
             let _ = sim.run(4_000_000_000);
             sim.liveness_map()
                 .expect("liveness instrumentation was enabled")
@@ -441,9 +449,7 @@ impl<'a> Injector<'a> {
                 Outcome {
                     class: FaultClass::Assert,
                     end_cycle: fault.cycle,
-                    divergence: None,
-                    pruned: false,
-                    pruned_static: false,
+                    ..Outcome::masked_at(fault.cycle)
                 }
             }
         }
@@ -469,10 +475,7 @@ impl<'a> Injector<'a> {
                     );
                     Outcome {
                         class: FaultClass::Assert,
-                        end_cycle: sim.cycle(),
-                        divergence: None,
-                        pruned: false,
-                        pruned_static: false,
+                        ..Outcome::masked_at(sim.cycle())
                     }
                 }
             };
@@ -483,10 +486,7 @@ impl<'a> Injector<'a> {
         let end = sim.run(2 * self.golden.cycles);
         Outcome {
             class: self.classify_end(&end),
-            end_cycle: end_cycles(&end),
-            divergence: None,
-            pruned: false,
-            pruned_static: false,
+            ..Outcome::masked_at(end_cycles(&end))
         }
     }
 
@@ -531,6 +531,7 @@ impl<'a> Injector<'a> {
             observer: None,
             record: false,
             burst_width: 1,
+            propagation: None,
         }
     }
 
@@ -625,8 +626,13 @@ impl<'a> Injector<'a> {
         cfg: &CampaignConfig,
         record: bool,
         observer: Option<&dyn CampaignObserver>,
+        propagation: Option<(u64, u64)>,
     ) -> Vec<Outcome> {
         let convoy = record || cfg.checkpoint;
+        let mut sp = span("campaign.classify");
+        sp.record("faults", faults.len());
+        sp.record("engine", if convoy { "convoy" } else { "fresh" });
+        sp.record("threads", cfg.threads);
         let mut order: Vec<usize> = (0..faults.len()).collect();
         if convoy {
             // Stable, so same-cycle faults keep their sample order.
@@ -641,6 +647,7 @@ impl<'a> Injector<'a> {
             width,
             record,
             observer,
+            propagation,
         };
         let run_worker = || {
             if convoy {
@@ -685,6 +692,8 @@ pub struct CampaignRun<'r, 'a> {
     observer: Option<&'r dyn CampaignObserver>,
     record: bool,
     burst_width: u8,
+    /// `(every, one_in)` propagation sampling, see [`CampaignRun::propagation`].
+    propagation: Option<(u64, u64)>,
 }
 
 impl<'r, 'a> CampaignRun<'r, 'a> {
@@ -720,12 +729,32 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
         self
     }
 
+    /// Opt-in propagation tracing: a deterministic 1-in-`one_in` subset of
+    /// the faults that actually fork a convoy child additionally snapshots
+    /// the diverging-component set every `every` cycles after injection,
+    /// attached to the [`FaultRecord`] as a [`PropagationTrace`]. Implies
+    /// nothing unless [`CampaignRun::records`] is also enabled (the
+    /// timeline rides the record).
+    ///
+    /// Selection hashes the fault spec itself, so whether a given fault is
+    /// traced does not depend on thread count or which other faults were
+    /// sampled. Sampling is read-only on both simulators and never changes
+    /// classes or the other record fields; the timeline's *length* is
+    /// best-effort (it ends early if the child graduates off the convoy).
+    pub fn propagation(mut self, every: u64, one_in: u64) -> Self {
+        self.propagation = Some((every.max(1), one_in.max(1)));
+        self
+    }
+
     /// Executes the campaign.
     pub fn execute(self) -> CampaignOutput {
+        let mut root = span("campaign.run");
+        root.record("structure", self.structure.name());
         let sampled;
         let faults: &[FaultSpec] = match self.faults {
             Some(faults) => faults,
             None => {
+                let mut sp = span("campaign.sample");
                 sampled = match self.cfg.target_margin {
                     Some(target) => {
                         self.injector
@@ -737,9 +766,11 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
                         self.cfg.seed,
                     ),
                 };
+                sp.record("faults", sampled.len());
                 &sampled
             }
         };
+        root.record("injections", faults.len());
         let verify =
             self.cfg.prune == PruneMode::Verify || self.cfg.prune_static == PruneMode::Verify;
         let any_on = self.cfg.prune == PruneMode::On || self.cfg.prune_static == PruneMode::On;
@@ -754,6 +785,7 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
                 &self.cfg,
                 self.record,
                 self.observer,
+                self.propagation,
             )
         };
         let mut counts = ClassCounts::default();
@@ -773,6 +805,7 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
                     first_divergence: outcome.divergence,
                     pruned: outcome.pruned,
                     pruned_static: outcome.pruned_static,
+                    propagation: outcome.propagation,
                 })
                 .collect()
         });
@@ -794,6 +827,7 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
     /// both stages could prune is attributed to the dynamic liveness
     /// pruner (the cheaper proof).
     fn execute_pruned(&self, faults: &[FaultSpec]) -> Vec<Outcome> {
+        let mut sp = span("campaign.prune");
         let dyn_on = self.cfg.prune == PruneMode::On;
         let static_on = self.cfg.prune_static == PruneMode::On;
         // (liveness-pruned, static-pruned) per fault, mutually exclusive.
@@ -813,6 +847,10 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
             .collect();
         let dyn_n = flags.iter().filter(|&&(d, _)| d).count();
         let static_n = flags.iter().filter(|&&(_, s)| s).count();
+        sp.record("pruned", dyn_n);
+        sp.record("pruned_static", static_n);
+        sp.record("survivors", survivors.len());
+        drop(sp);
         if let Some(&first) = faults.first() {
             event!(
                 Level::Info,
@@ -837,6 +875,7 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
             &self.cfg,
             self.record,
             self.observer,
+            self.propagation,
         );
         let mut survivor_it = survivor_outcomes.into_iter();
         faults
@@ -872,6 +911,7 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
             &self.cfg,
             self.record,
             self.observer,
+            self.propagation,
         );
         if self.cfg.prune == PruneMode::Verify {
             self.verify_stage(faults, &outcomes, "liveness", |f| {
@@ -895,6 +935,8 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
         stage: &str,
         prunable: impl Fn(FaultSpec) -> bool,
     ) {
+        let mut sp = span("campaign.verify");
+        sp.record("stage", stage.to_string());
         let mut checked = 0usize;
         for (fault, outcome) in faults.iter().zip(outcomes) {
             if !prunable(*fault) {
@@ -963,6 +1005,8 @@ struct Outcome {
     /// Verdict produced by the static bit-demand pruner, without
     /// simulation (never set together with `pruned`).
     pruned_static: bool,
+    /// Propagation timeline (opt-in recorded-convoy mode only).
+    propagation: Option<PropagationTrace>,
 }
 
 impl Outcome {
@@ -974,6 +1018,7 @@ impl Outcome {
             divergence: None,
             pruned: false,
             pruned_static: false,
+            propagation: None,
         }
     }
 
@@ -1018,6 +1063,55 @@ struct Engine<'e, 'a> {
     /// Capture end cycles and first-divergence sites (forensics mode).
     record: bool,
     observer: Option<&'e dyn CampaignObserver>,
+    /// `(every, one_in)` propagation sampling for a deterministic subset
+    /// of recorded convoy children.
+    propagation: Option<(u64, u64)>,
+}
+
+/// Per-worker counters rolled into the worker's `campaign.worker` span so
+/// the profiler can attribute convoy behavior (forks, convergence,
+/// graduation) without per-fork spans on the hot path. Plain integer
+/// increments — negligible next to a single simulated cycle — so they are
+/// maintained unconditionally.
+#[derive(Debug, Default)]
+struct WorkerStats {
+    /// Faults this worker claimed.
+    claimed: u64,
+    /// Fresh (from-cycle-0) simulations.
+    fresh: u64,
+    /// Convoy children forked.
+    forks: u64,
+    /// Faults classified Masked without riding the convoy (flip landed in
+    /// dead state or past the program end).
+    masked_nofork: u64,
+    /// Children classified by proven re-convergence to the golden state.
+    converged: u64,
+    /// Children that reached their own end (halt/crash/assert/timeout)
+    /// while on the convoy.
+    ended: u64,
+    /// Children graduated off the convoy and run to their own end.
+    graduated: u64,
+    /// Children whose forked simulator panicked (Assert).
+    asserts: u64,
+    /// Post-injection cycles simulated by children that converged.
+    converged_cycles: u64,
+    /// Post-injection cycles simulated by children that ran to an end.
+    ran_cycles: u64,
+}
+
+impl WorkerStats {
+    fn record_into(&self, sp: &mut Span) {
+        sp.record("claimed", self.claimed);
+        sp.record("fresh", self.fresh);
+        sp.record("forks", self.forks);
+        sp.record("masked_nofork", self.masked_nofork);
+        sp.record("converged", self.converged);
+        sp.record("ended", self.ended);
+        sp.record("graduated", self.graduated);
+        sp.record("asserts", self.asserts);
+        sp.record("converged_cycles", self.converged_cycles);
+        sp.record("ran_cycles", self.ran_cycles);
+    }
 }
 
 impl Engine<'_, '_> {
@@ -1031,15 +1125,20 @@ impl Engine<'_, '_> {
 
     /// Fresh-path worker: every claimed fault re-simulates from cycle 0.
     fn fresh_worker(&self) -> Vec<(usize, Outcome)> {
+        let mut sp = span("campaign.worker");
+        let mut stats = WorkerStats::default();
         let mut results = Vec::new();
         loop {
             let k = self.next.fetch_add(1, Ordering::Relaxed);
             let Some(&slot) = self.order.get(k) else {
                 break;
             };
+            stats.claimed += 1;
+            stats.fresh += 1;
             let outcome = self.inj.inject_outcome(self.faults[slot], self.width);
             self.push(&mut results, slot, outcome);
         }
+        stats.record_into(&mut sp);
         results
     }
 
@@ -1065,6 +1164,8 @@ impl Engine<'_, '_> {
     /// already equal — and is classified immediately instead of riding the
     /// convoy.
     fn convoy_worker(&self) -> Vec<(usize, Outcome)> {
+        let mut sp = span("campaign.worker");
+        let mut stats = WorkerStats::default();
         let inj = self.inj;
         let mut results = Vec::new();
         let mut golden = Sim::new(inj.cfg, inj.program);
@@ -1075,21 +1176,29 @@ impl Engine<'_, '_> {
             let Some(&slot) = self.order.get(k) else {
                 break;
             };
+            stats.claimed += 1;
             let fault = self.faults[slot];
             if fault.cycle > inj.golden.cycles {
                 // The program halts before the fault lands: masked, exactly
                 // as the fresh path's early-halt case.
+                stats.masked_nofork += 1;
                 self.push(&mut results, slot, Outcome::masked_at(fault.cycle));
                 continue;
             }
             if !golden_done {
-                golden_done =
-                    self.advance_convoy(&mut golden, fault.cycle, &mut convoy, &mut results);
+                golden_done = self.advance_convoy(
+                    &mut golden,
+                    fault.cycle,
+                    &mut convoy,
+                    &mut results,
+                    &mut stats,
+                );
             }
             if golden_done && golden.cycle() < fault.cycle {
                 // Defensive: the golden simulator ended before the recorded
                 // golden cycle count (a simulator bug, not a reachable state
                 // today). Fall back to a from-scratch run for exactness.
+                stats.fresh += 1;
                 let outcome = inj.inject_outcome(fault, self.width);
                 self.push(&mut results, slot, outcome);
                 continue;
@@ -1100,6 +1209,7 @@ impl Engine<'_, '_> {
             // the arrays it didn't touch.
             let mut sim = golden.fork();
             if !apply_burst(&mut sim, fault, self.width) {
+                stats.masked_nofork += 1;
                 self.push(&mut results, slot, Outcome::masked_at(fault.cycle));
                 continue;
             }
@@ -1111,6 +1221,7 @@ impl Engine<'_, '_> {
                         component: component.to_string(),
                     }),
                     None => {
+                        stats.masked_nofork += 1;
                         self.push(&mut results, slot, Outcome::masked_at(fault.cycle));
                         continue;
                     }
@@ -1118,32 +1229,68 @@ impl Engine<'_, '_> {
             } else {
                 None
             };
+            stats.forks += 1;
+            let prop = self.propagation_capture(fault).map(|mut capture| {
+                // Seed the timeline with the state of the world at the
+                // injection cycle itself.
+                capture.samples.push(PropagationSample {
+                    cycle: fault.cycle,
+                    components: component_names(&sim.divergent_components(&golden)),
+                });
+                capture
+            });
             convoy.push(Child {
                 slot,
                 sim,
+                born: fault.cycle,
                 next_check: fault.cycle + FIRST_CHECK_INTERVAL,
                 interval: FIRST_CHECK_INTERVAL,
                 divergence,
+                prop,
             });
             if convoy.len() > MAX_CONVOY {
                 // Bound memory: graduate the oldest child and run it to its
                 // own end off-convoy.
                 let oldest = convoy.remove(0);
-                let (slot, outcome) = self.finish_child(oldest);
+                let (slot, outcome) = self.finish_child(oldest, &mut stats);
                 self.push(&mut results, slot, outcome);
             }
         }
         // No faults left to fork: run the golden simulator out so remaining
         // children can still converge, then finish survivors independently.
         while !golden_done && !convoy.is_empty() {
-            let target = convoy.iter().map(|c| c.next_check).min().unwrap();
-            golden_done = self.advance_convoy(&mut golden, target, &mut convoy, &mut results);
+            let target = convoy.iter().map(|c| c.next_stop()).min().unwrap();
+            golden_done =
+                self.advance_convoy(&mut golden, target, &mut convoy, &mut results, &mut stats);
         }
         for child in convoy {
-            let (slot, outcome) = self.finish_child(child);
+            let (slot, outcome) = self.finish_child(child, &mut stats);
             self.push(&mut results, slot, outcome);
         }
+        stats.record_into(&mut sp);
         results
+    }
+
+    /// The propagation capture for `fault`, when this engine opted in
+    /// (recorded mode only) and the fault falls in the deterministic
+    /// 1-in-`one_in` subset. Selection hashes the fault spec alone, so it
+    /// is independent of convoy composition and thread count.
+    fn propagation_capture(&self, fault: FaultSpec) -> Option<PropCapture> {
+        let (every, one_in) = self.propagation?;
+        if !self.record {
+            return None;
+        }
+        let mut bytes = [0u8; 17];
+        bytes[0] = fault.structure as u8;
+        bytes[1..9].copy_from_slice(&fault.bit.to_le_bytes());
+        bytes[9..17].copy_from_slice(&fault.cycle.to_le_bytes());
+        crate::fnv1a(&bytes)
+            .is_multiple_of(one_in)
+            .then(|| PropCapture {
+                every,
+                next: fault.cycle + every,
+                samples: Vec::new(),
+            })
     }
 
     /// Advances the golden simulator to `target` cycles, co-advancing convoy
@@ -1155,16 +1302,19 @@ impl Engine<'_, '_> {
         target: u64,
         convoy: &mut Vec<Child>,
         results: &mut Vec<(usize, Outcome)>,
+        stats: &mut WorkerStats,
     ) -> bool {
         while golden.cycle() < target {
+            // Stop at the earliest pending convergence check *or*
+            // propagation sample across the convoy.
             let stop = convoy
                 .iter()
-                .map(|c| c.next_check)
+                .map(|c| c.next_stop())
                 .min()
                 .unwrap_or(u64::MAX)
                 .clamp(golden.cycle() + 1, target);
             let halted = golden.run_to_cycle(stop).is_some();
-            self.lockstep_children(golden, convoy, results, halted);
+            self.lockstep_children(golden, convoy, results, halted, stats);
             if halted {
                 return true;
             }
@@ -1181,6 +1331,7 @@ impl Engine<'_, '_> {
         convoy: &mut Vec<Child>,
         results: &mut Vec<(usize, Outcome)>,
         golden_halted: bool,
+        stats: &mut WorkerStats,
     ) {
         let cycle = golden.cycle();
         convoy.retain_mut(|child| {
@@ -1195,6 +1346,8 @@ impl Engine<'_, '_> {
                          classifying as Assert",
                         child.slot
                     );
+                    stats.asserts += 1;
+                    stats.ran_cycles += child.sim.cycle().saturating_sub(child.born);
                     // The child's own cycle counter, not the convoy's stop
                     // cycle: the stop schedule depends on which other faults
                     // share the convoy, and records must be a pure function
@@ -1204,23 +1357,41 @@ impl Engine<'_, '_> {
                         class: FaultClass::Assert,
                         end_cycle: child.sim.cycle(),
                         divergence: child.divergence.take(),
-                        pruned: false,
-                        pruned_static: false,
+                        propagation: child.take_propagation(None),
+                        ..Outcome::masked_at(0)
                     };
                     self.push(results, child.slot, outcome);
                     return false;
                 }
             };
             if let Some(end) = end {
+                stats.ended += 1;
+                stats.ran_cycles += end_cycles(&end).saturating_sub(child.born);
                 let outcome = Outcome {
                     class: self.inj.classify_end(&end),
                     end_cycle: end_cycles(&end),
                     divergence: child.divergence.take(),
-                    pruned: false,
-                    pruned_static: false,
+                    propagation: child.take_propagation(None),
+                    ..Outcome::masked_at(0)
                 };
                 self.push(results, child.slot, outcome);
                 return false;
+            }
+            // Propagation sample due at this stop: snapshot the full
+            // diverging-component set. Read-only on both simulators.
+            if let Some(prop) = &mut child.prop {
+                if prop.next <= cycle {
+                    prop.samples.push(PropagationSample {
+                        cycle,
+                        components: component_names(&child.sim.divergent_components(golden)),
+                    });
+                    // Stay on the injection-aligned grid even if a stop
+                    // overshot (defensive; stops land exactly today).
+                    prop.next += prop.every;
+                    while prop.next <= cycle {
+                        prop.next += prop.every;
+                    }
+                }
             }
             if !golden_halted && child.next_check <= cycle {
                 if child.sim.state_eq(golden) {
@@ -1232,6 +1403,8 @@ impl Engine<'_, '_> {
                     } else {
                         FaultClass::Sdc
                     };
+                    stats.converged += 1;
+                    stats.converged_cycles += cycle.saturating_sub(child.born);
                     // A converged child provably halts exactly when the
                     // golden run does, so record that terminal cycle rather
                     // than the (convoy-membership-dependent) cycle the check
@@ -1241,8 +1414,8 @@ impl Engine<'_, '_> {
                         class,
                         end_cycle: self.inj.golden.cycles,
                         divergence: child.divergence.take(),
-                        pruned: false,
-                        pruned_static: false,
+                        propagation: child.take_propagation(Some(cycle)),
+                        ..Outcome::masked_at(0)
                     };
                     self.push(results, child.slot, outcome);
                     return false;
@@ -1256,16 +1429,21 @@ impl Engine<'_, '_> {
 
     /// Runs a child that outlived the convoy to its own terminal outcome,
     /// under the same 2× golden-time budget as the fresh path.
-    fn finish_child(&self, mut child: Child) -> (usize, Outcome) {
+    fn finish_child(&self, mut child: Child, stats: &mut WorkerStats) -> (usize, Outcome) {
+        stats.graduated += 1;
         let budget = 2 * self.inj.golden.cycles;
+        let propagation = child.take_propagation(None);
         let outcome = match catch_unwind(AssertUnwindSafe(|| child.sim.run(budget))) {
-            Ok(end) => Outcome {
-                class: self.inj.classify_end(&end),
-                end_cycle: end_cycles(&end),
-                divergence: child.divergence,
-                pruned: false,
-                pruned_static: false,
-            },
+            Ok(end) => {
+                stats.ran_cycles += end_cycles(&end).saturating_sub(child.born);
+                Outcome {
+                    class: self.inj.classify_end(&end),
+                    end_cycle: end_cycles(&end),
+                    divergence: child.divergence,
+                    propagation,
+                    ..Outcome::masked_at(0)
+                }
+            }
             Err(_) => {
                 event!(
                     Level::Warn,
@@ -1275,12 +1453,14 @@ impl Engine<'_, '_> {
                      classifying as Assert",
                     child.slot
                 );
+                stats.asserts += 1;
+                stats.ran_cycles += child.sim.cycle().saturating_sub(child.born);
                 Outcome {
                     class: FaultClass::Assert,
                     end_cycle: child.sim.cycle(),
                     divergence: child.divergence,
-                    pruned: false,
-                    pruned_static: false,
+                    propagation,
+                    ..Outcome::masked_at(0)
                 }
             }
         };
@@ -1303,6 +1483,8 @@ struct Child {
     slot: usize,
     /// The faulted simulator, kept in lockstep with the golden one.
     sim: Sim,
+    /// Injection cycle (for attributing post-injection child cycles).
+    born: u64,
     /// Golden cycle at which to next test convergence.
     next_check: u64,
     /// Current back-off interval between convergence checks.
@@ -1310,6 +1492,46 @@ struct Child {
     /// First-divergence site captured at the fork (recorded mode only),
     /// carried until the child is classified.
     divergence: Option<DivergenceSite>,
+    /// In-flight propagation timeline (opt-in sampled subset only).
+    prop: Option<PropCapture>,
+}
+
+impl Child {
+    /// The next golden cycle at which the convoy must pause for this
+    /// child: its convergence check or its propagation sample, whichever
+    /// comes first.
+    fn next_stop(&self) -> u64 {
+        match &self.prop {
+            Some(prop) => self.next_check.min(prop.next),
+            None => self.next_check,
+        }
+    }
+
+    /// Seals the child's propagation timeline (if it was tracing one) with
+    /// the convergence verdict cycle, when the convoy proved one.
+    fn take_propagation(&mut self, converged_at: Option<u64>) -> Option<PropagationTrace> {
+        self.prop.take().map(|capture| PropagationTrace {
+            every: capture.every,
+            samples: capture.samples,
+            converged_at,
+        })
+    }
+}
+
+/// A propagation timeline being captured for one convoy child.
+struct PropCapture {
+    /// Sampling period in cycles.
+    every: u64,
+    /// Next golden cycle to sample at (injection-aligned grid).
+    next: u64,
+    samples: Vec<PropagationSample>,
+}
+
+/// Owned names for a diverging-component set (records outlive the
+/// simulators the `&'static str` probes came from only by convention;
+/// serialized records need owned strings anyway).
+fn component_names(components: &[&'static str]) -> Vec<String> {
+    components.iter().map(|c| c.to_string()).collect()
 }
 
 /// Flips `width` adjacent bits of the fault's structure (wrapping at the
@@ -1689,6 +1911,142 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn propagation_tracing_never_perturbs_classes_or_base_records() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let cc = CampaignConfig {
+            injections: 40,
+            seed: 21,
+            threads: 1,
+            checkpoint: true,
+            ..CampaignConfig::default()
+        };
+        for s in [Structure::RegFile, Structure::RobPc] {
+            let faults = inj.sample_faults(s, cc.injections, cc.seed);
+            let plain = inj
+                .run(s, &cc)
+                .faults(&faults)
+                .records(true)
+                .execute()
+                .records
+                .unwrap();
+            let traced = inj
+                .run(s, &cc)
+                .faults(&faults)
+                .records(true)
+                .propagation(16, 1)
+                .execute()
+                .records
+                .unwrap();
+            assert_eq!(plain.len(), traced.len());
+            for (p, t) in plain.iter().zip(&traced) {
+                // Everything except the opt-in timeline is bit-identical.
+                let mut t_base = t.clone();
+                t_base.propagation = None;
+                assert_eq!(p, &t_base, "{s}: propagation must ride along inertly");
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_timelines_sample_on_the_injection_grid() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let cc = CampaignConfig {
+            injections: 40,
+            seed: 21,
+            threads: 1,
+            checkpoint: true,
+            ..CampaignConfig::default()
+        };
+        let every = 16;
+        let records = inj
+            .run(Structure::RegFile, &cc)
+            .records(true)
+            .propagation(every, 1) // every fault that forks
+            .execute()
+            .records
+            .unwrap();
+        let traced: Vec<_> = records.iter().filter(|r| r.propagation.is_some()).collect();
+        assert!(
+            !traced.is_empty(),
+            "one-in-one sampling must trace every forked child"
+        );
+        for record in traced {
+            let prop = record.propagation.as_ref().unwrap();
+            assert_eq!(prop.every, every);
+            assert!(!prop.samples.is_empty(), "seed sample at injection");
+            assert_eq!(prop.samples[0].cycle, record.spec.cycle);
+            assert!(
+                !prop.samples[0].components.is_empty(),
+                "a forked child diverges at injection by construction"
+            );
+            for sample in &prop.samples[1..] {
+                assert_eq!(
+                    (sample.cycle - record.spec.cycle) % every,
+                    0,
+                    "samples stay on the injection-aligned grid"
+                );
+                for c in &sample.components {
+                    assert!(
+                        softerr_sim::Sim::DIVERGENCE_COMPONENTS.contains(&c.as_str()),
+                        "unknown component {c}"
+                    );
+                }
+            }
+            let cycles: Vec<u64> = prop.samples.iter().map(|s| s.cycle).collect();
+            let mut sorted = cycles.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(cycles, sorted, "samples are strictly increasing");
+            if let Some(at) = prop.converged_at {
+                assert_eq!(record.end_cycle, inj.golden().cycles);
+                assert!(at >= record.spec.cycle);
+            }
+        }
+        // Masked-without-forking faults never carry a timeline.
+        for record in &records {
+            if record.first_divergence.is_none() {
+                assert!(record.propagation.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_subset_selection_is_a_pure_function_of_the_fault() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let faults = inj.sample_faults(Structure::RegFile, 80, 7);
+        let run = |threads: usize| {
+            let cc = CampaignConfig {
+                injections: 80,
+                seed: 7,
+                threads,
+                checkpoint: true,
+                ..CampaignConfig::default()
+            };
+            inj.run(Structure::RegFile, &cc)
+                .faults(&faults)
+                .records(true)
+                .propagation(32, 2)
+                .execute()
+                .records
+                .unwrap()
+                .iter()
+                .map(|r| r.propagation.is_some())
+                .collect::<Vec<bool>>()
+        };
+        let selected = run(1);
+        assert_eq!(
+            selected,
+            run(3),
+            "which faults are traced must not depend on thread count"
+        );
+        assert!(selected.iter().any(|&s| s), "1-in-2 selects someone here");
+        assert!(selected.iter().any(|&s| !s), "and skips someone");
     }
 
     #[test]

@@ -53,5 +53,5 @@ pub use campaign::{
 };
 pub use manifest::{fnv1a, RunManifest};
 pub use progress::{CampaignObserver, ProgressLine};
-pub use record::{DivergenceSite, FaultRecord};
+pub use record::{DivergenceSite, FaultRecord, PropagationSample, PropagationTrace};
 pub use stats::{error_margin, required_sample, Z_90, Z_95, Z_99};

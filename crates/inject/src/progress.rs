@@ -98,17 +98,11 @@ impl ProgressLine {
 
     fn render(&self, done: u64) {
         let (_, counts) = self.snapshot();
-        let elapsed = self.start.elapsed().as_secs_f64().max(1e-9);
-        let rate = done as f64 / elapsed;
-        let eta = if rate > 0.0 && done < self.total {
-            (self.total - done) as f64 / rate
-        } else {
-            0.0
-        };
+        let (rate, eta) = rate_and_eta(done, self.total, self.start.elapsed().as_secs_f64());
         let mut err = std::io::stderr().lock();
         let _ = write!(
             err,
-            "\r{:width$}\r{}: {}/{} M:{} S:{} C:{} T:{} A:{} {:.1}/s ETA {:.0}s",
+            "\r{:width$}\r{}: {}/{} M:{} S:{} C:{} T:{} A:{} {rate} ETA {eta}",
             "",
             self.label,
             done,
@@ -118,12 +112,37 @@ impl ProgressLine {
             counts.crash,
             counts.timeout,
             counts.assert_,
-            rate,
-            eta,
             width = self.line_width(),
         );
         let _ = err.flush();
     }
+}
+
+/// Elapsed seconds below which throughput and ETA are noise: inside the
+/// first refresh window (elapsed ≈ 0 inflates `done / elapsed` absurdly),
+/// and in all-pruned campaigns where every fault classifies in
+/// microseconds.
+const MIN_RATE_WINDOW_S: f64 = 0.2;
+
+/// The throughput and ETA cells of the progress line. Until at least one
+/// fault has landed *and* [`MIN_RATE_WINDOW_S`] has elapsed, both render
+/// as placeholders (`--/s`, `--:--`) instead of the garbage the raw
+/// division produces; afterwards the ETA is `mm:ss` of remaining work at
+/// the observed rate (`0:00` once done).
+fn rate_and_eta(done: u64, total: u64, elapsed_s: f64) -> (String, String) {
+    if done == 0 || elapsed_s < MIN_RATE_WINDOW_S {
+        return ("--/s".to_string(), "--:--".to_string());
+    }
+    let rate = done as f64 / elapsed_s;
+    let eta_s = if done < total {
+        ((total - done) as f64 / rate).ceil() as u64
+    } else {
+        0
+    };
+    (
+        format!("{rate:.1}/s"),
+        format!("{}:{:02}", eta_s / 60, eta_s % 60),
+    )
 }
 
 impl CampaignObserver for ProgressLine {
@@ -168,6 +187,42 @@ mod tests {
         assert_eq!(counts.crash, 1);
         assert_eq!(counts.total(), 4);
         p.finish(); // must be a no-op, not a panic
+    }
+
+    #[test]
+    fn rate_and_eta_guard_the_degenerate_windows() {
+        // First refresh window: elapsed ≈ 0 must not print a huge rate.
+        assert_eq!(
+            rate_and_eta(10, 100, 0.0),
+            ("--/s".to_string(), "--:--".to_string())
+        );
+        assert_eq!(
+            rate_and_eta(10, 100, 0.1),
+            ("--/s".to_string(), "--:--".to_string())
+        );
+        // All-pruned campaign: everything classified before any time
+        // passed — still placeholders, not NaN/inf or a 1e9 rate.
+        assert_eq!(
+            rate_and_eta(100, 100, 1e-9),
+            ("--/s".to_string(), "--:--".to_string())
+        );
+        // Nothing done yet after a long wait: no rate, no ETA.
+        assert_eq!(
+            rate_and_eta(0, 100, 5.0),
+            ("--/s".to_string(), "--:--".to_string())
+        );
+        // Meaningful window: 50 done in 10 s → 5.0/s, 50 left → 10 s.
+        assert_eq!(
+            rate_and_eta(50, 100, 10.0),
+            ("5.0/s".to_string(), "0:10".to_string())
+        );
+        // ETA rolls into minutes and zero-pads seconds.
+        assert_eq!(rate_and_eta(10, 700, 10.0).1, "11:30");
+        // Finished: rate stays, ETA pins to zero.
+        assert_eq!(
+            rate_and_eta(100, 100, 10.0),
+            ("10.0/s".to_string(), "0:00".to_string())
+        );
     }
 
     #[test]

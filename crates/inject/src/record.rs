@@ -7,7 +7,7 @@
 //! microarchitectural state first diverged from the fault-free run.
 
 use crate::campaign::{FaultClass, FaultSpec};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Where a faulted run's state first differed from the golden run.
 ///
@@ -27,8 +27,53 @@ pub struct DivergenceSite {
     pub component: String,
 }
 
-/// Full forensic record of one injection.
+/// One snapshot of the diverging-component set, taken a fixed number of
+/// cycles after injection by a propagation-traced convoy child.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropagationSample {
+    /// Golden cycle the snapshot was taken at.
+    pub cycle: u64,
+    /// Every simulator component differing from the golden run at that
+    /// cycle, in [`softerr_sim::Sim::DIVERGENCE_COMPONENTS`] probe order.
+    /// An empty set means the child had (transiently) re-converged.
+    pub components: Vec<String>,
+}
+
+/// Opt-in per-fault propagation timeline: how the set of corrupted
+/// components evolved after injection.
+///
+/// Captured by the convoy engine for a deterministically sampled subset of
+/// non-pruned faults (see `CampaignRun::propagation`). Sampling is purely
+/// observational — it reads the child and golden simulators and mutates
+/// neither, so enabling it never changes classes or the other record
+/// fields. The timeline itself is best-effort observability: it ends when
+/// the child converges, halts, or graduates off the convoy, so its length
+/// (unlike everything else in a [`FaultRecord`]) may depend on convoy
+/// composition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropagationTrace {
+    /// Sampling period in cycles.
+    pub every: u64,
+    /// Snapshots in cycle order, starting at the injection cycle.
+    pub samples: Vec<PropagationSample>,
+    /// Golden cycle at which the child was proven re-converged, when the
+    /// convoy classified it that way.
+    pub converged_at: Option<u64>,
+}
+
+impl PropagationTrace {
+    /// Peak number of simultaneously diverging components.
+    pub fn peak_components(&self) -> usize {
+        self.samples
+            .iter()
+            .map(|s| s.components.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Full forensic record of one injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultRecord {
     /// The injected fault.
     pub spec: FaultSpec,
@@ -58,6 +103,53 @@ pub struct FaultRecord {
     /// `pruned` — a fault both stages could prune is attributed to the
     /// dynamic liveness pruner.
     pub pruned_static: bool,
+    /// Time-resolved propagation timeline, for faults selected by an
+    /// opt-in `CampaignRun::propagation` campaign (`None` otherwise).
+    pub propagation: Option<PropagationTrace>,
+}
+
+// Hand-written (rather than derived) so `propagation: None` is *omitted*
+// from the JSON object instead of serialized as `null`: record streams
+// from campaigns that never opted into propagation tracing stay
+// byte-identical to the pre-propagation format, and old JSONL files parse
+// unchanged.
+impl Serialize for FaultRecord {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("spec".to_string(), self.spec.to_value()),
+            ("class".to_string(), self.class.to_value()),
+            ("end_cycle".to_string(), self.end_cycle.to_value()),
+            ("golden_cycles".to_string(), self.golden_cycles.to_value()),
+            (
+                "first_divergence".to_string(),
+                self.first_divergence.to_value(),
+            ),
+            ("pruned".to_string(), self.pruned.to_value()),
+            ("pruned_static".to_string(), self.pruned_static.to_value()),
+        ];
+        if let Some(propagation) = &self.propagation {
+            fields.push(("propagation".to_string(), propagation.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for FaultRecord {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        Ok(FaultRecord {
+            spec: Deserialize::from_value(serde::obj_get(v, "spec")?)?,
+            class: Deserialize::from_value(serde::obj_get(v, "class")?)?,
+            end_cycle: Deserialize::from_value(serde::obj_get(v, "end_cycle")?)?,
+            golden_cycles: Deserialize::from_value(serde::obj_get(v, "golden_cycles")?)?,
+            first_divergence: Deserialize::from_value(serde::obj_get(v, "first_divergence")?)?,
+            pruned: Deserialize::from_value(serde::obj_get(v, "pruned")?)?,
+            pruned_static: Deserialize::from_value(serde::obj_get(v, "pruned_static")?)?,
+            propagation: match serde::obj_get(v, "propagation") {
+                Ok(p) => Some(Deserialize::from_value(p)?),
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl FaultRecord {
@@ -91,6 +183,7 @@ mod tests {
             }),
             pruned: false,
             pruned_static: false,
+            propagation: None,
         }
     }
 
@@ -116,5 +209,43 @@ mod tests {
         let json = serde_json::to_string(&bare).unwrap();
         let back: FaultRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, bare);
+    }
+
+    #[test]
+    fn propagation_is_omitted_when_absent_and_roundtrips_when_present() {
+        let plain = record(10, 20);
+        let json = serde_json::to_string(&plain).unwrap();
+        assert!(
+            !json.contains("propagation"),
+            "non-propagation records keep the pre-propagation JSONL format: {json}"
+        );
+
+        let mut traced = record(10, 20);
+        traced.propagation = Some(PropagationTrace {
+            every: 32,
+            samples: vec![
+                PropagationSample {
+                    cycle: 10,
+                    components: vec!["rf".into()],
+                },
+                PropagationSample {
+                    cycle: 42,
+                    components: vec!["rf".into(), "rob".into()],
+                },
+                PropagationSample {
+                    cycle: 74,
+                    components: vec![],
+                },
+            ],
+            converged_at: Some(80),
+        });
+        assert_eq!(traced.propagation.as_ref().unwrap().peak_components(), 2);
+        let json = serde_json::to_string(&traced).unwrap();
+        let back: FaultRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, traced);
+        // And a pre-propagation line (no such key) still parses.
+        let old_json = serde_json::to_string(&plain).unwrap();
+        let old: FaultRecord = serde_json::from_str(&old_json).unwrap();
+        assert_eq!(old.propagation, None);
     }
 }

@@ -158,6 +158,25 @@ impl MemorySystem {
         (self.mem != other.mem).then_some("mem")
     }
 
+    /// Appends *every* differing level of the hierarchy to `out` (the
+    /// exhaustive counterpart of [`MemorySystem::divergence`], which stops
+    /// at the first). Used by propagation tracing, which wants the whole
+    /// diverging set per sample, not just the cheapest witness.
+    pub fn divergent_components(&self, other: &MemorySystem, out: &mut Vec<&'static str>) {
+        if !self.l1i.state_eq(&other.l1i) {
+            out.push("mem.l1i");
+        }
+        if !self.l1d.state_eq(&other.l1d) {
+            out.push("mem.l1d");
+        }
+        if !self.l2.state_eq(&other.l2) {
+            out.push("mem.l2");
+        }
+        if self.mem != other.mem {
+            out.push("mem");
+        }
+    }
+
     /// Architectural validity check for a demand access (the same rules the
     /// reference [`softerr_isa::Memory`] enforces). Used by the pipeline's
     /// AGU so that faulting addresses are flagged *before* touching caches.

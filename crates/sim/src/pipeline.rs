@@ -571,6 +571,65 @@ impl Sim {
         self.mem.divergence(&other.mem)
     }
 
+    /// Every component currently differing from `other`, in
+    /// [`Sim::DIVERGENCE_COMPONENTS`] probe order (empty = states equal).
+    ///
+    /// Where [`Sim::state_divergence`] stops at the first (cheapest)
+    /// witness, this walks all 19 probes: propagation tracing samples the
+    /// *set* of corrupted components over time, so it needs the exhaustive
+    /// answer. Purely observational — it reads both simulators and mutates
+    /// neither, so sampling can never perturb classification.
+    pub fn divergent_components(&self, other: &Sim) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.cycle != other.cycle {
+            out.push("cycle");
+        }
+        if self.fetch_pc != other.fetch_pc {
+            out.push("fetch.pc");
+        }
+        if self.next_seq != other.next_seq {
+            out.push("fetch.seq");
+        }
+        if self.fetch_stall != other.fetch_stall || self.fetch_wait != other.fetch_wait {
+            out.push("fetch.stall");
+        }
+        if self.divider_busy != other.divider_busy {
+            out.push("exec.divider");
+        }
+        if self.in_flight != other.in_flight {
+            out.push("exec.in_flight");
+        }
+        if self.wb_ready != other.wb_ready {
+            out.push("exec.wb_ready");
+        }
+        if !self.rf.state_eq(&other.rf) {
+            out.push("rf");
+        }
+        if self.rob != other.rob {
+            out.push("rob");
+        }
+        if self.iq != other.iq {
+            out.push("iq");
+        }
+        if self.lq != other.lq {
+            out.push("lq");
+        }
+        if self.sq != other.sq {
+            out.push("sq");
+        }
+        if self.decode_q != other.decode_q {
+            out.push("decode_q");
+        }
+        if self.uops != other.uops {
+            out.push("uops");
+        }
+        if self.bp != other.bp {
+            out.push("bpred");
+        }
+        self.mem.divergent_components(&other.mem, &mut out);
+        out
+    }
+
     /// Runs until the program ends or `max_cycles` elapse.
     pub fn run(&mut self, max_cycles: u64) -> SimOutcome {
         while self.cycle < max_cycles {

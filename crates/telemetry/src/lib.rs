@@ -10,6 +10,10 @@
 //!   machine consumption, and a capture sink for tests. Emission is gated
 //!   by a single relaxed atomic load, so disabled levels cost nothing and
 //!   campaigns stay fast;
+//! * a span-based **tracing layer** ([`span`], [`Span`], [`take_trace`])
+//!   recording named, timed, thread-aware stages into per-thread ring
+//!   buffers, exportable as Chrome trace-event JSON (Perfetto-loadable) or
+//!   an aggregate table — also one relaxed atomic load when disabled;
 //! * the plain-text [`Table`] used by every report the harnesses print.
 //!
 //! No external dependencies beyond the workspace's vendored stubs.
@@ -23,6 +27,7 @@
 
 mod event;
 mod report;
+mod trace;
 
 #[doc(hidden)]
 pub use event::emit_event;
@@ -31,3 +36,4 @@ pub use event::{
     FieldValue, HumanSink, JsonlSink, Level, Sink,
 };
 pub use report::Table;
+pub use trace::{set_tracing, span, take_trace, tracing_enabled, Span, SpanRecord, Trace};

@@ -86,12 +86,27 @@ static-check:
         -n 200 --prune-static verify
 
 # Bench regression gate: regenerate the injection-throughput summary and
-# fail if any benchmark regressed >20% against the committed baseline.
+# fail if any benchmark regressed >20% against the committed baseline —
+# except the checkpointed RegFile campaign, which is held to the 3%
+# telemetry budget: its committed baseline predates span instrumentation,
+# so staying inside 3% proves disabled tracing is effectively free. The
+# bench also refreshes BENCH_injection_throughput.profile.txt (a traced
+# stage-attribution table explaining what the checkpoint row is made of).
 bench-gate:
     cp BENCH_injection_throughput.json target/bench-baseline.json
     cargo bench -p softerr-bench --bench injection_throughput
     cargo run --release -p softerr-bench --bin bench_gate -- \
-        target/bench-baseline.json BENCH_injection_throughput.json
+        target/bench-baseline.json BENCH_injection_throughput.json \
+        --budget rf_campaign/checkpoint=0.03
+
+# Stage-attribution profile of a quick study grid (8 workloads x O0-O3 x
+# both machines): per-cell, per-stage, and per-worker wall-time tables on
+# stdout, plus a Perfetto-loadable Chrome trace in target/.
+profile:
+    cargo run --release -p softerr-bench --bin repro -- profile \
+        --scale quick --jobs 0 --quiet \
+        --results target/softerr-profile-store \
+        --trace target/repro-trace.json
 
 # Everything the CI gate requires.
-ci: test lint lint-ir prune-check static-check cow-check
+ci: test lint lint-ir prune-check static-check cow-check bench-gate
