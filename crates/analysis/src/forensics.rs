@@ -261,6 +261,7 @@ mod tests {
             golden_cycles: 1000,
             pruned: false,
             pruned_static: false,
+            weight: 1.0,
             first_divergence: comp.map(|c| DivergenceSite {
                 cycle,
                 pc: 0x40,

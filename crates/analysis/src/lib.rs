@@ -14,7 +14,9 @@
 //!   structure's AVF from one golden run, no injections required,
 //! * **fault forensics** ([`mod@forensics`]) — detection-latency
 //!   distributions, class-by-cycle/bit heatmaps, and first-divergence
-//!   censuses over per-fault campaign records.
+//!   censuses over per-fault campaign records,
+//! * **sampling efficiency** ([`mod@sampling`]) — uniform vs.
+//!   importance-sampling comparison rows and the `repro sampling` table.
 #![warn(missing_docs)]
 
 pub mod ace;
@@ -22,6 +24,7 @@ mod ecc;
 pub mod forensics;
 mod metrics;
 pub mod profile;
+pub mod sampling;
 pub mod vuln;
 
 pub use ace::{estimate as ace_estimate, AceEstimate, StructureAvf};
@@ -29,6 +32,7 @@ pub use ecc::EccScheme;
 pub use metrics::{
     cpu_fit, cpu_fit_by_class, fit_of_structure, fpe, weighted_avf, StructureMeasurement,
 };
+pub use sampling::{mean_sampling_speedup, sampling_table, SamplingCell};
 pub use vuln::{
     mean_static_uplift, static_injected_rank_correlation, static_vuln_table, StaticVulnCell,
 };

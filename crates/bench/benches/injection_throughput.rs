@@ -20,8 +20,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use softerr::{
-    CampaignConfig, Compiler, FaultSpec, Injector, MachineConfig, OptLevel, PruneMode, Scale,
-    Structure, Workload,
+    CampaignConfig, Compiler, FaultSpec, Injector, MachineConfig, OptLevel, PruneMode, SamplerKind,
+    SamplingPlan, Scale, Structure, Workload,
 };
 
 fn bench_campaign(c: &mut Criterion) {
@@ -33,7 +33,7 @@ fn bench_campaign(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("injection_throughput");
     let base = CampaignConfig::default();
-    group.throughput(Throughput::Elements(base.injections));
+    group.throughput(Throughput::Elements(base.plan.injections()));
     // The pruned variant pays the one-off liveness golden run up front so
     // the measured loop sees only the steady-state campaign cost.
     injector.liveness();
@@ -55,8 +55,7 @@ fn bench_campaign(c: &mut Criterion) {
             |b, &(checkpoint, prune, prune_static)| {
                 let cfg = CampaignConfig {
                     checkpoint,
-                    prune,
-                    prune_static,
+                    plan: base.plan.prune(prune).prune_static(prune_static),
                     ..base
                 };
                 b.iter(|| injector.run(Structure::RegFile, &cfg).execute().result)
@@ -72,6 +71,31 @@ fn bench_campaign(c: &mut Criterion) {
             |b, &checkpoint| {
                 let cfg = CampaignConfig { checkpoint, ..base };
                 b.iter(|| injector.run(Structure::L1DData, &cfg).execute().result)
+            },
+        );
+    }
+    // Equal-margin sampling comparison: both campaigns grow in batches
+    // until the achieved 99% margin reaches the same target on the L1I
+    // data array, whose live-and-demanded subpopulation is a tiny slice
+    // of the full `(bit x cycle)` population. The uniform row must keep
+    // buying batches until the raw binomial margin closes; the importance
+    // row draws only live-and-demanded sites and its Horvitz-Thompson
+    // margin scales by the weight, so it stops after far fewer forked
+    // children. The mean-time ratio of these two rows is the headline
+    // child-simulation savings of importance sampling.
+    for (label, sampler) in [
+        ("uniform", SamplerKind::Uniform),
+        ("importance", SamplerKind::Importance),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("l1i_campaign", label),
+            &sampler,
+            |b, &sampler| {
+                let cfg = CampaignConfig {
+                    plan: SamplingPlan::adaptive(0.08, 25).sampler(sampler),
+                    ..base
+                };
+                b.iter(|| injector.run(Structure::L1IData, &cfg).execute().result)
             },
         );
     }

@@ -13,7 +13,9 @@
 //! parallelism on a multi-core host, so the host's core count is recorded
 //! alongside it.
 
-use softerr::{OptLevel, Orchestrator, ResultStore, Structure, StudyConfig, Workload};
+use softerr::{
+    OptLevel, Orchestrator, ResultStore, SamplingPlan, Structure, StudyConfig, Workload,
+};
 use std::time::Instant;
 
 fn sweep_config() -> StudyConfig {
@@ -21,7 +23,7 @@ fn sweep_config() -> StudyConfig {
         workloads: vec![Workload::Qsort, Workload::Sha],
         levels: vec![OptLevel::O0, OptLevel::O2],
         structures: vec![Structure::RegFile, Structure::IqSrc, Structure::L1DData],
-        injections: 24,
+        plan: SamplingPlan::fixed(24),
         seed: 0xBEEF,
         ..StudyConfig::default()
     }

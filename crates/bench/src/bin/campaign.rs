@@ -24,13 +24,19 @@
 //! * `--metrics` — run the golden execution once more with the simulator's
 //!   microarchitectural counters enabled and print them next to the AVF
 //!   table;
+//! * `--sampler uniform|importance|importance/verify` — sampling
+//!   distribution: `importance` draws only live-and-demanded fault sites
+//!   and reweights the estimates (Horvitz–Thompson), `importance/verify`
+//!   additionally re-runs a uniform campaign to the same achieved margin
+//!   and panics unless the two AVF estimates agree;
 //! * `--quiet` — suppress warning events and the progress line;
 //! * `--log-json` — emit warning events as JSONL on stderr instead of
 //!   human-readable text.
 
 use softerr::{
     ace_estimate, telemetry, CampaignConfig, Compiler, FaultRecord, Injector, MachineConfig,
-    OptLevel, ProgressLine, PruneMode, RunManifest, Scale, Sim, Structure, Table, Workload,
+    OptLevel, ProgressLine, PruneMode, PrunePolicy, RunManifest, SamplerKind, SamplingPlan, Scale,
+    Sim, StopRule, Structure, Table, Workload,
 };
 use std::io::Write;
 
@@ -47,6 +53,7 @@ struct Args {
     prune: PruneMode,
     prune_static: PruneMode,
     target_margin: Option<f64>,
+    sampler: SamplerKind,
     estimate_ace: bool,
     records: Option<String>,
     trace: Option<String>,
@@ -72,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         prune: PruneMode::Off,
         prune_static: PruneMode::Off,
         target_margin: None,
+        sampler: SamplerKind::Uniform,
         estimate_ace: false,
         records: None,
         trace: None,
@@ -164,6 +172,7 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.target_margin = Some(target);
             }
+            "--sampler" => args.sampler = value.parse()?,
             "--records" => args.records = Some(value),
             "--trace" => args.trace = Some(value),
             "--propagation" => {
@@ -252,7 +261,7 @@ fn main() {
                  \x20              [--structure NAME] [--scale tiny|small|full]\n\
                  \x20              [-n COUNT] [--seed N] [--threads N] [--checkpoint on|off]\n\
                  \x20              [--prune off|on|verify] [--prune-static off|on|verify]\n\
-                 \x20              [--target-margin F]\n\
+                 \x20              [--target-margin F] [--sampler uniform|importance|importance/verify]\n\
                  \x20              [--estimate ace] [--records FILE] [--trace FILE] [--profile]\n\
                  \x20              [--propagation EVERY[/ONE_IN]] [--metrics] [--quiet]\n\
                  \x20              [--log-json]"
@@ -271,14 +280,29 @@ fn main() {
         telemetry::set_tracing(true);
     }
 
+    let plan = SamplingPlan {
+        sampler: args.sampler,
+        stop: match args.target_margin {
+            Some(target) => StopRule::TargetMargin {
+                target,
+                batch: args.injections,
+            },
+            None => StopRule::FixedN(args.injections),
+        },
+        prune: PrunePolicy {
+            liveness: args.prune,
+            demand: args.prune_static,
+        },
+    };
+    if let Err(e) = plan.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
     let campaign_cfg = CampaignConfig {
-        injections: args.injections,
+        plan,
         seed: args.seed,
         threads: args.threads,
         checkpoint: args.checkpoint,
-        prune: args.prune,
-        prune_static: args.prune_static,
-        target_margin: args.target_margin,
     };
     let mut manifest = RunManifest::new(&args.machine.name, &args.machine, &campaign_cfg);
     manifest.workload = args.workload.to_string();
@@ -316,7 +340,12 @@ fn main() {
         "bits".into(),
         "AVF".into(),
         "±99%".into(),
+        "n".into(),
+        "sims".into(),
     ];
+    if args.sampler.is_importance() {
+        header.push("weight".into());
+    }
     if ace.is_some() {
         header.push("static AVF".into());
     }
@@ -339,9 +368,12 @@ fn main() {
         }
         // Propagation heatmaps fold over in-memory records, so either flag
         // runs the recording engine; only `--records` also streams them.
-        let result = if records_out.is_some() || args.propagation.is_some() {
-            let output = run.records(true).execute();
-            let records = output.records.expect("records requested");
+        let output = if records_out.is_some() || args.propagation.is_some() {
+            run.records(true).execute()
+        } else {
+            run.execute()
+        };
+        if let Some(records) = output.records {
             if let Some(file) = records_out.as_mut() {
                 for record in &records {
                     let line = serde_json::to_string(record).expect("record serializes");
@@ -349,10 +381,8 @@ fn main() {
                 }
             }
             all_records.extend(records);
-            output.result
-        } else {
-            run.execute().result
-        };
+        }
+        let (result, simulated) = (output.result, output.simulated);
         if let Some(p) = progress.as_ref() {
             p.finish();
         }
@@ -361,7 +391,12 @@ fn main() {
             result.bit_population.to_string(),
             format!("{:.4}", result.avf()),
             format!("{:.4}", result.margin_99()),
+            result.total().to_string(),
+            simulated.to_string(),
         ];
+        if args.sampler.is_importance() {
+            row.push(format!("{:.4}", result.weight));
+        }
         if let Some(est) = &ace {
             row.push(format!("{:.4}", est.avf(s)));
         }
@@ -380,13 +415,25 @@ fn main() {
     match args.target_margin {
         Some(target) => println!(
             "(adaptive sampling to a {target} margin at 99% in batches of {}; \
-             uniform bit x cycle sampling via Leveugle)",
-            args.injections
+             {} bit x cycle sampling via Leveugle)",
+            args.injections, args.sampler,
         ),
         None => println!(
-            "({} injections per structure; uniform bit x cycle sampling; margin at 99% via Leveugle)",
-            args.injections
+            "({} injections per structure; {} bit x cycle sampling; margin at 99% via Leveugle)",
+            args.injections, args.sampler,
         ),
+    }
+    if args.sampler.is_importance() {
+        println!(
+            "(sampler={}: faults drawn from the live-and-demanded subpopulation only; \
+             AVF and margins Horvitz-Thompson-reweighted by each structure's weight{})",
+            args.sampler,
+            if args.sampler == SamplerKind::ImportanceVerify {
+                "; cross-checked against a uniform campaign at the achieved margin"
+            } else {
+                ""
+            }
+        );
     }
     if args.prune != PruneMode::Off {
         println!(

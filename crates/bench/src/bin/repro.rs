@@ -12,8 +12,8 @@
 
 use softerr::{
     ace_estimate, telemetry, weighted_avf, AceEstimate, EccScheme, FaultClass, MachineConfig,
-    OptLevel, Orchestrator, PassConfig, PruneMode, ResultStore, Scale, Structure, StudyConfig,
-    StudyResults, Table, Workload,
+    OptLevel, Orchestrator, PassConfig, PruneMode, PrunePolicy, ResultStore, SamplerKind,
+    SamplingPlan, Scale, StopRule, Structure, StudyConfig, StudyResults, Table, Workload,
 };
 use softerr::{event, Level};
 use std::path::PathBuf;
@@ -88,6 +88,7 @@ fn main() {
         "mbu" => mbu(&opts),
         "ace" => ace_sweep(&opts),
         "vuln" => vuln(&opts),
+        "sampling" => sampling(&opts),
         "metrics" => metrics(&opts),
         "profile" => profile_cmd(&opts),
         "all" => {
@@ -162,6 +163,8 @@ fn usage() {
     eprintln!("  ace              static ACE/bit-liveness AVF sweep (no injections)");
     eprintln!("  vuln             static bit-demand masked fraction vs injected RF AVF,");
     eprintln!("                   with liveness-only vs +static prune rates per cell");
+    eprintln!("  sampling         uniform vs importance sampling at equal target margin:");
+    eprintln!("                   AVF +/- margin and forked child sims per grid cell");
     eprintln!("  metrics          golden-run microarchitectural counters sweep");
     eprintln!("  profile          stage-attribution wall-time profile of the full study grid");
     eprintln!("                   (8 workloads x O0-O3 x both machines; --trace FILE exports");
@@ -180,6 +183,9 @@ fn usage() {
     eprintln!("                                bit-demand analysis proves masked");
     eprintln!("  --target-margin F             adaptive sampling: draw until the 99% error");
     eprintln!("                                margin is <= F (overrides --injections)");
+    eprintln!("  --sampler KIND                uniform|importance|importance/verify: draw from");
+    eprintln!("                                the full population or the live subpopulation");
+    eprintln!("                                (Horvitz-Thompson-reweighted estimates)");
     eprintln!("  --results DIR                 result-store root (default target/softerr-store)");
     eprintln!("  --fresh                       ignore stored results (re-execute every cell)");
     eprintln!("  --estimate ace                print static ACE AVF beside injected (figs 2-8)");
@@ -199,6 +205,7 @@ struct Options {
     prune: PruneMode,
     prune_static: PruneMode,
     target_margin: Option<f64>,
+    sampler: SamplerKind,
     results_dir: PathBuf,
     fresh: bool,
     estimate_ace: bool,
@@ -219,6 +226,7 @@ impl Options {
             prune: PruneMode::Off,
             prune_static: PruneMode::Off,
             target_margin: None,
+            sampler: SamplerKind::Uniform,
             results_dir: PathBuf::from("target/softerr-store"),
             fresh: false,
             estimate_ace: false,
@@ -283,6 +291,12 @@ impl Options {
                     }
                     opts.target_margin = Some(target);
                 }
+                "--sampler" => {
+                    opts.sampler = next("--sampler").parse().unwrap_or_else(|e: String| {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    })
+                }
                 "--results" => opts.results_dir = PathBuf::from(next("--results")),
                 "--trace" => opts.trace = Some(PathBuf::from(next("--trace"))),
                 "--fresh" => opts.fresh = true,
@@ -304,6 +318,29 @@ impl Options {
         }
         opts
     }
+
+    /// The sampling plan every campaign in this invocation runs under,
+    /// with `min_injections` as the floor some commands impose on the
+    /// fixed count (or adaptive batch size).
+    fn plan(&self, min_injections: u64) -> SamplingPlan {
+        let n = self.injections.max(min_injections);
+        let plan = SamplingPlan {
+            sampler: self.sampler,
+            stop: match self.target_margin {
+                Some(target) => StopRule::TargetMargin { target, batch: n },
+                None => StopRule::FixedN(n),
+            },
+            prune: PrunePolicy {
+                liveness: self.prune,
+                demand: self.prune_static,
+            },
+        };
+        if let Err(e) = plan.validate() {
+            eprintln!("invalid sampling configuration: {e}");
+            std::process::exit(1);
+        }
+        plan
+    }
 }
 
 /// Runs (or re-serves from the result store) the full study grid.
@@ -316,13 +353,10 @@ impl Options {
 fn study(opts: &Options) -> StudyResults {
     let config = StudyConfig {
         scale: opts.scale,
-        injections: opts.injections,
+        plan: opts.plan(1),
         seed: opts.seed,
         threads: opts.threads,
         checkpoint: opts.checkpoint,
-        prune: opts.prune,
-        prune_static: opts.prune_static,
-        target_margin: opts.target_margin,
         ..StudyConfig::default()
     };
     let store = ResultStore::open(&opts.results_dir).expect("result store opens");
@@ -672,13 +706,13 @@ fn vuln(opts: &Options) {
                     .run(
                         Structure::RegFile,
                         &CampaignConfig {
-                            injections: opts.injections.max(40),
+                            plan: opts
+                                .plan(40)
+                                .prune(PruneMode::On)
+                                .prune_static(PruneMode::On),
                             seed: opts.seed,
                             threads: opts.threads,
                             checkpoint: opts.checkpoint,
-                            prune: PruneMode::On,
-                            prune_static: PruneMode::On,
-                            target_margin: opts.target_margin,
                         },
                     )
                     .records(true)
@@ -996,13 +1030,10 @@ fn ablation_opt(opts: &Options) {
             .run(
                 Structure::RegFile,
                 &CampaignConfig {
-                    injections: opts.injections.max(50),
+                    plan: opts.plan(50),
                     seed: opts.seed,
                     threads: opts.threads,
                     checkpoint: opts.checkpoint,
-                    prune: opts.prune,
-                    prune_static: opts.prune_static,
-                    target_margin: opts.target_margin,
                 },
             )
             .execute()
@@ -1044,13 +1075,10 @@ fn mbu(opts: &Options) {
                 .run(
                     s,
                     &CampaignConfig {
-                        injections: opts.injections.max(60),
+                        plan: opts.plan(60),
                         seed: opts.seed,
                         threads: opts.threads,
                         checkpoint: opts.checkpoint,
-                        prune: opts.prune,
-                        prune_static: opts.prune_static,
-                        target_margin: opts.target_margin,
                     },
                 )
                 .burst_width(width)
@@ -1086,13 +1114,10 @@ fn ablation_size(opts: &Options) {
             .run(
                 Structure::RobPc,
                 &CampaignConfig {
-                    injections: opts.injections.max(50),
+                    plan: opts.plan(50),
                     seed: opts.seed,
                     threads: opts.threads,
                     checkpoint: opts.checkpoint,
-                    prune: opts.prune,
-                    prune_static: opts.prune_static,
-                    target_margin: opts.target_margin,
                 },
             )
             .execute()
@@ -1108,4 +1133,97 @@ fn ablation_size(opts: &Options) {
     println!("architecturally live at any instant — per-bit AVF falls as the");
     println!("structure grows, one of the capacity effects behind the paper's");
     println!("A15-vs-A72 contrasts.");
+}
+
+// ----------------------------------------------------------- sampling --
+
+/// `repro sampling` — uniform vs importance sampling at the same target
+/// margin, across the full (machine, workload, level) paper grid.
+///
+/// Each cell runs two adaptive L1I-data campaigns to the same 99% target
+/// margin: one drawing uniformly over the full `(bit × cycle)` population
+/// and one drawing only from the golden run's live-and-demanded
+/// subpopulation with Horvitz–Thompson-reweighted estimates. The table
+/// reports AVF ± achieved margin and the forked-child-simulation cost of
+/// each, the importance weight, the per-cell savings factor, and whether
+/// the two estimates agree within their combined margins (the same
+/// predicate the `importance/verify` sampler enforces).
+fn sampling(opts: &Options) {
+    use softerr::{CampaignConfig, Compiler, Injector, SamplingCell};
+    let structure = Structure::L1IData;
+    let target = opts.target_margin.unwrap_or(0.08);
+    let batch = opts.injections.max(25);
+    let mut plan = opts.plan(25);
+    plan.stop = StopRule::TargetMargin { target, batch };
+    let uni_plan = plan.sampler(SamplerKind::Uniform);
+    let imp_plan = plan.sampler(SamplerKind::Importance);
+    if let Err(e) = imp_plan.validate() {
+        eprintln!("invalid sampling configuration: {e}");
+        std::process::exit(1);
+    }
+    println!("== Sampling efficiency: uniform vs importance at a {target} margin (99%) ==");
+    println!(
+        "(structure {}; both campaigns grow in batches of {batch} until the achieved",
+        structure.name()
+    );
+    println!(" margin reaches the target; sims = forked child simulations paid for)\n");
+    let mut cells = Vec::new();
+    for machine in MachineConfig::paper_machines() {
+        for w in Workload::ALL {
+            for level in OptLevel::ALL {
+                let compiled = Compiler::new(machine.profile, level)
+                    .compile(&w.source(opts.scale))
+                    .expect("workload must compile");
+                let injector = Injector::new(&machine, &compiled.program).expect("golden");
+                let base = CampaignConfig {
+                    plan: uni_plan,
+                    seed: opts.seed,
+                    threads: opts.threads,
+                    checkpoint: opts.checkpoint,
+                };
+                let uni = injector.run(structure, &base).execute();
+                let imp = injector
+                    .run(
+                        structure,
+                        &CampaignConfig {
+                            plan: imp_plan,
+                            ..base
+                        },
+                    )
+                    .execute();
+                event!(
+                    Level::Info,
+                    "repro.sampling",
+                    { machine: machine.name.clone(), workload: w.name(), level: level.to_string() },
+                    "(sampling cell {}/{}/{} done: {} vs {} sims)",
+                    machine.name,
+                    w.name(),
+                    level,
+                    uni.simulated,
+                    imp.simulated
+                );
+                cells.push(SamplingCell {
+                    machine: machine.name.clone(),
+                    workload: w.name().to_string(),
+                    level: level.to_string(),
+                    uniform_avf: uni.result.avf(),
+                    uniform_margin: uni.result.margin_99(),
+                    uniform_sims: uni.simulated,
+                    importance_avf: imp.result.avf(),
+                    importance_margin: imp.result.margin_99(),
+                    importance_sims: imp.simulated,
+                    weight: imp.result.weight,
+                });
+            }
+        }
+    }
+    println!("{}", softerr::sampling_table(&cells));
+    let agree = cells.iter().filter(|c| c.agrees()).count();
+    println!(
+        "{agree}/{} cells agree within combined margins",
+        cells.len()
+    );
+    if let Some(mean) = softerr::mean_sampling_speedup(&cells) {
+        println!("mean child-simulation savings of importance sampling: {mean:.1}x");
+    }
 }

@@ -1,5 +1,5 @@
 //! Compares RF utilization metrics and RF AVF across levels (diagnostic).
-use softerr::{CampaignConfig, Injector};
+use softerr::{CampaignConfig, Injector, SamplingPlan};
 use softerr::{Compiler, OptLevel};
 use softerr::{MachineConfig, Sim, SimOutcome, Structure};
 use softerr::{Scale, Workload};
@@ -27,7 +27,7 @@ fn main() {
                     .run(
                         Structure::RegFile,
                         &CampaignConfig {
-                            injections: 250,
+                            plan: SamplingPlan::fixed(250),
                             seed: 9,
                             ..CampaignConfig::default()
                         },

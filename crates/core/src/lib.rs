@@ -43,17 +43,21 @@ pub use study::{
 
 // Re-export the full vocabulary so downstream users need only this crate.
 pub use softerr_analysis::{
-    ace_estimate, cpu_fit, cpu_fit_by_class, fit_of_structure, forensics, fpe, mean_static_uplift,
-    profile, static_injected_rank_correlation, static_vuln_table, weighted_avf, AceEstimate,
-    EccScheme, StaticVulnCell, StructureAvf, StructureMeasurement,
+    ace_estimate, cpu_fit, cpu_fit_by_class, fit_of_structure, forensics, fpe,
+    mean_sampling_speedup, mean_static_uplift, profile, sampling_table,
+    static_injected_rank_correlation, static_vuln_table, weighted_avf, AceEstimate, EccScheme,
+    SamplingCell, StaticVulnCell, StructureAvf, StructureMeasurement,
 };
 pub use softerr_cc::{
     CompileError, Compiled, Compiler, OptLevel, PassConfig, StaticVulnMap, VerifyError,
 };
 pub use softerr_inject::{
-    error_margin, fnv1a, CampaignConfig, CampaignObserver, CampaignOutput, CampaignResult,
-    CampaignRun, ClassCounts, DivergenceSite, FaultClass, FaultRecord, FaultSpec, Golden, Injector,
-    ProgressLine, PropagationSample, PropagationTrace, PruneMode, RunManifest, Z_90, Z_95, Z_99,
+    error_margin, fnv1a, ht_fraction, required_sample, weighted_error_margin,
+    weighted_required_sample, CampaignConfig, CampaignObserver, CampaignOutput, CampaignResult,
+    CampaignRun, ClassCounts, DivergenceSite, FaultClass, FaultRecord, FaultSpec, Golden,
+    ImportanceSampler, Injector, ProgressLine, PropagationSample, PropagationTrace, PruneMode,
+    PrunePolicy, RunManifest, Sampler, SamplerKind, SamplingPlan, StopRule, UniformSampler, Z_90,
+    Z_95, Z_99,
 };
 pub use softerr_isa::{disassemble, Emulator, Profile, Program};
 pub use softerr_sim::{

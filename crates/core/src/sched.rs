@@ -342,13 +342,10 @@ impl Orchestrator {
                     }
                 };
                 let campaign_cfg = CampaignConfig {
-                    injections: cfg.injections,
+                    plan: cfg.plan,
                     seed: cfg.seed,
                     threads: cfg.threads,
                     checkpoint: cfg.checkpoint,
-                    prune: cfg.prune,
-                    prune_static: cfg.prune_static,
-                    target_margin: cfg.target_margin,
                 };
                 let campaigns: Vec<CampaignResult> = cfg
                     .structures
@@ -491,7 +488,7 @@ mod tests {
             workloads: vec![Workload::Qsort],
             levels: vec![OptLevel::O0, OptLevel::O2],
             structures: vec![Structure::RegFile, Structure::RobPc],
-            injections: 6,
+            plan: softerr_inject::SamplingPlan::fixed(6),
             seed: 11,
             ..StudyConfig::default()
         }

@@ -3,8 +3,9 @@
 //! Every (machine, workload, level) cell of a study is persisted as one
 //! JSON file named by the FNV-1a hash of the *full* configuration that
 //! produced it — machine geometry, workload, optimization level, input
-//! scale, injection count, seed, checkpointing mode, structure list,
-//! pruning mode, adaptive-sampling target, and crate version. Because the key is derived from content, a re-run with
+//! scale, the full sampling plan (sampler kind, stopping rule, prune
+//! policy), seed, checkpointing mode, structure list, and crate version.
+//! Because the key is derived from content, a re-run with
 //! any parameter changed misses the store and re-executes, while an
 //! identical re-run (or a study killed halfway and restarted) is served
 //! from disk without re-simulating a single fault. This replaces the old
@@ -44,19 +45,18 @@ pub fn cell_config_hash(
     level: OptLevel,
 ) -> String {
     let canonical = format!(
-        "v{}|machine={:?}|workload={}|level={}|scale={}|injections={}|seed={}|checkpoint={}|structures={:?}|prune={:?}|prune_static={:?}|target_margin={:?}",
+        "v{}|machine={:?}|workload={}|level={}|scale={}|sampler={:?}|stop={:?}|prune={:?}|seed={}|checkpoint={}|structures={:?}",
         env!("CARGO_PKG_VERSION"),
         machine,
         workload,
         level,
         config.scale,
-        config.injections,
+        config.plan.sampler,
+        config.plan.stop,
+        config.plan.prune,
         config.seed,
         config.checkpoint,
         config.structures,
-        config.prune,
-        config.prune_static,
-        config.target_margin,
     );
     format!("{:016x}", fnv1a(canonical.as_bytes()))
 }
@@ -202,7 +202,7 @@ impl ResultStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use softerr_inject::{CampaignResult, ClassCounts};
+    use softerr_inject::{CampaignResult, ClassCounts, SamplerKind, SamplingPlan};
     use softerr_sim::Structure;
 
     fn temp_store(tag: &str) -> ResultStore {
@@ -232,6 +232,8 @@ mod tests {
                         sdc: 1,
                         ..ClassCounts::default()
                     },
+                    weight: 1.0,
+                    live_population: None,
                 }],
             },
         )
@@ -245,8 +247,21 @@ mod tests {
         let baseline = h(&base);
         assert_eq!(baseline, h(&base.clone()), "hash is deterministic");
         let mut c = base.clone();
-        c.injections += 1;
+        c.plan = SamplingPlan::fixed(c.plan.injections() + 1);
         assert_ne!(baseline, h(&c), "injections are keyed");
+        let mut c = base.clone();
+        c.plan = base.plan.sampler(SamplerKind::Importance);
+        assert_ne!(baseline, h(&c), "sampler kind is keyed");
+        let mut c = base.clone();
+        c.plan = base.plan.sampler(SamplerKind::ImportanceVerify);
+        assert_ne!(
+            h(&StudyConfig {
+                plan: base.plan.sampler(SamplerKind::Importance),
+                ..base.clone()
+            }),
+            h(&c),
+            "verify-mode sampling keys separately from plain importance"
+        );
         let mut c = base.clone();
         c.seed += 1;
         assert_ne!(baseline, h(&c), "seed is keyed");
@@ -254,19 +269,19 @@ mod tests {
         c.checkpoint = !c.checkpoint;
         assert_ne!(baseline, h(&c), "checkpoint mode is keyed");
         let mut c = base.clone();
-        c.prune = softerr_inject::PruneMode::On;
+        c.plan = base.plan.prune(softerr_inject::PruneMode::On);
         assert_ne!(baseline, h(&c), "prune mode is keyed");
         let mut c = base.clone();
-        c.prune_static = softerr_inject::PruneMode::On;
+        c.plan = base.plan.prune_static(softerr_inject::PruneMode::On);
         assert_ne!(baseline, h(&c), "static prune mode is keyed");
         let mut c = base.clone();
-        c.target_margin = Some(0.0288);
+        c.plan = SamplingPlan::adaptive(0.0288, base.plan.injections());
         assert_ne!(baseline, h(&c), "adaptive-sampling target is keyed");
         let mut c = base.clone();
-        c.target_margin = Some(0.05);
+        c.plan = SamplingPlan::adaptive(0.05, base.plan.injections());
         assert_ne!(
             h(&StudyConfig {
-                target_margin: Some(0.0288),
+                plan: SamplingPlan::adaptive(0.0288, base.plan.injections()),
                 ..base.clone()
             }),
             h(&c),

@@ -5,7 +5,7 @@ use crate::sched::Orchestrator;
 use serde::{Deserialize, Serialize};
 use softerr_analysis::{weighted_avf, EccScheme, StructureMeasurement};
 use softerr_cc::OptLevel;
-use softerr_inject::{CampaignResult, FaultClass, PruneMode};
+use softerr_inject::{CampaignResult, FaultClass, PruneMode, SamplingPlan, StopRule};
 use softerr_sim::{MachineConfig, Structure};
 use softerr_workloads::{Scale, Workload};
 use std::fmt;
@@ -25,31 +25,19 @@ pub struct StudyConfig {
     pub structures: Vec<Structure>,
     /// Input scale for the workloads.
     pub scale: Scale,
-    /// Injections per (machine, workload, level, structure) cell.
-    pub injections: u64,
+    /// Per-cell sampling plan: the sampling distribution, stopping rule,
+    /// and prune policy every campaign in the grid runs under (see
+    /// [`SamplingPlan`]). Replaces the former flat `injections` /
+    /// `target_margin` / `prune` / `prune_static` knobs.
+    pub plan: SamplingPlan,
     /// Campaign RNG seed.
     pub seed: u64,
     /// Worker threads per campaign.
     pub threads: usize,
     /// Golden-prefix checkpointing for each campaign (see
-    /// [`CampaignConfig::checkpoint`]). Results are identical either way;
-    /// checkpointing is just faster.
+    /// [`softerr_inject::CampaignConfig::checkpoint`]). Results are
+    /// identical either way; checkpointing is just faster.
     pub checkpoint: bool,
-    /// Liveness-based pruning of provably-masked faults for each campaign
-    /// (see [`softerr_inject::PruneMode`]). `On` keeps class tallies
-    /// bit-identical to `Off`; `Verify` re-simulates every pruned fault and
-    /// asserts the verdict.
-    pub prune: PruneMode,
-    /// Static bit-demand pruning for each campaign (see
-    /// [`CampaignConfig::prune_static`]): prunes faults whose flipped bits
-    /// the compiler proved dead inside every covering RF window. Same
-    /// tally-identity and `Verify` contract as `prune`.
-    pub prune_static: PruneMode,
-    /// Adaptive sampling: grow each campaign until its AVF error margin at
-    /// 99% confidence reaches this target (see
-    /// [`CampaignConfig::target_margin`]); `None` injects a fixed
-    /// `injections` per cell.
-    pub target_margin: Option<f64>,
 }
 
 impl Default for StudyConfig {
@@ -61,13 +49,10 @@ impl Default for StudyConfig {
             levels: OptLevel::ALL.to_vec(),
             structures: Structure::ALL.to_vec(),
             scale: Scale::Tiny,
-            injections: 100,
+            plan: SamplingPlan::fixed(100),
             seed: 0x5EED,
             threads: 1,
             checkpoint: true,
-            prune: PruneMode::Off,
-            prune_static: PruneMode::Off,
-            target_margin: None,
         }
     }
 }
@@ -79,7 +64,7 @@ impl StudyConfig {
         StudyConfig {
             workloads: vec![Workload::Qsort, Workload::Sha],
             levels: vec![OptLevel::O0, OptLevel::O2],
-            injections: 24,
+            plan: SamplingPlan::fixed(24),
             seed,
             ..StudyConfig::default()
         }
@@ -90,7 +75,7 @@ impl StudyConfig {
     pub fn paper(seed: u64) -> StudyConfig {
         StudyConfig {
             scale: Scale::Full,
-            injections: 2000,
+            plan: SamplingPlan::fixed(2000),
             seed,
             ..StudyConfig::default()
         }
@@ -102,7 +87,31 @@ impl StudyConfig {
             * self.workloads.len() as u64
             * self.levels.len() as u64
             * self.structures.len() as u64
-            * self.injections
+            * self.plan.injections()
+    }
+
+    /// Former flat `injections` knob; reads through to the plan.
+    #[deprecated(note = "read `cfg.plan` (`SamplingPlan::injections`) instead")]
+    pub fn injections(&self) -> u64 {
+        self.plan.injections()
+    }
+
+    /// Former flat `target_margin` knob; reads through to the plan.
+    #[deprecated(note = "read `cfg.plan` (`SamplingPlan::target_margin`) instead")]
+    pub fn target_margin(&self) -> Option<f64> {
+        self.plan.target_margin()
+    }
+
+    /// Former flat `prune` knob; reads through to the plan.
+    #[deprecated(note = "read `cfg.plan.prune.liveness` instead")]
+    pub fn prune(&self) -> PruneMode {
+        self.plan.prune.liveness
+    }
+
+    /// Former flat `prune_static` knob; reads through to the plan.
+    #[deprecated(note = "read `cfg.plan.prune.demand` instead")]
+    pub fn prune_static(&self) -> PruneMode {
+        self.plan.prune.demand
     }
 
     /// A builder pre-seeded with [`StudyConfig::default`], whose
@@ -116,7 +125,11 @@ impl StudyConfig {
     }
 
     /// Checks the configuration for degenerate values: every grid axis
-    /// must be non-empty and `threads` non-zero.
+    /// must be non-empty, `threads` non-zero, and the sampling plan
+    /// self-consistent (see [`SamplingPlan::validate`] — a margin target
+    /// outside `(0, 1)` or an importance sampler combined with
+    /// `prune = verify` is rejected here rather than surfacing as a
+    /// confusing downstream failure).
     ///
     /// # Errors
     ///
@@ -139,14 +152,7 @@ impl StudyConfig {
                 "threads must be at least 1 (0 worker threads can run nothing)".to_string(),
             );
         }
-        if let Some(target) = self.target_margin {
-            if !(target > 0.0 && target < 1.0) {
-                return Err(format!(
-                    "target_margin must be in (0, 1), got {target} \
-                     (the paper's figure is 0.0288)"
-                ));
-            }
-        }
+        self.plan.validate()?;
         Ok(())
     }
 }
@@ -154,12 +160,12 @@ impl StudyConfig {
 /// Validating builder for [`StudyConfig`].
 ///
 /// ```
-/// use softerr::{OptLevel, StudyConfig, Workload};
+/// use softerr::{OptLevel, SamplingPlan, StudyConfig, Workload};
 ///
 /// let cfg = StudyConfig::builder()
 ///     .workloads(vec![Workload::Qsort])
 ///     .levels(vec![OptLevel::O0, OptLevel::O2])
-///     .injections(50)
+///     .plan(SamplingPlan::fixed(50))
 ///     .seed(7)
 ///     .build()
 ///     .expect("non-degenerate grid");
@@ -202,9 +208,23 @@ impl StudyConfigBuilder {
         self
     }
 
-    /// Injections per (machine, workload, level, structure) cell.
+    /// Per-cell sampling plan (distribution, stopping rule, prune policy).
+    pub fn plan(mut self, plan: SamplingPlan) -> StudyConfigBuilder {
+        self.config.plan = plan;
+        self
+    }
+
+    /// Former flat injection-count knob: replaces the fixed count (or the
+    /// adaptive batch size) while keeping the rest of the plan.
+    #[deprecated(note = "use `.plan(SamplingPlan::fixed(n))` instead")]
     pub fn injections(mut self, injections: u64) -> StudyConfigBuilder {
-        self.config.injections = injections;
+        self.config.plan.stop = match self.config.plan.stop {
+            StopRule::FixedN(_) => StopRule::FixedN(injections),
+            StopRule::TargetMargin { target, .. } => StopRule::TargetMargin {
+                target,
+                batch: injections,
+            },
+        };
         self
     }
 
@@ -226,22 +246,29 @@ impl StudyConfigBuilder {
         self
     }
 
-    /// Liveness-based pruning mode per campaign.
+    /// Former flat liveness-prune knob; writes through to the plan.
+    #[deprecated(note = "use `.plan(plan.prune(mode))` instead")]
     pub fn prune(mut self, prune: PruneMode) -> StudyConfigBuilder {
-        self.config.prune = prune;
+        self.config.plan.prune.liveness = prune;
         self
     }
 
-    /// Static bit-demand pruning mode per campaign.
+    /// Former flat static-prune knob; writes through to the plan.
+    #[deprecated(note = "use `.plan(plan.prune_static(mode))` instead")]
     pub fn prune_static(mut self, prune_static: PruneMode) -> StudyConfigBuilder {
-        self.config.prune_static = prune_static;
+        self.config.plan.prune.demand = prune_static;
         self
     }
 
-    /// Adaptive-sampling target margin per campaign (99% confidence);
-    /// validated to lie in (0, 1) by [`build`](StudyConfigBuilder::build).
+    /// Former flat adaptive-margin knob; writes through to the plan,
+    /// keeping the current nominal count as the batch size.
+    #[deprecated(note = "use `.plan(SamplingPlan::adaptive(target, batch))` instead")]
     pub fn target_margin(mut self, target_margin: Option<f64>) -> StudyConfigBuilder {
-        self.config.target_margin = target_margin;
+        let batch = self.config.plan.injections();
+        self.config.plan.stop = match target_margin {
+            Some(target) => StopRule::TargetMargin { target, batch },
+            None => StopRule::FixedN(batch),
+        };
         self
     }
 
@@ -641,5 +668,53 @@ mod tests {
     fn quick_config_is_small() {
         let cfg = StudyConfig::quick(1);
         assert!(cfg.total_injections() < 15_000);
+    }
+
+    #[test]
+    fn builder_rejects_nonsense_plans() {
+        use softerr_inject::SamplerKind;
+        assert!(matches!(
+            StudyConfig::builder()
+                .plan(SamplingPlan::adaptive(0.0, 100))
+                .build(),
+            Err(StudyError::Config(_))
+        ));
+        assert!(matches!(
+            StudyConfig::builder()
+                .plan(
+                    SamplingPlan::fixed(10)
+                        .sampler(SamplerKind::Importance)
+                        .prune(PruneMode::Verify)
+                )
+                .build(),
+            Err(StudyError::Config(_))
+        ));
+        assert!(StudyConfig::builder()
+            .plan(
+                SamplingPlan::fixed(10)
+                    .sampler(SamplerKind::Importance)
+                    .prune(PruneMode::On)
+            )
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_shims_write_through_to_the_plan() {
+        let cfg = StudyConfig::builder()
+            .injections(250)
+            .target_margin(Some(0.05))
+            .prune(PruneMode::On)
+            .prune_static(PruneMode::Verify)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.plan.injections(), 250);
+        assert_eq!(cfg.plan.target_margin(), Some(0.05));
+        assert_eq!(cfg.plan.prune.liveness, PruneMode::On);
+        assert_eq!(cfg.plan.prune.demand, PruneMode::Verify);
+        assert_eq!(cfg.injections(), 250);
+        assert_eq!(cfg.prune(), PruneMode::On);
+        assert_eq!(cfg.prune_static(), PruneMode::Verify);
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::progress::CampaignObserver;
 use crate::record::{DivergenceSite, FaultRecord, PropagationSample, PropagationTrace};
+use crate::sampler::{Sampler, SamplerKind, SamplingPlan, StopRule};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -195,14 +196,19 @@ impl std::str::FromStr for PruneMode {
 }
 
 /// Campaign parameters.
+///
+/// The sampling half — how many faults, which distribution, when to stop,
+/// and what to prune — lives in the typed [`SamplingPlan`]; the flat
+/// `injections` / `target_margin` / `prune` / `prune_static` fields it
+/// replaced survive one release as deprecated accessor shims.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CampaignConfig {
-    /// Injections per structure. The default (100) keeps the bundled
+    /// What to sample, when to stop, and what to prune. The default plan
+    /// (`SamplingPlan::fixed(100)`, uniform, no pruning) keeps the bundled
     /// experiments fast; the paper samples 2,000 per structure to reach its
-    /// reported confidence margins — pass a larger count to match. With
-    /// [`CampaignConfig::target_margin`] set, this is the batch size the
-    /// adaptive sampler grows the campaign by instead.
-    pub injections: u64,
+    /// reported confidence margins — use `SamplingPlan::fixed(2000)` to
+    /// match.
+    pub plan: SamplingPlan,
     /// RNG seed (campaigns are fully reproducible).
     pub seed: u64,
     /// Worker threads (1 = sequential).
@@ -215,37 +221,43 @@ pub struct CampaignConfig {
     /// re-converge to the golden state. Classification is bit-identical to
     /// the fresh per-fault path (`checkpoint: false`).
     pub checkpoint: bool,
-    /// Liveness-based pruning of provably-masked faults (default `Off`).
-    pub prune: PruneMode,
-    /// Static bit-demand pruning (default `Off`): additionally classify as
-    /// Masked, without simulating, faults whose flipped bits the compiler's
-    /// bit-level dataflow analysis proved dead inside every covering RF
-    /// danger window (carried onto the program as writeback demand masks).
-    /// Composes with `prune`; a fault both stages could prune is attributed
-    /// to the dynamic liveness pruner. `Verify` simulates everything and
-    /// panics if any statically-prunable fault classifies non-Masked.
-    pub prune_static: PruneMode,
-    /// Adaptive sampling: keep drawing faults in batches of `injections`
-    /// until the worst-case AVF error margin at 99% confidence drops to
-    /// this target (e.g. the paper's `0.0288`), instead of always burning a
-    /// fixed budget. `None` (the default) samples exactly `injections`
-    /// faults. The drawn sample is a deterministic function of the final
-    /// count, so two campaigns that settle on the same size inject the
-    /// same faults.
-    pub target_margin: Option<f64>,
 }
 
 impl Default for CampaignConfig {
     fn default() -> CampaignConfig {
         CampaignConfig {
-            injections: 100,
+            plan: SamplingPlan::fixed(100),
             seed: 0xB17F11B5,
             threads: 1,
             checkpoint: true,
-            prune: PruneMode::Off,
-            prune_static: PruneMode::Off,
-            target_margin: None,
         }
+    }
+}
+
+impl CampaignConfig {
+    /// Injections per structure (fixed count, or batch size under a margin
+    /// target).
+    #[deprecated(note = "read `cfg.plan` (`SamplingPlan::injections`) instead")]
+    pub fn injections(&self) -> u64 {
+        self.plan.injections()
+    }
+
+    /// The adaptive-sampling margin target, if any.
+    #[deprecated(note = "read `cfg.plan` (`SamplingPlan::target_margin`) instead")]
+    pub fn target_margin(&self) -> Option<f64> {
+        self.plan.target_margin()
+    }
+
+    /// Liveness-prune stage.
+    #[deprecated(note = "read `cfg.plan.prune.liveness` instead")]
+    pub fn prune(&self) -> PruneMode {
+        self.plan.prune.liveness
+    }
+
+    /// Static demand-prune stage.
+    #[deprecated(note = "read `cfg.plan.prune.demand` instead")]
+    pub fn prune_static(&self) -> PruneMode {
+        self.plan.prune.demand
     }
 }
 
@@ -260,6 +272,16 @@ pub struct CampaignResult {
     pub golden_cycles: u64,
     /// Per-class tallies.
     pub counts: ClassCounts,
+    /// Horvitz–Thompson weight of every sample: the probability mass of
+    /// the subpopulation the faults were drawn from. 1.0 under uniform
+    /// sampling; the live fraction under importance sampling. Every
+    /// derived statistic ([`CampaignResult::avf`],
+    /// [`CampaignResult::fraction`], [`CampaignResult::margin_99`])
+    /// reweights by it.
+    pub weight: f64,
+    /// Size of the sampled subpopulation under importance sampling
+    /// (`None` = the full `bit_population × golden_cycles` population).
+    pub live_population: Option<u64>,
 }
 
 impl CampaignResult {
@@ -268,30 +290,51 @@ impl CampaignResult {
         self.counts.total()
     }
 
-    /// Architectural vulnerability factor: the non-masked fraction.
+    /// Architectural vulnerability factor: the non-masked fraction of the
+    /// full population. Under importance sampling every unsampled site is
+    /// Masked by construction, so the sample's non-masked fraction is
+    /// reweighted by the live mass (Horvitz–Thompson).
     pub fn avf(&self) -> f64 {
         let n = self.total();
         if n == 0 {
             return 0.0;
         }
-        1.0 - self.counts.masked as f64 / n as f64
+        self.weight * (1.0 - self.counts.masked as f64 / n as f64)
     }
 
-    /// Fraction of injections in a class.
+    /// Full-population fraction of a class. Non-Masked classes reweight
+    /// the sample proportion by the sampled mass; Masked additionally
+    /// absorbs the entire unsampled (provably masked) remainder, so the
+    /// five fractions still sum to 1. With `weight = 1.0` both formulas
+    /// reduce bit-identically to the plain sample proportions.
     pub fn fraction(&self, class: FaultClass) -> f64 {
         let n = self.total();
         if n == 0 {
             return 0.0;
         }
-        self.counts.get(class) as f64 / n as f64
+        if class == FaultClass::Masked {
+            if self.weight == 1.0 {
+                self.counts.masked as f64 / n as f64
+            } else {
+                1.0 - self.avf()
+            }
+        } else {
+            crate::stats::ht_fraction(self.counts.get(class), n, self.weight)
+        }
     }
 
-    /// Error margin of the AVF estimate at 99% confidence (Leveugle).
+    /// Error margin of the AVF estimate at 99% confidence (Leveugle;
+    /// reweighted over the live subpopulation for importance-sampled
+    /// campaigns).
     pub fn margin_99(&self) -> f64 {
-        crate::stats::error_margin(
-            self.total(),
+        let population = self.live_population.unwrap_or_else(|| {
             self.bit_population
-                .saturating_mul(self.golden_cycles.max(1)),
+                .saturating_mul(self.golden_cycles.max(1))
+        });
+        crate::stats::weighted_error_margin(
+            self.total(),
+            population,
+            self.weight,
             crate::stats::Z_99,
         )
     }
@@ -578,28 +621,81 @@ impl<'a> Injector<'a> {
         faults
     }
 
+    /// Rejection-samples `n` distinct faults from the live-and-demanded
+    /// subpopulation: the exact RNG stream of [`Injector::sample_faults`],
+    /// but only draws the golden run's liveness model cannot prove masked
+    /// are kept. On a structure whose every site is live the accepted
+    /// sample is bit-identical to the uniform one. Deduplicated,
+    /// prefix-stable, and capped at the subpopulation size like the
+    /// uniform sampler.
+    pub fn sample_importance(&self, structure: Structure, n: u64, seed: u64) -> Vec<FaultSpec> {
+        let bits = self.bit_count(structure);
+        if bits == 0 {
+            return Vec::new();
+        }
+        let cycles = self.golden.cycles.max(1);
+        let map = self.liveness();
+        let live = crate::sampler::ImportanceSampler.population(self, structure);
+        let n = n.min(live);
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (structure as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut seen: HashSet<(u64, u64)> = HashSet::with_capacity(n as usize);
+        let mut faults = Vec::with_capacity(n as usize);
+        while (faults.len() as u64) < n {
+            let bit = rng.gen_range(0..bits);
+            let cycle = rng.gen_range(0..cycles);
+            if map.is_vulnerable(structure, bit, cycle) && seen.insert((bit, cycle)) {
+                faults.push(FaultSpec {
+                    structure,
+                    bit,
+                    cycle,
+                });
+            }
+        }
+        faults
+    }
+
+    /// Samples faults per the config's [`SamplingPlan`]: a fixed count, or
+    /// just enough to reach a target margin.
+    fn sample_plan(&self, structure: Structure, cfg: &CampaignConfig) -> Vec<FaultSpec> {
+        let sampler = cfg.plan.sampler.sampler();
+        match cfg.plan.stop {
+            StopRule::FixedN(n) => sampler.sample(self, structure, n, cfg.seed),
+            StopRule::TargetMargin { target, batch } => {
+                self.sample_adaptive(structure, target, batch.max(1), sampler, cfg.seed)
+            }
+        }
+    }
+
     /// Samples just enough faults to push the worst-case AVF error margin
-    /// at 99% confidence down to `target`, growing in batches of
-    /// `cfg.injections`. The resulting sample size depends only on the
-    /// population and the target, and the sampler is prefix-stable, so the
-    /// adaptive sample equals a fixed-size sample of the same count.
+    /// at 99% confidence down to `target`, growing in batches of `batch`.
+    /// The resulting sample size depends only on the sampler's population
+    /// and weight and the target, and both samplers are prefix-stable, so
+    /// the adaptive sample equals a fixed-size sample of the same count.
+    /// Under an importance sampler the margin is the reweighted one over
+    /// the live subpopulation, which is what makes sparse structures stop
+    /// ~`weight²`× earlier.
     fn sample_adaptive(
         &self,
         structure: Structure,
         target: f64,
-        cfg: &CampaignConfig,
+        batch: u64,
+        sampler: &dyn Sampler,
+        seed: u64,
     ) -> Vec<FaultSpec> {
         let bits = self.bit_count(structure);
         if bits == 0 {
             return Vec::new();
         }
-        let population = bits.saturating_mul(self.golden.cycles.max(1));
-        let batch = cfg.injections.max(1);
+        let population = sampler.population(self, structure);
+        let weight = sampler.weight(self, structure);
         // Jump straight to the analytic sample size, rounded up to whole
         // batches, then let the margin check absorb any rounding slack.
-        let need = crate::stats::required_sample(target, population, crate::stats::Z_99);
+        let need =
+            crate::stats::weighted_required_sample(target, population, weight, crate::stats::Z_99);
         let mut n = need.div_ceil(batch).saturating_mul(batch).min(population);
-        while crate::stats::error_margin(n, population, crate::stats::Z_99) > target
+        while crate::stats::weighted_error_margin(n, population, weight, crate::stats::Z_99)
+            > target
             && n < population
         {
             n = n.saturating_add(batch).min(population);
@@ -613,7 +709,7 @@ impl<'a> Injector<'a> {
             target,
             population
         );
-        self.sample_faults(structure, n, cfg.seed)
+        sampler.sample(self, structure, n, seed)
     }
 
     /// The engine shared by the class-only and recorded paths: classifies
@@ -746,37 +842,52 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
         self
     }
 
-    /// Executes the campaign.
+    /// Executes the campaign. Under
+    /// [`SamplerKind::ImportanceVerify`] the importance campaign is
+    /// followed by a uniform reference campaign at the same achieved
+    /// margin, and the run panics unless the two AVF estimates agree
+    /// within their combined margins (the sampling analogue of
+    /// `prune = verify`).
     pub fn execute(self) -> CampaignOutput {
+        let output = self.run_campaign();
+        if self.cfg.plan.sampler == SamplerKind::ImportanceVerify && self.faults.is_none() {
+            self.verify_against_uniform(&output);
+        }
+        output
+    }
+
+    /// One campaign under the configured plan: sample, prune, classify,
+    /// tally.
+    fn run_campaign(&self) -> CampaignOutput {
         let mut root = span("campaign.run");
         root.record("structure", self.structure.name());
+        // Preset fault lists are the caller's own census — no sampling
+        // distribution applies, so they always carry unit weight.
+        let importance = self.faults.is_none() && self.cfg.plan.sampler.is_importance();
         let sampled;
         let faults: &[FaultSpec] = match self.faults {
             Some(faults) => faults,
             None => {
                 let mut sp = span("campaign.sample");
-                sampled = match self.cfg.target_margin {
-                    Some(target) => {
-                        self.injector
-                            .sample_adaptive(self.structure, target, &self.cfg)
-                    }
-                    None => self.injector.sample_faults(
-                        self.structure,
-                        self.cfg.injections,
-                        self.cfg.seed,
-                    ),
-                };
+                sampled = self.injector.sample_plan(self.structure, &self.cfg);
                 sp.record("faults", sampled.len());
                 &sampled
             }
         };
         root.record("injections", faults.len());
-        let verify =
-            self.cfg.prune == PruneMode::Verify || self.cfg.prune_static == PruneMode::Verify;
-        let any_on = self.cfg.prune == PruneMode::On || self.cfg.prune_static == PruneMode::On;
-        let outcomes = if verify {
+        let (weight, live_population) = if importance {
+            let sampler = crate::sampler::ImportanceSampler;
+            (
+                sampler.weight(self.injector, self.structure),
+                Some(sampler.population(self.injector, self.structure)),
+            )
+        } else {
+            (1.0, None)
+        };
+        let prune = self.cfg.plan.prune;
+        let outcomes = if prune.any_verify() {
             self.execute_verified(faults)
-        } else if any_on {
+        } else if prune.any_on() {
             self.execute_pruned(faults)
         } else {
             self.injector.classify_outcomes(
@@ -789,8 +900,12 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
             )
         };
         let mut counts = ClassCounts::default();
+        let mut simulated = 0u64;
         for outcome in &outcomes {
             counts.record(outcome.class);
+            if !outcome.pruned && !outcome.pruned_static {
+                simulated += 1;
+            }
         }
         let classes: Vec<FaultClass> = outcomes.iter().map(|o| o.class).collect();
         let records = self.record.then(|| {
@@ -805,6 +920,7 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
                     first_divergence: outcome.divergence,
                     pruned: outcome.pruned,
                     pruned_static: outcome.pruned_static,
+                    weight,
                     propagation: outcome.propagation,
                 })
                 .collect()
@@ -815,10 +931,93 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
                 bit_population: self.injector.bit_count(self.structure),
                 golden_cycles: self.injector.golden.cycles,
                 counts,
+                weight,
+                live_population,
             },
             classes,
             records,
+            simulated,
         }
+    }
+
+    /// The `sampler = importance/verify` equivalence net: re-runs the
+    /// campaign with uniform sampling to the margin the importance
+    /// campaign achieved and panics unless the two AVF estimates agree
+    /// within their combined 99% margins. An importance campaign whose
+    /// subpopulation is empty proved AVF = 0 exactly and needs no
+    /// reference run (a uniform campaign to margin 0 would be a census).
+    fn verify_against_uniform(&self, output: &CampaignOutput) {
+        let result = &output.result;
+        let margin = result.margin_99();
+        let mut sp = span("campaign.sampling_verify");
+        sp.record("structure", self.structure.name());
+        if result.live_population == Some(0) || !margin.is_finite() || margin <= 0.0 {
+            event!(
+                Level::Info,
+                "inject.sampling",
+                { structure: format!("{:?}", self.structure) },
+                "sampling verification skipped: importance estimate is exact \
+                 (empty live subpopulation)"
+            );
+            return;
+        }
+        let uniform_cfg = CampaignConfig {
+            plan: SamplingPlan {
+                sampler: SamplerKind::Uniform,
+                stop: StopRule::TargetMargin {
+                    target: margin,
+                    batch: crate::sampler::stop_batch(&self.cfg.plan),
+                },
+                prune: self.cfg.plan.prune,
+            },
+            ..self.cfg
+        };
+        let uniform = self
+            .injector
+            .run(self.structure, &uniform_cfg)
+            .burst_width(self.burst_width)
+            .execute();
+        let (avf_i, avf_u) = (result.avf(), uniform.result.avf());
+        let combined = margin + uniform.result.margin_99();
+        sp.record("delta", format!("{:.6}", (avf_i - avf_u).abs()));
+        if (avf_i - avf_u).abs() > combined {
+            event!(
+                Level::Error,
+                "inject.sampling",
+                {
+                    structure: format!("{:?}", self.structure),
+                    importance_avf: avf_i,
+                    uniform_avf: avf_u,
+                    combined_margin: combined
+                },
+                "sampling verification failed: importance AVF {:.4} vs uniform \
+                 AVF {:.4} differ beyond the combined margin {:.4}",
+                avf_i,
+                avf_u,
+                combined
+            );
+            panic!(
+                "sampling verification failed on {:?}: importance AVF {avf_i:.4} \
+                 (±{margin:.4}) vs uniform AVF {avf_u:.4} differ beyond the \
+                 combined 99% margin {combined:.4}",
+                self.structure
+            );
+        }
+        event!(
+            Level::Info,
+            "inject.sampling",
+            {
+                structure: format!("{:?}", self.structure),
+                importance_avf: avf_i,
+                uniform_avf: avf_u,
+                combined_margin: combined
+            },
+            "importance AVF {:.4} agrees with uniform AVF {:.4} within the \
+             combined margin {:.4}",
+            avf_i,
+            avf_u,
+            combined
+        );
     }
 
     /// `prune = on` and/or `prune_static = on`: classifies prunable faults
@@ -828,8 +1027,8 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
     /// pruner (the cheaper proof).
     fn execute_pruned(&self, faults: &[FaultSpec]) -> Vec<Outcome> {
         let mut sp = span("campaign.prune");
-        let dyn_on = self.cfg.prune == PruneMode::On;
-        let static_on = self.cfg.prune_static == PruneMode::On;
+        let dyn_on = self.cfg.plan.prune.liveness == PruneMode::On;
+        let static_on = self.cfg.plan.prune.demand == PruneMode::On;
         // (liveness-pruned, static-pruned) per fault, mutually exclusive.
         let flags: Vec<(bool, bool)> = faults
             .iter()
@@ -913,12 +1112,12 @@ impl<'r, 'a> CampaignRun<'r, 'a> {
             self.observer,
             self.propagation,
         );
-        if self.cfg.prune == PruneMode::Verify {
+        if self.cfg.plan.prune.liveness == PruneMode::Verify {
             self.verify_stage(faults, &outcomes, "liveness", |f| {
                 self.injector.prunable(f, self.burst_width)
             });
         }
-        if self.cfg.prune_static == PruneMode::Verify {
+        if self.cfg.plan.prune.demand == PruneMode::Verify {
             self.verify_stage(faults, &outcomes, "static", |f| {
                 self.injector.prunable_static(f, self.burst_width)
             });
@@ -990,6 +1189,10 @@ pub struct CampaignOutput {
     /// One forensic record per fault in the same order, when
     /// [`CampaignRun::records`] was enabled.
     pub records: Option<Vec<FaultRecord>>,
+    /// Faults that actually reached a simulation engine (everything a
+    /// pruner did not classify on the spot) — the forked-child-simulation
+    /// cost the sampling-efficiency tables compare.
+    pub simulated: u64,
 }
 
 /// Classification outcome plus forensic context for one fault.
@@ -1551,6 +1754,7 @@ fn apply_burst(sim: &mut Sim, fault: FaultSpec, width: u8) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sampler::UniformSampler;
     use softerr_cc::{Compiler, OptLevel};
 
     fn setup() -> (MachineConfig, Program) {
@@ -1607,11 +1811,10 @@ mod tests {
             .run(
                 Structure::RegFile,
                 &CampaignConfig {
-                    injections: 40,
+                    plan: SamplingPlan::fixed(40),
                     seed: 1,
                     threads: 1,
                     checkpoint: true,
-                    ..CampaignConfig::default()
                 },
             )
             .execute()
@@ -1627,11 +1830,10 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         let cc = CampaignConfig {
-            injections: 30,
+            plan: SamplingPlan::fixed(30),
             seed: 99,
             threads: 1,
             checkpoint: true,
-            ..CampaignConfig::default()
         };
         let a = inj.run(Structure::IqSrc, &cc).execute().result;
         let b = inj.run(Structure::IqSrc, &cc).execute().result;
@@ -1646,11 +1848,10 @@ mod tests {
             .run(
                 Structure::L1DData,
                 &CampaignConfig {
-                    injections: 24,
+                    plan: SamplingPlan::fixed(24),
                     seed: 5,
                     threads: 1,
                     checkpoint: true,
-                    ..CampaignConfig::default()
                 },
             )
             .execute()
@@ -1659,11 +1860,10 @@ mod tests {
             .run(
                 Structure::L1DData,
                 &CampaignConfig {
-                    injections: 24,
+                    plan: SamplingPlan::fixed(24),
                     seed: 5,
                     threads: 3,
                     checkpoint: true,
-                    ..CampaignConfig::default()
                 },
             )
             .execute()
@@ -1680,11 +1880,10 @@ mod tests {
                 .run(
                     s,
                     &CampaignConfig {
-                        injections: 50,
+                        plan: SamplingPlan::fixed(50),
                         seed: 3,
                         threads: 1,
                         checkpoint: true,
-                        ..CampaignConfig::default()
                     },
                 )
                 .execute()
@@ -1723,11 +1922,10 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         let cc = CampaignConfig {
-            injections: 60,
+            plan: SamplingPlan::fixed(60),
             seed: 77,
             threads: 1,
             checkpoint: true,
-            ..CampaignConfig::default()
         };
         let single = inj
             .run(Structure::L1IData, &cc)
@@ -1767,18 +1965,17 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         let fresh_cfg = CampaignConfig {
-            injections: 25,
+            plan: SamplingPlan::fixed(25),
             seed: 21,
             threads: 1,
             checkpoint: false,
-            ..CampaignConfig::default()
         };
         let ckpt_cfg = CampaignConfig {
             checkpoint: true,
             ..fresh_cfg
         };
         for s in [Structure::RegFile, Structure::L1DData, Structure::RobFlags] {
-            let faults = inj.sample_faults(s, fresh_cfg.injections, fresh_cfg.seed);
+            let faults = inj.sample_faults(s, fresh_cfg.plan.injections(), fresh_cfg.seed);
             let fresh = inj.run(s, &fresh_cfg).faults(&faults).execute().classes;
             let ckpt = inj.run(s, &ckpt_cfg).faults(&faults).execute().classes;
             assert_eq!(
@@ -1796,11 +1993,10 @@ mod tests {
             .run(
                 Structure::IqDest,
                 &CampaignConfig {
-                    injections: 24,
+                    plan: SamplingPlan::fixed(24),
                     seed: 8,
                     threads: 1,
                     checkpoint: true,
-                    ..CampaignConfig::default()
                 },
             )
             .execute()
@@ -1809,11 +2005,10 @@ mod tests {
             .run(
                 Structure::IqDest,
                 &CampaignConfig {
-                    injections: 24,
+                    plan: SamplingPlan::fixed(24),
                     seed: 8,
                     threads: 3,
                     checkpoint: true,
-                    ..CampaignConfig::default()
                 },
             )
             .execute()
@@ -1852,11 +2047,10 @@ mod tests {
                 .run(
                     Structure::LoadQueue,
                     &CampaignConfig {
-                        injections: 20,
+                        plan: SamplingPlan::fixed(20),
                         seed: 7,
                         threads: 1,
                         checkpoint,
-                        ..CampaignConfig::default()
                     },
                 )
                 .execute()
@@ -1876,14 +2070,13 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         let cc = CampaignConfig {
-            injections: 30,
+            plan: SamplingPlan::fixed(30),
             seed: 11,
             threads: 1,
             checkpoint: true,
-            ..CampaignConfig::default()
         };
         for s in [Structure::RegFile, Structure::RobPc] {
-            let faults = inj.sample_faults(s, cc.injections, cc.seed);
+            let faults = inj.sample_faults(s, cc.plan.injections(), cc.seed);
             let classes = inj.run(s, &cc).faults(&faults).execute().classes;
             let records = inj
                 .run(s, &cc)
@@ -1918,14 +2111,13 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         let cc = CampaignConfig {
-            injections: 40,
+            plan: SamplingPlan::fixed(40),
             seed: 21,
             threads: 1,
             checkpoint: true,
-            ..CampaignConfig::default()
         };
         for s in [Structure::RegFile, Structure::RobPc] {
-            let faults = inj.sample_faults(s, cc.injections, cc.seed);
+            let faults = inj.sample_faults(s, cc.plan.injections(), cc.seed);
             let plain = inj
                 .run(s, &cc)
                 .faults(&faults)
@@ -1956,11 +2148,10 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         let cc = CampaignConfig {
-            injections: 40,
+            plan: SamplingPlan::fixed(40),
             seed: 21,
             threads: 1,
             checkpoint: true,
-            ..CampaignConfig::default()
         };
         let every = 16;
         let records = inj
@@ -2022,11 +2213,10 @@ mod tests {
         let faults = inj.sample_faults(Structure::RegFile, 80, 7);
         let run = |threads: usize| {
             let cc = CampaignConfig {
-                injections: 80,
+                plan: SamplingPlan::fixed(80),
                 seed: 7,
                 threads,
                 checkpoint: true,
-                ..CampaignConfig::default()
             };
             inj.run(Structure::RegFile, &cc)
                 .faults(&faults)
@@ -2054,13 +2244,12 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         let cc = CampaignConfig {
-            injections: 20,
+            plan: SamplingPlan::fixed(20),
             seed: 33,
             threads: 1,
             checkpoint: false,
-            ..CampaignConfig::default()
         };
-        let faults = inj.sample_faults(Structure::RegFile, cc.injections, cc.seed);
+        let faults = inj.sample_faults(Structure::RegFile, cc.plan.injections(), cc.seed);
         let fresh = inj
             .run(Structure::RegFile, &cc)
             .faults(&faults)
@@ -2084,13 +2273,12 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         let cc = CampaignConfig {
-            injections: 30,
+            plan: SamplingPlan::fixed(30),
             seed: 2,
             threads: 2,
             checkpoint: true,
-            ..CampaignConfig::default()
         };
-        let progress = crate::ProgressLine::with_activity("test", cc.injections, false);
+        let progress = crate::ProgressLine::with_activity("test", cc.plan.injections(), false);
         let out = inj
             .run(Structure::RegFile, &cc)
             .records(true)
@@ -2105,7 +2293,7 @@ mod tests {
             .run(Structure::RegFile, &cc)
             .observer(&crate::ProgressLine::with_activity(
                 "test",
-                cc.injections,
+                cc.plan.injections(),
                 false,
             ))
             .execute()
@@ -2168,12 +2356,12 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         let base = CampaignConfig {
-            injections: 60,
+            plan: SamplingPlan::fixed(60),
             seed: 13,
             ..CampaignConfig::default()
         };
         let on = CampaignConfig {
-            prune: PruneMode::On,
+            plan: base.plan.prune(PruneMode::On),
             ..base
         };
         for s in [Structure::RegFile, Structure::L1DData, Structure::IqDest] {
@@ -2202,12 +2390,12 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         let base = CampaignConfig {
-            injections: 40,
+            plan: SamplingPlan::fixed(40),
             seed: 4,
             ..CampaignConfig::default()
         };
         let verify = CampaignConfig {
-            prune: PruneMode::Verify,
+            plan: base.plan.prune(PruneMode::Verify),
             ..base
         };
         for s in [
@@ -2235,17 +2423,16 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         let base = CampaignConfig {
-            injections: 60,
+            plan: SamplingPlan::fixed(60),
             seed: 13,
             ..CampaignConfig::default()
         };
         let static_only = CampaignConfig {
-            prune_static: PruneMode::On,
+            plan: base.plan.prune_static(PruneMode::On),
             ..base
         };
         let both = CampaignConfig {
-            prune: PruneMode::On,
-            prune_static: PruneMode::On,
+            plan: base.plan.prune(PruneMode::On).prune_static(PruneMode::On),
             ..base
         };
         for s in [Structure::RegFile, Structure::L1DData] {
@@ -2274,7 +2461,7 @@ mod tests {
                 .run(
                     s,
                     &CampaignConfig {
-                        prune: PruneMode::On,
+                        plan: base.plan.prune(PruneMode::On),
                         ..base
                     },
                 )
@@ -2296,12 +2483,12 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         let base = CampaignConfig {
-            injections: 40,
+            plan: SamplingPlan::fixed(40),
             seed: 4,
             ..CampaignConfig::default()
         };
         let verify = CampaignConfig {
-            prune_static: PruneMode::Verify,
+            plan: base.plan.prune_static(PruneMode::Verify),
             ..base
         };
         for s in [Structure::RegFile, Structure::RobFlags, Structure::L1DTag] {
@@ -2324,9 +2511,8 @@ mod tests {
         let (cfg, program) = setup();
         let inj = Injector::new(&cfg, &program).unwrap();
         let cc = CampaignConfig {
-            injections: 25,
+            plan: SamplingPlan::adaptive(0.15, 25),
             seed: 6,
-            target_margin: Some(0.15),
             ..CampaignConfig::default()
         };
         let r = inj.run(Structure::RegFile, &cc).execute().result;
@@ -2342,7 +2528,7 @@ mod tests {
         assert_eq!(r, again);
         // A tighter target draws more faults.
         let tighter = CampaignConfig {
-            target_margin: Some(0.08),
+            plan: SamplingPlan::adaptive(0.08, 25),
             ..cc
         };
         let t = inj.run(Structure::RegFile, &tighter).execute().result;
@@ -2401,5 +2587,160 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.total(), 4);
         assert_eq!(a.get(FaultClass::Assert), 2);
+    }
+
+    #[test]
+    fn importance_sampling_draws_only_live_sites_and_is_prefix_stable() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let s = Structure::RegFile;
+        let a = inj.sample_importance(s, 40, 9);
+        let b = inj.sample_importance(s, 40, 9);
+        assert_eq!(a, b, "seed-keyed and reproducible");
+        let big = inj.sample_importance(s, 80, 9);
+        assert_eq!(&big[..40], &a[..], "prefix-stable for adaptive growth");
+        let mut seen = std::collections::HashSet::new();
+        for f in &big {
+            assert!(
+                inj.liveness().is_vulnerable(s, f.bit, f.cycle),
+                "importance sampling must only draw live-and-demanded sites"
+            );
+            assert!(seen.insert((f.bit, f.cycle)), "no repeated sites");
+        }
+        // The drawn sites differ from uniform's (RegFile has dead sites the
+        // pruner proves masked, which uniform happily draws).
+        let uniform = inj.sample_faults(s, 80, 9);
+        assert!(
+            uniform
+                .iter()
+                .any(|f| !inj.liveness().is_vulnerable(s, f.bit, f.cycle)),
+            "uniform draws some provably-dead sites on RegFile"
+        );
+        // Over-asking caps at the live population, not the full one.
+        let sampler = crate::sampler::ImportanceSampler;
+        let live = sampler.population(&inj, s);
+        assert!(live > 0 && live < UniformSampler.population(&inj, s));
+        let census = inj.sample_importance(s, live + 1000, 9);
+        assert_eq!(census.len() as u64, live);
+    }
+
+    #[test]
+    fn importance_campaign_reweights_and_agrees_with_uniform() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let s = Structure::RegFile;
+        let uni_cfg = CampaignConfig {
+            plan: SamplingPlan::adaptive(0.12, 25),
+            seed: 10,
+            ..CampaignConfig::default()
+        };
+        let imp_cfg = CampaignConfig {
+            plan: uni_cfg.plan.sampler(SamplerKind::Importance),
+            ..uni_cfg
+        };
+        let uni = inj.run(s, &uni_cfg).execute();
+        let imp = inj.run(s, &imp_cfg).records(true).execute();
+        let (u, i) = (&uni.result, &imp.result);
+        assert_eq!(u.weight, 1.0);
+        assert_eq!(u.live_population, None);
+        assert!(i.weight > 0.0 && i.weight < 1.0, "RegFile has dead sites");
+        assert_eq!(
+            i.live_population,
+            Some(crate::sampler::ImportanceSampler.population(&inj, s))
+        );
+        // Same margin target, fewer forked children: the whole point.
+        assert!(i.margin_99() <= 0.12, "importance margin {}", i.margin_99());
+        assert!(u.margin_99() <= 0.12, "uniform margin {}", u.margin_99());
+        assert!(
+            imp.simulated < uni.simulated,
+            "importance simulated {} >= uniform {}",
+            imp.simulated,
+            uni.simulated
+        );
+        // Estimates agree within combined 99% margins.
+        assert!(
+            (i.avf() - u.avf()).abs() <= i.margin_99() + u.margin_99(),
+            "importance AVF {} vs uniform {} beyond combined margins",
+            i.avf(),
+            u.avf()
+        );
+        // Every record carries the structure's live-mass weight, and the
+        // five reweighted fractions still sum to 1.
+        for r in imp.records.as_ref().unwrap() {
+            assert_eq!(r.weight, i.weight);
+        }
+        let frac_sum: f64 = FaultClass::ALL.iter().map(|c| i.fraction(*c)).sum();
+        assert!((frac_sum - 1.0).abs() < 1e-9, "fractions sum to {frac_sum}");
+    }
+
+    #[test]
+    fn importance_verify_campaign_cross_checks_against_uniform() {
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        for s in [Structure::RegFile, Structure::RobFlags] {
+            let out = inj
+                .run(
+                    s,
+                    &CampaignConfig {
+                        plan: SamplingPlan::adaptive(0.15, 25)
+                            .sampler(SamplerKind::ImportanceVerify),
+                        seed: 12,
+                        ..CampaignConfig::default()
+                    },
+                )
+                .execute();
+            // Verify mode draws exactly like plain importance; the uniform
+            // cross-check runs on the side and panics only on disagreement.
+            let plain = inj
+                .run(
+                    s,
+                    &CampaignConfig {
+                        plan: SamplingPlan::adaptive(0.15, 25).sampler(SamplerKind::Importance),
+                        seed: 12,
+                        ..CampaignConfig::default()
+                    },
+                )
+                .execute();
+            assert_eq!(out.result, plain.result, "{s}: verify draws identically");
+        }
+    }
+
+    #[test]
+    fn preset_fault_lists_always_carry_unit_weight() {
+        // A caller-supplied fault list is the caller's own census — no
+        // sampling distribution applies, even under an importance plan.
+        let (cfg, program) = setup();
+        let inj = Injector::new(&cfg, &program).unwrap();
+        let faults = inj.sample_importance(Structure::RegFile, 20, 3);
+        let out = inj
+            .run(
+                Structure::RegFile,
+                &CampaignConfig {
+                    plan: SamplingPlan::fixed(20).sampler(SamplerKind::Importance),
+                    seed: 3,
+                    ..CampaignConfig::default()
+                },
+            )
+            .faults(&faults)
+            .records(true)
+            .execute();
+        assert_eq!(out.result.weight, 1.0);
+        assert_eq!(out.result.live_population, None);
+        assert!(out.records.unwrap().iter().all(|r| r.weight == 1.0));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_flat_knob_shims_read_through_to_the_plan() {
+        let cfg = CampaignConfig {
+            plan: SamplingPlan::adaptive(0.05, 250)
+                .prune(PruneMode::On)
+                .prune_static(PruneMode::Verify),
+            ..CampaignConfig::default()
+        };
+        assert_eq!(cfg.injections(), 250);
+        assert_eq!(cfg.target_margin(), Some(0.05));
+        assert_eq!(cfg.prune(), PruneMode::On);
+        assert_eq!(cfg.prune_static(), PruneMode::Verify);
     }
 }

@@ -15,9 +15,16 @@
 //!
 //! The AVF of a structure is the non-masked fraction of its injections.
 //!
+//! Sampling is configured by a typed [`SamplingPlan`]: the sampling
+//! distribution ([`SamplerKind`]), the stopping rule ([`StopRule`]), and
+//! the prune policy ([`PrunePolicy`]). Importance sampling draws only from
+//! the golden run's live-and-demanded subpopulation and reweights tallies
+//! by its mass (Horvitz–Thompson), reaching the same confidence margin as
+//! uniform sampling with far fewer simulated faults on sparse structures.
+//!
 //! ```
 //! use softerr_cc::{Compiler, OptLevel};
-//! use softerr_inject::{CampaignConfig, Injector};
+//! use softerr_inject::{CampaignConfig, Injector, SamplingPlan};
 //! use softerr_isa::Profile;
 //! use softerr_sim::{MachineConfig, Structure};
 //!
@@ -30,7 +37,7 @@
 //! let result = injector
 //!     .run(
 //!         Structure::RegFile,
-//!         &CampaignConfig { injections: 25, seed: 7, ..CampaignConfig::default() },
+//!         &CampaignConfig { plan: SamplingPlan::fixed(25), seed: 7, ..CampaignConfig::default() },
 //!     )
 //!     .execute()
 //!     .result;
@@ -45,6 +52,7 @@ mod campaign;
 mod manifest;
 mod progress;
 mod record;
+mod sampler;
 mod stats;
 
 pub use campaign::{
@@ -54,4 +62,10 @@ pub use campaign::{
 pub use manifest::{fnv1a, RunManifest};
 pub use progress::{CampaignObserver, ProgressLine};
 pub use record::{DivergenceSite, FaultRecord, PropagationSample, PropagationTrace};
-pub use stats::{error_margin, required_sample, Z_90, Z_95, Z_99};
+pub use sampler::{
+    ImportanceSampler, PrunePolicy, Sampler, SamplerKind, SamplingPlan, StopRule, UniformSampler,
+};
+pub use stats::{
+    error_margin, ht_fraction, required_sample, weighted_error_margin, weighted_required_sample,
+    Z_90, Z_95, Z_99,
+};

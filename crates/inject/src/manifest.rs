@@ -16,8 +16,15 @@ use std::fmt;
 pub struct RunManifest {
     /// Campaign RNG seed.
     pub seed: u64,
-    /// Injections per structure.
+    /// Injections per structure (the fixed count, or the adaptive batch
+    /// size under a margin target).
     pub injections: u64,
+    /// Sampling distribution the campaign drew from (`"uniform"`,
+    /// `"importance"`, or `"importance/verify"`).
+    pub sampler: String,
+    /// Stopping rule: `"fixed"` or the margin target as
+    /// `"margin=<target>"`.
+    pub stop: String,
     /// Worker threads.
     pub threads: u64,
     /// Whether golden-prefix checkpointing was enabled.
@@ -51,11 +58,16 @@ impl RunManifest {
     pub fn new(machine_name: &str, machine: &MachineConfig, cfg: &CampaignConfig) -> RunManifest {
         RunManifest {
             seed: cfg.seed,
-            injections: cfg.injections,
+            injections: cfg.plan.injections(),
+            sampler: cfg.plan.sampler.name().to_string(),
+            stop: match cfg.plan.target_margin() {
+                Some(target) => format!("margin={target}"),
+                None => "fixed".to_string(),
+            },
             threads: cfg.threads as u64,
             checkpoint: cfg.checkpoint,
-            prune: cfg.prune,
-            prune_static: cfg.prune_static,
+            prune: cfg.plan.prune.liveness,
+            prune_static: cfg.plan.prune.demand,
             machine: machine_name.to_string(),
             profile: format!("{:?}", machine.profile),
             workload: "-".to_string(),
@@ -72,14 +84,16 @@ impl fmt::Display for RunManifest {
         write!(
             f,
             "machine={} profile={} workload={} level={} scale={} \
-             injections={} seed={} threads={} checkpoint={} prune={} \
-             prune_static={} config={} v{}",
+             injections={} sampler={} stop={} seed={} threads={} \
+             checkpoint={} prune={} prune_static={} config={} v{}",
             self.machine,
             self.profile,
             self.workload,
             self.level,
             self.scale,
             self.injections,
+            self.sampler,
+            self.stop,
             self.seed,
             self.threads,
             self.checkpoint,
@@ -107,6 +121,7 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sampler::{SamplerKind, SamplingPlan};
 
     #[test]
     fn hash_separates_configurations() {
@@ -126,7 +141,7 @@ mod tests {
             "cortex-a15",
             &machine,
             &CampaignConfig {
-                prune_static: PruneMode::On,
+                plan: cfg.plan.prune_static(PruneMode::On),
                 ..cfg
             },
         );
@@ -134,6 +149,32 @@ mod tests {
             a.config_hash, st.config_hash,
             "prune_static must be part of the configuration identity"
         );
+        let imp = RunManifest::new(
+            "cortex-a15",
+            &machine,
+            &CampaignConfig {
+                plan: cfg.plan.sampler(SamplerKind::Importance),
+                ..cfg
+            },
+        );
+        assert_ne!(
+            a.config_hash, imp.config_hash,
+            "the sampler kind must be part of the configuration identity"
+        );
+        let adaptive = RunManifest::new(
+            "cortex-a15",
+            &machine,
+            &CampaignConfig {
+                plan: SamplingPlan::adaptive(0.05, cfg.plan.injections()),
+                ..cfg
+            },
+        );
+        assert_ne!(
+            a.config_hash, adaptive.config_hash,
+            "the stop rule must be part of the configuration identity"
+        );
+        assert_eq!(imp.sampler, "importance");
+        assert_eq!(adaptive.stop, "margin=0.05");
         assert_eq!(
             a.config_hash,
             RunManifest::new("cortex-a15", &machine, &cfg).config_hash,
@@ -173,6 +214,8 @@ mod tests {
             "config=",
             "workload=-",
             "prune_static=",
+            "sampler=uniform",
+            "stop=fixed",
         ] {
             assert!(line.contains(needle), "missing {needle} in {line}");
         }

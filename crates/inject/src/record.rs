@@ -73,7 +73,7 @@ impl PropagationTrace {
 }
 
 /// Full forensic record of one injection.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultRecord {
     /// The injected fault.
     pub spec: FaultSpec,
@@ -103,16 +103,23 @@ pub struct FaultRecord {
     /// `pruned` — a fault both stages could prune is attributed to the
     /// dynamic liveness pruner.
     pub pruned_static: bool,
+    /// Horvitz–Thompson weight of the fault's campaign sample: 1.0 under
+    /// uniform sampling, the structure's live-site fraction under
+    /// importance sampling. A pure function of the fault's structure and
+    /// the golden run — independent of thread count and of which other
+    /// faults were sampled.
+    pub weight: f64,
     /// Time-resolved propagation timeline, for faults selected by an
     /// opt-in `CampaignRun::propagation` campaign (`None` otherwise).
     pub propagation: Option<PropagationTrace>,
 }
 
 // Hand-written (rather than derived) so `propagation: None` is *omitted*
-// from the JSON object instead of serialized as `null`: record streams
-// from campaigns that never opted into propagation tracing stay
-// byte-identical to the pre-propagation format, and old JSONL files parse
-// unchanged.
+// from the JSON object instead of serialized as `null`, and so the unit
+// `weight` of every uniform-sampled record is omitted too: record streams
+// from campaigns that never opted into propagation tracing or importance
+// sampling stay byte-identical to the pre-propagation format, and old
+// JSONL files parse unchanged (an absent `weight` reads back as 1.0).
 impl Serialize for FaultRecord {
     fn to_value(&self) -> Value {
         let mut fields = vec![
@@ -127,6 +134,9 @@ impl Serialize for FaultRecord {
             ("pruned".to_string(), self.pruned.to_value()),
             ("pruned_static".to_string(), self.pruned_static.to_value()),
         ];
+        if self.weight != 1.0 {
+            fields.push(("weight".to_string(), self.weight.to_value()));
+        }
         if let Some(propagation) = &self.propagation {
             fields.push(("propagation".to_string(), propagation.to_value()));
         }
@@ -144,6 +154,10 @@ impl Deserialize for FaultRecord {
             first_divergence: Deserialize::from_value(serde::obj_get(v, "first_divergence")?)?,
             pruned: Deserialize::from_value(serde::obj_get(v, "pruned")?)?,
             pruned_static: Deserialize::from_value(serde::obj_get(v, "pruned_static")?)?,
+            weight: match serde::obj_get(v, "weight") {
+                Ok(w) => Deserialize::from_value(w)?,
+                Err(_) => 1.0,
+            },
             propagation: match serde::obj_get(v, "propagation") {
                 Ok(p) => Some(Deserialize::from_value(p)?),
                 Err(_) => None,
@@ -183,6 +197,7 @@ mod tests {
             }),
             pruned: false,
             pruned_static: false,
+            weight: 1.0,
             propagation: None,
         }
     }
@@ -209,6 +224,25 @@ mod tests {
         let json = serde_json::to_string(&bare).unwrap();
         let back: FaultRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, bare);
+    }
+
+    #[test]
+    fn unit_weight_is_omitted_and_absent_weight_reads_back_as_one() {
+        let plain = record(10, 20);
+        let json = serde_json::to_string(&plain).unwrap();
+        assert!(
+            !json.contains("weight"),
+            "uniform records keep the pre-weight JSONL format: {json}"
+        );
+        let back: FaultRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.weight, 1.0, "absent weight defaults to 1.0");
+
+        let mut weighted = record(10, 20);
+        weighted.weight = 0.03125;
+        let json = serde_json::to_string(&weighted).unwrap();
+        assert!(json.contains("weight"), "non-unit weight is serialized");
+        let back: FaultRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, weighted);
     }
 
     #[test]

@@ -42,6 +42,44 @@ pub fn required_sample(e: f64, population: u64, z: f64) -> u64 {
     n.ceil() as u64
 }
 
+/// Horvitz–Thompson class proportion: `count` of `n` samples were drawn
+/// uniformly from a subpopulation carrying probability mass `weight` of the
+/// full population, and everything outside that subpopulation is known to
+/// contribute zero to the class. The full-population proportion is then
+/// `weight * count / n`. With `weight = 1.0` this is the plain sample
+/// proportion.
+pub fn ht_fraction(count: u64, n: u64, weight: f64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    weight * (count as f64 / n as f64)
+}
+
+/// Reweighted Leveugle margin: the estimator behind an importance-sampled
+/// campaign is `weight * p̂` with `p̂` a proportion over `n` draws from the
+/// live subpopulation of `live_population` sites, so its worst-case margin
+/// is `weight` times the uniform margin over that subpopulation. With
+/// `weight = 1.0` this is bit-identical to [`error_margin`].
+pub fn weighted_error_margin(n: u64, live_population: u64, weight: f64, z: f64) -> f64 {
+    weight * error_margin(n, live_population, z)
+}
+
+/// Sample size needed for a reweighted margin of `e`: since the margin
+/// scales by `weight`, the subpopulation only has to be sampled to a margin
+/// of `e / weight` — the `weight²` factor behind importance sampling's
+/// child-simulation savings. A non-positive weight means the subpopulation
+/// is empty (the estimate is exact at zero samples). With `weight = 1.0`
+/// this is bit-identical to [`required_sample`].
+pub fn weighted_required_sample(e: f64, live_population: u64, weight: f64, z: f64) -> u64 {
+    if weight >= 1.0 {
+        return required_sample(e, live_population, z);
+    }
+    if weight <= 0.0 || live_population == 0 {
+        return 0;
+    }
+    required_sample(e / weight, live_population, z).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +115,46 @@ mod tests {
     #[test]
     fn zero_samples_is_total_uncertainty() {
         assert_eq!(error_margin(0, 100, Z_99), 1.0);
+    }
+
+    #[test]
+    fn unit_weight_reweighting_is_bit_identical_to_uniform() {
+        for (n, pop) in [(0u64, 100u64), (100, 1_000_000), (2000, u64::MAX / 2)] {
+            assert_eq!(
+                weighted_error_margin(n, pop, 1.0, Z_99).to_bits(),
+                error_margin(n, pop, Z_99).to_bits()
+            );
+        }
+        assert_eq!(
+            weighted_required_sample(0.0288, u64::MAX / 2, 1.0, Z_99),
+            required_sample(0.0288, u64::MAX / 2, Z_99)
+        );
+    }
+
+    #[test]
+    fn ht_fraction_reweights_by_subpopulation_mass() {
+        assert_eq!(ht_fraction(0, 0, 0.5), 0.0);
+        assert!((ht_fraction(50, 100, 1.0) - 0.5).abs() < 1e-12);
+        // Half the sample non-masked, but the live subpopulation is only
+        // 1% of the sites: the full-population proportion is 0.5%.
+        assert!((ht_fraction(50, 100, 0.01) - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_required_sample_shrinks_with_the_weight() {
+        let live = 10_000_000u64;
+        let uniform = required_sample(0.005, u64::MAX / 2, Z_99);
+        let importance = weighted_required_sample(0.005, live, 0.01, Z_99);
+        assert!(
+            importance.saturating_mul(10) <= uniform,
+            "importance ({importance}) must need >=10x fewer samples than \
+             uniform ({uniform}) at 1% live fraction"
+        );
+        // The achieved reweighted margin really is at or under the target.
+        let achieved = weighted_error_margin(importance, live, 0.01, Z_99);
+        assert!(achieved <= 0.005 + 1e-9, "got {achieved}");
+        // Degenerate weights stop at zero samples, never panic.
+        assert_eq!(weighted_required_sample(0.01, 0, 0.0, Z_99), 0);
+        assert_eq!(weighted_required_sample(0.01, 100, 0.0, Z_99), 0);
     }
 }

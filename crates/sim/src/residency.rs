@@ -646,6 +646,52 @@ impl StructureLiveness {
         self.windows.get(entry).map_or(&[], Vec::as_slice)
     }
 
+    /// Exact number of `(bit, cycle)` sites with `cycle < cycles` for which
+    /// [`StructureLiveness::is_vulnerable`] answers `true` — the population
+    /// an importance sampler draws from and the numerator of its
+    /// Horvitz–Thompson weight. Mirrors `is_vulnerable` case for case,
+    /// including every conservative fallback (unattributable bits,
+    /// always-live offsets, entries beyond the recorded windows, offsets
+    /// beyond the 64-bit demand masks).
+    pub fn vulnerable_site_count(&self, cycles: u64) -> u64 {
+        if cycles == 0 || self.bits == 0 {
+            return 0;
+        }
+        let total = self.bits as u128 * cycles as u128;
+        if self.bits_per_entry == 0 {
+            return total.min(u64::MAX as u128) as u64;
+        }
+        let bpe = self.bits_per_entry;
+        let mut live: u128 = 0;
+        for e in 0..self.bits.div_ceil(bpe) {
+            let entry_bits = bpe.min(self.bits - e * bpe);
+            let Some(ws) = self.windows.get(e as usize) else {
+                // Bits we cannot attribute to a recorded entry stay
+                // conservative, exactly like the query path.
+                live += entry_bits as u128 * cycles as u128;
+                continue;
+            };
+            let union_all = union_cycles(ws, cycles, |_| true);
+            for off in 0..entry_bits {
+                live += if self.always_live_offset == Some(off) {
+                    cycles as u128
+                } else {
+                    match &self.masks {
+                        None => union_all as u128,
+                        Some(masks) => match masks.get(e as usize) {
+                            None => cycles as u128,
+                            Some(_) if off >= 64 => cycles as u128,
+                            Some(ms) => union_cycles(ws, cycles, |i| {
+                                ms.get(i).copied().unwrap_or(!0) & (1u64 << off) != 0
+                            }) as u128,
+                        },
+                    }
+                };
+            }
+        }
+        live.min(total) as u64
+    }
+
     /// Fraction of the structure's bit-cycles that fall inside a danger
     /// window over `cycles` (an upper bound on the campaign's live draw
     /// rate; `1 - live_fraction` is the expected prune rate).
@@ -670,6 +716,40 @@ impl StructureLiveness {
         let total = self.bits as u128 * cycles as u128;
         (live_bit_cycles.min(total)) as f64 / total as f64
     }
+}
+
+/// Total cycles within `[0, cycles)` covered by at least one window whose
+/// index satisfies `accept`. Windows are sorted by start and inclusive;
+/// overlap (shared boundary cycles) is counted once by tracking the
+/// furthest cycle already covered.
+fn union_cycles(ws: &[LiveWindow], cycles: u64, accept: impl Fn(usize) -> bool) -> u64 {
+    let mut total = 0u64;
+    let mut covered: Option<u64> = None;
+    for (i, w) in ws.iter().enumerate() {
+        if w.start >= cycles {
+            break; // sorted by start: nothing later can reach back in range
+        }
+        if !accept(i) {
+            continue;
+        }
+        let end = w.end.min(cycles - 1);
+        if end < w.start {
+            continue;
+        }
+        match covered {
+            Some(ce) if w.start <= ce => {
+                if end > ce {
+                    total += end - ce;
+                    covered = Some(end);
+                }
+            }
+            _ => {
+                total += end - w.start + 1;
+                covered = Some(end);
+            }
+        }
+    }
+    total
 }
 
 /// Every structure's [`StructureLiveness`] from one golden run, plus the
@@ -710,6 +790,14 @@ impl LivenessMap {
     pub fn is_vulnerable(&self, structure: Structure, bit: u64, cycle: u64) -> bool {
         self.structure(structure)
             .is_none_or(|s| s.is_vulnerable(bit, cycle))
+    }
+
+    /// Exact vulnerable-site count of one structure over `cycles`, or
+    /// `None` when the structure is untracked (every site is then
+    /// conservative-live and the caller should use the full population).
+    pub fn vulnerable_site_count(&self, structure: Structure, cycles: u64) -> Option<u64> {
+        self.structure(structure)
+            .map(|s| s.vulnerable_site_count(cycles))
     }
 }
 
@@ -933,6 +1021,112 @@ mod tests {
         let s = StructureLiveness::new(Structure::IqDest, 4 * 9, 4, Some(8), vec![Vec::new(); 4]);
         assert!(s.is_ace(8, 500), "valid bit of a free entry is live");
         assert!(!s.is_ace(7, 500), "payload bits of a free entry are dead");
+    }
+
+    /// Exhaustive reference: re-asks `is_vulnerable` for every site.
+    fn brute_force_vulnerable(s: &StructureLiveness, cycles: u64) -> u64 {
+        let mut n = 0u64;
+        for bit in 0..s.bits() {
+            for cycle in 0..cycles {
+                if s.is_vulnerable(bit, cycle) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn vulnerable_site_count_matches_brute_force() {
+        let cases: Vec<(&str, StructureLiveness)> = vec![
+            (
+                "masked rf with boundary-sharing windows",
+                StructureLiveness::new(
+                    Structure::RegFile,
+                    2 * 64,
+                    2,
+                    None,
+                    vec![
+                        vec![
+                            LiveWindow { start: 10, end: 20 },
+                            LiveWindow { start: 20, end: 50 },
+                            LiveWindow { start: 60, end: 60 },
+                        ],
+                        vec![LiveWindow { start: 5, end: 90 }],
+                    ],
+                )
+                .with_masks(vec![vec![0b0001, 0b0110, !0], vec![0x00ff]]),
+            ),
+            (
+                "maskless queue with an open-forever entry",
+                StructureLiveness::new(
+                    Structure::LoadQueue,
+                    3 * 32,
+                    3,
+                    None,
+                    vec![
+                        vec![LiveWindow { start: 0, end: 9 }],
+                        vec![LiveWindow {
+                            start: 40,
+                            end: u64::MAX,
+                        }],
+                        Vec::new(),
+                    ],
+                ),
+            ),
+            (
+                "always-live valid bit defeats occupancy",
+                StructureLiveness::new(
+                    Structure::IqDest,
+                    4 * 9,
+                    4,
+                    Some(8),
+                    vec![
+                        vec![LiveWindow { start: 3, end: 7 }],
+                        Vec::new(),
+                        vec![LiveWindow { start: 50, end: 80 }],
+                        Vec::new(),
+                    ],
+                ),
+            ),
+            (
+                "ragged bit count spills past the recorded entries",
+                StructureLiveness::new(
+                    Structure::RobPc,
+                    10,
+                    3,
+                    None,
+                    vec![vec![LiveWindow { start: 1, end: 2 }], Vec::new()],
+                ),
+            ),
+            (
+                "zero entries stay fully conservative",
+                StructureLiveness::new(Structure::RobPc, 8, 0, None, Vec::new()),
+            ),
+            (
+                "masked entry wider than the 64-bit demand mask",
+                StructureLiveness::new(
+                    Structure::RegFile,
+                    2 * 80,
+                    2,
+                    None,
+                    vec![
+                        vec![LiveWindow { start: 10, end: 30 }],
+                        vec![LiveWindow { start: 0, end: 4 }],
+                    ],
+                )
+                .with_masks(vec![vec![0b1010], vec![0b0001]]),
+            ),
+        ];
+        for (name, s) in &cases {
+            for cycles in [0u64, 1, 7, 55, 100] {
+                assert_eq!(
+                    s.vulnerable_site_count(cycles),
+                    brute_force_vulnerable(s, cycles),
+                    "{name} at {cycles} cycles"
+                );
+            }
+        }
     }
 
     #[test]

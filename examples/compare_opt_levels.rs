@@ -7,7 +7,8 @@
 //! ```
 
 use softerr::{
-    CampaignConfig, Compiler, Injector, MachineConfig, OptLevel, Scale, Structure, Table, Workload,
+    CampaignConfig, Compiler, Injector, MachineConfig, OptLevel, SamplingPlan, Scale, Structure,
+    Table, Workload,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -37,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .run(
                     Structure::RegFile,
                     &CampaignConfig {
-                        injections: 150,
+                        plan: SamplingPlan::fixed(150),
                         seed: 7,
                         ..CampaignConfig::default()
                     },

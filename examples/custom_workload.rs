@@ -6,7 +6,8 @@
 //! ```
 
 use softerr::{
-    CampaignConfig, Compiler, FaultClass, Injector, MachineConfig, OptLevel, Structure, Table,
+    CampaignConfig, Compiler, FaultClass, Injector, MachineConfig, OptLevel, SamplingPlan,
+    Structure, Table,
 };
 
 /// A user workload: iterative matrix-vector products in fixed point.
@@ -67,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .run(
                 structure,
                 &CampaignConfig {
-                    injections: 120,
+                    plan: SamplingPlan::fixed(120),
                     seed: 99,
                     ..CampaignConfig::default()
                 },

@@ -5,14 +5,14 @@
 //! cargo run --release -p softerr --example ecc_tradeoff
 //! ```
 
-use softerr::{EccScheme, OptLevel, Study, StudyConfig, Table, Workload};
+use softerr::{EccScheme, OptLevel, SamplingPlan, Study, StudyConfig, Table, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A one-workload study keeps this example fast; the `repro` harness in
     // softerr-bench runs the full grid.
     let config = StudyConfig {
         workloads: vec![Workload::Rijndael],
-        injections: 80,
+        plan: SamplingPlan::fixed(80),
         seed: 2024,
         ..StudyConfig::default()
     };

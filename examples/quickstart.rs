@@ -7,7 +7,8 @@
 //! ```
 
 use softerr::{
-    CampaignConfig, Compiler, Injector, MachineConfig, OptLevel, Scale, Structure, Workload,
+    CampaignConfig, Compiler, Injector, MachineConfig, OptLevel, SamplingPlan, Scale, Structure,
+    Workload,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -40,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .run(
             Structure::RegFile,
             &CampaignConfig {
-                injections: 200,
+                plan: SamplingPlan::fixed(200),
                 seed: 42,
                 ..CampaignConfig::default()
             },

@@ -85,6 +85,25 @@ static-check:
         --machine a72 --workload sha --level O2 --structure rf \
         -n 200 --prune-static verify
 
+# Sampling self-check: importance campaigns in `--sampler importance/verify`
+# mode on both paper machines, which rerun a uniform campaign at the
+# achieved reweighted margin and panic unless the two AVF estimates agree
+# within their combined margins. One sparse structure (l1i.data, where the
+# live-and-demanded subpopulation is ~1-2% of the sites, so the weight does
+# the most work) and the register file.
+sampling-check:
+    cargo run --release -p softerr-bench --bin campaign -- \
+        --machine a15 --workload qsort --level O2 --structure l1i.data \
+        --target-margin 0.1 -n 25 --sampler importance/verify
+    cargo run --release -p softerr-bench --bin campaign -- \
+        --machine a72 --workload sha --level O2 --structure rf \
+        --target-margin 0.1 -n 25 --sampler importance/verify
+
+# The uniform-vs-importance efficiency table across the 64-cell paper grid:
+# AVF +/- margin and forked child sims per cell at equal target margin.
+sampling-table:
+    cargo run --release -p softerr-bench --bin repro -- sampling --threads 2
+
 # Bench regression gate: regenerate the injection-throughput summary and
 # fail if any benchmark regressed >20% against the committed baseline —
 # except the checkpointed RegFile campaign, which is held to the 3%
@@ -97,7 +116,8 @@ bench-gate:
     cargo bench -p softerr-bench --bench injection_throughput
     cargo run --release -p softerr-bench --bin bench_gate -- \
         target/bench-baseline.json BENCH_injection_throughput.json \
-        --budget rf_campaign/checkpoint=0.03
+        --budget rf_campaign/checkpoint=0.03 \
+        --budget l1i_campaign/importance=0.20
 
 # Stage-attribution profile of a quick study grid (8 workloads x O0-O3 x
 # both machines): per-cell, per-stage, and per-worker wall-time tables on
@@ -109,4 +129,4 @@ profile:
         --trace target/repro-trace.json
 
 # Everything the CI gate requires.
-ci: test lint lint-ir prune-check static-check cow-check bench-gate
+ci: test lint lint-ir prune-check static-check cow-check sampling-check bench-gate

@@ -14,8 +14,8 @@
 //! which the static model documents as out of scope).
 
 use softerr::{
-    ace_estimate, CampaignConfig, Compiler, Injector, MachineConfig, OptLevel, Scale, Structure,
-    Workload,
+    ace_estimate, CampaignConfig, Compiler, Injector, MachineConfig, OptLevel, SamplingPlan, Scale,
+    Structure, Workload,
 };
 
 /// Injections per (structure, level) cell. 200 keeps the 99% margin near
@@ -64,11 +64,10 @@ fn measure(cfg: &MachineConfig) -> Vec<Vec<Cell>> {
                         .run(
                             s,
                             &CampaignConfig {
-                                injections: INJECTIONS,
+                                plan: SamplingPlan::fixed(INJECTIONS),
                                 seed: SEED,
                                 threads: 1,
                                 checkpoint: true,
-                                ..CampaignConfig::default()
                             },
                         )
                         .execute()

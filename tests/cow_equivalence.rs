@@ -13,7 +13,7 @@
 use proptest::prelude::*;
 use softerr::{
     CampaignConfig, Compiler, FaultClass, Injector, MachineConfig, OptLevel, Program, PruneMode,
-    Sim, SimOutcome, Structure,
+    SamplingPlan, Sim, SimOutcome, Structure,
 };
 use std::sync::OnceLock;
 
@@ -99,14 +99,16 @@ proptest! {
         for (machine, program) in machines() {
             let injector = Injector::new(machine, program).expect("golden run");
             let fresh_cfg = CampaignConfig {
-                injections: 40,
+                plan: SamplingPlan::fixed(40),
                 seed,
                 checkpoint: false,
                 ..CampaignConfig::default()
             };
             let cow_cfg = CampaignConfig {
                 checkpoint: true,
-                prune: if prune_on { PruneMode::On } else { PruneMode::Off },
+                plan: fresh_cfg
+                    .plan
+                    .prune(if prune_on { PruneMode::On } else { PruneMode::Off }),
                 ..fresh_cfg
             };
             let fresh = injector.run(structure, &fresh_cfg).execute();
@@ -136,8 +138,10 @@ proptest! {
         let structure = Structure::ALL[s];
         for (machine, program) in machines() {
             let injector = Injector::new(machine, program).expect("golden run");
-            let base = CampaignConfig { injections: 40, seed, ..CampaignConfig::default() };
-            let wide = CampaignConfig { threads: 4, prune: PruneMode::On, ..base };
+            let base =
+                CampaignConfig { plan: SamplingPlan::fixed(40), seed, ..CampaignConfig::default() };
+            let wide =
+                CampaignConfig { threads: 4, plan: base.plan.prune(PruneMode::On), ..base };
             let a = injector.run(structure, &base).records(true).execute();
             let b = injector.run(structure, &wide).records(true).execute();
             let ra = a.records.expect("records were requested");

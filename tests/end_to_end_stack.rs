@@ -4,8 +4,8 @@
 //! stack.
 
 use softerr::{
-    CampaignConfig, Compiler, Emulator, FaultClass, Injector, MachineConfig, OptLevel, Scale, Sim,
-    SimOutcome, Structure, Workload,
+    CampaignConfig, Compiler, Emulator, FaultClass, Injector, MachineConfig, OptLevel,
+    SamplingPlan, Scale, Sim, SimOutcome, Structure, Workload,
 };
 
 #[test]
@@ -72,11 +72,10 @@ fn icache_faults_crash_dcache_faults_corrupt() {
         .unwrap();
     let injector = Injector::new(&machine, &compiled.program).unwrap();
     let cfg = CampaignConfig {
-        injections: 400,
+        plan: SamplingPlan::fixed(400),
         seed: 5,
         threads: 1,
         checkpoint: true,
-        ..CampaignConfig::default()
     };
 
     let l1i = injector.run(Structure::L1IData, &cfg).execute().result;
@@ -110,11 +109,10 @@ fn rob_and_lsq_fail_only_via_assert() {
         .unwrap();
     let injector = Injector::new(&machine, &compiled.program).unwrap();
     let cfg = CampaignConfig {
-        injections: 250,
+        plan: SamplingPlan::fixed(250),
         seed: 11,
         threads: 1,
         checkpoint: true,
-        ..CampaignConfig::default()
     };
     for s in [
         Structure::LoadQueue,
@@ -139,11 +137,10 @@ fn unused_hardware_has_low_avf() {
         .unwrap();
     let injector = Injector::new(&machine, &compiled.program).unwrap();
     let cfg = CampaignConfig {
-        injections: 300,
+        plan: SamplingPlan::fixed(300),
         seed: 21,
         threads: 1,
         checkpoint: true,
-        ..CampaignConfig::default()
     };
     let l2 = injector.run(Structure::L2Data, &cfg).execute().result;
     assert!(
@@ -164,11 +161,10 @@ fn timeout_class_is_reachable_via_iq() {
         .run(
             Structure::IqSrc,
             &CampaignConfig {
-                injections: 400,
+                plan: SamplingPlan::fixed(400),
                 seed: 31,
                 threads: 1,
                 checkpoint: true,
-                ..CampaignConfig::default()
             },
         )
         .execute()

@@ -12,7 +12,7 @@
 
 use softerr::{
     CampaignConfig, ClassCounts, Compiler, FaultClass, FaultRecord, Injector, MachineConfig,
-    OptLevel, RunManifest, Sim, Structure,
+    OptLevel, RunManifest, SamplingPlan, Sim, Structure,
 };
 
 /// Mixed workload: ALU loops, memory traffic, and data-dependent branches,
@@ -48,11 +48,10 @@ fn records_match_aggregate_on_both_paper_machines() {
         // (SDC/Crash) fault on each paper machine — keeps the divergence
         // assertions below non-vacuous.
         let cfg = CampaignConfig {
-            injections: 60,
+            plan: SamplingPlan::fixed(60),
             seed: 13,
             threads: 2,
             checkpoint: true,
-            ..CampaignConfig::default()
         };
         let output = injector
             .run(Structure::RegFile, &cfg)
@@ -61,7 +60,12 @@ fn records_match_aggregate_on_both_paper_machines() {
         let (result, records) = (output.result, output.records.expect("records requested"));
 
         // One record per sampled fault, reported in sample order.
-        assert_eq!(records.len() as u64, cfg.injections, "{}", machine.name);
+        assert_eq!(
+            records.len() as u64,
+            cfg.plan.injections(),
+            "{}",
+            machine.name
+        );
         // The records ARE the campaign: identical per-class tallies.
         assert_eq!(tally(&records), result.counts, "{}", machine.name);
 
@@ -107,11 +111,10 @@ fn records_and_manifest_roundtrip_through_jsonl() {
         .expect("workload compiles");
     let injector = Injector::new(&machine, &compiled.program).expect("golden run");
     let cfg = CampaignConfig {
-        injections: 20,
+        plan: SamplingPlan::fixed(20),
         seed: 3,
         threads: 1,
         checkpoint: true,
-        ..CampaignConfig::default()
     };
     let manifest = RunManifest::new(&machine.name, &machine, &cfg);
     let records = injector

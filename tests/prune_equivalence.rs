@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use softerr::{
     CampaignConfig, Compiler, FaultClass, Injector, MachineConfig, OptLevel, Program, PruneMode,
-    Structure,
+    SamplingPlan, Structure,
 };
 use std::sync::OnceLock;
 
@@ -51,8 +51,9 @@ proptest! {
         let structure = Structure::ALL[s];
         for (machine, program) in machines() {
             let injector = Injector::new(machine, program).expect("golden run");
-            let off = CampaignConfig { injections: 40, seed, ..CampaignConfig::default() };
-            let on = CampaignConfig { prune: PruneMode::On, ..off };
+            let off =
+                CampaignConfig { plan: SamplingPlan::fixed(40), seed, ..CampaignConfig::default() };
+            let on = CampaignConfig { plan: off.plan.prune(PruneMode::On), ..off };
             let full = injector.run(structure, &off).records(true).execute();
             let pruned = injector.run(structure, &on).records(true).execute();
             prop_assert_eq!(
@@ -91,9 +92,8 @@ fn regfile_campaigns_actually_prune_on_both_machines() {
     for (machine, program) in machines() {
         let injector = Injector::new(machine, program).expect("golden run");
         let cfg = CampaignConfig {
-            injections: 60,
+            plan: SamplingPlan::fixed(60).prune(PruneMode::On),
             seed: 7,
-            prune: PruneMode::On,
             ..CampaignConfig::default()
         };
         let out = injector

@@ -12,7 +12,9 @@
 //!    and the final results equal an uninterrupted run's.
 
 use proptest::prelude::*;
-use softerr::{OptLevel, Orchestrator, ResultStore, Structure, StudyConfig, StudyError, Workload};
+use softerr::{
+    OptLevel, Orchestrator, ResultStore, SamplingPlan, Structure, StudyConfig, StudyError, Workload,
+};
 
 /// A grid small enough to property-test: both paper machines, one
 /// workload, two levels, three contrasting structures.
@@ -21,7 +23,7 @@ fn small_config(seed: u64) -> StudyConfig {
         workloads: vec![Workload::Qsort],
         levels: vec![OptLevel::O0, OptLevel::O2],
         structures: vec![Structure::RegFile, Structure::IqSrc, Structure::L1DData],
-        injections: 8,
+        plan: SamplingPlan::fixed(8),
         seed,
         ..StudyConfig::default()
     }

@@ -19,7 +19,7 @@
 use proptest::prelude::*;
 use softerr::{
     CampaignConfig, Compiler, FaultClass, Injector, MachineConfig, OptLevel, Program, PruneMode,
-    Structure,
+    SamplingPlan, Structure,
 };
 use std::sync::OnceLock;
 
@@ -72,11 +72,11 @@ proptest! {
         let structure = Structure::ALL[s];
         for (machine, program) in machines() {
             let injector = Injector::new(machine, program).expect("golden run");
-            let off = CampaignConfig { injections: 40, seed, ..CampaignConfig::default() };
-            let static_only = CampaignConfig { prune_static: PruneMode::On, ..off };
+            let off =
+                CampaignConfig { plan: SamplingPlan::fixed(40), seed, ..CampaignConfig::default() };
+            let static_only = CampaignConfig { plan: off.plan.prune_static(PruneMode::On), ..off };
             let composed = CampaignConfig {
-                prune: PruneMode::On,
-                prune_static: PruneMode::On,
+                plan: off.plan.prune(PruneMode::On).prune_static(PruneMode::On),
                 ..off
             };
             let full = injector.run(structure, &off).records(true).execute();
@@ -121,10 +121,10 @@ proptest! {
         for (machine, program) in machines() {
             let injector = Injector::new(machine, program).expect("golden run");
             let cfg = CampaignConfig {
-                injections: 400,
+                plan: SamplingPlan::fixed(400)
+                    .prune(PruneMode::On)
+                    .prune_static(PruneMode::On),
                 seed,
-                prune: PruneMode::On,
-                prune_static: PruneMode::On,
                 ..CampaignConfig::default()
             };
             let out = injector
@@ -160,9 +160,8 @@ fn static_pruner_actually_fires() {
     for (machine, program) in machines() {
         let injector = Injector::new(machine, program).expect("golden run");
         let static_only = CampaignConfig {
-            injections: 400,
+            plan: SamplingPlan::fixed(400).prune_static(PruneMode::On),
             seed: 7,
-            prune_static: PruneMode::On,
             ..CampaignConfig::default()
         };
         let out = injector
@@ -184,10 +183,10 @@ fn static_pruner_actually_fires() {
         );
         for seed in [7u64, 8, 9] {
             let composed = CampaignConfig {
-                injections: 2000,
+                plan: SamplingPlan::fixed(2000)
+                    .prune(PruneMode::On)
+                    .prune_static(PruneMode::On),
                 seed,
-                prune: PruneMode::On,
-                prune_static: PruneMode::On,
                 ..CampaignConfig::default()
             };
             let out = injector

@@ -2,7 +2,8 @@
 //! facade: grid execution, metric invariants, and result persistence.
 
 use softerr::{
-    EccScheme, FaultClass, OptLevel, Scale, Structure, Study, StudyConfig, StudyResults, Workload,
+    EccScheme, FaultClass, OptLevel, SamplingPlan, Scale, Structure, Study, StudyConfig,
+    StudyResults, Workload,
 };
 
 /// One shared study for the whole test binary (campaigns are expensive).
@@ -14,7 +15,7 @@ fn small_study() -> &'static StudyResults {
             workloads: vec![Workload::Qsort, Workload::Fft],
             levels: vec![OptLevel::O0, OptLevel::O2],
             scale: Scale::Tiny,
-            injections: 30,
+            plan: SamplingPlan::fixed(30),
             seed: 1234,
             threads: 1,
             ..StudyConfig::default()
@@ -151,7 +152,7 @@ fn studies_are_reproducible() {
             workloads: vec![Workload::Fft],
             levels: vec![OptLevel::O1],
             structures: vec![Structure::RegFile, Structure::IqSrc],
-            injections: 20,
+            plan: SamplingPlan::fixed(20),
             seed: 777,
             ..StudyConfig::default()
         };
@@ -166,7 +167,7 @@ fn progress_callback_reports_each_cell() {
         workloads: vec![Workload::Patricia],
         levels: vec![OptLevel::O0],
         structures: vec![Structure::RegFile],
-        injections: 5,
+        plan: SamplingPlan::fixed(5),
         seed: 3,
         ..StudyConfig::default()
     };

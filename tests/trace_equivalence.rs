@@ -19,7 +19,7 @@
 use proptest::prelude::*;
 use softerr::{
     telemetry, CampaignConfig, Compiler, Injector, MachineConfig, OptLevel, Orchestrator,
-    ResultStore, Structure, StudyConfig, Trace, Workload,
+    ResultStore, SamplingPlan, Structure, StudyConfig, Trace, Workload,
 };
 use std::sync::Mutex;
 
@@ -43,11 +43,10 @@ fn traced_campaigns_are_bit_identical_to_untraced_on_both_machines() {
             .expect("compile");
         let injector = Injector::new(&machine, &compiled.program).expect("golden");
         let cfg = CampaignConfig {
-            injections: 30,
+            plan: SamplingPlan::fixed(30),
             seed: 9,
             threads: 2,
             checkpoint: true,
-            ..CampaignConfig::default()
         };
         let run = || {
             injector
@@ -84,7 +83,7 @@ fn traced_studies_persist_byte_identical_store_files() {
         workloads: vec![Workload::Qsort],
         levels: vec![OptLevel::O0, OptLevel::O2],
         structures: vec![Structure::RegFile, Structure::L1DData],
-        injections: 6,
+        plan: SamplingPlan::fixed(6),
         seed: 23,
         ..StudyConfig::default()
     };
@@ -178,7 +177,7 @@ proptest! {
             workloads: vec![Workload::Qsort],
             levels: vec![OptLevel::O0, OptLevel::O2],
             structures: vec![Structure::RegFile, Structure::IqSrc],
-            injections: 6,
+            plan: SamplingPlan::fixed(6),
             seed,
             threads: 2,
             ..StudyConfig::default()
