@@ -6,6 +6,15 @@
 //!     --machine a72 --workload sha --level O2 --structure rf -n 500
 //! ```
 //!
+//! The `worker` subcommand instead joins a distributed study (see
+//! `repro serve`): it connects to a coordinator, receives the full study
+//! configuration over the wire, and executes leased cells until told the
+//! grid is complete:
+//!
+//! ```text
+//! campaign worker --connect 127.0.0.1:7077 [--capacity N] [--name S]
+//! ```
+//!
 //! Observability flags:
 //!
 //! * `--records FILE` — stream one JSONL `FaultRecord` per injection to
@@ -251,7 +260,95 @@ fn metrics_tables(machine: &MachineConfig, program: &softerr::Program) -> (Table
     (headline, occupancy)
 }
 
+/// Parses and runs `campaign worker --connect HOST:PORT ...`, exiting
+/// the process with the worker's status.
+fn worker_main(argv: &[String]) -> ! {
+    let mut opts = softerr::WorkerOptions::default();
+    let mut connect: Option<String> = None;
+    let mut quiet = false;
+    let mut log_json = false;
+    let mut i = 0;
+    let result: Result<(), String> = (|| {
+        while i < argv.len() {
+            let flag = argv[i].clone();
+            i += 1;
+            match flag.as_str() {
+                "--quiet" => {
+                    quiet = true;
+                    continue;
+                }
+                "--log-json" => {
+                    log_json = true;
+                    continue;
+                }
+                _ => {}
+            }
+            let value = argv
+                .get(i)
+                .ok_or_else(|| format!("missing value for {flag}"))?
+                .clone();
+            i += 1;
+            match flag.as_str() {
+                "--connect" => connect = Some(value),
+                "--name" => opts.name = value,
+                "--capacity" => {
+                    opts.capacity = value.parse().map_err(|_| "bad --capacity")?;
+                }
+                "--max-cells" => {
+                    opts.max_cells = Some(value.parse().map_err(|_| "bad --max-cells")?);
+                }
+                "--abandon-after" => {
+                    opts.abandon_after = Some(value.parse().map_err(|_| "bad --abandon-after")?);
+                }
+                other => return Err(format!("unknown worker option `{other}`")),
+            }
+        }
+        Ok(())
+    })();
+    let addr = match (result, connect) {
+        (Ok(()), Some(addr)) => addr,
+        (Err(e), _) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: campaign worker --connect HOST:PORT [--name S] [--capacity N]\n\
+                 \x20                    [--max-cells N] [--abandon-after N] [--quiet] [--log-json]"
+            );
+            std::process::exit(1);
+        }
+        (Ok(()), None) => {
+            eprintln!("error: worker mode needs --connect HOST:PORT");
+            std::process::exit(1);
+        }
+    };
+    if quiet {
+        telemetry::set_max_level(None);
+    }
+    if log_json {
+        telemetry::install_sink(Box::new(telemetry::JsonlSink::stderr()));
+    }
+    match softerr::run_worker(&addr, &opts) {
+        Ok(report) => {
+            println!(
+                "worker {}: {} cell(s) completed, {} rejected{}",
+                opts.name,
+                report.completed,
+                report.rejected,
+                if report.abandoned { " (abandoned)" } else { "" }
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("worker {} failed: {e}", opts.name);
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("worker") {
+        worker_main(&argv[1..]);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

@@ -11,9 +11,10 @@
 //! resumes from the cells it already finished.
 
 use softerr::{
-    ace_estimate, telemetry, weighted_avf, AceEstimate, EccScheme, FaultClass, MachineConfig,
-    OptLevel, Orchestrator, PassConfig, PruneMode, PrunePolicy, ResultStore, SamplerKind,
-    SamplingPlan, Scale, StopRule, Structure, StudyConfig, StudyResults, Table, Workload,
+    ace_estimate, telemetry, weighted_avf, AceEstimate, Coordinator, EccScheme, FaultClass,
+    MachineConfig, OptLevel, Orchestrator, PassConfig, PruneMode, PrunePolicy, ResultStore,
+    SamplerKind, SamplingPlan, Scale, StopRule, Structure, StudyConfig, StudyResults, Table,
+    Workload,
 };
 use softerr::{event, Level};
 use std::path::PathBuf;
@@ -25,6 +26,12 @@ fn main() {
         return;
     }
     let command = args[0].clone();
+    if command == "serve" {
+        // `serve` has its own flags on top of the generic options, so it
+        // parses before the strict Options::parse sees them.
+        serve_cmd(&args[1..]);
+        return;
+    }
     let opts = Options::parse(&args[1..]);
     // Progress events are part of repro's normal chatter; `--quiet` drops
     // them back to silence and `--log-json` reroutes them as JSONL.
@@ -169,6 +176,10 @@ fn usage() {
     eprintln!("  profile          stage-attribution wall-time profile of the full study grid");
     eprintln!("                   (8 workloads x O0-O3 x both machines; --trace FILE exports");
     eprintln!("                   the span timeline as Chrome trace-event JSON)");
+    eprintln!("  serve            coordinate the study grid for remote `campaign worker`");
+    eprintln!("                   processes (--listen ADDR, --spawn-workers N to fork local");
+    eprintln!("                   workers, --check-serial to assert bit-identity with a");
+    eprintln!("                   serial run, --progress-log FILE for forensics JSONL)");
     eprintln!("  all              everything above (except ablations/mbu/ace/vuln/metrics)\n");
     eprintln!("options:");
     eprintln!("  --scale quick|default|paper   campaign size (default: quick)");
@@ -351,14 +362,7 @@ impl Options {
 /// zero campaigns and a killed study resumes from its completed cells.
 /// `--fresh` skips store *reads* (every cell re-executes and overwrites).
 fn study(opts: &Options) -> StudyResults {
-    let config = StudyConfig {
-        scale: opts.scale,
-        plan: opts.plan(1),
-        seed: opts.seed,
-        threads: opts.threads,
-        checkpoint: opts.checkpoint,
-        ..StudyConfig::default()
-    };
+    let config = study_config(opts);
     let store = ResultStore::open(&opts.results_dir).expect("result store opens");
     event!(
         Level::Info,
@@ -388,6 +392,155 @@ fn study(opts: &Options) -> StudyResults {
         report.store_hits
     );
     report.results
+}
+
+/// The full paper grid the generic options describe (shared by the local
+/// `study()` runner and the distributed `serve` command, so a distributed
+/// run answers for exactly the study a local one would).
+fn study_config(opts: &Options) -> StudyConfig {
+    StudyConfig {
+        scale: opts.scale,
+        plan: opts.plan(1),
+        seed: opts.seed,
+        threads: opts.threads,
+        checkpoint: opts.checkpoint,
+        ..StudyConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------- serve --
+
+/// `repro serve` — coordinate the study grid for `campaign worker`
+/// processes. With `--spawn-workers N` the coordinator forks N local
+/// workers (the sibling `campaign` binary); with `--check-serial` it
+/// re-runs the study serially afterwards and asserts the distributed
+/// store cells and results are bit-identical.
+fn serve_cmd(args: &[String]) {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut spawn_workers = 0usize;
+    let mut check_serial = false;
+    let mut progress_log: Option<PathBuf> = None;
+    let mut lease_ms = 60_000u64;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let mut next = |what: &str| -> String {
+            i += 1;
+            args.get(i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {what}");
+                    std::process::exit(1);
+                })
+                .clone()
+        };
+        match flag.as_str() {
+            "--listen" => listen = next("--listen"),
+            "--spawn-workers" => {
+                spawn_workers = next("--spawn-workers").parse().expect("number");
+            }
+            "--lease-ms" => lease_ms = next("--lease-ms").parse().expect("number"),
+            "--progress-log" => progress_log = Some(PathBuf::from(next("--progress-log"))),
+            "--check-serial" => check_serial = true,
+            _ => rest.push(flag),
+        }
+        i += 1;
+    }
+    let opts = Options::parse(&rest);
+    if opts.quiet {
+        telemetry::set_max_level(None);
+    } else {
+        telemetry::set_max_level(Some(Level::Info));
+    }
+    if opts.log_json {
+        telemetry::install_sink(Box::new(telemetry::JsonlSink::stderr()));
+    }
+    let config = study_config(&opts);
+    let store = ResultStore::open(&opts.results_dir).expect("result store opens");
+    let listener = std::net::TcpListener::bind(&listen)
+        .unwrap_or_else(|e| panic!("cannot listen on {listen}: {e}"));
+    let addr = listener.local_addr().expect("listener address");
+    println!(
+        "coordinating {} cells ({} injections total) on {addr}",
+        config.machines.len() * config.workloads.len() * config.levels.len(),
+        config.total_injections()
+    );
+
+    let mut children = Vec::new();
+    if spawn_workers > 0 {
+        let campaign = std::env::current_exe()
+            .expect("own path")
+            .with_file_name("campaign");
+        for i in 0..spawn_workers {
+            let child = std::process::Command::new(&campaign)
+                .args([
+                    "worker",
+                    "--connect",
+                    &addr.to_string(),
+                    "--name",
+                    &format!("local{i}"),
+                    "--quiet",
+                ])
+                .spawn()
+                .unwrap_or_else(|e| panic!("cannot spawn {}: {e}", campaign.display()));
+            children.push(child);
+        }
+        println!("spawned {spawn_workers} local worker(s)");
+    }
+
+    let mut coordinator = Coordinator::new(config.clone(), store)
+        .lease_ms(lease_ms)
+        .refresh(opts.fresh);
+    if let Some(path) = &progress_log {
+        coordinator = coordinator.progress_log(path);
+    }
+    let report = coordinator
+        .serve(&listener)
+        .expect("distributed study failed");
+    for mut child in children {
+        let _ = child.wait();
+    }
+    println!(
+        "distributed study complete: {}/{} cell(s) executed by workers, {} from store, {:.1}s",
+        report.executed, report.cells, report.store_hits, report.seconds
+    );
+
+    if check_serial {
+        let serial_dir =
+            std::env::temp_dir().join(format!("softerr-serve-check-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&serial_dir);
+        let serial_store = ResultStore::open(&serial_dir).expect("serial check store opens");
+        let serial = Orchestrator::new(config.clone())
+            .store(serial_store)
+            .run()
+            .expect("serial check run failed");
+        assert_eq!(
+            serial, report.results,
+            "distributed results diverge from the serial run"
+        );
+        // Compare the raw store bytes cell by cell: the distributed store
+        // must be indistinguishable from one a serial run wrote.
+        let mut compared = 0;
+        for machine in &config.machines {
+            for &workload in &config.workloads {
+                for &level in &config.levels {
+                    let hash = softerr::cell_config_hash(&config, machine, workload, level);
+                    let name = format!("cells/{hash}.json");
+                    let dist = std::fs::read(opts.results_dir.join(&name))
+                        .unwrap_or_else(|e| panic!("distributed cell {name} unreadable: {e}"));
+                    let ser = std::fs::read(serial_dir.join(&name))
+                        .unwrap_or_else(|e| panic!("serial cell {name} unreadable: {e}"));
+                    assert_eq!(
+                        dist, ser,
+                        "store cell {name} differs between distributed and serial runs"
+                    );
+                    compared += 1;
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&serial_dir);
+        println!("serve-check passed: {compared} store cell(s) bit-identical to a serial run");
+    }
 }
 
 const MACHINE_SHORT: [(&str, &str); 2] = [("Cortex-A15-like", "A15"), ("Cortex-A72-like", "A72")];

@@ -32,10 +32,12 @@
 #![warn(missing_docs)]
 
 mod sched;
+pub mod serve;
 mod store;
 mod study;
 
 pub use sched::{Orchestrator, SweepReport};
+pub use serve::{run_worker, Coordinator, WorkerOptions, WorkerReport};
 pub use store::{cell_config_hash, ResultStore};
 pub use study::{
     CellKey, CellResult, Study, StudyConfig, StudyConfigBuilder, StudyError, StudyResults,

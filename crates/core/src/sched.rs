@@ -33,6 +33,43 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+/// Runs one cell of `cfg` — golden run plus one campaign per structure —
+/// on an already-compiled program. This is the single execution path every
+/// driver shares: the in-process [`Orchestrator`] workers, and the remote
+/// [`crate::serve::run_worker`] processes of the distributed campaign
+/// service, so the distributed study is bit-identical to a serial one by
+/// construction (the equivalence tests assert it anyway).
+///
+/// # Errors
+///
+/// The golden-run failure message when the fault-free execution does not
+/// halt cleanly.
+pub(crate) fn run_cell(
+    cfg: &StudyConfig,
+    machine: &MachineConfig,
+    compiled: &Compiled,
+) -> Result<CellResult, String> {
+    let injector = Injector::new(machine, &compiled.program).map_err(|e| e.to_string())?;
+    let campaign_cfg = CampaignConfig {
+        plan: cfg.plan,
+        seed: cfg.seed,
+        threads: cfg.threads,
+        checkpoint: cfg.checkpoint,
+    };
+    let campaigns: Vec<CampaignResult> = cfg
+        .structures
+        .iter()
+        .map(|&s| injector.run(s, &campaign_cfg).execute().result)
+        .collect();
+    let golden = injector.golden();
+    Ok(CellResult {
+        golden_cycles: golden.cycles,
+        golden_retired: golden.retired,
+        code_words: compiled.stats.code_words as u64,
+        campaigns,
+    })
+}
+
 /// One planned cell: a grid coordinate plus the compile unit it consumes
 /// and the content hash it is stored under.
 struct CellPlan<'c> {
@@ -328,8 +365,8 @@ impl Orchestrator {
                 };
                 // 4. Golden run + per-structure campaigns.
                 let mut exec_sp = span("cell.execute");
-                let injector = match Injector::new(plan.machine, &compiled.program) {
-                    Ok(injector) => injector,
+                let result = match run_cell(cfg, plan.machine, compiled) {
+                    Ok(result) => result,
                     Err(e) => {
                         fail(
                             &failure,
@@ -340,24 +377,6 @@ impl Orchestrator {
                         );
                         break;
                     }
-                };
-                let campaign_cfg = CampaignConfig {
-                    plan: cfg.plan,
-                    seed: cfg.seed,
-                    threads: cfg.threads,
-                    checkpoint: cfg.checkpoint,
-                };
-                let campaigns: Vec<CampaignResult> = cfg
-                    .structures
-                    .iter()
-                    .map(|&s| injector.run(s, &campaign_cfg).execute().result)
-                    .collect();
-                let golden = injector.golden();
-                let result = CellResult {
-                    golden_cycles: golden.cycles,
-                    golden_retired: golden.retired,
-                    code_words: compiled.stats.code_words as u64,
-                    campaigns,
                 };
                 exec_sp.record("campaigns", cfg.structures.len() as u64);
                 drop(exec_sp);

@@ -1,0 +1,268 @@
+//! The worker side of the distributed campaign service.
+//!
+//! A worker is stateless and owns nothing: it connects, learns the full
+//! [`StudyConfig`] from the coordinator's `Welcome`, and then loops
+//! lease → compile (cached per compile unit) → execute → submit until
+//! the coordinator says `Done`. All persistence happens on the
+//! coordinator; a worker that dies mid-lease loses only wall-clock time,
+//! never data, because its cells are re-leased after the deadline.
+//!
+//! Execution goes through the same `run_cell` path as the in-process
+//! orchestrator, so a remotely-executed cell is bit-identical to a local
+//! one.
+
+use super::wire::{self, LeaseGrant, Request, Response, PROTOCOL_VERSION};
+use crate::sched::run_cell;
+use crate::study::{StudyConfig, StudyError};
+use softerr_cc::{Compiled, Compiler, OptLevel};
+use softerr_isa::Profile;
+use softerr_sim::MachineConfig;
+use softerr_telemetry::{event, Level};
+use softerr_workloads::Workload;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Tuning and test knobs for [`run_worker`].
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Display name reported in the coordinator's telemetry (the
+    /// coordinator appends a connection id to keep it unique).
+    pub name: String,
+    /// Cells requested per `Lease` round trip; the coordinator may grant
+    /// fewer (its per-worker in-flight cap is the real backpressure).
+    pub capacity: usize,
+    /// Stop after completing this many cells (`None` = run to `Done`).
+    pub max_cells: Option<usize>,
+    /// Test hook simulating a worker crash: after this many cells have
+    /// been *leased*, drop the connection without completing or
+    /// returning them, leaving the coordinator to re-lease after the
+    /// deadline.
+    pub abandon_after: Option<usize>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> WorkerOptions {
+        WorkerOptions {
+            name: "worker".to_string(),
+            capacity: 1,
+            max_cells: None,
+            abandon_after: None,
+        }
+    }
+}
+
+/// What one [`run_worker`] invocation did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Cells executed and accepted by the coordinator.
+    pub completed: usize,
+    /// Submissions the coordinator rejected.
+    pub rejected: usize,
+    /// True when the worker dropped the connection via
+    /// [`WorkerOptions::abandon_after`].
+    pub abandoned: bool,
+}
+
+/// Connects to a coordinator at `addr` (e.g. `127.0.0.1:7077`) and
+/// executes leased cells until the study completes (or an option says to
+/// stop earlier).
+///
+/// # Errors
+///
+/// * [`StudyError::Config`] when the coordinator rejects the handshake,
+///   answers out of protocol, or serves a config this build cannot
+///   execute (unknown machine, hash disagreement — a worker double-checks
+///   every grant's hash against its own [`crate::cell_config_hash`]),
+/// * [`StudyError::Compile`] / [`StudyError::Golden`] when a cell's
+///   program is broken,
+/// * [`StudyError::Io`] for transport failures.
+pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerReport, StudyError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let config = hello(&mut stream, &opts.name)?;
+    config.validate().map_err(StudyError::Config)?;
+
+    // Compile cache, keyed like the orchestrator's compile units. Linear
+    // scan: a worker sees at most (profiles × workloads × levels) units.
+    let mut units: Vec<((Profile, Workload, OptLevel), Compiled)> = Vec::new();
+    let mut report = WorkerReport {
+        completed: 0,
+        rejected: 0,
+        abandoned: false,
+    };
+    let mut leased_total = 0usize;
+
+    loop {
+        if let Some(max) = opts.max_cells {
+            if report.completed >= max {
+                break;
+            }
+        }
+        wire::write_frame(
+            &mut stream,
+            &Request::Lease {
+                want: opts.capacity.max(1),
+            },
+        )?;
+        match wire::read_frame::<Response>(&mut stream)? {
+            Response::Leases { grants } => {
+                for grant in grants {
+                    leased_total += 1;
+                    if let Some(after) = opts.abandon_after {
+                        if leased_total > after {
+                            // Simulated crash: vanish with the lease.
+                            report.abandoned = true;
+                            event!(
+                                Level::Warn,
+                                "study.sched",
+                                { worker: opts.name.clone(), leased: leased_total },
+                                "worker {} abandoning after {} lease(s) (test hook)",
+                                opts.name,
+                                leased_total - 1
+                            );
+                            return Ok(report);
+                        }
+                    }
+                    execute_grant(&mut stream, &config, &mut units, &grant, &mut report)?;
+                }
+            }
+            Response::Wait { ms } => {
+                std::thread::sleep(Duration::from_millis(ms.clamp(10, 2_000)));
+            }
+            Response::Done => break,
+            other => {
+                return Err(StudyError::Config(format!(
+                    "coordinator answered Lease with {other:?}"
+                )))
+            }
+        }
+    }
+    wire::write_frame(&mut stream, &Request::Bye)?;
+    // The acknowledgement is best-effort: a coordinator tearing down
+    // right after the final cell may already be gone.
+    let _ = wire::read_frame::<Response>(&mut stream);
+    event!(
+        Level::Info,
+        "study.sched",
+        { worker: opts.name.clone(), completed: report.completed, rejected: report.rejected },
+        "worker {} done: {} cell(s) completed, {} rejected",
+        opts.name,
+        report.completed,
+        report.rejected
+    );
+    Ok(report)
+}
+
+/// Handshake: `Hello` out, `Welcome` (with the study config) back.
+fn hello(stream: &mut TcpStream, name: &str) -> Result<StudyConfig, StudyError> {
+    wire::write_frame(
+        stream,
+        &Request::Hello {
+            version: PROTOCOL_VERSION,
+            worker: name.to_string(),
+        },
+    )?;
+    match wire::read_frame::<Response>(stream)? {
+        Response::Welcome {
+            version,
+            config,
+            cells,
+        } => {
+            if version != PROTOCOL_VERSION {
+                return Err(StudyError::Config(format!(
+                    "coordinator speaks protocol v{version}, this worker v{PROTOCOL_VERSION}"
+                )));
+            }
+            event!(
+                Level::Info,
+                "study.sched",
+                { worker: name.to_string(), cells: cells },
+                "worker {name} joined a {cells}-cell study"
+            );
+            Ok(config)
+        }
+        Response::Reject { reason } => Err(StudyError::Config(format!(
+            "coordinator rejected the handshake: {reason}"
+        ))),
+        other => Err(StudyError::Config(format!(
+            "coordinator answered Hello with {other:?}"
+        ))),
+    }
+}
+
+/// Executes one granted cell and submits the result.
+fn execute_grant(
+    stream: &mut TcpStream,
+    config: &StudyConfig,
+    units: &mut Vec<((Profile, Workload, OptLevel), Compiled)>,
+    grant: &LeaseGrant,
+    report: &mut WorkerReport,
+) -> Result<(), StudyError> {
+    let key = &grant.key;
+    let machine: &MachineConfig = config
+        .machines
+        .iter()
+        .find(|m| m.name == key.machine)
+        .ok_or_else(|| {
+            StudyError::Config(format!(
+                "grant names machine {:?} which is not in the served config",
+                key.machine
+            ))
+        })?;
+    // Defend against a confused (or hostile) coordinator: the lease's
+    // hash must match what this build derives from the served config, or
+    // the executed cell would be stored under a key it does not answer to.
+    let expected = crate::store::cell_config_hash(config, machine, key.workload, key.level);
+    if expected != grant.hash {
+        return Err(StudyError::Config(format!(
+            "lease hash {} disagrees with locally derived {expected} for {key} \
+             (version or config skew between worker and coordinator)",
+            grant.hash
+        )));
+    }
+    let unit_key = (machine.profile, key.workload, key.level);
+    if !units.iter().any(|(k, _)| *k == unit_key) {
+        let compiled = Compiler::new(machine.profile, key.level)
+            .compile(&key.workload.source(config.scale))
+            .map_err(|e| StudyError::Compile(format!("{} at {}: {e}", key.workload, key.level)))?;
+        units.push((unit_key, compiled));
+    }
+    let compiled = units
+        .iter()
+        .find_map(|(k, c)| (*k == unit_key).then_some(c))
+        .expect("just inserted");
+    let result = run_cell(config, machine, compiled).map_err(|e| {
+        StudyError::Golden(format!(
+            "{} at {} on {}: {e}",
+            key.workload, key.level, key.machine
+        ))
+    })?;
+    wire::write_frame(
+        stream,
+        &Request::Submit {
+            lease: grant.lease,
+            hash: grant.hash.clone(),
+            key: key.clone(),
+            result,
+        },
+    )?;
+    match wire::read_frame::<Response>(stream)? {
+        Response::Accepted { .. } => {
+            report.completed += 1;
+            Ok(())
+        }
+        Response::Rejected { reason, .. } => {
+            report.rejected += 1;
+            event!(
+                Level::Warn,
+                "study.sched",
+                { cell: key.to_string(), reason: reason.clone() },
+                "coordinator rejected {key}: {reason}"
+            );
+            Ok(())
+        }
+        other => Err(StudyError::Config(format!(
+            "coordinator answered Submit with {other:?}"
+        ))),
+    }
+}

@@ -16,11 +16,25 @@
 //!
 //! ```text
 //! <root>/cells/<16-hex-hash>.json   one StoredCell per completed cell
+//! <root>/cells/quarantine/          hash-mismatched / unparsable entries
 //! ```
 //!
 //! Loads verify the embedded hash and cell key against the request; a
 //! mismatch (corrupted, renamed, or version-skewed file) is reported on
-//! the `study.store` telemetry target and treated as a miss, never served.
+//! the `study.store` telemetry target, moved aside into `cells/quarantine/`
+//! so it cannot re-warn on every later lookup, and treated as a miss,
+//! never served. A read that fails for any reason *other* than the file
+//! being absent (permissions, I/O) is **not** a plain miss: it is counted
+//! separately ([`ResultStore::read_errors`]) and warned about, because
+//! silently re-running a cell that is actually on disk burns hours of
+//! injections.
+//!
+//! The store is safe for concurrent writers across *processes*, not just
+//! threads: every save writes through a tmp path unique to the writer
+//! (pid + per-process counter) before the atomic rename, so two workers
+//! saving the same cell can never interleave their write bodies into a
+//! torn file. When both rename, the last one wins — benign, because the
+//! content-addressed key guarantees both wrote identical bytes.
 
 use crate::study::{CellKey, CellResult, StudyConfig, StudyError};
 use serde::{Deserialize, Serialize};
@@ -84,7 +98,14 @@ pub struct ResultStore {
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
+    read_errors: AtomicU64,
+    quarantined: AtomicU64,
 }
+
+/// Makes concurrent saves from the same process distinguishable; combined
+/// with the pid this yields a tmp path no other writer (thread *or*
+/// process) can be using.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl ResultStore {
     /// Opens (creating if necessary) a store rooted at `root`.
@@ -100,6 +121,8 @@ impl ResultStore {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
+            read_errors: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         })
     }
 
@@ -112,15 +135,83 @@ impl ResultStore {
         self.root.join("cells").join(format!("{hash}.json"))
     }
 
+    /// Moves a corrupted or mislabeled entry into `cells/quarantine/` (so
+    /// it cannot re-warn on every later lookup) under a writer-unique name.
+    /// The directory is created lazily — a healthy store never has one.
+    fn quarantine(&self, path: &Path, reason: &str) {
+        let dir = self.root.join("cells").join("quarantine");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            event!(
+                Level::Warn,
+                "study.store",
+                { path: path.display().to_string() },
+                "cannot create quarantine directory for {} ({e}); leaving the bad entry in place",
+                path.display()
+            );
+            return;
+        }
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "cell".to_string());
+        let dest = dir.join(format!(
+            "{name}.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        // A concurrent process may have quarantined (or overwritten) the
+        // entry first; a NotFound rename is then the desired end state.
+        match std::fs::rename(path, &dest) {
+            Ok(()) => {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                event!(
+                    Level::Warn,
+                    "study.store",
+                    {
+                        path: path.display().to_string(),
+                        quarantined: dest.display().to_string()
+                    },
+                    "{reason}; quarantined {} to {} and re-running the cell",
+                    path.display(),
+                    dest.display()
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => event!(
+                Level::Warn,
+                "study.store",
+                { path: path.display().to_string() },
+                "{reason}; quarantine of {} failed ({e}); re-running the cell",
+                path.display()
+            ),
+        }
+    }
+
     /// Loads the cell stored under `hash`, verifying that the file really
-    /// holds that hash and `key`. Any mismatch or parse failure is
-    /// reported via `event!` and counted as a miss — a stale or corrupted
-    /// entry is never silently served.
+    /// holds that hash and `key`. A mismatch or parse failure is reported
+    /// via `event!`, quarantined, and counted as a miss — a stale or
+    /// corrupted entry is never silently served. An absent file is a plain
+    /// miss; any *other* read failure (permissions, I/O) is additionally
+    /// counted in [`ResultStore::read_errors`] and warned about, since it
+    /// means a cell that may well be on disk is about to re-run.
     pub fn load(&self, hash: &str, key: &CellKey) -> Option<CellResult> {
         let path = self.cell_path(hash);
         let json = match std::fs::read_to_string(&path) {
             Ok(json) => json,
-            Err(_) => {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(e) => {
+                event!(
+                    Level::Warn,
+                    "study.store",
+                    { path: path.display().to_string(), kind: format!("{:?}", e.kind()) },
+                    "result store read error at {} ({e}): this is NOT a plain miss — the \
+                     cell may exist but could not be read; re-running it",
+                    path.display()
+                );
+                self.read_errors.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
@@ -128,31 +219,18 @@ impl ResultStore {
         let stored: StoredCell = match serde_json::from_str(&json) {
             Ok(stored) => stored,
             Err(e) => {
-                event!(
-                    Level::Warn,
-                    "study.store",
-                    { path: path.display().to_string() },
-                    "unreadable cell in result store ({}): {e}; re-running the cell",
-                    path.display()
-                );
+                self.quarantine(&path, &format!("unreadable cell in result store ({e})"));
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
         };
         if stored.config_hash != hash || stored.key != *key {
-            event!(
-                Level::Warn,
-                "study.store",
-                {
-                    path: path.display().to_string(),
-                    expected: hash,
-                    found: stored.config_hash.clone()
-                },
-                "result store hash mismatch at {} (expected {hash}, file claims {} for {}); \
-                 ignoring the stale entry and re-running the cell",
-                path.display(),
-                stored.config_hash,
-                stored.key
+            self.quarantine(
+                &path,
+                &format!(
+                    "result store hash mismatch (expected {hash}, file claims {} for {})",
+                    stored.config_hash, stored.key
+                ),
             );
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -162,8 +240,12 @@ impl ResultStore {
     }
 
     /// Persists one completed cell under `hash`. The write goes through a
-    /// temporary file and an atomic rename so a killed study never leaves
-    /// a half-written cell behind.
+    /// temporary file unique to this writer (pid + per-process sequence
+    /// number) and an atomic rename, so a killed study never leaves a
+    /// half-written cell behind and concurrent saves of the same cell from
+    /// different processes can never tear each other's bodies. If two
+    /// writers race the final rename, the last one wins — benign, because
+    /// the content-addressed key means both hold identical bytes.
     ///
     /// # Errors
     ///
@@ -176,9 +258,16 @@ impl ResultStore {
             result: result.clone(),
         };
         let path = self.cell_path(hash);
-        let tmp = self.root.join("cells").join(format!("{hash}.json.tmp"));
+        let tmp = self.root.join("cells").join(format!(
+            "{hash}.json.tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::write(&tmp, serde_json::to_string(&stored)?)?;
-        std::fs::rename(&tmp, &path)?;
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
         self.stores.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -196,6 +285,18 @@ impl ResultStore {
     /// Cells written to disk so far.
     pub fn stores(&self) -> u64 {
         self.stores.load(Ordering::Relaxed)
+    }
+
+    /// Reads that failed for a reason other than the file being absent
+    /// (each also counts as a miss; see [`ResultStore::load`]).
+    pub fn read_errors(&self) -> u64 {
+        self.read_errors.load(Ordering::Relaxed)
+    }
+
+    /// Corrupted or hash-mismatched entries moved to `cells/quarantine/`
+    /// by this store handle.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 }
 
@@ -338,7 +439,7 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_hash_is_a_miss_not_a_stale_serve() {
+    fn mismatched_hash_is_a_miss_and_is_quarantined() {
         let store = temp_store("mismatch");
         let (key, result) = sample_cell();
         store.save("1111111111111111", &key, &result).unwrap();
@@ -355,11 +456,26 @@ mod tests {
         );
         assert_eq!(store.hits(), 0);
         assert_eq!(store.misses(), 1);
+        assert_eq!(store.quarantined(), 1);
+        assert!(
+            !store.root().join("cells/2222222222222222.json").exists(),
+            "the mislabeled entry must be moved aside, not left to re-warn forever"
+        );
+        assert_eq!(
+            std::fs::read_dir(store.root().join("cells/quarantine"))
+                .unwrap()
+                .count(),
+            1,
+            "quarantine holds the moved entry"
+        );
+        // The second lookup is a plain miss: the bad file is gone.
+        assert!(store.load("2222222222222222", &key).is_none());
+        assert_eq!(store.quarantined(), 1, "no double quarantine");
         std::fs::remove_dir_all(store.root()).ok();
     }
 
     #[test]
-    fn unparsable_entry_is_a_miss() {
+    fn unparsable_entry_is_a_miss_and_is_quarantined() {
         let store = temp_store("corrupt");
         let (key, _) = sample_cell();
         std::fs::write(
@@ -369,6 +485,66 @@ mod tests {
         .unwrap();
         assert!(store.load("3333333333333333", &key).is_none());
         assert_eq!(store.misses(), 1);
+        assert_eq!(store.quarantined(), 1);
+        assert!(!store.root().join("cells/3333333333333333.json").exists());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn absent_cell_is_a_plain_miss_not_a_read_error() {
+        let store = temp_store("absent");
+        let (key, _) = sample_cell();
+        assert!(store.load("4444444444444444", &key).is_none());
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.read_errors(), 0, "NotFound is the normal cold path");
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn unreadable_cell_counts_as_a_read_error_not_a_plain_miss() {
+        let store = temp_store("readerr");
+        let (key, _) = sample_cell();
+        // A directory where the cell file should be: read_to_string fails
+        // with a non-NotFound kind, the shape of a permissions/IO failure.
+        std::fs::create_dir(store.root().join("cells/5555555555555555.json")).unwrap();
+        assert!(store.load("5555555555555555", &key).is_none());
+        assert_eq!(store.misses(), 1, "still treated as a miss (cell re-runs)");
+        assert_eq!(
+            store.read_errors(),
+            1,
+            "but surfaced as a real error, not silently conflated with absence"
+        );
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn concurrent_same_cell_saves_never_tear() {
+        // Many threads save the same cell simultaneously; every writer
+        // goes through its own tmp path, so the final file must always be
+        // a complete, verifiable copy and no tmp litter can remain.
+        let store = temp_store("race");
+        let (key, result) = sample_cell();
+        let hash = "6666666666666666";
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        store.save(hash, &key, &result).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(store.stores(), 200);
+        let loaded = store.load(hash, &key).expect("racing saves never tear");
+        assert_eq!(loaded, result);
+        assert_eq!(store.quarantined(), 0);
+        let litter: Vec<String> = std::fs::read_dir(store.root().join("cells"))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp"))
+            .collect();
+        assert!(litter.is_empty(), "tmp litter left behind: {litter:?}");
         std::fs::remove_dir_all(store.root()).ok();
     }
 }

@@ -5,7 +5,7 @@ use crate::sched::Orchestrator;
 use serde::{Deserialize, Serialize};
 use softerr_analysis::{weighted_avf, EccScheme, StructureMeasurement};
 use softerr_cc::OptLevel;
-use softerr_inject::{CampaignResult, FaultClass, PruneMode, SamplingPlan, StopRule};
+use softerr_inject::{CampaignResult, FaultClass, SamplingPlan};
 use softerr_sim::{MachineConfig, Structure};
 use softerr_workloads::{Scale, Workload};
 use std::fmt;
@@ -88,30 +88,6 @@ impl StudyConfig {
             * self.levels.len() as u64
             * self.structures.len() as u64
             * self.plan.injections()
-    }
-
-    /// Former flat `injections` knob; reads through to the plan.
-    #[deprecated(note = "read `cfg.plan` (`SamplingPlan::injections`) instead")]
-    pub fn injections(&self) -> u64 {
-        self.plan.injections()
-    }
-
-    /// Former flat `target_margin` knob; reads through to the plan.
-    #[deprecated(note = "read `cfg.plan` (`SamplingPlan::target_margin`) instead")]
-    pub fn target_margin(&self) -> Option<f64> {
-        self.plan.target_margin()
-    }
-
-    /// Former flat `prune` knob; reads through to the plan.
-    #[deprecated(note = "read `cfg.plan.prune.liveness` instead")]
-    pub fn prune(&self) -> PruneMode {
-        self.plan.prune.liveness
-    }
-
-    /// Former flat `prune_static` knob; reads through to the plan.
-    #[deprecated(note = "read `cfg.plan.prune.demand` instead")]
-    pub fn prune_static(&self) -> PruneMode {
-        self.plan.prune.demand
     }
 
     /// A builder pre-seeded with [`StudyConfig::default`], whose
@@ -214,20 +190,6 @@ impl StudyConfigBuilder {
         self
     }
 
-    /// Former flat injection-count knob: replaces the fixed count (or the
-    /// adaptive batch size) while keeping the rest of the plan.
-    #[deprecated(note = "use `.plan(SamplingPlan::fixed(n))` instead")]
-    pub fn injections(mut self, injections: u64) -> StudyConfigBuilder {
-        self.config.plan.stop = match self.config.plan.stop {
-            StopRule::FixedN(_) => StopRule::FixedN(injections),
-            StopRule::TargetMargin { target, .. } => StopRule::TargetMargin {
-                target,
-                batch: injections,
-            },
-        };
-        self
-    }
-
     /// Campaign RNG seed.
     pub fn seed(mut self, seed: u64) -> StudyConfigBuilder {
         self.config.seed = seed;
@@ -243,32 +205,6 @@ impl StudyConfigBuilder {
     /// Golden-prefix checkpointing per campaign.
     pub fn checkpoint(mut self, checkpoint: bool) -> StudyConfigBuilder {
         self.config.checkpoint = checkpoint;
-        self
-    }
-
-    /// Former flat liveness-prune knob; writes through to the plan.
-    #[deprecated(note = "use `.plan(plan.prune(mode))` instead")]
-    pub fn prune(mut self, prune: PruneMode) -> StudyConfigBuilder {
-        self.config.plan.prune.liveness = prune;
-        self
-    }
-
-    /// Former flat static-prune knob; writes through to the plan.
-    #[deprecated(note = "use `.plan(plan.prune_static(mode))` instead")]
-    pub fn prune_static(mut self, prune_static: PruneMode) -> StudyConfigBuilder {
-        self.config.plan.prune.demand = prune_static;
-        self
-    }
-
-    /// Former flat adaptive-margin knob; writes through to the plan,
-    /// keeping the current nominal count as the batch size.
-    #[deprecated(note = "use `.plan(SamplingPlan::adaptive(target, batch))` instead")]
-    pub fn target_margin(mut self, target_margin: Option<f64>) -> StudyConfigBuilder {
-        let batch = self.config.plan.injections();
-        self.config.plan.stop = match target_margin {
-            Some(target) => StopRule::TargetMargin { target, batch },
-            None => StopRule::FixedN(batch),
-        };
         self
     }
 
@@ -652,6 +588,7 @@ impl StudyResults {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use softerr_inject::PruneMode;
 
     #[test]
     fn config_cardinality() {
@@ -697,24 +634,5 @@ mod tests {
             )
             .build()
             .is_ok());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_builder_shims_write_through_to_the_plan() {
-        let cfg = StudyConfig::builder()
-            .injections(250)
-            .target_margin(Some(0.05))
-            .prune(PruneMode::On)
-            .prune_static(PruneMode::Verify)
-            .build()
-            .unwrap();
-        assert_eq!(cfg.plan.injections(), 250);
-        assert_eq!(cfg.plan.target_margin(), Some(0.05));
-        assert_eq!(cfg.plan.prune.liveness, PruneMode::On);
-        assert_eq!(cfg.plan.prune.demand, PruneMode::Verify);
-        assert_eq!(cfg.injections(), 250);
-        assert_eq!(cfg.prune(), PruneMode::On);
-        assert_eq!(cfg.prune_static(), PruneMode::Verify);
     }
 }

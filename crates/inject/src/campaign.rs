@@ -198,9 +198,9 @@ impl std::str::FromStr for PruneMode {
 /// Campaign parameters.
 ///
 /// The sampling half — how many faults, which distribution, when to stop,
-/// and what to prune — lives in the typed [`SamplingPlan`]; the flat
+/// and what to prune — lives in the typed [`SamplingPlan`] (the flat
 /// `injections` / `target_margin` / `prune` / `prune_static` fields it
-/// replaced survive one release as deprecated accessor shims.
+/// replaced are gone; see the README migration table).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// What to sample, when to stop, and what to prune. The default plan
@@ -231,33 +231,6 @@ impl Default for CampaignConfig {
             threads: 1,
             checkpoint: true,
         }
-    }
-}
-
-impl CampaignConfig {
-    /// Injections per structure (fixed count, or batch size under a margin
-    /// target).
-    #[deprecated(note = "read `cfg.plan` (`SamplingPlan::injections`) instead")]
-    pub fn injections(&self) -> u64 {
-        self.plan.injections()
-    }
-
-    /// The adaptive-sampling margin target, if any.
-    #[deprecated(note = "read `cfg.plan` (`SamplingPlan::target_margin`) instead")]
-    pub fn target_margin(&self) -> Option<f64> {
-        self.plan.target_margin()
-    }
-
-    /// Liveness-prune stage.
-    #[deprecated(note = "read `cfg.plan.prune.liveness` instead")]
-    pub fn prune(&self) -> PruneMode {
-        self.plan.prune.liveness
-    }
-
-    /// Static demand-prune stage.
-    #[deprecated(note = "read `cfg.plan.prune.demand` instead")]
-    pub fn prune_static(&self) -> PruneMode {
-        self.plan.prune.demand
     }
 }
 
@@ -2727,20 +2700,5 @@ mod tests {
         assert_eq!(out.result.weight, 1.0);
         assert_eq!(out.result.live_population, None);
         assert!(out.records.unwrap().iter().all(|r| r.weight == 1.0));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_flat_knob_shims_read_through_to_the_plan() {
-        let cfg = CampaignConfig {
-            plan: SamplingPlan::adaptive(0.05, 250)
-                .prune(PruneMode::On)
-                .prune_static(PruneMode::Verify),
-            ..CampaignConfig::default()
-        };
-        assert_eq!(cfg.injections(), 250);
-        assert_eq!(cfg.target_margin(), Some(0.05));
-        assert_eq!(cfg.prune(), PruneMode::On);
-        assert_eq!(cfg.prune_static(), PruneMode::Verify);
     }
 }

@@ -119,6 +119,20 @@ bench-gate:
         --budget rf_campaign/checkpoint=0.03 \
         --budget l1i_campaign/importance=0.20
 
+# Distributed-study self-check: a coordinator plus two forked local
+# workers run the quick grid into a fresh store, then `--check-serial`
+# re-runs the same study serially and asserts results and every store
+# cell byte-for-byte (the grep makes the gate explicit in the recipe).
+# The coordinator's per-cell progress/forensics JSONL lands in
+# target/serve-progress.jsonl.
+serve-check:
+    rm -rf target/softerr-serve-store
+    cargo run --release -p softerr-bench --bin repro -- serve \
+        --scale quick --spawn-workers 2 --check-serial \
+        --results target/softerr-serve-store \
+        --progress-log target/serve-progress.jsonl --quiet 2>&1 \
+        | grep "bit-identical to a serial run"
+
 # Stage-attribution profile of a quick study grid (8 workloads x O0-O3 x
 # both machines): per-cell, per-stage, and per-worker wall-time tables on
 # stdout, plus a Perfetto-loadable Chrome trace in target/.
@@ -129,4 +143,4 @@ profile:
         --trace target/repro-trace.json
 
 # Everything the CI gate requires.
-ci: test lint lint-ir prune-check static-check cow-check sampling-check bench-gate
+ci: test lint lint-ir prune-check static-check cow-check sampling-check serve-check bench-gate

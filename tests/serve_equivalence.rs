@@ -1,0 +1,296 @@
+//! End-to-end equivalence of the distributed campaign service.
+//!
+//! The acceptance bar is *exact* equality, not statistical agreement: a
+//! coordinator with two workers must produce byte-identical store cells
+//! and an equal `SweepReport` to a serial `Orchestrator` run of the same
+//! `StudyConfig` on both paper machines — and a worker that dies holding
+//! leases must cost wall-clock time only, never cells or correctness.
+
+use softerr::serve::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+use softerr::{
+    cell_config_hash, CellKey, Coordinator, OptLevel, Orchestrator, ResultStore, SamplingPlan,
+    Structure, StudyConfig, SweepReport, WorkerOptions, Workload,
+};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+
+/// Both paper machines, a 2×2 (workload × level) slice of the grid, two
+/// structures: 8 cells, small enough to execute in seconds.
+fn tiny_config(seed: u64) -> StudyConfig {
+    StudyConfig {
+        workloads: vec![Workload::Qsort, Workload::Sha],
+        levels: vec![OptLevel::O0, OptLevel::O2],
+        structures: vec![Structure::RegFile, Structure::RobPc],
+        plan: SamplingPlan::fixed(6),
+        seed,
+        ..StudyConfig::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("softerr-serve-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Serial reference run into its own store.
+fn serial_run(cfg: &StudyConfig, dir: &Path) -> SweepReport {
+    Orchestrator::new(cfg.clone())
+        .store(ResultStore::open(dir).expect("serial store"))
+        .execute(&|_| {})
+        .expect("serial run")
+}
+
+/// Serves `cfg` on an ephemeral port while `workers` run against it;
+/// returns the coordinator's report and each worker's result.
+fn distributed_run(
+    cfg: &StudyConfig,
+    dir: &Path,
+    lease_ms: u64,
+    workers: Vec<WorkerOptions>,
+) -> (SweepReport, Vec<softerr::WorkerReport>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral listener");
+    let addr = listener.local_addr().expect("listener addr").to_string();
+    let coordinator = Coordinator::new(cfg.clone(), ResultStore::open(dir).expect("store"))
+        .lease_ms(lease_ms)
+        .progress_log(dir.join("progress.jsonl"));
+    std::thread::scope(|scope| {
+        let serve = scope.spawn(move || coordinator.serve(&listener).expect("serve"));
+        let reports: Vec<_> = workers
+            .into_iter()
+            .map(|opts| {
+                let addr = addr.clone();
+                scope.spawn(move || softerr::run_worker(&addr, &opts).expect("worker"))
+            })
+            .collect::<Vec<_>>() // spawn all before joining any
+            .into_iter()
+            .map(|h| h.join().expect("worker thread"))
+            .collect();
+        (serve.join().expect("coordinator thread"), reports)
+    })
+}
+
+/// Byte-compares every planned cell file between two stores.
+fn assert_stores_bit_identical(cfg: &StudyConfig, a: &Path, b: &Path) {
+    for machine in &cfg.machines {
+        for &workload in &cfg.workloads {
+            for &level in &cfg.levels {
+                let hash = cell_config_hash(cfg, machine, workload, level);
+                let name = format!("cells/{hash}.json");
+                let left = std::fs::read(a.join(&name))
+                    .unwrap_or_else(|e| panic!("{} missing {name}: {e}", a.display()));
+                let right = std::fs::read(b.join(&name))
+                    .unwrap_or_else(|e| panic!("{} missing {name}: {e}", b.display()));
+                assert_eq!(left, right, "store cell {name} differs between runs");
+            }
+        }
+    }
+}
+
+#[test]
+fn coordinator_with_two_workers_matches_serial_bit_for_bit() {
+    let cfg = tiny_config(77);
+    let serial_dir = temp_dir("eq-serial");
+    let dist_dir = temp_dir("eq-dist");
+    let serial = serial_run(&cfg, &serial_dir);
+
+    let workers = vec![
+        WorkerOptions {
+            name: "w0".into(),
+            capacity: 2,
+            ..WorkerOptions::default()
+        },
+        WorkerOptions {
+            name: "w1".into(),
+            capacity: 2,
+            ..WorkerOptions::default()
+        },
+    ];
+    let (dist, reports) = distributed_run(&cfg, &dist_dir, 60_000, workers);
+
+    assert_eq!(
+        serial.results, dist.results,
+        "distributed results must equal the serial run exactly"
+    );
+    assert_eq!(serial.executed, dist.executed);
+    assert_eq!(serial.cells, dist.cells);
+    assert_eq!(serial.store_hits, dist.store_hits);
+    assert_eq!(serial.store_misses, dist.store_misses);
+    assert_eq!(serial.store_writes, dist.store_writes);
+    assert_eq!(
+        reports.iter().map(|r| r.completed).sum::<usize>(),
+        dist.cells,
+        "the two workers between them executed every cell exactly once"
+    );
+    assert_eq!(reports.iter().map(|r| r.rejected).sum::<usize>(), 0);
+    assert_stores_bit_identical(&cfg, &serial_dir, &dist_dir);
+
+    // A second distributed run over the same store is served entirely
+    // from it: the coordinator answers from the store and finishes
+    // without needing a single worker to connect.
+    let (again, _) = distributed_run(&cfg, &dist_dir, 60_000, vec![]);
+    assert_eq!(again.results, serial.results);
+    assert_eq!(again.executed, 0, "warm store: nothing to execute");
+    assert_eq!(again.store_hits, again.cells);
+
+    std::fs::remove_dir_all(&serial_dir).ok();
+    std::fs::remove_dir_all(&dist_dir).ok();
+}
+
+#[test]
+fn killed_worker_cells_are_released_and_completed() {
+    let cfg = tiny_config(78);
+    let serial_dir = temp_dir("kill-serial");
+    let dist_dir = temp_dir("kill-dist");
+    let serial = serial_run(&cfg, &serial_dir);
+
+    // `doomed` completes one cell, then vanishes while holding a fresh
+    // lease (simulating a kill -9 mid-cell: the connection drops and the
+    // unfinished lease is released). `survivor` finishes the study.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral listener");
+    let addr = listener.local_addr().expect("listener addr").to_string();
+    let coordinator = Coordinator::new(cfg.clone(), ResultStore::open(&dist_dir).expect("store"))
+        .lease_ms(60_000);
+    let (dist, doomed, survivor) = std::thread::scope(|scope| {
+        let serve = scope.spawn(move || coordinator.serve(&listener).expect("serve"));
+        let doomed = softerr::run_worker(
+            &addr,
+            &WorkerOptions {
+                name: "doomed".into(),
+                abandon_after: Some(1),
+                ..WorkerOptions::default()
+            },
+        )
+        .expect("doomed worker runs until its simulated crash");
+        assert!(doomed.abandoned, "the test hook must have fired");
+        let survivor = softerr::run_worker(
+            &addr,
+            &WorkerOptions {
+                name: "survivor".into(),
+                capacity: 2,
+                ..WorkerOptions::default()
+            },
+        )
+        .expect("survivor worker");
+        (serve.join().expect("coordinator thread"), doomed, survivor)
+    });
+
+    assert_eq!(
+        doomed.completed + survivor.completed,
+        dist.cells,
+        "every cell was executed exactly once despite the crash"
+    );
+    assert!(
+        survivor.completed > 0,
+        "the survivor picked up the released cells"
+    );
+    assert_eq!(dist.executed, dist.cells, "no cell was lost or doubled");
+    assert_eq!(serial.results, dist.results);
+    assert_stores_bit_identical(&cfg, &serial_dir, &dist_dir);
+    // Exactly one file per cell: the crash left neither litter nor dupes.
+    assert_eq!(
+        std::fs::read_dir(dist_dir.join("cells")).unwrap().count(),
+        dist.cells
+    );
+
+    std::fs::remove_dir_all(&serial_dir).ok();
+    std::fs::remove_dir_all(&dist_dir).ok();
+}
+
+#[test]
+fn forged_submissions_are_rejected_and_honest_workers_prevail() {
+    let cfg = tiny_config(79);
+    let dist_dir = temp_dir("forge-dist");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral listener");
+    let addr = listener.local_addr().expect("listener addr").to_string();
+    let coordinator = Coordinator::new(cfg.clone(), ResultStore::open(&dist_dir).expect("store"));
+    let (dist, honest) = std::thread::scope(|scope| {
+        let serve = scope.spawn(move || coordinator.serve(&listener).expect("serve"));
+
+        // A hostile client: greets correctly, then submits a cell the
+        // study never planned. The coordinator must refuse it without
+        // touching the store.
+        let mut stream = TcpStream::connect(&addr).expect("hostile connect");
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                version: PROTOCOL_VERSION,
+                worker: "hostile".into(),
+            },
+        )
+        .unwrap();
+        let welcome: Response = read_frame(&mut stream).unwrap();
+        let key = match &welcome {
+            Response::Welcome { config, .. } => CellKey {
+                machine: config.machines[0].name.clone(),
+                workload: config.workloads[0],
+                level: config.levels[0],
+            },
+            other => panic!("expected Welcome, got {other:?}"),
+        };
+        let bogus = softerr::CellResult {
+            golden_cycles: 1,
+            golden_retired: 1,
+            code_words: 1,
+            campaigns: vec![],
+        };
+        write_frame(
+            &mut stream,
+            &Request::Submit {
+                lease: 999,
+                hash: "ffffffffffffffff".into(),
+                key: key.clone(),
+                result: bogus.clone(),
+            },
+        )
+        .unwrap();
+        match read_frame::<Response>(&mut stream).unwrap() {
+            Response::Rejected { reason, .. } => {
+                assert!(reason.contains("not a cell"), "unexpected reason: {reason}")
+            }
+            other => panic!("a forged hash must be Rejected, got {other:?}"),
+        }
+        // Right hash, wrong key: also refused.
+        let machine = &cfg.machines[1];
+        let real_hash = cell_config_hash(&cfg, machine, cfg.workloads[0], cfg.levels[0]);
+        write_frame(
+            &mut stream,
+            &Request::Submit {
+                lease: 999,
+                hash: real_hash,
+                key, // names machine 0, but the hash plans machine 1
+                result: bogus,
+            },
+        )
+        .unwrap();
+        match read_frame::<Response>(&mut stream).unwrap() {
+            Response::Rejected { reason, .. } => {
+                assert!(
+                    reason.contains("key mismatch"),
+                    "unexpected reason: {reason}"
+                )
+            }
+            other => panic!("a mis-keyed submit must be Rejected, got {other:?}"),
+        }
+        write_frame(&mut stream, &Request::Bye).unwrap();
+        let _: Response = read_frame(&mut stream).unwrap();
+        drop(stream);
+
+        // An honest worker completes the study as if nothing happened.
+        let honest = softerr::run_worker(
+            &addr,
+            &WorkerOptions {
+                name: "honest".into(),
+                capacity: 2,
+                ..WorkerOptions::default()
+            },
+        )
+        .expect("honest worker");
+        (serve.join().expect("coordinator thread"), honest)
+    });
+    assert_eq!(honest.completed, dist.cells);
+    assert_eq!(dist.executed, dist.cells);
+    // The forgeries never reached the store: one write per real cell.
+    assert_eq!(dist.store_writes as usize, dist.cells);
+    std::fs::remove_dir_all(&dist_dir).ok();
+}

@@ -1,0 +1,167 @@
+//! Multi-*process* contention on one `ResultStore`.
+//!
+//! Thread-level races are covered by the store's unit tests; this test
+//! covers what they cannot — separate processes share no `TMP_SEQ`
+//! counter, so writer-unique tmp paths must come from the pid as well.
+//! The parent re-executes its own test binary (`current_exe`) with an
+//! env-var-gated helper "test" as the child body: each child hammers
+//! save/load over the same small cell set, reports its counters on
+//! stdout, and the parent asserts that nothing tore, nothing was
+//! quarantined, no tmp litter survived, and every counter adds up.
+
+use softerr::{CellKey, CellResult, OptLevel, ResultStore, Workload};
+use std::process::Command;
+
+/// Gate for the child body: set to the store root by the parent.
+const ENV_ROOT: &str = "SOFTERR_STORE_HAMMER_ROOT";
+const CHILDREN: usize = 4;
+const ROUNDS: usize = 20;
+const CELLS: usize = 3;
+
+fn cell(i: usize) -> (String, CellKey, CellResult) {
+    use softerr::{CampaignResult, ClassCounts, Structure};
+    let key = CellKey {
+        machine: format!("machine-{i}"),
+        workload: Workload::Qsort,
+        level: OptLevel::O2,
+    };
+    let result = CellResult {
+        golden_cycles: 1_000 + i as u64,
+        golden_retired: 500 + i as u64,
+        code_words: 64,
+        campaigns: vec![CampaignResult {
+            structure: Structure::RegFile,
+            bit_population: 2048,
+            golden_cycles: 1_000 + i as u64,
+            counts: ClassCounts {
+                masked: 9,
+                sdc: i as u64,
+                ..ClassCounts::default()
+            },
+            weight: 1.0,
+            live_population: None,
+        }],
+    };
+    (format!("{i:016x}"), key, result)
+}
+
+/// The child body. Runs only when the parent sets [`ENV_ROOT`]; under a
+/// plain `cargo test` it is an immediate pass.
+#[test]
+fn child_hammer_helper() {
+    let Ok(root) = std::env::var(ENV_ROOT) else {
+        return;
+    };
+    let store = ResultStore::open(root).expect("child opens the shared store");
+    for _ in 0..ROUNDS {
+        for i in 0..CELLS {
+            let (hash, key, result) = cell(i);
+            store.save(&hash, &key, &result).expect("child save");
+            let loaded = store.load(&hash, &key).expect("child load hits");
+            assert_eq!(loaded, result, "a stored cell must read back intact");
+        }
+    }
+    // Machine-parsed by the parent; keep the shape in sync below.
+    println!(
+        "HAMMER stores={} hits={} misses={} read_errors={} quarantined={}",
+        store.stores(),
+        store.hits(),
+        store.misses(),
+        store.read_errors(),
+        store.quarantined()
+    );
+}
+
+#[test]
+fn concurrent_processes_never_tear_or_quarantine() {
+    let root =
+        std::env::temp_dir().join(format!("softerr-store-contention-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::create_dir_all(&root).unwrap();
+
+    let exe = std::env::current_exe().expect("own test binary");
+    let children: Vec<_> = (0..CHILDREN)
+        .map(|_| {
+            Command::new(&exe)
+                .args(["--exact", "child_hammer_helper", "--nocapture"])
+                .env(ENV_ROOT, &root)
+                .stdout(std::process::Stdio::piped())
+                .stderr(std::process::Stdio::null())
+                .spawn()
+                .expect("spawn child process")
+        })
+        .collect();
+
+    let mut stores = 0u64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut read_errors = 0u64;
+    let mut quarantined = 0u64;
+    for child in children {
+        let out = child.wait_with_output().expect("child completes");
+        assert!(
+            out.status.success(),
+            "child failed: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // Under --nocapture the line may share a line with the harness's
+        // own "test ... ok" chatter, so locate it by substring.
+        let line = stdout
+            .lines()
+            .find_map(|l| l.find("HAMMER ").map(|at| &l[at + "HAMMER ".len()..]))
+            .unwrap_or_else(|| panic!("no counter line in child output: {stdout}"));
+        for field in line.split_whitespace() {
+            let Some((name, value)) = field.split_once('=') else {
+                continue; // trailing harness chatter, not a counter
+            };
+            let value: u64 = value.parse().expect("numeric counter");
+            match name {
+                "stores" => stores += value,
+                "hits" => hits += value,
+                "misses" => misses += value,
+                "read_errors" => read_errors += value,
+                "quarantined" => quarantined += value,
+                other => panic!("unknown counter {other}"),
+            }
+        }
+    }
+
+    // Every child performed exactly ROUNDS × CELLS saves and as many
+    // loads, and each load followed that child's own save of the same
+    // cell, so it can only be a hit.
+    let per_child = (ROUNDS * CELLS) as u64;
+    assert_eq!(stores, CHILDREN as u64 * per_child, "every save succeeded");
+    assert_eq!(hits, CHILDREN as u64 * per_child, "every load was a hit");
+    assert_eq!(misses, 0, "no load saw a missing or torn cell");
+    assert_eq!(read_errors, 0, "no read failed for a non-NotFound reason");
+    assert_eq!(quarantined, 0, "no cell was ever corrupt on disk");
+
+    // The directory holds exactly the cell files: no tmp litter from any
+    // writer, no quarantine directory, nothing torn.
+    let store = ResultStore::open(&root).expect("parent opens the store");
+    let entries: Vec<String> = std::fs::read_dir(root.join("cells"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(
+        entries.len(),
+        CELLS,
+        "exactly one file per cell, no litter: {entries:?}"
+    );
+    assert!(
+        entries.iter().all(|n| n.ends_with(".json")),
+        "unexpected files: {entries:?}"
+    );
+    for i in 0..CELLS {
+        let (hash, key, result) = cell(i);
+        assert_eq!(
+            store.load(&hash, &key),
+            Some(result),
+            "cell {i} must be a complete, verifiable copy"
+        );
+    }
+    assert_eq!(store.quarantined(), 0);
+    std::fs::remove_dir_all(&root).ok();
+}
